@@ -1,0 +1,41 @@
+//! Experiment runner: regenerates the evaluation tables and figures.
+//!
+//! ```text
+//! cargo run -p srtw-bench --release --bin experiments -- all
+//! cargo run -p srtw-bench --release --bin experiments -- e1 e5 --csv results/
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--csv" {
+            match it.next() {
+                Some(dir) => csv_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--csv needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            ids.push(a);
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: experiments <e1..e10|all> ... [--csv DIR]");
+        return ExitCode::FAILURE;
+    }
+    for id in &ids {
+        if !srtw_bench::run_experiment_to(id, csv_dir.as_deref()) {
+            eprintln!("unknown experiment id: {id}");
+            return ExitCode::FAILURE;
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

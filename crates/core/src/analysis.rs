@@ -1,0 +1,563 @@
+//! Structure-aware delay analysis — the core contribution.
+//!
+//! # The two analyses
+//!
+//! **RTC baseline** ([`rtc_delay`]). The workload is abstracted into its
+//! request-bound function `rbf` (an upper arrival curve) and the delay
+//! bound is the horizontal deviation `sup_t [β⁻¹(rbf(t)) − t]`. The
+//! abstraction collapses all job types into an anonymous fluid: the result
+//! is one stream-wide bound, necessarily calibrated to the *worst* job
+//! type, and the only sound per-type claim it supports is that every job
+//! type meets that single bound.
+//!
+//! **Structural analysis** ([`structural_delay`]). Work directly on the
+//! digraph: enumerate (with dominance pruning) the abstract paths
+//! `(span, work)` inside the busy window and bound the response time of
+//! the job at the *end* of each path by `β⁻¹(work) − span`. Taking the
+//! maximum per final vertex yields **per-job-type** bounds
+//! `delay(v) = max over paths ending at v`.
+//!
+//! # Relationship (tested as a theorem)
+//!
+//! `max over v of structural delay(v)  ==  RTC bound`: the rbf envelope's
+//! breakpoints are exactly the Pareto-maximal abstract paths, so the
+//! stream-wide structural maximum and the RTC horizontal deviation inspect
+//! the same candidates. The structural gain is the *attribution*: light
+//! job types receive much smaller bounds than the stream-wide worst case,
+//! which is what per-type deadlines (and the acceptance-ratio experiments)
+//! exploit.
+//!
+//! # Abstraction horizon (the tightness/effort knob)
+//!
+//! [`AnalysisConfig::horizon_fraction`] caps the *span* of exactly explored
+//! paths at a fraction of the busy window; any demand farther out falls
+//! back to the arrival-curve abstraction (candidates
+//! `β⁻¹(rbf(δ)) − δ` for `δ` beyond the cap). The resulting bound is
+//! monotonically non-increasing in the fraction: at `0` it degenerates
+//! exactly to the RTC baseline, at `1` it is the full structural analysis —
+//! the knob the ablation experiment sweeps.
+
+use crate::busy::{busy_window, BusyWindow};
+use crate::error::AnalysisError;
+use crate::report::{DelayAnalysis, RtcReport, VertexBound, WitnessPath};
+use srtw_minplus::{Curve, Ext, Q};
+use srtw_workload::{explore, DrtTask, ExploreConfig, Rbf};
+use std::time::Instant;
+
+/// Configuration of the structural analysis.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisConfig {
+    /// Fraction (in `[0, 1]`) of the busy window explored *exactly*; demand
+    /// beyond the cap is covered by the arrival-curve abstraction.
+    /// `Some(0)` degenerates to the RTC baseline; `None` (or `Some(1)`)
+    /// is the full structural analysis.
+    pub horizon_fraction: Option<Q>,
+    /// Disable dominance pruning (for ablation measurements only).
+    pub no_prune: bool,
+    /// Override the busy-window horizon (must be an upper bound on the true
+    /// busy window to stay sound; used by experiments).
+    pub horizon_override: Option<Q>,
+}
+
+/// Structural per-job-type delay analysis of a single stream on a resource
+/// with lower service curve `beta`.
+///
+/// # Examples
+///
+/// ```
+/// use srtw_core::structural_delay;
+/// use srtw_minplus::{Curve, Q};
+/// use srtw_workload::DrtTaskBuilder;
+///
+/// // Heavy job, then a light job 6 later, loop back after 6 more.
+/// let mut b = DrtTaskBuilder::new("hl");
+/// let h = b.vertex("heavy", Q::int(4));
+/// let l = b.vertex("light", Q::ONE);
+/// b.edge(h, l, Q::int(6));
+/// b.edge(l, h, Q::int(6));
+/// let task = b.build().unwrap();
+/// let beta = Curve::affine(Q::ZERO, Q::ONE);
+///
+/// let a = structural_delay(&task, &beta).unwrap();
+/// // The heavy job type needs 4 units; the light one at most 1 (it never
+/// // queues behind the heavy job: 6 time units have passed).
+/// assert_eq!(a.bound_of(h), Q::int(4));
+/// assert_eq!(a.bound_of(l), Q::int(1));
+/// assert_eq!(a.stream_bound, Q::int(4));
+/// ```
+pub fn structural_delay(task: &DrtTask, beta: &Curve) -> Result<DelayAnalysis, AnalysisError> {
+    structural_delay_with(task, beta, &AnalysisConfig::default())
+}
+
+/// [`structural_delay`] with an explicit configuration.
+pub fn structural_delay_with(
+    task: &DrtTask,
+    beta: &Curve,
+    cfg: &AnalysisConfig,
+) -> Result<DelayAnalysis, AnalysisError> {
+    let start = Instant::now();
+    let bw = busy_window(std::slice::from_ref(task), beta)?;
+    let horizon = cfg.horizon_override.unwrap_or(bw.bound);
+    analyse_stream(task, beta, &bw, horizon, &[], cfg, start)
+}
+
+/// The arrival-curve (RTC) baseline: one stream-wide delay bound from the
+/// request-bound function.
+///
+/// The bound is `max over rbf breakpoints (s, w) of β⁻¹(w) − s`, which is
+/// exactly the horizontal deviation `hdev(rbf, β)` restricted to the busy
+/// window (the finitary argument makes the restriction lossless).
+pub fn rtc_delay(task: &DrtTask, beta: &Curve) -> Result<RtcReport, AnalysisError> {
+    let bw = busy_window(std::slice::from_ref(task), beta)?;
+    let rbf = &bw.rbfs[0];
+    let bound = rtc_bound_from_points(rbf.points(), Q::ZERO, beta)?;
+    Ok(RtcReport {
+        bound,
+        busy_window: bw.bound,
+        breakpoints: rbf.points().len(),
+    })
+}
+
+/// Structural analysis of each stream in a FIFO multiplex: the analysed
+/// stream keeps its structure while the competing streams are abstracted
+/// into their request-bound curves (the standard structural-FIFO setup).
+///
+/// Returns one [`DelayAnalysis`] per input task, in order.
+pub fn fifo_structural(
+    tasks: &[DrtTask],
+    beta: &Curve,
+    cfg: &AnalysisConfig,
+) -> Result<Vec<DelayAnalysis>, AnalysisError> {
+    let bw = busy_window(tasks, beta)?;
+    let horizon = cfg.horizon_override.unwrap_or(bw.bound);
+    let mut out = Vec::with_capacity(tasks.len());
+    for (i, task) in tasks.iter().enumerate() {
+        let start = Instant::now();
+        let others: Vec<&Rbf> = bw
+            .rbfs
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, r)| r)
+            .collect();
+        out.push(analyse_stream(task, beta, &bw, horizon, &others, cfg, start)?);
+    }
+    Ok(out)
+}
+
+/// The FIFO RTC baseline: one bound for *all* streams from the summed
+/// request-bound curves.
+pub fn fifo_rtc(tasks: &[DrtTask], beta: &Curve) -> Result<RtcReport, AnalysisError> {
+    let bw = busy_window(tasks, beta)?;
+    // Union of breakpoint spans; demand = sum of all rbfs at the span.
+    let mut spans: Vec<Q> = bw
+        .rbfs
+        .iter()
+        .flat_map(|r| r.points().iter().map(|p| p.0))
+        .collect();
+    spans.push(Q::ZERO);
+    spans.sort();
+    spans.dedup();
+    let mut bound = Q::ZERO;
+    for &s in &spans {
+        let total = bw.total_rbf(s);
+        match beta.pseudo_inverse(total) {
+            Ext::Finite(t) => bound = bound.max(t - s),
+            Ext::Infinite => return Err(AnalysisError::ServiceSaturated),
+        }
+    }
+    Ok(RtcReport {
+        bound: bound.clamp_nonneg(),
+        busy_window: bw.bound,
+        breakpoints: spans.len(),
+    })
+}
+
+/// Worst-case backlog bound (vertical deviation of demand vs service inside
+/// the busy window) of the whole multiplex.
+pub fn backlog_bound(tasks: &[DrtTask], beta: &Curve) -> Result<Q, AnalysisError> {
+    let bw = busy_window(tasks, beta)?;
+    let mut spans: Vec<Q> = bw
+        .rbfs
+        .iter()
+        .flat_map(|r| r.points().iter().map(|p| p.0))
+        .collect();
+    spans.push(Q::ZERO);
+    spans.sort();
+    spans.dedup();
+    let mut bound = Q::ZERO;
+    for &s in &spans {
+        bound = bound.max(bw.total_rbf(s) - beta.eval(s));
+    }
+    Ok(bound.clamp_nonneg())
+}
+
+/// Shared engine: per-vertex structural bounds for `task`, with FIFO
+/// interference from `others` (empty for a dedicated stream).
+fn analyse_stream(
+    task: &DrtTask,
+    beta: &Curve,
+    bw: &BusyWindow,
+    horizon: Q,
+    others: &[&Rbf],
+    cfg: &AnalysisConfig,
+    start: Instant,
+) -> Result<DelayAnalysis, AnalysisError> {
+    let interference = |s: Q| -> Q {
+        others
+            .iter()
+            .map(|r| r.eval(s.min(r.horizon())))
+            .fold(Q::ZERO, |a, b| a + b)
+    };
+
+    // The span cap for exact exploration.
+    let span_cap = match cfg.horizon_fraction {
+        Some(f) => {
+            let f = f.clamp_nonneg().min(Q::ONE);
+            horizon * f
+        }
+        None => horizon,
+    };
+
+    let n = task.num_vertices();
+    let mut best: Vec<Option<(Q, usize)>> = vec![None; n];
+
+    let mut ecfg = ExploreConfig::new(span_cap);
+    if cfg.no_prune {
+        ecfg = ecfg.without_pruning();
+    }
+    let ex = explore(task, &ecfg);
+    for (i, node) in ex.nodes().iter().enumerate() {
+        let ahead = node.work + interference(node.span);
+        let d = match beta.pseudo_inverse(ahead) {
+            Ext::Finite(t) => (t - node.span).clamp_nonneg(),
+            Ext::Infinite => return Err(AnalysisError::ServiceSaturated),
+        };
+        let slot = &mut best[node.vertex.index()];
+        if slot.map(|(b, _)| d > b).unwrap_or(true) {
+            *slot = Some((d, i));
+        }
+    }
+
+    // Demand beyond the span cap is covered by the arrival-curve
+    // abstraction: any path with span δ > span_cap has work ≤ rbf(δ), so
+    // its end job's delay is at most β⁻¹(rbf(δ) + interference(δ)) − δ.
+    let fallback_active = span_cap < horizon;
+    let mut fallback = Q::ZERO;
+    if fallback_active {
+        let own_rbf = Rbf::compute(task, horizon);
+        for &(delta, w) in own_rbf.points() {
+            // Any path with span δ > span_cap has work ≤ rbf(δ); on each
+            // rbf plateau the worst candidate sits at its left end, clamped
+            // to the cap (evaluating *at* the cap is conservative).
+            let d0 = delta.max(span_cap);
+            if delta > horizon {
+                break;
+            }
+            let ahead = w + interference(d0);
+            match beta.pseudo_inverse(ahead) {
+                Ext::Finite(t) => fallback = fallback.max((t - d0).clamp_nonneg()),
+                Ext::Infinite => return Err(AnalysisError::ServiceSaturated),
+            }
+        }
+    }
+
+    let mut per_vertex = Vec::with_capacity(n);
+    let mut stream_bound = Q::ZERO;
+    for v in task.vertex_ids() {
+        let (mut bound, witness, mut from_fallback) = match best[v.index()] {
+            Some((d, idx)) => {
+                let node = ex.nodes()[idx];
+                (
+                    d,
+                    Some(WitnessPath {
+                        vertices: ex.path_of(idx),
+                        span: node.span,
+                        work: node.work,
+                    }),
+                    false,
+                )
+            }
+            None => (Q::ZERO, None, fallback_active),
+        };
+        if fallback_active && fallback > bound {
+            bound = fallback;
+            from_fallback = true;
+        }
+        stream_bound = stream_bound.max(bound);
+        per_vertex.push(VertexBound {
+            vertex: v,
+            label: task.vertex(v).label.clone(),
+            bound,
+            witness,
+            from_fallback,
+        });
+    }
+
+    Ok(DelayAnalysis {
+        task_name: task.name().to_owned(),
+        per_vertex,
+        stream_bound,
+        busy_window: horizon,
+        utilization: bw.utilization,
+        paths_retained: ex.nodes().len(),
+        paths_generated: ex.generated,
+        paths_pruned: ex.pruned,
+        runtime: start.elapsed(),
+    })
+}
+
+/// RTC bound from explicit rbf breakpoints plus constant extra interference
+/// evaluated at each span.
+fn rtc_bound_from_points(
+    points: &[(Q, Q)],
+    extra: Q,
+    beta: &Curve,
+) -> Result<Q, AnalysisError> {
+    let mut bound = Q::ZERO;
+    for &(s, w) in points {
+        match beta.pseudo_inverse(w + extra) {
+            Ext::Finite(t) => bound = bound.max(t - s),
+            Ext::Infinite => return Err(AnalysisError::ServiceSaturated),
+        }
+    }
+    Ok(bound.clamp_nonneg())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srtw_minplus::q;
+    use srtw_resource::{Server, TdmaServer};
+    use srtw_workload::DrtTaskBuilder;
+
+    fn heavy_light() -> DrtTask {
+        let mut b = DrtTaskBuilder::new("hl");
+        let h = b.vertex("heavy", Q::int(4));
+        let l = b.vertex("light", Q::ONE);
+        b.edge(h, l, Q::int(6));
+        b.edge(l, h, Q::int(6));
+        b.build().unwrap()
+    }
+
+    fn branching() -> DrtTask {
+        let mut b = DrtTaskBuilder::new("branching");
+        let a = b.vertex("a", Q::int(3));
+        let x = b.vertex("x", Q::ONE);
+        let y = b.vertex("y", Q::int(2));
+        b.edge(a, x, Q::int(4));
+        b.edge(a, y, Q::int(6));
+        b.edge(x, a, Q::int(4));
+        b.edge(y, a, Q::int(3));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn per_vertex_attribution_beats_stream_bound() {
+        let task = heavy_light();
+        let beta = Curve::rate_latency(Q::ONE, Q::ONE);
+        let a = structural_delay(&task, &beta).unwrap();
+        let rtc = rtc_delay(&task, &beta).unwrap();
+        // Theorem: stream-wide structural max equals the RTC bound.
+        assert_eq!(a.stream_bound, rtc.bound);
+        // The light vertex is strictly better off than the stream bound.
+        let light = task.vertex_ids().nth(1).unwrap();
+        assert!(a.bound_of(light) < rtc.bound);
+    }
+
+    #[test]
+    fn stream_max_equals_rtc_on_many_graphs() {
+        let betas = [
+            Curve::affine(Q::ZERO, Q::ONE),
+            Curve::rate_latency(Q::ONE, Q::int(2)),
+            Curve::rate_latency(q(3, 4), Q::int(1)),
+            TdmaServer::new(Q::int(3), Q::int(4), Q::ONE)
+                .unwrap()
+                .beta_lower(),
+        ];
+        for task in [heavy_light(), branching()] {
+            for beta in &betas {
+                let a = structural_delay(&task, beta).unwrap();
+                let rtc = rtc_delay(&task, beta).unwrap();
+                assert_eq!(
+                    a.stream_bound, rtc.bound,
+                    "stream/RTC mismatch for {} on {beta:?}",
+                    task.name()
+                );
+                for vb in &a.per_vertex {
+                    assert!(vb.bound <= rtc.bound);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witness_paths_are_legal_and_consistent() {
+        let task = branching();
+        let beta = Curve::rate_latency(q(3, 4), Q::int(2));
+        let a = structural_delay(&task, &beta).unwrap();
+        for vb in &a.per_vertex {
+            let w = vb.witness.as_ref().expect("full analysis has witnesses");
+            assert_eq!(*w.vertices.last().unwrap(), vb.vertex);
+            // Work is the sum of WCETs along the path.
+            let work: Q = w
+                .vertices
+                .iter()
+                .map(|&v| task.wcet(v))
+                .fold(Q::ZERO, |x, y| x + y);
+            assert_eq!(work, w.work);
+            // Consecutive vertices must be connected.
+            for pair in w.vertices.windows(2) {
+                assert!(task
+                    .out_edges(pair[0])
+                    .iter()
+                    .any(|e| e.to == pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn fraction_zero_equals_rtc_everywhere() {
+        let task = branching();
+        let beta = Curve::rate_latency(q(3, 4), Q::int(2));
+        let rtc = rtc_delay(&task, &beta).unwrap();
+        let cfg = AnalysisConfig {
+            horizon_fraction: Some(Q::ZERO),
+            ..Default::default()
+        };
+        let a = structural_delay_with(&task, &beta, &cfg).unwrap();
+        assert_eq!(a.stream_bound, rtc.bound, "fraction-0 must equal RTC");
+        for vb in &a.per_vertex {
+            assert!(vb.bound <= rtc.bound);
+        }
+    }
+
+    #[test]
+    fn fraction_one_equals_full() {
+        let task = branching();
+        let beta = Curve::rate_latency(q(3, 4), Q::int(2));
+        let full = structural_delay(&task, &beta).unwrap();
+        let cfg = AnalysisConfig {
+            horizon_fraction: Some(Q::ONE),
+            ..Default::default()
+        };
+        let a = structural_delay_with(&task, &beta, &cfg).unwrap();
+        for (x, y) in a.per_vertex.iter().zip(full.per_vertex.iter()) {
+            assert_eq!(x.bound, y.bound);
+        }
+    }
+
+    #[test]
+    fn fraction_interpolates_monotonically() {
+        let task = branching();
+        let beta = Curve::rate_latency(q(2, 3), Q::int(2));
+        let full = structural_delay(&task, &beta).unwrap();
+        let mut prev: Option<Vec<Q>> = None;
+        for k in 0..=8 {
+            let cfg = AnalysisConfig {
+                horizon_fraction: Some(q(k, 8)),
+                ..Default::default()
+            };
+            let a = structural_delay_with(&task, &beta, &cfg).unwrap();
+            let bounds: Vec<Q> = a.per_vertex.iter().map(|b| b.bound).collect();
+            // Sound: never below the full structural bound.
+            for (b, f) in bounds.iter().zip(full.per_vertex.iter()) {
+                assert!(
+                    *b >= f.bound,
+                    "fraction {k}/8 bound {b} below full {}",
+                    f.bound
+                );
+            }
+            if let Some(p) = prev {
+                for (b, pb) in bounds.iter().zip(p.iter()) {
+                    assert!(b <= pb, "fraction {k}/8 not monotone: {b} > {pb}");
+                }
+            }
+            prev = Some(bounds);
+        }
+    }
+
+    #[test]
+    fn no_prune_gives_identical_bounds() {
+        let task = branching();
+        let beta = Curve::rate_latency(q(3, 4), Q::int(1));
+        let pruned = structural_delay(&task, &beta).unwrap();
+        let raw = structural_delay_with(
+            &task,
+            &beta,
+            &AnalysisConfig {
+                no_prune: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for (a, b) in pruned.per_vertex.iter().zip(raw.per_vertex.iter()) {
+            assert_eq!(a.bound, b.bound);
+        }
+        assert!(raw.paths_retained >= pruned.paths_retained);
+    }
+
+    #[test]
+    fn fifo_structural_vs_fifo_rtc() {
+        let t1 = heavy_light();
+        let t2 = {
+            let mut b = DrtTaskBuilder::new("periodic");
+            let v = b.vertex("p", Q::ONE);
+            b.edge(v, v, Q::int(8));
+            b.build().unwrap()
+        };
+        let beta = Curve::affine(Q::ZERO, Q::ONE);
+        let tasks = vec![t1, t2];
+        let rtc = fifo_rtc(&tasks, &beta).unwrap();
+        let per = fifo_structural(&tasks, &beta, &AnalysisConfig::default()).unwrap();
+        assert_eq!(per.len(), 2);
+        let mut overall = Q::ZERO;
+        for a in &per {
+            for vb in &a.per_vertex {
+                assert!(vb.bound <= rtc.bound, "structural FIFO must refine RTC");
+                overall = overall.max(vb.bound);
+            }
+        }
+        // The light periodic stream's job is strictly better off than the
+        // stream-agnostic bound.
+        let light_bound = per[1].per_vertex[0].bound;
+        assert!(light_bound <= rtc.bound);
+        assert!(overall.is_positive());
+    }
+
+    #[test]
+    fn backlog_matches_brute_force_curves() {
+        let task = heavy_light();
+        let beta = Curve::rate_latency(Q::ONE, Q::int(2));
+        let b = backlog_bound(std::slice::from_ref(&task), &beta).unwrap();
+        // Cross-check against the curve-level vertical deviation.
+        let bw = busy_window(std::slice::from_ref(&task), &beta).unwrap();
+        let vd = bw.rbfs[0].curve().vdev(&beta).unwrap_finite();
+        assert_eq!(b, vd);
+    }
+
+    #[test]
+    fn unstable_task_errors() {
+        let mut b = DrtTaskBuilder::new("hot");
+        let v = b.vertex("v", Q::int(5));
+        b.edge(v, v, Q::int(4));
+        let task = b.build().unwrap();
+        let beta = Curve::affine(Q::ZERO, Q::ONE);
+        assert!(matches!(
+            structural_delay(&task, &beta),
+            Err(AnalysisError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn tdma_case_delays() {
+        // Stream on a TDMA slot: delays include blackout waits.
+        let task = heavy_light();
+        let server = TdmaServer::new(Q::int(4), Q::int(6), Q::ONE).unwrap();
+        let a = structural_delay(&task, &server.beta_lower()).unwrap();
+        let rtc = rtc_delay(&task, &server.beta_lower()).unwrap();
+        assert_eq!(a.stream_bound, rtc.bound);
+        assert!(a.stream_bound >= Q::int(4)); // at least the heavy WCET
+        assert!(a.schedulable(&task)); // no deadlines set: vacuously true
+    }
+}

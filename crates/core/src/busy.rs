@@ -1,0 +1,213 @@
+//! Maximum-busy-window bounds.
+//!
+//! Every bound this crate computes lives inside a *busy window*: a maximal
+//! interval in which the server is continuously backlogged. For a stable
+//! system (total demand rate strictly below the guaranteed service rate)
+//! the busy-window length is bounded by the smallest `L > 0` with
+//! `rbf_total(L) ≤ β(L)`, obtained here by the classical fixpoint
+//! iteration `L ← β⁻¹(rbf_total(L))`. All path exploration and deviation
+//! suprema can then be restricted to `[0, L]` — the finitary argument that
+//! keeps every computation exact and finite.
+
+use crate::error::AnalysisError;
+use srtw_minplus::{Curve, Ext, Q};
+use srtw_workload::{long_run_utilization, DrtTask, Rbf};
+
+/// The busy-window bound of a set of streams sharing a server, together
+/// with the per-stream request-bound functions materialized to that bound.
+#[derive(Debug, Clone)]
+pub struct BusyWindow {
+    /// A sound upper bound on every busy-window length.
+    pub bound: Q,
+    /// Per-stream rbf, valid on `[0, bound]`.
+    pub rbfs: Vec<Rbf>,
+    /// Total long-run utilization of all streams.
+    pub utilization: Q,
+    /// Fixpoint iterations used.
+    pub iterations: usize,
+}
+
+impl BusyWindow {
+    /// Total demand of all streams in a window of length `t ≤ bound`.
+    pub fn total_rbf(&self, t: Q) -> Q {
+        self.rbfs
+            .iter()
+            .map(|r| r.eval(t))
+            .fold(Q::ZERO, |a, b| a + b)
+    }
+}
+
+/// Computes a busy-window bound for `tasks` jointly served by a resource
+/// with lower service curve `beta`.
+///
+/// # Errors
+///
+/// [`AnalysisError::Unstable`] when the summed utilization reaches the
+/// service rate; [`AnalysisError::BusyWindowDiverged`] if the fixpoint does
+/// not converge within the iteration cap.
+///
+/// # Examples
+///
+/// ```
+/// use srtw_core::busy_window;
+/// use srtw_minplus::{Curve, Q};
+/// use srtw_workload::DrtTaskBuilder;
+///
+/// let mut b = DrtTaskBuilder::new("loop");
+/// let v = b.vertex("v", Q::int(2));
+/// b.edge(v, v, Q::int(5));
+/// let task = b.build().unwrap();
+/// let beta = Curve::affine(Q::ZERO, Q::ONE); // dedicated unit server
+///
+/// let bw = busy_window(&[task], &beta).unwrap();
+/// assert_eq!(bw.bound, Q::int(2)); // one job, done before the next
+/// ```
+pub fn busy_window(tasks: &[DrtTask], beta: &Curve) -> Result<BusyWindow, AnalysisError> {
+    let utilization = tasks
+        .iter()
+        .map(long_run_utilization)
+        .fold(Q::ZERO, |a, b| a + b);
+    let rate = beta.rate();
+    if utilization >= rate {
+        // Acyclic-only workloads have utilization 0 < any positive rate; a
+        // zero rate with nonzero demand is saturation.
+        if rate.is_zero() {
+            return Err(AnalysisError::ServiceSaturated);
+        }
+        return Err(AnalysisError::Unstable {
+            utilization,
+            service_rate: rate,
+        });
+    }
+
+    let mut horizon = Q::ONE;
+    let mut rbfs: Vec<Rbf> = tasks
+        .iter()
+        .map(|t| Rbf::compute(t, horizon))
+        .collect();
+    let mut level = Q::ZERO;
+    let mut iterations = 0usize;
+    const CAP: usize = 100_000;
+    loop {
+        iterations += 1;
+        if iterations > CAP {
+            return Err(AnalysisError::BusyWindowDiverged { reached: level });
+        }
+        let demand: Q = rbfs
+            .iter()
+            .map(|r| r.eval(level.min(r.horizon())))
+            .fold(Q::ZERO, |a, b| a + b);
+        let next = match beta.pseudo_inverse(demand) {
+            Ext::Finite(t) => t,
+            Ext::Infinite => return Err(AnalysisError::ServiceSaturated),
+        };
+        if next <= level {
+            // Fixpoint: service catches up with demand at `level`.
+            let bound = level.max(Q::ONE);
+            // Materialize rbfs on the final bound.
+            let rbfs = tasks.iter().map(|t| Rbf::compute(t, bound)).collect();
+            return Ok(BusyWindow {
+                bound,
+                rbfs,
+                utilization,
+                iterations,
+            });
+        }
+        level = next;
+        if level > horizon {
+            horizon = level + level; // grow geometrically to amortize
+            rbfs = tasks.iter().map(|t| Rbf::compute(t, horizon)).collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srtw_minplus::q;
+    use srtw_workload::DrtTaskBuilder;
+
+    fn looped(wcet: i128, sep: i128) -> DrtTask {
+        let mut b = DrtTaskBuilder::new("loop");
+        let v = b.vertex("v", Q::int(wcet));
+        b.edge(v, v, Q::int(sep));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_job_busy_window() {
+        let t = looped(2, 5);
+        let beta = Curve::affine(Q::ZERO, Q::ONE);
+        let bw = busy_window(&[t], &beta).unwrap();
+        assert_eq!(bw.bound, Q::int(2));
+        assert_eq!(bw.utilization, q(2, 5));
+    }
+
+    #[test]
+    fn slow_server_long_window() {
+        // wcet 2 every 5 on a half-rate server: busy window spans several
+        // releases: rbf(t) = 2·(1+⌊t/5⌋), β(t)=t/2.
+        // L: 2 -> β⁻¹(2)=4 -> rbf(4)=2 -> stop? rbf(4)=2, β(4)=2 ⇒ fix at 4.
+        let t = looped(2, 5);
+        let beta = Curve::affine(Q::ZERO, q(1, 2));
+        let bw = busy_window(&[t], &beta).unwrap();
+        assert_eq!(bw.bound, Q::int(4));
+    }
+
+    #[test]
+    fn latency_extends_window() {
+        let t = looped(2, 5);
+        let beta = Curve::rate_latency(Q::ONE, Q::int(4));
+        // β(t) = t−4. L: demand 2 → β⁻¹ = 6 → rbf(6)=4 → β⁻¹(4)=8 → rbf(8)=4
+        // → stop at 8.
+        let bw = busy_window(&[t], &beta).unwrap();
+        assert_eq!(bw.bound, Q::int(8));
+        // And indeed rbf(8) = 4 ≤ β(8) = 4.
+        assert_eq!(bw.total_rbf(Q::int(8)), Q::int(4));
+    }
+
+    #[test]
+    fn multi_stream_window() {
+        let t1 = looped(1, 4);
+        let t2 = looped(2, 6);
+        let beta = Curve::affine(Q::ZERO, Q::ONE);
+        let bw = busy_window(&[t1, t2], &beta).unwrap();
+        // demand(0)=3 → 3 → rbf(3)=3 → stop at 3.
+        assert_eq!(bw.bound, Q::int(3));
+        assert_eq!(bw.utilization, q(1, 4) + q(1, 3));
+        assert_eq!(bw.rbfs.len(), 2);
+    }
+
+    #[test]
+    fn unstable_rejected() {
+        let t = looped(3, 4); // U = 3/4
+        let beta = Curve::affine(Q::ZERO, q(1, 2));
+        assert!(matches!(
+            busy_window(&[t], &beta),
+            Err(AnalysisError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn saturated_service_rejected() {
+        let t = looped(3, 4);
+        let beta = Curve::constant(Q::int(100));
+        assert!(matches!(
+            busy_window(&[t], &beta),
+            Err(AnalysisError::ServiceSaturated)
+        ));
+    }
+
+    #[test]
+    fn acyclic_workload_any_positive_rate() {
+        let mut b = DrtTaskBuilder::new("dag");
+        let a = b.vertex("a", Q::int(5));
+        let c = b.vertex("b", Q::int(5));
+        b.edge(a, c, Q::ONE);
+        let t = b.build().unwrap();
+        let beta = Curve::affine(Q::ZERO, q(1, 10));
+        let bw = busy_window(&[t], &beta).unwrap();
+        // All 10 units must eventually drain at rate 1/10: window 100.
+        assert_eq!(bw.bound, Q::int(100));
+    }
+}

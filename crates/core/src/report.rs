@@ -1,0 +1,149 @@
+//! Analysis result types and their pretty-printers.
+
+use srtw_minplus::Q;
+use srtw_workload::{DrtTask, VertexId};
+use std::fmt;
+use std::time::Duration;
+
+/// The witness abstract path realizing a delay bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct WitnessPath {
+    /// Vertex sequence of the path (last vertex is the analysed job type).
+    pub vertices: Vec<VertexId>,
+    /// Minimum span between first and last release.
+    pub span: Q,
+    /// Total WCET along the path.
+    pub work: Q,
+}
+
+impl WitnessPath {
+    /// Renders the witness with vertex labels from the task.
+    pub fn render(&self, task: &DrtTask) -> String {
+        let labels: Vec<&str> = self
+            .vertices
+            .iter()
+            .map(|&v| task.vertex(v).label.as_str())
+            .collect();
+        format!(
+            "{} (span {}, work {})",
+            labels.join(" → "),
+            self.span,
+            self.work
+        )
+    }
+}
+
+/// Delay bound of one job type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct VertexBound {
+    /// The job type.
+    pub vertex: VertexId,
+    /// Its label (copied from the task for self-contained reports).
+    pub label: String,
+    /// Worst-case response-time bound for jobs of this type.
+    pub bound: Q,
+    /// The abstract path realizing the bound (absent when the bound comes
+    /// from the truncation fallback).
+    pub witness: Option<WitnessPath>,
+    /// Did the abstraction-depth fallback determine this bound?
+    pub from_fallback: bool,
+}
+
+/// Result of a structural delay analysis of one stream.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct DelayAnalysis {
+    /// Name of the analysed task.
+    pub task_name: String,
+    /// Per-job-type delay bounds — the structural analysis' distinguishing
+    /// output (an arrival-curve analysis cannot attribute delays to types).
+    pub per_vertex: Vec<VertexBound>,
+    /// The stream-wide bound `max over job types` (provably equal to the
+    /// RTC bound at full depth).
+    pub stream_bound: Q,
+    /// The busy-window bound the analysis ran to.
+    pub busy_window: Q,
+    /// Long-run utilization of the analysed workload (all streams).
+    pub utilization: Q,
+    /// Abstract paths retained after pruning.
+    pub paths_retained: usize,
+    /// Abstract path candidates generated.
+    pub paths_generated: usize,
+    /// Candidates discarded by dominance pruning.
+    pub paths_pruned: usize,
+    /// Wall-clock analysis time.
+    pub runtime: Duration,
+}
+
+impl DelayAnalysis {
+    /// The bound for a specific job type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the analysed task.
+    pub fn bound_of(&self, v: VertexId) -> Q {
+        self.per_vertex
+            .iter()
+            .find(|b| b.vertex == v)
+            .map(|b| b.bound)
+            .expect("unknown vertex in bound_of")
+    }
+
+    /// Are all per-type bounds within their deadlines? Vertices without a
+    /// deadline are unconstrained.
+    pub fn schedulable(&self, task: &DrtTask) -> bool {
+        self.per_vertex.iter().all(|b| match task.deadline(b.vertex) {
+            Some(d) => b.bound <= d,
+            None => true,
+        })
+    }
+}
+
+impl fmt::Display for DelayAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "structural delay analysis of '{}' (U = {}, busy window ≤ {}, {} paths, {} pruned, {:?})",
+            self.task_name,
+            self.utilization,
+            self.busy_window,
+            self.paths_retained,
+            self.paths_pruned,
+            self.runtime,
+        )?;
+        for b in &self.per_vertex {
+            writeln!(
+                f,
+                "  {:<12} delay ≤ {}{}",
+                b.label,
+                b.bound,
+                if b.from_fallback { " (fallback)" } else { "" }
+            )?;
+        }
+        write!(f, "  stream bound: {}", self.stream_bound)
+    }
+}
+
+/// Result of the RTC (arrival-curve) baseline analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct RtcReport {
+    /// The single stream-wide delay bound the abstraction permits.
+    pub bound: Q,
+    /// The busy-window bound used.
+    pub busy_window: Q,
+    /// Number of rbf breakpoints inspected.
+    pub breakpoints: usize,
+}
+
+impl fmt::Display for RtcReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RTC delay ≤ {} (busy window ≤ {}, {} breakpoints)",
+            self.bound, self.busy_window, self.breakpoints
+        )
+    }
+}

@@ -1,0 +1,281 @@
+//! # srtw-gen — seeded random workload and server generation
+//!
+//! The experiment harness needs reproducible synthetic workloads in the
+//! style used throughout the digraph-real-time-task literature: a random
+//! strongly-connected base ring with extra chord edges, integer
+//! separations and WCETs drawn from ranges, and an exact rescaling pass
+//! that hits a target long-run utilization. All generation is seeded and
+//! deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use srtw_gen::{generate_drt, DrtGenConfig};
+//! use srtw_minplus::{q, Q};
+//! use srtw_workload::long_run_utilization;
+//!
+//! let cfg = DrtGenConfig {
+//!     vertices: 6,
+//!     extra_edges: 4,
+//!     target_utilization: Some(q(3, 5)),
+//!     ..DrtGenConfig::default()
+//! };
+//! let task = generate_drt(&cfg, 42);
+//! assert_eq!(task.num_vertices(), 6);
+//! assert_eq!(long_run_utilization(&task), q(3, 5));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use srtw_minplus::Q;
+use srtw_workload::{critical_cycle, DrtTask, DrtTaskBuilder, VertexId};
+
+/// Configuration of the random digraph-task generator.
+#[derive(Debug, Clone)]
+pub struct DrtGenConfig {
+    /// Number of vertices (≥ 1).
+    pub vertices: usize,
+    /// Number of extra chord edges beyond the Hamiltonian base ring.
+    pub extra_edges: usize,
+    /// Inclusive range of integer edge separations.
+    pub separation_range: (i128, i128),
+    /// Inclusive range of integer vertex WCETs (before rescaling).
+    pub wcet_range: (i128, i128),
+    /// If set, rescale all WCETs exactly so the maximum cycle ratio equals
+    /// this utilization.
+    pub target_utilization: Option<Q>,
+    /// If set, assign each vertex the deadline
+    /// `factor · min(incoming separations)`.
+    pub deadline_factor: Option<Q>,
+}
+
+impl Default for DrtGenConfig {
+    fn default() -> DrtGenConfig {
+        DrtGenConfig {
+            vertices: 8,
+            extra_edges: 8,
+            separation_range: (5, 50),
+            wcet_range: (1, 10),
+            target_utilization: None,
+            deadline_factor: None,
+        }
+    }
+}
+
+/// Generates a random strongly-connected digraph task (base ring plus
+/// random chords), deterministically from `seed`.
+///
+/// # Panics
+///
+/// Panics on degenerate configurations (zero vertices, empty ranges,
+/// non-positive target utilization).
+pub fn generate_drt(cfg: &DrtGenConfig, seed: u64) -> DrtTask {
+    assert!(cfg.vertices >= 1, "need at least one vertex");
+    let (smin, smax) = cfg.separation_range;
+    let (wmin, wmax) = cfg.wcet_range;
+    assert!(0 < smin && smin <= smax, "bad separation range");
+    assert!(0 < wmin && wmin <= wmax, "bad wcet range");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DrtTaskBuilder::new(format!("rand-{seed}"));
+    let n = cfg.vertices;
+
+    // Draw raw integer WCETs; rescale exactly later.
+    let wcets: Vec<i128> = (0..n).map(|_| rng.random_range(wmin..=wmax)).collect();
+    let ids: Vec<VertexId> = wcets
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| b.vertex(format!("v{i}"), Q::int(w)))
+        .collect();
+
+    // Base ring guarantees strong connectivity (and hence cycles);
+    // a single vertex gets a self-loop.
+    let mut present = std::collections::HashSet::new();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let sep = rng.random_range(smin..=smax);
+        b.edge(ids[i], ids[j], Q::int(sep));
+        present.insert((i, j));
+    }
+
+    // Random chords.
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < cfg.extra_edges && attempts < cfg.extra_edges * 20 + 50 {
+        attempts += 1;
+        let i = rng.random_range(0..n);
+        let j = rng.random_range(0..n);
+        if present.contains(&(i, j)) {
+            continue;
+        }
+        let sep = rng.random_range(smin..=smax);
+        b.edge(ids[i], ids[j], Q::int(sep));
+        present.insert((i, j));
+        added += 1;
+    }
+
+    let task = b.build().expect("generated graph must be valid");
+
+    // Exact utilization rescaling: cycle ratios scale linearly with WCETs.
+    match cfg.target_utilization {
+        Some(u) => {
+            assert!(u.is_positive(), "target utilization must be positive");
+            let u0 = critical_cycle(&task)
+                .expect("ring graph always has a cycle")
+                .ratio;
+            rebuild_scaled(&task, u / u0, cfg.deadline_factor)
+        }
+        None => match cfg.deadline_factor {
+            Some(_) => rebuild_scaled(&task, Q::ONE, cfg.deadline_factor),
+            None => task,
+        },
+    }
+}
+
+/// Rebuilds a task with WCETs scaled by `factor` and optional deadlines
+/// `deadline_factor · min(incoming separations)`.
+fn rebuild_scaled(task: &DrtTask, factor: Q, deadline_factor: Option<Q>) -> DrtTask {
+    let mut b = DrtTaskBuilder::new(task.name().to_owned());
+    let n = task.num_vertices();
+    // Min incoming separation per vertex.
+    let mut min_in: Vec<Option<Q>> = vec![None; n];
+    for v in task.vertex_ids() {
+        for e in task.out_edges(v) {
+            let slot = &mut min_in[e.to.index()];
+            *slot = Some(match *slot {
+                None => e.separation,
+                Some(m) => m.min(e.separation),
+            });
+        }
+    }
+    let ids: Vec<VertexId> = task
+        .vertex_ids()
+        .map(|v| {
+            let w = task.wcet(v) * factor;
+            let id = b.vertex(task.vertex(v).label.clone(), w);
+            if let Some(df) = deadline_factor {
+                if let Some(m) = min_in[v.index()] {
+                    b.set_deadline(id, df * m);
+                }
+            }
+            id
+        })
+        .collect();
+    for v in task.vertex_ids() {
+        for e in task.out_edges(v) {
+            b.edge(ids[v.index()], ids[e.to.index()], e.separation);
+        }
+    }
+    b.build().expect("rescaled graph must be valid")
+}
+
+/// Generates a set of `count` tasks whose utilizations sum to
+/// `total_utilization` (uniform split), for FIFO multiplex experiments.
+pub fn generate_task_set(
+    cfg: &DrtGenConfig,
+    count: usize,
+    total_utilization: Q,
+    seed: u64,
+) -> Vec<DrtTask> {
+    assert!(count >= 1);
+    let share = total_utilization / Q::int(count as i128);
+    (0..count)
+        .map(|i| {
+            let mut c = cfg.clone();
+            c.target_utilization = Some(share);
+            generate_drt(&c, seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srtw_minplus::q;
+    use srtw_workload::long_run_utilization;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = DrtGenConfig::default();
+        let a = generate_drt(&cfg, 1);
+        let b = generate_drt(&cfg, 1);
+        assert_eq!(a, b);
+        let c = generate_drt(&cfg, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hits_target_utilization_exactly() {
+        for seed in 0..20 {
+            let cfg = DrtGenConfig {
+                vertices: 6,
+                extra_edges: 5,
+                target_utilization: Some(q(7, 10)),
+                ..DrtGenConfig::default()
+            };
+            let t = generate_drt(&cfg, seed);
+            assert_eq!(long_run_utilization(&t), q(7, 10), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ring_always_cyclic_and_connected() {
+        for n in 1..10 {
+            let cfg = DrtGenConfig {
+                vertices: n,
+                extra_edges: 0,
+                ..DrtGenConfig::default()
+            };
+            let t = generate_drt(&cfg, 99);
+            assert_eq!(t.num_vertices(), n);
+            assert!(t.has_cycle());
+            assert_eq!(t.num_edges(), n);
+        }
+    }
+
+    #[test]
+    fn deadlines_assigned_when_requested() {
+        let cfg = DrtGenConfig {
+            vertices: 5,
+            deadline_factor: Some(q(1, 2)),
+            target_utilization: Some(q(1, 2)),
+            ..DrtGenConfig::default()
+        };
+        let t = generate_drt(&cfg, 5);
+        for v in t.vertex_ids() {
+            let d = t.deadline(v).expect("deadline assigned");
+            assert!(d.is_positive());
+        }
+    }
+
+    #[test]
+    fn task_set_split_utilization() {
+        let cfg = DrtGenConfig {
+            vertices: 4,
+            ..DrtGenConfig::default()
+        };
+        let set = generate_task_set(&cfg, 3, q(3, 4), 7);
+        assert_eq!(set.len(), 3);
+        let total: Q = set
+            .iter()
+            .map(long_run_utilization)
+            .fold(Q::ZERO, |a, b| a + b);
+        assert_eq!(total, q(3, 4));
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let cfg = DrtGenConfig {
+            vertices: 1,
+            extra_edges: 0,
+            ..DrtGenConfig::default()
+        };
+        let t = generate_drt(&cfg, 3);
+        assert_eq!(t.num_vertices(), 1);
+        assert!(t.has_cycle()); // self-loop ring
+    }
+}

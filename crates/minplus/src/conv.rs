@@ -1,0 +1,671 @@
+//! (min,+) convolution and deconvolution.
+//!
+//! The convolution `f ⊗ g (t) = inf_{0≤s≤t} f(s) + g(t−s)` and deconvolution
+//! `f ⊘ g (t) = sup_{u≥0} f(t+u) − g(u)` are the workhorses of network /
+//! real-time calculus: `⊗` composes service curves, `⊘` propagates arrival
+//! curves through servers.
+//!
+//! Following the *finitary* approach (exact computation on a bounded prefix,
+//! which is all a delay analysis inside a busy window ever inspects), this
+//! module provides:
+//!
+//! * [`Curve::conv_upto`] — exact on `[0, h]` for **any** operands,
+//! * [`Curve::conv`] — exact everywhere for ultimately-affine operands,
+//! * [`Curve::deconv_upto`] — exact on `[0, h]` given a sufficient
+//!   optimisation horizon for the hidden supremum,
+//! * [`Curve::deconv`] — deconvolution with an automatically derived
+//!   sufficient horizon for stable operand pairs.
+
+use crate::curve::{common_check_horizon, Curve, Piece, Tail};
+use crate::error::CurveError;
+use crate::ops::TailInfo;
+use crate::ratio::Q;
+
+/// An affine fragment defined on the half-open interval `[start, end)`,
+/// with value `v` at `start` and slope `r`. Used as a convolution /
+/// deconvolution candidate before envelope computation.
+#[derive(Debug, Clone, Copy)]
+struct Part {
+    start: Q,
+    end: Q,
+    v: Q,
+    r: Q,
+}
+
+impl Part {
+    fn eval(&self, t: Q) -> Q {
+        self.v + self.r * (t - self.start)
+    }
+}
+
+/// Explicit pieces of `c` truncated to `[0, h]`, as [`Part`]s carrying their
+/// extents.
+fn parts_of(c: &Curve, h: Q) -> Vec<Part> {
+    let pieces = c.pieces_upto(h);
+    let mut out = Vec::with_capacity(pieces.len());
+    for (i, p) in pieces.iter().enumerate() {
+        if p.start > h {
+            break;
+        }
+        let end = pieces
+            .get(i + 1)
+            .map(|n| n.start)
+            .unwrap_or_else(|| h + Q::ONE)
+            .min(h + Q::ONE);
+        out.push(Part {
+            start: p.start,
+            end,
+            v: p.value,
+            r: p.slope,
+        });
+    }
+    out
+}
+
+/// Lower or upper envelope of a set of partial affine fragments over
+/// `[0, h]`. Every point of `[0, h]` must be covered by at least one part.
+/// The envelope is computed per elementary interval (between consecutive
+/// part endpoints), where the active parts are full lines.
+fn envelope(parts: &[Part], h: Q, upper: bool) -> Vec<Piece> {
+    let mut events: Vec<Q> = parts
+        .iter()
+        .flat_map(|p| [p.start, p.end])
+        .filter(|&t| !t.is_negative() && t <= h)
+        .collect();
+    events.push(Q::ZERO);
+    events.push(h);
+    events.sort();
+    events.dedup();
+
+    let mut out: Vec<Piece> = Vec::new();
+    let push = |p: Piece, out: &mut Vec<Piece>| {
+        if let Some(last) = out.last() {
+            if last.slope == p.slope && last.eval(p.start) == p.value {
+                return;
+            }
+        }
+        out.push(p);
+    };
+
+    for w in events.windows(2) {
+        let (x1, x2) = (w[0], w[1]);
+        // Active parts cover the whole elementary interval; within it each
+        // is a full line, stored as (value at x1, slope).
+        let lines: Vec<(Q, Q)> = parts
+            .iter()
+            .filter(|p| p.start <= x1 && p.end >= x2)
+            .map(|p| (p.eval(x1), p.r))
+            .collect();
+        assert!(
+            !lines.is_empty(),
+            "envelope: no candidate covers [{x1}, {x2})"
+        );
+        let value_at = |line: (Q, Q), x: Q| line.0 + line.1 * (x - x1);
+        // Walk the envelope from x1 towards x2, re-selecting the extreme
+        // line at every switch point (ties broken by slope so the envelope
+        // stays extreme after the tie).
+        let mut x = x1;
+        loop {
+            let cur = lines
+                .iter()
+                .copied()
+                .map(|l| (value_at(l, x), l.1))
+                .reduce(|a, b| {
+                    let a_better = if upper {
+                        a.0 > b.0 || (a.0 == b.0 && a.1 > b.1)
+                    } else {
+                        a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
+                    };
+                    if a_better {
+                        a
+                    } else {
+                        b
+                    }
+                })
+                .expect("non-empty");
+            push(Piece::new(x, cur.0, cur.1), &mut out);
+            // Earliest strict crossing by a line that overtakes `cur`.
+            let mut next_x: Option<Q> = None;
+            for &l in &lines {
+                let overtakes = if upper { l.1 > cur.1 } else { l.1 < cur.1 };
+                if !overtakes {
+                    continue;
+                }
+                let vx = value_at(l, x);
+                // `cur` is extreme at x, so the candidate sits on the wrong
+                // side now and can only cross later.
+                let gap = if upper { cur.0 - vx } else { vx - cur.0 };
+                if gap.is_negative() || gap.is_zero() {
+                    continue; // ties at x are resolved by the re-selection
+                }
+                let cross = x + gap / (cur.1 - l.1).abs();
+                if cross > x && cross < x2 {
+                    next_x = Some(match next_x {
+                        None => cross,
+                        Some(b) => b.min(cross),
+                    });
+                }
+            }
+            match next_x {
+                None => break,
+                Some(nx) => x = nx,
+            }
+        }
+    }
+    // The loop above covers [0, h) with right-continuous pieces; the point
+    // `h` itself needs its own evaluation (the true function may jump at a
+    // part-domain boundary landing exactly on `h`).
+    let at_h = parts
+        .iter()
+        .filter(|p| p.start <= h && p.end > h)
+        .map(|p| (p.eval(h), p.r))
+        .reduce(|a, b| {
+            let a_better = if upper {
+                a.0 > b.0 || (a.0 == b.0 && a.1 > b.1)
+            } else {
+                a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
+            };
+            if a_better {
+                a
+            } else {
+                b
+            }
+        });
+    if let Some((v, r)) = at_h {
+        push(Piece::new(h, v, r), &mut out);
+    }
+    out
+}
+
+impl Curve {
+    /// (min,+) convolution `self ⊗ other`, **exact on `[0, h]`**. Beyond `h`
+    /// the returned curve continues affinely from its last piece and must
+    /// not be relied upon.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use srtw_minplus::{Curve, Q, q};
+    /// // Composing two rate-latency servers adds latencies and takes the
+    /// // slower rate.
+    /// let b1 = Curve::rate_latency(Q::int(2), Q::int(1));
+    /// let b2 = Curve::rate_latency(Q::int(3), Q::int(2));
+    /// let c = b1.conv_upto(&b2, Q::int(50));
+    /// for t in 0..=50 {
+    ///     let t = Q::int(t);
+    ///     let expect = Curve::rate_latency(Q::int(2), Q::int(3)).eval(t);
+    ///     assert_eq!(c.eval(t), expect);
+    /// }
+    /// ```
+    #[must_use]
+    pub fn conv_upto(&self, other: &Curve, h: Q) -> Curve {
+        assert!(!h.is_negative(), "conv_upto with negative horizon");
+        let pa = parts_of(self, h);
+        let pb = parts_of(other, h);
+        let mut cand: Vec<Part> = Vec::with_capacity(pa.len() * pb.len() * 2);
+        for a in &pa {
+            for b in &pb {
+                let t0 = a.start + b.start;
+                if t0 > h {
+                    continue;
+                }
+                let t1 = a.end + b.end; // exclusive
+                let v0 = a.v + b.v;
+                let (rmin, rmax, len_min) = if a.r <= b.r {
+                    (a.r, b.r, a.end - a.start)
+                } else {
+                    (b.r, a.r, b.end - b.start)
+                };
+                let mid = t0 + len_min;
+                if mid >= t1 {
+                    cand.push(Part {
+                        start: t0,
+                        end: t1,
+                        v: v0,
+                        r: rmin,
+                    });
+                } else {
+                    cand.push(Part {
+                        start: t0,
+                        end: mid,
+                        v: v0,
+                        r: rmin,
+                    });
+                    cand.push(Part {
+                        start: mid,
+                        end: t1,
+                        v: v0 + rmin * len_min,
+                        r: rmax,
+                    });
+                }
+            }
+        }
+        let pieces = envelope(&cand, h, false);
+        Curve::new(pieces, Tail::Affine).expect("conv_upto produced an invalid curve")
+    }
+
+    /// (min,+) convolution, exact everywhere, for two **ultimately affine**
+    /// curves. Returns [`CurveError::Unsupported`] if either operand has a
+    /// periodic tail with positive oscillation (use [`Curve::conv_upto`]
+    /// with an explicit horizon instead).
+    pub fn conv(&self, other: &Curve) -> Result<Curve, CurveError> {
+        if matches!(self.tail(), Tail::Periodic { .. })
+            || matches!(other.tail(), Tail::Periodic { .. })
+        {
+            return Err(CurveError::Unsupported {
+                reason: "exact tail-to-infinity convolution requires ultimately affine operands",
+            });
+        }
+        // Beyond the sum of transient lengths every unbounded candidate is
+        // affine with slope ≥ min(ra, rb); the envelope settles once the
+        // minimum-rate line undercuts every other candidate. A safe horizon:
+        // twice the transient sum plus the largest crossing offset, found by
+        // growing the horizon until the final slope matches.
+        let ra = self.rate();
+        let rb = other.rate();
+        let target = ra.min(rb);
+        let mut h = (self.tail_start() + other.tail_start() + Q::ONE) * Q::TWO;
+        for _ in 0..64 {
+            let c = self.conv_upto(other, h);
+            let last = *c.pieces().last().expect("non-empty");
+            if last.slope == target && last.start < h {
+                // The last explicit piece already runs at the long-run rate;
+                // verify it persists by checking a doubled horizon agrees.
+                let c2 = self.conv_upto(other, h * Q::TWO);
+                if c2.eval(h * Q::TWO) == c.eval_extended(h * Q::TWO) {
+                    return Ok(c);
+                }
+            }
+            h *= Q::TWO;
+        }
+        Err(CurveError::Unsupported {
+            reason: "convolution did not settle (is a rate negative or inconsistent?)",
+        })
+    }
+
+    /// Evaluates the affine extension of the last explicit piece at `t`
+    /// (used internally to confirm tail settlement).
+    fn eval_extended(&self, t: Q) -> Q {
+        self.pieces().last().expect("non-empty").eval(t)
+    }
+
+    /// (min,+) deconvolution `self ⊘ other`, exact on `[0, h]`, with the
+    /// inner supremum `sup_u f(t+u) − g(u)` searched over `u ∈ [0, u_cap]`.
+    ///
+    /// The caller must supply a `u_cap` beyond which the supremum cannot
+    /// improve (for a stable system: any bound on the maximum busy-window
+    /// length). [`Curve::deconv`] derives such a cap automatically.
+    ///
+    /// The computation decomposes the bivariate objective by operand piece
+    /// pairs: within each feasibility region the objective is affine in
+    /// `u`, so its supremum is a value (or one-sided limit) at one of four
+    /// canonical points; each contributes an affine candidate in `t`, and
+    /// the result is their exact upper envelope.
+    #[must_use]
+    pub fn deconv_upto(&self, other: &Curve, h: Q, u_cap: Q) -> Curve {
+        assert!(!h.is_negative() && !u_cap.is_negative());
+        let pa = parts_of(self, h + u_cap);
+        let pb = parts_of(other, u_cap);
+
+        let mut cand: Vec<Part> = Vec::new();
+        let mut add = |start: Q, end: Q, v_at_start: Q, r: Q| {
+            let s = start.max(Q::ZERO);
+            let e = end.min(h + Q::ONE);
+            if s < e {
+                cand.push(Part {
+                    start: s,
+                    end: e,
+                    v: v_at_start + r * (s - start),
+                    r,
+                });
+            }
+        };
+
+        for a in &pa {
+            let (xk, xk1) = (a.start, a.end);
+            for b in &pb {
+                let ulo = b.start;
+                if ulo > u_cap {
+                    continue;
+                }
+                let uhi = b.end.min(u_cap);
+                if uhi < ulo {
+                    continue;
+                }
+                let a_at_xk = a.eval(xk);
+                let a_at_xk1 = a.eval(xk1);
+                let b_at_ulo = b.eval(ulo);
+                let b_at_uhi = b.eval(uhi);
+                // Within the region u ∈ [ulo, uhi], t+u ∈ [xk, xk1] the
+                // objective is affine in u; its supremum for fixed t sits
+                // at one of four canonical points, each contributing an
+                // affine candidate in t:
+                // 1. u pinned at the region's lower end.
+                add(xk - ulo, xk1 - ulo, a_at_xk - b_at_ulo, a.r);
+                // 2. u approaching the region's upper end (limit value).
+                add(xk - uhi, xk1 - uhi, a_at_xk - b_at_uhi, a.r);
+                // 3. t+u pinned at the a-piece's left boundary: u = xk − t.
+                add(xk - uhi, xk - ulo, a_at_xk - b_at_uhi, b.r);
+                // 4. t+u approaching the a-piece's right boundary:
+                //    u = (xk1 − t)⁻ (limit value).
+                add(xk1 - uhi, xk1 - ulo, a_at_xk1 - b_at_uhi, b.r);
+            }
+        }
+        if cand.is_empty() {
+            return Curve::constant(self.eval(Q::ZERO) - other.eval(Q::ZERO));
+        }
+        let pieces = envelope(&cand, h, true);
+        Curve::new(pieces, Tail::Affine).expect("deconv_upto produced an invalid curve")
+    }
+
+    /// (min,+) deconvolution with an automatically derived inner-supremum
+    /// horizon, exact on `[0, h]`.
+    ///
+    /// Returns [`CurveError::Unsupported`] when `self.rate() > other.rate()`
+    /// (the supremum diverges: the system is unstable).
+    pub fn deconv(&self, other: &Curve, h: Q) -> Result<Curve, CurveError> {
+        let ta = TailInfo::of(self);
+        let tb = TailInfo::of(other);
+        if ta.rate > tb.rate {
+            return Err(CurveError::Unsupported {
+                reason: "deconvolution diverges: left operand grows faster than right",
+            });
+        }
+        let u_cap = if ta.rate == tb.rate {
+            // The objective is eventually periodic in u; one aligned common
+            // period beyond both tails suffices.
+            common_check_horizon(self, other) + h
+        } else {
+            // Negative drift in u: beyond the settle point the objective is
+            // below its value at small u. Bound via the tail lines.
+            let (aup, ar) = ta.upper_line();
+            let (blo, br) = tb.lower_line();
+            // f(t+u) − g(u) ≤ aup + ar·(t+u) − blo − br·u; compare with the
+            // value at u = 0 lower bound: f(t) − g(0) ≥ (alo + ar·t) − g(0).
+            let (alo, _) = ta.lower_line();
+            let g0 = other.eval(Q::ZERO);
+            // Solve aup + ar(t+u) − blo − br·u ≤ alo + ar·t − g0 for u:
+            // u ≥ (aup − blo − alo + g0) / (br − ar)
+            let bound = (aup - blo - alo + g0) / (br - ar);
+            bound.max(ta.s).max(tb.s) + Q::ONE
+        };
+        Ok(self.deconv_upto(other, h, u_cap))
+    }
+}
+
+impl Curve {
+    /// Finitary sub-additive closure `f* = min_{n ≥ 1} f^{⊗n}`, exact on
+    /// `[0, h]`.
+    ///
+    /// The closure is the tightest sub-additive curve below `f` (with the
+    /// `n ≥ 1` convention, so `f*(0) = f(0)`); it is the canonical way to
+    /// tighten an upper arrival curve. Computed by repeated squaring
+    /// (`c ← min(c, c ⊗ c)`), which converges on the finite horizon in
+    /// logarithmically many steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iteration fails to converge within 64 doublings
+    /// (cannot happen for monotone curves with `f(0) ≥ 0`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use srtw_minplus::{Curve, Q, q};
+    /// // A leaky-bucket pair: min(γ_{b1,r1}, γ_{b2,r2}) is generally not
+    /// // sub-additive; its closure is the tight concave envelope.
+    /// let f = Curve::affine(Q::int(4), q(1, 4)).pointwise_min(&Curve::affine(Q::ONE, Q::ONE));
+    /// let g = f.subadditive_closure_upto(Q::int(40));
+    /// for i in 0..=40 {
+    ///     let t = Q::int(i);
+    ///     assert!(g.eval(t) <= f.eval(t));
+    /// }
+    /// // Sub-additivity on the horizon:
+    /// for a in 0..=20 {
+    ///     for b in 0..=20 {
+    ///         let (a, b) = (Q::int(a), Q::int(b));
+    ///         assert!(g.eval(a + b) <= g.eval(a) + g.eval(b));
+    ///     }
+    /// }
+    /// ```
+    #[must_use]
+    pub fn subadditive_closure_upto(&self, h: Q) -> Curve {
+        // Equality on [0, h] only: beyond the horizon conv_upto's affine
+        // extension carries no meaning and must not gate convergence.
+        let equal_upto = |a: &Curve, b: &Curve| -> bool {
+            let mut ts: Vec<Q> = a
+                .pieces_upto(h)
+                .iter()
+                .chain(b.pieces_upto(h).iter())
+                .map(|p| p.start)
+                .filter(|&t| t <= h)
+                .collect();
+            ts.push(h);
+            ts.sort();
+            ts.dedup();
+            ts.iter()
+                .all(|&t| a.eval(t) == b.eval(t) && a.eval_left(t) == b.eval_left(t))
+        };
+        let mut c = self.clone();
+        for _ in 0..64 {
+            let next = c.pointwise_min(&c.conv_upto(&c, h));
+            if equal_upto(&next, &c) {
+                return c;
+            }
+            c = next;
+        }
+        panic!("subadditive closure did not converge within 64 doublings");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio::q;
+
+    /// Exact brute-force convolution: the infimum over a closed interval of
+    /// a piecewise-affine objective is attained at a breakpoint of either
+    /// operand or approached at its left limit, so evaluating value and
+    /// left-limit combinations at all such candidates is exact.
+    fn brute_conv(f: &Curve, g: &Curve, t: Q, _den: i128) -> Q {
+        let mut cands: Vec<Q> = vec![Q::ZERO, t];
+        for p in f.pieces_upto(t) {
+            if p.start <= t {
+                cands.push(p.start);
+            }
+        }
+        for p in g.pieces_upto(t) {
+            if p.start <= t {
+                cands.push(p.start + Q::ZERO); // g breakpoint at u = start
+            }
+        }
+        let mut best: Option<Q> = None;
+        let probe = |v: Q, best: &mut Option<Q>| {
+            *best = Some(match *best {
+                None => v,
+                Some(b) => b.min(v),
+            });
+        };
+        for &c in &cands {
+            // Candidate split points s = c (an f breakpoint) and s = t − c
+            // (aligning a g breakpoint), with one-sided limits.
+            for s in [c, t - c] {
+                if s.is_negative() || s > t {
+                    continue;
+                }
+                let u = t - s;
+                probe(f.eval(s) + g.eval(u), &mut best);
+                probe(f.eval_left(s) + g.eval(u), &mut best);
+                probe(f.eval(s) + g.eval_left(u), &mut best);
+            }
+        }
+        best.expect("non-empty candidates")
+    }
+
+    /// Brute-force deconvolution on a fine rational grid.
+    fn brute_deconv(f: &Curve, g: &Curve, t: Q, u_cap: Q, den: i128) -> Q {
+        let steps = (u_cap * Q::int(den)).floor();
+        let mut best = f.eval(t) - g.eval(Q::ZERO);
+        for i in 0..=steps {
+            let u = q(i, den).min(u_cap);
+            best = best.max(f.eval(t + u) - g.eval(u));
+        }
+        best
+    }
+
+    #[test]
+    fn conv_rate_latency_pair_is_rate_latency() {
+        let b1 = Curve::rate_latency(Q::int(2), Q::int(1));
+        let b2 = Curve::rate_latency(Q::int(3), Q::int(2));
+        let c = b1.conv(&b2).unwrap();
+        let expect = Curve::rate_latency(Q::int(2), Q::int(3));
+        for i in 0..200 {
+            let t = q(i, 2);
+            assert_eq!(c.eval(t), expect.eval(t), "at t = {t}");
+        }
+        assert_eq!(c.rate(), Q::int(2));
+    }
+
+    #[test]
+    fn conv_with_zero_latency_identity_like() {
+        // β ⊗ (affine through origin with huge rate) ≈ β on the prefix.
+        let b = Curve::rate_latency(Q::int(2), Q::int(3));
+        let id = Curve::affine(Q::ZERO, Q::int(1000));
+        let c = b.conv_upto(&id, Q::int(40));
+        for i in 0..80 {
+            let t = q(i, 2);
+            assert_eq!(c.eval(t), brute_conv(&b, &id, t, 8), "at t = {t}");
+        }
+    }
+
+    #[test]
+    fn conv_upto_matches_brute_force_nonconvex() {
+        // Staircase (non-convex) against rate-latency.
+        let a = Curve::staircase(Q::int(4), Q::int(3));
+        let b = Curve::rate_latency(Q::ONE, Q::int(2));
+        let c = a.conv_upto(&b, Q::int(24));
+        for i in 0..=96 {
+            let t = q(i, 4);
+            assert_eq!(c.eval(t), brute_conv(&a, &b, t, 8), "at t = {t}");
+        }
+    }
+
+    #[test]
+    fn conv_upto_two_staircases() {
+        let a = Curve::staircase(Q::int(3), Q::int(2));
+        let b = Curve::staircase(Q::int(5), Q::ONE);
+        let c = a.conv_upto(&b, Q::int(30));
+        for i in 0..=120 {
+            let t = q(i, 4);
+            assert_eq!(c.eval(t), brute_conv(&a, &b, t, 4), "at t = {t}");
+        }
+    }
+
+    #[test]
+    fn conv_is_commutative_on_prefix() {
+        let a = Curve::staircase(Q::int(4), Q::int(3)).shift_up(Q::ONE);
+        let b = Curve::rate_latency(q(3, 2), Q::int(5));
+        let ab = a.conv_upto(&b, Q::int(40));
+        let ba = b.conv_upto(&a, Q::int(40));
+        for i in 0..=160 {
+            let t = q(i, 4);
+            assert_eq!(ab.eval(t), ba.eval(t), "at t = {t}");
+        }
+    }
+
+    #[test]
+    fn conv_rejects_periodic_tails() {
+        let a = Curve::staircase(Q::int(4), Q::int(3));
+        let b = Curve::rate_latency(Q::ONE, Q::int(2));
+        assert!(matches!(a.conv(&b), Err(CurveError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn deconv_upto_matches_brute_force() {
+        // Output arrival curve: α ⊘ β.
+        let alpha = Curve::staircase(Q::int(5), Q::int(2));
+        let beta = Curve::rate_latency(Q::ONE, Q::int(3)); // rate 1 > 2/5
+        let d = alpha.deconv(&beta, Q::int(20)).unwrap();
+        for i in 0..=80 {
+            let t = q(i, 4);
+            let brute = brute_deconv(&alpha, &beta, t, Q::int(60), 4);
+            assert_eq!(d.eval(t), brute, "at t = {t}");
+        }
+    }
+
+    #[test]
+    fn deconv_equal_rates() {
+        let alpha = Curve::staircase(Q::int(4), Q::int(2));
+        let beta = Curve::affine(Q::ZERO, q(1, 2));
+        let d = alpha.deconv(&beta, Q::int(16)).unwrap();
+        for i in 0..=64 {
+            let t = q(i, 4);
+            let brute = brute_deconv(&alpha, &beta, t, Q::int(80), 4);
+            assert_eq!(d.eval(t), brute, "at t = {t}");
+        }
+    }
+
+    #[test]
+    fn deconv_diverging_rejected() {
+        let alpha = Curve::affine(Q::ZERO, Q::int(2));
+        let beta = Curve::affine(Q::ZERO, Q::ONE);
+        assert!(matches!(
+            alpha.deconv(&beta, Q::int(10)),
+            Err(CurveError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn conv_monotone_in_operands() {
+        // f ≤ f' ⇒ f ⊗ g ≤ f' ⊗ g (checked pointwise on a prefix).
+        let f = Curve::rate_latency(Q::ONE, Q::int(4));
+        let f2 = Curve::rate_latency(Q::ONE, Q::int(2)); // f ≤ f2
+        let g = Curve::staircase(Q::int(3), Q::int(2));
+        let c1 = f.conv_upto(&g, Q::int(30));
+        let c2 = f2.conv_upto(&g, Q::int(30));
+        for i in 0..=120 {
+            let t = q(i, 4);
+            assert!(c1.eval(t) <= c2.eval(t), "at t = {t}");
+        }
+    }
+
+    #[test]
+    fn closure_is_subadditive_and_idempotent() {
+        let f = Curve::affine(Q::int(5), q(1, 5))
+            .pointwise_min(&Curve::affine(Q::ONE, Q::int(2)));
+        let h = Q::int(30);
+        let g = f.subadditive_closure_upto(h);
+        for a in 0..=60 {
+            for b in 0..=60 {
+                let (a, b) = (q(a, 2), q(b, 2));
+                if a + b > h {
+                    continue;
+                }
+                assert!(
+                    g.eval(a + b) <= g.eval(a) + g.eval(b),
+                    "not subadditive at {a} + {b}"
+                );
+                assert!(g.eval(a) <= f.eval(a));
+            }
+        }
+        let gg = g.subadditive_closure_upto(h);
+        for i in 0..=60 {
+            let t = q(i, 2);
+            assert_eq!(g.eval(t), gg.eval(t), "not idempotent at {t}");
+        }
+    }
+
+    #[test]
+    fn closure_of_subadditive_curve_is_identity() {
+        // Staircases are sub-additive: the closure changes nothing.
+        let f = Curve::staircase(Q::int(5), Q::int(2));
+        let g = f.subadditive_closure_upto(Q::int(40));
+        for i in 0..=80 {
+            let t = q(i, 2);
+            if t > Q::int(40) {
+                break;
+            }
+            assert_eq!(g.eval(t), f.eval(t), "at {t}");
+        }
+    }
+}

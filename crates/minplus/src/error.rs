@@ -1,0 +1,74 @@
+//! Error types for curve construction and algebra.
+
+use crate::ratio::Q;
+use std::fmt;
+
+/// Errors produced when constructing or combining curves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CurveError {
+    /// A curve must contain at least one piece.
+    Empty,
+    /// The first piece must start at time zero.
+    FirstPieceNotAtZero {
+        /// The offending start time.
+        start: Q,
+    },
+    /// Piece start times must be strictly increasing.
+    NonIncreasingStarts {
+        /// Index of the piece whose start is not after its predecessor's.
+        index: usize,
+    },
+    /// Curves must be non-decreasing: every slope must be `>= 0`.
+    NegativeSlope {
+        /// Index of the offending piece.
+        index: usize,
+        /// The offending slope.
+        slope: Q,
+    },
+    /// Curves must be non-decreasing: a piece's start value may not be below
+    /// the left limit of its predecessor.
+    DecreasingJump {
+        /// Index of the piece that jumps down.
+        index: usize,
+    },
+    /// The periodic tail descriptor is inconsistent (bad pattern index,
+    /// non-positive period, negative increment, or a pattern that would make
+    /// the periodic extension decrease).
+    InvalidPeriodicTail {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The requested operation needs a strictly positive long-run rate (or
+    /// other property) that the operand lacks.
+    Unsupported {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveError::Empty => write!(f, "curve must contain at least one piece"),
+            CurveError::FirstPieceNotAtZero { start } => {
+                write!(f, "first piece must start at 0, found {start}")
+            }
+            CurveError::NonIncreasingStarts { index } => {
+                write!(f, "piece {index} does not start after its predecessor")
+            }
+            CurveError::NegativeSlope { index, slope } => {
+                write!(f, "piece {index} has negative slope {slope}")
+            }
+            CurveError::DecreasingJump { index } => {
+                write!(f, "piece {index} jumps below the previous piece's left limit")
+            }
+            CurveError::InvalidPeriodicTail { reason } => {
+                write!(f, "invalid periodic tail: {reason}")
+            }
+            CurveError::Unsupported { reason } => write!(f, "unsupported operation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CurveError {}

@@ -1,0 +1,683 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! [`Q`] is the scalar type used for every time instant, workload amount,
+//! slope, and bound in this workspace. Values are kept normalized
+//! (`gcd(num, den) == 1`, `den > 0`) so that equality and hashing are
+//! structural.
+//!
+//! # Overflow
+//!
+//! Arithmetic reduces by greatest common divisors before multiplying, which
+//! keeps intermediate products far below `i128::MAX` for every realistic
+//! real-time-calculus instance (task parameters fit comfortably in 64 bits).
+//! If a product nevertheless overflows, operations panic with a clear
+//! message rather than returning silently wrong bounds; `checked_*`
+//! variants are provided for callers that prefer a recoverable error.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number `num / den` with `den > 0` and `gcd(num, den) == 1`.
+///
+/// # Examples
+///
+/// ```
+/// use srtw_minplus::Q;
+///
+/// let a = Q::new(1, 3);
+/// let b = Q::new(1, 6);
+/// assert_eq!(a + b, Q::new(1, 2));
+/// assert!(a > b);
+/// assert_eq!((a * b).to_string(), "1/18");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Q {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor (always non-negative).
+#[inline]
+pub(crate) fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple (panics on overflow).
+#[inline]
+pub(crate) fn lcm(a: i128, b: i128) -> i128 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b)).checked_mul(b).expect("lcm overflow").abs()
+}
+
+impl Q {
+    /// The rational zero.
+    pub const ZERO: Q = Q { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Q = Q { num: 1, den: 1 };
+    /// The rational two.
+    pub const TWO: Q = Q { num: 2, den: 1 };
+
+    /// Creates a new rational `num / den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use srtw_minplus::Q;
+    /// assert_eq!(Q::new(2, 4), Q::new(1, 2));
+    /// assert_eq!(Q::new(3, -6), Q::new(-1, 2));
+    /// ```
+    #[inline]
+    pub fn new(num: i128, den: i128) -> Q {
+        Q::checked_new(num, den).expect("Q::new: zero denominator")
+    }
+
+    /// Creates a new rational, returning `None` if `den == 0`.
+    pub fn checked_new(num: i128, den: i128) -> Option<Q> {
+        if den == 0 {
+            return None;
+        }
+        let g = gcd(num, den);
+        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Some(Q { num, den })
+    }
+
+    /// Creates an integer-valued rational.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use srtw_minplus::Q;
+    /// assert_eq!(Q::int(7), Q::new(7, 1));
+    /// ```
+    #[inline]
+    pub const fn int(n: i128) -> Q {
+        Q { num: n, den: 1 }
+    }
+
+    /// The numerator of the normalized fraction.
+    #[inline]
+    pub const fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator of the normalized fraction (always positive).
+    #[inline]
+    pub const fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` if the value is an integer.
+    #[inline]
+    pub const fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Returns `true` if the value is exactly zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// The sign of the value: `-1`, `0`, or `1`.
+    #[inline]
+    pub const fn signum(self) -> i128 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Q {
+        Q {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// The largest integer `n` with `n <= self`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use srtw_minplus::Q;
+    /// assert_eq!(Q::new(7, 2).floor(), 3);
+    /// assert_eq!(Q::new(-7, 2).floor(), -4);
+    /// ```
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// The smallest integer `n` with `n >= self`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use srtw_minplus::Q;
+    /// assert_eq!(Q::new(7, 2).ceil(), 4);
+    /// assert_eq!(Q::new(-7, 2).ceil(), -3);
+    /// ```
+    pub fn ceil(self) -> i128 {
+        -(-self.num).div_euclid(self.den)
+    }
+
+    /// The fractional part `self - floor(self)`, in `[0, 1)`.
+    pub fn fract(self) -> Q {
+        self - Q::int(self.floor())
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Q) -> Option<Q> {
+        // a/b + c/d = (a*(d/g) + c*(b/g)) / (b*(d/g)) with g = gcd(b, d).
+        let g = gcd(self.den, rhs.den);
+        let db = self.den / g;
+        let dd = rhs.den / g;
+        let num = self
+            .num
+            .checked_mul(dd)?
+            .checked_add(rhs.num.checked_mul(db)?)?;
+        let den = self.den.checked_mul(dd)?;
+        Q::checked_new(num, den)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Q) -> Option<Q> {
+        self.checked_add(Q {
+            num: rhs.num.checked_neg()?,
+            den: rhs.den,
+        })
+    }
+
+    /// Checked multiplication.
+    pub fn checked_mul(self, rhs: Q) -> Option<Q> {
+        // Cross-reduce before multiplying to keep products small.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Q::checked_new(num, den)
+    }
+
+    /// Checked division. Returns `None` on division by zero or overflow.
+    pub fn checked_div(self, rhs: Q) -> Option<Q> {
+        if rhs.is_zero() {
+            return None;
+        }
+        self.checked_mul(Q {
+            num: rhs.den,
+            den: rhs.num,
+        }
+        .normalized())
+    }
+
+    #[inline]
+    fn normalized(self) -> Q {
+        Q::new(self.num, self.den)
+    }
+
+    /// Returns the smaller of `self` and `other`.
+    #[inline]
+    pub fn min(self, other: Q) -> Q {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of `self` and `other`.
+    #[inline]
+    pub fn max(self, other: Q) -> Q {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Clamps to be at least zero: `max(self, 0)`.
+    #[inline]
+    pub fn clamp_nonneg(self) -> Q {
+        self.max(Q::ZERO)
+    }
+
+    /// Lossy conversion to `f64` (for display and plotting only — never used
+    /// inside an analysis).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// The reciprocal `1 / self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn recip(self) -> Q {
+        assert!(!self.is_zero(), "Q::recip of zero");
+        Q::new(self.den, self.num)
+    }
+
+    /// Smallest common "grid" of two positive rationals: the least positive
+    /// rational that is an integer multiple of both. Used to align periodic
+    /// curve tails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is not strictly positive.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use srtw_minplus::Q;
+    /// assert_eq!(Q::lcm(Q::new(1, 2), Q::new(1, 3)), Q::int(1));
+    /// assert_eq!(Q::lcm(Q::int(4), Q::int(6)), Q::int(12));
+    /// ```
+    pub fn lcm(a: Q, b: Q) -> Q {
+        assert!(a.is_positive() && b.is_positive(), "Q::lcm needs positive arguments");
+        // lcm(n1/d1, n2/d2) = lcm(n1*d2, n2*d1) / (d1*d2)
+        let x = a.num.checked_mul(b.den).expect("Q::lcm overflow");
+        let y = b.num.checked_mul(a.den).expect("Q::lcm overflow");
+        let den = a.den.checked_mul(b.den).expect("Q::lcm overflow");
+        Q::new(lcm(x, y), den)
+    }
+}
+
+impl Default for Q {
+    fn default() -> Self {
+        Q::ZERO
+    }
+}
+
+impl PartialOrd for Q {
+    #[inline]
+    fn partial_cmp(&self, other: &Q) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Q {
+    fn cmp(&self, other: &Q) -> Ordering {
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
+        // Compare a/b vs c/d by (a/g1)*(d/g2) vs (c/g1)*(b/g2),
+        // reducing by cross-gcds first to avoid overflow.
+        let g1 = gcd(self.num, other.num).max(1);
+        let g2 = gcd(self.den, other.den).max(1);
+        let lhs = (self.num / g1)
+            .checked_mul(other.den / g2)
+            .expect("Q::cmp overflow");
+        let rhs = (other.num / g1)
+            .checked_mul(self.den / g2)
+            .expect("Q::cmp overflow");
+        // g1 may be negative-free but sign of num/g1 preserved since g1 > 0.
+        lhs.cmp(&rhs)
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $checked:ident, $msg:expr) => {
+        impl $trait for Q {
+            type Output = Q;
+            #[inline]
+            fn $method(self, rhs: Q) -> Q {
+                self.$checked(rhs).expect($msg)
+            }
+        }
+        impl $trait<&Q> for Q {
+            type Output = Q;
+            #[inline]
+            fn $method(self, rhs: &Q) -> Q {
+                self.$checked(*rhs).expect($msg)
+            }
+        }
+        impl $trait<Q> for &Q {
+            type Output = Q;
+            #[inline]
+            fn $method(self, rhs: Q) -> Q {
+                (*self).$checked(rhs).expect($msg)
+            }
+        }
+        impl $trait<&Q> for &Q {
+            type Output = Q;
+            #[inline]
+            fn $method(self, rhs: &Q) -> Q {
+                (*self).$checked(*rhs).expect($msg)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, checked_add, "Q addition overflow");
+impl_binop!(Sub, sub, checked_sub, "Q subtraction overflow");
+impl_binop!(Mul, mul, checked_mul, "Q multiplication overflow");
+impl_binop!(Div, div, checked_div, "Q division by zero or overflow");
+
+impl AddAssign for Q {
+    #[inline]
+    fn add_assign(&mut self, rhs: Q) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Q {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Q) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Q {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Q) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Q {
+    #[inline]
+    fn div_assign(&mut self, rhs: Q) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Q {
+    type Output = Q;
+    #[inline]
+    fn neg(self) -> Q {
+        Q {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl From<i128> for Q {
+    #[inline]
+    fn from(n: i128) -> Q {
+        Q::int(n)
+    }
+}
+impl From<i64> for Q {
+    #[inline]
+    fn from(n: i64) -> Q {
+        Q::int(n as i128)
+    }
+}
+impl From<i32> for Q {
+    #[inline]
+    fn from(n: i32) -> Q {
+        Q::int(n as i128)
+    }
+}
+impl From<u32> for Q {
+    #[inline]
+    fn from(n: u32) -> Q {
+        Q::int(n as i128)
+    }
+}
+impl From<u64> for Q {
+    #[inline]
+    fn from(n: u64) -> Q {
+        Q::int(n as i128)
+    }
+}
+
+impl fmt::Display for Q {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Q {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q({self})")
+    }
+}
+
+/// Error returned when parsing a [`Q`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQError {
+    input: String,
+}
+
+impl fmt::Display for ParseQError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseQError {}
+
+impl FromStr for Q {
+    type Err = ParseQError;
+
+    /// Parses `"3"`, `"-3"`, `"3/4"`, or `"-3/4"`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use srtw_minplus::Q;
+    /// assert_eq!("3/4".parse::<Q>().unwrap(), Q::new(3, 4));
+    /// assert!("3/0".parse::<Q>().is_err());
+    /// ```
+    fn from_str(s: &str) -> Result<Q, ParseQError> {
+        let err = || ParseQError {
+            input: s.to_owned(),
+        };
+        match s.split_once('/') {
+            None => s.trim().parse::<i128>().map(Q::int).map_err(|_| err()),
+            Some((n, d)) => {
+                let num = n.trim().parse::<i128>().map_err(|_| err())?;
+                let den = d.trim().parse::<i128>().map_err(|_| err())?;
+                Q::checked_new(num, den).ok_or_else(err)
+            }
+        }
+    }
+}
+
+/// Convenience constructor: `q(3, 4)` is `Q::new(3, 4)`.
+///
+/// # Examples
+///
+/// ```
+/// use srtw_minplus::{q, Q};
+/// assert_eq!(q(6, 8), Q::new(3, 4));
+/// ```
+#[inline]
+pub fn q(num: i128, den: i128) -> Q {
+    Q::new(num, den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Q::new(2, 4), Q::new(1, 2));
+        assert_eq!(Q::new(-2, -4), Q::new(1, 2));
+        assert_eq!(Q::new(2, -4), Q::new(-1, 2));
+        assert_eq!(Q::new(0, -7), Q::ZERO);
+        assert_eq!(Q::new(0, 7).denom(), 1);
+    }
+
+    #[test]
+    fn zero_denominator_rejected() {
+        assert!(Q::checked_new(1, 0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn new_panics_on_zero_denominator() {
+        let _ = Q::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(q(1, 2) + q(1, 3), q(5, 6));
+        assert_eq!(q(1, 2) - q(1, 3), q(1, 6));
+        assert_eq!(q(2, 3) * q(3, 4), q(1, 2));
+        assert_eq!(q(1, 2) / q(1, 4), Q::TWO);
+        assert_eq!(-q(1, 2), q(-1, 2));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = q(1, 2);
+        x += q(1, 2);
+        assert_eq!(x, Q::ONE);
+        x -= q(1, 4);
+        assert_eq!(x, q(3, 4));
+        x *= Q::TWO;
+        assert_eq!(x, q(3, 2));
+        x /= Q::int(3);
+        assert_eq!(x, q(1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(q(1, 3) < q(1, 2));
+        assert!(q(-1, 2) < q(-1, 3));
+        assert!(q(7, 7) == Q::ONE);
+        assert!(q(10, 3) > Q::int(3));
+        let mut v = vec![q(3, 2), Q::ZERO, q(-5, 4), Q::ONE];
+        v.sort();
+        assert_eq!(v, vec![q(-5, 4), Q::ZERO, Q::ONE, q(3, 2)]);
+    }
+
+    #[test]
+    fn floor_ceil_fract() {
+        assert_eq!(q(7, 2).floor(), 3);
+        assert_eq!(q(7, 2).ceil(), 4);
+        assert_eq!(q(-7, 2).floor(), -4);
+        assert_eq!(q(-7, 2).ceil(), -3);
+        assert_eq!(Q::int(5).floor(), 5);
+        assert_eq!(Q::int(5).ceil(), 5);
+        assert_eq!(q(7, 2).fract(), q(1, 2));
+        assert_eq!(q(-7, 2).fract(), q(1, 2));
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        assert_eq!(q(1, 2).min(q(1, 3)), q(1, 3));
+        assert_eq!(q(1, 2).max(q(1, 3)), q(1, 2));
+        assert_eq!(q(-1, 2).clamp_nonneg(), Q::ZERO);
+        assert_eq!(q(1, 2).clamp_nonneg(), q(1, 2));
+    }
+
+    #[test]
+    fn division_by_zero_checked() {
+        assert!(q(1, 2).checked_div(Q::ZERO).is_none());
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for s in ["0", "5", "-5", "3/4", "-3/4", "7/3"] {
+            let v: Q = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert!("1/0".parse::<Q>().is_err());
+        assert!("abc".parse::<Q>().is_err());
+        assert_eq!(" 3 / 4 ".parse::<Q>().unwrap(), q(3, 4));
+    }
+
+    #[test]
+    fn lcm_of_rationals() {
+        assert_eq!(Q::lcm(q(1, 2), q(1, 3)), Q::ONE);
+        assert_eq!(Q::lcm(Q::int(4), Q::int(6)), Q::int(12));
+        assert_eq!(Q::lcm(q(3, 2), q(1, 2)), q(3, 2));
+        assert_eq!(Q::lcm(q(2, 3), q(1, 2)), Q::int(2));
+    }
+
+    #[test]
+    fn gcd_lcm_integers() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 6), 0);
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(q(3, 4).recip(), q(4, 3));
+        assert_eq!(q(-3, 4).recip(), q(-4, 3));
+    }
+
+    #[test]
+    fn to_f64_close() {
+        assert!((q(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Q::from(3i32), Q::int(3));
+        assert_eq!(Q::from(3u64), Q::int(3));
+        assert_eq!(Q::from(-3i64), Q::int(-3));
+    }
+
+    #[test]
+    fn checked_ops_catch_overflow() {
+        let huge = Q::int(i128::MAX / 2);
+        assert!(huge.checked_mul(Q::int(4)).is_none());
+        assert!(huge.checked_add(huge).is_some()); // exactly representable
+        assert!(Q::int(i128::MAX).checked_add(Q::ONE).is_none());
+        assert!(Q::int(i128::MIN + 1).checked_sub(Q::int(2)).is_none());
+        // Cross-reduction keeps realistic products in range.
+        let a = Q::new(1, i128::MAX / 4);
+        let b = Q::new(i128::MAX / 4, 1);
+        assert_eq!(a.checked_mul(b), Some(Q::ONE));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn unchecked_mul_panics_on_overflow() {
+        let huge = Q::int(i128::MAX / 2);
+        let _ = huge * Q::int(4);
+    }
+
+    #[test]
+    fn signum_and_predicates() {
+        assert_eq!(q(-3, 4).signum(), -1);
+        assert_eq!(Q::ZERO.signum(), 0);
+        assert_eq!(q(3, 4).signum(), 1);
+        assert!(q(-1, 9).is_negative());
+        assert!(!Q::ZERO.is_negative() && !Q::ZERO.is_positive());
+        assert!(q(7, 7).is_integer());
+        assert!(!q(7, 2).is_integer());
+        assert_eq!(q(-7, 2).abs(), q(7, 2));
+        assert_eq!(Q::default(), Q::ZERO);
+    }
+}

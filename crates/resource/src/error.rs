@@ -1,0 +1,26 @@
+//! Error types for resource-model construction.
+
+use std::fmt;
+
+/// Errors produced when building resource models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ResourceError {
+    /// A model parameter is out of range.
+    InvalidParameter {
+        /// Human-readable description.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for ResourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceError::InvalidParameter { reason } => {
+                write!(f, "invalid resource parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResourceError {}

@@ -1,0 +1,32 @@
+//! # srtw-resource — resource and server models
+//!
+//! Servers abstract the processing resource through service curves: the
+//! lower curve `β(Δ)` guarantees service, the upper curve caps it. The
+//! crate provides the standard server zoo used throughout the experiments —
+//! [`RateLatencyServer`], [`TdmaServer`], [`PeriodicResource`], and
+//! arbitrary [`ExplicitServer`]s — plus tandem/leftover composition.
+//!
+//! # Example
+//!
+//! ```
+//! use srtw_resource::{Server, TdmaServer};
+//! use srtw_minplus::{Curve, Ext, Q};
+//!
+//! // A stream owning 2 of every 5 time units of a unit-rate link.
+//! let server = TdmaServer::new(Q::int(2), Q::int(5), Q::ONE).unwrap();
+//! let alpha = Curve::staircase(Q::int(10), Q::int(2));
+//! let delay = alpha.hdev(&server.beta_lower());
+//! assert!(delay.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod compose;
+mod error;
+mod servers;
+
+pub use compose::{concatenate_upto, leftover_blind, leftover_chain};
+pub use error::ResourceError;
+pub use servers::{ExplicitServer, PeriodicResource, RateLatencyServer, Server, TdmaServer};

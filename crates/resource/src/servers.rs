@@ -1,0 +1,416 @@
+//! Server models and their service-curve semantics.
+//!
+//! A *server* abstracts the processing resource: its **lower service curve**
+//! `β(Δ)` guarantees at least `β(Δ)` units of service in any window of
+//! length `Δ`, its **upper service curve** caps the service. The delay
+//! analyses only need the lower curve; upper curves are used by simulators
+//! and output-arrival propagation.
+
+use crate::error::ResourceError;
+use srtw_minplus::{Curve, Piece, Q, Tail};
+use std::fmt;
+
+/// Common interface of all server models.
+pub trait Server: fmt::Debug {
+    /// The guaranteed (lower) service curve `β^l`.
+    fn beta_lower(&self) -> Curve;
+
+    /// The maximal (upper) service curve `β^u`.
+    fn beta_upper(&self) -> Curve;
+
+    /// Long-run guaranteed service rate.
+    fn rate(&self) -> Q {
+        self.beta_lower().rate()
+    }
+
+    /// Short human-readable description for reports.
+    fn describe(&self) -> String;
+}
+
+/// A rate-latency server `β_{R,T}(Δ) = R·max(0, Δ − T)`: guaranteed rate
+/// `R` after an initial blackout of at most `T`.
+///
+/// # Examples
+///
+/// ```
+/// use srtw_resource::{RateLatencyServer, Server};
+/// use srtw_minplus::{q, Q};
+/// let s = RateLatencyServer::new(q(3, 4), Q::int(2)).unwrap();
+/// assert_eq!(s.beta_lower().eval(Q::int(6)), Q::int(3));
+/// assert_eq!(s.rate(), q(3, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RateLatencyServer {
+    rate: Q,
+    latency: Q,
+}
+
+impl RateLatencyServer {
+    /// Creates a rate-latency server; `rate` must be positive and `latency`
+    /// non-negative.
+    pub fn new(rate: Q, latency: Q) -> Result<RateLatencyServer, ResourceError> {
+        if !rate.is_positive() {
+            return Err(ResourceError::InvalidParameter {
+                reason: "rate must be positive",
+            });
+        }
+        if latency.is_negative() {
+            return Err(ResourceError::InvalidParameter {
+                reason: "latency must be non-negative",
+            });
+        }
+        Ok(RateLatencyServer { rate, latency })
+    }
+
+    /// A dedicated unit-rate processor (no latency).
+    pub fn dedicated_unit() -> RateLatencyServer {
+        RateLatencyServer {
+            rate: Q::ONE,
+            latency: Q::ZERO,
+        }
+    }
+
+    /// The guaranteed rate.
+    pub fn guaranteed_rate(&self) -> Q {
+        self.rate
+    }
+
+    /// The worst-case initial latency.
+    pub fn latency(&self) -> Q {
+        self.latency
+    }
+}
+
+impl Server for RateLatencyServer {
+    fn beta_lower(&self) -> Curve {
+        Curve::rate_latency(self.rate, self.latency)
+    }
+
+    fn beta_upper(&self) -> Curve {
+        Curve::affine(Q::ZERO, self.rate)
+    }
+
+    fn describe(&self) -> String {
+        format!("rate-latency(R={}, T={})", self.rate, self.latency)
+    }
+}
+
+/// A TDMA server: within every cycle of length `cycle`, the stream owns one
+/// contiguous slot of length `slot` on a resource of rate `capacity`.
+///
+/// Worst case (lower curve): the window opens right after the slot ends —
+/// no service for `cycle − slot`, then `slot` at full rate, repeating.
+///
+/// # Examples
+///
+/// ```
+/// use srtw_resource::{Server, TdmaServer};
+/// use srtw_minplus::Q;
+/// let s = TdmaServer::new(Q::int(2), Q::int(5), Q::ONE).unwrap();
+/// let beta = s.beta_lower();
+/// assert_eq!(beta.eval(Q::int(3)), Q::ZERO);  // blackout
+/// assert_eq!(beta.eval(Q::int(5)), Q::int(2)); // one slot served
+/// assert_eq!(beta.rate(), Q::new(2, 5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TdmaServer {
+    slot: Q,
+    cycle: Q,
+    capacity: Q,
+}
+
+impl TdmaServer {
+    /// Creates a TDMA server with a slot of length `slot` in a cycle of
+    /// length `cycle` on a resource of processing rate `capacity`.
+    pub fn new(slot: Q, cycle: Q, capacity: Q) -> Result<TdmaServer, ResourceError> {
+        if !slot.is_positive() || !cycle.is_positive() || !capacity.is_positive() {
+            return Err(ResourceError::InvalidParameter {
+                reason: "slot, cycle and capacity must be positive",
+            });
+        }
+        if slot > cycle {
+            return Err(ResourceError::InvalidParameter {
+                reason: "slot must not exceed the cycle",
+            });
+        }
+        Ok(TdmaServer {
+            slot,
+            cycle,
+            capacity,
+        })
+    }
+
+    /// The slot length.
+    pub fn slot(&self) -> Q {
+        self.slot
+    }
+
+    /// The cycle length.
+    pub fn cycle(&self) -> Q {
+        self.cycle
+    }
+
+    /// The underlying resource rate.
+    pub fn capacity(&self) -> Q {
+        self.capacity
+    }
+}
+
+impl Server for TdmaServer {
+    fn beta_lower(&self) -> Curve {
+        if self.slot == self.cycle {
+            return Curve::affine(Q::ZERO, self.capacity);
+        }
+        let gap = self.cycle - self.slot;
+        // Pattern on [0, cycle): flat through the gap, then serve the slot.
+        let pieces = vec![
+            Piece::new(Q::ZERO, Q::ZERO, Q::ZERO),
+            Piece::new(gap, Q::ZERO, self.capacity),
+        ];
+        Curve::new(
+            pieces,
+            Tail::Periodic {
+                pattern_start: 0,
+                period: self.cycle,
+                increment: self.capacity * self.slot,
+            },
+        )
+        .expect("TDMA lower curve invalid")
+    }
+
+    fn beta_upper(&self) -> Curve {
+        if self.slot == self.cycle {
+            return Curve::affine(Q::ZERO, self.capacity);
+        }
+        // Best case: the window opens exactly at a slot start.
+        let pieces = vec![
+            Piece::new(Q::ZERO, Q::ZERO, self.capacity),
+            Piece::new(self.slot, self.capacity * self.slot, Q::ZERO),
+        ];
+        Curve::new(
+            pieces,
+            Tail::Periodic {
+                pattern_start: 0,
+                period: self.cycle,
+                increment: self.capacity * self.slot,
+            },
+        )
+        .expect("TDMA upper curve invalid")
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "TDMA(slot={}, cycle={}, capacity={})",
+            self.slot, self.cycle, self.capacity
+        )
+    }
+}
+
+/// A periodic resource `Γ(Π, Θ)` (Shin & Lee): in every period `Π` the
+/// stream receives `Θ` units of unit-rate service, positioned arbitrarily.
+///
+/// The worst-case lower curve has an initial blackout of `2(Π − Θ)`
+/// followed by `Θ` service per period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PeriodicResource {
+    period: Q,
+    budget: Q,
+}
+
+impl PeriodicResource {
+    /// Creates a periodic resource with period `Π` and budget `Θ ≤ Π`.
+    pub fn new(period: Q, budget: Q) -> Result<PeriodicResource, ResourceError> {
+        if !period.is_positive() || !budget.is_positive() {
+            return Err(ResourceError::InvalidParameter {
+                reason: "period and budget must be positive",
+            });
+        }
+        if budget > period {
+            return Err(ResourceError::InvalidParameter {
+                reason: "budget must not exceed the period",
+            });
+        }
+        Ok(PeriodicResource { period, budget })
+    }
+
+    /// The replenishment period Π.
+    pub fn period(&self) -> Q {
+        self.period
+    }
+
+    /// The budget Θ per period.
+    pub fn budget(&self) -> Q {
+        self.budget
+    }
+}
+
+impl Server for PeriodicResource {
+    fn beta_lower(&self) -> Curve {
+        if self.budget == self.period {
+            return Curve::affine(Q::ZERO, Q::ONE);
+        }
+        let gap = self.period - self.budget;
+        let blackout = gap * Q::TWO;
+        // Pattern from the blackout end: budget at rate 1, then a gap.
+        let pieces = vec![
+            Piece::new(Q::ZERO, Q::ZERO, Q::ZERO),
+            Piece::new(blackout, Q::ZERO, Q::ONE),
+            Piece::new(blackout + self.budget, self.budget, Q::ZERO),
+        ];
+        Curve::new(
+            pieces,
+            Tail::Periodic {
+                pattern_start: 1,
+                period: self.period,
+                increment: self.budget,
+            },
+        )
+        .expect("periodic resource lower curve invalid")
+    }
+
+    fn beta_upper(&self) -> Curve {
+        if self.budget == self.period {
+            return Curve::affine(Q::ZERO, Q::ONE);
+        }
+        // Best case: budget served immediately at each period start.
+        let pieces = vec![
+            Piece::new(Q::ZERO, Q::ZERO, Q::ONE),
+            Piece::new(self.budget, self.budget, Q::ZERO),
+        ];
+        Curve::new(
+            pieces,
+            Tail::Periodic {
+                pattern_start: 0,
+                period: self.period,
+                increment: self.budget,
+            },
+        )
+        .expect("periodic resource upper curve invalid")
+    }
+
+    fn describe(&self) -> String {
+        format!("Γ(Π={}, Θ={})", self.period, self.budget)
+    }
+}
+
+/// A server described directly by explicit lower/upper curves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplicitServer {
+    lower: Curve,
+    upper: Curve,
+    label: String,
+}
+
+impl ExplicitServer {
+    /// Wraps explicit service curves. `lower` must be dominated by `upper`.
+    pub fn new(
+        label: impl Into<String>,
+        lower: Curve,
+        upper: Curve,
+    ) -> Result<ExplicitServer, ResourceError> {
+        if !lower.dominated_by(&upper) {
+            return Err(ResourceError::InvalidParameter {
+                reason: "lower service curve must not exceed the upper one",
+            });
+        }
+        Ok(ExplicitServer {
+            lower,
+            upper,
+            label: label.into(),
+        })
+    }
+}
+
+impl Server for ExplicitServer {
+    fn beta_lower(&self) -> Curve {
+        self.lower.clone()
+    }
+
+    fn beta_upper(&self) -> Curve {
+        self.upper.clone()
+    }
+
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srtw_minplus::q;
+
+    #[test]
+    fn rate_latency_curves() {
+        let s = RateLatencyServer::new(Q::TWO, Q::int(3)).unwrap();
+        assert_eq!(s.beta_lower().eval(Q::int(5)), Q::int(4));
+        assert_eq!(s.beta_upper().eval(Q::int(5)), Q::int(10));
+        assert_eq!(s.rate(), Q::TWO);
+        assert_eq!(s.guaranteed_rate(), Q::TWO);
+        assert_eq!(s.latency(), Q::int(3));
+        assert!(s.describe().contains("rate-latency"));
+        assert!(RateLatencyServer::new(Q::ZERO, Q::ONE).is_err());
+        assert!(RateLatencyServer::new(Q::ONE, -Q::ONE).is_err());
+        assert_eq!(RateLatencyServer::dedicated_unit().rate(), Q::ONE);
+    }
+
+    #[test]
+    fn tdma_lower_curve_shape() {
+        let s = TdmaServer::new(Q::int(2), Q::int(5), Q::ONE).unwrap();
+        let b = s.beta_lower();
+        // Blackout of 3, then 2 service, repeating.
+        assert_eq!(b.eval(Q::ZERO), Q::ZERO);
+        assert_eq!(b.eval(Q::int(3)), Q::ZERO);
+        assert_eq!(b.eval(Q::int(4)), Q::ONE);
+        assert_eq!(b.eval(Q::int(5)), Q::int(2));
+        assert_eq!(b.eval(Q::int(8)), Q::int(2));
+        assert_eq!(b.eval(Q::int(10)), Q::int(4));
+        assert_eq!(b.rate(), q(2, 5));
+        // Upper dominates lower.
+        assert!(b.dominated_by(&s.beta_upper()));
+    }
+
+    #[test]
+    fn tdma_full_slot_is_fluid() {
+        let s = TdmaServer::new(Q::int(5), Q::int(5), Q::TWO).unwrap();
+        assert_eq!(s.beta_lower().eval(Q::int(3)), Q::int(6));
+        assert_eq!(s.beta_lower(), s.beta_upper());
+    }
+
+    #[test]
+    fn tdma_validation() {
+        assert!(TdmaServer::new(Q::int(6), Q::int(5), Q::ONE).is_err());
+        assert!(TdmaServer::new(Q::ZERO, Q::int(5), Q::ONE).is_err());
+    }
+
+    #[test]
+    fn periodic_resource_curves() {
+        let s = PeriodicResource::new(Q::int(5), Q::int(2)).unwrap();
+        let b = s.beta_lower();
+        // Blackout 2·(5−2) = 6, then 2 per period of 5.
+        assert_eq!(b.eval(Q::int(6)), Q::ZERO);
+        assert_eq!(b.eval(Q::int(8)), Q::int(2));
+        assert_eq!(b.eval(Q::int(11)), Q::int(2));
+        assert_eq!(b.eval(Q::int(13)), Q::int(4));
+        assert_eq!(b.rate(), q(2, 5));
+        assert!(b.dominated_by(&s.beta_upper()));
+        assert!(PeriodicResource::new(Q::int(5), Q::int(6)).is_err());
+        let full = PeriodicResource::new(Q::int(5), Q::int(5)).unwrap();
+        assert_eq!(full.beta_lower().eval(Q::int(7)), Q::int(7));
+    }
+
+    #[test]
+    fn explicit_server_validation() {
+        let lo = Curve::rate_latency(Q::ONE, Q::int(2));
+        let up = Curve::affine(Q::ZERO, Q::ONE);
+        let s = ExplicitServer::new("custom", lo.clone(), up.clone()).unwrap();
+        assert_eq!(s.beta_lower(), lo);
+        assert_eq!(s.beta_upper(), up);
+        assert_eq!(s.describe(), "custom");
+        // Swapped order is rejected.
+        assert!(ExplicitServer::new("bad", up, lo).is_err());
+    }
+}

@@ -1,0 +1,562 @@
+//! The FIFO simulation engine.
+//!
+//! Jobs from one or more traces are merged in release order and served
+//! FIFO on a [`ServiceProcess`]: job `j` starts when both it has been
+//! released and its predecessor has completed, and finishes once the
+//! process has delivered its WCET of capacity. Per-job delays and the
+//! maximum backlog are recorded exactly (rational arithmetic throughout).
+
+use crate::service::ServiceProcess;
+use srtw_minplus::Q;
+use srtw_workload::{DrtTask, ReleaseTrace, VertexId};
+
+/// One simulated job with its measured timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Index of the originating stream (position in the `traces` slice).
+    pub stream: usize,
+    /// Job type.
+    pub vertex: VertexId,
+    /// Release time.
+    pub release: Q,
+    /// Completion time.
+    pub completion: Q,
+}
+
+impl JobRecord {
+    /// The job's response time.
+    pub fn delay(&self) -> Q {
+        self.completion - self.release
+    }
+}
+
+/// Result of a FIFO simulation.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Every simulated job in completion order.
+    pub jobs: Vec<JobRecord>,
+    /// Maximum backlog observed (work released but not completed),
+    /// sampled at release instants — where backlog peaks.
+    pub max_backlog: Q,
+}
+
+impl SimOutcome {
+    /// Maximum observed delay over all jobs (zero if no jobs ran).
+    pub fn max_delay(&self) -> Q {
+        self.jobs
+            .iter()
+            .map(JobRecord::delay)
+            .fold(Q::ZERO, Q::max)
+    }
+
+    /// Maximum observed delay of jobs of `vertex` in `stream`.
+    pub fn max_delay_of(&self, stream: usize, vertex: VertexId) -> Q {
+        self.jobs
+            .iter()
+            .filter(|j| j.stream == stream && j.vertex == vertex)
+            .map(JobRecord::delay)
+            .fold(Q::ZERO, Q::max)
+    }
+}
+
+/// Runs the FIFO simulation of `traces` (one per task, matched by index)
+/// on the given service process.
+///
+/// # Panics
+///
+/// Panics if `tasks` and `traces` lengths differ, or if the service
+/// process cannot eventually serve the demand (saturated cumulative
+/// curve).
+pub fn simulate_fifo(
+    tasks: &[DrtTask],
+    traces: &[ReleaseTrace],
+    service: &ServiceProcess,
+) -> SimOutcome {
+    assert_eq!(tasks.len(), traces.len(), "one trace per task required");
+
+    // Merge releases (stable order: time, then stream index).
+    let mut jobs: Vec<(Q, usize, VertexId, Q)> = Vec::new(); // (release, stream, vertex, wcet)
+    for (si, (task, trace)) in tasks.iter().zip(traces.iter()).enumerate() {
+        for r in trace.releases() {
+            jobs.push((r.time, si, r.vertex, task.wcet(r.vertex)));
+        }
+    }
+    jobs.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let mut records = Vec::with_capacity(jobs.len());
+    let mut prev_completion = Q::ZERO;
+    for &(release, stream, vertex, wcet) in &jobs {
+        let start = release.max(prev_completion);
+        let completion = service
+            .finish_time(start, wcet)
+            .expect("service process saturated below the demand");
+        records.push(JobRecord {
+            stream,
+            vertex,
+            release,
+            completion,
+        });
+        prev_completion = completion;
+    }
+
+    // Backlog at each release instant: released work minus work served so
+    // far. The in-flight job's served part is exact: the job occupies one
+    // continuous busy stretch [begin, completion] over which the process
+    // delivers exactly its WCET, so `begin` is recoverable from the
+    // cumulative curve's pseudo-inverse.
+    let mut max_backlog = Q::ZERO;
+    for &(t, _, _, _) in &jobs {
+        let released: Q = jobs
+            .iter()
+            .filter(|j| j.0 <= t)
+            .map(|j| j.3)
+            .fold(Q::ZERO, |a, b| a + b);
+        let mut done = Q::ZERO;
+        for (r, &(_, _, _, wcet)) in records.iter().zip(jobs.iter()) {
+            if r.completion <= t {
+                done += wcet;
+            } else {
+                let begin = service
+                    .cumulative()
+                    .pseudo_inverse(service.capacity_by(r.completion) - wcet)
+                    .unwrap_finite();
+                if begin < t && r.release <= t {
+                    let served = service.capacity_by(t) - service.capacity_by(begin);
+                    done += served.min(wcet).clamp_nonneg();
+                }
+                break; // FIFO: at most one job in flight
+            }
+        }
+        max_backlog = max_backlog.max(released - done);
+    }
+
+    SimOutcome {
+        jobs: records,
+        max_backlog,
+    }
+}
+
+/// Preemptive scheduling policy for [`simulate_preemptive`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Fixed priority: stream index (0 highest), then release order.
+    FixedPriority,
+    /// Earliest deadline first: absolute deadline `release + deadline(v)`
+    /// (every vertex must carry a deadline), ties by stream then release.
+    Edf,
+}
+
+/// Runs a **preemptive fixed-priority** simulation of `traces` (one per
+/// task; priority = slice position, index 0 highest) on the service
+/// process. At every instant the highest-priority pending job receives all
+/// capacity; lower jobs resume where they were preempted.
+///
+/// # Panics
+///
+/// Panics if `tasks` and `traces` lengths differ, or if the service
+/// process saturates below the demand.
+pub fn simulate_fixed_priority(
+    tasks: &[DrtTask],
+    traces: &[ReleaseTrace],
+    service: &ServiceProcess,
+) -> SimOutcome {
+    simulate_preemptive(tasks, traces, service, SchedPolicy::FixedPriority)
+}
+
+/// Runs a **preemptive EDF** simulation (dynamic priority by absolute
+/// deadline). Every vertex must carry a deadline.
+///
+/// # Panics
+///
+/// As [`simulate_fixed_priority`], plus if any released vertex lacks a
+/// deadline.
+pub fn simulate_edf(
+    tasks: &[DrtTask],
+    traces: &[ReleaseTrace],
+    service: &ServiceProcess,
+) -> SimOutcome {
+    simulate_preemptive(tasks, traces, service, SchedPolicy::Edf)
+}
+
+/// Shared preemptive engine for [`simulate_fixed_priority`] and
+/// [`simulate_edf`].
+pub fn simulate_preemptive(
+    tasks: &[DrtTask],
+    traces: &[ReleaseTrace],
+    service: &ServiceProcess,
+    policy: SchedPolicy,
+) -> SimOutcome {
+    assert_eq!(tasks.len(), traces.len(), "one trace per task required");
+
+    // (release, stream, vertex, wcet), by release then stream.
+    let mut jobs: Vec<(Q, usize, VertexId, Q)> = Vec::new();
+    for (si, (task, trace)) in tasks.iter().zip(traces.iter()).enumerate() {
+        for r in trace.releases() {
+            jobs.push((r.time, si, r.vertex, task.wcet(r.vertex)));
+        }
+    }
+    jobs.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    // Scheduling key per job (smaller = more urgent).
+    let key_of = |job: usize| -> (Q, usize, Q, usize) {
+        let (release, stream, vertex, _) = jobs[job];
+        match policy {
+            SchedPolicy::FixedPriority => (Q::ZERO, stream, release, job),
+            SchedPolicy::Edf => {
+                let d = tasks[stream]
+                    .deadline(vertex)
+                    .expect("EDF simulation requires deadlines on every vertex");
+                (release + d, stream, release, job)
+            }
+        }
+    };
+
+    #[derive(Clone, Copy)]
+    struct Pending {
+        job: usize, // index into `jobs`
+        remaining: Q,
+    }
+
+    let mut completions: Vec<Option<Q>> = vec![None; jobs.len()];
+    let mut pending: Vec<Pending> = Vec::new(); // sorted by priority, then release order
+    let mut next_release = 0usize;
+    let mut tcur = Q::ZERO;
+
+    while next_release < jobs.len() || !pending.is_empty() {
+        // Horizon of this step: the next release (or unbounded).
+        let t_next = jobs.get(next_release).map(|j| j.0);
+        if pending.is_empty() {
+            // Idle until the next release.
+            tcur = t_next.expect("pending empty implies a release remains");
+            while next_release < jobs.len() && jobs[next_release].0 <= tcur {
+                let (_, _, _, w) = jobs[next_release];
+                pending.push(Pending {
+                    job: next_release,
+                    remaining: w,
+                });
+                next_release += 1;
+            }
+            pending.sort_by_key(|p| key_of(p.job));
+            continue;
+        }
+        // Serve the top job until it finishes or the next release arrives.
+        let top = pending[0];
+        let finish = service
+            .finish_time(tcur, top.remaining)
+            .expect("service process saturated below the demand");
+        match t_next {
+            Some(tn) if tn < finish => {
+                // Preemption point: account the served part, admit releases.
+                let served = service.capacity_by(tn) - service.capacity_by(tcur);
+                pending[0].remaining = (top.remaining - served).clamp_nonneg();
+                if pending[0].remaining.is_zero() {
+                    // Completed exactly at tn (served == remaining).
+                    completions[top.job] = Some(tn);
+                    pending.remove(0);
+                }
+                tcur = tn;
+                while next_release < jobs.len() && jobs[next_release].0 <= tcur {
+                    let (_, _, _, w) = jobs[next_release];
+                    pending.push(Pending {
+                        job: next_release,
+                        remaining: w,
+                    });
+                    next_release += 1;
+                }
+                pending.sort_by_key(|p| key_of(p.job));
+            }
+            _ => {
+                completions[top.job] = Some(finish);
+                pending.remove(0);
+                tcur = finish;
+            }
+        }
+    }
+
+    let records: Vec<JobRecord> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, &(release, stream, vertex, _))| JobRecord {
+            stream,
+            vertex,
+            release,
+            completion: completions[i].expect("all jobs complete"),
+        })
+        .collect();
+
+    // Backlog at release instants: released minus completed-by-then work,
+    // conservatively counting in-flight remainders as full backlog is
+    // complex under preemption; we report released − served capacity while
+    // busy, computed from completion records (exact at release instants
+    // because service is continuous).
+    let mut max_backlog = Q::ZERO;
+    for &(t, _, _, _) in &jobs {
+        let released: Q = jobs
+            .iter()
+            .filter(|j| j.0 <= t)
+            .map(|j| j.3)
+            .fold(Q::ZERO, |a, b| a + b);
+        let done: Q = records
+            .iter()
+            .zip(jobs.iter())
+            .filter(|(r, _)| r.completion <= t)
+            .map(|(_, j)| j.3)
+            .fold(Q::ZERO, |a, b| a + b);
+        max_backlog = max_backlog.max(released - done);
+    }
+
+    SimOutcome {
+        jobs: records,
+        max_backlog,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracegen::witness_trace;
+    use srtw_minplus::q;
+    use srtw_workload::DrtTaskBuilder;
+
+    fn looped(wcet: i128, sep: i128) -> DrtTask {
+        let mut b = DrtTaskBuilder::new("loop");
+        let v = b.vertex("v", Q::int(wcet));
+        b.edge(v, v, Q::int(sep));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fluid_service_single_job() {
+        let task = looped(2, 5);
+        let v = task.vertex_ids().next().unwrap();
+        let trace = witness_trace(&task, &[v]);
+        let out = simulate_fifo(
+            std::slice::from_ref(&task),
+            std::slice::from_ref(&trace),
+            &ServiceProcess::fluid(Q::ONE),
+        );
+        assert_eq!(out.jobs.len(), 1);
+        assert_eq!(out.jobs[0].completion, Q::int(2));
+        assert_eq!(out.max_delay(), Q::int(2));
+        assert_eq!(out.max_backlog, Q::int(2));
+    }
+
+    #[test]
+    fn queueing_on_slow_server() {
+        // wcet 2 every 5 at rate 1/2: each job takes 4; backlog persists.
+        let task = looped(2, 5);
+        let v = task.vertex_ids().next().unwrap();
+        let trace = witness_trace(&task, &[v, v, v]);
+        let out = simulate_fifo(
+            std::slice::from_ref(&task),
+            std::slice::from_ref(&trace),
+            &ServiceProcess::fluid(q(1, 2)),
+        );
+        // Releases at 0, 5, 10; completions at 4, 9, 14.
+        let completions: Vec<Q> = out.jobs.iter().map(|j| j.completion).collect();
+        assert_eq!(completions, vec![Q::int(4), Q::int(9), Q::int(14)]);
+        assert_eq!(out.max_delay(), Q::int(4));
+    }
+
+    #[test]
+    fn tdma_gaps_delay_jobs() {
+        let task = looped(2, 10);
+        let v = task.vertex_ids().next().unwrap();
+        let trace = witness_trace(&task, &[v, v]);
+        // Slot [3, 5) of every 5: job at 0 waits 3, serves 2 by t=5.
+        let service = ServiceProcess::tdma(Q::int(2), Q::int(5), Q::ONE, Q::int(3));
+        let out = simulate_fifo(
+            std::slice::from_ref(&task),
+            std::slice::from_ref(&trace),
+            &service,
+        );
+        assert_eq!(out.jobs[0].completion, Q::int(5));
+        // Second release at 10: slot [13, 15): completes at 15.
+        assert_eq!(out.jobs[1].completion, Q::int(15));
+        assert_eq!(out.max_delay(), Q::int(5));
+    }
+
+    #[test]
+    fn fifo_merges_two_streams() {
+        let t1 = looped(2, 10);
+        let t2 = looped(3, 10);
+        let v1 = t1.vertex_ids().next().unwrap();
+        let v2 = t2.vertex_ids().next().unwrap();
+        let tr1 = witness_trace(&t1, &[v1]);
+        let tr2 = witness_trace(&t2, &[v2]);
+        let out = simulate_fifo(
+            &[t1, t2],
+            &[tr1, tr2],
+            &ServiceProcess::fluid(Q::ONE),
+        );
+        // Both release at 0; stream 0 first (stable order): completes 2,
+        // stream 1 completes 5.
+        assert_eq!(out.jobs[0].stream, 0);
+        assert_eq!(out.jobs[0].completion, Q::int(2));
+        assert_eq!(out.jobs[1].completion, Q::int(5));
+        assert_eq!(out.max_delay_of(1, v2), Q::int(5));
+        assert_eq!(out.max_backlog, Q::int(5));
+    }
+
+    #[test]
+    fn priority_preempts_lower_stream() {
+        // hi: wcet 1 at t=0 and t=4; lo: wcet 3 at t=0. Unit fluid.
+        let hi = looped(1, 4);
+        let lo = looped(3, 10);
+        let vh = hi.vertex_ids().next().unwrap();
+        let vl = lo.vertex_ids().next().unwrap();
+        let tr_hi = witness_trace(&hi, &[vh, vh]);
+        let tr_lo = witness_trace(&lo, &[vl]);
+        let out = simulate_fixed_priority(
+            &[hi, lo],
+            &[tr_hi, tr_lo],
+            &ServiceProcess::fluid(Q::ONE),
+        );
+        // hi jobs: [0,1] and [4,5]; lo runs [1,4) gets 3 done? It needs 3
+        // units: serves 1..4 → would finish at 4, but hi preempts at 4 for
+        // one unit → lo finishes at 4 exactly (served 3 by t=4).
+        let hi_records: Vec<_> = out.jobs.iter().filter(|j| j.stream == 0).collect();
+        assert_eq!(hi_records[0].completion, Q::ONE);
+        assert_eq!(hi_records[1].completion, Q::int(5));
+        let lo_record = out.jobs.iter().find(|j| j.stream == 1).unwrap();
+        assert_eq!(lo_record.completion, Q::int(4));
+    }
+
+    #[test]
+    fn priority_sim_within_fp_analysis_bounds() {
+        use srtw_core::fixed_priority_structural;
+        use srtw_minplus::Curve;
+        let hi = looped(2, 6);
+        let lo = looped(2, 9);
+        let beta = Curve::affine(Q::ZERO, Q::ONE);
+        let bounds = fixed_priority_structural(&[hi.clone(), lo.clone()], &beta).unwrap();
+        for seed in 0..20u64 {
+            let tr_hi = crate::tracegen::earliest_random_walk(&hi, Q::int(200), None, seed);
+            let tr_lo = crate::tracegen::earliest_random_walk(&lo, Q::int(200), None, seed + 1000);
+            let out = simulate_fixed_priority(
+                &[hi.clone(), lo.clone()],
+                &[tr_hi, tr_lo],
+                &ServiceProcess::fluid(Q::ONE),
+            );
+            for (si, b) in bounds.iter().enumerate() {
+                for vb in &b.per_vertex {
+                    let observed = out.max_delay_of(si, vb.vertex);
+                    assert!(
+                        observed <= vb.bound,
+                        "seed {seed}, stream {si}: {observed} > {}",
+                        vb.bound
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn priority_sim_preemption_exact_split() {
+        // lo releases at 0 (wcet 4); hi releases at 1 and 3 (wcet 1 each):
+        // lo serves [0,1), [2,3), [4,6] → completion 6 on unit fluid.
+        let hi = looped(1, 2);
+        let lo = looped(4, 20);
+        let vh = hi.vertex_ids().next().unwrap();
+        let vl = lo.vertex_ids().next().unwrap();
+        let mut tr_hi = srtw_workload::ReleaseTrace::new();
+        tr_hi.push(Q::ONE, vh);
+        tr_hi.push(Q::int(3), vh);
+        let tr_lo = witness_trace(&lo, &[vl]);
+        let out = simulate_fixed_priority(
+            &[hi, lo],
+            &[tr_hi, tr_lo],
+            &ServiceProcess::fluid(Q::ONE),
+        );
+        let lo_rec = out.jobs.iter().find(|j| j.stream == 1).unwrap();
+        assert_eq!(lo_rec.completion, Q::int(6));
+        let hi_first = out
+            .jobs
+            .iter()
+            .filter(|j| j.stream == 0)
+            .map(|j| j.completion)
+            .collect::<Vec<_>>();
+        assert_eq!(hi_first, vec![Q::int(2), Q::int(4)]);
+    }
+
+    #[test]
+    fn edf_orders_by_absolute_deadline() {
+        // Two streams, both release at 0: stream 0 has the later deadline,
+        // so under EDF stream 1 runs first (opposite of fixed priority).
+        let mk = |wcet: i128, sep: i128, dl: i128| {
+            let mut b = DrtTaskBuilder::new("t");
+            let v = b.vertex_with_deadline("v", Q::int(wcet), Q::int(dl));
+            b.edge(v, v, Q::int(sep));
+            b.build().unwrap()
+        };
+        let relaxed = mk(2, 10, 20);
+        let urgent = mk(2, 10, 5);
+        let v0 = relaxed.vertex_ids().next().unwrap();
+        let v1 = urgent.vertex_ids().next().unwrap();
+        let tr0 = witness_trace(&relaxed, &[v0]);
+        let tr1 = witness_trace(&urgent, &[v1]);
+        let edf = simulate_edf(
+            &[relaxed.clone(), urgent.clone()],
+            &[tr0.clone(), tr1.clone()],
+            &ServiceProcess::fluid(Q::ONE),
+        );
+        let urgent_done = edf.jobs.iter().find(|j| j.stream == 1).unwrap().completion;
+        let relaxed_done = edf.jobs.iter().find(|j| j.stream == 0).unwrap().completion;
+        assert_eq!(urgent_done, Q::int(2));
+        assert_eq!(relaxed_done, Q::int(4));
+        // Fixed priority (stream 0 first) inverts the order.
+        let fp = simulate_fixed_priority(
+            &[relaxed, urgent],
+            &[tr0, tr1],
+            &ServiceProcess::fluid(Q::ONE),
+        );
+        assert_eq!(fp.jobs.iter().find(|j| j.stream == 0).unwrap().completion, Q::int(2));
+        assert_eq!(fp.jobs.iter().find(|j| j.stream == 1).unwrap().completion, Q::int(4));
+    }
+
+    #[test]
+    fn edf_sim_meets_deadlines_when_analysis_says_so() {
+        use srtw_core::edf_schedulable;
+        use srtw_minplus::Curve;
+        let mk = |name: &str, wcet: i128, sep: i128, dl: i128| {
+            let mut b = DrtTaskBuilder::new(name);
+            let v = b.vertex_with_deadline("v", Q::int(wcet), Q::int(dl));
+            b.edge(v, v, Q::int(sep));
+            b.build().unwrap()
+        };
+        let t1 = mk("a", 2, 6, 5);
+        let t2 = mk("b", 1, 7, 6);
+        let beta = Curve::affine(Q::ZERO, Q::ONE);
+        let verdict = edf_schedulable(&[t1.clone(), t2.clone()], &beta).unwrap();
+        assert!(verdict.schedulable);
+        for seed in 0..20u64 {
+            let tr1 = crate::tracegen::earliest_random_walk(&t1, Q::int(150), None, seed);
+            let tr2 = crate::tracegen::earliest_random_walk(&t2, Q::int(150), None, seed + 999);
+            let out = simulate_edf(
+                &[t1.clone(), t2.clone()],
+                &[tr1, tr2],
+                &ServiceProcess::fluid(Q::ONE),
+            );
+            for j in &out.jobs {
+                let task = if j.stream == 0 { &t1 } else { &t2 };
+                let d = task.deadline(j.vertex).unwrap();
+                assert!(
+                    j.delay() <= d,
+                    "seed {seed}: EDF missed a deadline the analysis certified"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_traces_ok() {
+        let task = looped(1, 5);
+        let out = simulate_fifo(
+            std::slice::from_ref(&task),
+            &[srtw_workload::ReleaseTrace::new()],
+            &ServiceProcess::fluid(Q::ONE),
+        );
+        assert!(out.jobs.is_empty());
+        assert_eq!(out.max_delay(), Q::ZERO);
+    }
+}

@@ -1,0 +1,151 @@
+//! Concrete service processes for simulation.
+//!
+//! The analyses bound service from below by a curve `β`; the simulator
+//! executes a *concrete* service process whose cumulative capacity
+//! `S(t)` satisfies `S(t) − S(s) ≥ β(t − s)` for all `s ≤ t`. Running any
+//! legal trace on such a process therefore produces delays that must stay
+//! below the analytic bounds — the soundness check every experiment
+//! performs.
+
+use srtw_minplus::{Curve, Piece, Q, Tail};
+
+/// A concrete service process: cumulative capacity as an exact curve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceProcess {
+    cumulative: Curve,
+    label: String,
+}
+
+impl ServiceProcess {
+    /// A fluid processor of constant `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn fluid(rate: Q) -> ServiceProcess {
+        assert!(rate.is_positive(), "fluid service needs a positive rate");
+        ServiceProcess {
+            cumulative: Curve::affine(Q::ZERO, rate),
+            label: format!("fluid(rate={rate})"),
+        }
+    }
+
+    /// A TDMA process serving at `capacity` during the slot
+    /// `[offset, offset + slot)` of every cycle (no wrap: requires
+    /// `offset + slot ≤ cycle`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive slot/cycle/capacity or a wrapping offset.
+    pub fn tdma(slot: Q, cycle: Q, capacity: Q, offset: Q) -> ServiceProcess {
+        assert!(slot.is_positive() && cycle.is_positive() && capacity.is_positive());
+        assert!(!offset.is_negative() && offset + slot <= cycle, "offset must not wrap");
+        let label = format!("tdma(slot={slot}, cycle={cycle}, offset={offset})");
+        let mut pieces = Vec::new();
+        if offset.is_positive() {
+            pieces.push(Piece::new(Q::ZERO, Q::ZERO, Q::ZERO));
+        }
+        pieces.push(Piece::new(offset, Q::ZERO, capacity));
+        if offset + slot < cycle {
+            pieces.push(Piece::new(offset + slot, capacity * slot, Q::ZERO));
+        }
+        let cumulative = Curve::new(
+            pieces,
+            Tail::Periodic {
+                pattern_start: 0,
+                period: cycle,
+                increment: capacity * slot,
+            },
+        )
+        .expect("TDMA service process curve invalid");
+        ServiceProcess { cumulative, label }
+    }
+
+    /// Wraps an arbitrary cumulative-capacity curve. The curve must be
+    /// continuous (no jumps) for the completion-time computation to be
+    /// meaningful; staircase capacity is not a physical service process.
+    pub fn from_curve(label: impl Into<String>, cumulative: Curve) -> ServiceProcess {
+        ServiceProcess {
+            cumulative,
+            label: label.into(),
+        }
+    }
+
+    /// Cumulative capacity delivered on `[0, t]`.
+    pub fn capacity_by(&self, t: Q) -> Q {
+        self.cumulative.eval(t)
+    }
+
+    /// Earliest time `t ≥ from` by which `work` more units can be served
+    /// when busy continuously from `from`.
+    pub fn finish_time(&self, from: Q, work: Q) -> Option<Q> {
+        let target = self.cumulative.eval(from) + work;
+        self.cumulative.pseudo_inverse(target).finite().map(|t| t.max(from))
+    }
+
+    /// The underlying cumulative curve.
+    pub fn cumulative(&self) -> &Curve {
+        &self.cumulative
+    }
+
+    /// Human-readable description.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srtw_minplus::q;
+
+    #[test]
+    fn fluid_finish_times() {
+        let s = ServiceProcess::fluid(q(1, 2));
+        assert_eq!(s.finish_time(Q::ZERO, Q::int(2)), Some(Q::int(4)));
+        assert_eq!(s.finish_time(Q::int(10), Q::ONE), Some(Q::int(12)));
+        assert_eq!(s.capacity_by(Q::int(8)), Q::int(4));
+    }
+
+    #[test]
+    fn tdma_capacity_shape() {
+        // Slot [1, 3) of a 5-cycle at unit capacity.
+        let s = ServiceProcess::tdma(Q::int(2), Q::int(5), Q::ONE, Q::ONE);
+        assert_eq!(s.capacity_by(Q::ONE), Q::ZERO);
+        assert_eq!(s.capacity_by(Q::int(2)), Q::ONE);
+        assert_eq!(s.capacity_by(Q::int(3)), Q::int(2));
+        assert_eq!(s.capacity_by(Q::int(5)), Q::int(2));
+        assert_eq!(s.capacity_by(Q::int(7)), Q::int(3));
+        // Work arriving mid-gap waits for the next slot.
+        assert_eq!(s.finish_time(Q::int(3), Q::ONE), Some(Q::int(7)));
+    }
+
+    #[test]
+    fn tdma_dominates_its_lower_curve() {
+        // For every offset, windowed capacity ≥ the analysis' lower curve.
+        use srtw_resource::{Server, TdmaServer};
+        let beta = TdmaServer::new(Q::int(2), Q::int(5), Q::ONE)
+            .unwrap()
+            .beta_lower();
+        for onum in 0..=6 {
+            let offset = q(onum, 2); // 0 .. 3 = cycle − slot
+            let s = ServiceProcess::tdma(Q::int(2), Q::int(5), Q::ONE, offset);
+            for i in 0..40 {
+                for j in i..40 {
+                    let (a, b) = (q(i, 2), q(j, 2));
+                    let window = s.capacity_by(b) - s.capacity_by(a);
+                    assert!(
+                        window >= beta.eval(b - a),
+                        "offset {offset}: window [{a},{b}] gives {window} < β"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrap")]
+    fn tdma_wrapping_offset_rejected() {
+        let _ = ServiceProcess::tdma(Q::int(2), Q::int(5), Q::ONE, Q::int(4));
+    }
+}

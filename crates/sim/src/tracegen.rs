@@ -1,0 +1,164 @@
+//! Trace generators: concrete behaviours of digraph tasks.
+//!
+//! * [`earliest_random_walk`] — a random walk through the graph releasing
+//!   every job as early as legally possible (the aggressive mode used to
+//!   probe worst-case delays);
+//! * [`lazy_random_walk`] — adds random slack between releases (exercises
+//!   legality handling and gives the simulator benign behaviours);
+//! * [`witness_trace`] — replays an analysis witness path at its minimum
+//!   separations (the adversarial scenario the structural bound is
+//!   calibrated to).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use srtw_minplus::Q;
+use srtw_workload::{DrtTask, ReleaseTrace, VertexId};
+
+/// Releases jobs along a uniformly random walk, each as early as legal,
+/// starting from `start` (or a random vertex), until `horizon` is passed.
+pub fn earliest_random_walk(
+    task: &DrtTask,
+    horizon: Q,
+    start: Option<VertexId>,
+    seed: u64,
+) -> ReleaseTrace {
+    random_walk(task, horizon, start, seed, false)
+}
+
+/// Like [`earliest_random_walk`] but inserts random extra slack (up to one
+/// separation) before each release.
+pub fn lazy_random_walk(
+    task: &DrtTask,
+    horizon: Q,
+    start: Option<VertexId>,
+    seed: u64,
+) -> ReleaseTrace {
+    random_walk(task, horizon, start, seed, true)
+}
+
+fn random_walk(
+    task: &DrtTask,
+    horizon: Q,
+    start: Option<VertexId>,
+    seed: u64,
+    lazy: bool,
+) -> ReleaseTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = ReleaseTrace::new();
+    let mut v = match start {
+        Some(v) => v,
+        None => {
+            let i = rng.random_range(0..task.num_vertices());
+            task.vertex_ids().nth(i).expect("index in range")
+        }
+    };
+    let mut t = Q::ZERO;
+    trace.push(t, v);
+    loop {
+        let edges = task.out_edges(v);
+        if edges.is_empty() {
+            break;
+        }
+        let e = edges[rng.random_range(0..edges.len())];
+        let mut next_t = t + e.separation;
+        if lazy {
+            // Up to one extra separation of slack, in quarter steps.
+            let slack_quarters: i128 = rng.random_range(0..=4);
+            next_t += e.separation * Q::new(slack_quarters, 4);
+        }
+        if next_t > horizon {
+            break;
+        }
+        t = next_t;
+        v = e.to;
+        trace.push(t, v);
+    }
+    trace
+}
+
+/// Replays a vertex path at exactly the minimum separations (each release
+/// as early as legal). The path must follow existing edges.
+///
+/// # Panics
+///
+/// Panics if consecutive vertices are not connected.
+pub fn witness_trace(task: &DrtTask, path: &[VertexId]) -> ReleaseTrace {
+    let mut trace = ReleaseTrace::new();
+    let mut t = Q::ZERO;
+    for (i, &v) in path.iter().enumerate() {
+        if i > 0 {
+            let prev = path[i - 1];
+            let e = task
+                .out_edges(prev)
+                .iter()
+                .find(|e| e.to == v)
+                .expect("witness path must follow edges");
+            t += e.separation;
+        }
+        trace.push(t, v);
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srtw_workload::DrtTaskBuilder;
+
+    fn task() -> DrtTask {
+        let mut b = DrtTaskBuilder::new("t");
+        let a = b.vertex("a", Q::int(2));
+        let c = b.vertex("b", Q::int(3));
+        b.edge(a, c, Q::int(5));
+        b.edge(c, a, Q::int(4));
+        b.edge(a, a, Q::int(6));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn random_walks_are_legal() {
+        let t = task();
+        for seed in 0..50 {
+            let tr = earliest_random_walk(&t, Q::int(100), None, seed);
+            assert!(tr.is_legal(&t), "seed {seed} produced an illegal trace");
+            assert!(!tr.is_empty());
+            let lz = lazy_random_walk(&t, Q::int(100), None, seed);
+            assert!(lz.is_legal(&t), "lazy seed {seed} illegal");
+        }
+    }
+
+    #[test]
+    fn walks_are_deterministic_per_seed() {
+        let t = task();
+        let a = earliest_random_walk(&t, Q::int(60), None, 7);
+        let b = earliest_random_walk(&t, Q::int(60), None, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn walks_fill_the_horizon() {
+        let t = task();
+        let tr = earliest_random_walk(&t, Q::int(100), None, 3);
+        // Max separation is 6, so the walk must reach at least 94.
+        assert!(tr.end_time().unwrap() >= Q::int(94));
+    }
+
+    #[test]
+    fn witness_replay() {
+        let t = task();
+        let ids: Vec<VertexId> = t.vertex_ids().collect();
+        let tr = witness_trace(&t, &[ids[0], ids[1], ids[0]]);
+        assert!(tr.is_legal(&t));
+        assert_eq!(tr.releases()[1].time, Q::int(5));
+        assert_eq!(tr.releases()[2].time, Q::int(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "follow edges")]
+    fn witness_replay_checks_edges() {
+        let t = task();
+        let ids: Vec<VertexId> = t.vertex_ids().collect();
+        // b -> b edge does not exist.
+        let _ = witness_trace(&t, &[ids[1], ids[1]]);
+    }
+}

@@ -1,0 +1,334 @@
+//! Demand-bound functions of digraph real-time tasks.
+//!
+//! The **demand-bound function** `dbf(t)` is the maximum total WCET of
+//! jobs that a single behaviour can release *and* require completed inside
+//! any window of length `t`: only jobs whose absolute deadline also falls
+//! within the window count. It is the exact interface of EDF
+//! schedulability (processor-demand criterion): a workload is
+//! EDF-schedulable on service `β` iff `dbf(t) ≤ β(t)` for all `t` up to
+//! the busy-window bound.
+//!
+//! Computation follows the demand-triple technique: abstract paths carry
+//! `(span, latest_deadline, work)` where `latest_deadline` is the largest
+//! `release + deadline` along the path; a path contributes `work` to
+//! `dbf(t)` iff `latest_deadline ≤ t`. Triples are pruned by 3-dimensional
+//! Pareto dominance per end vertex, which is preserved under path
+//! extension.
+
+use crate::digraph::{DrtTask, VertexId};
+use srtw_minplus::Q;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One abstract demand triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Triple {
+    span: Q,
+    latest_deadline: Q,
+    work: Q,
+    vertex: VertexId,
+}
+
+impl Ord for Triple {
+    fn cmp(&self, other: &Triple) -> Ordering {
+        // Min-heap by span (reversed for BinaryHeap).
+        other
+            .span
+            .cmp(&self.span)
+            .then(self.work.cmp(&other.work))
+            .then(other.latest_deadline.cmp(&self.latest_deadline))
+            .then(self.vertex.cmp(&other.vertex).reverse())
+    }
+}
+
+impl PartialOrd for Triple {
+    fn partial_cmp(&self, other: &Triple) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The demand-bound function of a task, materialized up to a horizon.
+///
+/// Every vertex must carry a deadline (use
+/// [`crate::DrtTaskBuilder::vertex_with_deadline`] or
+/// [`crate::DrtTaskBuilder::set_deadline`]).
+///
+/// # Examples
+///
+/// ```
+/// use srtw_workload::{Dbf, DrtTaskBuilder};
+/// use srtw_minplus::Q;
+///
+/// let mut b = DrtTaskBuilder::new("p");
+/// let v = b.vertex_with_deadline("job", Q::int(2), Q::int(4));
+/// b.edge(v, v, Q::int(5));
+/// let task = b.build().unwrap();
+///
+/// let dbf = Dbf::compute(&task, Q::int(20)).unwrap();
+/// assert_eq!(dbf.eval(Q::int(3)), Q::ZERO);  // deadline not yet inside
+/// assert_eq!(dbf.eval(Q::int(4)), Q::int(2));
+/// assert_eq!(dbf.eval(Q::int(9)), Q::int(4)); // two jobs fit (0+4, 5+4)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dbf {
+    /// Breakpoints `(deadline, demand)` with strictly increasing both.
+    points: Vec<(Q, Q)>,
+    horizon: Q,
+    /// Retained (non-dominated) demand triples.
+    pub triples_retained: usize,
+    /// Candidates pruned by dominance.
+    pub triples_pruned: usize,
+}
+
+/// Error: the task has a vertex without a deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingDeadline {
+    /// The offending vertex.
+    pub vertex: VertexId,
+}
+
+impl std::fmt::Display for MissingDeadline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vertex {} has no deadline (required for dbf)", self.vertex)
+    }
+}
+
+impl std::error::Error for MissingDeadline {}
+
+impl Dbf {
+    /// Computes the demand-bound function of `task` on `[0, horizon]`.
+    ///
+    /// # Errors
+    ///
+    /// [`MissingDeadline`] if any vertex lacks a deadline.
+    pub fn compute(task: &DrtTask, horizon: Q) -> Result<Dbf, MissingDeadline> {
+        for v in task.vertex_ids() {
+            if task.deadline(v).is_none() {
+                return Err(MissingDeadline { vertex: v });
+            }
+        }
+        let dl = |v: VertexId| task.deadline(v).expect("checked above");
+
+        // Per-vertex 3D Pareto frontiers.
+        let mut frontiers: Vec<Vec<(Q, Q, Q)>> = vec![Vec::new(); task.num_vertices()];
+        let dominated = |f: &[(Q, Q, Q)], s: Q, d: Q, w: Q| {
+            f.iter().any(|&(fs, fd, fw)| fs <= s && fd <= d && fw >= w)
+        };
+        let insert = |f: &mut Vec<(Q, Q, Q)>, s: Q, d: Q, w: Q| {
+            f.retain(|&(fs, fd, fw)| !(s <= fs && d <= fd && w >= fw));
+            f.push((s, d, w));
+        };
+
+        let mut heap: BinaryHeap<Triple> = BinaryHeap::new();
+        for v in task.vertex_ids() {
+            heap.push(Triple {
+                span: Q::ZERO,
+                latest_deadline: dl(v),
+                work: task.wcet(v),
+                vertex: v,
+            });
+        }
+
+        let mut kept: Vec<(Q, Q)> = Vec::new(); // (latest_deadline, work)
+        let mut retained = 0usize;
+        let mut pruned = 0usize;
+        while let Some(t) = heap.pop() {
+            let f = &mut frontiers[t.vertex.index()];
+            if dominated(f, t.span, t.latest_deadline, t.work) {
+                pruned += 1;
+                continue;
+            }
+            insert(f, t.span, t.latest_deadline, t.work);
+            retained += 1;
+            if t.latest_deadline <= horizon {
+                kept.push((t.latest_deadline, t.work));
+            }
+            for e in task.out_edges(t.vertex) {
+                let span = t.span + e.separation;
+                if span > horizon {
+                    continue; // deadline beyond span is also beyond horizon
+                }
+                let w = e.to;
+                heap.push(Triple {
+                    span,
+                    latest_deadline: t.latest_deadline.max(span + dl(w)),
+                    work: t.work + task.wcet(w),
+                    vertex: w,
+                });
+            }
+        }
+
+        kept.sort();
+        let mut points: Vec<(Q, Q)> = Vec::new();
+        for (d, w) in kept {
+            match points.last_mut() {
+                Some(last) if last.0 == d => {
+                    if w > last.1 {
+                        last.1 = w;
+                    }
+                }
+                Some(last) if w <= last.1 => {}
+                _ => points.push((d, w)),
+            }
+        }
+        Ok(Dbf {
+            points,
+            horizon,
+            triples_retained: retained,
+            triples_pruned: pruned,
+        })
+    }
+
+    /// Evaluates `dbf(t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative or beyond the computed horizon.
+    pub fn eval(&self, t: Q) -> Q {
+        assert!(!t.is_negative(), "dbf at negative window length");
+        assert!(
+            t <= self.horizon,
+            "dbf({t}) beyond computed horizon {}",
+            self.horizon
+        );
+        match self.points.iter().rev().find(|p| p.0 <= t) {
+            Some(&(_, w)) => w,
+            None => Q::ZERO,
+        }
+    }
+
+    /// The breakpoints `(deadline, demand)`.
+    pub fn points(&self) -> &[(Q, Q)] {
+        &self.points
+    }
+
+    /// The horizon up to which this dbf is valid.
+    pub fn horizon(&self) -> Q {
+        self.horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DrtTaskBuilder;
+    use crate::rbf::Rbf;
+    use srtw_minplus::q;
+
+    fn deadline_task() -> DrtTask {
+        let mut b = DrtTaskBuilder::new("dl");
+        let a = b.vertex_with_deadline("a", Q::int(3), Q::int(6));
+        let x = b.vertex_with_deadline("x", Q::ONE, Q::int(2));
+        let y = b.vertex_with_deadline("y", Q::int(2), Q::int(8));
+        b.edge(a, x, Q::int(4));
+        b.edge(a, y, Q::int(6));
+        b.edge(x, a, Q::int(4));
+        b.edge(y, a, Q::int(3));
+        b.build().unwrap()
+    }
+
+    /// Exhaustive dbf by DFS (no pruning).
+    fn brute_dbf(task: &DrtTask, t: Q) -> Q {
+        fn dfs(
+            task: &DrtTask,
+            v: VertexId,
+            span: Q,
+            latest: Q,
+            work: Q,
+            t: Q,
+            best: &mut Q,
+        ) {
+            if latest <= t && work > *best {
+                *best = work;
+            }
+            for e in task.out_edges(v) {
+                let s = span + e.separation;
+                if s > t {
+                    continue;
+                }
+                let w = e.to;
+                let d = task.deadline(w).unwrap();
+                dfs(task, w, s, latest.max(s + d), work + task.wcet(w), t, best);
+            }
+        }
+        let mut best = Q::ZERO;
+        for v in task.vertex_ids() {
+            dfs(
+                task,
+                v,
+                Q::ZERO,
+                task.deadline(v).unwrap(),
+                task.wcet(v),
+                t,
+                &mut best,
+            );
+        }
+        best
+    }
+
+    #[test]
+    fn dbf_matches_brute_force() {
+        let task = deadline_task();
+        let dbf = Dbf::compute(&task, Q::int(40)).unwrap();
+        for i in 0..=80 {
+            let t = q(i, 2);
+            assert_eq!(dbf.eval(t), brute_dbf(&task, t), "dbf({t})");
+        }
+    }
+
+    #[test]
+    fn dbf_below_rbf() {
+        // Demand (deadline-constrained) never exceeds requests.
+        let task = deadline_task();
+        let dbf = Dbf::compute(&task, Q::int(40)).unwrap();
+        let rbf = Rbf::compute(&task, Q::int(40));
+        for i in 0..=40 {
+            let t = Q::int(i);
+            assert!(dbf.eval(t) <= rbf.eval(t), "dbf > rbf at {t}");
+        }
+    }
+
+    #[test]
+    fn dbf_monotone() {
+        let task = deadline_task();
+        let dbf = Dbf::compute(&task, Q::int(60)).unwrap();
+        let mut prev = Q::ZERO;
+        for i in 0..=60 {
+            let v = dbf.eval(Q::int(i));
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn missing_deadline_rejected() {
+        let mut b = DrtTaskBuilder::new("no-dl");
+        let v = b.vertex("v", Q::ONE);
+        b.edge(v, v, Q::int(5));
+        let task = b.build().unwrap();
+        assert!(Dbf::compute(&task, Q::int(10)).is_err());
+    }
+
+    #[test]
+    fn periodic_dbf_closed_form() {
+        // (e=2, p=5, d=4): dbf(t) = 2·(⌊(t−4)/5⌋+1) for t ≥ 4.
+        let mut b = DrtTaskBuilder::new("p");
+        let v = b.vertex_with_deadline("j", Q::int(2), Q::int(4));
+        b.edge(v, v, Q::int(5));
+        let task = b.build().unwrap();
+        let dbf = Dbf::compute(&task, Q::int(50)).unwrap();
+        assert_eq!(dbf.eval(Q::int(3)), Q::ZERO);
+        assert_eq!(dbf.eval(Q::int(4)), Q::int(2));
+        assert_eq!(dbf.eval(Q::int(8)), Q::int(2));
+        assert_eq!(dbf.eval(Q::int(9)), Q::int(4));
+        assert_eq!(dbf.eval(Q::int(44)), Q::int(18));
+    }
+
+    #[test]
+    fn pruning_counters_populated() {
+        let task = deadline_task();
+        let dbf = Dbf::compute(&task, Q::int(60)).unwrap();
+        assert!(dbf.triples_retained > 0);
+        assert!(dbf.points().len() <= dbf.triples_retained);
+    }
+}

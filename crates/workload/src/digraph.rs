@@ -1,0 +1,418 @@
+//! The digraph real-time task model (DRT).
+//!
+//! A [`DrtTask`] is a directed graph whose vertices are *job types* — each
+//! carrying a worst-case execution time (WCET) and optionally a relative
+//! deadline — and whose edges carry *minimum inter-release separations*. A
+//! legal behaviour of the task is any (finite or infinite) walk through the
+//! graph, releasing one job per visited vertex, with consecutive releases
+//! separated by at least the traversed edge's label.
+//!
+//! The model subsumes periodic, sporadic, generalized-multiframe and
+//! recurring-branching tasks (see [`crate::models`] for converters) and is
+//! the *structural* workload description whose delay analysis this
+//! workspace reproduces.
+
+use crate::error::WorkloadError;
+use srtw_minplus::Q;
+use std::fmt;
+
+/// Index of a vertex (job type) within a [`DrtTask`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VertexId(pub(crate) usize);
+
+impl VertexId {
+    /// The underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A job type: label, WCET, and optional relative deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Vertex {
+    /// Human-readable label (for reports and DOT export).
+    pub label: String,
+    /// Worst-case execution time of jobs of this type (strictly positive).
+    pub wcet: Q,
+    /// Relative deadline, if the job type has one.
+    pub deadline: Option<Q>,
+}
+
+/// A directed edge with its minimum inter-release separation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Edge {
+    /// Target vertex.
+    pub to: VertexId,
+    /// Minimum time between the release at the source and the release at
+    /// `to` (strictly positive).
+    pub separation: Q,
+}
+
+/// A digraph real-time task.
+///
+/// Construct with [`DrtTaskBuilder`]; the builder validates all model
+/// invariants (positive WCETs and separations, edge targets in range).
+///
+/// # Examples
+///
+/// ```
+/// use srtw_workload::DrtTaskBuilder;
+/// use srtw_minplus::Q;
+///
+/// // A two-mode task: a heavy job, then at least 10 time units later a
+/// // light job, then back.
+/// let mut b = DrtTaskBuilder::new("modes");
+/// let heavy = b.vertex("heavy", Q::int(4));
+/// let light = b.vertex("light", Q::int(1));
+/// b.edge(heavy, light, Q::int(10));
+/// b.edge(light, heavy, Q::int(5));
+/// let task = b.build().unwrap();
+/// assert_eq!(task.num_vertices(), 2);
+/// assert_eq!(task.wcet(heavy), Q::int(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DrtTask {
+    name: String,
+    vertices: Vec<Vertex>,
+    adjacency: Vec<Vec<Edge>>,
+}
+
+impl DrtTask {
+    /// The task's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of vertices (job types).
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertices.len()).map(VertexId)
+    }
+
+    /// The vertex data for `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range (ids are only handed out by the
+    /// builder, so this indicates mixing ids across tasks).
+    pub fn vertex(&self, v: VertexId) -> &Vertex {
+        &self.vertices[v.0]
+    }
+
+    /// The WCET of jobs of type `v`.
+    pub fn wcet(&self, v: VertexId) -> Q {
+        self.vertices[v.0].wcet
+    }
+
+    /// The relative deadline of jobs of type `v`, if any.
+    pub fn deadline(&self, v: VertexId) -> Option<Q> {
+        self.vertices[v.0].deadline
+    }
+
+    /// Outgoing edges of `v`.
+    pub fn out_edges(&self, v: VertexId) -> &[Edge] {
+        &self.adjacency[v.0]
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum()
+    }
+
+    /// The largest WCET over all vertices.
+    pub fn max_wcet(&self) -> Q {
+        self.vertices
+            .iter()
+            .map(|v| v.wcet)
+            .fold(Q::ZERO, Q::max)
+    }
+
+    /// The smallest edge separation (`None` for an edgeless graph).
+    pub fn min_separation(&self) -> Option<Q> {
+        self.adjacency
+            .iter()
+            .flatten()
+            .map(|e| e.separation)
+            .reduce(Q::min)
+    }
+
+    /// Does the graph contain at least one cycle? (Determines whether the
+    /// task can release infinitely many jobs.)
+    pub fn has_cycle(&self) -> bool {
+        // Iterative DFS with colors.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.vertices.len();
+        let mut color = vec![Color::White; n];
+        for start in 0..n {
+            if color[start] != Color::White {
+                continue;
+            }
+            // Stack of (vertex, next-edge-index).
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = Color::Gray;
+            while let Some(&(v, ei)) = stack.last() {
+                if ei < self.adjacency[v].len() {
+                    stack.last_mut().expect("non-empty").1 += 1;
+                    let w = self.adjacency[v][ei].to.0;
+                    match color[w] {
+                        Color::Gray => return true,
+                        Color::White => {
+                            color[w] = Color::Gray;
+                            stack.push((w, 0));
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[v] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+
+    /// Graphviz DOT rendering of the task graph (labels show WCETs, edges
+    /// show separations).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{}\" {{", self.name);
+        for (i, v) in self.vertices.iter().enumerate() {
+            let dl = match v.deadline {
+                Some(d) => format!(", d={d}"),
+                None => String::new(),
+            };
+            let _ = writeln!(s, "  v{i} [label=\"{} (e={}{})\"];", v.label, v.wcet, dl);
+        }
+        for (i, edges) in self.adjacency.iter().enumerate() {
+            for e in edges {
+                let _ = writeln!(s, "  v{i} -> v{} [label=\"{}\"];", e.to.0, e.separation);
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Builder for [`DrtTask`]; validates the model on [`DrtTaskBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct DrtTaskBuilder {
+    name: String,
+    vertices: Vec<Vertex>,
+    edges: Vec<(usize, usize, Q)>,
+}
+
+impl DrtTaskBuilder {
+    /// Starts a new task graph with the given name.
+    pub fn new(name: impl Into<String>) -> DrtTaskBuilder {
+        DrtTaskBuilder {
+            name: name.into(),
+            vertices: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a job type with the given label and WCET; returns its id.
+    pub fn vertex(&mut self, label: impl Into<String>, wcet: Q) -> VertexId {
+        self.vertices.push(Vertex {
+            label: label.into(),
+            wcet,
+            deadline: None,
+        });
+        VertexId(self.vertices.len() - 1)
+    }
+
+    /// Adds a job type with a relative deadline.
+    pub fn vertex_with_deadline(
+        &mut self,
+        label: impl Into<String>,
+        wcet: Q,
+        deadline: Q,
+    ) -> VertexId {
+        let id = self.vertex(label, wcet);
+        self.vertices[id.0].deadline = Some(deadline);
+        id
+    }
+
+    /// Sets (or replaces) the deadline of an existing vertex.
+    pub fn set_deadline(&mut self, v: VertexId, deadline: Q) -> &mut Self {
+        self.vertices[v.0].deadline = Some(deadline);
+        self
+    }
+
+    /// Adds a directed edge with minimum inter-release separation.
+    pub fn edge(&mut self, from: VertexId, to: VertexId, separation: Q) -> &mut Self {
+        self.edges.push((from.0, to.0, separation));
+        self
+    }
+
+    /// Validates and builds the task.
+    pub fn build(self) -> Result<DrtTask, WorkloadError> {
+        if self.vertices.is_empty() {
+            return Err(WorkloadError::EmptyGraph);
+        }
+        for (i, v) in self.vertices.iter().enumerate() {
+            if !v.wcet.is_positive() {
+                return Err(WorkloadError::NonPositiveWcet {
+                    vertex: i,
+                    wcet: v.wcet,
+                });
+            }
+            if let Some(d) = v.deadline {
+                if !d.is_positive() {
+                    return Err(WorkloadError::NonPositiveDeadline {
+                        vertex: i,
+                        deadline: d,
+                    });
+                }
+            }
+        }
+        let n = self.vertices.len();
+        let mut adjacency: Vec<Vec<Edge>> = vec![Vec::new(); n];
+        for &(from, to, sep) in &self.edges {
+            if from >= n {
+                return Err(WorkloadError::UnknownVertex { index: from });
+            }
+            if to >= n {
+                return Err(WorkloadError::UnknownVertex { index: to });
+            }
+            if !sep.is_positive() {
+                return Err(WorkloadError::NonPositiveSeparation {
+                    from,
+                    to,
+                    separation: sep,
+                });
+            }
+            if adjacency[from].iter().any(|e| e.to.0 == to) {
+                return Err(WorkloadError::DuplicateEdge { from, to });
+            }
+            adjacency[from].push(Edge {
+                to: VertexId(to),
+                separation: sep,
+            });
+        }
+        Ok(DrtTask {
+            name: self.name,
+            vertices: self.vertices,
+            adjacency,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srtw_minplus::q;
+
+    fn two_mode() -> DrtTask {
+        let mut b = DrtTaskBuilder::new("two-mode");
+        let h = b.vertex("heavy", Q::int(4));
+        let l = b.vertex("light", Q::ONE);
+        b.edge(h, l, Q::int(10));
+        b.edge(l, h, Q::int(5));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let t = two_mode();
+        assert_eq!(t.name(), "two-mode");
+        assert_eq!(t.num_vertices(), 2);
+        assert_eq!(t.num_edges(), 2);
+        assert_eq!(t.max_wcet(), Q::int(4));
+        assert_eq!(t.min_separation(), Some(Q::int(5)));
+        let h = VertexId(0);
+        assert_eq!(t.vertex(h).label, "heavy");
+        assert_eq!(t.out_edges(h).len(), 1);
+        assert_eq!(t.out_edges(h)[0].to, VertexId(1));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut b = DrtTaskBuilder::new("bad");
+        let v = b.vertex("x", Q::ZERO);
+        let _ = v;
+        assert!(matches!(
+            b.build(),
+            Err(WorkloadError::NonPositiveWcet { .. })
+        ));
+
+        let b = DrtTaskBuilder::new("empty");
+        assert!(matches!(b.build(), Err(WorkloadError::EmptyGraph)));
+
+        let mut b = DrtTaskBuilder::new("bad-edge");
+        let v = b.vertex("x", Q::ONE);
+        b.edge(v, v, Q::ZERO);
+        assert!(matches!(
+            b.build(),
+            Err(WorkloadError::NonPositiveSeparation { .. })
+        ));
+
+        let mut b = DrtTaskBuilder::new("dup");
+        let v = b.vertex("x", Q::ONE);
+        b.edge(v, v, Q::ONE);
+        b.edge(v, v, Q::TWO);
+        assert!(matches!(b.build(), Err(WorkloadError::DuplicateEdge { .. })));
+
+        let mut b = DrtTaskBuilder::new("bad-deadline");
+        let v = b.vertex("x", Q::ONE);
+        b.set_deadline(v, q(-1, 2));
+        assert!(matches!(
+            b.build(),
+            Err(WorkloadError::NonPositiveDeadline { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        assert!(two_mode().has_cycle());
+
+        let mut b = DrtTaskBuilder::new("dag");
+        let a = b.vertex("a", Q::ONE);
+        let c = b.vertex("b", Q::ONE);
+        b.edge(a, c, Q::ONE);
+        assert!(!b.build().unwrap().has_cycle());
+
+        let mut b = DrtTaskBuilder::new("self-loop");
+        let v = b.vertex("v", Q::ONE);
+        b.edge(v, v, Q::int(3));
+        assert!(b.build().unwrap().has_cycle());
+    }
+
+    #[test]
+    fn dot_export_contains_structure() {
+        let dot = two_mode().to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("heavy"));
+        assert!(dot.contains("v0 -> v1"));
+        assert!(dot.contains("10"));
+    }
+
+    #[test]
+    fn deadline_accessors() {
+        let mut b = DrtTaskBuilder::new("dl");
+        let v = b.vertex_with_deadline("v", Q::ONE, Q::int(7));
+        let t = b.build().unwrap();
+        assert_eq!(t.deadline(v), Some(Q::int(7)));
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for workload-model construction and analysis.
+
+use srtw_minplus::Q;
+use std::fmt;
+
+/// Errors produced when building or analysing workload models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A task graph must contain at least one vertex.
+    EmptyGraph,
+    /// Vertex WCETs must be strictly positive.
+    NonPositiveWcet {
+        /// Offending vertex index.
+        vertex: usize,
+        /// The offending WCET.
+        wcet: Q,
+    },
+    /// Edge separations must be strictly positive.
+    NonPositiveSeparation {
+        /// Source vertex index.
+        from: usize,
+        /// Target vertex index.
+        to: usize,
+        /// The offending separation.
+        separation: Q,
+    },
+    /// An edge references a vertex that does not exist.
+    UnknownVertex {
+        /// The out-of-range index.
+        index: usize,
+    },
+    /// A relative deadline must be strictly positive.
+    NonPositiveDeadline {
+        /// Offending vertex index.
+        vertex: usize,
+        /// The offending deadline.
+        deadline: Q,
+    },
+    /// A duplicate edge between the same pair of vertices.
+    DuplicateEdge {
+        /// Source vertex index.
+        from: usize,
+        /// Target vertex index.
+        to: usize,
+    },
+    /// A classical model parameter is invalid (e.g. zero period).
+    InvalidParameter {
+        /// Human-readable description.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::EmptyGraph => write!(f, "task graph must contain at least one vertex"),
+            WorkloadError::NonPositiveWcet { vertex, wcet } => {
+                write!(f, "vertex {vertex} has non-positive WCET {wcet}")
+            }
+            WorkloadError::NonPositiveSeparation {
+                from,
+                to,
+                separation,
+            } => write!(
+                f,
+                "edge {from} -> {to} has non-positive separation {separation}"
+            ),
+            WorkloadError::UnknownVertex { index } => {
+                write!(f, "edge references unknown vertex {index}")
+            }
+            WorkloadError::NonPositiveDeadline { vertex, deadline } => {
+                write!(f, "vertex {vertex} has non-positive deadline {deadline}")
+            }
+            WorkloadError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge {from} -> {to}")
+            }
+            WorkloadError::InvalidParameter { reason } => {
+                write!(f, "invalid model parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}

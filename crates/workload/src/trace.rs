@@ -1,0 +1,185 @@
+//! Concrete release traces of digraph tasks.
+//!
+//! A [`ReleaseTrace`] is one concrete behaviour: a timed sequence of job
+//! releases. Traces are produced by the simulator's trace generators and
+//! checked for *legality* against the task graph (each consecutive pair
+//! must follow an edge, separated by at least the edge label).
+
+use crate::digraph::{DrtTask, VertexId};
+use srtw_minplus::Q;
+
+/// One released job: release time and job type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Release {
+    /// Absolute release time.
+    pub time: Q,
+    /// The released job type.
+    pub vertex: VertexId,
+}
+
+/// A timed sequence of job releases (non-decreasing times).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReleaseTrace {
+    releases: Vec<Release>,
+}
+
+impl ReleaseTrace {
+    /// An empty trace.
+    pub fn new() -> ReleaseTrace {
+        ReleaseTrace::default()
+    }
+
+    /// Appends a release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the previous release.
+    pub fn push(&mut self, time: Q, vertex: VertexId) {
+        if let Some(last) = self.releases.last() {
+            assert!(time >= last.time, "releases must be time-ordered");
+        }
+        self.releases.push(Release { time, vertex });
+    }
+
+    /// The releases in time order.
+    pub fn releases(&self) -> &[Release] {
+        &self.releases
+    }
+
+    /// Number of releases.
+    pub fn len(&self) -> usize {
+        self.releases.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.releases.is_empty()
+    }
+
+    /// Checks the trace against the task graph: every consecutive pair must
+    /// follow an existing edge with at least its separation elapsed.
+    pub fn is_legal(&self, task: &DrtTask) -> bool {
+        for w in self.releases.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let ok = task
+                .out_edges(a.vertex)
+                .iter()
+                .any(|e| e.to == b.vertex && b.time - a.time >= e.separation);
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Total WCET released in the closed window `[from, to]`.
+    pub fn work_in(&self, task: &DrtTask, from: Q, to: Q) -> Q {
+        self.releases
+            .iter()
+            .filter(|r| r.time >= from && r.time <= to)
+            .map(|r| task.wcet(r.vertex))
+            .fold(Q::ZERO, |a, b| a + b)
+    }
+
+    /// Total WCET of the whole trace.
+    pub fn total_work(&self, task: &DrtTask) -> Q {
+        self.releases
+            .iter()
+            .map(|r| task.wcet(r.vertex))
+            .fold(Q::ZERO, |a, b| a + b)
+    }
+
+    /// The last release time (`None` if empty).
+    pub fn end_time(&self) -> Option<Q> {
+        self.releases.last().map(|r| r.time)
+    }
+}
+
+impl FromIterator<(Q, VertexId)> for ReleaseTrace {
+    fn from_iter<T: IntoIterator<Item = (Q, VertexId)>>(iter: T) -> ReleaseTrace {
+        let mut t = ReleaseTrace::new();
+        for (time, v) in iter {
+            t.push(time, v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DrtTaskBuilder;
+
+    fn task() -> (DrtTask, VertexId, VertexId) {
+        let mut b = DrtTaskBuilder::new("t");
+        let a = b.vertex("a", Q::int(2));
+        let c = b.vertex("b", Q::int(3));
+        b.edge(a, c, Q::int(5));
+        b.edge(c, a, Q::int(4));
+        (b.build().unwrap(), a, c)
+    }
+
+    #[test]
+    fn legality() {
+        let (t, a, c) = task();
+        let good: ReleaseTrace = [(Q::ZERO, a), (Q::int(5), c), (Q::int(9), a)]
+            .into_iter()
+            .collect();
+        assert!(good.is_legal(&t));
+        // Too early.
+        let early: ReleaseTrace = [(Q::ZERO, a), (Q::int(4), c)].into_iter().collect();
+        assert!(!early.is_legal(&t));
+        // Missing edge (a -> a).
+        let missing: ReleaseTrace = [(Q::ZERO, a), (Q::int(10), a)].into_iter().collect();
+        assert!(!missing.is_legal(&t));
+        assert!(ReleaseTrace::new().is_legal(&t));
+    }
+
+    #[test]
+    fn workload_accounting() {
+        let (t, a, c) = task();
+        let tr: ReleaseTrace = [(Q::ZERO, a), (Q::int(5), c), (Q::int(9), a)]
+            .into_iter()
+            .collect();
+        assert_eq!(tr.total_work(&t), Q::int(7));
+        assert_eq!(tr.work_in(&t, Q::ZERO, Q::int(5)), Q::int(5));
+        assert_eq!(tr.work_in(&t, Q::int(1), Q::int(8)), Q::int(3));
+        assert_eq!(tr.end_time(), Some(Q::int(9)));
+        assert_eq!(tr.len(), 3);
+        assert!(!tr.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn push_out_of_order_panics() {
+        let (_, a, _) = task();
+        let mut tr = ReleaseTrace::new();
+        tr.push(Q::int(5), a);
+        tr.push(Q::int(4), a);
+    }
+
+    #[test]
+    fn trace_work_matches_rbf_bound() {
+        // Any legal trace's windowed work is bounded by the rbf.
+        let (t, a, c) = task();
+        let tr: ReleaseTrace = [
+            (Q::ZERO, a),
+            (Q::int(5), c),
+            (Q::int(9), a),
+            (Q::int(14), c),
+        ]
+        .into_iter()
+        .collect();
+        assert!(tr.is_legal(&t));
+        let rbf = crate::rbf::Rbf::compute(&t, Q::int(20));
+        for from in 0..14 {
+            for to in from..=14 {
+                let w = tr.work_in(&t, Q::int(from), Q::int(to));
+                assert!(
+                    w <= rbf.eval(Q::int(to - from)),
+                    "window [{from},{to}] exceeds rbf"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! A tour of the abstraction-horizon knob: how the structural analysis
+//! interpolates between the RTC baseline and the full per-path analysis.
+//!
+//! ```text
+//! cargo run --example ablation_tour
+//! ```
+
+use srtw::{
+    generate_drt, q, rtc_delay, structural_delay, structural_delay_with, AnalysisConfig, Curve,
+    DrtGenConfig, Q,
+};
+
+fn main() {
+    let cfg = DrtGenConfig {
+        vertices: 10,
+        extra_edges: 10,
+        target_utilization: Some(q(7, 10)),
+        ..DrtGenConfig::default()
+    };
+    let task = generate_drt(&cfg, 2026);
+    let beta = Curve::rate_latency(q(4, 5), Q::int(5));
+
+    let full = structural_delay(&task, &beta).expect("stable");
+    let rtc = rtc_delay(&task, &beta).expect("stable");
+    println!(
+        "task: {} vertices, {} edges, U = {}",
+        task.num_vertices(),
+        task.num_edges(),
+        full.utilization
+    );
+    println!("busy window ≤ {}", full.busy_window);
+    println!("RTC baseline bound: {}\n", rtc.bound);
+
+    println!("{:<10} {:>14} {:>14} {:>10}", "fraction", "avg bound", "max bound", "paths");
+    for k in 0..=8 {
+        let cfg = AnalysisConfig {
+            horizon_fraction: Some(q(k, 8)),
+            ..Default::default()
+        };
+        let a = structural_delay_with(&task, &beta, &cfg).expect("stable");
+        let sum: Q = a
+            .per_vertex
+            .iter()
+            .map(|b| b.bound)
+            .fold(Q::ZERO, |x, y| x + y);
+        let avg = sum / Q::int(a.per_vertex.len() as i128);
+        let max = a
+            .per_vertex
+            .iter()
+            .map(|b| b.bound)
+            .fold(Q::ZERO, Q::max);
+        println!(
+            "{:<10} {:>14.3} {:>14.3} {:>10}",
+            format!("{k}/8"),
+            avg.to_f64(),
+            max.to_f64(),
+            a.paths_retained
+        );
+        if k == 0 {
+            assert_eq!(max, rtc.bound, "fraction 0 must reproduce RTC");
+        }
+    }
+    println!(
+        "\nfull structural: avg {:.3}, stream max {} (== RTC: {})",
+        full.per_vertex
+            .iter()
+            .map(|b| b.bound)
+            .fold(Q::ZERO, |x, y| x + y)
+            .to_f64()
+            / full.per_vertex.len() as f64,
+        full.stream_bound,
+        full.stream_bound == rtc.bound
+    );
+}

@@ -1,0 +1,90 @@
+//! Hierarchical scheduling: a component with a periodic-resource interface
+//! `Γ(Π, Θ)` hosting two structural tasks under fixed-priority scheduling.
+//!
+//! ```text
+//! cargo run --example hierarchical
+//! ```
+//!
+//! This is the compositional-scheduling setting: the component is
+//! guaranteed `Θ` units of processor time in every period `Π` (worst-case
+//! positioning), and inside the component a control task preempts a
+//! logging task. The analysis chain is: periodic-resource lower curve →
+//! leftover per priority → per-job-type structural bounds.
+
+use srtw::{
+    edf_schedulable, fixed_priority_structural, DrtTaskBuilder, PeriodicResource, Q, Server,
+};
+
+fn main() {
+    // The component interface: 3 units of budget every 8.
+    let interface = PeriodicResource::new(Q::int(8), Q::int(3)).expect("valid interface");
+    let beta = interface.beta_lower();
+    println!("component interface: {}", interface.describe());
+    println!("worst-case blackout: {}", Q::int(2) * (Q::int(8) - Q::int(3)));
+
+    // High priority: a mode-switching controller with per-mode deadlines.
+    let control = {
+        let mut b = DrtTaskBuilder::new("control");
+        let nominal = b.vertex_with_deadline("nominal", Q::ONE, Q::int(24));
+        let recovery = b.vertex_with_deadline("recovery", Q::int(2), Q::int(32));
+        b.edge(nominal, nominal, Q::int(12));
+        b.edge(nominal, recovery, Q::int(12));
+        b.edge(recovery, nominal, Q::int(16));
+        b.build().expect("valid control graph")
+    };
+
+    // Low priority: periodic logging.
+    let logging = {
+        let mut b = DrtTaskBuilder::new("logging");
+        let v = b.vertex_with_deadline("flush", Q::ONE, Q::int(40));
+        b.edge(v, v, Q::int(20));
+        b.build().expect("valid logging graph")
+    };
+
+    let tasks = vec![control.clone(), logging.clone()];
+    let per = fixed_priority_structural(&tasks, &beta).expect("stable component");
+    for (i, a) in per.iter().enumerate() {
+        println!("\npriority {i}:\n{a}");
+    }
+
+    // Deadline verdicts per job type at each level.
+    let mut all_ok = true;
+    for (task, a) in tasks.iter().zip(per.iter()) {
+        for vb in &a.per_vertex {
+            let d = task.deadline(vb.vertex).expect("deadlines set");
+            let ok = vb.bound <= d;
+            all_ok &= ok;
+            println!(
+                "{:<10} {:<10} bound {:>6} deadline {:>4}  {}",
+                task.name(),
+                vb.label,
+                vb.bound.to_string(),
+                d.to_string(),
+                if ok { "OK" } else { "MISS" }
+            );
+        }
+    }
+    println!("\nfixed-priority component schedulable: {all_ok}");
+    assert!(all_ok);
+
+    // For comparison: EDF inside the same interface (strictly more
+    // permissive — it would also accept tighter budgets).
+    let edf = edf_schedulable(&tasks, &beta).expect("analysable");
+    println!("EDF inside the same interface: schedulable = {}", edf.schedulable);
+
+    // How small can the budget get under EDF before the component breaks?
+    let mut theta = Q::int(3);
+    while theta > Q::ZERO {
+        let trial = PeriodicResource::new(Q::int(8), theta).expect("valid");
+        match edf_schedulable(&tasks, &trial.beta_lower()) {
+            Ok(r) if r.schedulable => {
+                theta -= Q::new(1, 4);
+            }
+            _ => break,
+        }
+    }
+    println!(
+        "minimal EDF-schedulable budget (granularity 1/4): Θ = {}",
+        theta + Q::new(1, 4)
+    );
+}

@@ -1,0 +1,75 @@
+//! A video decoder on a TDMA-arbitrated accelerator.
+//!
+//! ```text
+//! cargo run --example video_pipeline
+//! ```
+//!
+//! The decoder processes a GOP-structured stream — heavy I-frames, medium
+//! P-frames, light B-frames — modelled as a digraph task, and runs in a
+//! TDMA slot of a shared accelerator. The structural analysis shows why
+//! the per-frame-type bounds matter: B-frames have much tighter deadlines
+//! than the stream-wide worst case would allow, and only the structural
+//! analysis can certify them.
+
+use srtw::{
+    rtc_delay, structural_delay, DrtTaskBuilder, Q, Server, TdmaServer,
+};
+
+fn main() {
+    // GOP structure I B B P B B P …, frame period 5 (time unit: ms/10).
+    // The digraph: I → B → B → P, P → B, B → P, P → I (GOP restart).
+    let mut b = DrtTaskBuilder::new("h264-decoder");
+    let i = b.vertex_with_deadline("I-frame", Q::int(12), Q::int(60));
+    let p = b.vertex_with_deadline("P-frame", Q::int(6), Q::int(35));
+    let bb = b.vertex_with_deadline("B-frame", Q::int(3), Q::int(25));
+    let period = Q::int(15);
+    b.edge(i, bb, period);
+    b.edge(bb, bb, period);
+    b.edge(bb, p, period);
+    b.edge(p, bb, period);
+    b.edge(p, i, Q::int(45)); // a GOP lasts at least 3 frame slots more
+    let task = b.build().expect("valid decoder graph");
+
+    // The accelerator: the decoder owns 9 of every 16 time units.
+    let server = TdmaServer::new(Q::int(9), Q::int(16), Q::ONE).expect("valid TDMA");
+    let beta = server.beta_lower();
+    println!("server: {}", server.describe());
+
+    let structural = structural_delay(&task, &beta).expect("stable");
+    let baseline = rtc_delay(&task, &beta).expect("stable");
+
+    println!("\n{structural}\n");
+    println!("RTC baseline (one bound for every frame type): {baseline}\n");
+
+    // Schedulability verdicts.
+    println!("frame-type verdicts (structural):");
+    let mut rtc_ok = true;
+    for vb in &structural.per_vertex {
+        let d = task.deadline(vb.vertex).expect("deadlines set");
+        let ok = vb.bound <= d;
+        println!(
+            "  {:<8} bound {:>6}  deadline {:>4}  {}",
+            vb.label,
+            vb.bound.to_string(),
+            d.to_string(),
+            if ok { "OK" } else { "MISS" }
+        );
+        if baseline.bound > d {
+            rtc_ok = false;
+        }
+    }
+    println!(
+        "\nstructural analysis schedulable: {}",
+        structural.schedulable(&task)
+    );
+    println!("RTC baseline schedulable:        {rtc_ok}");
+    println!(
+        "\n→ the arrival-curve abstraction must certify every frame type \
+         against the stream-wide bound {}, and fails on the tight B-frame \
+         deadline; the structural analysis attributes the heavy-path delay \
+         to the I-frame only.",
+        baseline.bound
+    );
+    assert!(structural.schedulable(&task));
+    assert!(!rtc_ok, "expected the baseline to be insufficient here");
+}

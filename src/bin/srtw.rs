@@ -1,0 +1,161 @@
+//! `srtw` — command-line front end for the structural delay analysis.
+//!
+//! ```text
+//! srtw analyze  <system.srtw> [--scheduler fifo|fp|edf]
+//! srtw rbf      <system.srtw> [--horizon H]
+//! srtw dot      <system.srtw>
+//! srtw simulate <system.srtw> [--seeds N] [--horizon H]
+//! ```
+//!
+//! System files use the text format documented in [`srtw::textfmt`].
+
+use srtw::textfmt::{parse_system, SystemSpec};
+use srtw::{
+    earliest_random_walk, edf_schedulable, fifo_rtc, fifo_structural, fixed_priority_structural,
+    simulate_fifo, AnalysisConfig, Curve, Q, Rbf, ServiceProcess,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let usage = "usage: srtw <analyze|rbf|dot|simulate> <file> [options]";
+    let cmd = args.first().ok_or(usage)?;
+    let path = args.get(1).ok_or(usage)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let sys = parse_system(&text).map_err(|e| format!("{path}: {e}"))?;
+    let opts = &args[2..];
+
+    match cmd.as_str() {
+        "analyze" => analyze(&sys, opts),
+        "rbf" => rbf(&sys, opts),
+        "dot" => {
+            for t in &sys.tasks {
+                print!("{}", t.to_dot());
+            }
+            Ok(())
+        }
+        "simulate" => simulate(&sys, opts),
+        other => Err(format!("unknown command '{other}'\n{usage}")),
+    }
+}
+
+fn opt_value(opts: &[String], key: &str) -> Option<String> {
+    opts.iter()
+        .position(|a| a == key)
+        .and_then(|i| opts.get(i + 1))
+        .cloned()
+}
+
+fn server_curve(sys: &SystemSpec) -> Result<Curve, String> {
+    match &sys.server {
+        Some(s) => s.beta_lower().map_err(|e| e.to_string()),
+        None => Err("the system file declares no server (add a 'server …' line)".into()),
+    }
+}
+
+fn analyze(sys: &SystemSpec, opts: &[String]) -> Result<(), String> {
+    let beta = server_curve(sys)?;
+    let scheduler = opt_value(opts, "--scheduler").unwrap_or_else(|| "fifo".into());
+    match scheduler.as_str() {
+        "fifo" => {
+            let per = fifo_structural(&sys.tasks, &beta, &AnalysisConfig::default())
+                .map_err(|e| e.to_string())?;
+            let rtc = fifo_rtc(&sys.tasks, &beta).map_err(|e| e.to_string())?;
+            println!("scheduler: FIFO");
+            println!("RTC baseline (stream-agnostic): {rtc}");
+            for a in &per {
+                println!("\n{a}");
+            }
+        }
+        "fp" => {
+            let per =
+                fixed_priority_structural(&sys.tasks, &beta).map_err(|e| e.to_string())?;
+            println!("scheduler: fixed priority (file order = priority order)");
+            for (i, a) in per.iter().enumerate() {
+                println!("\npriority {i}:\n{a}");
+            }
+        }
+        "edf" => {
+            let r = edf_schedulable(&sys.tasks, &beta).map_err(|e| e.to_string())?;
+            println!("scheduler: EDF (processor-demand criterion)");
+            println!(
+                "schedulable: {} (busy window ≤ {}, {} breakpoints)",
+                r.schedulable, r.busy_window, r.breakpoints
+            );
+            if let Some((t, demand, supply)) = r.violation {
+                println!("first violation: window {t}: demand {demand} > supply {supply}");
+            }
+        }
+        other => return Err(format!("unknown scheduler '{other}' (fifo|fp|edf)")),
+    }
+    Ok(())
+}
+
+fn rbf(sys: &SystemSpec, opts: &[String]) -> Result<(), String> {
+    let horizon: Q = opt_value(opts, "--horizon")
+        .unwrap_or_else(|| "100".into())
+        .parse()
+        .map_err(|e| format!("bad --horizon: {e}"))?;
+    for t in &sys.tasks {
+        let rbf = Rbf::compute(t, horizon);
+        println!("task {}: rbf breakpoints (window, work):", t.name());
+        for &(s, w) in rbf.points() {
+            println!("  {s:>8}  {w}");
+        }
+    }
+    Ok(())
+}
+
+fn simulate(sys: &SystemSpec, opts: &[String]) -> Result<(), String> {
+    let beta = server_curve(sys)?;
+    let seeds: u64 = opt_value(opts, "--seeds")
+        .unwrap_or_else(|| "20".into())
+        .parse()
+        .map_err(|e| format!("bad --seeds: {e}"))?;
+    let horizon: Q = opt_value(opts, "--horizon")
+        .unwrap_or_else(|| "300".into())
+        .parse()
+        .map_err(|e| format!("bad --horizon: {e}"))?;
+    // Simulate on the fluid instance at the server's guaranteed rate
+    // (which dominates the declared lower curve).
+    let service = ServiceProcess::fluid(beta.rate());
+    let per = fifo_structural(&sys.tasks, &beta, &AnalysisConfig::default())
+        .map_err(|e| e.to_string())?;
+    let mut worst = Q::ZERO;
+    for seed in 0..seeds {
+        let traces: Vec<_> = sys
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| earliest_random_walk(t, horizon, None, seed * 131 + i as u64))
+            .collect();
+        let out = simulate_fifo(&sys.tasks, &traces, &service);
+        for (si, task) in sys.tasks.iter().enumerate() {
+            for v in task.vertex_ids() {
+                let d = out.max_delay_of(si, v);
+                worst = worst.max(d);
+                if d > per[si].bound_of(v) {
+                    return Err(format!(
+                        "BUG: simulated delay {d} exceeds bound {} (stream {si}, {v})",
+                        per[si].bound_of(v)
+                    ));
+                }
+            }
+        }
+    }
+    println!(
+        "simulated {seeds} random runs to horizon {horizon}: worst observed delay {worst} \
+         (all within the analytic per-type bounds)"
+    );
+    Ok(())
+}

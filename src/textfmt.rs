@@ -1,0 +1,420 @@
+//! A small line-based text format for task systems, used by the `srtw`
+//! command-line tool and handy for examples and tests.
+//!
+//! # Format
+//!
+//! ```text
+//! # comments start with '#'; blank lines are ignored
+//! task decoder
+//! vertex I wcet=12 deadline=60
+//! vertex P wcet=6  deadline=35
+//! edge I P sep=15
+//! edge P I sep=45
+//!
+//! task telemetry
+//! vertex t wcet=1
+//! edge t t sep=25
+//!
+//! server rate-latency rate=1 latency=2
+//! ```
+//!
+//! * `task NAME` starts a new task; the following `vertex`/`edge` lines
+//!   belong to it.
+//! * `vertex NAME wcet=Q [deadline=Q]` declares a job type. Numbers are
+//!   exact rationals: `12`, `3/4`.
+//! * `edge FROM TO sep=Q` declares a minimum inter-release separation.
+//! * `server KIND key=value…` (at most one) declares the resource:
+//!   `rate-latency rate=Q latency=Q`, `fluid rate=Q`,
+//!   `tdma slot=Q cycle=Q capacity=Q`, or
+//!   `periodic-resource period=Q budget=Q`.
+
+use srtw_minplus::{Curve, Q};
+use srtw_resource::{PeriodicResource, RateLatencyServer, Server, TdmaServer};
+use srtw_workload::{DrtTask, DrtTaskBuilder, VertexId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed system: tasks plus an optional server declaration.
+#[derive(Debug, Clone)]
+pub struct SystemSpec {
+    /// The parsed tasks, in file order.
+    pub tasks: Vec<DrtTask>,
+    /// The declared server, if any.
+    pub server: Option<ServerSpec>,
+}
+
+/// A server declaration from a system file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerSpec {
+    /// `rate-latency rate=Q latency=Q`
+    RateLatency {
+        /// Guaranteed rate.
+        rate: Q,
+        /// Worst-case initial latency.
+        latency: Q,
+    },
+    /// `fluid rate=Q`
+    Fluid {
+        /// Constant service rate.
+        rate: Q,
+    },
+    /// `tdma slot=Q cycle=Q capacity=Q`
+    Tdma {
+        /// Slot length.
+        slot: Q,
+        /// Cycle length.
+        cycle: Q,
+        /// Underlying resource rate.
+        capacity: Q,
+    },
+    /// `periodic-resource period=Q budget=Q`
+    PeriodicResource {
+        /// Replenishment period Π.
+        period: Q,
+        /// Budget Θ per period.
+        budget: Q,
+    },
+}
+
+impl ServerSpec {
+    /// The lower service curve of the declared server.
+    pub fn beta_lower(&self) -> Result<Curve, ParseError> {
+        let invalid = |what: &'static str| ParseError {
+            line: 0,
+            message: format!("invalid server parameters: {what}"),
+        };
+        Ok(match *self {
+            ServerSpec::RateLatency { rate, latency } => RateLatencyServer::new(rate, latency)
+                .map_err(|_| invalid("rate-latency"))?
+                .beta_lower(),
+            ServerSpec::Fluid { rate } => {
+                if !rate.is_positive() {
+                    return Err(invalid("fluid rate must be positive"));
+                }
+                Curve::affine(Q::ZERO, rate)
+            }
+            ServerSpec::Tdma {
+                slot,
+                cycle,
+                capacity,
+            } => TdmaServer::new(slot, cycle, capacity)
+                .map_err(|_| invalid("tdma"))?
+                .beta_lower(),
+            ServerSpec::PeriodicResource { period, budget } => {
+                PeriodicResource::new(period, budget)
+                    .map_err(|_| invalid("periodic-resource"))?
+                    .beta_lower()
+            }
+        })
+    }
+}
+
+/// A parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 for errors without a location).
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a system description in the text format.
+///
+/// # Examples
+///
+/// ```
+/// let text = "
+/// task t
+/// vertex a wcet=2 deadline=8
+/// edge a a sep=5
+/// server fluid rate=1
+/// ";
+/// let sys = srtw::textfmt::parse_system(text).unwrap();
+/// assert_eq!(sys.tasks.len(), 1);
+/// assert!(sys.server.is_some());
+/// ```
+pub fn parse_system(text: &str) -> Result<SystemSpec, ParseError> {
+    struct PendingTask {
+        builder: DrtTaskBuilder,
+        vertices: HashMap<String, VertexId>,
+        started_at: usize,
+    }
+    let mut tasks: Vec<DrtTask> = Vec::new();
+    let mut server: Option<ServerSpec> = None;
+    let mut current: Option<PendingTask> = None;
+
+    let err = |line: usize, message: String| ParseError { line, message };
+    let finish = |p: PendingTask, tasks: &mut Vec<DrtTask>| -> Result<(), ParseError> {
+        let started = p.started_at;
+        let t = p
+            .builder
+            .build()
+            .map_err(|e| err(started, format!("invalid task: {e}")))?;
+        tasks.push(t);
+        Ok(())
+    };
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let keyword = words.next().expect("non-empty line");
+        match keyword {
+            "task" => {
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "task needs a name".into()))?;
+                if let Some(p) = current.take() {
+                    finish(p, &mut tasks)?;
+                }
+                current = Some(PendingTask {
+                    builder: DrtTaskBuilder::new(name),
+                    vertices: HashMap::new(),
+                    started_at: lineno,
+                });
+            }
+            "vertex" => {
+                let p = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "vertex outside of a task".into()))?;
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "vertex needs a name".into()))?;
+                if p.vertices.contains_key(name) {
+                    return Err(err(lineno, format!("duplicate vertex '{name}'")));
+                }
+                let kv = parse_kv(words, lineno)?;
+                let wcet = need(&kv, "wcet", lineno)?;
+                let id = match kv.get("deadline") {
+                    Some(&d) => p.builder.vertex_with_deadline(name, wcet, d),
+                    None => p.builder.vertex(name, wcet),
+                };
+                p.vertices.insert(name.to_owned(), id);
+            }
+            "edge" => {
+                let p = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "edge outside of a task".into()))?;
+                let from = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "edge needs a source vertex".into()))?;
+                let to = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "edge needs a target vertex".into()))?;
+                let kv = parse_kv(words, lineno)?;
+                let sep = need(&kv, "sep", lineno)?;
+                let &f = p
+                    .vertices
+                    .get(from)
+                    .ok_or_else(|| err(lineno, format!("unknown vertex '{from}'")))?;
+                let &t = p
+                    .vertices
+                    .get(to)
+                    .ok_or_else(|| err(lineno, format!("unknown vertex '{to}'")))?;
+                p.builder.edge(f, t, sep);
+            }
+            "server" => {
+                if server.is_some() {
+                    return Err(err(lineno, "duplicate server declaration".into()));
+                }
+                let kind = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "server needs a kind".into()))?;
+                let kv = parse_kv(words, lineno)?;
+                server = Some(match kind {
+                    "rate-latency" => ServerSpec::RateLatency {
+                        rate: need(&kv, "rate", lineno)?,
+                        latency: need(&kv, "latency", lineno)?,
+                    },
+                    "fluid" => ServerSpec::Fluid {
+                        rate: need(&kv, "rate", lineno)?,
+                    },
+                    "tdma" => ServerSpec::Tdma {
+                        slot: need(&kv, "slot", lineno)?,
+                        cycle: need(&kv, "cycle", lineno)?,
+                        capacity: need(&kv, "capacity", lineno)?,
+                    },
+                    "periodic-resource" => ServerSpec::PeriodicResource {
+                        period: need(&kv, "period", lineno)?,
+                        budget: need(&kv, "budget", lineno)?,
+                    },
+                    other => {
+                        return Err(err(lineno, format!("unknown server kind '{other}'")))
+                    }
+                });
+            }
+            other => {
+                return Err(err(lineno, format!("unknown keyword '{other}'")));
+            }
+        }
+    }
+    if let Some(p) = current.take() {
+        finish(p, &mut tasks)?;
+    }
+    if tasks.is_empty() {
+        return Err(ParseError {
+            line: 0,
+            message: "no tasks declared".into(),
+        });
+    }
+    Ok(SystemSpec { tasks, server })
+}
+
+/// Parses the trailing `key=value` pairs of a line.
+fn parse_kv<'a>(
+    words: impl Iterator<Item = &'a str>,
+    lineno: usize,
+) -> Result<HashMap<&'a str, Q>, ParseError> {
+    let mut out = HashMap::new();
+    for w in words {
+        let (k, v) = w.split_once('=').ok_or_else(|| ParseError {
+            line: lineno,
+            message: format!("expected key=value, found '{w}'"),
+        })?;
+        let value: Q = v.parse().map_err(|_| ParseError {
+            line: lineno,
+            message: format!("invalid rational '{v}' for '{k}'"),
+        })?;
+        if out.insert(k, value).is_some() {
+            return Err(ParseError {
+                line: lineno,
+                message: format!("duplicate key '{k}'"),
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn need(kv: &HashMap<&str, Q>, key: &str, lineno: usize) -> Result<Q, ParseError> {
+    kv.get(key).copied().ok_or_else(|| ParseError {
+        line: lineno,
+        message: format!("missing required '{key}='"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srtw_minplus::q;
+
+    const GOOD: &str = "
+# a decoder and a telemetry stream
+task decoder
+vertex I wcet=12 deadline=60
+vertex P wcet=6 deadline=35
+edge I P sep=15
+edge P I sep=45
+
+task telemetry
+vertex t wcet=1/2
+edge t t sep=25
+
+server rate-latency rate=3/4 latency=2
+";
+
+    #[test]
+    fn parses_complete_system() {
+        let sys = parse_system(GOOD).unwrap();
+        assert_eq!(sys.tasks.len(), 2);
+        assert_eq!(sys.tasks[0].name(), "decoder");
+        assert_eq!(sys.tasks[0].num_vertices(), 2);
+        assert_eq!(sys.tasks[0].num_edges(), 2);
+        assert_eq!(sys.tasks[1].wcet(sys.tasks[1].vertex_ids().next().unwrap()), q(1, 2));
+        let server = sys.server.unwrap();
+        assert_eq!(
+            server,
+            ServerSpec::RateLatency {
+                rate: q(3, 4),
+                latency: Q::int(2)
+            }
+        );
+        let beta = server.beta_lower().unwrap();
+        assert_eq!(beta.eval(Q::int(6)), Q::int(3));
+    }
+
+    #[test]
+    fn error_locations_reported() {
+        let bad = "task t\nvertex a wcet=zero\n";
+        let e = parse_system(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("invalid rational"));
+
+        let e = parse_system("vertex a wcet=1\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("outside of a task"));
+
+        let e = parse_system("task t\nvertex a wcet=1\nedge a b sep=1\n").unwrap_err();
+        assert!(e.message.contains("unknown vertex 'b'"));
+
+        let e = parse_system("task t\nfrobnicate\n").unwrap_err();
+        assert!(e.message.contains("unknown keyword"));
+
+        let e = parse_system("").unwrap_err();
+        assert!(e.message.contains("no tasks"));
+    }
+
+    #[test]
+    fn invalid_task_graphs_surface_build_errors() {
+        // Zero WCET is rejected by the task builder.
+        let e = parse_system("task t\nvertex a wcet=0\nedge a a sep=5\n").unwrap_err();
+        assert!(e.message.contains("invalid task"), "{e}");
+        // Duplicate vertex name.
+        let e = parse_system("task t\nvertex a wcet=1\nvertex a wcet=2\n").unwrap_err();
+        assert!(e.message.contains("duplicate vertex"));
+    }
+
+    #[test]
+    fn all_server_kinds_parse() {
+        for (line, check_rate) in [
+            ("server fluid rate=2", Q::int(2)),
+            ("server tdma slot=2 cycle=5 capacity=1", q(2, 5)),
+            ("server periodic-resource period=5 budget=2", q(2, 5)),
+        ] {
+            let text = format!("task t\nvertex a wcet=1\nedge a a sep=9\n{line}\n");
+            let sys = parse_system(&text).unwrap();
+            let beta = sys.server.unwrap().beta_lower().unwrap();
+            assert_eq!(beta.rate(), check_rate, "for {line}");
+        }
+        let e = parse_system("task t\nvertex a wcet=1\nserver warp speed=9\n").unwrap_err();
+        assert!(e.message.contains("unknown server kind"));
+    }
+
+    #[test]
+    fn parsed_system_is_analysable() {
+        let sys = parse_system(GOOD).unwrap();
+        let beta = sys.server.unwrap().beta_lower().unwrap();
+        let a = srtw_core::fifo_structural(
+            &sys.tasks,
+            &beta,
+            &srtw_core::AnalysisConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn comments_and_duplicate_keys() {
+        let ok = "task t # trailing comment\nvertex a wcet=1 # another\nedge a a sep=5\n";
+        assert!(parse_system(ok).is_ok());
+        let e = parse_system("task t\nvertex a wcet=1 wcet=2\n").unwrap_err();
+        assert!(e.message.contains("duplicate key"));
+        let e = parse_system("task t\nvertex a wcet=1\nedge a a sep=5\nserver fluid rate=1\nserver fluid rate=2\n")
+            .unwrap_err();
+        assert!(e.message.contains("duplicate server"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Integration tests across scheduling policies: FIFO vs fixed priority vs
+//! EDF, analysis vs simulation, and the tandem (pay-bursts-only-once)
+//! analysis — all on randomized generated workloads.
+
+use srtw::{
+    earliest_random_walk, edf_schedulable, fixed_priority_structural, generate_drt, q,
+    simulate_edf, simulate_fixed_priority, structural_delay, tandem_delay, Curve, DrtGenConfig,
+    DrtTask, Q, ServiceProcess,
+};
+
+fn gen(vertices: usize, u: Q, deadline_factor: Option<Q>, seed: u64) -> DrtTask {
+    let cfg = DrtGenConfig {
+        vertices,
+        extra_edges: vertices,
+        separation_range: (4, 25),
+        wcet_range: (1, 6),
+        target_utilization: Some(u),
+        deadline_factor,
+    };
+    generate_drt(&cfg, seed)
+}
+
+#[test]
+fn fp_analysis_sound_against_fp_simulation() {
+    for seed in 0..8 {
+        let hi = gen(4, q(3, 10), None, seed);
+        let lo = gen(4, q(3, 10), None, seed + 7777);
+        let beta = Curve::affine(Q::ZERO, Q::ONE);
+        let bounds = fixed_priority_structural(&[hi.clone(), lo.clone()], &beta).unwrap();
+        for ts in 0..6u64 {
+            let tr_hi = earliest_random_walk(&hi, Q::int(250), None, ts);
+            let tr_lo = earliest_random_walk(&lo, Q::int(250), None, ts + 31);
+            let out = simulate_fixed_priority(
+                &[hi.clone(), lo.clone()],
+                &[tr_hi, tr_lo],
+                &ServiceProcess::fluid(Q::ONE),
+            );
+            for (si, b) in bounds.iter().enumerate() {
+                for vb in &b.per_vertex {
+                    assert!(
+                        out.max_delay_of(si, vb.vertex) <= vb.bound,
+                        "seed {seed}/{ts}: FP simulation exceeded the bound"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn edf_analysis_sound_against_edf_simulation() {
+    let mut accepted = 0;
+    for seed in 0..20 {
+        let task = gen(5, q(1, 2), Some(Q::int(3)), 400 + seed);
+        let beta = Curve::rate_latency(Q::ONE, Q::int(2));
+        let verdict = match edf_schedulable(std::slice::from_ref(&task), &beta) {
+            Ok(v) => v,
+            Err(_) => continue,
+        };
+        if !verdict.schedulable {
+            continue;
+        }
+        accepted += 1;
+        // The simulation runs on the fluid instance at the guaranteed rate,
+        // which dominates the rate-latency curve used by the analysis.
+        for ts in 0..5u64 {
+            let trace = earliest_random_walk(&task, Q::int(250), None, ts);
+            let out = simulate_edf(
+                std::slice::from_ref(&task),
+                std::slice::from_ref(&trace),
+                &ServiceProcess::fluid(Q::ONE),
+            );
+            for j in &out.jobs {
+                let d = task.deadline(j.vertex).expect("generated with deadlines");
+                assert!(
+                    j.delay() <= d,
+                    "seed {seed}: EDF sim missed a certified deadline"
+                );
+            }
+        }
+    }
+    assert!(accepted >= 5, "test vacuous: too few accepted sets");
+}
+
+#[test]
+fn edf_acceptance_dominates_fifo_structural() {
+    // EDF is optimal on a fully-available uniprocessor-like resource:
+    // whenever the FIFO per-type bounds meet all deadlines, the processor
+    // demand criterion must also pass.
+    let beta = Curve::rate_latency(Q::ONE, Q::int(2));
+    let mut fifo_accepted = 0;
+    for seed in 0..40 {
+        let task = gen(5, q(3, 5), Some(Q::int(3)), 800 + seed);
+        let fifo_ok = match structural_delay(&task, &beta) {
+            Ok(a) => a.schedulable(&task),
+            Err(_) => false,
+        };
+        if !fifo_ok {
+            continue;
+        }
+        fifo_accepted += 1;
+        let edf_ok = edf_schedulable(std::slice::from_ref(&task), &beta)
+            .unwrap()
+            .schedulable;
+        assert!(edf_ok, "seed {seed}: EDF rejected a FIFO-certified set");
+    }
+    assert!(fifo_accepted >= 10, "test vacuous");
+}
+
+#[test]
+fn tandem_pboo_randomized() {
+    for seed in 0..10 {
+        let task = gen(5, q(2, 5), None, 600 + seed);
+        let hops = vec![
+            Curve::rate_latency(q(4, 5), Q::int(3)),
+            Curve::rate_latency(q(9, 10), Q::int(2)),
+        ];
+        let r = tandem_delay(&task, &hops).unwrap();
+        assert!(
+            r.end_to_end <= r.per_hop_sum,
+            "seed {seed}: PBOO violated ({} > {})",
+            r.end_to_end,
+            r.per_hop_sum
+        );
+        // Both exceed the single-hop bound of the slowest server alone.
+        let single = structural_delay(&task, &hops[0]).unwrap().stream_bound;
+        assert!(r.end_to_end >= single);
+    }
+}
+
+#[test]
+fn fp_priority_inversion_never_helps_high_priority() {
+    // Adding lower-priority tasks must not change the top task's bounds.
+    for seed in 0..6 {
+        let hi = gen(4, q(3, 10), None, seed);
+        let lo1 = gen(3, q(1, 5), None, seed + 50);
+        let lo2 = gen(3, q(1, 10), None, seed + 90);
+        let beta = Curve::rate_latency(Q::ONE, Q::ONE);
+        let alone = structural_delay(&hi, &beta).unwrap();
+        let stacked =
+            fixed_priority_structural(&[hi.clone(), lo1, lo2], &beta).unwrap();
+        for (a, b) in alone.per_vertex.iter().zip(stacked[0].per_vertex.iter()) {
+            assert_eq!(a.bound, b.bound, "seed {seed}: top priority perturbed");
+        }
+    }
+}
+
+#[test]
+fn preemptive_sims_agree_with_fifo_on_single_stream() {
+    // With one stream, FIFO, fixed-priority and EDF schedules coincide.
+    for seed in 0..6u64 {
+        let task = gen(4, q(2, 5), Some(Q::int(5)), 70 + seed);
+        let trace = earliest_random_walk(&task, Q::int(200), None, seed);
+        let service = ServiceProcess::fluid(Q::ONE);
+        let fifo = srtw::simulate_fifo(
+            std::slice::from_ref(&task),
+            std::slice::from_ref(&trace),
+            &service,
+        );
+        let fp = simulate_fixed_priority(
+            std::slice::from_ref(&task),
+            std::slice::from_ref(&trace),
+            &service,
+        );
+        let edf = simulate_edf(
+            std::slice::from_ref(&task),
+            std::slice::from_ref(&trace),
+            &service,
+        );
+        for ((a, b), c) in fifo.jobs.iter().zip(fp.jobs.iter()).zip(edf.jobs.iter()) {
+            assert_eq!(a.completion, b.completion, "seed {seed}: FIFO vs FP");
+            assert_eq!(a.completion, c.completion, "seed {seed}: FIFO vs EDF");
+        }
+    }
+}
