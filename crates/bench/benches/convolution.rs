@@ -1,53 +1,12 @@
 //! B1 — (min,+) operator micro-benchmarks: convolution, deconvolution,
 //! deviations, and pointwise ops on representative curve pairs.
+//!
+//! Run with `cargo bench -p srtw-bench --bench convolution`; set
+//! `SRTW_BENCH_FAST=1` for a quick smoke run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use srtw_minplus::{q, Curve, Q};
-use std::hint::black_box;
+use srtw_bench::suites::convolution_suite;
+use srtw_bench::timing::{print_samples, Timer};
 
-fn bench_conv(c: &mut Criterion) {
-    let mut g = c.benchmark_group("conv_upto");
-    for &h in &[20i128, 50, 100, 200] {
-        let a = Curve::staircase(Q::int(4), Q::int(3));
-        let b = Curve::rate_latency(q(3, 4), Q::int(5));
-        g.bench_with_input(BenchmarkId::from_parameter(h), &h, |bench, &h| {
-            bench.iter(|| black_box(a.conv_upto(&b, Q::int(h))))
-        });
-    }
-    g.finish();
+fn main() {
+    print_samples(&convolution_suite(&Timer::from_env()));
 }
-
-fn bench_deconv(c: &mut Criterion) {
-    let mut g = c.benchmark_group("deconv");
-    for &h in &[10i128, 20, 40] {
-        let a = Curve::staircase(Q::int(5), Q::int(2));
-        let b = Curve::rate_latency(Q::ONE, Q::int(3));
-        g.bench_with_input(BenchmarkId::from_parameter(h), &h, |bench, &h| {
-            bench.iter(|| black_box(a.deconv(&b, Q::int(h)).unwrap()))
-        });
-    }
-    g.finish();
-}
-
-fn bench_hdev(c: &mut Criterion) {
-    let alpha = Curve::staircase(Q::int(7), Q::int(3));
-    let beta = Curve::rate_latency(q(2, 3), Q::int(4));
-    c.bench_function("hdev_staircase_vs_rate_latency", |b| {
-        b.iter(|| black_box(alpha.hdev(&beta)))
-    });
-}
-
-fn bench_pointwise(c: &mut Criterion) {
-    let a = Curve::staircase(Q::int(4), Q::int(3));
-    let b = Curve::staircase(Q::int(6), Q::int(2));
-    c.bench_function("pointwise_min_periodic_pair", |bench| {
-        bench.iter(|| black_box(a.pointwise_min(&b)))
-    });
-    c.bench_function("sub_clamped_monotone_leftover", |bench| {
-        let beta = Curve::rate_latency(Q::int(2), Q::int(3));
-        bench.iter(|| black_box(beta.sub_clamped_monotone(&a)))
-    });
-}
-
-criterion_group!(benches, bench_conv, bench_deconv, bench_hdev, bench_pointwise);
-criterion_main!(benches);

@@ -1,44 +1,12 @@
 //! B2 — request-bound-function computation across graph sizes and
 //! horizons (the dominance-pruned path exploration).
+//!
+//! Run with `cargo bench -p srtw-bench --bench rbf`; set
+//! `SRTW_BENCH_FAST=1` for a quick smoke run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use srtw_gen::{generate_drt, DrtGenConfig};
-use srtw_minplus::{q, Q};
-use srtw_workload::Rbf;
-use std::hint::black_box;
+use srtw_bench::suites::rbf_suite;
+use srtw_bench::timing::{print_samples, Timer};
 
-fn cfg(n: usize) -> DrtGenConfig {
-    DrtGenConfig {
-        vertices: n,
-        extra_edges: n,
-        separation_range: (5, 40),
-        wcet_range: (1, 9),
-        target_utilization: Some(q(3, 5)),
-        deadline_factor: None,
-    }
+fn main() {
+    print_samples(&rbf_suite(&Timer::from_env()));
 }
-
-fn bench_rbf_size(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rbf_by_graph_size");
-    for &n in &[5usize, 10, 20, 40] {
-        let task = generate_drt(&cfg(n), 42);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &task, |b, task| {
-            b.iter(|| black_box(Rbf::compute(task, Q::int(200))))
-        });
-    }
-    g.finish();
-}
-
-fn bench_rbf_horizon(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rbf_by_horizon");
-    let task = generate_drt(&cfg(10), 7);
-    for &h in &[100i128, 300, 1000] {
-        g.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, &h| {
-            b.iter(|| black_box(Rbf::compute(&task, Q::int(h))))
-        });
-    }
-    g.finish();
-}
-
-criterion_group!(benches, bench_rbf_size, bench_rbf_horizon);
-criterion_main!(benches);

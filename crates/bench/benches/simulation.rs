@@ -1,48 +1,12 @@
 //! B4 — simulator throughput: jobs per second on fluid and TDMA service
 //! processes.
+//!
+//! Run with `cargo bench -p srtw-bench --bench simulation`; set
+//! `SRTW_BENCH_FAST=1` for a quick smoke run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use srtw_gen::{generate_drt, DrtGenConfig};
-use srtw_minplus::{q, Q};
-use srtw_sim::{earliest_random_walk, simulate_fifo, ServiceProcess};
-use std::hint::black_box;
+use srtw_bench::suites::simulation_suite;
+use srtw_bench::timing::{print_samples, Timer};
 
-fn bench_simulation(c: &mut Criterion) {
-    let cfg = DrtGenConfig {
-        vertices: 8,
-        extra_edges: 8,
-        separation_range: (5, 40),
-        wcet_range: (1, 9),
-        target_utilization: Some(q(3, 5)),
-        deadline_factor: None,
-    };
-    let task = generate_drt(&cfg, 9);
-    let mut g = c.benchmark_group("simulate_fifo");
-    for &h in &[200i128, 1000, 4000] {
-        let trace = earliest_random_walk(&task, Q::int(h), None, 5);
-        let fluid = ServiceProcess::fluid(q(4, 5));
-        g.bench_with_input(BenchmarkId::new("fluid", h), &trace, |b, trace| {
-            b.iter(|| {
-                black_box(simulate_fifo(
-                    std::slice::from_ref(&task),
-                    std::slice::from_ref(trace),
-                    &fluid,
-                ))
-            })
-        });
-        let tdma = ServiceProcess::tdma(Q::int(4), Q::int(5), Q::ONE, Q::ONE);
-        g.bench_with_input(BenchmarkId::new("tdma", h), &trace, |b, trace| {
-            b.iter(|| {
-                black_box(simulate_fifo(
-                    std::slice::from_ref(&task),
-                    std::slice::from_ref(trace),
-                    &tdma,
-                ))
-            })
-        });
-    }
-    g.finish();
+fn main() {
+    print_samples(&simulation_suite(&Timer::from_env()));
 }
-
-criterion_group!(benches, bench_simulation);
-criterion_main!(benches);

@@ -1,52 +1,12 @@
 //! B3 — the structural delay analysis end to end: scaling with graph size
-//! and the effect of dominance pruning (the ablation criterion measures).
+//! and the effect of dominance pruning (the ablation measures).
+//!
+//! Run with `cargo bench -p srtw-bench --bench structural`; set
+//! `SRTW_BENCH_FAST=1` for a quick smoke run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use srtw_core::{rtc_delay, structural_delay, structural_delay_with, AnalysisConfig};
-use srtw_gen::{generate_drt, DrtGenConfig};
-use srtw_minplus::{q, Curve, Q};
-use std::hint::black_box;
+use srtw_bench::suites::structural_suite;
+use srtw_bench::timing::{print_samples, Timer};
 
-fn cfg(n: usize) -> DrtGenConfig {
-    DrtGenConfig {
-        vertices: n,
-        extra_edges: n,
-        separation_range: (5, 40),
-        wcet_range: (1, 9),
-        target_utilization: Some(q(3, 5)),
-        deadline_factor: None,
-    }
+fn main() {
+    print_samples(&structural_suite(&Timer::from_env()));
 }
-
-fn bench_structural_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("structural_scaling");
-    let beta = Curve::rate_latency(q(4, 5), Q::int(4));
-    for &n in &[5usize, 10, 20, 40] {
-        let task = generate_drt(&cfg(n), 11);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &task, |b, task| {
-            b.iter(|| black_box(structural_delay(task, &beta).unwrap()))
-        });
-    }
-    g.finish();
-}
-
-fn bench_pruning_effect(c: &mut Criterion) {
-    let beta = Curve::rate_latency(q(4, 5), Q::int(4));
-    let task = generate_drt(&cfg(6), 3);
-    c.bench_function("structural_pruned", |b| {
-        b.iter(|| black_box(structural_delay(&task, &beta).unwrap()))
-    });
-    c.bench_function("structural_no_prune", |b| {
-        let cfg = AnalysisConfig {
-            no_prune: true,
-            ..Default::default()
-        };
-        b.iter(|| black_box(structural_delay_with(&task, &beta, &cfg).unwrap()))
-    });
-    c.bench_function("rtc_baseline", |b| {
-        b.iter(|| black_box(rtc_delay(&task, &beta).unwrap()))
-    });
-}
-
-criterion_group!(benches, bench_structural_scaling, bench_pruning_effect);
-criterion_main!(benches);

@@ -1,9 +1,17 @@
-//! Experiment runner: regenerates the evaluation tables and figures.
+//! Experiment runner: regenerates the evaluation tables, figures, and the
+//! benchmark document.
 //!
 //! ```text
-//! cargo run -p srtw-bench --release --bin experiments -- all
-//! cargo run -p srtw-bench --release --bin experiments -- e1 e5 --csv results/
+//! cargo run -p srtw-bench --release --bin experiments            # everything
+//! cargo run -p srtw-bench --release --bin experiments -- all --csv results/
+//! cargo run -p srtw-bench --release --bin experiments -- e1 e5
+//! cargo run -p srtw-bench --release --bin experiments -- bench --bench-out BENCH_1.json
 //! ```
+//!
+//! With no arguments every experiment (`all`) runs, followed by the four
+//! benchmark suites (`bench`), writing `BENCH_1.json` to the current
+//! directory. The `bench` pseudo-id can also be requested explicitly next
+//! to experiment ids; `--bench-out` overrides the output path.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -12,6 +20,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
+    let mut bench_out = PathBuf::from("BENCH_1.json");
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         if a == "--csv" {
@@ -22,17 +31,36 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        } else if a == "--bench-out" {
+            match it.next() {
+                Some(p) => bench_out = PathBuf::from(p),
+                None => {
+                    eprintln!("--bench-out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else {
             ids.push(a);
         }
     }
     if ids.is_empty() {
-        eprintln!("usage: experiments <e1..e10|all> ... [--csv DIR]");
-        return ExitCode::FAILURE;
+        // Full regeneration: every table, then every benchmark suite.
+        ids = vec!["all".into(), "bench".into()];
     }
     for id in &ids {
-        if !srtw_bench::run_experiment_to(id, csv_dir.as_deref()) {
+        if id == "bench" {
+            let timer = srtw_bench::timing::Timer::from_env();
+            println!("BENCH: timing suites (convolution, rbf, structural, simulation)");
+            let samples = srtw_bench::suites::all_suites(&timer);
+            srtw_bench::timing::print_samples(&samples);
+            if let Err(e) = srtw_bench::timing::write_json(&samples, &bench_out) {
+                eprintln!("cannot write {}: {e}", bench_out.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", bench_out.display());
+        } else if !srtw_bench::run_experiment_to(id, csv_dir.as_deref()) {
             eprintln!("unknown experiment id: {id}");
+            eprintln!("usage: experiments [e1..e10|all|bench] ... [--csv DIR] [--bench-out PATH]");
             return ExitCode::FAILURE;
         }
         println!();

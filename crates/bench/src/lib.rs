@@ -3,10 +3,15 @@
 //! Regenerates every table and figure of the evaluation (see
 //! `EXPERIMENTS.md` at the workspace root for the per-experiment index and
 //! the recorded outputs). Each experiment is a pure function printing a
-//! plain-text table; the `experiments` binary dispatches on experiment ids.
+//! plain-text table; the `experiments` binary dispatches on experiment ids
+//! and additionally runs the in-house benchmark [`suites`] (timed by
+//! [`timing`]) to produce `BENCH_1.json`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod suites;
+pub mod timing;
 
 use srtw_core::{
     backlog_bound, fifo_rtc, fifo_structural, rtc_delay, structural_delay,

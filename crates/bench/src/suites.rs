@@ -1,0 +1,161 @@
+//! The benchmark suites behind `BENCH_1.json`: the same workloads the old
+//! criterion benches measured, expressed against [`crate::timing::Timer`].
+//!
+//! Each suite function is callable from both the `cargo bench` wrappers in
+//! `benches/` and the `experiments` binary, so one entry point regenerates
+//! every recorded number.
+
+use crate::timing::{Sample, Timer};
+use srtw_core::{rtc_delay, structural_delay, structural_delay_with, AnalysisConfig};
+use srtw_gen::{generate_drt, DrtGenConfig};
+use srtw_minplus::{q, Curve, Q};
+use srtw_sim::{earliest_random_walk, simulate_fifo, ServiceProcess};
+use srtw_workload::Rbf;
+use std::hint::black_box;
+
+fn gen_cfg(n: usize) -> DrtGenConfig {
+    DrtGenConfig {
+        vertices: n,
+        extra_edges: n,
+        separation_range: (5, 40),
+        wcet_range: (1, 9),
+        target_utilization: Some(q(3, 5)),
+        deadline_factor: None,
+    }
+}
+
+/// B1 — (min,+) operator micro-benchmarks: convolution, deconvolution,
+/// deviations, and pointwise ops on representative curve pairs.
+pub fn convolution_suite(t: &Timer) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for &h in &[20i128, 50, 100, 200] {
+        let a = Curve::staircase(Q::int(4), Q::int(3));
+        let b = Curve::rate_latency(q(3, 4), Q::int(5));
+        out.push(t.bench("convolution", format!("conv_upto/{h}"), || {
+            black_box(a.conv_upto(&b, Q::int(h)));
+        }));
+    }
+    for &h in &[10i128, 20, 40] {
+        let a = Curve::staircase(Q::int(5), Q::int(2));
+        let b = Curve::rate_latency(Q::ONE, Q::int(3));
+        out.push(t.bench("convolution", format!("deconv/{h}"), || {
+            black_box(a.deconv(&b, Q::int(h)).unwrap());
+        }));
+    }
+    {
+        let alpha = Curve::staircase(Q::int(7), Q::int(3));
+        let beta = Curve::rate_latency(q(2, 3), Q::int(4));
+        out.push(t.bench("convolution", "hdev_staircase_vs_rate_latency", || {
+            black_box(alpha.hdev(&beta));
+        }));
+    }
+    {
+        let a = Curve::staircase(Q::int(4), Q::int(3));
+        let b = Curve::staircase(Q::int(6), Q::int(2));
+        out.push(t.bench("convolution", "pointwise_min_periodic_pair", || {
+            black_box(a.pointwise_min(&b));
+        }));
+        let beta = Curve::rate_latency(Q::int(2), Q::int(3));
+        out.push(t.bench("convolution", "sub_clamped_monotone_leftover", || {
+            black_box(beta.sub_clamped_monotone(&a));
+        }));
+    }
+    out
+}
+
+/// B2 — request-bound-function computation across graph sizes and
+/// horizons (the dominance-pruned path exploration).
+pub fn rbf_suite(t: &Timer) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for &n in &[5usize, 10, 20, 40] {
+        let task = generate_drt(&gen_cfg(n), 42);
+        out.push(t.bench("rbf", format!("rbf_by_graph_size/{n}"), || {
+            black_box(Rbf::compute(&task, Q::int(200)));
+        }));
+    }
+    let task = generate_drt(&gen_cfg(10), 7);
+    for &h in &[100i128, 300, 1000] {
+        out.push(t.bench("rbf", format!("rbf_by_horizon/{h}"), || {
+            black_box(Rbf::compute(&task, Q::int(h)));
+        }));
+    }
+    out
+}
+
+/// B3 — the structural delay analysis end to end: scaling with graph size
+/// and the effect of dominance pruning (the ablation measures).
+pub fn structural_suite(t: &Timer) -> Vec<Sample> {
+    let mut out = Vec::new();
+    let beta = Curve::rate_latency(q(4, 5), Q::int(4));
+    for &n in &[5usize, 10, 20, 40] {
+        let task = generate_drt(&gen_cfg(n), 11);
+        out.push(t.bench("structural", format!("structural_scaling/{n}"), || {
+            black_box(structural_delay(&task, &beta).unwrap());
+        }));
+    }
+    let task = generate_drt(&gen_cfg(6), 3);
+    out.push(t.bench("structural", "structural_pruned", || {
+        black_box(structural_delay(&task, &beta).unwrap());
+    }));
+    let cfg = AnalysisConfig {
+        no_prune: true,
+        ..Default::default()
+    };
+    out.push(t.bench("structural", "structural_no_prune", || {
+        black_box(structural_delay_with(&task, &beta, &cfg).unwrap());
+    }));
+    out.push(t.bench("structural", "rtc_baseline", || {
+        black_box(rtc_delay(&task, &beta).unwrap());
+    }));
+    out
+}
+
+/// B4 — simulator throughput: jobs per second on fluid and TDMA service
+/// processes.
+pub fn simulation_suite(t: &Timer) -> Vec<Sample> {
+    let mut out = Vec::new();
+    let task = generate_drt(&gen_cfg(8), 9);
+    for &h in &[200i128, 1000, 4000] {
+        let trace = earliest_random_walk(&task, Q::int(h), None, 5);
+        let fluid = ServiceProcess::fluid(q(4, 5));
+        out.push(t.bench("simulation", format!("simulate_fifo/fluid/{h}"), || {
+            black_box(simulate_fifo(
+                std::slice::from_ref(&task),
+                std::slice::from_ref(&trace),
+                &fluid,
+            ));
+        }));
+        let tdma = ServiceProcess::tdma(Q::int(4), Q::int(5), Q::ONE, Q::ONE);
+        out.push(t.bench("simulation", format!("simulate_fifo/tdma/{h}"), || {
+            black_box(simulate_fifo(
+                std::slice::from_ref(&task),
+                std::slice::from_ref(&trace),
+                &tdma,
+            ));
+        }));
+    }
+    out
+}
+
+/// Runs all four suites in order (convolution, rbf, structural, simulation).
+pub fn all_suites(t: &Timer) -> Vec<Sample> {
+    let mut out = convolution_suite(t);
+    out.extend(rbf_suite(t));
+    out.extend(structural_suite(t));
+    out.extend(simulation_suite(t));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_suite_produces_entries_fast() {
+        let t = Timer::fast();
+        assert_eq!(convolution_suite(&t).len(), 10);
+        assert_eq!(rbf_suite(&t).len(), 7);
+        assert_eq!(structural_suite(&t).len(), 7);
+        assert_eq!(simulation_suite(&t).len(), 6);
+    }
+}

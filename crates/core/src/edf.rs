@@ -15,7 +15,6 @@ use srtw_workload::{Dbf, DrtTask};
 
 /// Result of an EDF schedulability test.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct EdfReport {
     /// Does the demand stay below the service everywhere?
     pub schedulable: bool,
@@ -25,6 +24,29 @@ pub struct EdfReport {
     pub busy_window: Q,
     /// Number of demand breakpoints inspected.
     pub breakpoints: usize,
+}
+
+impl EdfReport {
+    /// The report as a JSON value.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::object(vec![
+            ("schedulable", Json::Bool(self.schedulable)),
+            (
+                "violation",
+                match self.violation {
+                    Some((t, demand, supply)) => Json::object(vec![
+                        ("window", Json::rational(t)),
+                        ("demand", Json::rational(demand)),
+                        ("supply", Json::rational(supply)),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+            ("busy_window", Json::rational(self.busy_window)),
+            ("breakpoints", Json::Int(self.breakpoints as i128)),
+        ])
+    }
 }
 
 /// EDF processor-demand test for `tasks` sharing a resource with lower

@@ -1,0 +1,190 @@
+//! A minimal, escaping-correct JSON writer.
+//!
+//! The workspace's zero-external-dependency policy rules out `serde`; the
+//! report types instead build a [`Json`] value tree and render it with
+//! [`Json::render`] (or `Display`). The writer covers exactly what RFC 8259
+//! requires of an emitter:
+//!
+//! * strings escape `"` and `\`, the short forms `\b \f \n \r \t`, and all
+//!   other control characters below `U+0020` as `\u00XX`;
+//! * non-finite floats have no JSON representation and render as `null`;
+//! * object member order is preserved (deterministic output for diffing).
+//!
+//! Exact rationals ([`Q`]) are rendered through [`Json::rational`] as
+//! `{"num": …, "den": …, "approx": …}` so consumers can choose between the
+//! exact value and a ready-made float.
+
+use srtw_minplus::Q;
+use std::fmt;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialized without a decimal point).
+    Int(i128),
+    /// A float; NaN and infinities render as `null`.
+    Float(f64),
+    /// A string (escaped on rendering).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; member order is preserved.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn object(members: Vec<(&str, Json)>) -> Json {
+        Json::Object(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    /// An exact rational as `{"num", "den", "approx"}`.
+    pub fn rational(q: Q) -> Json {
+        Json::object(vec![
+            ("num", Json::Int(q.numer())),
+            ("den", Json::Int(q.denom())),
+            ("approx", Json::Float(q.to_f64())),
+        ])
+    }
+
+    /// Renders the value as a compact JSON document.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => write!(f, "{i}"),
+            Json::Float(x) => {
+                if x.is_finite() {
+                    if *x == x.trunc() && x.abs() < 1e15 {
+                        // Keep integral floats recognisably float-typed.
+                        write!(f, "{x:.1}")
+                    } else {
+                        write!(f, "{x}")
+                    }
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Array(xs) => {
+                f.write_str("[")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(members) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\u{08}' => f.write_str("\\b")?,
+            '\u{0C}' => f.write_str("\\f")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srtw_minplus::q;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-42).render(), "-42");
+        assert_eq!(Json::Float(1.5).render(), "1.5");
+        assert_eq!(Json::Float(3.0).render(), "3.0");
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape_correctly() {
+        assert_eq!(Json::str("plain").render(), "\"plain\"");
+        assert_eq!(
+            Json::str("say \"hi\"\\now").render(),
+            r#""say \"hi\"\\now""#
+        );
+        assert_eq!(Json::str("a\nb\tc\r").render(), r#""a\nb\tc\r""#);
+        assert_eq!(Json::str("\u{08}\u{0C}\u{01}").render(), r#""\b\f\u0001""#);
+        // Non-ASCII passes through unescaped (JSON is UTF-8).
+        assert_eq!(Json::str("β → δ").render(), "\"β → δ\"");
+    }
+
+    #[test]
+    fn arrays_and_objects_render_in_order() {
+        let v = Json::object(vec![
+            ("b", Json::Int(1)),
+            ("a", Json::Array(vec![Json::Int(2), Json::Null])),
+        ]);
+        assert_eq!(v.render(), r#"{"b":1,"a":[2,null]}"#);
+        assert_eq!(Json::Array(vec![]).render(), "[]");
+        assert_eq!(Json::Object(vec![]).render(), "{}");
+    }
+
+    #[test]
+    fn rationals_carry_exact_and_approx() {
+        assert_eq!(
+            Json::rational(q(3, 4)).render(),
+            r#"{"num":3,"den":4,"approx":0.75}"#
+        );
+        assert_eq!(
+            Json::rational(Q::int(5)).render(),
+            r#"{"num":5,"den":1,"approx":5.0}"#
+        );
+    }
+
+    #[test]
+    fn keys_are_escaped_too() {
+        let v = Json::Object(vec![("we\"ird".to_owned(), Json::Null)]);
+        assert_eq!(v.render(), r#"{"we\"ird":null}"#);
+    }
+}

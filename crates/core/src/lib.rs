@@ -50,6 +50,7 @@ mod busy;
 mod edf;
 mod error;
 mod fp;
+pub mod json;
 mod report;
 mod tandem;
 
@@ -62,4 +63,5 @@ pub use edf::{edf_schedulable, EdfReport};
 pub use fp::{fixed_priority_structural, fixed_priority_structural_with};
 pub use tandem::{tandem_backlog_at, tandem_delay, TandemReport};
 pub use error::AnalysisError;
+pub use json::Json;
 pub use report::{DelayAnalysis, RtcReport, VertexBound, WitnessPath};

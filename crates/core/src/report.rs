@@ -1,5 +1,6 @@
-//! Analysis result types and their pretty-printers.
+//! Analysis result types and their pretty-printers (text and JSON).
 
+use crate::json::Json;
 use srtw_minplus::Q;
 use srtw_workload::{DrtTask, VertexId};
 use std::fmt;
@@ -7,7 +8,6 @@ use std::time::Duration;
 
 /// The witness abstract path realizing a delay bound.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct WitnessPath {
     /// Vertex sequence of the path (last vertex is the analysed job type).
     pub vertices: Vec<VertexId>,
@@ -32,11 +32,27 @@ impl WitnessPath {
             self.work
         )
     }
+
+    /// The witness as a JSON value (vertex indices, span, work).
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            (
+                "vertices",
+                Json::Array(
+                    self.vertices
+                        .iter()
+                        .map(|v| Json::Int(v.index() as i128))
+                        .collect(),
+                ),
+            ),
+            ("span", Json::rational(self.span)),
+            ("work", Json::rational(self.work)),
+        ])
+    }
 }
 
 /// Delay bound of one job type.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct VertexBound {
     /// The job type.
     pub vertex: VertexId,
@@ -51,9 +67,27 @@ pub struct VertexBound {
     pub from_fallback: bool,
 }
 
+impl VertexBound {
+    /// The bound as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("vertex", Json::Int(self.vertex.index() as i128)),
+            ("label", Json::str(&self.label)),
+            ("bound", Json::rational(self.bound)),
+            (
+                "witness",
+                match &self.witness {
+                    Some(w) => w.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            ("from_fallback", Json::Bool(self.from_fallback)),
+        ])
+    }
+}
+
 /// Result of a structural delay analysis of one stream.
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct DelayAnalysis {
     /// Name of the analysed task.
     pub task_name: String,
@@ -99,6 +133,24 @@ impl DelayAnalysis {
             None => true,
         })
     }
+
+    /// The full analysis as a JSON value (used by `srtw analyze --json`).
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("task", Json::str(&self.task_name)),
+            (
+                "per_vertex",
+                Json::Array(self.per_vertex.iter().map(VertexBound::to_json).collect()),
+            ),
+            ("stream_bound", Json::rational(self.stream_bound)),
+            ("busy_window", Json::rational(self.busy_window)),
+            ("utilization", Json::rational(self.utilization)),
+            ("paths_retained", Json::Int(self.paths_retained as i128)),
+            ("paths_generated", Json::Int(self.paths_generated as i128)),
+            ("paths_pruned", Json::Int(self.paths_pruned as i128)),
+            ("runtime_secs", Json::Float(self.runtime.as_secs_f64())),
+        ])
+    }
 }
 
 impl fmt::Display for DelayAnalysis {
@@ -128,7 +180,6 @@ impl fmt::Display for DelayAnalysis {
 
 /// Result of the RTC (arrival-curve) baseline analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct RtcReport {
     /// The single stream-wide delay bound the abstraction permits.
     pub bound: Q,
@@ -136,6 +187,17 @@ pub struct RtcReport {
     pub busy_window: Q,
     /// Number of rbf breakpoints inspected.
     pub breakpoints: usize,
+}
+
+impl RtcReport {
+    /// The report as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("bound", Json::rational(self.bound)),
+            ("busy_window", Json::rational(self.busy_window)),
+            ("breakpoints", Json::Int(self.breakpoints as i128)),
+        ])
+    }
 }
 
 impl fmt::Display for RtcReport {

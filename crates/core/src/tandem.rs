@@ -19,7 +19,6 @@ use srtw_workload::{DrtTask, Rbf};
 
 /// Result of a tandem analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct TandemReport {
     /// End-to-end (convolved-service) structural stream bound.
     pub end_to_end: Q,
@@ -29,6 +28,22 @@ pub struct TandemReport {
     pub hop_delays: Vec<Q>,
     /// Busy-window bound against the end-to-end service.
     pub busy_window: Q,
+}
+
+impl TandemReport {
+    /// The report as a JSON value.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::object(vec![
+            ("end_to_end", Json::rational(self.end_to_end)),
+            ("per_hop_sum", Json::rational(self.per_hop_sum)),
+            (
+                "hop_delays",
+                Json::Array(self.hop_delays.iter().map(|&d| Json::rational(d)).collect()),
+            ),
+            ("busy_window", Json::rational(self.busy_window)),
+        ])
+    }
 }
 
 /// Analyses a stream crossing `betas` in tandem, returning both the

@@ -1,0 +1,278 @@
+//! A seeded property-test harness.
+//!
+//! [`forall`] runs a property over `N` deterministically seeded random
+//! inputs (default 64, override with `SRTW_PROP_CASES`). Inputs are built
+//! by a generator function `fn(&mut Rng, size) -> T` where `size` is a
+//! budget that ramps up over the run, so early cases are small. On failure
+//! the harness
+//!
+//! * **shrinks by halving**: it regenerates the input from the same case
+//!   seed at `size/2, size/4, …, 1, 0` and keeps the smallest budget that
+//!   still fails (generation is deterministic in `(seed, size)`, so the
+//!   reported input is reproducible);
+//! * **reports the failing seed**: the panic message contains a
+//!   `SRTW_PROP_REPLAY=<seed>:<size>` assignment that re-runs exactly the
+//!   shrunk counterexample (and nothing else) on the next `cargo test`.
+//!
+//! Properties are plain closures using the standard `assert!` family;
+//! failures are caught via `std::panic::catch_unwind`.
+//!
+//! # Example
+//!
+//! ```
+//! use srtw_detrand::prop::forall;
+//!
+//! forall("addition_commutes", |rng, size| {
+//!     let bound = 1 + size as i64;
+//!     (rng.random_range(-bound..=bound), rng.random_range(-bound..=bound))
+//! }, |&(a, b)| {
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use crate::rng::Rng;
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Configuration of a property run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of seeded cases to run (`SRTW_PROP_CASES` overrides).
+    pub cases: u64,
+    /// Base seed of the run (`SRTW_PROP_SEED` overrides). Case `i` derives
+    /// its own seed from `(seed, i)`, so runs are reproducible per case.
+    pub seed: u64,
+    /// Size budget of the first case.
+    pub min_size: u32,
+    /// Size budget of the last case (the ramp is linear).
+    pub max_size: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: env_u64("SRTW_PROP_CASES").unwrap_or(64).max(1),
+            seed: env_u64("SRTW_PROP_SEED").unwrap_or(0x5eed_cafe),
+            min_size: 4,
+            max_size: 64,
+        }
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+/// Runs `prop` over [`Config::default`]`.cases` seeded inputs from `gen`.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing test) with the shrunk counterexample and
+/// its replay seed if any case fails.
+pub fn forall<T, G, P>(name: &str, gen: G, prop: P)
+where
+    T: Debug,
+    G: Fn(&mut Rng, u32) -> T,
+    P: Fn(&T),
+{
+    forall_with(&Config::default(), name, gen, prop);
+}
+
+/// Like [`forall`] with an explicit [`Config`].
+pub fn forall_with<T, G, P>(cfg: &Config, name: &str, gen: G, prop: P)
+where
+    T: Debug,
+    G: Fn(&mut Rng, u32) -> T,
+    P: Fn(&T),
+{
+    if let Ok(replay) = std::env::var("SRTW_PROP_REPLAY") {
+        if let Some((seed, size)) = parse_replay(&replay) {
+            run_replay(name, seed, size, &gen, &prop);
+            return;
+        }
+        panic!("SRTW_PROP_REPLAY must look like '<seed>:<size>', got '{replay}'");
+    }
+    let ramp = cfg.max_size.saturating_sub(cfg.min_size) as u64;
+    for i in 0..cfg.cases {
+        let case_seed = case_seed(cfg.seed, i);
+        let size = cfg.min_size + (ramp * i / cfg.cases.max(1)) as u32;
+        let value = gen(&mut Rng::seed_from_u64(case_seed), size);
+        if let Err(msg) = run_case(&prop, &value) {
+            let (shrunk_size, shrunk_value, shrunk_msg) =
+                shrink(&gen, &prop, case_seed, size, value, msg);
+            panic!(
+                "property '{name}' failed (case {i} of {cases}, seed {case_seed}, size {size}; \
+                 shrunk to size {shrunk_size})\n\
+                 counterexample: {value}\n\
+                 failure: {failure}\n\
+                 replay just this case with SRTW_PROP_REPLAY={case_seed}:{shrunk_size}",
+                cases = cfg.cases,
+                value = truncate(&format!("{shrunk_value:?}"), 4000),
+                failure = shrunk_msg,
+            );
+        }
+    }
+}
+
+/// Derives the per-case seed. Mixing through SplitMix64 keeps neighbouring
+/// case indices statistically unrelated.
+fn case_seed(base: u64, index: u64) -> u64 {
+    Rng::seed_from_u64(base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
+
+fn parse_replay(spec: &str) -> Option<(u64, u32)> {
+    let (seed, size) = spec.split_once(':')?;
+    Some((seed.trim().parse().ok()?, size.trim().parse().ok()?))
+}
+
+fn run_replay<T, G, P>(name: &str, seed: u64, size: u32, gen: &G, prop: &P)
+where
+    T: Debug,
+    G: Fn(&mut Rng, u32) -> T,
+    P: Fn(&T),
+{
+    let value = gen(&mut Rng::seed_from_u64(seed), size);
+    eprintln!("[{name}] replaying seed {seed} size {size}: {:?}", &value);
+    if let Err(msg) = run_case(prop, &value) {
+        panic!("property '{name}' failed on replayed case (seed {seed}, size {size}): {msg}");
+    }
+}
+
+/// Runs one case, converting a panic into its message.
+fn run_case<T, P: Fn(&T)>(prop: &P, value: &T) -> Result<(), String> {
+    catch_unwind(AssertUnwindSafe(|| prop(value))).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_owned()
+        }
+    })
+}
+
+/// Bounded shrinking: regenerate from the same seed at repeatedly halved
+/// size budgets, keeping the smallest budget that still fails.
+fn shrink<T, G, P>(
+    gen: &G,
+    prop: &P,
+    seed: u64,
+    size: u32,
+    value: T,
+    msg: String,
+) -> (u32, T, String)
+where
+    G: Fn(&mut Rng, u32) -> T,
+    P: Fn(&T),
+{
+    let mut best = (size, value, msg);
+    let mut s = size;
+    loop {
+        s /= 2;
+        let candidate = gen(&mut Rng::seed_from_u64(seed), s);
+        if let Err(m) = run_case(prop, &candidate) {
+            best = (s, candidate, m);
+        }
+        if s == 0 {
+            return best;
+        }
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        return s.to_owned();
+    }
+    let mut cut = max;
+    while !s.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}… ({} bytes elided)", &s[..cut], s.len() - cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let ran = AtomicU64::new(0);
+        forall_with(
+            &Config {
+                cases: 64,
+                seed: 1,
+                min_size: 4,
+                max_size: 64,
+            },
+            "sum_symmetric",
+            |rng, size| {
+                let b = 1 + size as i64;
+                (rng.random_range(-b..=b), rng.random_range(-b..=b))
+            },
+            |&(a, b)| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                assert_eq!(a + b, b + a);
+            },
+        );
+        assert_eq!(ran.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            forall_with(
+                &Config {
+                    cases: 64,
+                    seed: 2,
+                    min_size: 4,
+                    max_size: 64,
+                },
+                "always_small",
+                |rng, size| rng.random_range(0u64..=size as u64),
+                |&v| assert!(v < 3, "{v} too big"),
+            );
+        }))
+        .expect_err("property must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic message is a String")
+            .clone();
+        assert!(msg.contains("property 'always_small' failed"), "{msg}");
+        assert!(msg.contains("SRTW_PROP_REPLAY="), "{msg}");
+        assert!(msg.contains("too big"), "{msg}");
+        assert!(msg.contains("shrunk to size"), "{msg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = |rng: &mut Rng, size: u32| -> Vec<u64> {
+            (0..size).map(|_| rng.next_u64()).collect()
+        };
+        let a = gen(&mut Rng::seed_from_u64(99), 8);
+        let b = gen(&mut Rng::seed_from_u64(99), 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shrinking_halves_down_to_smallest_failing_budget() {
+        // Fails whenever the generated value (== size) is >= 8, so the
+        // shrink loop must land on a size in [8, …) strictly below 64.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            forall_with(
+                &Config {
+                    cases: 1,
+                    seed: 3,
+                    min_size: 64,
+                    max_size: 64,
+                },
+                "size_bounded",
+                |_rng, size| size,
+                |&v| assert!(v < 8),
+            );
+        }))
+        .expect_err("must fail");
+        let msg = err.downcast_ref::<String>().unwrap().clone();
+        assert!(msg.contains("shrunk to size 8"), "{msg}");
+    }
+}

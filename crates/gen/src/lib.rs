@@ -29,8 +29,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use srtw_detrand::Rng;
 use srtw_minplus::Q;
 use srtw_workload::{critical_cycle, DrtTask, DrtTaskBuilder, VertexId};
 
@@ -80,7 +79,7 @@ pub fn generate_drt(cfg: &DrtGenConfig, seed: u64) -> DrtTask {
     assert!(0 < smin && smin <= smax, "bad separation range");
     assert!(0 < wmin && wmin <= wmax, "bad wcet range");
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = DrtTaskBuilder::new(format!("rand-{seed}"));
     let n = cfg.vertices;
 

@@ -18,7 +18,6 @@ use crate::ratio::Q;
 /// `value + slope * (t - start)`. The extent's right end is defined by the
 /// following piece (or the tail).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Piece {
     /// Start time of the piece.
     pub start: Q,
@@ -44,7 +43,6 @@ impl Piece {
 
 /// Tail behaviour of a [`Curve`] beyond its explicit pieces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Tail {
     /// The last piece extends to `+∞` with its own slope.
     Affine,
@@ -82,7 +80,6 @@ pub enum Tail {
 /// assert_eq!(alpha.eval(Q::int(100)), Q::int(21));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Curve {
     pieces: Vec<Piece>,
     tail: Tail,

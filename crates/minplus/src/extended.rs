@@ -21,7 +21,6 @@ use std::fmt;
 /// assert_eq!(Ext::Infinite.finite(), None);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Ext {
     /// A finite rational value.
     Finite(Q),

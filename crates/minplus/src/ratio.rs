@@ -33,7 +33,6 @@ use std::str::FromStr;
 /// assert_eq!((a * b).to_string(), "1/18");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Q {
     num: i128,
     den: i128,

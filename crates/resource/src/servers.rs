@@ -40,7 +40,6 @@ pub trait Server: fmt::Debug {
 /// assert_eq!(s.rate(), q(3, 4));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RateLatencyServer {
     rate: Q,
     latency: Q,
@@ -114,7 +113,6 @@ impl Server for RateLatencyServer {
 /// assert_eq!(beta.rate(), Q::new(2, 5));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TdmaServer {
     slot: Q,
     cycle: Q,
@@ -214,7 +212,6 @@ impl Server for TdmaServer {
 /// The worst-case lower curve has an initial blackout of `2(Π − Θ)`
 /// followed by `Θ` service per period.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PeriodicResource {
     period: Q,
     budget: Q,

@@ -1,97 +1,139 @@
 //! Property-based tests for server models and composition.
+//!
+//! Runs on the in-house seeded harness ([`srtw_detrand::prop`]); set
+//! `SRTW_PROP_CASES` / `SRTW_PROP_SEED` / `SRTW_PROP_REPLAY` to control it.
 
-use proptest::prelude::*;
+use srtw_detrand::prop::forall;
+use srtw_detrand::Rng;
 use srtw_minplus::{Curve, Q};
 use srtw_resource::{
     concatenate_upto, leftover_blind, leftover_chain, PeriodicResource, RateLatencyServer, Server,
     TdmaServer,
 };
 
-fn pos_q() -> impl Strategy<Value = Q> {
-    (1i128..=10, 1i128..=3).prop_map(|(n, d)| Q::new(n, d))
+fn pos_q(rng: &mut Rng) -> Q {
+    Q::new(rng.random_range(1i128..=10), rng.random_range(1i128..=3))
 }
 
-fn server_curve() -> impl Strategy<Value = Curve> {
-    prop_oneof![
-        (pos_q(), 0i128..=6).prop_map(|(r, t)| {
+fn server_curve(rng: &mut Rng) -> Curve {
+    match rng.random_range(0u32..3) {
+        0 => {
+            let r = pos_q(rng);
+            let t = rng.random_range(0i128..=6);
             RateLatencyServer::new(r, Q::int(t)).unwrap().beta_lower()
-        }),
-        (1i128..=3, 4i128..=8, 1i128..=2).prop_map(|(slot, cycle, cap)| {
+        }
+        1 => {
+            let slot = rng.random_range(1i128..=3);
+            let cycle = rng.random_range(4i128..=8);
+            let cap = rng.random_range(1i128..=2);
             TdmaServer::new(Q::int(slot), Q::int(cycle), Q::int(cap))
                 .unwrap()
                 .beta_lower()
-        }),
-        (4i128..=8, 1i128..=3).prop_map(|(p, th)| {
+        }
+        _ => {
+            let p = rng.random_range(4i128..=8);
+            let th = rng.random_range(1i128..=3);
             PeriodicResource::new(Q::int(p), Q::int(th.min(p)))
                 .unwrap()
                 .beta_lower()
-        }),
-    ]
+        }
+    }
 }
 
-fn arrival_curve() -> impl Strategy<Value = Curve> {
-    (3i128..=10, 1i128..=4).prop_map(|(p, e)| Curve::staircase(Q::int(p), Q::int(e)))
+fn arrival_curve(rng: &mut Rng) -> Curve {
+    Curve::staircase(
+        Q::int(rng.random_range(3i128..=10)),
+        Q::int(rng.random_range(1i128..=4)),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn lower_curves_start_at_zero_and_are_monotone() {
+    forall(
+        "lower_curves_start_at_zero_and_are_monotone",
+        |rng, _| server_curve(rng),
+        |beta| {
+            assert_eq!(beta.eval(Q::ZERO), Q::ZERO);
+            let mut prev = Q::ZERO;
+            for i in 0..80 {
+                let v = beta.eval(Q::new(i, 2));
+                assert!(v >= prev);
+                prev = v;
+            }
+        },
+    );
+}
 
-    #[test]
-    fn lower_curves_start_at_zero_and_are_monotone(beta in server_curve()) {
-        prop_assert_eq!(beta.eval(Q::ZERO), Q::ZERO);
-        let mut prev = Q::ZERO;
-        for i in 0..80 {
-            let v = beta.eval(Q::new(i, 2));
-            prop_assert!(v >= prev);
-            prev = v;
-        }
-    }
+#[test]
+fn leftover_is_bounded_and_sound() {
+    forall(
+        "leftover_is_bounded_and_sound",
+        |rng, _| (server_curve(rng), arrival_curve(rng)),
+        |(beta, alpha)| {
+            let left = leftover_blind(beta, alpha);
+            for i in 0..100 {
+                let t = Q::new(i, 2);
+                // Leftover never exceeds the full service…
+                assert!(left.eval(t) <= beta.eval(t), "leftover above β at {t}");
+                // …and guarantees at least the instantaneous difference.
+                assert!(
+                    left.eval(t) >= (beta.eval(t) - alpha.eval(t)).clamp_nonneg(),
+                    "leftover below β − α at {t}"
+                );
+            }
+        },
+    );
+}
 
-    #[test]
-    fn leftover_is_bounded_and_sound(beta in server_curve(), alpha in arrival_curve()) {
-        let left = leftover_blind(&beta, &alpha);
-        for i in 0..100 {
-            let t = Q::new(i, 2);
-            // Leftover never exceeds the full service…
-            prop_assert!(left.eval(t) <= beta.eval(t), "leftover above β at {}", t);
-            // …and guarantees at least the instantaneous difference.
-            prop_assert!(
-                left.eval(t) >= (beta.eval(t) - alpha.eval(t)).clamp_nonneg(),
-                "leftover below β − α at {}", t
-            );
-        }
-    }
+#[test]
+fn leftover_chain_is_monotone_in_priority() {
+    forall(
+        "leftover_chain_is_monotone_in_priority",
+        |rng, _| (server_curve(rng), arrival_curve(rng), arrival_curve(rng)),
+        |(beta, a1, a2)| {
+            let chain = leftover_chain(beta, &[a1.clone(), a2.clone()]);
+            assert_eq!(chain.len(), 2);
+            for i in 0..80 {
+                let t = Q::new(i, 2);
+                assert!(chain[1].eval(t) <= chain[0].eval(t));
+            }
+        },
+    );
+}
 
-    #[test]
-    fn leftover_chain_is_monotone_in_priority(
-        beta in server_curve(),
-        a1 in arrival_curve(),
-        a2 in arrival_curve(),
-    ) {
-        let chain = leftover_chain(&beta, &[a1, a2]);
-        prop_assert_eq!(chain.len(), 2);
-        for i in 0..80 {
-            let t = Q::new(i, 2);
-            prop_assert!(chain[1].eval(t) <= chain[0].eval(t));
-        }
-    }
+#[test]
+fn concatenation_never_exceeds_either_hop() {
+    forall(
+        "concatenation_never_exceeds_either_hop",
+        |rng, _| (server_curve(rng), server_curve(rng)),
+        |(b1, b2)| {
+            let h = Q::int(30);
+            let e2e = concatenate_upto(&[b1.clone(), b2.clone()], h);
+            for i in 0..60 {
+                let t = Q::new(i, 2);
+                assert!(e2e.eval(t) <= b1.eval(t), "e2e above hop 1 at {t}");
+                assert!(e2e.eval(t) <= b2.eval(t), "e2e above hop 2 at {t}");
+            }
+        },
+    );
+}
 
-    #[test]
-    fn concatenation_never_exceeds_either_hop(b1 in server_curve(), b2 in server_curve()) {
-        let h = Q::int(30);
-        let e2e = concatenate_upto(&[b1.clone(), b2.clone()], h);
-        for i in 0..60 {
-            let t = Q::new(i, 2);
-            prop_assert!(e2e.eval(t) <= b1.eval(t), "e2e above hop 1 at {}", t);
-            prop_assert!(e2e.eval(t) <= b2.eval(t), "e2e above hop 2 at {}", t);
-        }
-    }
-
-    #[test]
-    fn upper_curves_dominate_lower(slot in 1i128..=3, cycle in 4i128..=8, cap in 1i128..=2) {
-        let s = TdmaServer::new(Q::int(slot), Q::int(cycle), Q::int(cap)).unwrap();
-        prop_assert!(s.beta_lower().dominated_by(&s.beta_upper()));
-        let p = PeriodicResource::new(Q::int(cycle), Q::int(slot.min(cycle))).unwrap();
-        prop_assert!(p.beta_lower().dominated_by(&p.beta_upper()));
-    }
+#[test]
+fn upper_curves_dominate_lower() {
+    forall(
+        "upper_curves_dominate_lower",
+        |rng, _| {
+            (
+                rng.random_range(1i128..=3),
+                rng.random_range(4i128..=8),
+                rng.random_range(1i128..=2),
+            )
+        },
+        |&(slot, cycle, cap)| {
+            let s = TdmaServer::new(Q::int(slot), Q::int(cycle), Q::int(cap)).unwrap();
+            assert!(s.beta_lower().dominated_by(&s.beta_upper()));
+            let p = PeriodicResource::new(Q::int(cycle), Q::int(slot.min(cycle))).unwrap();
+            assert!(p.beta_lower().dominated_by(&p.beta_upper()));
+        },
+    );
 }

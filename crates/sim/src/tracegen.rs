@@ -9,8 +9,7 @@
 //!   separations (the adversarial scenario the structural bound is
 //!   calibrated to).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use srtw_detrand::Rng;
 use srtw_minplus::Q;
 use srtw_workload::{DrtTask, ReleaseTrace, VertexId};
 
@@ -43,7 +42,7 @@ fn random_walk(
     seed: u64,
     lazy: bool,
 ) -> ReleaseTrace {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut trace = ReleaseTrace::new();
     let mut v = match start {
         Some(v) => v,
@@ -63,7 +62,7 @@ fn random_walk(
         let mut next_t = t + e.separation;
         if lazy {
             // Up to one extra separation of slack, in quarter steps.
-            let slack_quarters: i128 = rng.random_range(0..=4);
+            let slack_quarters: i128 = rng.random_range(0i128..=4);
             next_t += e.separation * Q::new(slack_quarters, 4);
         }
         if next_t > horizon {

@@ -18,7 +18,6 @@ use std::fmt;
 
 /// Index of a vertex (job type) within a [`DrtTask`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VertexId(pub(crate) usize);
 
 impl VertexId {
@@ -37,7 +36,6 @@ impl fmt::Display for VertexId {
 
 /// A job type: label, WCET, and optional relative deadline.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Vertex {
     /// Human-readable label (for reports and DOT export).
     pub label: String,
@@ -49,7 +47,6 @@ pub struct Vertex {
 
 /// A directed edge with its minimum inter-release separation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Edge {
     /// Target vertex.
     pub to: VertexId,
@@ -81,7 +78,6 @@ pub struct Edge {
 /// assert_eq!(task.wcet(heavy), Q::int(4));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DrtTask {
     name: String,
     vertices: Vec<Vertex>,

@@ -12,7 +12,6 @@ use srtw_minplus::{Curve, Piece, Q, Tail};
 
 /// A strictly periodic task (optionally with release jitter).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PeriodicTask {
     /// Release period (strictly positive).
     pub period: Q,
@@ -121,7 +120,6 @@ impl PeriodicTask {
 
 /// A sporadic task: minimum inter-arrival separation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SporadicTask {
     /// Minimum inter-arrival time (strictly positive).
     pub min_interarrival: Q,
@@ -164,7 +162,6 @@ impl SporadicTask {
 
 /// One frame of a generalized multiframe (GMF) task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Frame {
     /// WCET of this frame's job.
     pub wcet: Q,
@@ -176,7 +173,6 @@ pub struct Frame {
 
 /// A generalized multiframe task: a fixed cyclic sequence of frames.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MultiframeTask {
     /// The frames, visited cyclically in order.
     pub frames: Vec<Frame>,
@@ -228,7 +224,6 @@ impl MultiframeTask {
 /// A node of a recurring-branching task tree: a job plus the alternative
 /// continuations (at most one branch is taken per instance).
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RbNode {
     /// Label for reports.
     pub label: String,
@@ -266,7 +261,6 @@ impl RbNode {
 /// The embedding into the digraph model is exact: tree edges become graph
 /// edges, every leaf links back to the root.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RecurringBranchingTask {
     /// The behaviour tree.
     pub root: RbNode,

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline.
+#
+#   scripts/verify.sh
+#
+# Steps:
+#   1. zero-dependency audit: no Cargo.toml may pull anything from a
+#      registry — every dependency must be a workspace path crate;
+#   2. `cargo build --release` and `cargo test -q` with --offline
+#      (the workspace must build with no network and no vendored deps);
+#   3. build all five examples;
+#   4. CLI smoke test on the shipped sample system.
+#
+# Benchmarks run separately (they are slow by design):
+#   cargo run -p srtw-bench --release --bin experiments
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== 1/4 dependency audit (path-only policy) =="
+# Inside [dependencies*] / [workspace.dependencies] sections, every
+# dependency line must carry `path =` or `workspace = true`; a version
+# requirement ("1.0", { version = ... }) means a registry dependency.
+violations=$(awk '
+    /^\[/ {
+        in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]?/)
+        next
+    }
+    in_deps && /=/ && !/^[[:space:]]*#/ {
+        if ($0 !~ /path[[:space:]]*=/ && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/)
+            printf "%s: %s\n", FILENAME, $0
+    }
+' Cargo.toml crates/*/Cargo.toml)
+if [ -n "$violations" ]; then
+    echo "error: non-path dependencies found (zero-dependency policy):" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+echo "ok: all dependencies are workspace path crates"
+
+echo "== 2/4 offline build + tests =="
+cargo build --release --offline --workspace
+SRTW_BENCH_FAST=1 cargo test -q --offline --workspace
+
+echo "== 3/4 examples build =="
+cargo build --release --offline --examples
+
+echo "== 4/4 CLI smoke test =="
+out=$(cargo run --release --offline -q --bin srtw -- analyze systems/decoder.srtw)
+echo "$out" | grep -q "RTC baseline" || {
+    echo "error: analyze output missing the RTC baseline line" >&2
+    exit 1
+}
+json=$(cargo run --release --offline -q --bin srtw -- analyze systems/decoder.srtw --json)
+case "$json" in
+    "{"*"}") : ;;
+    *) echo "error: --json output is not a JSON object" >&2; exit 1 ;;
+esac
+
+echo "verify: OK"

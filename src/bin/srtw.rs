@@ -1,18 +1,20 @@
 //! `srtw` — command-line front end for the structural delay analysis.
 //!
 //! ```text
-//! srtw analyze  <system.srtw> [--scheduler fifo|fp|edf]
+//! srtw analyze  <system.srtw> [--scheduler fifo|fp|edf] [--json]
 //! srtw rbf      <system.srtw> [--horizon H]
 //! srtw dot      <system.srtw>
 //! srtw simulate <system.srtw> [--seeds N] [--horizon H]
 //! ```
 //!
 //! System files use the text format documented in [`srtw::textfmt`].
+//! `--json` switches `analyze` to a machine-readable single-document
+//! output (see [`srtw::Json`]).
 
 use srtw::textfmt::{parse_system, SystemSpec};
 use srtw::{
     earliest_random_walk, edf_schedulable, fifo_rtc, fifo_structural, fixed_priority_structural,
-    simulate_fifo, AnalysisConfig, Curve, Q, Rbf, ServiceProcess,
+    simulate_fifo, AnalysisConfig, Curve, Json, Q, Rbf, ServiceProcess,
 };
 use std::process::ExitCode;
 
@@ -66,34 +68,72 @@ fn server_curve(sys: &SystemSpec) -> Result<Curve, String> {
 fn analyze(sys: &SystemSpec, opts: &[String]) -> Result<(), String> {
     let beta = server_curve(sys)?;
     let scheduler = opt_value(opts, "--scheduler").unwrap_or_else(|| "fifo".into());
+    let json = opts.iter().any(|a| a == "--json");
     match scheduler.as_str() {
         "fifo" => {
             let per = fifo_structural(&sys.tasks, &beta, &AnalysisConfig::default())
                 .map_err(|e| e.to_string())?;
             let rtc = fifo_rtc(&sys.tasks, &beta).map_err(|e| e.to_string())?;
-            println!("scheduler: FIFO");
-            println!("RTC baseline (stream-agnostic): {rtc}");
-            for a in &per {
-                println!("\n{a}");
+            if json {
+                println!(
+                    "{}",
+                    Json::object(vec![
+                        ("scheduler", Json::str("fifo")),
+                        ("rtc", rtc.to_json()),
+                        (
+                            "streams",
+                            Json::Array(per.iter().map(|a| a.to_json()).collect()),
+                        ),
+                    ])
+                );
+            } else {
+                println!("scheduler: FIFO");
+                println!("RTC baseline (stream-agnostic): {rtc}");
+                for a in &per {
+                    println!("\n{a}");
+                }
             }
         }
         "fp" => {
             let per =
                 fixed_priority_structural(&sys.tasks, &beta).map_err(|e| e.to_string())?;
-            println!("scheduler: fixed priority (file order = priority order)");
-            for (i, a) in per.iter().enumerate() {
-                println!("\npriority {i}:\n{a}");
+            if json {
+                println!(
+                    "{}",
+                    Json::object(vec![
+                        ("scheduler", Json::str("fp")),
+                        (
+                            "streams",
+                            Json::Array(per.iter().map(|a| a.to_json()).collect()),
+                        ),
+                    ])
+                );
+            } else {
+                println!("scheduler: fixed priority (file order = priority order)");
+                for (i, a) in per.iter().enumerate() {
+                    println!("\npriority {i}:\n{a}");
+                }
             }
         }
         "edf" => {
             let r = edf_schedulable(&sys.tasks, &beta).map_err(|e| e.to_string())?;
-            println!("scheduler: EDF (processor-demand criterion)");
-            println!(
-                "schedulable: {} (busy window ≤ {}, {} breakpoints)",
-                r.schedulable, r.busy_window, r.breakpoints
-            );
-            if let Some((t, demand, supply)) = r.violation {
-                println!("first violation: window {t}: demand {demand} > supply {supply}");
+            if json {
+                println!(
+                    "{}",
+                    Json::object(vec![
+                        ("scheduler", Json::str("edf")),
+                        ("report", r.to_json()),
+                    ])
+                );
+            } else {
+                println!("scheduler: EDF (processor-demand criterion)");
+                println!(
+                    "schedulable: {} (busy window ≤ {}, {} breakpoints)",
+                    r.schedulable, r.busy_window, r.breakpoints
+                );
+                if let Some((t, demand, supply)) = r.violation {
+                    println!("first violation: window {t}: demand {demand} > supply {supply}");
+                }
             }
         }
         other => return Err(format!("unknown scheduler '{other}' (fifo|fp|edf)")),

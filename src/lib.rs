@@ -17,6 +17,7 @@
 //! | [`core`] | `srtw-core` | structural & RTC delay / backlog analyses |
 //! | [`sim`] | `srtw-sim` | FIFO simulator, trace generators |
 //! | [`gen`] | `srtw-gen` | seeded random workload generation |
+//! | [`detrand`] | `srtw-detrand` | deterministic PRNG + property-test harness |
 //!
 //! The most common items are additionally re-exported at the top level.
 //!
@@ -51,6 +52,9 @@
 pub mod textfmt;
 
 pub use srtw_core as core;
+pub use srtw_detrand as detrand;
+pub use srtw_detrand::prop;
+pub use srtw_detrand::Rng;
 pub use srtw_gen as gen;
 pub use srtw_minplus as minplus;
 pub use srtw_resource as resource;
@@ -61,7 +65,7 @@ pub use srtw_core::{
     backlog_bound, busy_window, edf_schedulable, fifo_rtc, fifo_structural,
     fixed_priority_structural, fixed_priority_structural_with, rtc_delay, structural_delay,
     structural_delay_with, tandem_backlog_at, tandem_delay, AnalysisConfig, AnalysisError,
-    BusyWindow, DelayAnalysis, EdfReport, RtcReport, TandemReport, VertexBound, WitnessPath,
+    BusyWindow, DelayAnalysis, EdfReport, Json, RtcReport, TandemReport, VertexBound, WitnessPath,
 };
 pub use srtw_gen::{generate_drt, generate_task_set, DrtGenConfig};
 pub use srtw_minplus::{q, Curve, CurveError, Ext, Piece, Q, Tail};

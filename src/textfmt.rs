@@ -182,6 +182,9 @@ pub fn parse_system(text: &str) -> Result<SystemSpec, ParseError> {
                 if let Some(p) = current.take() {
                     finish(p, &mut tasks)?;
                 }
+                if tasks.iter().any(|t| t.name() == name) {
+                    return Err(err(lineno, format!("duplicate task '{name}'")));
+                }
                 current = Some(PendingTask {
                     builder: DrtTaskBuilder::new(name),
                     vertices: HashMap::new(),
@@ -376,6 +379,14 @@ server rate-latency rate=3/4 latency=2
         // Duplicate vertex name.
         let e = parse_system("task t\nvertex a wcet=1\nvertex a wcet=2\n").unwrap_err();
         assert!(e.message.contains("duplicate vertex"));
+    }
+
+    #[test]
+    fn duplicate_task_names_rejected_with_location() {
+        let text = "task t\nvertex a wcet=1\nedge a a sep=5\n\ntask t\nvertex b wcet=1\nedge b b sep=5\n";
+        let e = parse_system(text).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("duplicate task 't'"), "{e}");
     }
 
     #[test]

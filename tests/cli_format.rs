@@ -60,6 +60,118 @@ server rate-latency rate=1 latency=2
 }
 
 #[test]
+fn malformed_lines_error_with_line_numbers() {
+    // Every malformed input must produce an Err carrying the offending
+    // 1-based line number — never a panic.
+    for (text, line, needle) in [
+        ("task t\nvertex\n", 2, "vertex needs a name"),
+        ("task t\nvertex a\n", 2, "missing required 'wcet='"),
+        ("task t\nvertex a wcet=1 bogus\n", 2, "expected key=value"),
+        ("task t\nvertex a wcet=1/0x\n", 2, "invalid rational"),
+        ("task t\nvertex a wcet=1\nedge a\n", 3, "edge needs a target vertex"),
+        ("task t\nvertex a wcet=1\nedge\n", 3, "edge needs a source vertex"),
+        ("task t\nvertex a wcet=1\nedge a a\n", 3, "missing required 'sep='"),
+        ("task t\nvertex a wcet=1\nedge a z sep=4\n", 3, "unknown vertex 'z'"),
+        ("task\n", 1, "task needs a name"),
+        ("edge a b sep=1\n", 1, "edge outside of a task"),
+    ] {
+        let e = parse_system(text).unwrap_err();
+        assert_eq!(e.line, line, "line number for {text:?} ({e})");
+        assert!(e.message.contains(needle), "message for {text:?}: {e}");
+    }
+}
+
+#[test]
+fn empty_and_taskless_files_are_errors() {
+    for text in ["", "\n\n", "# only a comment\n", "server fluid rate=1\n"] {
+        let e = parse_system(text).unwrap_err();
+        assert!(e.message.contains("no tasks"), "for {text:?}: {e}");
+    }
+}
+
+#[test]
+fn duplicate_task_names_are_errors() {
+    let text = "task a\nvertex v wcet=1\nedge v v sep=5\ntask a\nvertex w wcet=1\nedge w w sep=5\n";
+    let e = parse_system(text).unwrap_err();
+    assert_eq!(e.line, 4);
+    assert!(e.message.contains("duplicate task 'a'"));
+}
+
+/// Runs the compiled `srtw` binary with `args`, returning
+/// `(success, stdout, stderr)`.
+fn run_srtw(args: &[&str]) -> (bool, String, String) {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_srtw"))
+        .args(args)
+        .output()
+        .expect("spawn srtw");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn sample_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/systems/decoder.srtw")
+}
+
+#[test]
+fn cli_rejects_unknown_scheduler() {
+    let (ok, _, err) = run_srtw(&["analyze", sample_path(), "--scheduler", "lottery"]);
+    assert!(!ok);
+    assert!(err.contains("unknown scheduler 'lottery'"), "{err}");
+}
+
+#[test]
+fn cli_reports_parse_errors_with_location() {
+    let dir = std::env::temp_dir().join("srtw-cli-format-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.srtw");
+    std::fs::write(&bad, "task t\nvertex a wcet=oops\n").unwrap();
+    let (ok, _, err) = run_srtw(&["analyze", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(err.contains("line 2"), "{err}");
+    assert!(err.contains("invalid rational"), "{err}");
+    let (ok, _, err) = run_srtw(&["analyze", dir.join("missing.srtw").to_str().unwrap()]);
+    assert!(!ok);
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn cli_analyze_json_emits_one_document_per_scheduler() {
+    // EDF needs deadlines on every vertex, which the shipped sample's
+    // telemetry task deliberately omits — use a deadline-complete system.
+    let dir = std::env::temp_dir().join("srtw-cli-format-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dl = dir.join("deadlines.srtw");
+    std::fs::write(
+        &dl,
+        "task t\nvertex a wcet=2 deadline=9\nvertex b wcet=1 deadline=6\n\
+         edge a b sep=5\nedge b a sep=5\nserver rate-latency rate=1 latency=2\n",
+    )
+    .unwrap();
+    let dl_path = dl.to_str().unwrap();
+    for (sched, path, key) in [
+        ("fifo", sample_path(), "\"rtc\""),
+        ("fp", sample_path(), "\"streams\""),
+        ("edf", dl_path, "\"report\""),
+    ] {
+        let (ok, out, err) = run_srtw(&["analyze", path, "--scheduler", sched, "--json"]);
+        assert!(ok, "{sched}: {err}");
+        let doc = out.trim();
+        assert!(doc.starts_with('{') && doc.ends_with('}'), "{sched}: {doc}");
+        assert!(doc.contains(&format!("\"scheduler\":\"{sched}\"")), "{sched}: {doc}");
+        assert!(doc.contains(key), "{sched}: {doc}");
+        // Exactly one line: a single machine-readable document.
+        assert_eq!(doc.lines().count(), 1, "{sched}");
+    }
+    // FIFO JSON carries the per-vertex structural bounds with exact rationals.
+    let (_, out, _) = run_srtw(&["analyze", sample_path(), "--json"]);
+    assert!(out.contains("\"per_vertex\""), "{out}");
+    assert!(out.contains("\"num\""), "{out}");
+}
+
+#[test]
 fn server_spec_kinds_cover_the_zoo() {
     for (line, expect_kind) in [
         (
