@@ -1,0 +1,12 @@
+//! B5 — budgeted analysis: cooperative-metering overhead on non-tripping
+//! runs and the cost of graceful degradation once a path cap trips.
+//!
+//! Run with `cargo bench -p srtw-bench --bench budgeted`; set
+//! `SRTW_BENCH_FAST=1` for a quick smoke run.
+
+use srtw_bench::suites::budgeted_suite;
+use srtw_bench::timing::{print_samples, Timer};
+
+fn main() {
+    print_samples(&budgeted_suite(&Timer::from_env()));
+}

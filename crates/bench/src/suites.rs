@@ -6,8 +6,8 @@
 //! every recorded number.
 
 use crate::timing::{Sample, Timer};
-use srtw_core::{rtc_delay, structural_delay, structural_delay_with, AnalysisConfig};
-use srtw_gen::{generate_drt, DrtGenConfig};
+use srtw_core::{rtc_delay, structural_delay, structural_delay_with, AnalysisConfig, Budget};
+use srtw_gen::{adversarial_dense, generate_drt, rescale_utilization, DrtGenConfig};
 use srtw_minplus::{q, Curve, Q};
 use srtw_sim::{earliest_random_walk, simulate_fifo, ServiceProcess};
 use srtw_workload::Rbf;
@@ -137,12 +137,54 @@ pub fn simulation_suite(t: &Timer) -> Vec<Sample> {
     out
 }
 
-/// Runs all four suites in order (convolution, rbf, structural, simulation).
+/// B5 — budgeted analysis: cooperative-metering overhead on runs that
+/// never trip (the whole budget machinery must cost only a few percent
+/// over the unmetered engine) and the cost of graceful degradation once
+/// a path cap does trip.
+pub fn budgeted_suite(t: &Timer) -> Vec<Sample> {
+    let mut out = Vec::new();
+    let beta = Curve::rate_latency(q(4, 5), Q::int(4));
+    for &n in &[10usize, 20] {
+        let task = generate_drt(&gen_cfg(n), 11);
+        out.push(t.bench("budgeted_structural", format!("unmetered/{n}"), || {
+            black_box(structural_delay(&task, &beta).unwrap());
+        }));
+        // Full metering — wall clock plus both counters — with enough
+        // headroom that nothing ever trips: pure metering overhead.
+        let cfg = AnalysisConfig {
+            budget: Budget::wall_ms(3_600_000)
+                .with_max_paths(u64::MAX / 2)
+                .with_max_segments(u64::MAX / 2),
+            ..Default::default()
+        };
+        out.push(t.bench("budgeted_structural", format!("metered_headroom/{n}"), || {
+            black_box(structural_delay_with(&task, &beta, &cfg).unwrap());
+        }));
+    }
+    // Degradation cost: a dense adversarial graph at utilization 1/2 on a
+    // rate-2 server, with a path cap that trips immediately vs late.
+    let adv = rescale_utilization(&adversarial_dense(6, 5), q(1, 2));
+    let beta2 = Curve::rate_latency(Q::int(2), Q::int(2));
+    for &cap in &[4u64, 64] {
+        let cfg = AnalysisConfig {
+            budget: Budget::default().with_max_paths(cap),
+            ..Default::default()
+        };
+        out.push(t.bench("budgeted_structural", format!("degraded_cap/{cap}"), || {
+            black_box(structural_delay_with(&adv, &beta2, &cfg).unwrap());
+        }));
+    }
+    out
+}
+
+/// Runs all five suites in order (convolution, rbf, structural,
+/// simulation, budgeted).
 pub fn all_suites(t: &Timer) -> Vec<Sample> {
     let mut out = convolution_suite(t);
     out.extend(rbf_suite(t));
     out.extend(structural_suite(t));
     out.extend(simulation_suite(t));
+    out.extend(budgeted_suite(t));
     out
 }
 
@@ -157,5 +199,6 @@ mod tests {
         assert_eq!(rbf_suite(&t).len(), 7);
         assert_eq!(structural_suite(&t).len(), 7);
         assert_eq!(simulation_suite(&t).len(), 6);
+        assert_eq!(budgeted_suite(&t).len(), 6);
     }
 }

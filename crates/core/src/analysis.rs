@@ -37,11 +37,13 @@
 //! exactly to the RTC baseline, at `1` it is the full structural analysis —
 //! the knob the ablation experiment sweeps.
 
-use crate::busy::{busy_window, BusyWindow};
+use crate::busy::{busy_window, busy_window_metered, BusyWindow};
 use crate::error::AnalysisError;
-use crate::report::{DelayAnalysis, RtcReport, VertexBound, WitnessPath};
-use srtw_minplus::{Curve, Ext, Q};
-use srtw_workload::{explore, DrtTask, ExploreConfig, Rbf};
+use crate::report::{
+    BoundQuality, Degradation, DelayAnalysis, Fallback, RtcReport, VertexBound, WitnessPath,
+};
+use srtw_minplus::{Budget, BudgetMeter, Curve, Ext, Q};
+use srtw_workload::{explore_metered, DrtTask, ExploreConfig, Rbf};
 use std::time::Instant;
 
 /// Configuration of the structural analysis.
@@ -57,6 +59,12 @@ pub struct AnalysisConfig {
     /// Override the busy-window horizon (must be an upper bound on the true
     /// busy window to stay sound; used by experiments).
     pub horizon_override: Option<Q>,
+    /// Effort budget for the whole invocation. When a dimension trips, the
+    /// analysis degrades gracefully instead of failing: exploration and
+    /// rbf horizons are truncated soundly and the result carries a
+    /// [`BoundQuality::Degraded`] marker plus [`Degradation`] records.
+    /// Defaults to [`Budget::UNLIMITED`].
+    pub budget: Budget,
 }
 
 /// Structural per-job-type delay analysis of a single stream on a resource
@@ -96,9 +104,10 @@ pub fn structural_delay_with(
     cfg: &AnalysisConfig,
 ) -> Result<DelayAnalysis, AnalysisError> {
     let start = Instant::now();
-    let bw = busy_window(std::slice::from_ref(task), beta)?;
+    let meter = BudgetMeter::new(&cfg.budget);
+    let bw = busy_window_metered(std::slice::from_ref(task), beta, &meter)?;
     let horizon = cfg.horizon_override.unwrap_or(bw.bound);
-    analyse_stream(task, beta, &bw, horizon, &[], cfg, start)
+    analyse_stream(task, beta, &bw, horizon, &[], cfg, &meter, start)
 }
 
 /// The arrival-curve (RTC) baseline: one stream-wide delay bound from the
@@ -108,13 +117,32 @@ pub fn structural_delay_with(
 /// exactly the horizontal deviation `hdev(rbf, β)` restricted to the busy
 /// window (the finitary argument makes the restriction lossless).
 pub fn rtc_delay(task: &DrtTask, beta: &Curve) -> Result<RtcReport, AnalysisError> {
-    let bw = busy_window(std::slice::from_ref(task), beta)?;
+    rtc_delay_with(task, beta, &Budget::UNLIMITED)
+}
+
+/// [`rtc_delay`] under an effort budget. When the budget trips, the bound
+/// is finished on the coarse affine rbf tail (sound everywhere) and the
+/// report is marked [`BoundQuality::Degraded`].
+pub fn rtc_delay_with(
+    task: &DrtTask,
+    beta: &Curve,
+    budget: &Budget,
+) -> Result<RtcReport, AnalysisError> {
+    let meter = BudgetMeter::new(budget);
+    let bw = busy_window_metered(std::slice::from_ref(task), beta, &meter)?;
     let rbf = &bw.rbfs[0];
-    let bound = rtc_bound_from_points(rbf.points(), Q::ZERO, beta)?;
+    let degraded = bw.degraded.or_else(|| rbf.truncated());
+    let (bound, _) = rtc_ceiling(&bw, beta)?;
     Ok(RtcReport {
         bound,
         busy_window: bw.bound,
         breakpoints: rbf.points().len(),
+        quality: match degraded {
+            None => BoundQuality::Exact,
+            Some(_) => BoundQuality::Degraded {
+                fallback: Fallback::CoarseRbf,
+            },
+        },
     })
 }
 
@@ -128,7 +156,8 @@ pub fn fifo_structural(
     beta: &Curve,
     cfg: &AnalysisConfig,
 ) -> Result<Vec<DelayAnalysis>, AnalysisError> {
-    let bw = busy_window(tasks, beta)?;
+    let meter = BudgetMeter::new(&cfg.budget);
+    let bw = busy_window_metered(tasks, beta, &meter)?;
     let horizon = cfg.horizon_override.unwrap_or(bw.bound);
     let mut out = Vec::with_capacity(tasks.len());
     for (i, task) in tasks.iter().enumerate() {
@@ -140,7 +169,9 @@ pub fn fifo_structural(
             .filter(|&(j, _)| j != i)
             .map(|(_, r)| r)
             .collect();
-        out.push(analyse_stream(task, beta, &bw, horizon, &others, cfg, start)?);
+        out.push(analyse_stream(
+            task, beta, &bw, horizon, &others, cfg, &meter, start,
+        )?);
     }
     Ok(out)
 }
@@ -148,28 +179,32 @@ pub fn fifo_structural(
 /// The FIFO RTC baseline: one bound for *all* streams from the summed
 /// request-bound curves.
 pub fn fifo_rtc(tasks: &[DrtTask], beta: &Curve) -> Result<RtcReport, AnalysisError> {
-    let bw = busy_window(tasks, beta)?;
-    // Union of breakpoint spans; demand = sum of all rbfs at the span.
-    let mut spans: Vec<Q> = bw
-        .rbfs
-        .iter()
-        .flat_map(|r| r.points().iter().map(|p| p.0))
-        .collect();
-    spans.push(Q::ZERO);
-    spans.sort();
-    spans.dedup();
-    let mut bound = Q::ZERO;
-    for &s in &spans {
-        let total = bw.total_rbf(s);
-        match beta.pseudo_inverse(total) {
-            Ext::Finite(t) => bound = bound.max(t - s),
-            Ext::Infinite => return Err(AnalysisError::ServiceSaturated),
-        }
-    }
+    fifo_rtc_with(tasks, beta, &Budget::UNLIMITED)
+}
+
+/// [`fifo_rtc`] under an effort budget, degrading to the summed coarse
+/// affine rbf tails when it trips.
+pub fn fifo_rtc_with(
+    tasks: &[DrtTask],
+    beta: &Curve,
+    budget: &Budget,
+) -> Result<RtcReport, AnalysisError> {
+    let meter = BudgetMeter::new(budget);
+    let bw = busy_window_metered(tasks, beta, &meter)?;
+    let degraded = bw
+        .degraded
+        .or_else(|| bw.rbfs.iter().find_map(|r| r.truncated()));
+    let (bound, breakpoints) = rtc_ceiling(&bw, beta)?;
     Ok(RtcReport {
-        bound: bound.clamp_nonneg(),
+        bound,
         busy_window: bw.bound,
-        breakpoints: spans.len(),
+        breakpoints,
+        quality: match degraded {
+            None => BoundQuality::Exact,
+            Some(_) => BoundQuality::Degraded {
+                fallback: Fallback::CoarseRbf,
+            },
+        },
     })
 }
 
@@ -194,6 +229,7 @@ pub fn backlog_bound(tasks: &[DrtTask], beta: &Curve) -> Result<Q, AnalysisError
 
 /// Shared engine: per-vertex structural bounds for `task`, with FIFO
 /// interference from `others` (empty for a dedicated stream).
+#[allow(clippy::too_many_arguments)]
 fn analyse_stream(
     task: &DrtTask,
     beta: &Curve,
@@ -201,13 +237,38 @@ fn analyse_stream(
     horizon: Q,
     others: &[&Rbf],
     cfg: &AnalysisConfig,
+    meter: &BudgetMeter,
     start: Instant,
 ) -> Result<DelayAnalysis, AnalysisError> {
+    let mut degradations: Vec<Degradation> = Vec::new();
+    if let Some(k) = bw.degraded {
+        degradations.push(Degradation {
+            component: "busy_window".to_owned(),
+            tripped: k,
+            detail: format!(
+                "fixpoint finished on the coarse affine demand lines (bound {})",
+                bw.bound
+            ),
+        });
+    }
+    for r in others {
+        if let Some(k) = r.truncated() {
+            degradations.push(Degradation {
+                component: "interference_rbf".to_owned(),
+                tripped: k,
+                detail: format!(
+                    "a competing stream's rbf is exact only below span {}",
+                    r.exact_span()
+                ),
+            });
+        }
+    }
+
+    // `bound_at` evaluates exact rbfs clamped at their horizon (the
+    // finitary argument makes the clamp sound) and truncated rbfs through
+    // their dominating affine tail.
     let interference = |s: Q| -> Q {
-        others
-            .iter()
-            .map(|r| r.eval(s.min(r.horizon())))
-            .fold(Q::ZERO, |a, b| a + b)
+        others.iter().map(|r| r.bound_at(s)).fold(Q::ZERO, |a, b| a + b)
     };
 
     // The span cap for exact exploration.
@@ -226,7 +287,20 @@ fn analyse_stream(
     if cfg.no_prune {
         ecfg = ecfg.without_pruning();
     }
-    let ex = explore(task, &ecfg);
+    let ex = explore_metered(task, &ecfg, meter);
+    if let Some(k) = ex.interrupted {
+        degradations.push(Degradation {
+            component: format!("exploration('{}')", task.name()),
+            tripped: k,
+            detail: format!(
+                "abstract paths complete only below span {} (cap {})",
+                ex.complete_span, span_cap
+            ),
+        });
+    }
+    // Every enumerated node is a genuine abstract path, so all of them may
+    // contribute candidates even on an interrupted run; only the
+    // *completeness* claim shrinks to spans strictly below `complete_span`.
     for (i, node) in ex.nodes().iter().enumerate() {
         let ahead = node.work + interference(node.span);
         let d = match beta.pseudo_inverse(ahead) {
@@ -239,18 +313,33 @@ fn analyse_stream(
         }
     }
 
-    // Demand beyond the span cap is covered by the arrival-curve
-    // abstraction: any path with span δ > span_cap has work ≤ rbf(δ), so
-    // its end job's delay is at most β⁻¹(rbf(δ) + interference(δ)) − δ.
-    let fallback_active = span_cap < horizon;
+    // Demand beyond the exactly-covered span prefix is covered by the
+    // arrival-curve abstraction: any path with span δ ≥ exact_cap has work
+    // ≤ rbf(δ), so its end job's delay is at most
+    // β⁻¹(rbf(δ) + interference(δ)) − δ.
+    let exact_cap = span_cap.min(ex.complete_span);
+    let fallback_active = exact_cap < horizon || ex.interrupted.is_some();
     let mut fallback = Q::ZERO;
+    let mut own_truncated = false;
     if fallback_active {
-        let own_rbf = Rbf::compute(task, horizon);
+        let own_rbf = Rbf::compute_metered(task, horizon, meter);
+        if let Some(k) = own_rbf.truncated() {
+            own_truncated = true;
+            degradations.push(Degradation {
+                component: format!("rbf('{}')", task.name()),
+                tripped: k,
+                detail: format!(
+                    "fallback rbf exact only below span {} of horizon {}",
+                    own_rbf.exact_span(),
+                    horizon
+                ),
+            });
+        }
         for &(delta, w) in own_rbf.points() {
-            // Any path with span δ > span_cap has work ≤ rbf(δ); on each
+            // Any path with span δ ≥ exact_cap has work ≤ rbf(δ); on each
             // rbf plateau the worst candidate sits at its left end, clamped
             // to the cap (evaluating *at* the cap is conservative).
-            let d0 = delta.max(span_cap);
+            let d0 = delta.max(exact_cap);
             if delta > horizon {
                 break;
             }
@@ -259,6 +348,36 @@ fn analyse_stream(
                 Ext::Finite(t) => fallback = fallback.max((t - d0).clamp_nonneg()),
                 Ext::Infinite => return Err(AnalysisError::ServiceSaturated),
             }
+        }
+        if own_truncated {
+            // The staircase points stop at the truncation; spans from
+            // there to the horizon are covered by the affine demand lines
+            // (own coarse tail plus the competing streams' coarse tails,
+            // each dominating the respective true rbf everywhere).
+            let lo = exact_cap.max(own_rbf.exact_span());
+            let intf_line = others.iter().fold((Q::ZERO, Q::ZERO), |(b, r), o| {
+                let (cb, cr) = o.coarse_line();
+                (b + cb, r + cr)
+            });
+            fallback = fallback.max(affine_region_bound(
+                own_rbf.coarse_line(),
+                intf_line,
+                beta,
+                lo,
+                horizon,
+            )?);
+        }
+    }
+
+    // The degraded candidates come from a separate, possibly *more*
+    // truncated rbf materialisation than the busy window's, so they can
+    // overshoot the stream-agnostic RTC baseline. That baseline is itself
+    // a sound delay bound for every job of the multiplex, so cap the
+    // fallback there — pinning the sandwich
+    // `exact structural ≤ degraded ≤ RTC baseline`.
+    if fallback_active {
+        if let Ok((ceiling, _)) = rtc_ceiling(bw, beta) {
+            fallback = fallback.min(ceiling);
         }
     }
 
@@ -294,6 +413,24 @@ fn analyse_stream(
         });
     }
 
+    let quality = if degradations.is_empty() {
+        BoundQuality::Exact
+    } else {
+        let coarse = bw.degraded.is_some()
+            || own_truncated
+            || others.iter().any(|r| r.truncated().is_some());
+        let fallback_kind = if coarse {
+            Fallback::CoarseRbf
+        } else if exact_cap.is_zero() {
+            Fallback::RtcBaseline
+        } else {
+            Fallback::TruncatedHorizon
+        };
+        BoundQuality::Degraded {
+            fallback: fallback_kind,
+        }
+    };
+
     Ok(DelayAnalysis {
         task_name: task.name().to_owned(),
         per_vertex,
@@ -304,24 +441,86 @@ fn analyse_stream(
         paths_generated: ex.generated,
         paths_pruned: ex.pruned,
         runtime: start.elapsed(),
+        quality,
+        degradations,
     })
 }
 
-/// RTC bound from explicit rbf breakpoints plus constant extra interference
-/// evaluated at each span.
-fn rtc_bound_from_points(
-    points: &[(Q, Q)],
-    extra: Q,
+/// Upper-bounds `sup over δ in [lo, hi] of β⁻¹(demand(δ)) − δ` where the
+/// demand is replaced by the affine line `own + intf` (given as
+/// `(base, rate)` pairs dominating the true demand everywhere) and `β` by
+/// its global lower line `β(t) ≥ b_β + r_β·t`: the resulting candidate
+/// expression is affine in `δ`, so its maximum sits at an interval end.
+fn affine_region_bound(
+    own: (Q, Q),
+    intf: (Q, Q),
     beta: &Curve,
+    lo: Q,
+    hi: Q,
 ) -> Result<Q, AnalysisError> {
+    if lo > hi {
+        return Ok(Q::ZERO);
+    }
+    let (b_beta, r_beta) = beta.lower_line();
+    if !r_beta.is_positive() {
+        return Err(AnalysisError::ServiceSaturated);
+    }
+    let cand =
+        |d: Q| ((own.0 + own.1 * d + intf.0 + intf.1 * d - b_beta) / r_beta - d).clamp_nonneg();
+    Ok(cand(lo).max(cand(hi)))
+}
+
+/// The RTC-baseline delay bound of the whole multiplex, computed from an
+/// already-materialised busy window: `max over union breakpoint spans s of
+/// β⁻¹(Σ rbf(s)) − s`, extended by the summed coarse affine tails when any
+/// rbf is truncated. Returns `(bound, union breakpoint count)`.
+///
+/// This is both the public RTC bound ([`rtc_delay_with`] /
+/// [`fifo_rtc_with`]) and the fraction-0 *ceiling* the structural analysis
+/// clamps degraded results to — sharing the materialisation pins the
+/// documented sandwich `exact structural ≤ degraded ≤ RTC baseline`.
+fn rtc_ceiling(bw: &BusyWindow, beta: &Curve) -> Result<(Q, usize), AnalysisError> {
+    let mut spans: Vec<Q> = bw
+        .rbfs
+        .iter()
+        .flat_map(|r| r.points().iter().map(|p| p.0))
+        .collect();
+    spans.push(Q::ZERO);
+    spans.sort();
+    spans.dedup();
     let mut bound = Q::ZERO;
-    for &(s, w) in points {
-        match beta.pseudo_inverse(w + extra) {
+    for &s in &spans {
+        let total = bw.total_rbf(s);
+        match beta.pseudo_inverse(total) {
             Ext::Finite(t) => bound = bound.max(t - s),
             Ext::Infinite => return Err(AnalysisError::ServiceSaturated),
         }
     }
-    Ok(bound.clamp_nonneg())
+    let degraded = bw
+        .degraded
+        .or_else(|| bw.rbfs.iter().find_map(|r| r.truncated()));
+    if degraded.is_some() {
+        // Beyond the earliest truncation the total demand keeps growing
+        // continuously along the coarse tails; cover the whole region with
+        // the summed affine lines (each dominates its stream everywhere).
+        let lo = bw
+            .rbfs
+            .iter()
+            .map(|r| r.exact_span())
+            .fold(bw.bound, Q::min);
+        let line = bw.rbfs.iter().fold((Q::ZERO, Q::ZERO), |(b, r), rbf| {
+            let (cb, cr) = rbf.coarse_line();
+            (b + cb, r + cr)
+        });
+        bound = bound.max(affine_region_bound(
+            line,
+            (Q::ZERO, Q::ZERO),
+            beta,
+            lo,
+            bw.bound,
+        )?);
+    }
+    Ok((bound.clamp_nonneg(), spans.len()))
 }
 
 #[cfg(test)]
@@ -547,6 +746,141 @@ mod tests {
             structural_delay(&task, &beta),
             Err(AnalysisError::Unstable { .. })
         ));
+    }
+
+    #[test]
+    fn unlimited_budget_stays_exact() {
+        let task = branching();
+        let beta = Curve::rate_latency(q(3, 4), Q::int(2));
+        let a = structural_delay(&task, &beta).unwrap();
+        assert_eq!(a.quality, crate::report::BoundQuality::Exact);
+        assert!(a.degradations.is_empty());
+        let r = rtc_delay(&task, &beta).unwrap();
+        assert!(r.quality.is_exact());
+    }
+
+    #[test]
+    fn path_budget_degrades_soundly() {
+        use crate::report::BoundQuality;
+        use srtw_minplus::Budget;
+        let task = branching();
+        // Service rate 2 exceeds even the coarsest packing rate
+        // (e_max/p_min = 1), so every budget level has a sound degraded
+        // bound and never needs BudgetExhausted.
+        let beta = Curve::rate_latency(Q::int(2), Q::ONE);
+        let exact = structural_delay(&task, &beta).unwrap();
+        for cap in [0u64, 1, 2, 4, 8, 16] {
+            let cfg = AnalysisConfig {
+                budget: Budget::default().with_max_paths(cap),
+                ..Default::default()
+            };
+            let a = structural_delay_with(&task, &beta, &cfg).unwrap();
+            // Sound: degraded bounds dominate the exact structural bounds.
+            assert!(
+                a.stream_bound >= exact.stream_bound,
+                "cap {cap}: degraded stream bound {} below exact {}",
+                a.stream_bound,
+                exact.stream_bound
+            );
+            for (d, e) in a.per_vertex.iter().zip(exact.per_vertex.iter()) {
+                assert!(d.bound >= e.bound, "cap {cap}: vertex bound shrank");
+            }
+            if let BoundQuality::Degraded { .. } = a.quality {
+                assert!(!a.degradations.is_empty());
+            } else {
+                // A generous cap may finish the analysis exactly.
+                assert!(a.degradations.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn tight_budget_on_slow_server_degrades_or_exhausts() {
+        use srtw_minplus::Budget;
+        // On a sub-unit-rate server the coarse packing rate (1) saturates
+        // the service, so a starved budget may legitimately report
+        // BudgetExhausted — but must never panic or return an unsound
+        // (too small) bound.
+        let task = branching();
+        let beta = Curve::rate_latency(q(3, 4), Q::int(2));
+        let exact = structural_delay(&task, &beta).unwrap();
+        for cap in [0u64, 1, 2, 4, 8, 16, 64] {
+            let cfg = AnalysisConfig {
+                budget: Budget::default().with_max_paths(cap),
+                ..Default::default()
+            };
+            match structural_delay_with(&task, &beta, &cfg) {
+                Ok(a) => assert!(a.stream_bound >= exact.stream_bound),
+                Err(AnalysisError::BudgetExhausted { .. }) => {}
+                Err(e) => panic!("cap {cap}: unexpected error {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_wall_budget_falls_back_to_coarse_lines() {
+        use crate::report::{BoundQuality, Fallback};
+        use srtw_minplus::Budget;
+        let task = branching();
+        // Fast server: the coarse line of the horizon-1 prefix (rate 3)
+        // stays below the service rate 4, so the degraded path succeeds.
+        let beta = Curve::affine(Q::ZERO, Q::int(4));
+        let exact = structural_delay(&task, &beta).unwrap();
+        let cfg = AnalysisConfig {
+            budget: Budget::wall_ms(0),
+            ..Default::default()
+        };
+        let a = structural_delay_with(&task, &beta, &cfg).unwrap();
+        assert_eq!(
+            a.quality,
+            BoundQuality::Degraded {
+                fallback: Fallback::CoarseRbf
+            }
+        );
+        assert!(!a.degradations.is_empty());
+        assert!(a.stream_bound >= exact.stream_bound);
+    }
+
+    #[test]
+    fn rtc_with_budget_degrades_soundly() {
+        use srtw_minplus::Budget;
+        let task = branching();
+        let beta = Curve::rate_latency(Q::int(2), Q::ONE);
+        let exact = rtc_delay(&task, &beta).unwrap();
+        for cap in [0u64, 1, 3, 6] {
+            let r =
+                rtc_delay_with(&task, &beta, &Budget::default().with_max_paths(cap)).unwrap();
+            assert!(
+                r.bound >= exact.bound,
+                "cap {cap}: degraded RTC bound {} below exact {}",
+                r.bound,
+                exact.bound
+            );
+        }
+        let r = rtc_delay_with(&task, &beta, &Budget::default().with_max_paths(0)).unwrap();
+        assert!(!r.quality.is_exact());
+    }
+
+    #[test]
+    fn fifo_budget_degrades_soundly() {
+        use srtw_minplus::Budget;
+        let t1 = heavy_light();
+        let t2 = branching();
+        // Rate 3 dominates the summed coarse packing rates (2/3 + 1).
+        let beta = Curve::affine(Q::ZERO, Q::int(3));
+        let tasks = vec![t1, t2];
+        let exact = fifo_structural(&tasks, &beta, &AnalysisConfig::default()).unwrap();
+        let exact_rtc = fifo_rtc(&tasks, &beta).unwrap();
+        let cfg = AnalysisConfig {
+            budget: Budget::default().with_max_paths(3),
+            ..Default::default()
+        };
+        let per = fifo_structural(&tasks, &beta, &cfg).unwrap();
+        for (d, e) in per.iter().zip(exact.iter()) {
+            assert!(d.stream_bound >= e.stream_bound);
+        }
+        let rtc = fifo_rtc_with(&tasks, &beta, &Budget::default().with_max_paths(3)).unwrap();
+        assert!(rtc.bound >= exact_rtc.bound);
     }
 
     #[test]

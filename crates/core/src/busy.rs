@@ -10,7 +10,7 @@
 //! keeps every computation exact and finite.
 
 use crate::error::AnalysisError;
-use srtw_minplus::{Curve, Ext, Q};
+use srtw_minplus::{BudgetKind, BudgetMeter, Curve, Ext, Q};
 use srtw_workload::{long_run_utilization, DrtTask, Rbf};
 
 /// The busy-window bound of a set of streams sharing a server, together
@@ -19,12 +19,17 @@ use srtw_workload::{long_run_utilization, DrtTask, Rbf};
 pub struct BusyWindow {
     /// A sound upper bound on every busy-window length.
     pub bound: Q,
-    /// Per-stream rbf, valid on `[0, bound]`.
+    /// Per-stream rbf, valid on `[0, bound]` (possibly truncated when a
+    /// budget tripped — evaluate through [`Rbf::bound_at`]).
     pub rbfs: Vec<Rbf>,
     /// Total long-run utilization of all streams.
     pub utilization: Q,
     /// Fixpoint iterations used.
     pub iterations: usize,
+    /// `Some(kind)` when a budget tripped while computing the bound: the
+    /// bound then comes from the coarse affine demand lines (or the rbfs
+    /// are truncated) and is sound but possibly pessimistic.
+    pub degraded: Option<BudgetKind>,
 }
 
 impl BusyWindow {
@@ -32,7 +37,7 @@ impl BusyWindow {
     pub fn total_rbf(&self, t: Q) -> Q {
         self.rbfs
             .iter()
-            .map(|r| r.eval(t))
+            .map(|r| r.bound_at(t))
             .fold(Q::ZERO, |a, b| a + b)
     }
 }
@@ -63,6 +68,30 @@ impl BusyWindow {
 /// assert_eq!(bw.bound, Q::int(2)); // one job, done before the next
 /// ```
 pub fn busy_window(tasks: &[DrtTask], beta: &Curve) -> Result<BusyWindow, AnalysisError> {
+    busy_window_metered(tasks, beta, &BudgetMeter::unlimited())
+}
+
+/// Budgeted [`busy_window`]: when the meter trips — whether while
+/// exploring an rbf or (wall clock) between fixpoint iterations — the
+/// iteration stops doing exact work and the bound is finished analytically
+/// on the coarse affine demand lines `Σᵢ (bᵢ + rᵢ·t)` (each dominating its
+/// stream's true rbf everywhere, see [`Rbf::coarse_line`]) against the
+/// service's global lower line `β(t) ≥ b_β + r_β·t`: any `L` with
+/// `Σᵢ bᵢ + L·Σᵢ rᵢ ≤ b_β + r_β·L` satisfies `rbf_total(L) ≤ β(L)` and is
+/// therefore a sound busy-window bound. The result is marked in
+/// [`BusyWindow::degraded`].
+///
+/// # Errors
+///
+/// In addition to the [`busy_window`] errors,
+/// [`AnalysisError::BudgetExhausted`] when the coarse demand rate reaches
+/// the service rate (the affine lines never cross, so no sound degraded
+/// bound exists).
+pub fn busy_window_metered(
+    tasks: &[DrtTask],
+    beta: &Curve,
+    meter: &BudgetMeter,
+) -> Result<BusyWindow, AnalysisError> {
     let utilization = tasks
         .iter()
         .map(long_run_utilization)
@@ -83,7 +112,7 @@ pub fn busy_window(tasks: &[DrtTask], beta: &Curve) -> Result<BusyWindow, Analys
     let mut horizon = Q::ONE;
     let mut rbfs: Vec<Rbf> = tasks
         .iter()
-        .map(|t| Rbf::compute(t, horizon))
+        .map(|t| Rbf::compute_metered(t, horizon, meter))
         .collect();
     let mut level = Q::ZERO;
     let mut iterations = 0usize;
@@ -92,6 +121,12 @@ pub fn busy_window(tasks: &[DrtTask], beta: &Curve) -> Result<BusyWindow, Analys
         iterations += 1;
         if iterations > CAP {
             return Err(AnalysisError::BusyWindowDiverged { reached: level });
+        }
+        // Exact iteration on truncated rbfs would chase the continuous
+        // affine tail and never attain the fixpoint — switch to the
+        // analytic finish as soon as anything trips.
+        if !meter.check_wall() || rbfs.iter().any(|r| r.truncated().is_some()) {
+            return coarse_busy_window(beta, rbfs, utilization, iterations, meter);
         }
         let demand: Q = rbfs
             .iter()
@@ -104,21 +139,67 @@ pub fn busy_window(tasks: &[DrtTask], beta: &Curve) -> Result<BusyWindow, Analys
         if next <= level {
             // Fixpoint: service catches up with demand at `level`.
             let bound = level.max(Q::ONE);
-            // Materialize rbfs on the final bound.
-            let rbfs = tasks.iter().map(|t| Rbf::compute(t, bound)).collect();
+            // Materialize rbfs on the final bound. If that final pass
+            // trips, the bound itself is still the exact fixpoint; only
+            // the materialized rbfs are coarse.
+            let rbfs: Vec<Rbf> = tasks
+                .iter()
+                .map(|t| Rbf::compute_metered(t, bound, meter))
+                .collect();
+            let degraded = if rbfs.iter().any(|r| r.truncated().is_some()) {
+                meter.tripped()
+            } else {
+                None
+            };
             return Ok(BusyWindow {
                 bound,
                 rbfs,
                 utilization,
                 iterations,
+                degraded,
             });
         }
         level = next;
         if level > horizon {
             horizon = level + level; // grow geometrically to amortize
-            rbfs = tasks.iter().map(|t| Rbf::compute(t, horizon)).collect();
+            rbfs = tasks
+                .iter()
+                .map(|t| Rbf::compute_metered(t, horizon, meter))
+                .collect();
         }
     }
+}
+
+/// Analytic busy-window bound from the coarse affine demand lines — the
+/// degraded finish of [`busy_window_metered`].
+fn coarse_busy_window(
+    beta: &Curve,
+    rbfs: Vec<Rbf>,
+    utilization: Q,
+    iterations: usize,
+    meter: &BudgetMeter,
+) -> Result<BusyWindow, AnalysisError> {
+    let tripped = meter.tripped().unwrap_or(BudgetKind::WallClock);
+    let (b_tot, r_tot) = rbfs.iter().fold((Q::ZERO, Q::ZERO), |(b, r), rbf| {
+        let (cb, cr) = rbf.coarse_line();
+        (b + cb, r + cr)
+    });
+    let (b_beta, r_beta) = beta.lower_line();
+    if r_tot >= r_beta {
+        // The coarse demand rate saturates the service: the lines never
+        // cross and no sound degraded bound exists.
+        return Err(AnalysisError::BudgetExhausted { tripped });
+    }
+    // Crossing point of the demand and service lines: at L the service
+    // line has caught the demand line, so rbf_total(L) ≤ β(L).
+    let bound = ((b_tot - b_beta) / (r_beta - r_tot)).max(Q::ONE);
+    Ok(BusyWindow {
+        bound,
+        rbfs,
+        utilization,
+        iterations,
+        degraded: Some(tripped),
+    })
 }
 
 #[cfg(test)]
@@ -196,6 +277,51 @@ mod tests {
             busy_window(&[t], &beta),
             Err(AnalysisError::ServiceSaturated)
         ));
+    }
+
+    #[test]
+    fn metered_busy_window_dominates_exact() {
+        use srtw_minplus::Budget;
+        let t = looped(2, 5);
+        let beta = Curve::rate_latency(Q::ONE, Q::int(4));
+        let exact = busy_window(&[t.clone()], &beta).unwrap();
+        assert!(exact.degraded.is_none());
+        for cap in [0u64, 1, 2, 5] {
+            let meter = BudgetMeter::new(&Budget::default().with_max_paths(cap));
+            let bw = busy_window_metered(&[t.clone()], &beta, &meter).unwrap();
+            assert!(
+                bw.bound >= exact.bound,
+                "cap {cap}: degraded busy window {} below exact {}",
+                bw.bound,
+                exact.bound
+            );
+            if bw.degraded.is_some() {
+                // The truncated total demand still dominates the true one.
+                assert!(bw.total_rbf(exact.bound) >= exact.total_rbf(exact.bound));
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_coarse_rate_is_budget_exhausted() {
+        use srtw_minplus::Budget;
+        // wcet 2 every 5 has coarse packing rate 2/5 ≥ the service rate
+        // 2/5 exactly when nothing at all was enumerated.
+        let t = looped(2, 5);
+        let beta = Curve::affine(Q::ZERO, q(2, 5) + q(1, 100));
+        let meter = BudgetMeter::new(&Budget::default().with_max_paths(0));
+        // Utilization 2/5 < rate 2/5+1/100, so the stability check passes,
+        // but the packing line's rate 2/5 … let the result speak: either a
+        // sound degraded bound or BudgetExhausted — never a panic and
+        // never an unsoundly small bound.
+        match busy_window_metered(&[t.clone()], &beta, &meter) {
+            Ok(bw) => {
+                let exact = busy_window(&[t], &beta).unwrap();
+                assert!(bw.bound >= exact.bound);
+            }
+            Err(AnalysisError::BudgetExhausted { .. }) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Error types of the delay analyses.
 
-use srtw_minplus::Q;
+use srtw_minplus::{ArithmeticError, BudgetKind, CurveError, Q};
 use std::fmt;
 
 /// Errors produced by the delay and backlog analyses.
@@ -37,6 +37,19 @@ pub enum AnalysisError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// Exact `i128` rational arithmetic overflowed inside a curve
+    /// operation (the inputs are simply too large for the representation).
+    Arithmetic(ArithmeticError),
+    /// An analysis budget was exhausted **and** no sound degraded bound
+    /// exists: the coarse affine demand abstraction's rate reaches the
+    /// guaranteed service rate, so even the fallback busy window is
+    /// unbounded. (Whenever a sound degraded bound does exist the analyses
+    /// return it with a [`crate::BoundQuality::Degraded`] marker instead
+    /// of this error.)
+    BudgetExhausted {
+        /// The budget dimension that tripped.
+        tripped: BudgetKind,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -61,8 +74,26 @@ impl fmt::Display for AnalysisError {
             AnalysisError::UnsupportedService { reason } => {
                 write!(f, "unsupported service curves: {reason}")
             }
+            AnalysisError::Arithmetic(e) => write!(f, "{e}"),
+            AnalysisError::BudgetExhausted { tripped } => write!(
+                f,
+                "budget exhausted ({tripped}) with no sound degraded bound: \
+                 the coarse demand abstraction saturates the service rate"
+            ),
         }
     }
 }
 
 impl std::error::Error for AnalysisError {}
+
+impl From<CurveError> for AnalysisError {
+    fn from(e: CurveError) -> Self {
+        match e {
+            CurveError::Arithmetic(a) => AnalysisError::Arithmetic(a),
+            CurveError::Budget(k) => AnalysisError::BudgetExhausted { tripped: k },
+            _ => AnalysisError::UnsupportedService {
+                reason: "curve operation rejected its operands",
+            },
+        }
+    }
+}

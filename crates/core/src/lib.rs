@@ -55,13 +55,18 @@ mod report;
 mod tandem;
 
 pub use analysis::{
-    backlog_bound, fifo_rtc, fifo_structural, rtc_delay, structural_delay,
-    structural_delay_with, AnalysisConfig,
+    backlog_bound, fifo_rtc, fifo_rtc_with, fifo_structural, rtc_delay, rtc_delay_with,
+    structural_delay, structural_delay_with, AnalysisConfig,
 };
-pub use busy::{busy_window, BusyWindow};
+pub use busy::{busy_window, busy_window_metered, BusyWindow};
 pub use edf::{edf_schedulable, EdfReport};
 pub use fp::{fixed_priority_structural, fixed_priority_structural_with};
 pub use tandem::{tandem_backlog_at, tandem_delay, TandemReport};
 pub use error::AnalysisError;
 pub use json::Json;
-pub use report::{DelayAnalysis, RtcReport, VertexBound, WitnessPath};
+pub use report::{
+    BoundQuality, Degradation, DelayAnalysis, Fallback, RtcReport, VertexBound, WitnessPath,
+};
+// Budget types live in `srtw-minplus` (the metered hot loops sit there);
+// re-exported here so analysis users need only this crate.
+pub use srtw_minplus::{Budget, BudgetKind, BudgetMeter};

@@ -1,10 +1,108 @@
 //! Analysis result types and their pretty-printers (text and JSON).
 
 use crate::json::Json;
-use srtw_minplus::Q;
+use srtw_minplus::{BudgetKind, Q};
 use srtw_workload::{DrtTask, VertexId};
 use std::fmt;
 use std::time::Duration;
+
+/// The coarsest abstraction a budget-degraded bound had to fall back to.
+///
+/// Ordered from mildest to coarsest: each variant's bound is still sound
+/// (it upper-bounds the true worst case), only potentially more
+/// pessimistic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fallback {
+    /// The exact path exploration was cut short; demand beyond the cut is
+    /// covered by the (still exact) arrival-curve abstraction — the same
+    /// mechanism as a deliberate `horizon_fraction < 1`.
+    TruncatedHorizon,
+    /// The structural exploration completed nothing, but every
+    /// request-bound function is exact: the bound is precisely the RTC
+    /// (arrival-curve) baseline.
+    RtcBaseline,
+    /// At least one request-bound function is itself truncated, so parts
+    /// of the bound rest on its coarse affine over-approximation — the
+    /// weakest (but always available, and always sound) abstraction.
+    CoarseRbf,
+}
+
+impl Fallback {
+    /// Stable machine-readable name (used in JSON output).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Fallback::TruncatedHorizon => "truncated_horizon",
+            Fallback::RtcBaseline => "rtc_baseline",
+            Fallback::CoarseRbf => "coarse_rbf",
+        }
+    }
+}
+
+impl fmt::Display for Fallback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Fallback::TruncatedHorizon => "truncated exploration horizon",
+            Fallback::RtcBaseline => "RTC arrival-curve baseline",
+            Fallback::CoarseRbf => "coarse affine rbf tail",
+        })
+    }
+}
+
+/// Whether a reported bound is exact or budget-degraded.
+///
+/// Degraded bounds are **sound** — they never under-estimate the true
+/// worst case — they may merely be pessimistic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundQuality {
+    /// The analysis ran to completion within its budget.
+    Exact,
+    /// A budget tripped; the analysis degraded gracefully.
+    Degraded {
+        /// The coarsest abstraction the bound had to fall back to.
+        fallback: Fallback,
+    },
+}
+
+impl BoundQuality {
+    /// `true` for [`BoundQuality::Exact`].
+    pub fn is_exact(&self) -> bool {
+        matches!(self, BoundQuality::Exact)
+    }
+
+    /// The quality as a JSON value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            BoundQuality::Exact => Json::object(vec![("exact", Json::Bool(true))]),
+            BoundQuality::Degraded { fallback } => Json::object(vec![
+                ("exact", Json::Bool(false)),
+                ("fallback", Json::str(fallback.as_str())),
+            ]),
+        }
+    }
+}
+
+/// One budget-degradation event recorded during an analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The analysis component that was cut short (`busy_window`,
+    /// `exploration('task')`, `rbf('task')`, `interference_rbf('task')`).
+    pub component: String,
+    /// The budget dimension that tripped.
+    pub tripped: BudgetKind,
+    /// What exactly was truncated, human-readable.
+    pub detail: String,
+}
+
+impl Degradation {
+    /// The degradation event as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("component", Json::str(&self.component)),
+            ("tripped", Json::str(self.tripped.as_str())),
+            ("detail", Json::str(&self.detail)),
+        ])
+    }
+}
 
 /// The witness abstract path realizing a delay bound.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,6 +207,11 @@ pub struct DelayAnalysis {
     pub paths_pruned: usize,
     /// Wall-clock analysis time.
     pub runtime: Duration,
+    /// Exact, or degraded because an analysis budget tripped.
+    pub quality: BoundQuality,
+    /// Every budget-degradation event hit while computing this result
+    /// (empty iff `quality` is [`BoundQuality::Exact`]).
+    pub degradations: Vec<Degradation>,
 }
 
 impl DelayAnalysis {
@@ -149,6 +252,11 @@ impl DelayAnalysis {
             ("paths_generated", Json::Int(self.paths_generated as i128)),
             ("paths_pruned", Json::Int(self.paths_pruned as i128)),
             ("runtime_secs", Json::Float(self.runtime.as_secs_f64())),
+            ("quality", self.quality.to_json()),
+            (
+                "degradations",
+                Json::Array(self.degradations.iter().map(Degradation::to_json).collect()),
+            ),
         ])
     }
 }
@@ -174,6 +282,15 @@ impl fmt::Display for DelayAnalysis {
                 if b.from_fallback { " (fallback)" } else { "" }
             )?;
         }
+        if let BoundQuality::Degraded { fallback } = self.quality {
+            writeln!(
+                f,
+                "  DEGRADED (sound, possibly pessimistic): fell back to {fallback}"
+            )?;
+            for d in &self.degradations {
+                writeln!(f, "    - {}: {} budget: {}", d.component, d.tripped, d.detail)?;
+            }
+        }
         write!(f, "  stream bound: {}", self.stream_bound)
     }
 }
@@ -187,6 +304,8 @@ pub struct RtcReport {
     pub busy_window: Q,
     /// Number of rbf breakpoints inspected.
     pub breakpoints: usize,
+    /// Exact, or degraded because an analysis budget tripped.
+    pub quality: BoundQuality,
 }
 
 impl RtcReport {
@@ -196,6 +315,7 @@ impl RtcReport {
             ("bound", Json::rational(self.bound)),
             ("busy_window", Json::rational(self.busy_window)),
             ("breakpoints", Json::Int(self.breakpoints as i128)),
+            ("quality", self.quality.to_json()),
         ])
     }
 }
@@ -204,8 +324,15 @@ impl fmt::Display for RtcReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "RTC delay ≤ {} (busy window ≤ {}, {} breakpoints)",
-            self.bound, self.busy_window, self.breakpoints
+            "RTC delay ≤ {} (busy window ≤ {}, {} breakpoints{})",
+            self.bound,
+            self.busy_window,
+            self.breakpoints,
+            if self.quality.is_exact() {
+                ""
+            } else {
+                ", DEGRADED"
+            }
         )
     }
 }

@@ -172,6 +172,119 @@ fn rebuild_scaled(task: &DrtTask, factor: Q, deadline_factor: Option<Q>) -> DrtT
     b.build().expect("rescaled graph must be valid")
 }
 
+/// Pairwise-distinct primes used by the adversarial generators. Drawing
+/// separations from here guarantees no two edge periods share a factor,
+/// so rbf breakpoints never align and hyperperiods explode.
+const COPRIME_POOL: &[i128] = &[
+    10_007,
+    10_009,
+    10_037,
+    100_003,
+    100_019,
+    100_043,
+    999_983,
+    1_299_709,
+    15_485_863,
+    179_424_673,
+    982_451_653,
+];
+
+/// Adversarial: a ring whose separations are huge pairwise-coprime primes
+/// and whose WCETs carry coprime denominators.
+///
+/// Stresses exact rational arithmetic (lcm growth in curve alignment) and
+/// the segment budget: every pairwise sum of separations is a fresh rbf
+/// breakpoint, none ever coincide, and normalisation denominators grow
+/// multiplicatively. Utilization stays low (≤ `n · 10⁻⁴`), so systems
+/// built from this task are schedulable on any unit-rate server — the
+/// *analysis effort* is what blows up, not the load.
+pub fn adversarial_coprime(n: usize, seed: u64) -> DrtTask {
+    let n = n.clamp(1, COPRIME_POOL.len());
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut b = DrtTaskBuilder::new(format!("coprime-{seed}"));
+    // Random rotation of the pool keeps different seeds structurally
+    // different while preserving pairwise coprimality.
+    let start = rng.random_range(0..COPRIME_POOL.len());
+    let ids: Vec<VertexId> = (0..n)
+        .map(|i| {
+            // wcet = k + 1/den: an integer part for real demand plus a
+            // prime denominator, so work sums never share factors and
+            // rational normalisation does real lcm work. Denominators
+            // stay in the small end of the pool: their running product
+            // (the worst-case common denominator) must survive squaring
+            // inside the curve algebra without overflowing `i128`.
+            let den = COPRIME_POOL[(start + i) % 3];
+            let k = rng.random_range(1i128..=3);
+            b.vertex(format!("c{i}"), Q::int(k) + Q::new(1, den))
+        })
+        .collect();
+    for i in 0..n {
+        let p = COPRIME_POOL[(start + i) % COPRIME_POOL.len()];
+        b.edge(ids[i], ids[(i + 1) % n], Q::int(p));
+    }
+    b.build().expect("coprime ring is a valid graph")
+}
+
+/// Adversarial: a deep chain `v0 → v1 → … → v_{depth-1} → v0` with tiny
+/// forward separations and one long closing edge.
+///
+/// Stresses path exploration depth: abstract paths along the chain are
+/// long and their spans dense, so the heap of open paths grows with the
+/// busy-window horizon. The closing edge keeps the only cycle's ratio —
+/// and hence the long-run utilization — near `1/12` regardless of depth.
+pub fn adversarial_deep_chain(depth: usize, seed: u64) -> DrtTask {
+    let depth = depth.max(2);
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut b = DrtTaskBuilder::new(format!("chain-{seed}"));
+    let ids: Vec<VertexId> = (0..depth)
+        .map(|i| b.vertex(format!("d{i}"), Q::ONE))
+        .collect();
+    for i in 0..depth - 1 {
+        b.edge(ids[i], ids[i + 1], Q::int(rng.random_range(1i128..=3)));
+    }
+    b.edge(ids[depth - 1], ids[0], Q::int(10 * depth as i128));
+    b.build().expect("chain is a valid graph")
+}
+
+/// Adversarial: a dense digraph — every ordered pair of distinct vertices
+/// is an edge — with small random separations.
+///
+/// Stresses path *count*: exploration branches `n − 1` ways at every
+/// vertex, so the number of abstract paths grows as `(n−1)^k` with depth
+/// `k` and only Pareto pruning or a path budget keeps it finite. The raw
+/// task is usually unstable on a unit-rate server; pass it through
+/// [`rescale_utilization`] to obtain a schedulable stress instance.
+pub fn adversarial_dense(n: usize, seed: u64) -> DrtTask {
+    let n = n.max(2);
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut b = DrtTaskBuilder::new(format!("dense-{seed}"));
+    let ids: Vec<VertexId> = (0..n)
+        .map(|i| b.vertex(format!("x{i}"), Q::int(rng.random_range(1i128..=3))))
+        .collect();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                b.edge(ids[i], ids[j], Q::int(rng.random_range(2i128..=7)));
+            }
+        }
+    }
+    b.build().expect("dense graph is a valid graph")
+}
+
+/// Rebuilds `task` with WCETs scaled exactly so its long-run utilization
+/// (maximum cycle ratio) equals `target`.
+///
+/// # Panics
+///
+/// Panics if `target` is not positive or the task has no cycle.
+pub fn rescale_utilization(task: &DrtTask, target: Q) -> DrtTask {
+    assert!(target.is_positive(), "target utilization must be positive");
+    let u0 = critical_cycle(task)
+        .expect("rescaled task must contain a cycle")
+        .ratio;
+    rebuild_scaled(task, target / u0, None)
+}
+
 /// Generates a set of `count` tasks whose utilizations sum to
 /// `total_utilization` (uniform split), for FIFO multiplex experiments.
 pub fn generate_task_set(
@@ -264,6 +377,52 @@ mod tests {
             .map(long_run_utilization)
             .fold(Q::ZERO, |a, b| a + b);
         assert_eq!(total, q(3, 4));
+    }
+
+    #[test]
+    fn coprime_ring_has_coprime_separations_and_low_utilization() {
+        let t = adversarial_coprime(5, 11);
+        assert_eq!(t.num_vertices(), 5);
+        let seps: Vec<i128> = t
+            .vertex_ids()
+            .flat_map(|v| t.out_edges(v).iter().map(|e| e.separation.numer()).collect::<Vec<_>>())
+            .collect();
+        for (i, a) in seps.iter().enumerate() {
+            for b in &seps[i + 1..] {
+                assert_ne!(a, b, "separations must be distinct primes");
+                assert_eq!(gcd(*a, *b), 1, "{a} and {b} must be coprime");
+            }
+        }
+        assert!(long_run_utilization(&t) < q(1, 100));
+        assert_eq!(t, adversarial_coprime(5, 11), "deterministic");
+    }
+
+    fn gcd(a: i128, b: i128) -> i128 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+
+    #[test]
+    fn deep_chain_has_bounded_utilization() {
+        for depth in [2, 10, 40] {
+            let t = adversarial_deep_chain(depth, 7);
+            assert_eq!(t.num_vertices(), depth);
+            assert_eq!(t.num_edges(), depth);
+            let u = long_run_utilization(&t);
+            assert!(u <= q(1, 10), "depth {depth}: utilization {u}");
+        }
+    }
+
+    #[test]
+    fn dense_graph_is_complete_and_rescalable() {
+        let t = adversarial_dense(5, 13);
+        assert_eq!(t.num_edges(), 20); // 5·4 ordered pairs
+        let scaled = rescale_utilization(&t, q(2, 5));
+        assert_eq!(long_run_utilization(&scaled), q(2, 5));
+        assert_eq!(scaled.num_edges(), 20);
     }
 
     #[test]

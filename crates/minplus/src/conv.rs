@@ -16,10 +16,16 @@
 //! * [`Curve::deconv`] — deconvolution with an automatically derived
 //!   sufficient horizon for stable operand pairs.
 
-use crate::curve::{common_check_horizon, Curve, Piece, Tail};
+use crate::curve::{try_common_check_horizon, Curve, Piece, Tail};
 use crate::error::CurveError;
-use crate::ops::TailInfo;
+use crate::meter::{BudgetKind, BudgetMeter};
+use crate::ops::{ck_add, TailInfo};
 use crate::ratio::Q;
+
+/// The budget error carrying whichever dimension actually tripped `meter`.
+fn budget_err(meter: &BudgetMeter) -> CurveError {
+    CurveError::Budget(meter.tripped().unwrap_or(BudgetKind::Segments))
+}
 
 /// An affine fragment defined on the half-open interval `[start, end)`,
 /// with value `v` at `start` and slope `r`. Used as a convolution /
@@ -40,8 +46,8 @@ impl Part {
 
 /// Explicit pieces of `c` truncated to `[0, h]`, as [`Part`]s carrying their
 /// extents.
-fn parts_of(c: &Curve, h: Q) -> Vec<Part> {
-    let pieces = c.pieces_upto(h);
+fn parts_of(c: &Curve, h: Q, meter: &BudgetMeter) -> Result<Vec<Part>, CurveError> {
+    let pieces = c.try_pieces_upto(h, meter)?;
     let mut out = Vec::with_capacity(pieces.len());
     for (i, p) in pieces.iter().enumerate() {
         if p.start > h {
@@ -59,14 +65,19 @@ fn parts_of(c: &Curve, h: Q) -> Vec<Part> {
             r: p.slope,
         });
     }
-    out
+    Ok(out)
 }
 
 /// Lower or upper envelope of a set of partial affine fragments over
 /// `[0, h]`. Every point of `[0, h]` must be covered by at least one part.
 /// The envelope is computed per elementary interval (between consecutive
 /// part endpoints), where the active parts are full lines.
-fn envelope(parts: &[Part], h: Q, upper: bool) -> Vec<Piece> {
+fn envelope(
+    parts: &[Part],
+    h: Q,
+    upper: bool,
+    meter: &BudgetMeter,
+) -> Result<Vec<Piece>, CurveError> {
     let mut events: Vec<Q> = parts
         .iter()
         .flat_map(|p| [p.start, p.end])
@@ -106,6 +117,9 @@ fn envelope(parts: &[Part], h: Q, upper: bool) -> Vec<Piece> {
         // stays extreme after the tie).
         let mut x = x1;
         loop {
+            if !meter.tick_segment() {
+                return Err(budget_err(meter));
+            }
             let cur = lines
                 .iter()
                 .copied()
@@ -174,7 +188,7 @@ fn envelope(parts: &[Part], h: Q, upper: bool) -> Vec<Piece> {
     if let Some((v, r)) = at_h {
         push(Piece::new(h, v, r), &mut out);
     }
-    out
+    Ok(out)
 }
 
 impl Curve {
@@ -199,12 +213,29 @@ impl Curve {
     /// ```
     #[must_use]
     pub fn conv_upto(&self, other: &Curve, h: Q) -> Curve {
+        self.try_conv_upto(other, h, &BudgetMeter::unlimited())
+            .expect("unmetered conv_upto failed")
+    }
+
+    /// Fallible, budgeted [`Curve::conv_upto`]: ticks the segment budget
+    /// per generated candidate fragment and per envelope piece, surfacing
+    /// exhaustion (and `i128` overflow) as errors instead of grinding
+    /// through a quadratic candidate set on an oversized horizon.
+    pub fn try_conv_upto(
+        &self,
+        other: &Curve,
+        h: Q,
+        meter: &BudgetMeter,
+    ) -> Result<Curve, CurveError> {
         assert!(!h.is_negative(), "conv_upto with negative horizon");
-        let pa = parts_of(self, h);
-        let pb = parts_of(other, h);
+        let pa = parts_of(self, h, meter)?;
+        let pb = parts_of(other, h, meter)?;
         let mut cand: Vec<Part> = Vec::with_capacity(pa.len() * pb.len() * 2);
         for a in &pa {
             for b in &pb {
+                if !meter.tick_segment() {
+                    return Err(budget_err(meter));
+                }
                 let t0 = a.start + b.start;
                 if t0 > h {
                     continue;
@@ -240,8 +271,8 @@ impl Curve {
                 }
             }
         }
-        let pieces = envelope(&cand, h, false);
-        Curve::new(pieces, Tail::Affine).expect("conv_upto produced an invalid curve")
+        let pieces = envelope(&cand, h, false, meter)?;
+        Ok(Curve::new(pieces, Tail::Affine).expect("conv_upto produced an invalid curve"))
     }
 
     /// (min,+) convolution, exact everywhere, for two **ultimately affine**
@@ -303,9 +334,23 @@ impl Curve {
     /// the result is their exact upper envelope.
     #[must_use]
     pub fn deconv_upto(&self, other: &Curve, h: Q, u_cap: Q) -> Curve {
+        self.try_deconv_upto(other, h, u_cap, &BudgetMeter::unlimited())
+            .expect("unmetered deconv_upto failed")
+    }
+
+    /// Fallible, budgeted [`Curve::deconv_upto`]: ticks the segment budget
+    /// per region pair, surfacing exhaustion (and `i128` overflow) as
+    /// errors.
+    pub fn try_deconv_upto(
+        &self,
+        other: &Curve,
+        h: Q,
+        u_cap: Q,
+        meter: &BudgetMeter,
+    ) -> Result<Curve, CurveError> {
         assert!(!h.is_negative() && !u_cap.is_negative());
-        let pa = parts_of(self, h + u_cap);
-        let pb = parts_of(other, u_cap);
+        let pa = parts_of(self, ck_add(h, u_cap)?, meter)?;
+        let pb = parts_of(other, u_cap, meter)?;
 
         let mut cand: Vec<Part> = Vec::new();
         let mut add = |start: Q, end: Q, v_at_start: Q, r: Q| {
@@ -324,6 +369,9 @@ impl Curve {
         for a in &pa {
             let (xk, xk1) = (a.start, a.end);
             for b in &pb {
+                if !meter.tick_segment() {
+                    return Err(budget_err(meter));
+                }
                 let ulo = b.start;
                 if ulo > u_cap {
                     continue;
@@ -352,10 +400,10 @@ impl Curve {
             }
         }
         if cand.is_empty() {
-            return Curve::constant(self.eval(Q::ZERO) - other.eval(Q::ZERO));
+            return Ok(Curve::constant(self.eval(Q::ZERO) - other.eval(Q::ZERO)));
         }
-        let pieces = envelope(&cand, h, true);
-        Curve::new(pieces, Tail::Affine).expect("deconv_upto produced an invalid curve")
+        let pieces = envelope(&cand, h, true, meter)?;
+        Ok(Curve::new(pieces, Tail::Affine).expect("deconv_upto produced an invalid curve"))
     }
 
     /// (min,+) deconvolution with an automatically derived inner-supremum
@@ -364,6 +412,18 @@ impl Curve {
     /// Returns [`CurveError::Unsupported`] when `self.rate() > other.rate()`
     /// (the supremum diverges: the system is unstable).
     pub fn deconv(&self, other: &Curve, h: Q) -> Result<Curve, CurveError> {
+        self.try_deconv(other, h, &BudgetMeter::unlimited())
+    }
+
+    /// Fallible, budgeted [`Curve::deconv`]: additionally surfaces `i128`
+    /// overflow in the derived inner-supremum horizon (an lcm of the
+    /// operands' periods) and budget exhaustion as errors.
+    pub fn try_deconv(
+        &self,
+        other: &Curve,
+        h: Q,
+        meter: &BudgetMeter,
+    ) -> Result<Curve, CurveError> {
         let ta = TailInfo::of(self);
         let tb = TailInfo::of(other);
         if ta.rate > tb.rate {
@@ -374,7 +434,7 @@ impl Curve {
         let u_cap = if ta.rate == tb.rate {
             // The objective is eventually periodic in u; one aligned common
             // period beyond both tails suffices.
-            common_check_horizon(self, other) + h
+            ck_add(try_common_check_horizon(self, other)?, h)?
         } else {
             // Negative drift in u: beyond the settle point the objective is
             // below its value at small u. Bound via the tail lines.
@@ -389,7 +449,7 @@ impl Curve {
             let bound = (aup - blo - alo + g0) / (br - ar);
             bound.max(ta.s).max(tb.s) + Q::ONE
         };
-        Ok(self.deconv_upto(other, h, u_cap))
+        self.try_deconv_upto(other, h, u_cap, meter)
     }
 }
 

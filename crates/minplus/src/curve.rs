@@ -9,8 +9,14 @@
 //! staircase curves (periodic job releases, TDMA service) have periodic
 //! tails.
 
-use crate::error::CurveError;
+use crate::error::{ArithmeticError, CurveError};
+use crate::meter::BudgetMeter;
 use crate::ratio::Q;
+
+/// The overflow error value for `ok_or_else` sites in this module.
+fn ovf() -> CurveError {
+    CurveError::Arithmetic(ArithmeticError::Overflow)
+}
 
 /// One affine piece of a curve.
 ///
@@ -320,10 +326,22 @@ impl Curve {
     /// Unrolls the curve so that explicit pieces cover at least `[0, h]`,
     /// returning the piece list. The affine extension of the returned last
     /// piece is **not** generally valid beyond `h` for periodic curves.
+    /// Thin panicking wrapper over [`Curve::try_pieces_upto`].
     pub fn pieces_upto(&self, h: Q) -> Vec<Piece> {
+        self.try_pieces_upto(h, &BudgetMeter::unlimited())
+            .expect("unmetered pieces_upto cannot trip")
+    }
+
+    /// Metered [`Curve::pieces_upto`]: ticks the segment budget once per
+    /// emitted piece and returns `Err(CurveError::Budget)` when it trips,
+    /// or `Err(CurveError::Arithmetic)` on `i128` overflow while lifting
+    /// the periodic pattern. A huge horizon over a tiny period is the
+    /// classic blow-up this guards (the unrolled list would be enormous).
+    pub fn try_pieces_upto(&self, h: Q, meter: &BudgetMeter) -> Result<Vec<Piece>, CurveError> {
         assert!(!h.is_negative(), "pieces_upto with negative horizon");
+        
         match self.tail {
-            Tail::Affine => self.pieces.clone(),
+            Tail::Affine => Ok(self.pieces.clone()),
             Tail::Periodic {
                 pattern_start,
                 period,
@@ -334,19 +352,74 @@ impl Curve {
                 let pattern: Vec<Piece> = self.pieces[pattern_start..].to_vec();
                 let mut k: i128 = 1;
                 loop {
-                    let shift = period * Q::int(k);
-                    let lift = increment * Q::int(k);
-                    if s + shift > h {
+                    let kq = Q::int(k);
+                    let shift = period.checked_mul(kq).ok_or_else(ovf)?;
+                    let lift = increment.checked_mul(kq).ok_or_else(ovf)?;
+                    if s.checked_add(shift).ok_or_else(ovf)? > h {
                         break;
                     }
                     for p in &pattern {
-                        out.push(Piece::new(p.start + shift, p.value + lift, p.slope));
+                        if !meter.tick_segment() {
+                            return Err(CurveError::Budget(
+                                meter.tripped().expect("tick returned false"),
+                            ));
+                        }
+                        let start = p.start.checked_add(shift).ok_or_else(ovf)?;
+                        let value = p.value.checked_add(lift).ok_or_else(ovf)?;
+                        out.push(Piece::new(start, value, p.slope));
                     }
                     k += 1;
                 }
-                out
+                Ok(out)
             }
         }
+    }
+
+    /// A line `b + r·t` with `f(t) ≥ b + r·t` for **all** `t ≥ 0`, where
+    /// `r` is the curve's long-run [`Curve::rate`].
+    ///
+    /// Used as the sound service under-approximation of the degraded
+    /// analyses: for a lower service curve `β ≥ line`, the pseudo-inverse
+    /// satisfies `β⁻¹(w) ≤ (w − b)/r`, which bounds delays without
+    /// materializing `β`'s (possibly huge) breakpoint list. For
+    /// rate-latency curves the line is exact.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use srtw_minplus::{Curve, Q};
+    /// let beta = Curve::rate_latency(Q::int(2), Q::int(3));
+    /// let (b, r) = beta.lower_line();
+    /// assert_eq!(r, Q::int(2));
+    /// assert_eq!(b, Q::int(-6)); // 2·(t − 3) = −6 + 2t
+    /// ```
+    pub fn lower_line(&self) -> (Q, Q) {
+        let r = self.rate();
+        // Tail guarantee: beyond tail_start the curve stays above its
+        // linear reference minus the maximal downward deviation; scanning
+        // one period (or the last piece) of explicit pieces below covers
+        // the transient. f(t) − r·t is affine per piece, so its minimum
+        // over the piece sits at an endpoint.
+        let mut b = self.pieces[0].value - r * self.pieces[0].start;
+        let horizon = match self.tail {
+            Tail::Affine => self.tail_start(),
+            Tail::Periodic {
+                pattern_start,
+                period,
+                ..
+            } => self.pieces[pattern_start].start + period,
+        };
+        for (i, p) in self.pieces.iter().enumerate() {
+            let end = self
+                .pieces
+                .get(i + 1)
+                .map(|n| n.start)
+                .unwrap_or(horizon)
+                .max(p.start);
+            b = b.min(p.value - r * p.start);
+            b = b.min(p.eval(end) - r * end);
+        }
+        (b, r)
     }
 
     /// Returns an equivalent curve whose explicit pieces cover `[0, h]` and
@@ -679,19 +752,30 @@ impl std::fmt::Display for Curve {
 }
 
 /// A horizon beyond which the pointwise relation of two curves is decided by
-/// their tails: both transients plus one common period alignment.
+/// their tails: both transients plus one common period alignment. Thin
+/// panicking wrapper over [`try_common_check_horizon`] for callers with
+/// statically tame periods.
 pub(crate) fn common_check_horizon(a: &Curve, b: &Curve) -> Q {
+    try_common_check_horizon(a, b).expect("common check horizon overflow")
+}
+
+/// Fallible [`common_check_horizon`]: `Err(CurveError::Arithmetic)` when
+/// the period lcm (or the horizon sum) overflows `i128` — the first
+/// casualty of adversarial coprime periods.
+pub(crate) fn try_common_check_horizon(a: &Curve, b: &Curve) -> Result<Q, CurveError> {
     let base = a.tail_start().max(b.tail_start());
     let pa = tail_period(a);
     let pb = tail_period(b);
-    match (pa, pb) {
-        (None, None) => base + Q::ONE,
-        (Some(p), None) | (None, Some(p)) => base + p + p,
+    
+    let span = match (pa, pb) {
+        (None, None) => Q::ONE,
+        (Some(p), None) | (None, Some(p)) => p.checked_add(p).ok_or_else(ovf)?,
         (Some(p1), Some(p2)) => {
-            let l = Q::lcm(p1, p2);
-            base + l + l
+            let l = Q::try_lcm(p1, p2).map_err(CurveError::Arithmetic)?;
+            l.checked_add(l).ok_or_else(ovf)?
         }
-    }
+    };
+    base.checked_add(span).ok_or_else(ovf)
 }
 
 pub(crate) fn tail_period(c: &Curve) -> Option<Q> {
@@ -815,6 +899,51 @@ mod tests {
         assert_eq!(ps.len(), 3);
         assert_eq!(ps[2].start, Q::int(10));
         assert_eq!(ps[2].value, Q::int(3));
+    }
+
+    #[test]
+    fn try_pieces_upto_trips_segment_budget() {
+        use crate::error::CurveError;
+        use crate::meter::{Budget, BudgetKind, BudgetMeter};
+        let s = Curve::staircase(Q::ONE, Q::ONE);
+        let meter = BudgetMeter::new(&Budget::default().with_max_segments(10));
+        let got = s.try_pieces_upto(Q::int(1_000_000), &meter);
+        assert_eq!(got, Err(CurveError::Budget(BudgetKind::Segments)));
+        assert_eq!(meter.tripped(), Some(BudgetKind::Segments));
+        // An unlimited meter reproduces the classic behaviour.
+        let ok = s
+            .try_pieces_upto(Q::int(12), &BudgetMeter::unlimited())
+            .unwrap();
+        assert_eq!(ok, s.pieces_upto(Q::int(12)));
+    }
+
+    #[test]
+    fn lower_line_bounds_curve_everywhere() {
+        let curves = vec![
+            Curve::rate_latency(Q::int(2), Q::int(3)),
+            Curve::staircase(Q::int(4), Q::int(2)),
+            Curve::staircase_lower(Q::int(3), Q::int(2)),
+            Curve::affine(Q::int(5), q(1, 3)),
+            Curve::constant(Q::int(3)),
+            Curve::burst_delay(Q::int(4), Q::int(7)),
+        ];
+        for c in &curves {
+            let (b, r) = c.lower_line();
+            assert_eq!(r, c.rate());
+            for i in 0..400 {
+                let t = q(i, 3);
+                assert!(
+                    c.eval(t) >= b + r * t,
+                    "lower_line violated for {c} at t = {t}: {} < {}",
+                    c.eval(t),
+                    b + r * t
+                );
+            }
+        }
+        // Exact for rate-latency: the bound is attained beyond the latency.
+        let rl = Curve::rate_latency(Q::int(2), Q::int(3));
+        let (b, r) = rl.lower_line();
+        assert_eq!(rl.eval(Q::int(10)), b + r * Q::int(10));
     }
 
     #[test]

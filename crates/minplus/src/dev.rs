@@ -12,9 +12,11 @@
 //! finiteness (a demand rate exceeding the service rate yields
 //! [`Ext::Infinite`]).
 
-use crate::curve::{common_check_horizon, Curve, Tail};
+use crate::curve::{Curve, Tail};
+use crate::error::CurveError;
 use crate::extended::Ext;
-use crate::ops::{common_period, running_max_diff, TailInfo};
+use crate::meter::{BudgetKind, BudgetMeter};
+use crate::ops::{ck_add, running_max_diff, try_common_period, TailInfo};
 use crate::ratio::Q;
 
 impl Curve {
@@ -114,27 +116,35 @@ impl Curve {
     /// assert_eq!(alpha.vdev(&beta), Ext::Finite(Q::int(3)));
     /// ```
     pub fn vdev(&self, other: &Curve) -> Ext {
+        self.try_vdev(other, &BudgetMeter::unlimited())
+            .expect("unmetered vdev failed")
+    }
+
+    /// Fallible, budgeted [`Curve::vdev`]: surfaces `i128` overflow (e.g.
+    /// an lcm of huge coprime periods) and budget exhaustion as errors.
+    pub fn try_vdev(&self, other: &Curve, meter: &BudgetMeter) -> Result<Ext, CurveError> {
         let ta = TailInfo::of(self);
         let tb = TailInfo::of(other);
         if ta.rate > tb.rate {
-            return Ext::Infinite;
+            return Ok(Ext::Infinite);
         }
         let h0 = ta.s.max(tb.s);
-        let p = common_period(&ta, &tb).unwrap_or(Q::ONE);
+        let p = try_common_period(&ta, &tb)?.unwrap_or(Q::ONE);
         if ta.rate == tb.rate {
             // Difference eventually periodic with zero net growth: one
             // aligned period beyond both tails carries the global maximum.
-            let (_, m) = running_max_diff(self, other, h0 + p, &[]);
-            Ext::Finite(m)
+            let (_, m) = running_max_diff(self, other, ck_add(h0, p)?, &[], meter)?;
+            Ok(Ext::Finite(m))
         } else {
             // Negative drift: settle once the difference's upper bounding
             // line falls below the running maximum so far.
-            let (_, m1) = running_max_diff(self, other, h0 + p + p, &[]);
+            let h1 = ck_add(ck_add(h0, p)?, p)?;
+            let (_, m1) = running_max_diff(self, other, h1, &[], meter)?;
             let (aup, ar) = ta.upper_line();
             let (blo, br) = tb.lower_line();
             let t0 = ((aup - blo - m1) / (br - ar)).max(h0) + Q::ONE;
-            let (_, m) = running_max_diff(self, other, t0, &[]);
-            Ext::Finite(m)
+            let (_, m) = running_max_diff(self, other, t0, &[], meter)?;
+            Ok(Ext::Finite(m))
         }
     }
 
@@ -155,10 +165,19 @@ impl Curve {
     /// assert_eq!(alpha.hdev(&beta), Ext::Finite(Q::int(5)));
     /// ```
     pub fn hdev(&self, other: &Curve) -> Ext {
+        self.try_hdev(other, &BudgetMeter::unlimited())
+            .expect("unmetered hdev failed")
+    }
+
+    /// Fallible, budgeted [`Curve::hdev`]: surfaces `i128` overflow (the
+    /// check horizon is an lcm of the operands' periods, which huge coprime
+    /// periods push past `i128`) and budget exhaustion as errors instead of
+    /// aborting or materializing an astronomically long window.
+    pub fn try_hdev(&self, other: &Curve, meter: &BudgetMeter) -> Result<Ext, CurveError> {
         let ta = TailInfo::of(self);
         let tb = TailInfo::of(other);
         if ta.rate > tb.rate {
-            return Ext::Infinite;
+            return Ok(Ext::Infinite);
         }
         if ta.rate == tb.rate && ta.rate.is_zero() {
             // Both saturate; compare the limits.
@@ -167,10 +186,10 @@ impl Curve {
             if la > lb_sup {
                 // self's eventual level may exceed other's: decide exactly
                 // via pseudo-inverse of the supremum demand.
-                let h = common_check_horizon(self, other);
+                let h = crate::curve::try_common_check_horizon(self, other)?;
                 let sup_demand = self.eval(h).max(self.eval_left(h));
                 if other.pseudo_inverse(sup_demand).is_infinite() {
-                    return Ext::Infinite;
+                    return Ok(Ext::Infinite);
                 }
             }
         }
@@ -179,7 +198,7 @@ impl Curve {
         let h = if ta.rate == tb.rate {
             // Deviation eventually periodic: one aligned lcm window beyond
             // both tails repeats forever.
-            common_check_horizon(self, other)
+            crate::curve::try_common_check_horizon(self, other)?
         } else {
             // Service strictly faster: beyond the settle point d(t) ≤ d at
             // the settle point (the gap only widens). Settle where the
@@ -194,7 +213,7 @@ impl Curve {
         // crosses a service breakpoint's value (there the service
         // pseudo-inverse kinks).
         let mut cands: Vec<Q> = self
-            .pieces_upto(h)
+            .try_pieces_upto(h, meter)?
             .iter()
             .map(|p| p.start)
             .filter(|&t| t <= h)
@@ -204,9 +223,9 @@ impl Curve {
         // covers the maximal demand.
         let bh = match other.pseudo_inverse(demand_max) {
             Ext::Finite(t) => t + Q::ONE,
-            Ext::Infinite => return Ext::Infinite,
+            Ext::Infinite => return Ok(Ext::Infinite),
         };
-        let service_pieces = other.pieces_upto(bh);
+        let service_pieces = other.try_pieces_upto(bh, meter)?;
         for (i, p) in service_pieces.iter().enumerate() {
             // Both the piece's start value and its left limit at the next
             // breakpoint are levels where other's pseudo-inverse kinks.
@@ -245,9 +264,13 @@ impl Curve {
         let third = Q::new(1, 3);
         let mut best = Q::ZERO;
         for (i, &t1) in cands.iter().enumerate() {
+            if !meter.tick_segment() {
+                let kind = meter.tripped().unwrap_or(BudgetKind::Segments);
+                return Err(CurveError::Budget(kind));
+            }
             match d_at(t1) {
                 Ext::Finite(v) => best = best.max(v),
-                Ext::Infinite => return Ext::Infinite,
+                Ext::Infinite => return Ok(Ext::Infinite),
             }
             if let Some(&t2) = cands.get(i + 1) {
                 let dt = t2 - t1;
@@ -260,11 +283,11 @@ impl Curve {
                         let at_t2 = a + slope * (t2 - m1); // left limit at t2
                         best = best.max(a).max(b).max(at_t1).max(at_t2);
                     }
-                    _ => return Ext::Infinite,
+                    _ => return Ok(Ext::Infinite),
                 }
             }
         }
-        Ext::Finite(best.clamp_nonneg())
+        Ok(Ext::Finite(best.clamp_nonneg()))
     }
 }
 
@@ -505,5 +528,51 @@ mod tests {
         let alpha = Curve::affine(Q::ZERO, Q::int(2));
         let beta = Curve::affine(Q::ZERO, Q::ONE);
         assert_eq!(alpha.vdev(&beta), Ext::Infinite);
+    }
+
+    #[test]
+    fn try_hdev_surfaces_lcm_overflow() {
+        // Equal rates with huge coprime periods: the common check horizon
+        // is their lcm, which overflows i128. The fallible entry point
+        // reports it; the panicking one used to abort the process.
+        let p1 = Q::int(1i128 << 88);
+        let p2 = Q::int((1i128 << 88) - 1);
+        let alpha = Curve::staircase(p1, p1);
+        let beta = Curve::staircase_lower(p2, p2);
+        let got = alpha.try_hdev(&beta, &BudgetMeter::unlimited());
+        assert_eq!(
+            got,
+            Err(CurveError::Arithmetic(crate::error::ArithmeticError::Overflow))
+        );
+        let got_v = alpha.try_vdev(&beta, &BudgetMeter::unlimited());
+        assert_eq!(
+            got_v,
+            Err(CurveError::Arithmetic(crate::error::ArithmeticError::Overflow))
+        );
+    }
+
+    #[test]
+    fn try_hdev_trips_budget_on_long_horizon() {
+        use crate::meter::Budget;
+        // Coprime-ish periods force a long lcm window; a tight segment cap
+        // stops the scan early instead of materializing millions of pieces.
+        let p = Q::int(999_983); // prime
+        let alpha = Curve::staircase(Q::ONE, Q::ONE);
+        let beta = Curve::staircase_lower(p, p);
+        let meter = BudgetMeter::new(&Budget::default().with_max_segments(100));
+        let got = alpha.try_hdev(&beta, &meter);
+        assert_eq!(got, Err(CurveError::Budget(BudgetKind::Segments)));
+        // The unmetered result agrees between try_ and classic entry points
+        // on a benign pair.
+        let a2 = Curve::staircase(Q::int(4), Q::int(2));
+        let b2 = Curve::rate_latency(Q::ONE, Q::int(3));
+        assert_eq!(
+            a2.try_hdev(&b2, &BudgetMeter::unlimited()).unwrap(),
+            a2.hdev(&b2)
+        );
+        assert_eq!(
+            a2.try_vdev(&b2, &BudgetMeter::unlimited()).unwrap(),
+            a2.vdev(&b2)
+        );
     }
 }

@@ -1,7 +1,32 @@
 //! Error types for curve construction and algebra.
 
+use crate::meter::BudgetKind;
 use crate::ratio::Q;
 use std::fmt;
+
+/// Failure of exact rational arithmetic.
+///
+/// All analysis arithmetic runs on `i128` rationals; adversarial inputs
+/// (huge coprime periods, astronomically long horizons) can overflow it.
+/// The fallible curve-algebra entry points (`Curve::try_*`) surface the
+/// condition as an error instead of aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithmeticError {
+    /// An intermediate value exceeded the `i128` range.
+    Overflow,
+}
+
+impl fmt::Display for ArithmeticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithmeticError::Overflow => {
+                write!(f, "exact rational arithmetic overflowed the i128 range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArithmeticError {}
 
 /// Errors produced when constructing or combining curves.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +70,13 @@ pub enum CurveError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// Exact arithmetic overflowed inside the operation (fallible `try_*`
+    /// entry points only; the classic API panics instead).
+    Arithmetic(ArithmeticError),
+    /// A cooperative [`crate::Budget`] was exhausted mid-operation
+    /// (fallible `try_*` entry points only). The caller is expected to
+    /// degrade soundly, e.g. by truncating its horizon.
+    Budget(BudgetKind),
 }
 
 impl fmt::Display for CurveError {
@@ -67,6 +99,8 @@ impl fmt::Display for CurveError {
                 write!(f, "invalid periodic tail: {reason}")
             }
             CurveError::Unsupported { reason } => write!(f, "unsupported operation: {reason}"),
+            CurveError::Arithmetic(e) => write!(f, "{e}"),
+            CurveError::Budget(kind) => write!(f, "analysis budget exhausted: {kind}"),
         }
     }
 }

@@ -42,10 +42,12 @@ mod curve;
 mod dev;
 mod error;
 mod extended;
+mod meter;
 mod ops;
 mod ratio;
 
 pub use curve::{Curve, Piece, Tail};
-pub use error::CurveError;
+pub use error::{ArithmeticError, CurveError};
 pub use extended::Ext;
+pub use meter::{Budget, BudgetKind, BudgetMeter, CLOCK_STRIDE};
 pub use ratio::{q, ParseQError, Q};

@@ -8,7 +8,20 @@
 //! evaluation on dense rational grids.
 
 use crate::curve::{Curve, Piece, Tail};
+use crate::error::{ArithmeticError, CurveError};
+use crate::meter::BudgetMeter;
 use crate::ratio::Q;
+
+/// The overflow error value, shared by the checked helpers below.
+const OVF: CurveError = CurveError::Arithmetic(ArithmeticError::Overflow);
+
+pub(crate) fn ck_add(a: Q, b: Q) -> Result<Q, CurveError> {
+    a.checked_add(b).ok_or(OVF)
+}
+
+pub(crate) fn ck_mul(a: Q, b: Q) -> Result<Q, CurveError> {
+    a.checked_mul(b).ok_or(OVF)
+}
 
 /// Which pointwise operation to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,9 +114,16 @@ impl TailInfo {
 /// pattern start). Both operands must be affine within every elementary
 /// interval of the produced grid, which holds because the grid contains all
 /// piece starts below `upto`.
-fn combine_pieces(a: &Curve, b: &Curve, upto: Q, anchors: &[Q], op: PointOp) -> Vec<Piece> {
-    let pa = a.pieces_upto(upto);
-    let pb = b.pieces_upto(upto);
+fn combine_pieces(
+    a: &Curve,
+    b: &Curve,
+    upto: Q,
+    anchors: &[Q],
+    op: PointOp,
+    meter: &BudgetMeter,
+) -> Result<Vec<Piece>, CurveError> {
+    let pa = a.try_pieces_upto(upto, meter)?;
+    let pb = b.try_pieces_upto(upto, meter)?;
     let mut ev: Vec<Q> = pa
         .iter()
         .chain(pb.iter())
@@ -175,20 +195,30 @@ fn combine_pieces(a: &Curve, b: &Curve, upto: Q, anchors: &[Q], op: PointOp) -> 
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Picks the common analysis period of two tails (for equal-rate or additive
 /// combinations): the lcm of the periods present, or `None` if both affine.
-pub(crate) fn common_period(a: &TailInfo, b: &TailInfo) -> Option<Q> {
+/// Huge coprime periods make the lcm overflow
+/// `i128`, which surfaces as [`CurveError::Arithmetic`] here instead of an
+/// abort.
+pub(crate) fn try_common_period(a: &TailInfo, b: &TailInfo) -> Result<Option<Q>, CurveError> {
     match (a.period, b.period) {
-        (None, None) => None,
-        (Some(p), None) | (None, Some(p)) => Some(p),
-        (Some(p1), Some(p2)) => Some(Q::lcm(p1, p2)),
+        (None, None) => Ok(None),
+        (Some(p), None) | (None, Some(p)) => Ok(Some(p)),
+        (Some(p1), Some(p2)) => Q::try_lcm(p1, p2)
+            .map(Some)
+            .map_err(CurveError::Arithmetic),
     }
 }
 
-fn pointwise(a: &Curve, b: &Curve, op: PointOp) -> Curve {
+fn try_pointwise(
+    a: &Curve,
+    b: &Curve,
+    op: PointOp,
+    meter: &BudgetMeter,
+) -> Result<Curve, CurveError> {
     let ta = TailInfo::of(a);
     let tb = TailInfo::of(b);
     let h0 = ta.s.max(tb.s);
@@ -196,43 +226,36 @@ fn pointwise(a: &Curve, b: &Curve, op: PointOp) -> Curve {
     // Case 1: addition, or min/max with equal long-run rates.
     let equal_rates = ta.rate == tb.rate;
     if op == PointOp::Add || equal_rates {
-        match common_period(&ta, &tb) {
+        match try_common_period(&ta, &tb)? {
             None => {
                 // Both affine. For Add the result is affine immediately; for
-                // min/max two parallel or crossing lines need the crossing
-                // inside the materialized range.
-                let mut h = h0 + Q::ONE;
-                if op != PointOp::Add && ta.rate != tb.rate {
-                    unreachable!("handled by the distinct-rate branch below");
-                }
-                if op != PointOp::Add {
-                    // Parallel lines: any horizon works. (Crossing lines have
-                    // distinct rates, handled elsewhere.)
-                    h = h0 + Q::ONE;
-                }
-                let pieces = combine_pieces(a, b, h, &[], op);
-                Curve::new(pieces, Tail::Affine).expect("pointwise affine result invalid")
+                // min/max the rates are equal here (distinct rates take the
+                // branch below), so the lines are parallel and any horizon
+                // past both tail starts works.
+                let h = ck_add(h0, Q::ONE)?;
+                let pieces = combine_pieces(a, b, h, &[], op, meter)?;
+                Ok(Curve::new(pieces, Tail::Affine).expect("pointwise affine result invalid"))
             }
             Some(p) => {
                 let rate = match op {
-                    PointOp::Add => ta.rate + tb.rate,
+                    PointOp::Add => ck_add(ta.rate, tb.rate)?,
                     _ => ta.rate, // equal rates
                 };
-                let upto = h0 + p;
-                let pieces = combine_pieces(a, b, upto, &[h0], op);
+                let upto = ck_add(h0, p)?;
+                let pieces = combine_pieces(a, b, upto, &[h0], op, meter)?;
                 let pattern_start = pieces
                     .iter()
                     .position(|q| q.start >= h0)
                     .expect("anchor piece present");
-                Curve::new(
+                Ok(Curve::new(
                     pieces,
                     Tail::Periodic {
                         pattern_start,
                         period: p,
-                        increment: rate * p,
+                        increment: ck_mul(rate, p)?,
                     },
                 )
-                .expect("pointwise periodic result invalid")
+                .expect("pointwise periodic result invalid"))
             }
         }
     } else {
@@ -256,16 +279,17 @@ fn pointwise(a: &Curve, b: &Curve, op: PointOp) -> Curve {
         let t0 = t0.max(h0);
         match wi.period {
             None => {
-                let h = t0 + Q::ONE;
-                let pieces = combine_pieces(a, b, h, &[], op);
-                Curve::new(pieces, Tail::Affine).expect("pointwise winner-affine result invalid")
+                let h = ck_add(t0, Q::ONE)?;
+                let pieces = combine_pieces(a, b, h, &[], op, meter)?;
+                Ok(Curve::new(pieces, Tail::Affine)
+                    .expect("pointwise winner-affine result invalid"))
             }
             Some(pw) => {
                 // Align the future pattern start to the winner's grid.
                 let k = ((t0 - wi.s) / pw).ceil().max(0);
-                let hstar = wi.s + pw * Q::int(k);
-                let upto = hstar + pw;
-                let pieces = combine_pieces(a, b, upto, &[hstar], op);
+                let hstar = ck_add(wi.s, ck_mul(pw, Q::int(k))?)?;
+                let upto = ck_add(hstar, pw)?;
+                let pieces = combine_pieces(a, b, upto, &[hstar], op, meter)?;
                 let pattern_start = pieces
                     .iter()
                     .position(|q| q.start >= hstar)
@@ -274,7 +298,7 @@ fn pointwise(a: &Curve, b: &Curve, op: PointOp) -> Curve {
                     Tail::Periodic { increment, .. } => increment,
                     Tail::Affine => unreachable!("winner has periodic tail"),
                 };
-                Curve::new(
+                Ok(Curve::new(
                     pieces,
                     Tail::Periodic {
                         pattern_start,
@@ -282,10 +306,15 @@ fn pointwise(a: &Curve, b: &Curve, op: PointOp) -> Curve {
                         increment,
                     },
                 )
-                .expect("pointwise winner-periodic result invalid")
+                .expect("pointwise winner-periodic result invalid"))
             }
         }
     }
+}
+
+fn pointwise(a: &Curve, b: &Curve, op: PointOp) -> Curve {
+    try_pointwise(a, b, op, &BudgetMeter::unlimited())
+        .expect("unmetered pointwise operation failed")
 }
 
 impl Curve {
@@ -320,6 +349,36 @@ impl Curve {
         pointwise(self, other, PointOp::Add)
     }
 
+    /// Fallible, budgeted [`Curve::pointwise_min`]: surfaces `i128`
+    /// overflow (e.g. an lcm of huge coprime periods) as
+    /// [`CurveError::Arithmetic`] and budget exhaustion as
+    /// [`CurveError::Budget`] instead of aborting or hanging.
+    pub fn try_pointwise_min(
+        &self,
+        other: &Curve,
+        meter: &BudgetMeter,
+    ) -> Result<Curve, CurveError> {
+        try_pointwise(self, other, PointOp::Min, meter)
+    }
+
+    /// Fallible, budgeted [`Curve::pointwise_max`].
+    pub fn try_pointwise_max(
+        &self,
+        other: &Curve,
+        meter: &BudgetMeter,
+    ) -> Result<Curve, CurveError> {
+        try_pointwise(self, other, PointOp::Max, meter)
+    }
+
+    /// Fallible, budgeted [`Curve::pointwise_add`].
+    pub fn try_pointwise_add(
+        &self,
+        other: &Curve,
+        meter: &BudgetMeter,
+    ) -> Result<Curve, CurveError> {
+        try_pointwise(self, other, PointOp::Add, meter)
+    }
+
     /// The non-decreasing clamped difference
     /// `t ↦ sup_{0≤s≤t} max(0, f(s) − g(s))`.
     ///
@@ -327,15 +386,27 @@ impl Curve {
     /// service curves (e.g. blind multiplexing: `β' = [β − α]⁺↑`).
     #[must_use]
     pub fn sub_clamped_monotone(&self, other: &Curve) -> Curve {
+        self.try_sub_clamped_monotone(other, &BudgetMeter::unlimited())
+            .expect("unmetered sub_clamped_monotone failed")
+    }
+
+    /// Fallible, budgeted [`Curve::sub_clamped_monotone`]: surfaces `i128`
+    /// overflow and budget exhaustion as errors instead of aborting or
+    /// materializing an astronomically long common period.
+    pub fn try_sub_clamped_monotone(
+        &self,
+        other: &Curve,
+        meter: &BudgetMeter,
+    ) -> Result<Curve, CurveError> {
         let ta = TailInfo::of(self);
         let tb = TailInfo::of(other);
         let h0 = ta.s.max(tb.s);
-        let p = common_period(&ta, &tb).unwrap_or(Q::ONE);
+        let p = try_common_period(&ta, &tb)?.unwrap_or(Q::ONE);
         let dr = ta.rate - tb.rate;
 
         // First pass: running max on a generous base horizon.
-        let h1 = h0 + p + p;
-        let (_, m1) = running_max_diff(self, other, h1, &[]);
+        let h1 = ck_add(ck_add(h0, p)?, p)?;
+        let (_, m1) = running_max_diff(self, other, h1, &[], meter)?;
 
         if dr.is_positive() {
             // The difference eventually grows. The running max becomes
@@ -344,34 +415,36 @@ impl Curve {
             // difference — enlarge the period accordingly.
             let osc = (ta.dev_max - ta.dev_min) + (tb.dev_max - tb.dev_min);
             let enlarge = (osc / (dr * p)).ceil().max(0) + 1;
-            let pp = p * Q::int(enlarge);
+            let pp = ck_mul(p, Q::int(enlarge))?;
             let (alo, ar) = ta.lower_line();
             let (bup, br) = tb.upper_line();
             // diff(t) ≥ (alo − bup) + dr·t ≥ m1  ⇒  t ≥ (m1 − alo + bup)/dr
-            let t0 = ((m1 - alo + bup) / (ar - br)).max(h0 + pp);
+            let t0 = ((m1 - alo + bup) / (ar - br)).max(ck_add(h0, pp)?);
             let k = ((t0 - h0) / pp).ceil().max(0) + 1;
-            let hstar = h0 + pp * Q::int(k);
-            let (pieces, _) = running_max_diff(self, other, hstar + pp, &[hstar]);
+            let hstar = ck_add(h0, ck_mul(pp, Q::int(k))?)?;
+            let (pieces, _) =
+                running_max_diff(self, other, ck_add(hstar, pp)?, &[hstar], meter)?;
             let pattern_start = pieces
                 .iter()
                 .position(|q| q.start >= hstar)
                 .expect("pattern anchor");
-            Curve::new(
+            Ok(Curve::new(
                 pieces,
                 Tail::Periodic {
                     pattern_start,
                     period: pp,
-                    increment: dr * pp,
+                    increment: ck_mul(dr, pp)?,
                 },
             )
-            .expect("sub_clamped_monotone periodic result invalid")
+            .expect("sub_clamped_monotone periodic result invalid"))
         } else if dr.is_zero() {
             // The difference is eventually periodic with zero net growth:
             // the maximum over one aligned period beyond h0 is global.
-            let h = h0 + p;
-            let (mut pieces, m) = running_max_diff(self, other, h, &[]);
+            let h = ck_add(h0, p)?;
+            let (mut pieces, m) = running_max_diff(self, other, h, &[], meter)?;
             pieces.push(Piece::new(h, m, Q::ZERO));
-            Curve::new(pieces, Tail::Affine).expect("sub_clamped_monotone flat result invalid")
+            Ok(Curve::new(pieces, Tail::Affine)
+                .expect("sub_clamped_monotone flat result invalid"))
         } else {
             // Negative drift: the difference's upper bounding line decays;
             // once it is below the historical max, the running max is final.
@@ -379,9 +452,10 @@ impl Curve {
             let (blo, br) = tb.lower_line();
             // diff(t) ≤ (aup − blo) + dr·t ≤ m1  ⇐  t ≥ (aup − blo − m1)/(−dr)
             let t0 = ((aup - blo - m1) / (br - ar)).max(h0) + Q::ONE;
-            let (mut pieces, m) = running_max_diff(self, other, t0, &[]);
+            let (mut pieces, m) = running_max_diff(self, other, t0, &[], meter)?;
             pieces.push(Piece::new(t0, m, Q::ZERO));
-            Curve::new(pieces, Tail::Affine).expect("sub_clamped_monotone decay result invalid")
+            Ok(Curve::new(pieces, Tail::Affine)
+                .expect("sub_clamped_monotone decay result invalid"))
         }
     }
 
@@ -406,10 +480,17 @@ impl Curve {
 /// Computes the running max `M(t) = sup_{s≤t} (f(s) − g(s))⁺` as explicit
 /// pieces on `[0, h)`, returning them together with the final max value
 /// (the left limit of `M` at `h`). `anchors` are extra mandatory
-/// breakpoints.
-pub(crate) fn running_max_diff(f: &Curve, g: &Curve, h: Q, anchors: &[Q]) -> (Vec<Piece>, Q) {
-    let pf = f.pieces_upto(h);
-    let pg = g.pieces_upto(h);
+/// breakpoints. Budgeted via `meter`; errs when materializing either
+/// operand up to `h` exhausts the segment budget or overflows.
+pub(crate) fn running_max_diff(
+    f: &Curve,
+    g: &Curve,
+    h: Q,
+    anchors: &[Q],
+    meter: &BudgetMeter,
+) -> Result<(Vec<Piece>, Q), CurveError> {
+    let pf = f.try_pieces_upto(h, meter)?;
+    let pg = g.try_pieces_upto(h, meter)?;
     let mut ev: Vec<Q> = pf
         .iter()
         .chain(pg.iter())
@@ -470,7 +551,7 @@ pub(crate) fn running_max_diff(f: &Curve, g: &Curve, h: Q, anchors: &[Q]) -> (Ve
             push(Piece::new(e, m, Q::ZERO), &mut out);
         }
     }
-    (out, m)
+    Ok((out, m))
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //! message rather than returning silently wrong bounds; `checked_*`
 //! variants are provided for callers that prefer a recoverable error.
 
+use crate::error::ArithmeticError;
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
@@ -51,13 +52,21 @@ pub(crate) fn gcd(mut a: i128, mut b: i128) -> i128 {
     a
 }
 
-/// Least common multiple (panics on overflow).
+/// Least common multiple, `None` on `i128` overflow.
 #[inline]
-pub(crate) fn lcm(a: i128, b: i128) -> i128 {
+pub(crate) fn checked_lcm(a: i128, b: i128) -> Option<i128> {
     if a == 0 || b == 0 {
-        return 0;
+        return Some(0);
     }
-    (a / gcd(a, b)).checked_mul(b).expect("lcm overflow").abs()
+    (a / gcd(a, b)).checked_mul(b).map(i128::abs)
+}
+
+/// Least common multiple. Thin wrapper over [`checked_lcm`] for callers
+/// with statically small operands (panics on overflow).
+#[inline]
+#[allow(dead_code)]
+pub(crate) fn lcm(a: i128, b: i128) -> i128 {
+    checked_lcm(a, b).expect("lcm overflow")
 }
 
 impl Q {
@@ -302,12 +311,41 @@ impl Q {
     /// assert_eq!(Q::lcm(Q::int(4), Q::int(6)), Q::int(12));
     /// ```
     pub fn lcm(a: Q, b: Q) -> Q {
-        assert!(a.is_positive() && b.is_positive(), "Q::lcm needs positive arguments");
+        Q::try_lcm(a, b).expect("Q::lcm overflow")
+    }
+
+    /// Fallible [`Q::lcm`]: `Err` on `i128` overflow instead of a panic.
+    ///
+    /// Adversarial inputs with huge coprime periods make this the first
+    /// arithmetic casualty of an analysis (the common check horizon of two
+    /// periodic curve tails is an lcm); routing it through `Result` lets
+    /// the budgeted analyses degrade soundly instead of aborting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is not strictly positive (a caller bug, not
+    /// an input property).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use srtw_minplus::{ArithmeticError, Q};
+    /// assert_eq!(Q::try_lcm(Q::int(4), Q::int(6)), Ok(Q::int(12)));
+    /// let huge = Q::int((1i128 << 100) + 1); // odd, coprime with the power of two
+    /// let pow = Q::int(1i128 << 100);
+    /// assert_eq!(Q::try_lcm(huge, pow), Err(ArithmeticError::Overflow));
+    /// ```
+    pub fn try_lcm(a: Q, b: Q) -> Result<Q, ArithmeticError> {
+        assert!(
+            a.is_positive() && b.is_positive(),
+            "Q::lcm needs positive arguments"
+        );
         // lcm(n1/d1, n2/d2) = lcm(n1*d2, n2*d1) / (d1*d2)
-        let x = a.num.checked_mul(b.den).expect("Q::lcm overflow");
-        let y = b.num.checked_mul(a.den).expect("Q::lcm overflow");
-        let den = a.den.checked_mul(b.den).expect("Q::lcm overflow");
-        Q::new(lcm(x, y), den)
+        let overflow = ArithmeticError::Overflow;
+        let x = a.num.checked_mul(b.den).ok_or(overflow)?;
+        let y = b.num.checked_mul(a.den).ok_or(overflow)?;
+        let den = a.den.checked_mul(b.den).ok_or(overflow)?;
+        Ok(Q::new(checked_lcm(x, y).ok_or(overflow)?, den))
     }
 }
 
@@ -618,6 +656,19 @@ mod tests {
         assert_eq!(Q::lcm(Q::int(4), Q::int(6)), Q::int(12));
         assert_eq!(Q::lcm(q(3, 2), q(1, 2)), q(3, 2));
         assert_eq!(Q::lcm(q(2, 3), q(1, 2)), Q::int(2));
+    }
+
+    #[test]
+    fn try_lcm_surfaces_overflow() {
+        // Two huge coprime integers: their lcm is their product, which
+        // exceeds i128. This used to abort deep inside the curve algebra.
+        let a = Q::int((1i128 << 88) - 1);
+        let b = Q::int(1i128 << 88);
+        assert_eq!(Q::try_lcm(a, b), Err(ArithmeticError::Overflow));
+        // Non-overflowing inputs agree with the panicking wrapper.
+        assert_eq!(Q::try_lcm(q(3, 2), q(1, 2)), Ok(Q::lcm(q(3, 2), q(1, 2))));
+        assert_eq!(checked_lcm(i128::MAX, i128::MAX - 1), None);
+        assert_eq!(checked_lcm(0, 7), Some(0));
     }
 
     #[test]

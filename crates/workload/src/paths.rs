@@ -13,7 +13,7 @@
 //! analysis.
 
 use crate::digraph::{DrtTask, VertexId};
-use srtw_minplus::Q;
+use srtw_minplus::{BudgetKind, BudgetMeter, Q};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -42,8 +42,11 @@ pub struct ExploreConfig {
     pub max_len: Option<usize>,
     /// Enable Pareto dominance pruning (disable only to measure its effect).
     pub prune: bool,
-    /// Safety valve: abort with a panic if more than this many nodes are
-    /// retained (default one million).
+    /// Safety valve: stop retaining nodes beyond this count (default one
+    /// million). Reaching it interrupts the exploration gracefully — the
+    /// result reports [`Exploration::interrupted`] and a correspondingly
+    /// reduced [`Exploration::complete_span`] — exactly like tripping an
+    /// explored-paths budget.
     pub node_limit: usize,
 }
 
@@ -86,6 +89,15 @@ pub struct Exploration {
     pub horizon: Q,
     /// Whether path length was capped (some continuations not explored).
     pub truncated_by_len: bool,
+    /// Spans **strictly below** this value are completely enumerated even
+    /// if the exploration was interrupted. Candidates pop in ascending
+    /// span order, so an interruption at span `s` leaves every span `< s`
+    /// final — the basis of the sound horizon-truncation fallback. Equals
+    /// `horizon` (and covers it inclusively) for uninterrupted runs.
+    pub complete_span: Q,
+    /// `Some(kind)` when a budget dimension (or the node limit, reported
+    /// as [`BudgetKind::Paths`]) stopped the exploration early.
+    pub interrupted: Option<BudgetKind>,
 }
 
 impl Exploration {
@@ -193,12 +205,28 @@ impl Frontier {
 /// assert_eq!(ex.nodes()[2].work, Q::int(6));
 /// ```
 pub fn explore(task: &DrtTask, cfg: &ExploreConfig) -> Exploration {
+    explore_metered(task, cfg, &BudgetMeter::unlimited())
+}
+
+/// Budgeted [`explore`]: ticks the explored-paths budget once per heap pop
+/// and stops at a **clean prefix** when any dimension (or the
+/// [`ExploreConfig::node_limit`]) trips.
+///
+/// Because candidates pop in ascending span order (successors strictly
+/// increase the span — separations are positive), interruption at a
+/// candidate of span `s` leaves every abstract path of span `< s` fully
+/// enumerated. The result's [`Exploration::complete_span`] records that
+/// exclusive frontier; retained nodes at span `≥ s` are genuine paths too
+/// (sound for maximisation) but possibly not exhaustive.
+pub fn explore_metered(task: &DrtTask, cfg: &ExploreConfig, meter: &BudgetMeter) -> Exploration {
     let mut nodes: Vec<PathNode> = Vec::new();
     let mut frontiers: Vec<Frontier> = vec![Frontier::default(); task.num_vertices()];
     let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
     let mut generated = 0usize;
     let mut pruned = 0usize;
     let mut truncated_by_len = false;
+    let mut complete_span = cfg.horizon;
+    let mut interrupted: Option<BudgetKind> = None;
 
     for v in task.vertex_ids() {
         generated += 1;
@@ -212,6 +240,11 @@ pub fn explore(task: &DrtTask, cfg: &ExploreConfig) -> Exploration {
     }
 
     while let Some(c) = heap.pop() {
+        if !meter.tick_path() {
+            interrupted = meter.tripped().or(Some(BudgetKind::Paths));
+            complete_span = c.span;
+            break;
+        }
         if cfg.prune && frontiers[c.vertex.index()].dominated(c.span, c.work) {
             pruned += 1;
             continue;
@@ -227,12 +260,11 @@ pub fn explore(task: &DrtTask, cfg: &ExploreConfig) -> Exploration {
             }
         }
         let idx = nodes.len();
-        assert!(
-            idx < cfg.node_limit,
-            "path exploration exceeded the node limit ({}); raise ExploreConfig::node_limit \
-             or lower the horizon",
-            cfg.node_limit
-        );
+        if idx >= cfg.node_limit {
+            interrupted = Some(BudgetKind::Paths);
+            complete_span = c.span;
+            break;
+        }
         nodes.push(PathNode {
             vertex: c.vertex,
             span: c.span,
@@ -273,6 +305,8 @@ pub fn explore(task: &DrtTask, cfg: &ExploreConfig) -> Exploration {
         pruned,
         horizon: cfg.horizon,
         truncated_by_len,
+        complete_span,
+        interrupted,
     }
 }
 
@@ -381,6 +415,53 @@ mod tests {
                 "node {n:?} not covered"
             );
         }
+    }
+
+    #[test]
+    fn metered_explore_stops_at_clean_prefix() {
+        use srtw_minplus::Budget;
+        let mut b = DrtTaskBuilder::new("loop");
+        let v = b.vertex("v", Q::int(2));
+        b.edge(v, v, Q::int(5));
+        let task = b.build().unwrap();
+        let cfg = ExploreConfig::new(Q::int(1000));
+        let meter = BudgetMeter::new(&Budget::default().with_max_paths(10));
+        let ex = explore_metered(&task, &cfg, &meter);
+        assert_eq!(ex.interrupted, Some(BudgetKind::Paths));
+        assert!(ex.complete_span < Q::int(1000));
+        // Exclusive completeness: compare against an unmetered run capped
+        // at the reported complete span.
+        let full = explore(&task, &ExploreConfig::new(Q::int(1000)));
+        let expect: Vec<&PathNode> = full
+            .nodes()
+            .iter()
+            .filter(|n| n.span < ex.complete_span)
+            .collect();
+        for want in &expect {
+            assert!(
+                ex.nodes().iter().any(|n| n.span == want.span
+                    && n.work == want.work
+                    && n.vertex == want.vertex),
+                "missing complete-prefix node {want:?}"
+            );
+        }
+        // An unmetered run reports full completeness.
+        assert_eq!(full.interrupted, None);
+        assert_eq!(full.complete_span, Q::int(1000));
+    }
+
+    #[test]
+    fn node_limit_interrupts_instead_of_panicking() {
+        let mut b = DrtTaskBuilder::new("loop");
+        let v = b.vertex("v", Q::ONE);
+        b.edge(v, v, Q::ONE);
+        let task = b.build().unwrap();
+        let mut cfg = ExploreConfig::new(Q::int(10_000));
+        cfg.node_limit = 5;
+        let ex = explore(&task, &cfg);
+        assert_eq!(ex.interrupted, Some(BudgetKind::Paths));
+        assert_eq!(ex.nodes().len(), 5);
+        assert!(ex.complete_span <= Q::int(5));
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! (see [`crate::paths`]) and returned as a right-continuous staircase.
 
 use crate::digraph::DrtTask;
-use crate::paths::{explore, ExploreConfig};
-use srtw_minplus::{Curve, Q};
+use crate::paths::{explore_metered, ExploreConfig};
+use srtw_minplus::{BudgetKind, BudgetMeter, Curve, Piece, Q, Tail};
 
 /// The request-bound function of a task, materialized up to a horizon.
 ///
@@ -36,9 +36,20 @@ use srtw_minplus::{Curve, Q};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rbf {
     /// Staircase breakpoints `(span, max work)` with strictly increasing
-    /// span and work.
+    /// span and work. On a truncated rbf only **exact** breakpoints are
+    /// kept (spans strictly below [`Rbf::exact_span`]).
     points: Vec<(Q, Q)>,
     horizon: Q,
+    /// Spans strictly below this are exact. Equals `horizon` for exact
+    /// rbfs; smaller when the exploration was interrupted by a budget.
+    exact_span: Q,
+    /// `Some(kind)` when the exploration was interrupted and the rbf falls
+    /// back to its coarse affine over-approximation beyond `exact_span`.
+    truncated: Option<BudgetKind>,
+    /// Offset of the coarse affine tail `tail_base + tail_rate·t`.
+    tail_base: Q,
+    /// Rate of the coarse affine tail.
+    tail_rate: Q,
     /// Number of retained abstract paths during computation.
     pub paths_retained: usize,
     /// Number of candidates pruned by dominance.
@@ -48,8 +59,36 @@ pub struct Rbf {
 impl Rbf {
     /// Computes the request-bound function of `task` on `[0, horizon]`.
     pub fn compute(task: &DrtTask, horizon: Q) -> Rbf {
-        let ex = explore(task, &ExploreConfig::new(horizon));
-        let mut pts: Vec<(Q, Q)> = ex.nodes().iter().map(|n| (n.span, n.work)).collect();
+        Rbf::compute_metered(task, horizon, &BudgetMeter::unlimited())
+    }
+
+    /// Budgeted [`Rbf::compute`]: when the exploration budget trips, the
+    /// result degrades instead of failing. Breakpoints are kept only for
+    /// the completely-enumerated span prefix (see
+    /// [`crate::Exploration::complete_span`]), and demand beyond it is
+    /// over-approximated by an affine tail derived from subadditivity:
+    ///
+    /// > `rbf(a + b) ≤ rbf(a) + rbf(b)` (a window splits into sub-windows
+    /// > whose paths are themselves legal), hence for every `s < S`:
+    /// > `rbf(t) ≤ ⌈t/s⌉·rbf(s) ≤ (1 + t/s)·rbf(s) ≤ (1 + t/s)·W` with
+    /// > `W = sup_{s<S} rbf(s)`, and in the limit `s → S`:
+    /// > `rbf(t) ≤ W + (W/S)·t` for all `t ≥ 0`.
+    ///
+    /// When nothing was enumerated (`S = 0`), the generic job-packing
+    /// bound `rbf(t) ≤ e_max·(1 + t/p_min)` over the largest WCET and the
+    /// smallest edge separation is used instead (flat `e_max` for an
+    /// edgeless task). Either way the truncated rbf **dominates** the true
+    /// rbf everywhere, so any delay bound computed from it is sound.
+    pub fn compute_metered(task: &DrtTask, horizon: Q, meter: &BudgetMeter) -> Rbf {
+        let ex = explore_metered(task, &ExploreConfig::new(horizon), meter);
+        let exact_span = ex.complete_span;
+        let truncated = ex.interrupted;
+        let mut pts: Vec<(Q, Q)> = ex
+            .nodes()
+            .iter()
+            .filter(|n| truncated.is_none() || n.span < exact_span)
+            .map(|n| (n.span, n.work))
+            .collect();
         pts.sort();
         // Running max over increasing span; keep strictly increasing work.
         let mut points: Vec<(Q, Q)> = Vec::new();
@@ -64,15 +103,54 @@ impl Rbf {
                 _ => points.push((s, w)),
             }
         }
+        // Coarse affine tail dominating the true rbf everywhere (only used
+        // when truncated; see the doc comment for the soundness argument).
+        // Both the subadditive line (from the exact prefix) and the
+        // job-packing line dominate the rbf globally; keep the one with
+        // the smaller rate — a short exact prefix makes the subadditive
+        // rate `W/S` arbitrarily steep, while the packing rate never
+        // exceeds `e_max/p_min`.
+        let packing = {
+            let e_max = task
+                .vertex_ids()
+                .map(|v| task.wcet(v))
+                .fold(Q::ZERO, Q::max);
+            let p_min = task
+                .vertex_ids()
+                .flat_map(|v| task.out_edges(v).iter().map(|e| e.separation))
+                .fold(None, |acc: Option<Q>, s| {
+                    Some(acc.map_or(s, |a| a.min(s)))
+                });
+            match p_min {
+                Some(p) => (e_max, e_max / p),
+                None => (e_max, Q::ZERO),
+            }
+        };
+        let (tail_base, tail_rate) = if exact_span.is_positive() && !points.is_empty() {
+            let w = points.last().expect("non-empty").1;
+            let subadd = (w, w / exact_span);
+            if subadd.1 <= packing.1 {
+                subadd
+            } else {
+                packing
+            }
+        } else {
+            packing
+        };
         Rbf {
             points,
             horizon,
+            exact_span,
+            truncated,
+            tail_base,
+            tail_rate,
             paths_retained: ex.nodes().len(),
             paths_pruned: ex.pruned,
         }
     }
 
-    /// The horizon up to which this rbf is valid.
+    /// The horizon up to which this rbf is valid. A truncated rbf remains
+    /// evaluable (coarsely) beyond it.
     pub fn horizon(&self) -> Q {
         self.horizon
     }
@@ -82,13 +160,37 @@ impl Rbf {
         &self.points
     }
 
-    /// Evaluates `rbf(t)`.
+    /// Spans strictly below this value are exact. Equals
+    /// [`Rbf::horizon`] for exact rbfs.
+    pub fn exact_span(&self) -> Q {
+        self.exact_span
+    }
+
+    /// The budget dimension that truncated this rbf, if any.
+    pub fn truncated(&self) -> Option<BudgetKind> {
+        self.truncated
+    }
+
+    /// The coarse affine tail `(base, rate)` with
+    /// `rbf(t) ≤ base + rate·t` for all `t`. Meaningful mostly for
+    /// truncated rbfs, but always a valid upper line.
+    pub fn coarse_line(&self) -> (Q, Q) {
+        (self.tail_base, self.tail_rate)
+    }
+
+    /// Evaluates `rbf(t)` — exactly below [`Rbf::exact_span`], via the
+    /// dominating affine tail beyond it on truncated rbfs.
     ///
     /// # Panics
     ///
-    /// Panics if `t` is negative or beyond the computed horizon.
+    /// Panics if `t` is negative, or if `t` is beyond the computed horizon
+    /// on an **exact** rbf (a truncated rbf accepts any `t`: its tail is
+    /// defined everywhere).
     pub fn eval(&self, t: Q) -> Q {
         assert!(!t.is_negative(), "rbf at negative window length");
+        if self.truncated.is_some() && t >= self.exact_span {
+            return self.tail_base + self.tail_rate * t;
+        }
         assert!(
             t <= self.horizon,
             "rbf({t}) beyond computed horizon {}",
@@ -100,26 +202,79 @@ impl Rbf {
         }
     }
 
-    /// The rbf as a staircase [`Curve`] on `[0, horizon]`.
+    /// Total-function demand bound, defined for every `t ≥ 0` and never
+    /// panicking on the horizon.
     ///
-    /// Beyond the horizon the returned curve stays **flat**, which
-    /// under-approximates future demand; it is only sound to use inside a
-    /// finitary analysis whose busy window is known to fit the horizon
-    /// (exactly how the `srtw-core` analyses use it). The curve's
-    /// breakpoints are exact.
-    pub fn curve(&self) -> Curve {
-        if self.points.is_empty() {
-            return Curve::zero();
+    /// On an **exact** rbf this is the staircase value clamped at the
+    /// horizon — sound inside any finitary analysis whose busy window fits
+    /// the horizon, exactly like [`Rbf::eval`] at
+    /// `t.min(horizon)`. On a **truncated** rbf the dominating affine tail
+    /// covers everything beyond the exact prefix, so the result
+    /// upper-bounds the true rbf unconditionally.
+    pub fn bound_at(&self, t: Q) -> Q {
+        if self.truncated.is_some() {
+            self.eval(t)
+        } else {
+            self.eval(t.min(self.horizon))
         }
-        let mut pts = Vec::with_capacity(self.points.len() + 1);
-        if self.points[0].0 != Q::ZERO {
-            pts.push((Q::ZERO, Q::ZERO));
-        }
-        pts.extend(self.points.iter().copied());
-        Curve::staircase_from_points(&pts).expect("rbf staircase invalid")
     }
 
-    /// The total demand bound at the horizon.
+    /// The rbf as a [`Curve`].
+    ///
+    /// For an **exact** rbf this is the staircase on `[0, horizon]`;
+    /// beyond the horizon the curve stays flat, which under-approximates
+    /// future demand and is only sound inside a finitary analysis whose
+    /// busy window fits the horizon (exactly how the `srtw-core` analyses
+    /// use it). For a **truncated** rbf the exact staircase prefix is
+    /// extended with the dominating affine tail from `exact_span` on, so
+    /// the returned curve upper-bounds the true rbf **everywhere**.
+    pub fn curve(&self) -> Curve {
+        let staircase = |points: &[(Q, Q)]| -> Curve {
+            let mut pts = Vec::with_capacity(points.len() + 1);
+            if points[0].0 != Q::ZERO {
+                pts.push((Q::ZERO, Q::ZERO));
+            }
+            pts.extend(points.iter().copied());
+            Curve::staircase_from_points(&pts).expect("rbf staircase invalid")
+        };
+        match self.truncated {
+            None => {
+                if self.points.is_empty() {
+                    Curve::zero()
+                } else {
+                    staircase(&self.points)
+                }
+            }
+            Some(_) => {
+                // Exact prefix, then the dominating affine tail. The tail
+                // value at exact_span is ≥ the last exact work (base alone
+                // already is), so the pieces stay non-decreasing.
+                let mut pieces: Vec<Piece> = if self.points.is_empty() {
+                    Vec::new()
+                } else {
+                    staircase(&self.points)
+                        .pieces()
+                        .iter()
+                        .copied()
+                        .filter(|p| p.start < self.exact_span)
+                        .collect()
+                };
+                if pieces.is_empty() {
+                    pieces.push(Piece::new(Q::ZERO, self.tail_base, self.tail_rate));
+                } else {
+                    pieces.push(Piece::new(
+                        self.exact_span,
+                        self.tail_base + self.tail_rate * self.exact_span,
+                        self.tail_rate,
+                    ));
+                }
+                Curve::new(pieces, Tail::Affine).expect("truncated rbf curve invalid")
+            }
+        }
+    }
+
+    /// The total demand bound at the horizon (of the exact prefix for
+    /// truncated rbfs).
     pub fn max_work(&self) -> Q {
         self.points.last().map(|p| p.1).unwrap_or(Q::ZERO)
     }
@@ -249,5 +404,66 @@ mod tests {
         let s = rbf_samples(&task, 10);
         assert_eq!(s.len(), 11);
         assert_eq!(s[0].1, Q::int(3));
+    }
+
+    #[test]
+    fn truncated_rbf_dominates_exact() {
+        use srtw_minplus::Budget;
+        let task = branching();
+        let exact = Rbf::compute(&task, Q::int(60));
+        let meter = BudgetMeter::new(&Budget::default().with_max_paths(6));
+        let coarse = Rbf::compute_metered(&task, Q::int(60), &meter);
+        assert!(coarse.truncated().is_some());
+        assert!(coarse.exact_span() < Q::int(60));
+        let c = coarse.curve();
+        for i in 0..=240 {
+            let t = q(i, 2);
+            // Both the direct eval and the curve dominate the true rbf.
+            assert!(
+                coarse.eval(t) >= exact.eval(t.min(Q::int(60))),
+                "eval not dominating at {t}"
+            );
+            assert!(
+                c.eval(t) >= exact.eval(t.min(Q::int(60))),
+                "curve not dominating at {t}"
+            );
+            // ... and they agree below the exact span.
+            if t < coarse.exact_span() {
+                assert_eq!(coarse.eval(t), exact.eval(t), "exact prefix differs at {t}");
+            }
+        }
+        // Truncated rbfs stay evaluable beyond the horizon.
+        let _ = coarse.eval(Q::int(1_000_000));
+    }
+
+    #[test]
+    fn fully_truncated_rbf_uses_packing_bound() {
+        use srtw_minplus::Budget;
+        let task = branching();
+        // Budget of zero paths: nothing is enumerated at all.
+        let meter = BudgetMeter::new(&Budget::default().with_max_paths(0));
+        let coarse = Rbf::compute_metered(&task, Q::int(40), &meter);
+        assert!(coarse.truncated().is_some());
+        assert_eq!(coarse.exact_span(), Q::ZERO);
+        assert!(coarse.points().is_empty());
+        let exact = Rbf::compute(&task, Q::int(40));
+        for i in 0..=80 {
+            let t = q(i, 2);
+            assert!(coarse.eval(t) >= exact.eval(t), "packing bound fails at {t}");
+        }
+        // e_max = 3, p_min = 3 ⇒ rbf(t) ≤ 3 + t.
+        let (b, r) = coarse.coarse_line();
+        assert_eq!(b, Q::int(3));
+        assert_eq!(r, Q::ONE);
+    }
+
+    #[test]
+    fn exact_rbf_curve_is_unchanged_by_metered_entry() {
+        let task = branching();
+        let a = Rbf::compute(&task, Q::int(30));
+        let b = Rbf::compute_metered(&task, Q::int(30), &BudgetMeter::unlimited());
+        assert_eq!(a, b);
+        assert_eq!(a.truncated(), None);
+        assert_eq!(a.exact_span(), Q::int(30));
     }
 }

@@ -9,7 +9,10 @@
 #   2. `cargo build --release` and `cargo test -q` with --offline
 #      (the workspace must build with no network and no vendored deps);
 #   3. build all five examples;
-#   4. CLI smoke test on the shipped sample system.
+#   4. CLI smoke test on the shipped sample system;
+#   5. adversarial stress suite at elevated case counts (no-panic,
+#      budget-respecting, structural ≤ degraded ≤ RTC sandwich), plus
+#      the budgeted CLI run on systems/adversarial.srtw.
 #
 # Benchmarks run separately (they are slow by design):
 #   cargo run -p srtw-bench --release --bin experiments
@@ -17,7 +20,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/4 dependency audit (path-only policy) =="
+echo "== 1/5 dependency audit (path-only policy) =="
 # Inside [dependencies*] / [workspace.dependencies] sections, every
 # dependency line must carry `path =` or `workspace = true`; a version
 # requirement ("1.0", { version = ... }) means a registry dependency.
@@ -38,14 +41,14 @@ if [ -n "$violations" ]; then
 fi
 echo "ok: all dependencies are workspace path crates"
 
-echo "== 2/4 offline build + tests =="
+echo "== 2/5 offline build + tests =="
 cargo build --release --offline --workspace
 SRTW_BENCH_FAST=1 cargo test -q --offline --workspace
 
-echo "== 3/4 examples build =="
+echo "== 3/5 examples build =="
 cargo build --release --offline --examples
 
-echo "== 4/4 CLI smoke test =="
+echo "== 4/5 CLI smoke test =="
 out=$(cargo run --release --offline -q --bin srtw -- analyze systems/decoder.srtw)
 echo "$out" | grep -q "RTC baseline" || {
     echo "error: analyze output missing the RTC baseline line" >&2
@@ -56,5 +59,28 @@ case "$json" in
     "{"*"}") : ;;
     *) echo "error: --json output is not a JSON object" >&2; exit 1 ;;
 esac
+
+echo "== 5/5 adversarial stress suite =="
+# Elevated case count for the seeded property suite; the release profile
+# keeps the 150 ms wall budget per case meaningful.
+SRTW_PROP_CASES=256 cargo test -q --release --offline --test stress
+# The shipped adversarial system must degrade gracefully under a 1 s wall
+# budget: exit 0, a degradation warning on stderr, "degraded":true in JSON.
+adv_err=$(mktemp)
+adv_json=$(cargo run --release --offline -q --bin srtw -- \
+    analyze systems/adversarial.srtw --json --budget-ms 1000 2>"$adv_err") || {
+    echo "error: budgeted adversarial run failed (exit $?)" >&2
+    cat "$adv_err" >&2
+    exit 1
+}
+case "$adv_json" in
+    *'"degraded":true'*) : ;;
+    *) echo 'error: adversarial run not flagged "degraded":true' >&2; exit 1 ;;
+esac
+grep -q "degraded" "$adv_err" || {
+    echo "error: budgeted adversarial run missing the stderr warning" >&2
+    exit 1
+}
+rm -f "$adv_err"
 
 echo "verify: OK"

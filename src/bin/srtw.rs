@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! srtw analyze  <system.srtw> [--scheduler fifo|fp|edf] [--json]
+//!               [--budget-ms MS] [--max-paths N] [--max-segments N]
 //! srtw rbf      <system.srtw> [--horizon H]
 //! srtw dot      <system.srtw>
 //! srtw simulate <system.srtw> [--seeds N] [--horizon H]
@@ -9,32 +10,82 @@
 //!
 //! System files use the text format documented in [`srtw::textfmt`].
 //! `--json` switches `analyze` to a machine-readable single-document
-//! output (see [`srtw::Json`]).
+//! output (see [`srtw::Json`]) that includes each report's `quality`
+//! object and a top-level `degraded` flag.
+//!
+//! # Budgets
+//!
+//! `--budget-ms`, `--max-paths` and `--max-segments` cap the analysis
+//! effort. When a cap trips, the analysis does not fail: it degrades
+//! gracefully to sound (possibly pessimistic) bounds, prints a warning on
+//! stderr and still exits 0.
+//!
+//! # Exit codes
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | success — bounds exact, or degraded with a stderr warning |
+//! | 2 | input error — unreadable file, parse error, bad flags |
+//! | 3 | internal — analysis failure (unstable system, arithmetic overflow, exhausted budget with no sound fallback) or a residual panic |
 
 use srtw::textfmt::{parse_system, SystemSpec};
 use srtw::{
-    earliest_random_walk, edf_schedulable, fifo_rtc, fifo_structural, fixed_priority_structural,
-    simulate_fifo, AnalysisConfig, Curve, Json, Q, Rbf, ServiceProcess,
+    earliest_random_walk, edf_schedulable, fifo_rtc_with, fifo_structural,
+    fixed_priority_structural_with, simulate_fifo, AnalysisConfig, Budget, Curve, DelayAnalysis,
+    Json, Q, Rbf, ServiceProcess,
 };
 use std::process::ExitCode;
 
+/// CLI failure, split by exit code.
+enum CliError {
+    /// Unreadable/malformed input or bad flags — exit code 2.
+    Input(String),
+    /// Analysis failure or residual panic — exit code 3.
+    Internal(String),
+}
+
+fn input(msg: impl Into<String>) -> CliError {
+    CliError::Input(msg.into())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+    // Residual panics (library bugs) must not abort with a backtrace dump:
+    // silence the default hook and convert them to exit code 3. Budget and
+    // arithmetic failures never panic by design; this is the last line of
+    // defence the exit-code contract promises.
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = std::panic::catch_unwind(|| run(&args));
+    let _ = std::panic::take_hook();
+    match outcome {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(CliError::Input(msg))) => {
             eprintln!("error: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
+        }
+        Ok(Err(CliError::Internal(msg))) => {
+            eprintln!("internal error: {msg}");
+            ExitCode::from(3)
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".into());
+            eprintln!("internal error: unexpected panic: {msg}");
+            ExitCode::from(3)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let usage = "usage: srtw <analyze|rbf|dot|simulate> <file> [options]";
-    let cmd = args.first().ok_or(usage)?;
-    let path = args.get(1).ok_or(usage)?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let sys = parse_system(&text).map_err(|e| format!("{path}: {e}"))?;
+    let cmd = args.first().ok_or_else(|| input(usage))?;
+    let path = args.get(1).ok_or_else(|| input(usage))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| input(format!("cannot read {path}: {e}")))?;
+    let sys = parse_system(&text).map_err(|e| input(format!("{path}: {e}")))?;
     let opts = &args[2..];
 
     match cmd.as_str() {
@@ -47,7 +98,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "simulate" => simulate(&sys, opts),
-        other => Err(format!("unknown command '{other}'\n{usage}")),
+        other => Err(input(format!("unknown command '{other}'\n{usage}"))),
     }
 }
 
@@ -58,27 +109,82 @@ fn opt_value(opts: &[String], key: &str) -> Option<String> {
         .cloned()
 }
 
-fn server_curve(sys: &SystemSpec) -> Result<Curve, String> {
+fn parse_budget(opts: &[String]) -> Result<Budget, CliError> {
+    let mut budget = Budget::default();
+    if let Some(v) = opt_value(opts, "--budget-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|e| input(format!("bad --budget-ms '{v}': {e}")))?;
+        budget = budget.with_wall_ms(ms);
+    }
+    if let Some(v) = opt_value(opts, "--max-paths") {
+        let n: u64 = v
+            .parse()
+            .map_err(|e| input(format!("bad --max-paths '{v}': {e}")))?;
+        budget = budget.with_max_paths(n);
+    }
+    if let Some(v) = opt_value(opts, "--max-segments") {
+        let n: u64 = v
+            .parse()
+            .map_err(|e| input(format!("bad --max-segments '{v}': {e}")))?;
+        budget = budget.with_max_segments(n);
+    }
+    Ok(budget)
+}
+
+fn server_curve(sys: &SystemSpec) -> Result<Curve, CliError> {
     match &sys.server {
-        Some(s) => s.beta_lower().map_err(|e| e.to_string()),
-        None => Err("the system file declares no server (add a 'server …' line)".into()),
+        Some(s) => s.beta_lower().map_err(|e| CliError::Internal(e.to_string())),
+        None => Err(input(
+            "the system file declares no server (add a 'server …' line)",
+        )),
     }
 }
 
-fn analyze(sys: &SystemSpec, opts: &[String]) -> Result<(), String> {
+/// Prints the stderr degradation warning and reports whether any stream
+/// degraded (the process still exits 0).
+fn warn_if_degraded(per: &[DelayAnalysis], rtc_degraded: bool) -> bool {
+    let mut kinds: Vec<String> = per
+        .iter()
+        .flat_map(|a| a.degradations.iter().map(|d| d.tripped.to_string()))
+        .collect();
+    if rtc_degraded && kinds.is_empty() {
+        kinds.push("budget".into());
+    }
+    if kinds.is_empty() {
+        return false;
+    }
+    kinds.sort();
+    kinds.dedup();
+    eprintln!(
+        "warning: analysis budget exhausted ({}); reported bounds are sound but degraded",
+        kinds.join(", ")
+    );
+    true
+}
+
+fn analyze(sys: &SystemSpec, opts: &[String]) -> Result<(), CliError> {
     let beta = server_curve(sys)?;
     let scheduler = opt_value(opts, "--scheduler").unwrap_or_else(|| "fifo".into());
     let json = opts.iter().any(|a| a == "--json");
+    let budget = parse_budget(opts)?;
+    let cfg = AnalysisConfig {
+        budget: budget.clone(),
+        ..Default::default()
+    };
     match scheduler.as_str() {
         "fifo" => {
-            let per = fifo_structural(&sys.tasks, &beta, &AnalysisConfig::default())
-                .map_err(|e| e.to_string())?;
-            let rtc = fifo_rtc(&sys.tasks, &beta).map_err(|e| e.to_string())?;
+            let per = fifo_structural(&sys.tasks, &beta, &cfg)
+                .map_err(|e| CliError::Internal(e.to_string()))?;
+            let rtc = fifo_rtc_with(&sys.tasks, &beta, &budget)
+                .map_err(|e| CliError::Internal(e.to_string()))?;
+            let degraded = warn_if_degraded(&per, !rtc.quality.is_exact());
             if json {
                 println!(
                     "{}",
                     Json::object(vec![
                         ("scheduler", Json::str("fifo")),
+                        ("degraded", Json::Bool(degraded)),
                         ("rtc", rtc.to_json()),
                         (
                             "streams",
@@ -95,13 +201,15 @@ fn analyze(sys: &SystemSpec, opts: &[String]) -> Result<(), String> {
             }
         }
         "fp" => {
-            let per =
-                fixed_priority_structural(&sys.tasks, &beta).map_err(|e| e.to_string())?;
+            let per = fixed_priority_structural_with(&sys.tasks, &beta, &cfg)
+                .map_err(|e| CliError::Internal(e.to_string()))?;
+            let degraded = warn_if_degraded(&per, false);
             if json {
                 println!(
                     "{}",
                     Json::object(vec![
                         ("scheduler", Json::str("fp")),
+                        ("degraded", Json::Bool(degraded)),
                         (
                             "streams",
                             Json::Array(per.iter().map(|a| a.to_json()).collect()),
@@ -116,12 +224,14 @@ fn analyze(sys: &SystemSpec, opts: &[String]) -> Result<(), String> {
             }
         }
         "edf" => {
-            let r = edf_schedulable(&sys.tasks, &beta).map_err(|e| e.to_string())?;
+            let r = edf_schedulable(&sys.tasks, &beta)
+                .map_err(|e| CliError::Internal(e.to_string()))?;
             if json {
                 println!(
                     "{}",
                     Json::object(vec![
                         ("scheduler", Json::str("edf")),
+                        ("degraded", Json::Bool(false)),
                         ("report", r.to_json()),
                     ])
                 );
@@ -136,16 +246,16 @@ fn analyze(sys: &SystemSpec, opts: &[String]) -> Result<(), String> {
                 }
             }
         }
-        other => return Err(format!("unknown scheduler '{other}' (fifo|fp|edf)")),
+        other => return Err(input(format!("unknown scheduler '{other}' (fifo|fp|edf)"))),
     }
     Ok(())
 }
 
-fn rbf(sys: &SystemSpec, opts: &[String]) -> Result<(), String> {
+fn rbf(sys: &SystemSpec, opts: &[String]) -> Result<(), CliError> {
     let horizon: Q = opt_value(opts, "--horizon")
         .unwrap_or_else(|| "100".into())
         .parse()
-        .map_err(|e| format!("bad --horizon: {e}"))?;
+        .map_err(|e| input(format!("bad --horizon: {e}")))?;
     for t in &sys.tasks {
         let rbf = Rbf::compute(t, horizon);
         println!("task {}: rbf breakpoints (window, work):", t.name());
@@ -156,21 +266,21 @@ fn rbf(sys: &SystemSpec, opts: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn simulate(sys: &SystemSpec, opts: &[String]) -> Result<(), String> {
+fn simulate(sys: &SystemSpec, opts: &[String]) -> Result<(), CliError> {
     let beta = server_curve(sys)?;
     let seeds: u64 = opt_value(opts, "--seeds")
         .unwrap_or_else(|| "20".into())
         .parse()
-        .map_err(|e| format!("bad --seeds: {e}"))?;
+        .map_err(|e| input(format!("bad --seeds: {e}")))?;
     let horizon: Q = opt_value(opts, "--horizon")
         .unwrap_or_else(|| "300".into())
         .parse()
-        .map_err(|e| format!("bad --horizon: {e}"))?;
+        .map_err(|e| input(format!("bad --horizon: {e}")))?;
     // Simulate on the fluid instance at the server's guaranteed rate
     // (which dominates the declared lower curve).
     let service = ServiceProcess::fluid(beta.rate());
     let per = fifo_structural(&sys.tasks, &beta, &AnalysisConfig::default())
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Internal(e.to_string()))?;
     let mut worst = Q::ZERO;
     for seed in 0..seeds {
         let traces: Vec<_> = sys
@@ -185,10 +295,10 @@ fn simulate(sys: &SystemSpec, opts: &[String]) -> Result<(), String> {
                 let d = out.max_delay_of(si, v);
                 worst = worst.max(d);
                 if d > per[si].bound_of(v) {
-                    return Err(format!(
+                    return Err(CliError::Internal(format!(
                         "BUG: simulated delay {d} exceeds bound {} (stream {si}, {v})",
                         per[si].bound_of(v)
-                    ));
+                    )));
                 }
             }
         }

@@ -62,10 +62,12 @@ pub use srtw_sim as sim;
 pub use srtw_workload as workload;
 
 pub use srtw_core::{
-    backlog_bound, busy_window, edf_schedulable, fifo_rtc, fifo_structural,
-    fixed_priority_structural, fixed_priority_structural_with, rtc_delay, structural_delay,
-    structural_delay_with, tandem_backlog_at, tandem_delay, AnalysisConfig, AnalysisError,
-    BusyWindow, DelayAnalysis, EdfReport, Json, RtcReport, TandemReport, VertexBound, WitnessPath,
+    backlog_bound, busy_window, busy_window_metered, edf_schedulable, fifo_rtc, fifo_rtc_with,
+    fifo_structural, fixed_priority_structural, fixed_priority_structural_with, rtc_delay,
+    rtc_delay_with, structural_delay, structural_delay_with, tandem_backlog_at, tandem_delay,
+    AnalysisConfig, AnalysisError, BoundQuality, Budget, BudgetKind, BudgetMeter, BusyWindow,
+    Degradation, DelayAnalysis, EdfReport, Fallback, Json, RtcReport, TandemReport, VertexBound,
+    WitnessPath,
 };
 pub use srtw_gen::{generate_drt, generate_task_set, DrtGenConfig};
 pub use srtw_minplus::{q, Curve, CurveError, Ext, Piece, Q, Tail};
@@ -78,7 +80,7 @@ pub use srtw_sim::{
     simulate_preemptive, witness_trace, JobRecord, SchedPolicy, ServiceProcess, SimOutcome,
 };
 pub use srtw_workload::{
-    critical_cycle, explore, long_run_utilization, rbf_samples, Dbf, DrtTask, DrtTaskBuilder,
-    ExploreConfig, Exploration, MultiframeTask, PathNode, PeriodicTask, Rbf, RbNode,
-    RecurringBranchingTask, ReleaseTrace, SporadicTask, VertexId, WorkloadError,
+    critical_cycle, explore, explore_metered, long_run_utilization, rbf_samples, Dbf, DrtTask,
+    DrtTaskBuilder, ExploreConfig, Exploration, MultiframeTask, PathNode, PeriodicTask, Rbf,
+    RbNode, RecurringBranchingTask, ReleaseTrace, SporadicTask, VertexId, WorkloadError,
 };

@@ -1,0 +1,154 @@
+//! Integration tests for the CLI exit-code contract and the
+//! machine-readable degradation status:
+//!
+//! * `0` — success: exact bounds, or degraded bounds plus a stderr warning;
+//! * `2` — input error (unreadable file, parse error, bad flags);
+//! * `3` — internal (analysis failure or residual panic).
+
+use std::process::Command;
+
+/// Runs the compiled `srtw` binary, returning `(code, stdout, stderr)`.
+fn run_srtw(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_srtw"))
+        .args(args)
+        .output()
+        .expect("spawn srtw");
+    (
+        out.status.code().expect("exit code (not signal-killed)"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn sample_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/systems/decoder.srtw")
+}
+
+fn temp_file(name: &str, content: &str) -> String {
+    let dir = std::env::temp_dir().join("srtw-cli-exit-codes");
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(name);
+    std::fs::write(&p, content).unwrap();
+    p.to_str().unwrap().to_owned()
+}
+
+#[test]
+fn exact_run_exits_zero_without_warning() {
+    let (code, out, err) = run_srtw(&["analyze", sample_path(), "--json"]);
+    assert_eq!(code, 0, "stderr: {err}");
+    assert!(err.is_empty(), "no warning expected: {err}");
+    assert!(out.contains("\"degraded\":false"), "{out}");
+    assert!(out.contains("\"quality\":{\"exact\":true}"), "{out}");
+}
+
+#[test]
+fn budget_tripped_run_exits_zero_with_warning_and_degraded_json() {
+    // A tiny path cap trips on the decoder system; its coarse packing
+    // rates (12/15 + 1/25) stay below the unit service rate, so the
+    // analysis degrades gracefully instead of failing.
+    let (code, out, err) = run_srtw(&[
+        "analyze",
+        sample_path(),
+        "--json",
+        "--max-paths",
+        "3",
+    ]);
+    assert_eq!(code, 0, "stderr: {err}");
+    assert!(
+        err.contains("degraded"),
+        "stderr must warn about degradation: {err}"
+    );
+    assert!(out.contains("\"degraded\":true"), "{out}");
+    assert!(out.contains("\"exact\":false"), "{out}");
+    assert!(out.contains("\"fallback\""), "{out}");
+    assert!(out.contains("\"degradations\":["), "{out}");
+}
+
+#[test]
+fn budget_tripped_text_output_marks_degradation() {
+    let (code, out, err) = run_srtw(&["analyze", sample_path(), "--max-paths", "3"]);
+    assert_eq!(code, 0, "stderr: {err}");
+    assert!(out.contains("DEGRADED"), "{out}");
+    assert!(err.contains("sound but degraded"), "{err}");
+}
+
+#[test]
+fn malformed_file_exits_two() {
+    let p = temp_file("bad.srtw", "task t\nvertex a wcet=oops\n");
+    let (code, _, err) = run_srtw(&["analyze", &p]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("line 2"), "{err}");
+}
+
+#[test]
+fn missing_file_exits_two() {
+    let (code, _, err) = run_srtw(&["analyze", "/nonexistent/nope.srtw"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn bad_flag_value_exits_two() {
+    let (code, _, err) = run_srtw(&["analyze", sample_path(), "--max-paths", "many"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("bad --max-paths"), "{err}");
+    let (code, _, err) = run_srtw(&["analyze", sample_path(), "--budget-ms", "-5"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("bad --budget-ms"), "{err}");
+}
+
+#[test]
+fn unknown_command_and_scheduler_exit_two() {
+    let (code, _, _) = run_srtw(&["frobnicate", sample_path()]);
+    assert_eq!(code, 2);
+    let (code, _, err) = run_srtw(&["analyze", sample_path(), "--scheduler", "lottery"]);
+    assert_eq!(code, 2, "stderr: {err}");
+}
+
+#[test]
+fn unstable_system_exits_three() {
+    // Utilization 5/4 on a unit-rate server: an analysis error, not an
+    // input error — the file itself is well-formed.
+    let p = temp_file(
+        "unstable.srtw",
+        "task hot\nvertex v wcet=5\nedge v v sep=4\nserver fluid rate=1\n",
+    );
+    let (code, _, err) = run_srtw(&["analyze", &p]);
+    assert_eq!(code, 3, "stderr: {err}");
+    assert!(err.contains("unstable"), "{err}");
+}
+
+#[test]
+fn adversarial_system_degrades_within_wall_budget() {
+    // `systems/adversarial.srtw` is constructed so that exact exploration
+    // does not finish (its Pareto frontier grows exponentially over a deep
+    // busy window); a 1 s wall budget must still produce a sound bound,
+    // flagged as degraded, with exit code 0.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/systems/adversarial.srtw");
+    let t0 = std::time::Instant::now();
+    let (code, out, err) = run_srtw(&["analyze", path, "--json", "--budget-ms", "1000"]);
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(60),
+        "budgeted run overran: {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(code, 0, "stderr: {err}");
+    assert!(err.contains("sound but degraded"), "{err}");
+    assert!(out.contains("\"degraded\":true"), "{out}");
+    assert!(out.contains("\"fallback\""), "{out}");
+    assert!(out.contains("wall_clock"), "degradation record names the wall budget: {out}");
+}
+
+#[test]
+fn wall_clock_budget_still_succeeds_on_fast_system() {
+    // A generous wall budget on a small system: must finish exactly.
+    let (code, out, err) = run_srtw(&[
+        "analyze",
+        sample_path(),
+        "--json",
+        "--budget-ms",
+        "60000",
+    ]);
+    assert_eq!(code, 0, "stderr: {err}");
+    assert!(out.contains("\"degraded\":false"), "{out}");
+}

@@ -1,0 +1,158 @@
+//! Adversarial stress properties for the budgeted analysis engine.
+//!
+//! Three claims, each over seeded random adversarial workloads (huge
+//! coprime periods, deep chains, dense graphs):
+//!
+//! 1. the engine never panics — every outcome is `Ok` or a typed `Err`;
+//! 2. it terminates promptly once its effort budget trips;
+//! 3. degraded bounds are sandwiched: at least the full structural bound
+//!    (soundness) and at most the RTC baseline under the same budget
+//!    (graceful degradation never does worse than the fraction-0
+//!    fallback).
+//!
+//! Case counts follow `SRTW_PROP_CASES` (default 64); failures print a
+//! `SRTW_PROP_REPLAY=<seed>:<size>` handle for exact reproduction.
+
+use srtw::gen::{
+    adversarial_coprime, adversarial_deep_chain, adversarial_dense, rescale_utilization,
+};
+use srtw::prop::forall;
+use srtw::{
+    q, rtc_delay_with, structural_delay, structural_delay_with, AnalysisConfig, AnalysisError,
+    Budget, Curve, DrtTask, Q, Rng,
+};
+use std::time::{Duration, Instant};
+
+/// An adversarial task of any shape and a random rate-latency server.
+/// Sizes are uncapped except by the harness `size` budget: instances may
+/// well be unstable or far too big to analyse exactly — that is the point.
+fn any_adversarial(rng: &mut Rng, size: u32) -> (DrtTask, Curve) {
+    let seed = rng.next_u64();
+    let task = match rng.random_range(0u32..4) {
+        0 => adversarial_coprime(1 + size as usize / 4, seed),
+        1 => adversarial_deep_chain(2 + size as usize, seed),
+        2 => adversarial_dense(2 + size as usize / 8, seed),
+        _ => rescale_utilization(&adversarial_dense(2 + size as usize / 8, seed), q(1, 2)),
+    };
+    let rate = Q::int(rng.random_range(1i128..=4));
+    let latency = Q::int(rng.random_range(0i128..=5));
+    (task, Curve::rate_latency(rate, latency))
+}
+
+/// A *small, stable* adversarial instance on a rate-2 server: exact
+/// analysis stays cheap, and the coarse packing rate of every shape stays
+/// below the service rate, so degradation always has a sound fallback.
+fn small_stable(rng: &mut Rng, size: u32) -> (DrtTask, Curve) {
+    let seed = rng.next_u64();
+    let task = match rng.random_range(0u32..3) {
+        0 => adversarial_coprime(1 + size as usize % 3, seed),
+        1 => adversarial_deep_chain(2 + size as usize % 7, seed),
+        _ => rescale_utilization(&adversarial_dense(2 + size as usize % 3, seed), q(1, 2)),
+    };
+    let latency = Q::int(rng.random_range(0i128..=3));
+    (task, Curve::rate_latency(Q::int(2), latency))
+}
+
+#[test]
+fn adversarial_systems_never_panic_and_respect_the_budget() {
+    forall("no_panic_within_budget", any_adversarial, |(task, beta)| {
+        let budget = Budget::wall_ms(150)
+            .with_max_paths(400)
+            .with_max_segments(4000);
+        let cfg = AnalysisConfig {
+            budget,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let result = structural_delay_with(task, beta, &cfg);
+        // Cooperative metering: the run must wind down promptly after the
+        // 150 ms wall budget trips (generous slack for slow machines).
+        assert!(
+            t0.elapsed() < Duration::from_secs(20),
+            "analysis overran its budget: {:?}",
+            t0.elapsed()
+        );
+        match result {
+            Ok(a) => {
+                // A degraded verdict must say what was degraded.
+                assert_eq!(a.quality.is_exact(), a.degradations.is_empty());
+                for vb in &a.per_vertex {
+                    assert!(vb.bound >= Q::ZERO);
+                    assert!(vb.bound <= a.stream_bound);
+                }
+            }
+            // Typed refusals (unstable, saturated, exhausted, overflow)
+            // are legitimate outcomes; reaching this arm at all means no
+            // panic escaped the engine.
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    });
+}
+
+#[test]
+fn degraded_bounds_are_sandwiched_between_structural_and_rtc() {
+    forall("structural_le_degraded_le_rtc", small_stable, |(task, beta)| {
+        let exact = structural_delay(task, beta).expect("small stable instance");
+        for cap in [0u64, 2, 8, 32] {
+            let budget = Budget::default().with_max_paths(cap);
+            let cfg = AnalysisConfig {
+                budget: budget.clone(),
+                ..Default::default()
+            };
+            let degraded = structural_delay_with(task, beta, &cfg);
+            let rtc = rtc_delay_with(task, beta, &budget);
+            match (degraded, rtc) {
+                (Ok(a), Ok(r)) => {
+                    assert!(
+                        a.stream_bound >= exact.stream_bound,
+                        "cap {cap}: degraded stream bound {} below exact {}",
+                        a.stream_bound,
+                        exact.stream_bound
+                    );
+                    for (d, e) in a.per_vertex.iter().zip(exact.per_vertex.iter()) {
+                        assert!(
+                            d.bound >= e.bound,
+                            "cap {cap}: vertex '{}' degraded {} below exact {}",
+                            d.label,
+                            d.bound,
+                            e.bound
+                        );
+                    }
+                    assert!(
+                        a.stream_bound <= r.bound,
+                        "cap {cap}: degraded stream bound {} above RTC baseline {}",
+                        a.stream_bound,
+                        r.bound
+                    );
+                }
+                (Err(AnalysisError::BudgetExhausted { .. }), _)
+                | (_, Err(AnalysisError::BudgetExhausted { .. })) => {}
+                (a, r) => panic!("cap {cap}: unexpected outcome {a:?} / {r:?}"),
+            }
+        }
+    });
+}
+
+#[test]
+fn rtc_degradation_is_sound_and_flagged() {
+    forall("rtc_degrades_soundly", small_stable, |(task, beta)| {
+        let exact = rtc_delay_with(task, beta, &Budget::UNLIMITED).expect("small stable instance");
+        assert!(exact.quality.is_exact());
+        for cap in [0u64, 1, 8] {
+            match rtc_delay_with(task, beta, &Budget::default().with_max_paths(cap)) {
+                Ok(r) => {
+                    assert!(
+                        r.bound >= exact.bound,
+                        "cap {cap}: degraded RTC bound {} below exact {}",
+                        r.bound,
+                        exact.bound
+                    );
+                }
+                Err(AnalysisError::BudgetExhausted { .. }) => {}
+                Err(e) => panic!("cap {cap}: unexpected error {e}"),
+            }
+        }
+    });
+}
