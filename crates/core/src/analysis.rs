@@ -105,9 +105,11 @@ pub fn structural_delay_with(
 ) -> Result<DelayAnalysis, AnalysisError> {
     let start = Instant::now();
     let meter = BudgetMeter::new(&cfg.budget);
-    let bw = busy_window_metered(std::slice::from_ref(task), beta, &meter)?;
-    let horizon = cfg.horizon_override.unwrap_or(bw.bound);
-    analyse_stream(task, beta, &bw, horizon, &[], cfg, &meter, start)
+    let result = busy_window_metered(std::slice::from_ref(task), beta, &meter).and_then(|bw| {
+        let horizon = cfg.horizon_override.unwrap_or(bw.bound);
+        analyse_stream(task, beta, &bw, horizon, &[], cfg, &meter, start)
+    });
+    surface_injected_fault(result, &meter)
 }
 
 /// The arrival-curve (RTC) baseline: one stream-wide delay bound from the
@@ -129,21 +131,23 @@ pub fn rtc_delay_with(
     budget: &Budget,
 ) -> Result<RtcReport, AnalysisError> {
     let meter = BudgetMeter::new(budget);
-    let bw = busy_window_metered(std::slice::from_ref(task), beta, &meter)?;
-    let rbf = &bw.rbfs[0];
-    let degraded = bw.degraded.or_else(|| rbf.truncated());
-    let (bound, _) = rtc_ceiling(&bw, beta)?;
-    Ok(RtcReport {
-        bound,
-        busy_window: bw.bound,
-        breakpoints: rbf.points().len(),
-        quality: match degraded {
-            None => BoundQuality::Exact,
-            Some(_) => BoundQuality::Degraded {
-                fallback: Fallback::CoarseRbf,
+    let result = busy_window_metered(std::slice::from_ref(task), beta, &meter).and_then(|bw| {
+        let rbf = &bw.rbfs[0];
+        let degraded = bw.degraded.or_else(|| rbf.truncated());
+        let (bound, _) = rtc_ceiling(&bw, beta)?;
+        Ok(RtcReport {
+            bound,
+            busy_window: bw.bound,
+            breakpoints: rbf.points().len(),
+            quality: match degraded {
+                None => BoundQuality::Exact,
+                Some(_) => BoundQuality::Degraded {
+                    fallback: Fallback::CoarseRbf,
+                },
             },
-        },
-    })
+        })
+    });
+    surface_injected_fault(result, &meter)
 }
 
 /// Structural analysis of each stream in a FIFO multiplex: the analysed
@@ -157,23 +161,25 @@ pub fn fifo_structural(
     cfg: &AnalysisConfig,
 ) -> Result<Vec<DelayAnalysis>, AnalysisError> {
     let meter = BudgetMeter::new(&cfg.budget);
-    let bw = busy_window_metered(tasks, beta, &meter)?;
-    let horizon = cfg.horizon_override.unwrap_or(bw.bound);
-    let mut out = Vec::with_capacity(tasks.len());
-    for (i, task) in tasks.iter().enumerate() {
-        let start = Instant::now();
-        let others: Vec<&Rbf> = bw
-            .rbfs
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != i)
-            .map(|(_, r)| r)
-            .collect();
-        out.push(analyse_stream(
-            task, beta, &bw, horizon, &others, cfg, &meter, start,
-        )?);
-    }
-    Ok(out)
+    let result = busy_window_metered(tasks, beta, &meter).and_then(|bw| {
+        let horizon = cfg.horizon_override.unwrap_or(bw.bound);
+        let mut out = Vec::with_capacity(tasks.len());
+        for (i, task) in tasks.iter().enumerate() {
+            let start = Instant::now();
+            let others: Vec<&Rbf> = bw
+                .rbfs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, r)| r)
+                .collect();
+            out.push(analyse_stream(
+                task, beta, &bw, horizon, &others, cfg, &meter, start,
+            )?);
+        }
+        Ok(out)
+    });
+    surface_injected_fault(result, &meter)
 }
 
 /// The FIFO RTC baseline: one bound for *all* streams from the summed
@@ -190,22 +196,24 @@ pub fn fifo_rtc_with(
     budget: &Budget,
 ) -> Result<RtcReport, AnalysisError> {
     let meter = BudgetMeter::new(budget);
-    let bw = busy_window_metered(tasks, beta, &meter)?;
-    let degraded = bw
-        .degraded
-        .or_else(|| bw.rbfs.iter().find_map(|r| r.truncated()));
-    let (bound, breakpoints) = rtc_ceiling(&bw, beta)?;
-    Ok(RtcReport {
-        bound,
-        busy_window: bw.bound,
-        breakpoints,
-        quality: match degraded {
-            None => BoundQuality::Exact,
-            Some(_) => BoundQuality::Degraded {
-                fallback: Fallback::CoarseRbf,
+    let result = busy_window_metered(tasks, beta, &meter).and_then(|bw| {
+        let degraded = bw
+            .degraded
+            .or_else(|| bw.rbfs.iter().find_map(|r| r.truncated()));
+        let (bound, breakpoints) = rtc_ceiling(&bw, beta)?;
+        Ok(RtcReport {
+            bound,
+            busy_window: bw.bound,
+            breakpoints,
+            quality: match degraded {
+                None => BoundQuality::Exact,
+                Some(_) => BoundQuality::Degraded {
+                    fallback: Fallback::CoarseRbf,
+                },
             },
-        },
-    })
+        })
+    });
+    surface_injected_fault(result, &meter)
 }
 
 /// Worst-case backlog bound (vertical deviation of demand vs service inside
@@ -225,6 +233,23 @@ pub fn backlog_bound(tasks: &[DrtTask], beta: &Curve) -> Result<Q, AnalysisError
         bound = bound.max(bw.total_rbf(s) - beta.eval(s));
     }
     Ok(bound.clamp_nonneg())
+}
+
+/// Surfaces a fault-injected synthetic overflow as the typed arithmetic
+/// error a real overflow would produce, whatever the analysis itself
+/// concluded (an injected overflow also trips the meter, so the underlying
+/// result may be a sound degradation or a `BudgetExhausted`). Every entry
+/// point funnels its result through here, so a plan firing at *any*
+/// metered operation reliably drives the error path (which is what the
+/// supervisor's retry ladder and its tests rely on).
+fn surface_injected_fault<T>(
+    result: Result<T, AnalysisError>,
+    meter: &BudgetMeter,
+) -> Result<T, AnalysisError> {
+    match meter.injected_overflow() {
+        Some(e) => Err(AnalysisError::Arithmetic(e)),
+        None => result,
+    }
 }
 
 /// Shared engine: per-vertex structural bounds for `task`, with FIFO
@@ -881,6 +906,106 @@ mod tests {
         }
         let rtc = fifo_rtc_with(&tasks, &beta, &Budget::default().with_max_paths(3)).unwrap();
         assert!(rtc.bound >= exact_rtc.bound);
+    }
+
+    #[test]
+    fn pre_cancelled_run_degrades_like_a_wall_trip() {
+        use crate::report::BoundQuality;
+        use srtw_minplus::{Budget, CancelToken};
+        let task = branching();
+        // Fast server: the coarse degraded path always succeeds.
+        let beta = Curve::affine(Q::ZERO, Q::int(4));
+        let exact = structural_delay(&task, &beta).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = AnalysisConfig {
+            budget: Budget::default().with_cancel(token),
+            ..Default::default()
+        };
+        let a = structural_delay_with(&task, &beta, &cfg).unwrap();
+        assert!(matches!(a.quality, BoundQuality::Degraded { .. }));
+        assert!(a
+            .degradations
+            .iter()
+            .any(|d| d.tripped == srtw_minplus::BudgetKind::Cancelled));
+        // Cancellation can only truncate earlier: same sandwich as PR 2.
+        assert!(a.stream_bound >= exact.stream_bound);
+        let rtc = rtc_delay(&task, &beta).unwrap();
+        assert!(a.stream_bound <= rtc.bound);
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        use srtw_minplus::{Budget, CancelToken};
+        let task = branching();
+        let beta = Curve::rate_latency(q(3, 4), Q::int(2));
+        let exact = structural_delay(&task, &beta).unwrap();
+        let cfg = AnalysisConfig {
+            budget: Budget::default().with_cancel(CancelToken::new()),
+            ..Default::default()
+        };
+        let a = structural_delay_with(&task, &beta, &cfg).unwrap();
+        assert!(a.quality.is_exact());
+        assert_eq!(a.stream_bound, exact.stream_bound);
+        for (x, y) in a.per_vertex.iter().zip(exact.per_vertex.iter()) {
+            assert_eq!(x.bound, y.bound);
+        }
+    }
+
+    #[test]
+    fn injected_overflow_surfaces_as_typed_arithmetic_error() {
+        use srtw_minplus::{ArithmeticError, Budget, FaultKind, FaultPlan};
+        let task = branching();
+        let beta = Curve::rate_latency(q(3, 4), Q::int(2));
+        for at_op in [1u64, 5, 50] {
+            let cfg = AnalysisConfig {
+                budget: Budget::default()
+                    .with_fault(FaultPlan::new(at_op, FaultKind::Overflow)),
+                ..Default::default()
+            };
+            match structural_delay_with(&task, &beta, &cfg) {
+                Err(AnalysisError::Arithmetic(ArithmeticError::Overflow)) => {}
+                other => panic!("op {at_op}: expected injected overflow, got {other:?}"),
+            }
+            let budget = Budget::default().with_fault(FaultPlan::new(at_op, FaultKind::Overflow));
+            match rtc_delay_with(&task, &beta, &budget) {
+                Err(AnalysisError::Arithmetic(ArithmeticError::Overflow)) => {}
+                other => panic!("op {at_op}: RTC expected injected overflow, got {other:?}"),
+            }
+        }
+        // A plan firing far past the run's operation count never fires.
+        let cfg = AnalysisConfig {
+            budget: Budget::default()
+                .with_fault(FaultPlan::new(u64::MAX, FaultKind::Overflow)),
+            ..Default::default()
+        };
+        assert!(structural_delay_with(&task, &beta, &cfg).is_ok());
+    }
+
+    #[test]
+    fn injected_trip_degrades_soundly_at_any_op() {
+        use srtw_minplus::{Budget, FaultKind, FaultPlan};
+        let task = branching();
+        // Fast server: a sound coarse fallback always exists.
+        let beta = Curve::affine(Q::ZERO, Q::int(4));
+        let exact = structural_delay(&task, &beta).unwrap();
+        let rtc = rtc_delay(&task, &beta).unwrap();
+        for at_op in 1..40u64 {
+            let cfg = AnalysisConfig {
+                budget: Budget::default()
+                    .with_fault(FaultPlan::new(at_op, FaultKind::TripBudget)),
+                ..Default::default()
+            };
+            let a = structural_delay_with(&task, &beta, &cfg)
+                .unwrap_or_else(|e| panic!("op {at_op}: {e}"));
+            assert!(
+                a.stream_bound >= exact.stream_bound && a.stream_bound <= rtc.bound,
+                "op {at_op}: degraded bound {} outside sandwich [{}, {}]",
+                a.stream_bound,
+                exact.stream_bound,
+                rtc.bound
+            );
+        }
     }
 
     #[test]

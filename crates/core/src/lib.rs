@@ -69,4 +69,4 @@ pub use report::{
 };
 // Budget types live in `srtw-minplus` (the metered hot loops sit there);
 // re-exported here so analysis users need only this crate.
-pub use srtw_minplus::{Budget, BudgetKind, BudgetMeter};
+pub use srtw_minplus::{Budget, BudgetKind, BudgetMeter, CancelToken, FaultKind, FaultPlan};

@@ -49,5 +49,7 @@ mod ratio;
 pub use curve::{Curve, Piece, Tail};
 pub use error::{ArithmeticError, CurveError};
 pub use extended::Ext;
-pub use meter::{Budget, BudgetKind, BudgetMeter, CLOCK_STRIDE};
+pub use meter::{
+    Budget, BudgetKind, BudgetMeter, CancelToken, FaultKind, FaultPlan, CLOCK_STRIDE,
+};
 pub use ratio::{q, ParseQError, Q};

@@ -19,14 +19,183 @@
 //! is one counter increment plus a compare, and the wall clock is sampled
 //! only every [`CLOCK_STRIDE`] ticks.
 
+use crate::error::ArithmeticError;
 use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How many ticks pass between wall-clock samples. `Instant::now()` is a
 /// syscall-ish operation; amortizing it keeps metering overhead below a
 /// few percent even in the tightest loops.
 pub const CLOCK_STRIDE: u32 = 256;
+
+/// A shared cancellation flag for hard (watchdog-enforced) deadlines.
+///
+/// A supervisor holds one clone and the analysis' [`BudgetMeter`] another;
+/// when the supervisor calls [`CancelToken::cancel`] the meter trips with
+/// [`BudgetKind::Cancelled`] at its very next metered operation — every
+/// hot loop the meter instruments polls the flag, so cancellation is
+/// prompt even where wall-clock checks are stride-amortized. A tripped
+/// meter degrades exactly like a wall-clock trip: the analysis winds down
+/// at a clean prefix and reports a sound, degraded bound.
+///
+/// # Examples
+///
+/// ```
+/// use srtw_minplus::{Budget, BudgetKind, BudgetMeter, CancelToken};
+/// let token = CancelToken::new();
+/// let meter = BudgetMeter::new(&Budget::default().with_cancel(token.clone()));
+/// assert!(meter.tick_path());
+/// token.cancel();
+/// assert!(!meter.tick_path());
+/// assert_eq!(meter.tripped(), Some(BudgetKind::Cancelled));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, not-yet-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raises the flag. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Tokens compare by identity: two tokens are equal iff they share the
+/// same underlying flag.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for CancelToken {}
+
+/// What a [`FaultPlan`] does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Trip the meter as if a starved wall-clock poll had fired
+    /// ([`BudgetKind::WallClock`]): exercises the cooperative degradation
+    /// path at an arbitrary point of the analysis.
+    TripBudget,
+    /// Mark the meter poisoned with a synthetic
+    /// [`ArithmeticError::Overflow`]; the analysis entry points surface it
+    /// as a typed error, exercising the retry ladder's failure path.
+    Overflow,
+    /// Skew the meter's view of the wall clock forward by this many
+    /// milliseconds, as if the clock had jumped: an armed wall-clock
+    /// deadline then fires early (a meter without a deadline ignores the
+    /// jump).
+    ClockJump(u64),
+}
+
+impl FaultKind {
+    /// Stable machine-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::TripBudget => "trip",
+            FaultKind::Overflow => "overflow",
+            FaultKind::ClockJump(_) => "clockjump",
+        }
+    }
+}
+
+/// A deterministic fault to inject into one metered analysis run.
+///
+/// The meter counts every metered operation (path tick, segment tick,
+/// explicit wall poll); when the count reaches `at_op` the fault fires
+/// once. Because the operation sequence of an analysis is deterministic,
+/// a `(at_op, kind)` pair reproduces the exact same failure point on
+/// every run — which is what lets seeded tests drive every rung of a
+/// retry/degrade ladder and assert soundness under failure at arbitrary
+/// points.
+///
+/// # Examples
+///
+/// ```
+/// use srtw_minplus::{Budget, BudgetMeter, FaultKind, FaultPlan};
+/// let plan = FaultPlan::new(3, FaultKind::Overflow);
+/// let meter = BudgetMeter::new(&Budget::default().with_fault(plan));
+/// assert!(meter.tick_path());
+/// assert!(meter.tick_path());
+/// assert!(!meter.tick_path()); // third metered op: fault fires, loop winds down
+/// assert!(meter.injected_overflow().is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// 1-based index of the metered operation the fault fires at.
+    pub at_op: u64,
+    /// What happens when it fires.
+    pub kind: FaultKind,
+}
+
+impl FaultPlan {
+    /// A fault of `kind` firing at the `at_op`-th metered operation
+    /// (1-based; 0 is clamped to 1).
+    pub fn new(at_op: u64, kind: FaultKind) -> FaultPlan {
+        FaultPlan {
+            at_op: at_op.max(1),
+            kind,
+        }
+    }
+
+    /// A pseudo-random plan derived from `seed` (SplitMix64 mixing): the
+    /// firing op is spread over `[1, max_op]` and the kind cycles through
+    /// all three faults. Deterministic in `seed`.
+    pub fn seeded(seed: u64, max_op: u64) -> FaultPlan {
+        let mix = |mut z: u64| {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let a = mix(seed);
+        let b = mix(a);
+        let at_op = 1 + a % max_op.max(1);
+        let kind = match b % 3 {
+            0 => FaultKind::TripBudget,
+            1 => FaultKind::Overflow,
+            _ => FaultKind::ClockJump(1 + (b >> 2) % 10_000),
+        };
+        FaultPlan::new(at_op, kind)
+    }
+
+    /// Parses a testing-only fault spec: `trip@N`, `overflow@N`, or
+    /// `clockjump@N:MS` (fire at the N-th metered operation).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let bad = || format!("bad fault spec '{spec}' (trip@N | overflow@N | clockjump@N:MS)");
+        let (kind, rest) = spec.split_once('@').ok_or_else(bad)?;
+        match kind {
+            "trip" => Ok(FaultPlan::new(
+                rest.parse().map_err(|_| bad())?,
+                FaultKind::TripBudget,
+            )),
+            "overflow" => Ok(FaultPlan::new(
+                rest.parse().map_err(|_| bad())?,
+                FaultKind::Overflow,
+            )),
+            "clockjump" => {
+                let (at, ms) = rest.split_once(':').ok_or_else(bad)?;
+                Ok(FaultPlan::new(
+                    at.parse().map_err(|_| bad())?,
+                    FaultKind::ClockJump(ms.parse().map_err(|_| bad())?),
+                ))
+            }
+            _ => Err(bad()),
+        }
+    }
+}
 
 /// Resource limits for one analysis invocation.
 ///
@@ -51,6 +220,12 @@ pub struct Budget {
     pub max_paths: Option<u64>,
     /// Maximum number of curve segments generated by the (min,+) algebra.
     pub max_segments: Option<u64>,
+    /// An external hard-cancellation flag (e.g. a supervisor's watchdog);
+    /// polled on every metered operation, trips as
+    /// [`BudgetKind::Cancelled`].
+    pub cancel: Option<CancelToken>,
+    /// A deterministic fault to inject (testing the failure paths).
+    pub fault: Option<FaultPlan>,
 }
 
 impl Budget {
@@ -59,6 +234,8 @@ impl Budget {
         wall: None,
         max_paths: None,
         max_segments: None,
+        cancel: None,
+        fault: None,
     };
 
     /// A budget limited only by wall-clock time.
@@ -87,9 +264,28 @@ impl Budget {
         self
     }
 
-    /// `true` when no dimension is capped.
+    /// Attaches a hard-cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Budget {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan.
+    #[must_use]
+    pub fn with_fault(mut self, plan: FaultPlan) -> Budget {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// `true` when no cap, cancellation token or fault plan constrains the
+    /// budget — the meter then skips all bookkeeping.
     pub fn is_unlimited(&self) -> bool {
-        self.wall.is_none() && self.max_paths.is_none() && self.max_segments.is_none()
+        self.wall.is_none()
+            && self.max_paths.is_none()
+            && self.max_segments.is_none()
+            && self.cancel.is_none()
+            && self.fault.is_none()
     }
 }
 
@@ -102,6 +298,8 @@ pub enum BudgetKind {
     Paths,
     /// The curve-segment cap was reached.
     Segments,
+    /// An external [`CancelToken`] was raised (hard watchdog deadline).
+    Cancelled,
 }
 
 impl BudgetKind {
@@ -111,6 +309,7 @@ impl BudgetKind {
             BudgetKind::WallClock => "wall_clock",
             BudgetKind::Paths => "paths",
             BudgetKind::Segments => "segments",
+            BudgetKind::Cancelled => "cancelled",
         }
     }
 }
@@ -121,6 +320,7 @@ impl fmt::Display for BudgetKind {
             BudgetKind::WallClock => write!(f, "wall-clock deadline"),
             BudgetKind::Paths => write!(f, "explored-paths cap"),
             BudgetKind::Segments => write!(f, "curve-segment cap"),
+            BudgetKind::Cancelled => write!(f, "hard cancellation"),
         }
     }
 }
@@ -146,6 +346,15 @@ pub struct BudgetMeter {
     ticks_to_clock: Cell<u32>,
     tripped: Cell<Option<BudgetKind>>,
     metered: bool,
+    cancel: Option<CancelToken>,
+    fault: Option<FaultPlan>,
+    /// Metered operations seen so far (counted only under a fault plan).
+    ops: Cell<u64>,
+    /// A synthetic overflow injected by the fault plan, not yet surfaced.
+    overflow: Cell<Option<ArithmeticError>>,
+    /// Forward skew applied to the meter's view of the wall clock
+    /// (accumulated by [`FaultKind::ClockJump`]).
+    skew: Cell<Duration>,
 }
 
 impl BudgetMeter {
@@ -160,6 +369,11 @@ impl BudgetMeter {
             ticks_to_clock: Cell::new(CLOCK_STRIDE),
             tripped: Cell::new(None),
             metered: !budget.is_unlimited(),
+            cancel: budget.cancel.clone(),
+            fault: budget.fault,
+            ops: Cell::new(0),
+            overflow: Cell::new(None),
+            skew: Cell::new(Duration::ZERO),
         }
     }
 
@@ -176,6 +390,9 @@ impl BudgetMeter {
             return true;
         }
         if self.tripped.get().is_some() {
+            return false;
+        }
+        if !self.note_op() {
             return false;
         }
         let n = self.paths.get() + 1;
@@ -197,6 +414,9 @@ impl BudgetMeter {
         if self.tripped.get().is_some() {
             return false;
         }
+        if !self.note_op() {
+            return false;
+        }
         let n = self.segments.get() + 1;
         self.segments.set(n);
         if n > self.max_segments {
@@ -215,13 +435,61 @@ impl BudgetMeter {
         if self.tripped.get().is_some() {
             return false;
         }
+        if !self.note_op() {
+            return false;
+        }
         if let Some(d) = self.deadline {
-            if Instant::now() >= d {
+            if Instant::now() + self.skew.get() >= d {
                 self.tripped.set(Some(BudgetKind::WallClock));
                 return false;
             }
         }
         true
+    }
+
+    /// Polls the cancellation flag and advances the fault plan; every
+    /// metered operation funnels through here, which is what makes
+    /// cancellation prompt and injected faults deterministic. Returns
+    /// `false` when the operation tripped the meter.
+    #[inline]
+    fn note_op(&self) -> bool {
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                self.tripped.set(Some(BudgetKind::Cancelled));
+                return false;
+            }
+        }
+        if let Some(f) = self.fault {
+            let n = self.ops.get() + 1;
+            self.ops.set(n);
+            if n == f.at_op {
+                match f.kind {
+                    FaultKind::TripBudget => {
+                        self.tripped.set(Some(BudgetKind::WallClock));
+                        return false;
+                    }
+                    FaultKind::Overflow => {
+                        // Poison *and* trip: the analysis winds down at its
+                        // next poll instead of spending the full effort on a
+                        // result the poisoned meter will discard, and the
+                        // entry point surfaces the typed overflow.
+                        self.overflow.set(Some(ArithmeticError::Overflow));
+                        self.tripped.set(Some(BudgetKind::WallClock));
+                        return false;
+                    }
+                    FaultKind::ClockJump(ms) => self
+                        .skew
+                        .set(self.skew.get() + Duration::from_millis(ms)),
+                }
+            }
+        }
+        true
+    }
+
+    /// The synthetic overflow injected by the fault plan, if it has fired.
+    /// Analysis entry points surface it as their typed arithmetic error.
+    pub fn injected_overflow(&self) -> Option<ArithmeticError> {
+        self.overflow.get()
     }
 
     #[inline]
@@ -318,6 +586,123 @@ mod tests {
         }
         assert!(!ok);
         assert_eq!(m.tripped(), Some(BudgetKind::WallClock));
+    }
+
+    #[test]
+    fn cancellation_trips_promptly_and_stays_tripped() {
+        let token = CancelToken::new();
+        let m = BudgetMeter::new(&Budget::default().with_cancel(token.clone()));
+        assert!(m.is_metered(), "a cancel token alone must arm the meter");
+        for _ in 0..100 {
+            assert!(m.tick_path());
+            assert!(m.tick_segment());
+            assert!(m.check_wall());
+        }
+        token.cancel();
+        // The very next metered operation observes the flag.
+        assert!(!m.tick_path());
+        assert_eq!(m.tripped(), Some(BudgetKind::Cancelled));
+        assert!(!m.tick_segment());
+        assert!(!m.check_wall());
+    }
+
+    #[test]
+    fn cancellation_from_another_thread() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        let handle = std::thread::spawn(move || remote.cancel());
+        handle.join().unwrap();
+        let m = BudgetMeter::new(&Budget::default().with_cancel(token));
+        assert!(!m.check_wall());
+        assert_eq!(m.tripped(), Some(BudgetKind::Cancelled));
+    }
+
+    #[test]
+    fn cancel_tokens_compare_by_identity() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a, CancelToken::new());
+    }
+
+    #[test]
+    fn fault_trip_fires_at_exact_op() {
+        let m = BudgetMeter::new(
+            &Budget::default().with_fault(FaultPlan::new(3, FaultKind::TripBudget)),
+        );
+        assert!(m.tick_path());
+        assert!(m.tick_segment());
+        assert!(!m.tick_path(), "third metered op must trip");
+        assert_eq!(m.tripped(), Some(BudgetKind::WallClock));
+    }
+
+    #[test]
+    fn fault_overflow_poisons_and_trips() {
+        let m = BudgetMeter::new(
+            &Budget::default().with_fault(FaultPlan::new(2, FaultKind::Overflow)),
+        );
+        assert!(m.tick_path());
+        assert!(m.injected_overflow().is_none());
+        assert!(!m.tick_path(), "overflow injection winds the loop down");
+        assert!(m.injected_overflow().is_some());
+        assert!(!m.within(), "the poisoned meter is also tripped");
+    }
+
+    #[test]
+    fn fault_clock_jump_expires_an_armed_deadline() {
+        // A generous 1-hour wall budget, but the injected jump skips the
+        // clock far past it.
+        let plan = FaultPlan::new(1, FaultKind::ClockJump(2 * 3_600_000));
+        let m = BudgetMeter::new(&Budget::wall_ms(3_600_000).with_fault(plan));
+        assert!(m.tick_path(), "the jump itself lands on op 1");
+        assert!(!m.check_wall(), "skewed clock is past the deadline");
+        assert_eq!(m.tripped(), Some(BudgetKind::WallClock));
+    }
+
+    #[test]
+    fn fault_clock_jump_without_deadline_is_inert() {
+        let plan = FaultPlan::new(1, FaultKind::ClockJump(u64::MAX >> 12));
+        let m = BudgetMeter::new(&Budget::default().with_fault(plan));
+        for _ in 0..1000 {
+            assert!(m.tick_path());
+        }
+        assert!(m.within());
+    }
+
+    #[test]
+    fn seeded_fault_plans_are_deterministic_and_in_range() {
+        for seed in 0..200u64 {
+            let a = FaultPlan::seeded(seed, 50);
+            let b = FaultPlan::seeded(seed, 50);
+            assert_eq!(a, b);
+            assert!((1..=50).contains(&a.at_op), "op {} out of range", a.at_op);
+        }
+        // All three kinds appear over a modest seed sweep.
+        let kinds: Vec<&str> = (0..64)
+            .map(|s| FaultPlan::seeded(s, 50).kind.as_str())
+            .collect();
+        for want in ["trip", "overflow", "clockjump"] {
+            assert!(kinds.contains(&want), "kind {want} never generated");
+        }
+    }
+
+    #[test]
+    fn fault_spec_parsing() {
+        assert_eq!(
+            FaultPlan::parse("trip@7"),
+            Ok(FaultPlan::new(7, FaultKind::TripBudget))
+        );
+        assert_eq!(
+            FaultPlan::parse("overflow@123"),
+            Ok(FaultPlan::new(123, FaultKind::Overflow))
+        );
+        assert_eq!(
+            FaultPlan::parse("clockjump@5:9000"),
+            Ok(FaultPlan::new(5, FaultKind::ClockJump(9000)))
+        );
+        for bad in ["", "trip", "trip@x", "meteor@3", "clockjump@5", "overflow@"] {
+            assert!(FaultPlan::parse(bad).is_err(), "'{bad}' must be rejected");
+        }
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Job descriptions and per-job outcome provenance.
+
+use srtw_core::{DelayAnalysis, Json, RtcReport};
+use srtw_minplus::Curve;
+use srtw_workload::DrtTask;
+use std::fmt;
+use std::time::Duration;
+
+/// One unit of batch work: a multiplex of task streams on a server.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Display name (typically the `.srtw` file stem).
+    pub name: String,
+    /// The task streams, in priority/file order.
+    pub tasks: Vec<DrtTask>,
+    /// Lower service curve of the shared server.
+    pub beta: Curve,
+}
+
+impl JobSpec {
+    /// Bundles a named job.
+    pub fn new(name: impl Into<String>, tasks: Vec<DrtTask>, beta: Curve) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            tasks,
+            beta,
+        }
+    }
+}
+
+/// One rung of the retry/degrade ladder, from most precise to coarsest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rung {
+    /// Full structural analysis, no cooperative budget (the watchdog's
+    /// hard deadline still applies).
+    Exact,
+    /// Structural analysis under a wall-clock budget; retries halve the
+    /// cap.
+    Budgeted {
+        /// The wall-clock cap of this attempt, in milliseconds.
+        wall_ms: u64,
+    },
+    /// The RTC (arrival-curve) baseline only — the fraction-0 fallback:
+    /// one stream-wide bound, no per-type attribution, cheapest to
+    /// compute and still sound.
+    RtcBaseline,
+}
+
+impl Rung {
+    /// Stable machine-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rung::Exact => "exact",
+            Rung::Budgeted { .. } => "budgeted",
+            Rung::RtcBaseline => "rtc",
+        }
+    }
+
+    /// The rung as a JSON value.
+    pub fn to_json(self) -> Json {
+        match self {
+            Rung::Budgeted { wall_ms } => Json::object(vec![
+                ("kind", Json::str("budgeted")),
+                ("wall_ms", Json::Int(wall_ms as i128)),
+            ]),
+            other => Json::object(vec![("kind", Json::str(other.as_str()))]),
+        }
+    }
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rung::Exact => write!(f, "exact"),
+            Rung::Budgeted { wall_ms } => write!(f, "budgeted({wall_ms} ms)"),
+            Rung::RtcBaseline => write!(f, "rtc"),
+        }
+    }
+}
+
+/// How one attempt at one rung ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttemptStatus {
+    /// The analysis returned a result (possibly budget- or
+    /// cancellation-degraded, see [`Attempt::degraded`]).
+    Completed,
+    /// The analysis returned a typed error (rendered).
+    Failed {
+        /// The rendered [`srtw_core::AnalysisError`].
+        error: String,
+    },
+    /// The analysis panicked; `catch_unwind` contained it.
+    Panicked {
+        /// The rendered panic payload.
+        message: String,
+    },
+    /// The watchdog cancelled the attempt and the worker thread did not
+    /// wind down within the grace period: the thread was abandoned.
+    HardTimeout,
+}
+
+impl AttemptStatus {
+    /// Stable machine-readable name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AttemptStatus::Completed => "completed",
+            AttemptStatus::Failed { .. } => "failed",
+            AttemptStatus::Panicked { .. } => "panicked",
+            AttemptStatus::HardTimeout => "hard_timeout",
+        }
+    }
+}
+
+/// Provenance of one attempt at one rung.
+#[derive(Debug, Clone)]
+pub struct Attempt {
+    /// The ladder rung attempted.
+    pub rung: Rung,
+    /// How the attempt ended.
+    pub status: AttemptStatus,
+    /// `true` when the attempt completed but any stream's bound is
+    /// budget- or cancellation-degraded (sound, possibly pessimistic), or
+    /// when the rung itself is the coarser [`Rung::RtcBaseline`].
+    pub degraded: bool,
+    /// Wall-clock time of the attempt as observed by the supervisor.
+    pub wall: Duration,
+    /// Degradation records from the analysis (empty unless completed
+    /// degraded).
+    pub degradations: Vec<srtw_core::Degradation>,
+}
+
+impl Attempt {
+    /// The attempt as a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("rung", self.rung.to_json()),
+            ("status", Json::str(self.status.as_str())),
+            ("degraded", Json::Bool(self.degraded)),
+            ("wall_ms", Json::Float(self.wall.as_secs_f64() * 1e3)),
+        ];
+        match &self.status {
+            AttemptStatus::Failed { error } => members.push(("error", Json::str(error))),
+            AttemptStatus::Panicked { message } => members.push(("panic", Json::str(message))),
+            _ => {}
+        }
+        members.push((
+            "degradations",
+            Json::Array(self.degradations.iter().map(|d| d.to_json()).collect()),
+        ));
+        Json::object(members)
+    }
+}
+
+/// The analysis result a successful rung produced.
+#[derive(Debug, Clone)]
+pub enum AnalysisOutput {
+    /// Structural per-stream analyses ([`Rung::Exact`] /
+    /// [`Rung::Budgeted`]).
+    Structural(Vec<DelayAnalysis>),
+    /// The stream-agnostic RTC baseline ([`Rung::RtcBaseline`]).
+    Rtc(RtcReport),
+}
+
+impl AnalysisOutput {
+    /// `true` when any contained report is budget-degraded.
+    pub fn any_degraded(&self) -> bool {
+        match self {
+            AnalysisOutput::Structural(per) => per.iter().any(|a| !a.quality.is_exact()),
+            AnalysisOutput::Rtc(r) => !r.quality.is_exact(),
+        }
+    }
+
+    /// Degradation records of every contained report.
+    pub fn degradations(&self) -> Vec<srtw_core::Degradation> {
+        match self {
+            AnalysisOutput::Structural(per) => {
+                per.iter().flat_map(|a| a.degradations.clone()).collect()
+            }
+            AnalysisOutput::Rtc(_) => Vec::new(),
+        }
+    }
+
+    /// The output as a JSON value (mirrors `srtw analyze --json`).
+    pub fn to_json(&self) -> Json {
+        match self {
+            AnalysisOutput::Structural(per) => Json::object(vec![(
+                "streams",
+                Json::Array(per.iter().map(|a| a.to_json()).collect()),
+            )]),
+            AnalysisOutput::Rtc(r) => Json::object(vec![("rtc", r.to_json())]),
+        }
+    }
+}
+
+/// Final classification of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Completed with exact bounds.
+    Exact,
+    /// Completed with sound but degraded bounds (a budget tripped, the
+    /// watchdog cancelled, or only the RTC rung succeeded).
+    Degraded,
+    /// Every rung of the ladder failed.
+    Failed,
+    /// Not attempted (`--fail-fast` stopped the batch first).
+    Skipped,
+}
+
+impl JobStatus {
+    /// Stable machine-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Exact => "exact",
+            JobStatus::Degraded => "degraded",
+            JobStatus::Failed => "failed",
+            JobStatus::Skipped => "skipped",
+        }
+    }
+}
+
+/// Everything the supervisor knows about one finished job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job's name.
+    pub name: String,
+    /// Final classification.
+    pub status: JobStatus,
+    /// The rung that produced the result (`None` when failed/skipped).
+    pub rung: Option<Rung>,
+    /// Every attempt, in ladder order.
+    pub attempts: Vec<Attempt>,
+    /// Total wall-clock time across all attempts.
+    pub wall: Duration,
+    /// The successful rung's analysis result.
+    pub output: Option<AnalysisOutput>,
+    /// The last attempt's error when every rung failed, or the reason a
+    /// job never ran (parse failure, skipped).
+    pub error: Option<String>,
+}
+
+impl JobOutcome {
+    /// A job that never ran because the batch stopped first.
+    pub fn skipped(name: impl Into<String>) -> JobOutcome {
+        JobOutcome {
+            name: name.into(),
+            status: JobStatus::Skipped,
+            rung: None,
+            attempts: Vec::new(),
+            wall: Duration::ZERO,
+            output: None,
+            error: Some("skipped: batch stopped by --fail-fast".into()),
+        }
+    }
+
+    /// A job that failed before any rung ran (e.g. its system file did not
+    /// parse).
+    pub fn pre_failed(name: impl Into<String>, error: impl Into<String>) -> JobOutcome {
+        JobOutcome {
+            name: name.into(),
+            status: JobStatus::Failed,
+            rung: None,
+            attempts: Vec::new(),
+            wall: Duration::ZERO,
+            output: None,
+            error: Some(error.into()),
+        }
+    }
+
+    /// The outcome as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("name", Json::str(&self.name)),
+            ("status", Json::str(self.status.as_str())),
+            (
+                "rung",
+                match self.rung {
+                    Some(r) => r.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "attempts",
+                Json::Array(self.attempts.iter().map(Attempt::to_json).collect()),
+            ),
+            ("wall_ms", Json::Float(self.wall.as_secs_f64() * 1e3)),
+            (
+                "result",
+                match &self.output {
+                    Some(o) => o.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "error",
+                match &self.error {
+                    Some(e) => Json::str(e),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}

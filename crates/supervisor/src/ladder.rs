@@ -1,0 +1,264 @@
+//! The supervised retry/degrade ladder for one job.
+//!
+//! An attempt runs on its own thread behind `catch_unwind`; the
+//! supervising thread doubles as the watchdog: it waits for the result
+//! with a timeout, raises the attempt's [`CancelToken`] when the hard
+//! deadline passes, and abandons the thread if it does not wind down
+//! within the grace period (safe Rust cannot kill a thread — an abandoned
+//! attempt keeps its core busy until it next polls its meter, but the
+//! batch moves on).
+
+use crate::job::{
+    AnalysisOutput, Attempt, AttemptStatus, JobOutcome, JobSpec, JobStatus, Rung,
+};
+use srtw_core::{fifo_rtc_with, fifo_structural, AnalysisConfig, AnalysisError};
+use srtw_minplus::{Budget, CancelToken, FaultPlan};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Configuration of the supervision around one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Hard wall-clock deadline per attempt, enforced by the watchdog via
+    /// cancellation. `None` disables the watchdog (attempts may then only
+    /// end cooperatively).
+    pub timeout: Option<Duration>,
+    /// Extra wait after cancellation before the worker thread is
+    /// abandoned and the attempt recorded as a hard timeout.
+    pub grace: Duration,
+    /// Starting wall-clock cap (milliseconds) of the budgeted rung;
+    /// halved on each budgeted retry.
+    pub budget_ms: u64,
+    /// Number of budgeted rungs between exact and the RTC baseline.
+    pub budget_retries: u32,
+    /// Deterministic fault injected into every attempt (testing only).
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            timeout: None,
+            grace: Duration::from_secs(2),
+            budget_ms: 1_000,
+            budget_retries: 2,
+            fault: None,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// The ladder this configuration descends: exact, then
+    /// `budget_retries` budgeted rungs with halving wall caps, then the
+    /// RTC baseline.
+    pub fn rungs(&self) -> Vec<Rung> {
+        let mut rungs = vec![Rung::Exact];
+        let mut ms = self.budget_ms.max(1);
+        for _ in 0..self.budget_retries {
+            rungs.push(Rung::Budgeted { wall_ms: ms });
+            ms = (ms / 2).max(1);
+        }
+        rungs.push(Rung::RtcBaseline);
+        rungs
+    }
+
+    /// The cooperative budget of an attempt at `rung` (before the cancel
+    /// token and fault plan are attached).
+    fn base_budget(&self, rung: Rung) -> Budget {
+        match rung {
+            Rung::Exact => Budget::default(),
+            Rung::Budgeted { wall_ms } => Budget::wall_ms(wall_ms),
+            // The baseline still gets a generous cooperative cap so a
+            // pathological rbf materialisation degrades instead of
+            // hanging until the watchdog fires.
+            Rung::RtcBaseline => Budget::wall_ms(self.budget_ms.max(1)),
+        }
+    }
+}
+
+/// Runs one job down the retry/degrade ladder and reports full
+/// provenance. Never panics and never blocks past
+/// `rungs × (timeout + grace)`.
+pub fn run_supervised(spec: &JobSpec, cfg: &SupervisorConfig) -> JobOutcome {
+    let started = Instant::now();
+    let spec = Arc::new(spec.clone());
+    let mut attempts: Vec<Attempt> = Vec::new();
+    let mut last_error: Option<String> = None;
+
+    for rung in cfg.rungs() {
+        let attempt = run_attempt(&spec, rung, cfg);
+        let done = matches!(attempt.status, AttemptStatus::Completed);
+        match &attempt.status {
+            AttemptStatus::Failed { error } => last_error = Some(error.clone()),
+            AttemptStatus::Panicked { message } => {
+                last_error = Some(format!("panic: {message}"))
+            }
+            AttemptStatus::HardTimeout => {
+                last_error = Some("hard timeout: attempt abandoned by the watchdog".into())
+            }
+            AttemptStatus::Completed => {}
+        }
+        let degraded = attempt.degraded;
+        let output = attempt_output(&attempt);
+        attempts.push(strip_output(attempt));
+        if done {
+            return JobOutcome {
+                name: spec.name.clone(),
+                status: if degraded {
+                    JobStatus::Degraded
+                } else {
+                    JobStatus::Exact
+                },
+                rung: Some(rung),
+                attempts,
+                wall: started.elapsed(),
+                output,
+                error: None,
+            };
+        }
+    }
+
+    JobOutcome {
+        name: spec.name.clone(),
+        status: JobStatus::Failed,
+        rung: None,
+        attempts,
+        wall: started.elapsed(),
+        output: None,
+        error: last_error.or_else(|| Some("no rung completed".into())),
+    }
+}
+
+/// An attempt together with its (not yet stripped) analysis output.
+struct RawAttempt {
+    rung: Rung,
+    status: AttemptStatus,
+    degraded: bool,
+    wall: Duration,
+    degradations: Vec<srtw_core::Degradation>,
+    output: Option<AnalysisOutput>,
+}
+
+fn attempt_output(a: &RawAttempt) -> Option<AnalysisOutput> {
+    a.output.clone()
+}
+
+fn strip_output(a: RawAttempt) -> Attempt {
+    Attempt {
+        rung: a.rung,
+        status: a.status,
+        degraded: a.degraded,
+        wall: a.wall,
+        degradations: a.degradations,
+    }
+}
+
+/// Runs one attempt at one rung on a dedicated thread, acting as its
+/// watchdog.
+fn run_attempt(spec: &Arc<JobSpec>, rung: Rung, cfg: &SupervisorConfig) -> RawAttempt {
+    let token = CancelToken::new();
+    let mut budget = cfg.base_budget(rung).with_cancel(token.clone());
+    if let Some(f) = cfg.fault {
+        budget = budget.with_fault(f);
+    }
+
+    let started = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    let job = Arc::clone(spec);
+    let spawned = thread::Builder::new()
+        .name(format!("srtw-{}", job.name))
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| analyse(&job, rung, budget)));
+            // The receiver may be gone if the watchdog abandoned us.
+            let _ = tx.send(result);
+        });
+    if spawned.is_err() {
+        return RawAttempt {
+            rung,
+            status: AttemptStatus::Failed {
+                error: "could not spawn worker thread".into(),
+            },
+            degraded: false,
+            wall: started.elapsed(),
+            degradations: Vec::new(),
+            output: None,
+        };
+    }
+
+    let received = match cfg.timeout {
+        None => rx.recv().ok(),
+        Some(deadline) => match rx.recv_timeout(deadline) {
+            Ok(r) => Some(r),
+            Err(mpsc::RecvTimeoutError::Disconnected) => None,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Watchdog fires: the hard deadline passed. Cancellation
+                // trips the meter at the attempt's next metered operation;
+                // give it the grace period to wind down to a sound
+                // degraded result, then abandon it.
+                token.cancel();
+                rx.recv_timeout(cfg.grace).ok()
+            }
+        },
+    };
+    let wall = started.elapsed();
+
+    let (status, degraded, degradations, output) = match received {
+        None => (AttemptStatus::HardTimeout, false, Vec::new(), None),
+        Some(Err(payload)) => (
+            AttemptStatus::Panicked {
+                message: panic_message(payload.as_ref()),
+            },
+            false,
+            Vec::new(),
+            None,
+        ),
+        Some(Ok(Err(e))) => (
+            AttemptStatus::Failed {
+                error: e.to_string(),
+            },
+            false,
+            Vec::new(),
+            None,
+        ),
+        Some(Ok(Ok(out))) => {
+            let degraded = out.any_degraded() || rung == Rung::RtcBaseline;
+            let records = out.degradations();
+            (AttemptStatus::Completed, degraded, records, Some(out))
+        }
+    };
+    RawAttempt {
+        rung,
+        status,
+        degraded,
+        wall,
+        degradations,
+        output,
+    }
+}
+
+/// The analysis an attempt at `rung` actually runs.
+fn analyse(spec: &JobSpec, rung: Rung, budget: Budget) -> Result<AnalysisOutput, AnalysisError> {
+    match rung {
+        Rung::Exact | Rung::Budgeted { .. } => {
+            let cfg = AnalysisConfig {
+                budget,
+                ..Default::default()
+            };
+            fifo_structural(&spec.tasks, &spec.beta, &cfg).map(AnalysisOutput::Structural)
+        }
+        Rung::RtcBaseline => {
+            fifo_rtc_with(&spec.tasks, &spec.beta, &budget).map(AnalysisOutput::Rtc)
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic".into())
+}

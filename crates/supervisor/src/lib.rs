@@ -1,0 +1,67 @@
+//! # srtw-supervisor — crash-contained supervised batch analysis
+//!
+//! PR 2 made a *single* analysis run budgeted and panic-free. This crate
+//! supplies the supervision *around* runs that a service analysing many
+//! systems needs:
+//!
+//! * **Isolation** — every attempt executes on its own thread behind
+//!   `catch_unwind`, so one pathological system (a residual panic, an
+//!   arithmetic overflow, an analysis that will not finish) cannot take
+//!   down the batch ([`run_supervised`]).
+//! * **Hard deadlines** — a watchdog enforces a wall-clock timeout per
+//!   attempt by raising a [`CancelToken`] threaded into the analysis'
+//!   [`srtw_minplus::BudgetMeter`]. Every hot loop the meter already
+//!   instruments polls the flag, so cancellation is prompt even where the
+//!   cooperative wall-clock checks are starved; a thread stuck outside
+//!   metered code is *abandoned* after a grace period and the attempt is
+//!   recorded as a hard timeout.
+//! * **A retry/degrade ladder** — failed or timed-out attempts retry down
+//!   [`Rung::Exact`] → [`Rung::Budgeted`] (halving the wall cap per
+//!   retry) → [`Rung::RtcBaseline`], the operational analogue of the
+//!   hybrid analyses in this research line that fall back to
+//!   coarser-but-sound component analyses when the precise one is
+//!   infeasible. Every rung inherits PR 2's monotone-truncation
+//!   degradation, so whatever rung completes, the reported bound is sound
+//!   and sandwiched `exact ≤ degraded ≤ RTC`.
+//! * **Provenance** — a [`JobOutcome`] records every attempt (rung,
+//!   status, wall time, degradation records), and a [`BatchReport`]
+//!   aggregates them with a machine-readable JSON rendering for the
+//!   `srtw batch` CLI.
+//!
+//! Failure paths are testable, not theoretical: a deterministic
+//! [`srtw_minplus::FaultPlan`] can trip the budget, inject a synthetic
+//! overflow or jump the wall clock at the N-th metered operation of every
+//! attempt, letting seeded tests drive each rung of the ladder.
+//!
+//! # Example
+//!
+//! ```
+//! use srtw_supervisor::{run_supervised, JobSpec, JobStatus, SupervisorConfig};
+//! use srtw_minplus::{Curve, Q};
+//! use srtw_workload::DrtTaskBuilder;
+//!
+//! let mut b = DrtTaskBuilder::new("periodic");
+//! let v = b.vertex("p", Q::ONE);
+//! b.edge(v, v, Q::int(8));
+//! let spec = JobSpec::new("demo", vec![b.build().unwrap()], Curve::affine(Q::ZERO, Q::ONE));
+//!
+//! let outcome = run_supervised(&spec, &SupervisorConfig::default());
+//! assert_eq!(outcome.status, JobStatus::Exact);
+//! assert_eq!(outcome.attempts.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod job;
+mod ladder;
+mod pool;
+mod report;
+
+pub use job::{AnalysisOutput, Attempt, AttemptStatus, JobOutcome, JobSpec, JobStatus, Rung};
+pub use ladder::{run_supervised, SupervisorConfig};
+pub use pool::{run_batch, BatchConfig};
+pub use report::{BatchCounts, BatchReport, BatchStatus};
+
+pub use srtw_minplus::{CancelToken, FaultKind, FaultPlan};

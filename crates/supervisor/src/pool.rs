@@ -1,0 +1,95 @@
+//! A fixed worker pool draining a queue of supervised jobs.
+//!
+//! Workers claim jobs from a shared atomic cursor, so input order is the
+//! claim order and results are reported in input order regardless of which
+//! worker finished first. With `fail_fast`, the first failed job stops the
+//! claim cursor; jobs never claimed are reported as skipped.
+
+use crate::job::{JobOutcome, JobSpec, JobStatus};
+use crate::ladder::{run_supervised, SupervisorConfig};
+use crate::report::BatchReport;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// Configuration of one batch run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Number of concurrent supervisor workers (clamped to at least 1).
+    pub jobs: usize,
+    /// The supervision applied to every job.
+    pub supervisor: SupervisorConfig,
+    /// Stop claiming new jobs as soon as one job fails every rung; jobs
+    /// not yet claimed are reported as [`JobStatus::Skipped`].
+    pub fail_fast: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            jobs: 1,
+            supervisor: SupervisorConfig::default(),
+            fail_fast: false,
+        }
+    }
+}
+
+/// Runs every job through the supervised ladder on a pool of
+/// `cfg.jobs` workers and aggregates the outcomes (in input order) into
+/// a [`BatchReport`]. Individual job failures never propagate as panics
+/// or errors — they are data in the report.
+pub fn run_batch(specs: Vec<JobSpec>, cfg: &BatchConfig) -> BatchReport {
+    let started = Instant::now();
+    let total = specs.len();
+    let specs = Arc::new(specs);
+    let next = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let results: Arc<Mutex<Vec<Option<JobOutcome>>>> =
+        Arc::new(Mutex::new((0..total).map(|_| None).collect()));
+
+    let workers = cfg.jobs.max(1).min(total.max(1));
+    let mut handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let specs = Arc::clone(&specs);
+        let next = Arc::clone(&next);
+        let stop = Arc::clone(&stop);
+        let results = Arc::clone(&results);
+        let sup = cfg.supervisor.clone();
+        let fail_fast = cfg.fail_fast;
+        handles.push(thread::spawn(move || loop {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            let i = next.fetch_add(1, Ordering::AcqRel);
+            if i >= specs.len() {
+                return;
+            }
+            let outcome = run_supervised(&specs[i], &sup);
+            if fail_fast && outcome.status == JobStatus::Failed {
+                stop.store(true, Ordering::Release);
+            }
+            results.lock().unwrap()[i] = Some(outcome);
+        }));
+    }
+    for h in handles {
+        // A worker panicking would be a supervisor bug (attempts are
+        // unwind-contained); treat it like any other crash and keep the
+        // batch alive — the job slot stays `None` and is reported skipped.
+        let _ = h.join();
+    }
+
+    let results = Arc::try_unwrap(results)
+        .expect("workers joined")
+        .into_inner()
+        .unwrap();
+    let jobs = results
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| JobOutcome::skipped(specs[i].name.clone())))
+        .collect();
+    BatchReport {
+        jobs,
+        wall: started.elapsed(),
+    }
+}

@@ -1,0 +1,141 @@
+//! Batch-level aggregation and rendering of job outcomes.
+
+use crate::job::{JobOutcome, JobStatus};
+use srtw_core::Json;
+use std::fmt;
+use std::time::Duration;
+
+/// Outcome counts of one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchCounts {
+    /// Jobs that completed with exact bounds.
+    pub exact: usize,
+    /// Jobs that completed with sound but degraded bounds.
+    pub degraded: usize,
+    /// Jobs that failed every rung of the ladder.
+    pub failed: usize,
+    /// Jobs never attempted (`--fail-fast`).
+    pub skipped: usize,
+}
+
+/// Overall classification of a batch, in increasing severity. Maps to the
+/// CLI exit-code contract: all-exact → 0, some-degraded → 0 plus a stderr
+/// warning, some-failed → 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchStatus {
+    /// Every job completed with exact bounds.
+    AllExact,
+    /// Every job completed, but some only with degraded (still sound)
+    /// bounds.
+    SomeDegraded,
+    /// Some jobs failed every rung (or were skipped by `--fail-fast`).
+    SomeFailed,
+}
+
+impl BatchStatus {
+    /// Stable machine-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BatchStatus::AllExact => "all_exact",
+            BatchStatus::SomeDegraded => "some_degraded",
+            BatchStatus::SomeFailed => "some_failed",
+        }
+    }
+}
+
+/// Everything a batch run produced, in input order.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One outcome per input job, in input order.
+    pub jobs: Vec<JobOutcome>,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+}
+
+impl BatchReport {
+    /// Tallies the job outcomes.
+    pub fn counts(&self) -> BatchCounts {
+        let mut c = BatchCounts::default();
+        for job in &self.jobs {
+            match job.status {
+                JobStatus::Exact => c.exact += 1,
+                JobStatus::Degraded => c.degraded += 1,
+                JobStatus::Failed => c.failed += 1,
+                JobStatus::Skipped => c.skipped += 1,
+            }
+        }
+        c
+    }
+
+    /// Overall classification (drives the CLI exit code).
+    pub fn status(&self) -> BatchStatus {
+        let c = self.counts();
+        if c.failed > 0 || c.skipped > 0 {
+            BatchStatus::SomeFailed
+        } else if c.degraded > 0 {
+            BatchStatus::SomeDegraded
+        } else {
+            BatchStatus::AllExact
+        }
+    }
+
+    /// The report as a JSON value.
+    pub fn to_json(&self) -> Json {
+        let c = self.counts();
+        Json::object(vec![
+            (
+                "jobs",
+                Json::Array(self.jobs.iter().map(JobOutcome::to_json).collect()),
+            ),
+            (
+                "summary",
+                Json::object(vec![
+                    ("status", Json::str(self.status().as_str())),
+                    ("total", Json::Int(self.jobs.len() as i128)),
+                    ("exact", Json::Int(c.exact as i128)),
+                    ("degraded", Json::Int(c.degraded as i128)),
+                    ("failed", Json::Int(c.failed as i128)),
+                    ("skipped", Json::Int(c.skipped as i128)),
+                    ("wall_ms", Json::Float(self.wall.as_secs_f64() * 1e3)),
+                ]),
+            ),
+        ])
+    }
+}
+
+impl fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for job in &self.jobs {
+            let rung = match job.rung {
+                Some(r) => format!(" [{r}]"),
+                None => String::new(),
+            };
+            let detail = match &job.error {
+                Some(e) => format!(": {e}"),
+                None => String::new(),
+            };
+            writeln!(
+                f,
+                "{:<9} {}{} ({} attempt{}, {:.1} ms){}",
+                job.status.as_str(),
+                job.name,
+                rung,
+                job.attempts.len(),
+                if job.attempts.len() == 1 { "" } else { "s" },
+                job.wall.as_secs_f64() * 1e3,
+                detail
+            )?;
+        }
+        let c = self.counts();
+        write!(
+            f,
+            "batch: {} job(s) — {} exact, {} degraded, {} failed, {} skipped in {:.1} ms",
+            self.jobs.len(),
+            c.exact,
+            c.degraded,
+            c.failed,
+            c.skipped,
+            self.wall.as_secs_f64() * 1e3
+        )
+    }
+}

@@ -12,7 +12,10 @@
 #   4. CLI smoke test on the shipped sample system;
 #   5. adversarial stress suite at elevated case counts (no-panic,
 #      budget-respecting, structural ≤ degraded ≤ RTC sandwich), plus
-#      the budgeted CLI run on systems/adversarial.srtw.
+#      the budgeted CLI run on systems/adversarial.srtw;
+#   6. supervised batch smoke test: the shipped systems under a 2 s
+#      watchdog must come back degraded-not-failed (exit 0), and a
+#      fault-injected batch must exhaust the ladder and exit 4.
 #
 # Benchmarks run separately (they are slow by design):
 #   cargo run -p srtw-bench --release --bin experiments
@@ -20,7 +23,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/5 dependency audit (path-only policy) =="
+echo "== 1/6 dependency audit (path-only policy) =="
 # Inside [dependencies*] / [workspace.dependencies] sections, every
 # dependency line must carry `path =` or `workspace = true`; a version
 # requirement ("1.0", { version = ... }) means a registry dependency.
@@ -41,14 +44,14 @@ if [ -n "$violations" ]; then
 fi
 echo "ok: all dependencies are workspace path crates"
 
-echo "== 2/5 offline build + tests =="
+echo "== 2/6 offline build + tests =="
 cargo build --release --offline --workspace
 SRTW_BENCH_FAST=1 cargo test -q --offline --workspace
 
-echo "== 3/5 examples build =="
+echo "== 3/6 examples build =="
 cargo build --release --offline --examples
 
-echo "== 4/5 CLI smoke test =="
+echo "== 4/6 CLI smoke test =="
 out=$(cargo run --release --offline -q --bin srtw -- analyze systems/decoder.srtw)
 echo "$out" | grep -q "RTC baseline" || {
     echo "error: analyze output missing the RTC baseline line" >&2
@@ -60,7 +63,7 @@ case "$json" in
     *) echo "error: --json output is not a JSON object" >&2; exit 1 ;;
 esac
 
-echo "== 5/5 adversarial stress suite =="
+echo "== 5/6 adversarial stress suite =="
 # Elevated case count for the seeded property suite; the release profile
 # keeps the 150 ms wall budget per case meaningful.
 SRTW_PROP_CASES=256 cargo test -q --release --offline --test stress
@@ -82,5 +85,45 @@ grep -q "degraded" "$adv_err" || {
     exit 1
 }
 rm -f "$adv_err"
+
+echo "== 6/6 supervised batch smoke test =="
+# The shipped systems under a 2 s per-attempt watchdog: the adversarial
+# job must wind down to a *degraded* (still sound) result, never a
+# failure — batch exit 0, summary status "some_degraded".
+batch_err=$(mktemp)
+batch_json=$(cargo run --release --offline -q --bin srtw -- \
+    batch systems/ --jobs 2 --timeout-ms 2000 --json 2>"$batch_err") || {
+    echo "error: supervised batch run failed (exit $?)" >&2
+    cat "$batch_err" >&2
+    exit 1
+}
+case "$batch_json" in
+    *'"some_degraded"'*) : ;;
+    *) echo 'error: batch summary not "some_degraded"' >&2; exit 1 ;;
+esac
+case "$batch_json" in
+    *'"failed":0'*) : ;;
+    *) echo 'error: supervised batch reported failed jobs' >&2; exit 1 ;;
+esac
+grep -q "degraded" "$batch_err" || {
+    echo "error: degraded batch missing the stderr warning" >&2
+    exit 1
+}
+rm -f "$batch_err"
+# Injected synthetic overflow at the first metered op must fail every
+# rung of the ladder for every job: exit 4, summary status "some_failed".
+set +e
+fault_json=$(cargo run --release --offline -q --bin srtw -- \
+    batch systems/ --fault overflow@1 --json 2>/dev/null)
+fault_rc=$?
+set -e
+if [ "$fault_rc" -ne 4 ]; then
+    echo "error: fault-injected batch exited $fault_rc, expected 4" >&2
+    exit 1
+fi
+case "$fault_json" in
+    *'"some_failed"'*) : ;;
+    *) echo 'error: fault-injected batch summary not "some_failed"' >&2; exit 1 ;;
+esac
 
 echo "verify: OK"

@@ -6,12 +6,15 @@
 //! srtw rbf      <system.srtw> [--horizon H]
 //! srtw dot      <system.srtw>
 //! srtw simulate <system.srtw> [--seeds N] [--horizon H]
+//! srtw batch    <dir|manifest> [--jobs N] [--timeout-ms MS] [--grace-ms MS]
+//!               [--budget-ms MS] [--retries N] [--fail-fast|--keep-going]
+//!               [--fault trip@N|overflow@N|clockjump@N:MS] [--json]
 //! ```
 //!
 //! System files use the text format documented in [`srtw::textfmt`].
-//! `--json` switches `analyze` to a machine-readable single-document
-//! output (see [`srtw::Json`]) that includes each report's `quality`
-//! object and a top-level `degraded` flag.
+//! `--json` switches `analyze` and `batch` to a machine-readable
+//! single-document output (see [`srtw::Json`]) that includes each
+//! report's `quality` object and a top-level `degraded` flag.
 //!
 //! # Budgets
 //!
@@ -20,6 +23,18 @@
 //! gracefully to sound (possibly pessimistic) bounds, prints a warning on
 //! stderr and still exits 0.
 //!
+//! # Batch mode
+//!
+//! `srtw batch` runs every `.srtw` system of a directory (sorted by file
+//! name) or of a manifest (one path per line, `#` comments, resolved
+//! relative to the manifest) on a pool of `--jobs` supervised workers.
+//! Each job runs on its own thread behind `catch_unwind` under a watchdog
+//! that enforces `--timeout-ms` by hard cancellation, and retries down the
+//! degrade ladder exact → budgeted (halving `--budget-ms`, `--retries`
+//! times) → RTC baseline. Per-job provenance (attempts, rung, degradation
+//! records, wall time) lands in the batch report. `--fault` injects a
+//! deterministic fault into every attempt (testing the failure paths).
+//!
 //! # Exit codes
 //!
 //! | code | meaning |
@@ -27,14 +42,23 @@
 //! | 0 | success — bounds exact, or degraded with a stderr warning |
 //! | 2 | input error — unreadable file, parse error, bad flags |
 //! | 3 | internal — analysis failure (unstable system, arithmetic overflow, exhausted budget with no sound fallback) or a residual panic |
+//! | 4 | batch — some jobs failed every rung of the ladder (or were skipped by `--fail-fast`) |
+//!
+//! With `--json`, exits 2 and 3 still produce a machine-readable document
+//! on stdout: `{"error": {"code": …, "kind": "input"|"internal"|"panic",
+//! "message": …}}`. A batch failure (exit 4) is not an error document —
+//! the batch report itself, listing the failed jobs, is the document.
 
+use srtw::supervisor::{run_batch, BatchConfig, BatchReport, BatchStatus, JobOutcome, JobSpec};
 use srtw::textfmt::{parse_system, SystemSpec};
 use srtw::{
     earliest_random_walk, edf_schedulable, fifo_rtc_with, fifo_structural,
     fixed_priority_structural_with, simulate_fifo, AnalysisConfig, Budget, Curve, DelayAnalysis,
-    Json, Q, Rbf, ServiceProcess,
+    FaultPlan, Json, Q, Rbf, ServiceProcess, SupervisorConfig,
 };
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 /// CLI failure, split by exit code.
 enum CliError {
@@ -48,45 +72,71 @@ fn input(msg: impl Into<String>) -> CliError {
     CliError::Input(msg.into())
 }
 
+/// Renders an error as the machine-readable stdout document the `--json`
+/// contract promises on exits 2 and 3.
+fn json_error(code: u8, kind: &str, msg: &str) -> Json {
+    Json::object(vec![(
+        "error",
+        Json::object(vec![
+            ("code", Json::Int(code as i128)),
+            ("kind", Json::str(kind)),
+            ("message", Json::str(msg)),
+        ]),
+    )])
+}
+
+fn fail(json: bool, code: u8, kind: &str, prefix: &str, msg: &str) -> ExitCode {
+    if json {
+        println!("{}", json_error(code, kind, msg));
+    }
+    eprintln!("{prefix}{msg}");
+    ExitCode::from(code)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
     // Residual panics (library bugs) must not abort with a backtrace dump:
     // silence the default hook and convert them to exit code 3. Budget and
     // arithmetic failures never panic by design; this is the last line of
     // defence the exit-code contract promises.
     std::panic::set_hook(Box::new(|_| {}));
-    let outcome = std::panic::catch_unwind(|| run(&args));
+    let outcome = catch_unwind(|| run(&args));
     let _ = std::panic::take_hook();
     match outcome {
-        Ok(Ok(())) => ExitCode::SUCCESS,
-        Ok(Err(CliError::Input(msg))) => {
-            eprintln!("error: {msg}");
-            ExitCode::from(2)
-        }
-        Ok(Err(CliError::Internal(msg))) => {
-            eprintln!("internal error: {msg}");
-            ExitCode::from(3)
-        }
+        Ok(Ok(code)) => code,
+        Ok(Err(CliError::Input(msg))) => fail(json, 2, "input", "error: ", &msg),
+        Ok(Err(CliError::Internal(msg))) => fail(json, 3, "internal", "internal error: ", &msg),
         Err(payload) => {
             let msg = payload
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "unknown panic".into());
-            eprintln!("internal error: unexpected panic: {msg}");
-            ExitCode::from(3)
+            fail(
+                json,
+                3,
+                "panic",
+                "internal error: unexpected panic: ",
+                &msg,
+            )
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), CliError> {
-    let usage = "usage: srtw <analyze|rbf|dot|simulate> <file> [options]";
+fn run(args: &[String]) -> Result<ExitCode, CliError> {
+    let usage = "usage: srtw <analyze|rbf|dot|simulate|batch> <file|dir> [options]";
     let cmd = args.first().ok_or_else(|| input(usage))?;
     let path = args.get(1).ok_or_else(|| input(usage))?;
+    let opts = &args[2..];
+
+    if cmd == "batch" {
+        return batch(path, opts);
+    }
+
     let text =
         std::fs::read_to_string(path).map_err(|e| input(format!("cannot read {path}: {e}")))?;
     let sys = parse_system(&text).map_err(|e| input(format!("{path}: {e}")))?;
-    let opts = &args[2..];
 
     match cmd.as_str() {
         "analyze" => analyze(&sys, opts),
@@ -99,6 +149,195 @@ fn run(args: &[String]) -> Result<(), CliError> {
         }
         "simulate" => simulate(&sys, opts),
         other => Err(input(format!("unknown command '{other}'\n{usage}"))),
+    }
+    .map(|()| ExitCode::SUCCESS)
+}
+
+/// One queued batch entry: either a parsed job or its pre-run failure
+/// (unreadable file, parse error, missing server).
+enum QueueEntry {
+    Job(JobSpec),
+    PreFailed(JobOutcome),
+}
+
+/// Collects the `.srtw` queue from a directory (sorted by file name) or a
+/// manifest file (one path per line, `#` comments, resolved relative to
+/// the manifest's directory).
+fn collect_queue(path: &str) -> Result<Vec<std::path::PathBuf>, CliError> {
+    let p = std::path::Path::new(path);
+    if p.is_dir() {
+        let mut files: Vec<_> = std::fs::read_dir(p)
+            .map_err(|e| input(format!("cannot read directory {path}: {e}")))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|f| f.extension().is_some_and(|x| x == "srtw"))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(input(format!("no .srtw files in {path}")));
+        }
+        return Ok(files);
+    }
+    let text =
+        std::fs::read_to_string(p).map_err(|e| input(format!("cannot read {path}: {e}")))?;
+    let base = p.parent().unwrap_or_else(|| std::path::Path::new("."));
+    let files: Vec<_> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| base.join(l))
+        .collect();
+    if files.is_empty() {
+        return Err(input(format!("manifest {path} lists no systems")));
+    }
+    Ok(files)
+}
+
+/// Loads one queued file into a job, containing parse panics and turning
+/// every pre-run failure into reportable provenance instead of aborting
+/// the batch.
+fn load_job(file: &std::path::Path) -> QueueEntry {
+    let name = file
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| file.display().to_string());
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            return QueueEntry::PreFailed(JobOutcome::pre_failed(
+                name,
+                format!("cannot read {}: {e}", file.display()),
+            ))
+        }
+    };
+    let loaded = catch_unwind(AssertUnwindSafe(|| -> Result<JobSpec, String> {
+        let sys = parse_system(&text).map_err(|e| format!("{}: {e}", file.display()))?;
+        let server = sys.server.as_ref().ok_or_else(|| {
+            format!("{}: the system file declares no server", file.display())
+        })?;
+        let beta = server.beta_lower().map_err(|e| e.to_string())?;
+        Ok(JobSpec::new(name.clone(), sys.tasks, beta))
+    }));
+    match loaded {
+        Ok(Ok(spec)) => QueueEntry::Job(spec),
+        Ok(Err(e)) => QueueEntry::PreFailed(JobOutcome::pre_failed(name, e)),
+        Err(_) => QueueEntry::PreFailed(JobOutcome::pre_failed(name, "panic while parsing")),
+    }
+}
+
+fn batch(path: &str, opts: &[String]) -> Result<ExitCode, CliError> {
+    let started = Instant::now();
+    let json = opts.iter().any(|a| a == "--json");
+    let fail_fast = match (
+        opts.iter().any(|a| a == "--fail-fast"),
+        opts.iter().any(|a| a == "--keep-going"),
+    ) {
+        (true, true) => return Err(input("--fail-fast and --keep-going are mutually exclusive")),
+        (ff, _) => ff,
+    };
+    let parse_u64 = |key: &str, default: u64| -> Result<u64, CliError> {
+        match opt_value(opts, key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| input(format!("bad {key} '{v}': {e}"))),
+        }
+    };
+    let jobs = parse_u64("--jobs", 1)? as usize;
+    let budget_ms = parse_u64("--budget-ms", 1_000)?;
+    let retries = parse_u64("--retries", 2)? as u32;
+    let grace = Duration::from_millis(parse_u64("--grace-ms", 2_000)?);
+    let timeout = opt_value(opts, "--timeout-ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map(Duration::from_millis)
+                .map_err(|e| input(format!("bad --timeout-ms '{v}': {e}")))
+        })
+        .transpose()?;
+    let fault = opt_value(opts, "--fault")
+        .map(|v| FaultPlan::parse(&v).map_err(CliError::Input))
+        .transpose()?;
+
+    let queue = collect_queue(path)?;
+    let entries: Vec<QueueEntry> = queue.iter().map(|f| load_job(f)).collect();
+
+    // With --fail-fast a pre-run failure stops the queue exactly like a
+    // failed run: jobs after the first pre-failure never start.
+    let cut = if fail_fast {
+        entries
+            .iter()
+            .position(|e| matches!(e, QueueEntry::PreFailed(_)))
+            .map(|i| i + 1)
+            .unwrap_or(entries.len())
+    } else {
+        entries.len()
+    };
+
+    let cfg = BatchConfig {
+        jobs,
+        supervisor: SupervisorConfig {
+            timeout,
+            grace,
+            budget_ms,
+            budget_retries: retries,
+            fault,
+        },
+        fail_fast,
+    };
+    let specs: Vec<JobSpec> = entries
+        .iter()
+        .take(cut)
+        .filter_map(|e| match e {
+            QueueEntry::Job(spec) => Some(spec.clone()),
+            QueueEntry::PreFailed(_) => None,
+        })
+        .collect();
+    let ran = run_batch(specs, &cfg);
+
+    // Re-assemble in input order: supervised outcomes fill the job slots,
+    // pre-failures keep theirs, and everything past the --fail-fast cut is
+    // skipped.
+    let mut supervised = ran.jobs.into_iter();
+    let merged: Vec<JobOutcome> = entries
+        .into_iter()
+        .enumerate()
+        .map(|(i, e)| match e {
+            QueueEntry::PreFailed(out) => out,
+            QueueEntry::Job(spec) if i >= cut => JobOutcome::skipped(spec.name),
+            QueueEntry::Job(_) => supervised
+                .next()
+                .expect("one supervised outcome per queued job"),
+        })
+        .collect();
+    let report = BatchReport {
+        jobs: merged,
+        wall: started.elapsed(),
+    };
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+    }
+    let counts = report.counts();
+    match report.status() {
+        BatchStatus::AllExact => Ok(ExitCode::SUCCESS),
+        BatchStatus::SomeDegraded => {
+            eprintln!(
+                "warning: {} job(s) completed with degraded (still sound) bounds",
+                counts.degraded
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        BatchStatus::SomeFailed => {
+            eprintln!(
+                "error: {} job(s) failed every rung of the ladder{}",
+                counts.failed,
+                if counts.skipped > 0 {
+                    format!(", {} skipped", counts.skipped)
+                } else {
+                    String::new()
+                }
+            );
+            Ok(ExitCode::from(4))
+        }
     }
 }
 

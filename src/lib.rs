@@ -18,6 +18,7 @@
 //! | [`sim`] | `srtw-sim` | FIFO simulator, trace generators |
 //! | [`gen`] | `srtw-gen` | seeded random workload generation |
 //! | [`detrand`] | `srtw-detrand` | deterministic PRNG + property-test harness |
+//! | [`supervisor`] | `srtw-supervisor` | crash-contained batch runs, watchdog, retry/degrade ladder |
 //!
 //! The most common items are additionally re-exported at the top level.
 //!
@@ -59,6 +60,7 @@ pub use srtw_gen as gen;
 pub use srtw_minplus as minplus;
 pub use srtw_resource as resource;
 pub use srtw_sim as sim;
+pub use srtw_supervisor as supervisor;
 pub use srtw_workload as workload;
 
 pub use srtw_core::{
@@ -70,7 +72,11 @@ pub use srtw_core::{
     WitnessPath,
 };
 pub use srtw_gen::{generate_drt, generate_task_set, DrtGenConfig};
-pub use srtw_minplus::{q, Curve, CurveError, Ext, Piece, Q, Tail};
+pub use srtw_minplus::{q, CancelToken, Curve, CurveError, Ext, FaultKind, FaultPlan, Piece, Q, Tail};
+pub use srtw_supervisor::{
+    run_batch, run_supervised, BatchConfig, BatchReport, BatchStatus, JobOutcome, JobSpec,
+    JobStatus, Rung, SupervisorConfig,
+};
 pub use srtw_resource::{
     concatenate_upto, leftover_blind, leftover_chain, ExplicitServer, PeriodicResource,
     RateLatencyServer, ResourceError, Server, TdmaServer,

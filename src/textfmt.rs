@@ -27,12 +27,29 @@
 //!   `rate-latency rate=Q latency=Q`, `fluid rate=Q`,
 //!   `tdma slot=Q cycle=Q capacity=Q`, or
 //!   `periodic-resource period=Q budget=Q`.
+//!
+//! # Hardening
+//!
+//! The parser is built to face untrusted input (the `srtw batch` queue may
+//! point at arbitrary files): it never panics, enforces explicit caps
+//! ([`MAX_INPUT_BYTES`], [`MAX_TASKS`], [`MAX_VERTICES`], [`MAX_EDGES`])
+//! with typed [`ParseErrorKind`]s, and every error carries a 1-based
+//! line/column span pointing at the offending token.
 
 use srtw_minplus::{Curve, Q};
 use srtw_resource::{PeriodicResource, RateLatencyServer, Server, TdmaServer};
 use srtw_workload::{DrtTask, DrtTaskBuilder, VertexId};
 use std::collections::HashMap;
 use std::fmt;
+
+/// Maximum accepted input size in bytes (1 MiB).
+pub const MAX_INPUT_BYTES: usize = 1 << 20;
+/// Maximum number of tasks per system.
+pub const MAX_TASKS: usize = 256;
+/// Maximum number of vertices per task.
+pub const MAX_VERTICES: usize = 4_096;
+/// Maximum number of edges per task.
+pub const MAX_EDGES: usize = 16_384;
 
 /// A parsed system: tasks plus an optional server declaration.
 #[derive(Debug, Clone)]
@@ -80,7 +97,9 @@ impl ServerSpec {
     /// The lower service curve of the declared server.
     pub fn beta_lower(&self) -> Result<Curve, ParseError> {
         let invalid = |what: &'static str| ParseError {
-            line: 0,
+            kind: ParseErrorKind::InvalidServer,
+            line: 1,
+            column: 1,
             message: format!("invalid server parameters: {what}"),
         };
         Ok(match *self {
@@ -109,28 +128,118 @@ impl ServerSpec {
     }
 }
 
-/// A parse error with its 1-based line number.
+/// What class of defect a [`ParseError`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The input exceeds [`MAX_INPUT_BYTES`].
+    InputTooLarge,
+    /// A structural cap ([`MAX_TASKS`], [`MAX_VERTICES`], [`MAX_EDGES`])
+    /// was exceeded.
+    CapExceeded,
+    /// A keyword the grammar does not know.
+    UnknownKeyword,
+    /// A `vertex`/`edge` line outside any `task` block.
+    OutsideTask,
+    /// A required argument or `key=` pair is missing.
+    Missing,
+    /// A malformed value (not `key=value`, or not a rational).
+    BadValue,
+    /// A duplicate name, key, or server declaration.
+    Duplicate,
+    /// An edge endpoint naming no declared vertex.
+    UnknownVertex,
+    /// The assembled task graph was rejected by the task builder.
+    InvalidTask,
+    /// The server declaration carries invalid parameters.
+    InvalidServer,
+    /// The input declares no tasks at all.
+    Empty,
+}
+
+impl ParseErrorKind {
+    /// Stable machine-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ParseErrorKind::InputTooLarge => "input_too_large",
+            ParseErrorKind::CapExceeded => "cap_exceeded",
+            ParseErrorKind::UnknownKeyword => "unknown_keyword",
+            ParseErrorKind::OutsideTask => "outside_task",
+            ParseErrorKind::Missing => "missing",
+            ParseErrorKind::BadValue => "bad_value",
+            ParseErrorKind::Duplicate => "duplicate",
+            ParseErrorKind::UnknownVertex => "unknown_vertex",
+            ParseErrorKind::InvalidTask => "invalid_task",
+            ParseErrorKind::InvalidServer => "invalid_server",
+            ParseErrorKind::Empty => "empty",
+        }
+    }
+}
+
+/// A parse error with its typed kind and 1-based line/column span.
+///
+/// Every error produced by [`parse_system`] points at the offending token:
+/// `line` and `column` are always ≥ 1 (column counts bytes from the start
+/// of the line; errors about a whole line point at its first token, and
+/// whole-input errors point at `1:1`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
-    /// 1-based line number (0 for errors without a location).
+    /// What class of defect this is.
+    pub kind: ParseErrorKind,
+    /// 1-based line number of the offending token.
     pub line: usize,
+    /// 1-based byte column of the offending token within its line.
+    pub column: usize,
     /// Human-readable message.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.line > 0 {
-            write!(f, "line {}: {}", self.line, self.message)
-        } else {
-            write!(f, "{}", self.message)
-        }
+        write!(f, "line {}:{}: {}", self.line, self.column, self.message)
     }
 }
 
 impl std::error::Error for ParseError {}
 
+/// A cursor pointing at a token: 1-based line and byte column.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    line: usize,
+    column: usize,
+}
+
+impl Span {
+    fn error(self, kind: ParseErrorKind, message: impl Into<String>) -> ParseError {
+        ParseError {
+            kind,
+            line: self.line,
+            column: self.column,
+            message: message.into(),
+        }
+    }
+}
+
+/// Splits a line into whitespace-separated words, each with its 1-based
+/// byte column.
+fn words_with_spans(line: &str, lineno: usize) -> impl Iterator<Item = (Span, &str)> {
+    line.split_whitespace().map(move |w| {
+        // `split_whitespace` yields subslices of `line`, so pointer
+        // arithmetic recovers the byte offset without re-scanning.
+        let column = w.as_ptr() as usize - line.as_ptr() as usize + 1;
+        (
+            Span {
+                line: lineno,
+                column,
+            },
+            w,
+        )
+    })
+}
+
 /// Parses a system description in the text format.
+///
+/// Never panics, whatever the input; every error carries a typed
+/// [`ParseErrorKind`] and a 1-based line/column span.
 ///
 /// # Examples
 ///
@@ -144,125 +253,177 @@ impl std::error::Error for ParseError {}
 /// let sys = srtw::textfmt::parse_system(text).unwrap();
 /// assert_eq!(sys.tasks.len(), 1);
 /// assert!(sys.server.is_some());
+///
+/// let err = srtw::textfmt::parse_system("task t\nvertex a wcet=oops\n").unwrap_err();
+/// // The span points at the bad value, just past "vertex a wcet=".
+/// assert_eq!((err.line, err.column), (2, 15));
 /// ```
 pub fn parse_system(text: &str) -> Result<SystemSpec, ParseError> {
+    let origin = Span { line: 1, column: 1 };
+    if text.len() > MAX_INPUT_BYTES {
+        return Err(origin.error(
+            ParseErrorKind::InputTooLarge,
+            format!(
+                "input is {} bytes, the cap is {MAX_INPUT_BYTES}",
+                text.len()
+            ),
+        ));
+    }
+
     struct PendingTask {
         builder: DrtTaskBuilder,
         vertices: HashMap<String, VertexId>,
-        started_at: usize,
+        edges: usize,
+        started_at: Span,
     }
     let mut tasks: Vec<DrtTask> = Vec::new();
     let mut server: Option<ServerSpec> = None;
     let mut current: Option<PendingTask> = None;
 
-    let err = |line: usize, message: String| ParseError { line, message };
     let finish = |p: PendingTask, tasks: &mut Vec<DrtTask>| -> Result<(), ParseError> {
         let started = p.started_at;
         let t = p
             .builder
             .build()
-            .map_err(|e| err(started, format!("invalid task: {e}")))?;
+            .map_err(|e| started.error(ParseErrorKind::InvalidTask, format!("invalid task: {e}")))?;
         tasks.push(t);
         Ok(())
     };
 
     for (i, raw) in text.lines().enumerate() {
         let lineno = i + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
+        let line = raw.split('#').next().unwrap_or("").trim_end();
+        let mut words = words_with_spans(line, lineno);
+        let Some((kw_span, keyword)) = words.next() else {
             continue;
-        }
-        let mut words = line.split_whitespace();
-        let keyword = words.next().expect("non-empty line");
+        };
         match keyword {
             "task" => {
-                let name = words
-                    .next()
-                    .ok_or_else(|| err(lineno, "task needs a name".into()))?;
+                let (_, name) = words.next().ok_or_else(|| {
+                    kw_span.error(ParseErrorKind::Missing, "task needs a name")
+                })?;
                 if let Some(p) = current.take() {
                     finish(p, &mut tasks)?;
                 }
+                if tasks.len() + 1 > MAX_TASKS {
+                    return Err(kw_span.error(
+                        ParseErrorKind::CapExceeded,
+                        format!("more than {MAX_TASKS} tasks"),
+                    ));
+                }
                 if tasks.iter().any(|t| t.name() == name) {
-                    return Err(err(lineno, format!("duplicate task '{name}'")));
+                    return Err(
+                        kw_span.error(ParseErrorKind::Duplicate, format!("duplicate task '{name}'"))
+                    );
                 }
                 current = Some(PendingTask {
                     builder: DrtTaskBuilder::new(name),
                     vertices: HashMap::new(),
-                    started_at: lineno,
+                    edges: 0,
+                    started_at: kw_span,
                 });
             }
             "vertex" => {
-                let p = current
-                    .as_mut()
-                    .ok_or_else(|| err(lineno, "vertex outside of a task".into()))?;
-                let name = words
-                    .next()
-                    .ok_or_else(|| err(lineno, "vertex needs a name".into()))?;
-                if p.vertices.contains_key(name) {
-                    return Err(err(lineno, format!("duplicate vertex '{name}'")));
+                let p = current.as_mut().ok_or_else(|| {
+                    kw_span.error(ParseErrorKind::OutsideTask, "vertex outside of a task")
+                })?;
+                let (name_span, name) = words.next().ok_or_else(|| {
+                    kw_span.error(ParseErrorKind::Missing, "vertex needs a name")
+                })?;
+                if p.vertices.len() + 1 > MAX_VERTICES {
+                    return Err(name_span.error(
+                        ParseErrorKind::CapExceeded,
+                        format!("more than {MAX_VERTICES} vertices in one task"),
+                    ));
                 }
-                let kv = parse_kv(words, lineno)?;
-                let wcet = need(&kv, "wcet", lineno)?;
+                if p.vertices.contains_key(name) {
+                    return Err(name_span
+                        .error(ParseErrorKind::Duplicate, format!("duplicate vertex '{name}'")));
+                }
+                let kv = parse_kv(words)?;
+                let wcet = need(&kv, "wcet", kw_span)?;
                 let id = match kv.get("deadline") {
-                    Some(&d) => p.builder.vertex_with_deadline(name, wcet, d),
+                    Some(&(_, d)) => p.builder.vertex_with_deadline(name, wcet, d),
                     None => p.builder.vertex(name, wcet),
                 };
                 p.vertices.insert(name.to_owned(), id);
             }
             "edge" => {
-                let p = current
-                    .as_mut()
-                    .ok_or_else(|| err(lineno, "edge outside of a task".into()))?;
-                let from = words
-                    .next()
-                    .ok_or_else(|| err(lineno, "edge needs a source vertex".into()))?;
-                let to = words
-                    .next()
-                    .ok_or_else(|| err(lineno, "edge needs a target vertex".into()))?;
-                let kv = parse_kv(words, lineno)?;
-                let sep = need(&kv, "sep", lineno)?;
-                let &f = p
-                    .vertices
-                    .get(from)
-                    .ok_or_else(|| err(lineno, format!("unknown vertex '{from}'")))?;
-                let &t = p
-                    .vertices
-                    .get(to)
-                    .ok_or_else(|| err(lineno, format!("unknown vertex '{to}'")))?;
+                let p = current.as_mut().ok_or_else(|| {
+                    kw_span.error(ParseErrorKind::OutsideTask, "edge outside of a task")
+                })?;
+                let (from_span, from) = words.next().ok_or_else(|| {
+                    kw_span.error(ParseErrorKind::Missing, "edge needs a source vertex")
+                })?;
+                let (to_span, to) = words.next().ok_or_else(|| {
+                    kw_span.error(ParseErrorKind::Missing, "edge needs a target vertex")
+                })?;
+                if p.edges + 1 > MAX_EDGES {
+                    return Err(kw_span.error(
+                        ParseErrorKind::CapExceeded,
+                        format!("more than {MAX_EDGES} edges in one task"),
+                    ));
+                }
+                let kv = parse_kv(words)?;
+                let sep = need(&kv, "sep", kw_span)?;
+                let &f = p.vertices.get(from).ok_or_else(|| {
+                    from_span.error(ParseErrorKind::UnknownVertex, format!("unknown vertex '{from}'"))
+                })?;
+                let &t = p.vertices.get(to).ok_or_else(|| {
+                    to_span.error(ParseErrorKind::UnknownVertex, format!("unknown vertex '{to}'"))
+                })?;
                 p.builder.edge(f, t, sep);
+                p.edges += 1;
             }
             "server" => {
                 if server.is_some() {
-                    return Err(err(lineno, "duplicate server declaration".into()));
+                    return Err(
+                        kw_span.error(ParseErrorKind::Duplicate, "duplicate server declaration")
+                    );
                 }
-                let kind = words
-                    .next()
-                    .ok_or_else(|| err(lineno, "server needs a kind".into()))?;
-                let kv = parse_kv(words, lineno)?;
-                server = Some(match kind {
+                let (kind_span, kind) = words.next().ok_or_else(|| {
+                    kw_span.error(ParseErrorKind::Missing, "server needs a kind")
+                })?;
+                let kv = parse_kv(words)?;
+                let spec = match kind {
                     "rate-latency" => ServerSpec::RateLatency {
-                        rate: need(&kv, "rate", lineno)?,
-                        latency: need(&kv, "latency", lineno)?,
+                        rate: need(&kv, "rate", kw_span)?,
+                        latency: need(&kv, "latency", kw_span)?,
                     },
                     "fluid" => ServerSpec::Fluid {
-                        rate: need(&kv, "rate", lineno)?,
+                        rate: need(&kv, "rate", kw_span)?,
                     },
                     "tdma" => ServerSpec::Tdma {
-                        slot: need(&kv, "slot", lineno)?,
-                        cycle: need(&kv, "cycle", lineno)?,
-                        capacity: need(&kv, "capacity", lineno)?,
+                        slot: need(&kv, "slot", kw_span)?,
+                        cycle: need(&kv, "cycle", kw_span)?,
+                        capacity: need(&kv, "capacity", kw_span)?,
                     },
                     "periodic-resource" => ServerSpec::PeriodicResource {
-                        period: need(&kv, "period", lineno)?,
-                        budget: need(&kv, "budget", lineno)?,
+                        period: need(&kv, "period", kw_span)?,
+                        budget: need(&kv, "budget", kw_span)?,
                     },
                     other => {
-                        return Err(err(lineno, format!("unknown server kind '{other}'")))
+                        return Err(kind_span.error(
+                            ParseErrorKind::UnknownKeyword,
+                            format!("unknown server kind '{other}'"),
+                        ))
                     }
-                });
+                };
+                // Validate parameters at the declaration site so the error
+                // points here, not at whatever later consumes the curve.
+                spec.beta_lower().map_err(|e| ParseError {
+                    kind: ParseErrorKind::InvalidServer,
+                    line: kw_span.line,
+                    column: kw_span.column,
+                    message: e.message,
+                })?;
+                server = Some(spec);
             }
             other => {
-                return Err(err(lineno, format!("unknown keyword '{other}'")));
+                return Err(kw_span.error(
+                    ParseErrorKind::UnknownKeyword,
+                    format!("unknown keyword '{other}'"),
+                ));
             }
         }
     }
@@ -270,43 +431,41 @@ pub fn parse_system(text: &str) -> Result<SystemSpec, ParseError> {
         finish(p, &mut tasks)?;
     }
     if tasks.is_empty() {
-        return Err(ParseError {
-            line: 0,
-            message: "no tasks declared".into(),
-        });
+        return Err(origin.error(ParseErrorKind::Empty, "no tasks declared"));
     }
     Ok(SystemSpec { tasks, server })
 }
 
-/// Parses the trailing `key=value` pairs of a line.
+/// Parses the trailing `key=value` pairs of a line, remembering where each
+/// value sits.
 fn parse_kv<'a>(
-    words: impl Iterator<Item = &'a str>,
-    lineno: usize,
-) -> Result<HashMap<&'a str, Q>, ParseError> {
+    words: impl Iterator<Item = (Span, &'a str)>,
+) -> Result<HashMap<&'a str, (Span, Q)>, ParseError> {
     let mut out = HashMap::new();
-    for w in words {
-        let (k, v) = w.split_once('=').ok_or_else(|| ParseError {
-            line: lineno,
-            message: format!("expected key=value, found '{w}'"),
+    for (span, w) in words {
+        let (k, v) = w.split_once('=').ok_or_else(|| {
+            span.error(ParseErrorKind::BadValue, format!("expected key=value, found '{w}'"))
         })?;
-        let value: Q = v.parse().map_err(|_| ParseError {
-            line: lineno,
-            message: format!("invalid rational '{v}' for '{k}'"),
+        let value_span = Span {
+            line: span.line,
+            column: span.column + k.len() + 1,
+        };
+        let value: Q = v.parse().map_err(|_| {
+            value_span.error(
+                ParseErrorKind::BadValue,
+                format!("invalid rational '{v}' for '{k}'"),
+            )
         })?;
-        if out.insert(k, value).is_some() {
-            return Err(ParseError {
-                line: lineno,
-                message: format!("duplicate key '{k}'"),
-            });
+        if out.insert(k, (span, value)).is_some() {
+            return Err(span.error(ParseErrorKind::Duplicate, format!("duplicate key '{k}'")));
         }
     }
     Ok(out)
 }
 
-fn need(kv: &HashMap<&str, Q>, key: &str, lineno: usize) -> Result<Q, ParseError> {
-    kv.get(key).copied().ok_or_else(|| ParseError {
-        line: lineno,
-        message: format!("missing required '{key}='"),
+fn need(kv: &HashMap<&str, (Span, Q)>, key: &str, line_span: Span) -> Result<Q, ParseError> {
+    kv.get(key).map(|&(_, v)| v).ok_or_else(|| {
+        line_span.error(ParseErrorKind::Missing, format!("missing required '{key}='"))
     })
 }
 
@@ -351,33 +510,43 @@ server rate-latency rate=3/4 latency=2
     }
 
     #[test]
-    fn error_locations_reported() {
-        let bad = "task t\nvertex a wcet=zero\n";
-        let e = parse_system(bad).unwrap_err();
-        assert_eq!(e.line, 2);
+    fn error_spans_point_at_the_offending_token() {
+        // The bad rational sits at line 2, after "vertex a wcet=".
+        let e = parse_system("task t\nvertex a wcet=zero\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::BadValue);
+        assert_eq!((e.line, e.column), (2, 15));
         assert!(e.message.contains("invalid rational"));
 
         let e = parse_system("vertex a wcet=1\n").unwrap_err();
-        assert_eq!(e.line, 1);
-        assert!(e.message.contains("outside of a task"));
+        assert_eq!(e.kind, ParseErrorKind::OutsideTask);
+        assert_eq!((e.line, e.column), (1, 1));
 
+        // 'b' is the second edge operand, column 8.
         let e = parse_system("task t\nvertex a wcet=1\nedge a b sep=1\n").unwrap_err();
-        assert!(e.message.contains("unknown vertex 'b'"));
+        assert_eq!(e.kind, ParseErrorKind::UnknownVertex);
+        assert_eq!((e.line, e.column), (3, 8));
 
-        let e = parse_system("task t\nfrobnicate\n").unwrap_err();
-        assert!(e.message.contains("unknown keyword"));
+        let e = parse_system("task t\n   frobnicate\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::UnknownKeyword);
+        assert_eq!((e.line, e.column), (2, 4));
 
         let e = parse_system("").unwrap_err();
-        assert!(e.message.contains("no tasks"));
+        assert_eq!(e.kind, ParseErrorKind::Empty);
+        assert_eq!((e.line, e.column), (1, 1));
+
+        // Display renders the span.
+        assert!(e.to_string().starts_with("line 1:1: "));
     }
 
     #[test]
     fn invalid_task_graphs_surface_build_errors() {
         // Zero WCET is rejected by the task builder.
         let e = parse_system("task t\nvertex a wcet=0\nedge a a sep=5\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::InvalidTask);
         assert!(e.message.contains("invalid task"), "{e}");
         // Duplicate vertex name.
         let e = parse_system("task t\nvertex a wcet=1\nvertex a wcet=2\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::Duplicate);
         assert!(e.message.contains("duplicate vertex"));
     }
 
@@ -385,7 +554,7 @@ server rate-latency rate=3/4 latency=2
     fn duplicate_task_names_rejected_with_location() {
         let text = "task t\nvertex a wcet=1\nedge a a sep=5\n\ntask t\nvertex b wcet=1\nedge b b sep=5\n";
         let e = parse_system(text).unwrap_err();
-        assert_eq!(e.line, 5);
+        assert_eq!((e.line, e.column), (5, 1));
         assert!(e.message.contains("duplicate task 't'"), "{e}");
     }
 
@@ -402,7 +571,16 @@ server rate-latency rate=3/4 latency=2
             assert_eq!(beta.rate(), check_rate, "for {line}");
         }
         let e = parse_system("task t\nvertex a wcet=1\nserver warp speed=9\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::UnknownKeyword);
         assert!(e.message.contains("unknown server kind"));
+    }
+
+    #[test]
+    fn invalid_server_parameters_error_at_the_declaration() {
+        let e = parse_system("task t\nvertex a wcet=1\nedge a a sep=5\nserver fluid rate=0\n")
+            .unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::InvalidServer);
+        assert_eq!(e.line, 4);
     }
 
     #[test]
@@ -423,9 +601,41 @@ server rate-latency rate=3/4 latency=2
         let ok = "task t # trailing comment\nvertex a wcet=1 # another\nedge a a sep=5\n";
         assert!(parse_system(ok).is_ok());
         let e = parse_system("task t\nvertex a wcet=1 wcet=2\n").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::Duplicate);
         assert!(e.message.contains("duplicate key"));
         let e = parse_system("task t\nvertex a wcet=1\nedge a a sep=5\nserver fluid rate=1\nserver fluid rate=2\n")
             .unwrap_err();
         assert!(e.message.contains("duplicate server"));
+    }
+
+    #[test]
+    fn input_and_structure_caps_are_enforced() {
+        let huge = "#".repeat(MAX_INPUT_BYTES + 1);
+        let e = parse_system(&huge).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::InputTooLarge);
+
+        let mut many_tasks = String::new();
+        for i in 0..=MAX_TASKS {
+            many_tasks.push_str(&format!("task t{i}\nvertex a wcet=1\nedge a a sep=5\n"));
+        }
+        let e = parse_system(&many_tasks).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::CapExceeded);
+        assert!(e.message.contains("tasks"));
+
+        let mut many_vertices = String::from("task t\n");
+        for i in 0..=MAX_VERTICES {
+            many_vertices.push_str(&format!("vertex v{i} wcet=1\n"));
+        }
+        let e = parse_system(&many_vertices).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::CapExceeded);
+        assert!(e.message.contains("vertices"));
+
+        let mut many_edges = String::from("task t\nvertex a wcet=1\n");
+        for _ in 0..=MAX_EDGES {
+            many_edges.push_str("edge a a sep=5\n");
+        }
+        let e = parse_system(&many_edges).unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::CapExceeded);
+        assert!(e.message.contains("edges"));
     }
 }

@@ -3,7 +3,11 @@
 //!
 //! * `0` — success: exact bounds, or degraded bounds plus a stderr warning;
 //! * `2` — input error (unreadable file, parse error, bad flags);
-//! * `3` — internal (analysis failure or residual panic).
+//! * `3` — internal (analysis failure or residual panic);
+//! * `4` — batch: some jobs failed every rung of the retry/degrade ladder.
+//!
+//! With `--json`, exits 2 and 3 additionally emit a machine-readable
+//! `{"error": …}` document on stdout.
 
 use std::process::Command;
 
@@ -137,6 +141,147 @@ fn adversarial_system_degrades_within_wall_budget() {
     assert!(out.contains("\"degraded\":true"), "{out}");
     assert!(out.contains("\"fallback\""), "{out}");
     assert!(out.contains("wall_clock"), "degradation record names the wall budget: {out}");
+}
+
+/// A directory of system files for `srtw batch` tests.
+fn temp_batch_dir(name: &str, files: &[(&str, &str)]) -> String {
+    let dir = std::env::temp_dir().join("srtw-cli-exit-codes").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for (fname, content) in files {
+        std::fs::write(dir.join(fname), content).unwrap();
+    }
+    dir.to_str().unwrap().to_owned()
+}
+
+const SMALL_A: &str = "task a\nvertex v wcet=1\nedge v v sep=8\nserver fluid rate=1\n";
+const SMALL_B: &str = "task b\nvertex v wcet=2\nedge v v sep=9\nserver rate-latency rate=1 latency=1\n";
+
+#[test]
+fn json_error_object_on_exit_two_and_three() {
+    // Exit 2: parse error — stdout carries {"error": …} alongside stderr.
+    let p = temp_file("bad-json.srtw", "task t\nvertex a wcet=oops\n");
+    let (code, out, err) = run_srtw(&["analyze", &p, "--json"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(out.contains("\"error\""), "{out}");
+    assert!(out.contains("\"kind\":\"input\""), "{out}");
+    assert!(out.contains("\"code\":2"), "{out}");
+    assert!(out.contains("line 2"), "the message keeps the span: {out}");
+
+    // Exit 3: analysis failure (unstable system).
+    let p = temp_file(
+        "unstable-json.srtw",
+        "task hot\nvertex v wcet=5\nedge v v sep=4\nserver fluid rate=1\n",
+    );
+    let (code, out, err) = run_srtw(&["analyze", &p, "--json"]);
+    assert_eq!(code, 3, "stderr: {err}");
+    assert!(out.contains("\"kind\":\"internal\""), "{out}");
+    assert!(out.contains("\"code\":3"), "{out}");
+
+    // Without --json, stdout stays clean.
+    let (code, out, _) = run_srtw(&["analyze", &p]);
+    assert_eq!(code, 3);
+    assert!(out.is_empty(), "{out}");
+}
+
+#[test]
+fn batch_all_exact_exits_zero_silently() {
+    let dir = temp_batch_dir("all-exact", &[("a.srtw", SMALL_A), ("b.srtw", SMALL_B)]);
+    let (code, out, err) = run_srtw(&["batch", &dir, "--jobs", "2"]);
+    assert_eq!(code, 0, "stderr: {err}");
+    assert!(err.is_empty(), "no warning expected: {err}");
+    assert!(out.contains("2 exact"), "{out}");
+    // Input order (sorted by file name), not completion order.
+    let a_pos = out.find("a [").unwrap();
+    let b_pos = out.find("b [").unwrap();
+    assert!(a_pos < b_pos, "{out}");
+}
+
+#[test]
+fn batch_manifest_preserves_listed_order() {
+    let dir = temp_batch_dir("manifest", &[("x.srtw", SMALL_A), ("y.srtw", SMALL_B)]);
+    let manifest = temp_file("manifest.txt", &format!("# queue\n{dir}/y.srtw\n{dir}/x.srtw\n"));
+    let (code, out, err) = run_srtw(&["batch", &manifest, "--json"]);
+    assert_eq!(code, 0, "stderr: {err}");
+    let y_pos = out.find("\"name\":\"y\"").unwrap();
+    let x_pos = out.find("\"name\":\"x\"").unwrap();
+    assert!(y_pos < x_pos, "manifest order kept: {out}");
+    assert!(out.contains("\"status\":\"all_exact\""), "{out}");
+}
+
+#[test]
+fn batch_degraded_exits_zero_with_warning_and_provenance() {
+    // An injected budget trip at the 5th metered op: the exact rung
+    // *completes* with a sound degraded bound — the cancellation path, on
+    // purpose, is not a failure.
+    let dir = temp_batch_dir("degraded", &[("a.srtw", SMALL_A)]);
+    let (code, out, err) = run_srtw(&["batch", &dir, "--fault", "trip@5", "--json"]);
+    assert_eq!(code, 0, "stderr: {err}");
+    assert!(err.contains("degraded"), "{err}");
+    assert!(out.contains("\"status\":\"some_degraded\""), "{out}");
+    assert!(out.contains("\"rung\":{\"kind\":\"exact\"}"), "{out}");
+    assert!(out.contains("\"degradations\":["), "{out}");
+}
+
+#[test]
+fn batch_failed_jobs_exit_four_with_full_ladder_provenance() {
+    let dir = temp_batch_dir("failed", &[("a.srtw", SMALL_A), ("b.srtw", SMALL_B)]);
+    let (code, out, err) = run_srtw(&["batch", &dir, "--fault", "overflow@1", "--json"]);
+    assert_eq!(code, 4, "stderr: {err}");
+    assert!(err.contains("failed every rung"), "{err}");
+    assert!(out.contains("\"status\":\"some_failed\""), "{out}");
+    // Every job descended the whole default ladder: exact, 2 budgeted, rtc.
+    assert!(out.contains("\"kind\":\"rtc\""), "{out}");
+    assert!(out.contains("overflow"), "{out}");
+}
+
+#[test]
+fn batch_parse_failure_is_a_job_failure_not_an_input_error() {
+    let dir = temp_batch_dir(
+        "mixed",
+        &[("a_bad.srtw", "task t\nvertex a wcet=nope\n"), ("b_good.srtw", SMALL_B)],
+    );
+    let (code, out, err) = run_srtw(&["batch", &dir]);
+    assert_eq!(code, 4, "stderr: {err}");
+    assert!(out.contains("failed"), "{out}");
+    assert!(out.contains("1 exact"), "the good job still ran: {out}");
+    assert!(out.contains("line 2"), "parse failures keep their span: {out}");
+}
+
+#[test]
+fn batch_fail_fast_skips_the_rest_of_the_queue() {
+    let dir = temp_batch_dir(
+        "fail-fast",
+        &[("a_bad.srtw", "task t\nvertex a wcet=nope\n"), ("b_good.srtw", SMALL_B)],
+    );
+    let (code, out, _) = run_srtw(&["batch", &dir, "--fail-fast"]);
+    assert_eq!(code, 4);
+    assert!(out.contains("skipped"), "{out}");
+    assert!(out.contains("0 exact"), "the good job never started: {out}");
+
+    // --keep-going (the default, spelled out) runs everything.
+    let (code, out, _) = run_srtw(&["batch", &dir, "--keep-going"]);
+    assert_eq!(code, 4);
+    assert!(out.contains("1 exact"), "{out}");
+}
+
+#[test]
+fn batch_input_errors_exit_two() {
+    let (code, _, err) = run_srtw(&["batch", "/nonexistent-dir-or-manifest"]);
+    assert_eq!(code, 2, "stderr: {err}");
+
+    let empty = temp_batch_dir("empty", &[]);
+    let (code, _, err) = run_srtw(&["batch", &empty]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("no .srtw files"), "{err}");
+
+    let dir = temp_batch_dir("flags", &[("a.srtw", SMALL_A)]);
+    let (code, _, err) = run_srtw(&["batch", &dir, "--fault", "meteor@now"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("bad fault spec"), "{err}");
+    let (code, _, err) = run_srtw(&["batch", &dir, "--fail-fast", "--keep-going"]);
+    assert_eq!(code, 2, "stderr: {err}");
+    assert!(err.contains("mutually exclusive"), "{err}");
 }
 
 #[test]

@@ -18,8 +18,9 @@ use srtw::gen::{
 };
 use srtw::prop::forall;
 use srtw::{
-    q, rtc_delay_with, structural_delay, structural_delay_with, AnalysisConfig, AnalysisError,
-    Budget, Curve, DrtTask, Q, Rng,
+    earliest_random_walk, q, rtc_delay_with, simulate_fifo, structural_delay,
+    structural_delay_with, AnalysisConfig, AnalysisError, Budget, Curve, DrtTask, FaultPlan, Q,
+    Rng, ServiceProcess,
 };
 use std::time::{Duration, Instant};
 
@@ -133,6 +134,68 @@ fn degraded_bounds_are_sandwiched_between_structural_and_rtc() {
             }
         }
     });
+}
+
+/// A small stable instance plus a seeded fault plan and a simulation seed.
+fn small_stable_with_fault(rng: &mut Rng, size: u32) -> (DrtTask, Curve, u64, u64) {
+    let (task, beta) = small_stable(rng, size);
+    (task, beta, rng.next_u64(), rng.next_u64())
+}
+
+/// The differential oracle under failure: a fault-injected degraded run is
+/// replayed through the event simulator, and no observed delay may ever
+/// exceed the degraded analytic bound. This checks the *end-to-end*
+/// soundness story — whatever a fault does to the engine mid-flight (trip,
+/// synthetic overflow, clock jump), the bounds it still reports are real
+/// bounds on real schedules.
+#[test]
+fn fault_injected_degraded_bounds_dominate_simulated_delays() {
+    forall(
+        "degraded_vs_simulation",
+        small_stable_with_fault,
+        |(task, beta, fault_seed, sim_seed)| {
+            let plan = FaultPlan::seeded(*fault_seed, 64);
+            let cfg = AnalysisConfig {
+                budget: Budget::default().with_fault(plan),
+                ..Default::default()
+            };
+            match structural_delay_with(task, beta, &cfg) {
+                Ok(a) => {
+                    // The fluid service at the guaranteed rate dominates the
+                    // declared lower curve, so every simulated schedule is
+                    // one the analysis covers.
+                    let service = ServiceProcess::fluid(beta.rate());
+                    let horizon = Q::int(200);
+                    for run in 0..4u64 {
+                        let trace =
+                            earliest_random_walk(task, horizon, None, sim_seed.wrapping_mul(31) + run);
+                        let out = simulate_fifo(
+                            std::slice::from_ref(task),
+                            std::slice::from_ref(&trace),
+                            &service,
+                        );
+                        for v in task.vertex_ids() {
+                            let observed = out.max_delay_of(0, v);
+                            assert!(
+                                observed <= a.bound_of(v),
+                                "fault {plan:?}: observed delay {observed} exceeds \
+                                 degraded bound {} for {v} (quality {:?})",
+                                a.bound_of(v),
+                                a.quality
+                            );
+                        }
+                    }
+                }
+                // An injected overflow surfaces as the typed arithmetic
+                // error; a trip can leave no sound coarse finish on some
+                // instances. Both are legitimate refusals — never unsound
+                // bounds, never panics.
+                Err(AnalysisError::Arithmetic(_))
+                | Err(AnalysisError::BudgetExhausted { .. }) => {}
+                Err(e) => panic!("fault {plan:?}: unexpected error {e}"),
+            }
+        },
+    );
 }
 
 #[test]
