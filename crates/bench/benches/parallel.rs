@@ -1,0 +1,13 @@
+//! B6 — parallel path exploration and the shaped-convolution fast paths
+//! (asserts bit-identical results before timing).
+//!
+//! Run with `cargo bench -p srtw-bench --bench parallel`; set
+//! `SRTW_BENCH_FAST=1` for a quick smoke run. Thread-scaling numbers are
+//! machine-relative: see EXPERIMENTS.md.
+
+use srtw_bench::suites::parallel_suite;
+use srtw_bench::timing::{print_samples, Timer};
+
+fn main() {
+    print_samples(&parallel_suite(&Timer::from_env()));
+}

@@ -1,6 +1,10 @@
 //! B2 — request-bound-function computation across graph sizes and
 //! horizons (the dominance-pruned path exploration).
 //!
+//! The suite runs one untimed warm-up pass before the graph-size sweep:
+//! BENCH_2 recorded the first size (`/5`) slower than `/10` because it
+//! also paid the process's cold start (see `rbf_suite`).
+//!
 //! Run with `cargo bench -p srtw-bench --bench rbf`; set
 //! `SRTW_BENCH_FAST=1` for a quick smoke run.
 

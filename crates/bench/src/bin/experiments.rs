@@ -6,18 +6,28 @@
 //! cargo run -p srtw-bench --release --bin experiments -- all --csv results/
 //! cargo run -p srtw-bench --release --bin experiments -- e1 e5
 //! cargo run -p srtw-bench --release --bin experiments -- bench --bench-out BENCH_1.json
+//! cargo run -p srtw-bench --release --bin experiments -- gate BENCH_3.json BENCH_2.json …
 //! ```
 //!
-//! With no arguments every experiment (`all`) runs, followed by the four
+//! With no arguments every experiment (`all`) runs, followed by the
 //! benchmark suites (`bench`), writing `BENCH_1.json` to the current
 //! directory. The `bench` pseudo-id can also be requested explicitly next
 //! to experiment ids; `--bench-out` overrides the output path.
+//!
+//! `gate NEWEST BASELINE…` is the performance-regression gate: it fails
+//! (exit ≠ 0) when the newest document's median regresses by more than
+//! `--factor` (default 1.5) against the best baseline median, in the
+//! groups listed by `--groups` (default `convolution,rbf`). See
+//! [`srtw_bench::gate`].
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("gate") {
+        return gate(&args[1..]);
+    }
     let mut ids: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
     let mut bench_out = PathBuf::from("BENCH_1.json");
@@ -66,4 +76,73 @@ fn main() -> ExitCode {
         println!();
     }
     ExitCode::SUCCESS
+}
+
+/// `gate NEWEST BASELINE… [--factor F] [--groups a,b]` — the perf gate.
+fn gate(args: &[String]) -> ExitCode {
+    let mut cfg = srtw_bench::gate::GateConfig::default();
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--factor" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(f) if f >= 1.0 => cfg.factor = f,
+                _ => {
+                    eprintln!("--factor needs a number >= 1");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a == "--groups" {
+            match it.next() {
+                Some(list) => {
+                    cfg.groups = list.split(',').map(str::to_owned).collect();
+                }
+                None => {
+                    eprintln!("--groups needs a comma-separated list");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            files.push(PathBuf::from(a));
+        }
+    }
+    if files.len() < 2 {
+        eprintln!("usage: experiments gate NEWEST BASELINE... [--factor F] [--groups a,b]");
+        return ExitCode::FAILURE;
+    }
+    let mut medians = Vec::new();
+    for f in &files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", f.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match srtw_bench::gate::parse_medians(&text) {
+            Ok(m) => medians.push(m),
+            Err(e) => {
+                eprintln!("{}: {e}", f.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let newest = medians.remove(0);
+    let v = srtw_bench::gate::violations(&newest, &medians, &cfg);
+    if v.is_empty() {
+        println!(
+            "gate: {} vs {} baseline document(s) in groups [{}] — no regression beyond {:.2}x",
+            files[0].display(),
+            medians.len(),
+            cfg.groups.join(", "),
+            cfg.factor
+        );
+        ExitCode::SUCCESS
+    } else {
+        for msg in &v {
+            eprintln!("gate: REGRESSION {msg}");
+        }
+        eprintln!("gate: {} regression(s) in {}", v.len(), files[0].display());
+        ExitCode::FAILURE
+    }
 }

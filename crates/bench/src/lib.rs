@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod gate;
 pub mod suites;
 pub mod timing;
 

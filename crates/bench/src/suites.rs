@@ -8,9 +8,9 @@
 use crate::timing::{Sample, Timer};
 use srtw_core::{rtc_delay, structural_delay, structural_delay_with, AnalysisConfig, Budget};
 use srtw_gen::{adversarial_dense, generate_drt, rescale_utilization, DrtGenConfig};
-use srtw_minplus::{q, Curve, Q};
+use srtw_minplus::{q, BudgetMeter, Curve, Q};
 use srtw_sim::{earliest_random_walk, simulate_fifo, ServiceProcess};
-use srtw_workload::Rbf;
+use srtw_workload::{explore_metered_threads, ExploreConfig, Rbf};
 use std::hint::black_box;
 
 fn gen_cfg(n: usize) -> DrtGenConfig {
@@ -67,6 +67,13 @@ pub fn convolution_suite(t: &Timer) -> Vec<Sample> {
 /// horizons (the dominance-pruned path exploration).
 pub fn rbf_suite(t: &Timer) -> Vec<Sample> {
     let mut out = Vec::new();
+    // BENCH_2 recorded rbf_by_graph_size/5 *slower* than /10 (≈324µs vs
+    // ≈239µs): the first measured size also paid the process's cold start
+    // (lazy page faults, allocator arena growth, branch predictor). One
+    // untimed warm-up pass before the sweep removes the artefact so the
+    // sizes compare like for like.
+    let warm = generate_drt(&gen_cfg(5), 42);
+    black_box(Rbf::compute(&warm, Q::int(200)));
     for &n in &[5usize, 10, 20, 40] {
         let task = generate_drt(&gen_cfg(n), 42);
         out.push(t.bench("rbf", format!("rbf_by_graph_size/{n}"), || {
@@ -177,14 +184,122 @@ pub fn budgeted_suite(t: &Timer) -> Vec<Sample> {
     out
 }
 
-/// Runs all five suites in order (convolution, rbf, structural,
-/// simulation, budgeted).
+/// A concave polyline with `k` pieces: the lower envelope of `k` affine
+/// token buckets with strictly decreasing rates (tangents of a concave
+/// arrival envelope), breakpoints every `spacing` time units.
+fn concave_polyline(k: i128, spacing: i128) -> Curve {
+    let mut c = Curve::affine(Q::ZERO, Q::int(k));
+    for i in 1..k {
+        let line = Curve::affine(Q::int(spacing * i * (i + 1) / 2), Q::int(k - i));
+        c = c.pointwise_min(&line);
+    }
+    c
+}
+
+/// A convex polyline with `k` pieces: the upper envelope of `k`
+/// rate-latency curves with strictly increasing rates.
+fn convex_polyline(k: i128, spacing: i128) -> Curve {
+    let mut c = Curve::rate_latency(Q::ONE, Q::ZERO);
+    for i in 1..k {
+        let line = Curve::rate_latency(Q::int(i + 1), Q::int(spacing * i));
+        c = c.pointwise_max(&line);
+    }
+    c
+}
+
+/// B6 — parallel path exploration and the shaped-convolution fast paths.
+///
+/// Before timing anything the suite **asserts** that the sharded engine
+/// is bit-identical to the sequential one and that the fast convolution
+/// kernels agree with the general quadratic kernel — the speedups below
+/// are only meaningful for identical results. The thread-scaling numbers
+/// are machine-relative: thread counts beyond the machine's cores cannot
+/// help (a 1-core CI box reports ≈1× with the sharding overhead on top).
+pub fn parallel_suite(t: &Timer) -> Vec<Sample> {
+    let mut out = Vec::new();
+
+    // Fat-window workload: dense digraph, separations in a narrow band,
+    // so every min-separation window holds many candidates and the
+    // sharded Classify/Expand phases get real work per barrier.
+    let task = adversarial_dense(10, 5);
+    let ecfg = ExploreConfig::new(Q::int(60));
+    let meter = BudgetMeter::unlimited();
+    let seq = Rbf::compute_metered_threads(&task, ecfg.horizon, &meter, 1);
+    for n in [2usize, 4, 8] {
+        let par = Rbf::compute_metered_threads(&task, ecfg.horizon, &meter, n);
+        assert_eq!(seq, par, "sharded exploration diverged at {n} threads");
+    }
+    for n in [1usize, 2, 4] {
+        out.push(t.bench("parallel_structural", format!("explore_threads/{n}"), || {
+            black_box(explore_metered_threads(&task, &ecfg, &meter, n));
+        }));
+    }
+
+    // End-to-end structural analysis at 1 vs 4 threads, asserted equal
+    // on the full report (runtime zeroed — it is the one honest
+    // difference).
+    let beta = Curve::rate_latency(q(4, 5), Q::int(4));
+    let big = generate_drt(&gen_cfg(20), 11);
+    let cfg_of = |threads: usize| AnalysisConfig {
+        threads,
+        ..Default::default()
+    };
+    let mut a = structural_delay_with(&big, &beta, &cfg_of(1)).unwrap();
+    let mut b = structural_delay_with(&big, &beta, &cfg_of(4)).unwrap();
+    a.runtime = std::time::Duration::ZERO;
+    b.runtime = std::time::Duration::ZERO;
+    assert_eq!(
+        a.to_json().render(),
+        b.to_json().render(),
+        "parallel structural analysis diverged from sequential"
+    );
+    for n in [1usize, 4] {
+        let cfg = cfg_of(n);
+        out.push(t.bench("parallel_structural", format!("structural_threads/{n}"), || {
+            black_box(structural_delay_with(&big, &beta, &cfg).unwrap());
+        }));
+    }
+
+    // Shaped-convolution fast paths against the general quadratic kernel
+    // on 40-piece polylines over [0, 200]. `conv_upto` dispatches on the
+    // cached shape; `conv_upto_general` forces the old kernel.
+    let h = Q::int(200);
+    let (ca, cb) = (concave_polyline(40, 5), concave_polyline(40, 7));
+    assert_eq!(
+        ca.conv_upto(&cb, h),
+        ca.conv_upto_general(&cb, h),
+        "concave fast path diverged from the general kernel"
+    );
+    out.push(t.bench("parallel_structural", "conv_concave/fast/200", || {
+        black_box(ca.conv_upto(&cb, h));
+    }));
+    out.push(t.bench("parallel_structural", "conv_concave/general/200", || {
+        black_box(ca.conv_upto_general(&cb, h));
+    }));
+    let (va, vb) = (convex_polyline(40, 3), convex_polyline(40, 4));
+    assert_eq!(
+        va.conv_upto(&vb, h),
+        va.conv_upto_general(&vb, h),
+        "convex fast path diverged from the general kernel"
+    );
+    out.push(t.bench("parallel_structural", "conv_convex/fast/200", || {
+        black_box(va.conv_upto(&vb, h));
+    }));
+    out.push(t.bench("parallel_structural", "conv_convex/general/200", || {
+        black_box(va.conv_upto_general(&vb, h));
+    }));
+    out
+}
+
+/// Runs all six suites in order (convolution, rbf, structural,
+/// simulation, budgeted, parallel).
 pub fn all_suites(t: &Timer) -> Vec<Sample> {
     let mut out = convolution_suite(t);
     out.extend(rbf_suite(t));
     out.extend(structural_suite(t));
     out.extend(simulation_suite(t));
     out.extend(budgeted_suite(t));
+    out.extend(parallel_suite(t));
     out
 }
 
@@ -200,5 +315,12 @@ mod tests {
         assert_eq!(structural_suite(&t).len(), 7);
         assert_eq!(simulation_suite(&t).len(), 6);
         assert_eq!(budgeted_suite(&t).len(), 6);
+        assert_eq!(parallel_suite(&t).len(), 9);
+    }
+
+    #[test]
+    fn polyline_generators_are_shaped() {
+        assert!(concave_polyline(8, 5).is_concave());
+        assert!(convex_polyline(8, 3).is_convex());
     }
 }

@@ -37,13 +37,13 @@
 //! exactly to the RTC baseline, at `1` it is the full structural analysis —
 //! the knob the ablation experiment sweeps.
 
-use crate::busy::{busy_window, busy_window_metered, BusyWindow};
+use crate::busy::{busy_window, busy_window_metered, busy_window_metered_ext, BusyWindow};
 use crate::error::AnalysisError;
 use crate::report::{
     BoundQuality, Degradation, DelayAnalysis, Fallback, RtcReport, VertexBound, WitnessPath,
 };
 use srtw_minplus::{Budget, BudgetMeter, Curve, Ext, Q};
-use srtw_workload::{explore_metered, DrtTask, ExploreConfig, Rbf};
+use srtw_workload::{explore_metered_threads, DrtTask, ExploreConfig, Rbf, RbfMemo};
 use std::time::Instant;
 
 /// Configuration of the structural analysis.
@@ -65,6 +65,11 @@ pub struct AnalysisConfig {
     /// [`BoundQuality::Degraded`] marker plus [`Degradation`] records.
     /// Defaults to [`Budget::UNLIMITED`].
     pub budget: Budget,
+    /// Worker threads for the path-exploration engine. `0` (the default)
+    /// and `1` both run the classic sequential engine; any value produces
+    /// **bit-identical** results — parallelism only changes wall-clock
+    /// time (see `srtw_workload::explore_metered_threads`).
+    pub threads: usize,
 }
 
 /// Structural per-job-type delay analysis of a single stream on a resource
@@ -105,10 +110,12 @@ pub fn structural_delay_with(
 ) -> Result<DelayAnalysis, AnalysisError> {
     let start = Instant::now();
     let meter = BudgetMeter::new(&cfg.budget);
-    let result = busy_window_metered(std::slice::from_ref(task), beta, &meter).and_then(|bw| {
-        let horizon = cfg.horizon_override.unwrap_or(bw.bound);
-        analyse_stream(task, beta, &bw, horizon, &[], cfg, &meter, start)
-    });
+    let memo = RbfMemo::new(1);
+    let result = busy_window_metered_ext(std::slice::from_ref(task), beta, &meter, cfg.threads, &memo)
+        .and_then(|bw| {
+            let horizon = cfg.horizon_override.unwrap_or(bw.bound);
+            analyse_stream(task, 0, beta, &bw, horizon, &[], cfg, &meter, &memo, start)
+        });
     surface_injected_fault(result, &meter)
 }
 
@@ -161,7 +168,8 @@ pub fn fifo_structural(
     cfg: &AnalysisConfig,
 ) -> Result<Vec<DelayAnalysis>, AnalysisError> {
     let meter = BudgetMeter::new(&cfg.budget);
-    let result = busy_window_metered(tasks, beta, &meter).and_then(|bw| {
+    let memo = RbfMemo::new(tasks.len());
+    let result = busy_window_metered_ext(tasks, beta, &meter, cfg.threads, &memo).and_then(|bw| {
         let horizon = cfg.horizon_override.unwrap_or(bw.bound);
         let mut out = Vec::with_capacity(tasks.len());
         for (i, task) in tasks.iter().enumerate() {
@@ -174,7 +182,7 @@ pub fn fifo_structural(
                 .map(|(_, r)| r)
                 .collect();
             out.push(analyse_stream(
-                task, beta, &bw, horizon, &others, cfg, &meter, start,
+                task, i, beta, &bw, horizon, &others, cfg, &meter, &memo, start,
             )?);
         }
         Ok(out)
@@ -257,12 +265,14 @@ fn surface_injected_fault<T>(
 #[allow(clippy::too_many_arguments)]
 fn analyse_stream(
     task: &DrtTask,
+    index: usize,
     beta: &Curve,
     bw: &BusyWindow,
     horizon: Q,
     others: &[&Rbf],
     cfg: &AnalysisConfig,
     meter: &BudgetMeter,
+    memo: &RbfMemo,
     start: Instant,
 ) -> Result<DelayAnalysis, AnalysisError> {
     let mut degradations: Vec<Degradation> = Vec::new();
@@ -312,7 +322,7 @@ fn analyse_stream(
     if cfg.no_prune {
         ecfg = ecfg.without_pruning();
     }
-    let ex = explore_metered(task, &ecfg, meter);
+    let ex = explore_metered_threads(task, &ecfg, meter, cfg.threads);
     if let Some(k) = ex.interrupted {
         degradations.push(Degradation {
             component: format!("exploration('{}')", task.name()),
@@ -347,7 +357,7 @@ fn analyse_stream(
     let mut fallback = Q::ZERO;
     let mut own_truncated = false;
     if fallback_active {
-        let own_rbf = Rbf::compute_metered(task, horizon, meter);
+        let own_rbf = memo.get_or_compute(index, task, horizon, meter, cfg.threads);
         if let Some(k) = own_rbf.truncated() {
             own_truncated = true;
             degradations.push(Degradation {

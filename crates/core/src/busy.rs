@@ -11,7 +11,7 @@
 
 use crate::error::AnalysisError;
 use srtw_minplus::{BudgetKind, BudgetMeter, Curve, Ext, Q};
-use srtw_workload::{long_run_utilization, DrtTask, Rbf};
+use srtw_workload::{long_run_utilization, DrtTask, Rbf, RbfMemo};
 
 /// The busy-window bound of a set of streams sharing a server, together
 /// with the per-stream request-bound functions materialized to that bound.
@@ -92,6 +92,23 @@ pub fn busy_window_metered(
     beta: &Curve,
     meter: &BudgetMeter,
 ) -> Result<BusyWindow, AnalysisError> {
+    busy_window_metered_ext(tasks, beta, meter, 1, &RbfMemo::new(tasks.len()))
+}
+
+/// [`busy_window_metered`] with explicit parallelism and an rbf memo.
+///
+/// `threads` shards each rbf's path exploration (bit-identical to the
+/// sequential run for any value; `<= 1` runs the sequential engine). The
+/// `memo` deduplicates repeated `(task, horizon)` materializations — most
+/// usefully shared with the caller's own per-stream analyses, which revisit
+/// the final fixpoint bound.
+pub fn busy_window_metered_ext(
+    tasks: &[DrtTask],
+    beta: &Curve,
+    meter: &BudgetMeter,
+    threads: usize,
+    memo: &RbfMemo,
+) -> Result<BusyWindow, AnalysisError> {
     let utilization = tasks
         .iter()
         .map(long_run_utilization)
@@ -112,7 +129,8 @@ pub fn busy_window_metered(
     let mut horizon = Q::ONE;
     let mut rbfs: Vec<Rbf> = tasks
         .iter()
-        .map(|t| Rbf::compute_metered(t, horizon, meter))
+        .enumerate()
+        .map(|(i, t)| memo.get_or_compute(i, t, horizon, meter, threads))
         .collect();
     let mut level = Q::ZERO;
     let mut iterations = 0usize;
@@ -144,7 +162,8 @@ pub fn busy_window_metered(
             // the materialized rbfs are coarse.
             let rbfs: Vec<Rbf> = tasks
                 .iter()
-                .map(|t| Rbf::compute_metered(t, bound, meter))
+                .enumerate()
+                .map(|(i, t)| memo.get_or_compute(i, t, bound, meter, threads))
                 .collect();
             let degraded = if rbfs.iter().any(|r| r.truncated().is_some()) {
                 meter.tripped()
@@ -164,7 +183,8 @@ pub fn busy_window_metered(
             horizon = level + level; // grow geometrically to amortize
             rbfs = tasks
                 .iter()
-                .map(|t| Rbf::compute_metered(t, horizon, meter))
+                .enumerate()
+                .map(|(i, t)| memo.get_or_compute(i, t, horizon, meter, threads))
                 .collect();
         }
     }

@@ -16,7 +16,7 @@
 //! * [`Curve::deconv`] — deconvolution with an automatically derived
 //!   sufficient horizon for stable operand pairs.
 
-use crate::curve::{try_common_check_horizon, Curve, Piece, Tail};
+use crate::curve::{try_common_check_horizon, Curve, Piece, Shape, Tail};
 use crate::error::CurveError;
 use crate::meter::{BudgetKind, BudgetMeter};
 use crate::ops::{ck_add, TailInfo};
@@ -98,15 +98,22 @@ fn envelope(
         out.push(p);
     };
 
+    // One scratch buffer for the whole walk: the per-interval line set is
+    // rebuilt in place instead of allocating a fresh Vec per elementary
+    // interval (the inner-loop allocation dominated profiles on large
+    // horizons).
+    let mut lines: Vec<(Q, Q)> = Vec::new();
     for w in events.windows(2) {
         let (x1, x2) = (w[0], w[1]);
         // Active parts cover the whole elementary interval; within it each
         // is a full line, stored as (value at x1, slope).
-        let lines: Vec<(Q, Q)> = parts
-            .iter()
-            .filter(|p| p.start <= x1 && p.end >= x2)
-            .map(|p| (p.eval(x1), p.r))
-            .collect();
+        lines.clear();
+        lines.extend(
+            parts
+                .iter()
+                .filter(|p| p.start <= x1 && p.end >= x2)
+                .map(|p| (p.eval(x1), p.r)),
+        );
         assert!(
             !lines.is_empty(),
             "envelope: no candidate covers [{x1}, {x2})"
@@ -221,6 +228,12 @@ impl Curve {
     /// per generated candidate fragment and per envelope piece, surfacing
     /// exhaustion (and `i128` overflow) as errors instead of grinding
     /// through a quadratic candidate set on an oversized horizon.
+    ///
+    /// When both operands share a [`Shape`] class (both concave or both
+    /// convex — detected once and cached on the curve), an O(n+m) fast
+    /// path replaces the quadratic candidate-envelope construction; the
+    /// result is the same function on `[0, h]`, and the segment budget is
+    /// ticked proportionally to the (much smaller) work actually done.
     pub fn try_conv_upto(
         &self,
         other: &Curve,
@@ -228,6 +241,96 @@ impl Curve {
         meter: &BudgetMeter,
     ) -> Result<Curve, CurveError> {
         assert!(!h.is_negative(), "conv_upto with negative horizon");
+        match (self.shape(), other.shape()) {
+            (Shape::Concave | Shape::Both, Shape::Concave | Shape::Both) => {
+                self.conv_concave(other, meter)
+            }
+            (Shape::Convex | Shape::Both, Shape::Convex | Shape::Both)
+                if matches!(self.tail(), Tail::Affine)
+                    && matches!(other.tail(), Tail::Affine) =>
+            {
+                self.conv_convex(other, h, meter)
+            }
+            _ => self.try_conv_upto_general(other, h, meter),
+        }
+    }
+
+    /// Concave ⊗ concave in O(n+m): write `f = f(0) + F`, `g = g(0) + G`
+    /// with `F, G` concave, non-decreasing and zero at 0. The chord
+    /// inequality `F(s) ≥ (s/t)·F(t)` makes `F(s) + G(t−s)` a convex
+    /// combination lower-bounded by `min(F(t), G(t))`, and the split points
+    /// `s ∈ {0, t}` attain it, so `F ⊗ G = min(F, G)` and
+    /// `f ⊗ g = min(g(0) + f, f(0) + g)` — exact **everywhere**, not just
+    /// on `[0, h]` (concave curves here have affine tails by definition).
+    fn conv_concave(&self, other: &Curve, meter: &BudgetMeter) -> Result<Curve, CurveError> {
+        let f0 = self.eval(Q::ZERO);
+        let g0 = other.eval(Q::ZERO);
+        let shifted = |c: &Curve, dv: Q| {
+            let pieces = c
+                .pieces()
+                .iter()
+                .map(|p| Piece::new(p.start, p.value + dv, p.slope))
+                .collect();
+            Curve::raw(pieces, c.tail())
+        };
+        let out = shifted(self, g0).pointwise_min(&shifted(other, f0));
+        for _ in out.pieces() {
+            if !meter.tick_segment() {
+                return Err(budget_err(meter));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Convex ⊗ convex in O((n+m) log(n+m)): the inf-convolution of convex
+    /// piecewise-affine functions starts at `f(0) + g(0)` and concatenates
+    /// both operands' segments in ascending slope order (spending time on
+    /// the cheapest available slope first is optimal exactly when slopes
+    /// only ever get worse). Both operands are continuous (convexity
+    /// forbids upward jumps, validation forbids downward ones) with affine
+    /// tails, so segment lists cover `[0, h]` and the merge is exact there.
+    fn conv_convex(&self, other: &Curve, h: Q, meter: &BudgetMeter) -> Result<Curve, CurveError> {
+        let pa = parts_of(self, h, meter)?;
+        let pb = parts_of(other, h, meter)?;
+        // (slope, length) segments; parts_of caps the last extent at h+1,
+        // so the combined lengths cover [0, h] with room to spare.
+        let mut segs: Vec<(Q, Q)> = Vec::with_capacity(pa.len() + pb.len());
+        segs.extend(pa.iter().map(|p| (p.r, p.end - p.start)));
+        segs.extend(pb.iter().map(|p| (p.r, p.end - p.start)));
+        segs.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut pieces: Vec<Piece> = Vec::with_capacity(segs.len());
+        let mut t = Q::ZERO;
+        let mut v = self.eval(Q::ZERO) + other.eval(Q::ZERO);
+        for &(r, len) in &segs {
+            if t > h {
+                break;
+            }
+            if !meter.tick_segment() {
+                return Err(budget_err(meter));
+            }
+            pieces.push(Piece::new(t, v, r));
+            t = t + len;
+            v = v + r * len;
+        }
+        Ok(Curve::new(pieces, Tail::Affine).expect("convex conv produced an invalid curve"))
+    }
+
+    /// The shape-oblivious quadratic candidate-envelope convolution.
+    /// Exposed (hidden from docs) so benchmarks can compare the fast
+    /// paths against it on the same operands.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn conv_upto_general(&self, other: &Curve, h: Q) -> Curve {
+        self.try_conv_upto_general(other, h, &BudgetMeter::unlimited())
+            .expect("unmetered conv_upto failed")
+    }
+
+    fn try_conv_upto_general(
+        &self,
+        other: &Curve,
+        h: Q,
+        meter: &BudgetMeter,
+    ) -> Result<Curve, CurveError> {
         let pa = parts_of(self, h, meter)?;
         let pb = parts_of(other, h, meter)?;
         let mut cand: Vec<Part> = Vec::with_capacity(pa.len() * pb.len() * 2);
@@ -352,7 +455,9 @@ impl Curve {
         let pa = parts_of(self, ck_add(h, u_cap)?, meter)?;
         let pb = parts_of(other, u_cap, meter)?;
 
-        let mut cand: Vec<Part> = Vec::new();
+        // Up to four candidates per region pair (see below); reserving once
+        // keeps the inner loop allocation-free.
+        let mut cand: Vec<Part> = Vec::with_capacity(pa.len() * pb.len() * 4);
         let mut add = |start: Q, end: Q, v_at_start: Q, r: Q| {
             let s = start.max(Q::ZERO);
             let e = end.min(h + Q::ONE);
@@ -631,6 +736,93 @@ mod tests {
             let t = q(i, 4);
             assert_eq!(ab.eval(t), ba.eval(t), "at t = {t}");
         }
+    }
+
+    #[test]
+    fn concave_fast_path_matches_general_and_brute() {
+        // Leaky-bucket pair (concave): min(γ_{4,1/4}, γ_{1,1}).
+        let f = Curve::affine(Q::int(4), q(1, 4)).pointwise_min(&Curve::affine(Q::ONE, Q::ONE));
+        let g = Curve::affine(Q::int(2), q(1, 2));
+        assert!(f.is_concave() && g.is_concave());
+        let h = Q::int(40);
+        let fast = f.conv_upto(&g, h);
+        let gen = f.conv_upto_general(&g, h);
+        for i in 0..=160 {
+            let t = q(i, 4);
+            assert_eq!(fast.eval(t), gen.eval(t), "general mismatch at t = {t}");
+            assert_eq!(fast.eval(t), brute_conv(&f, &g, t, 4), "brute mismatch at t = {t}");
+            assert_eq!(fast.eval_left(t), gen.eval_left(t), "left mismatch at t = {t}");
+        }
+        // Self-convolution of a many-piece concave polyline.
+        let many = Curve::min_of(&[
+            Curve::affine(Q::int(10), q(1, 8)),
+            Curve::affine(Q::int(6), q(1, 3)),
+            Curve::affine(Q::int(3), Q::ONE),
+            Curve::affine(Q::ONE, Q::int(3)),
+        ]);
+        assert!(many.is_concave());
+        let fast = many.conv_upto(&many, h);
+        let gen = many.conv_upto_general(&many, h);
+        for i in 0..=160 {
+            let t = q(i, 4);
+            assert_eq!(fast.eval(t), gen.eval(t), "at t = {t}");
+        }
+    }
+
+    #[test]
+    fn convex_fast_path_matches_general_and_brute() {
+        let f = Curve::rate_latency(Q::int(2), Q::int(3));
+        let g = Curve::rate_latency(Q::int(5), Q::ONE);
+        assert!(f.is_convex() && g.is_convex());
+        let h = Q::int(50);
+        let fast = f.conv_upto(&g, h);
+        let gen = f.conv_upto_general(&g, h);
+        for i in 0..=200 {
+            let t = q(i, 4);
+            assert_eq!(fast.eval(t), gen.eval(t), "general mismatch at t = {t}");
+            assert_eq!(fast.eval(t), brute_conv(&f, &g, t, 4), "brute mismatch at t = {t}");
+        }
+        // Multi-piece convex polylines (max of affine curves).
+        let cf = Curve::rate_latency(Q::ONE, Q::int(2))
+            .pointwise_max(&Curve::affine(Q::int(-10), Q::int(3)));
+        let cg = Curve::rate_latency(q(1, 2), Q::ONE)
+            .pointwise_max(&Curve::affine(Q::int(-6), Q::int(2)));
+        assert!(cf.is_convex() && cg.is_convex());
+        let fast = cf.conv_upto(&cg, h);
+        let gen = cf.conv_upto_general(&cg, h);
+        for i in 0..=200 {
+            let t = q(i, 4);
+            assert_eq!(fast.eval(t), gen.eval(t), "at t = {t}");
+        }
+    }
+
+    #[test]
+    fn mixed_shapes_take_the_general_path_and_agree() {
+        // Concave ⊗ convex has no fast path; dispatch must agree with the
+        // general entry point by construction.
+        let f = Curve::affine(Q::int(4), q(1, 4)).pointwise_min(&Curve::affine(Q::ONE, Q::ONE));
+        let g = Curve::rate_latency(Q::int(2), Q::int(3));
+        let h = Q::int(30);
+        let a = f.conv_upto(&g, h);
+        let b = f.conv_upto_general(&g, h);
+        for i in 0..=120 {
+            let t = q(i, 4);
+            assert_eq!(a.eval(t), b.eval(t), "at t = {t}");
+            assert_eq!(a.eval(t), brute_conv(&f, &g, t, 4), "brute at t = {t}");
+        }
+    }
+
+    #[test]
+    fn fast_paths_respect_segment_budget() {
+        use crate::meter::Budget;
+        let f = Curve::affine(Q::int(4), q(1, 4)).pointwise_min(&Curve::affine(Q::ONE, Q::ONE));
+        let meter = BudgetMeter::new(&Budget::default().with_max_segments(1));
+        let got = f.try_conv_upto(&f, Q::int(1000), &meter);
+        assert!(matches!(got, Err(CurveError::Budget(_))));
+        let g = Curve::rate_latency(Q::int(2), Q::int(3));
+        let meter = BudgetMeter::new(&Budget::default().with_max_segments(1));
+        let got = g.try_conv_upto(&g, Q::int(1000), &meter);
+        assert!(matches!(got, Err(CurveError::Budget(_))));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use crate::error::{ArithmeticError, CurveError};
 use crate::meter::BudgetMeter;
 use crate::ratio::Q;
+use std::sync::OnceLock;
 
 /// The overflow error value for `ok_or_else` sites in this module.
 fn ovf() -> CurveError {
@@ -85,13 +86,72 @@ pub enum Tail {
 /// assert_eq!(alpha.eval(Q::int(5)), Q::int(2));
 /// assert_eq!(alpha.eval(Q::int(100)), Q::int(21));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct Curve {
     pieces: Vec<Piece>,
     tail: Tail,
+    /// Lazily computed shape class, shared by clones at clone time. The
+    /// cache is *not* part of the curve's identity: equality and hashing
+    /// look at `pieces` and `tail` only, so two equal curves compare equal
+    /// whether or not their shapes have been classified yet.
+    shape: OnceLock<Shape>,
+}
+
+/// Shape class of a curve, computed once and cached on the [`Curve`].
+///
+/// Drives the O(n+m) convolution fast paths: concave ⊗ concave and
+/// convex ⊗ convex both avoid the quadratic candidate-envelope
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Shape {
+    /// Neither convex nor concave.
+    General,
+    /// Convex (slopes non-decreasing, no upward jumps), not concave.
+    Convex,
+    /// Concave on `t > 0` (slopes non-increasing, continuous after 0),
+    /// not convex.
+    Concave,
+    /// Both convex and concave: a single affine piece.
+    Both,
+}
+
+// `shape` is a derived cache, not state: identity is (pieces, tail).
+impl PartialEq for Curve {
+    fn eq(&self, other: &Curve) -> bool {
+        self.pieces == other.pieces && self.tail == other.tail
+    }
+}
+
+impl Eq for Curve {}
+
+impl std::hash::Hash for Curve {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.pieces.hash(state);
+        self.tail.hash(state);
+    }
+}
+
+impl std::fmt::Debug for Curve {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Curve")
+            .field("pieces", &self.pieces)
+            .field("tail", &self.tail)
+            .finish()
+    }
 }
 
 impl Curve {
+    /// Internal constructor for pieces/tails whose invariants the caller
+    /// guarantees (every call site below builds from an already-valid
+    /// curve). Starts with an empty shape cache.
+    #[inline]
+    pub(crate) fn raw(pieces: Vec<Piece>, tail: Tail) -> Curve {
+        Curve {
+            pieces,
+            tail,
+            shape: OnceLock::new(),
+        }
+    }
     /// Creates a curve from pieces and a tail descriptor, validating all
     /// representation invariants (non-empty, starts at 0, strictly
     /// increasing starts, non-decreasing values, consistent tail).
@@ -158,7 +218,7 @@ impl Curve {
                 });
             }
         }
-        let mut c = Curve { pieces, tail };
+        let mut c = Curve::raw(pieces, tail);
         c.normalize();
         Ok(c)
     }
@@ -450,14 +510,14 @@ impl Curve {
                     }
                 }
                 let new_pattern_start = pattern_start + pattern.len() * k as usize;
-                Curve {
+                Curve::raw(
                     pieces,
-                    tail: Tail::Periodic {
+                    Tail::Periodic {
                         pattern_start: new_pattern_start,
                         period,
                         increment,
                     },
-                }
+                )
             }
         }
     }
@@ -471,10 +531,7 @@ impl Curve {
 
     /// The constant curve `f(t) = c`.
     pub fn constant(c: Q) -> Curve {
-        Curve {
-            pieces: vec![Piece::new(Q::ZERO, c, Q::ZERO)],
-            tail: Tail::Affine,
-        }
+        Curve::raw(vec![Piece::new(Q::ZERO, c, Q::ZERO)], Tail::Affine)
     }
 
     /// The affine curve `f(t) = b + r·t` (a token bucket `γ_{r,b}` under the
@@ -485,10 +542,7 @@ impl Curve {
     /// Panics if `r < 0`.
     pub fn affine(b: Q, r: Q) -> Curve {
         assert!(!r.is_negative(), "affine curve needs slope >= 0");
-        Curve {
-            pieces: vec![Piece::new(Q::ZERO, b, r)],
-            tail: Tail::Affine,
-        }
+        Curve::raw(vec![Piece::new(Q::ZERO, b, r)], Tail::Affine)
     }
 
     /// The rate-latency service curve `β_{R,T}(t) = R · max(0, t − T)`.
@@ -502,13 +556,13 @@ impl Curve {
         if latency.is_zero() || rate.is_zero() {
             return Curve::affine(Q::ZERO, rate);
         }
-        Curve {
-            pieces: vec![
+        Curve::raw(
+            vec![
                 Piece::new(Q::ZERO, Q::ZERO, Q::ZERO),
                 Piece::new(latency, Q::ZERO, rate),
             ],
-            tail: Tail::Affine,
-        }
+            Tail::Affine,
+        )
     }
 
     /// An upper staircase: `f(t) = height · (1 + floor(t / period))`.
@@ -523,14 +577,14 @@ impl Curve {
     pub fn staircase(period: Q, height: Q) -> Curve {
         assert!(period.is_positive(), "staircase needs period > 0");
         assert!(!height.is_negative(), "staircase needs height >= 0");
-        Curve {
-            pieces: vec![Piece::new(Q::ZERO, height, Q::ZERO)],
-            tail: Tail::Periodic {
+        Curve::raw(
+            vec![Piece::new(Q::ZERO, height, Q::ZERO)],
+            Tail::Periodic {
                 pattern_start: 0,
                 period,
                 increment: height,
             },
-        }
+        )
     }
 
     /// A lower staircase: `f(t) = height · floor(t / period)` — the exact
@@ -542,14 +596,14 @@ impl Curve {
     pub fn staircase_lower(period: Q, height: Q) -> Curve {
         assert!(period.is_positive(), "staircase_lower needs period > 0");
         assert!(!height.is_negative(), "staircase_lower needs height >= 0");
-        Curve {
-            pieces: vec![Piece::new(Q::ZERO, Q::ZERO, Q::ZERO)],
-            tail: Tail::Periodic {
+        Curve::raw(
+            vec![Piece::new(Q::ZERO, Q::ZERO, Q::ZERO)],
+            Tail::Periodic {
                 pattern_start: 0,
                 period,
                 increment: height,
             },
-        }
+        )
     }
 
     /// A burst-delay curve `δ_T`: `0` for `t < T`, then jumps to `cap`
@@ -564,13 +618,13 @@ impl Curve {
         if latency.is_zero() {
             return Curve::constant(cap);
         }
-        Curve {
-            pieces: vec![
+        Curve::raw(
+            vec![
                 Piece::new(Q::ZERO, Q::ZERO, Q::ZERO),
                 Piece::new(latency, cap, Q::ZERO),
             ],
-            tail: Tail::Affine,
-        }
+            Tail::Affine,
+        )
     }
 
     /// Builds a right-continuous staircase through the given `(time, value)`
@@ -586,8 +640,33 @@ impl Curve {
         Curve::new(pieces, Tail::Affine)
     }
 
+    /// The curve's [`Shape`] class, computed on first use and cached.
+    /// One O(pieces) scan classifies both convexity and concavity; the
+    /// convolution fast paths then dispatch on the cached flag for free.
+    pub(crate) fn shape(&self) -> Shape {
+        *self.shape.get_or_init(|| {
+            match (self.scan_convex(), self.scan_concave()) {
+                (true, true) => Shape::Both,
+                (true, false) => Shape::Convex,
+                (false, true) => Shape::Concave,
+                (false, false) => Shape::General,
+            }
+        })
+    }
+
     /// Is the curve convex? (Slopes non-decreasing and no upward jumps.)
+    /// Cached after the first call — see [`Curve::shape`].
     pub fn is_convex(&self) -> bool {
+        matches!(self.shape(), Shape::Convex | Shape::Both)
+    }
+
+    /// Is the curve concave (on `t > 0`)? Slopes non-increasing, jumps allowed
+    /// only at 0. Cached after the first call — see [`Curve::shape`].
+    pub fn is_concave(&self) -> bool {
+        matches!(self.shape(), Shape::Concave | Shape::Both)
+    }
+
+    fn scan_convex(&self) -> bool {
         if matches!(self.tail, Tail::Periodic { increment, .. } if increment.is_positive()) {
             return false;
         }
@@ -602,9 +681,7 @@ impl Curve {
         true
     }
 
-    /// Is the curve concave (on `t > 0`)? Slopes non-increasing, jumps allowed
-    /// only at 0.
-    pub fn is_concave(&self) -> bool {
+    fn scan_concave(&self) -> bool {
         if matches!(self.tail, Tail::Periodic { .. }) {
             return false;
         }
@@ -632,10 +709,7 @@ impl Curve {
             .iter()
             .map(|p| Piece::new(p.start, p.value + dv, p.slope))
             .collect();
-        Curve {
-            pieces,
-            tail: self.tail,
-        }
+        Curve::raw(pieces, self.tail)
     }
 
     /// Shifts the curve right by `dt ≥ 0`: `t ↦ f(max(0, t − dt))` — i.e.
@@ -662,7 +736,7 @@ impl Curve {
                 increment,
             },
         };
-        Curve { pieces, tail }
+        Curve::raw(pieces, tail)
     }
 
     /// Multiplies values by `k ≥ 0`: `t ↦ k · f(t)`.
@@ -685,7 +759,7 @@ impl Curve {
                 increment: increment * k,
             },
         };
-        Curve { pieces, tail }
+        Curve::raw(pieces, tail)
     }
 
     /// Checks `self(t) <= other(t)` for all `t` up to a horizon that covers

@@ -20,9 +20,8 @@
 //! only every [`CLOCK_STRIDE`] ticks.
 
 use crate::error::ArithmeticError;
-use std::cell::Cell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -329,32 +328,59 @@ impl fmt::Display for BudgetKind {
 ///
 /// A meter is shared by reference across every phase of an analysis
 /// (rbf materialization, busy-window fixpoint, path exploration, curve
-/// algebra) so the caps apply to the invocation as a whole. Interior
-/// mutability keeps the polling sites `&self`; the analyses are
-/// single-threaded by design.
+/// algebra) so the caps apply to the invocation as a whole. The counters
+/// are shared atomics, so one meter can also be shared across the worker
+/// shards of the parallel exploration engine (`&BudgetMeter` is `Sync`):
+/// budgets, cancellation, and injected faults keep their single-threaded
+/// semantics because every *deterministically ordered* tick is issued by
+/// the sequential coordinator spine, while workers only observe the
+/// already-tripped state.
 ///
 /// Once any dimension trips the meter stays tripped: every later tick
 /// returns `false` immediately, so all phases wind down at their next
-/// poll.
+/// poll. The first trip wins — concurrent observers can never overwrite
+/// the recorded [`BudgetKind`].
 #[derive(Debug)]
 pub struct BudgetMeter {
     deadline: Option<Instant>,
     max_paths: u64,
     max_segments: u64,
-    paths: Cell<u64>,
-    segments: Cell<u64>,
-    ticks_to_clock: Cell<u32>,
-    tripped: Cell<Option<BudgetKind>>,
+    paths: AtomicU64,
+    segments: AtomicU64,
+    ticks_to_clock: AtomicU32,
+    /// `0` = not tripped; otherwise `BudgetKind` encoded as `1 + discriminant`
+    /// (see `trip` / `decode_kind`). First writer wins via compare-exchange.
+    tripped: AtomicU8,
     metered: bool,
     cancel: Option<CancelToken>,
     fault: Option<FaultPlan>,
     /// Metered operations seen so far (counted only under a fault plan).
-    ops: Cell<u64>,
+    ops: AtomicU64,
     /// A synthetic overflow injected by the fault plan, not yet surfaced.
-    overflow: Cell<Option<ArithmeticError>>,
+    overflow: AtomicBool,
     /// Forward skew applied to the meter's view of the wall clock
-    /// (accumulated by [`FaultKind::ClockJump`]).
-    skew: Cell<Duration>,
+    /// (accumulated by [`FaultKind::ClockJump`]), in milliseconds.
+    skew_ms: AtomicU64,
+}
+
+/// Encoding of `Option<BudgetKind>` in the `tripped` atomic.
+const fn encode_kind(kind: BudgetKind) -> u8 {
+    match kind {
+        BudgetKind::WallClock => 1,
+        BudgetKind::Paths => 2,
+        BudgetKind::Segments => 3,
+        BudgetKind::Cancelled => 4,
+    }
+}
+
+fn decode_kind(code: u8) -> Option<BudgetKind> {
+    match code {
+        1 => Some(BudgetKind::WallClock),
+        2 => Some(BudgetKind::Paths),
+        3 => Some(BudgetKind::Segments),
+        4 => Some(BudgetKind::Cancelled),
+        _ => None,
+    }
 }
 
 impl BudgetMeter {
@@ -364,17 +390,29 @@ impl BudgetMeter {
             deadline: budget.wall.map(|d| Instant::now() + d),
             max_paths: budget.max_paths.unwrap_or(u64::MAX),
             max_segments: budget.max_segments.unwrap_or(u64::MAX),
-            paths: Cell::new(0),
-            segments: Cell::new(0),
-            ticks_to_clock: Cell::new(CLOCK_STRIDE),
-            tripped: Cell::new(None),
+            paths: AtomicU64::new(0),
+            segments: AtomicU64::new(0),
+            ticks_to_clock: AtomicU32::new(CLOCK_STRIDE),
+            tripped: AtomicU8::new(0),
             metered: !budget.is_unlimited(),
             cancel: budget.cancel.clone(),
             fault: budget.fault,
-            ops: Cell::new(0),
-            overflow: Cell::new(None),
-            skew: Cell::new(Duration::ZERO),
+            ops: AtomicU64::new(0),
+            overflow: AtomicBool::new(false),
+            skew_ms: AtomicU64::new(0),
         }
+    }
+
+    /// Records the first trip; later trips (including concurrent ones) are
+    /// ignored so the reported [`BudgetKind`] is always the original cause.
+    #[inline]
+    fn trip(&self, kind: BudgetKind) {
+        let _ = self.tripped.compare_exchange(
+            0,
+            encode_kind(kind),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
     }
 
     /// A meter that never trips (and skips all bookkeeping).
@@ -389,16 +427,15 @@ impl BudgetMeter {
         if !self.metered {
             return true;
         }
-        if self.tripped.get().is_some() {
+        if self.tripped().is_some() {
             return false;
         }
         if !self.note_op() {
             return false;
         }
-        let n = self.paths.get() + 1;
-        self.paths.set(n);
+        let n = self.paths.fetch_add(1, Ordering::Relaxed) + 1;
         if n > self.max_paths {
-            self.tripped.set(Some(BudgetKind::Paths));
+            self.trip(BudgetKind::Paths);
             return false;
         }
         self.poll_clock()
@@ -411,16 +448,15 @@ impl BudgetMeter {
         if !self.metered {
             return true;
         }
-        if self.tripped.get().is_some() {
+        if self.tripped().is_some() {
             return false;
         }
         if !self.note_op() {
             return false;
         }
-        let n = self.segments.get() + 1;
-        self.segments.set(n);
+        let n = self.segments.fetch_add(1, Ordering::Relaxed) + 1;
         if n > self.max_segments {
-            self.tripped.set(Some(BudgetKind::Segments));
+            self.trip(BudgetKind::Segments);
             return false;
         }
         self.poll_clock()
@@ -432,15 +468,16 @@ impl BudgetMeter {
         if !self.metered {
             return true;
         }
-        if self.tripped.get().is_some() {
+        if self.tripped().is_some() {
             return false;
         }
         if !self.note_op() {
             return false;
         }
         if let Some(d) = self.deadline {
-            if Instant::now() + self.skew.get() >= d {
-                self.tripped.set(Some(BudgetKind::WallClock));
+            let skew = Duration::from_millis(self.skew_ms.load(Ordering::Relaxed));
+            if Instant::now() + skew >= d {
+                self.trip(BudgetKind::WallClock);
                 return false;
             }
         }
@@ -455,17 +492,19 @@ impl BudgetMeter {
     fn note_op(&self) -> bool {
         if let Some(c) = &self.cancel {
             if c.is_cancelled() {
-                self.tripped.set(Some(BudgetKind::Cancelled));
+                self.trip(BudgetKind::Cancelled);
                 return false;
             }
         }
         if let Some(f) = self.fault {
-            let n = self.ops.get() + 1;
-            self.ops.set(n);
+            // The exact-increment observation is race-free: even with
+            // concurrent tickers only one thread sees `n == at_op`, so the
+            // fault still fires exactly once.
+            let n = self.ops.fetch_add(1, Ordering::Relaxed) + 1;
             if n == f.at_op {
                 match f.kind {
                     FaultKind::TripBudget => {
-                        self.tripped.set(Some(BudgetKind::WallClock));
+                        self.trip(BudgetKind::WallClock);
                         return false;
                     }
                     FaultKind::Overflow => {
@@ -473,13 +512,13 @@ impl BudgetMeter {
                         // next poll instead of spending the full effort on a
                         // result the poisoned meter will discard, and the
                         // entry point surfaces the typed overflow.
-                        self.overflow.set(Some(ArithmeticError::Overflow));
-                        self.tripped.set(Some(BudgetKind::WallClock));
+                        self.overflow.store(true, Ordering::Relaxed);
+                        self.trip(BudgetKind::WallClock);
                         return false;
                     }
-                    FaultKind::ClockJump(ms) => self
-                        .skew
-                        .set(self.skew.get() + Duration::from_millis(ms)),
+                    FaultKind::ClockJump(ms) => {
+                        self.skew_ms.fetch_add(ms, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -489,38 +528,44 @@ impl BudgetMeter {
     /// The synthetic overflow injected by the fault plan, if it has fired.
     /// Analysis entry points surface it as their typed arithmetic error.
     pub fn injected_overflow(&self) -> Option<ArithmeticError> {
-        self.overflow.get()
+        if self.overflow.load(Ordering::Relaxed) {
+            Some(ArithmeticError::Overflow)
+        } else {
+            None
+        }
     }
 
     #[inline]
     fn poll_clock(&self) -> bool {
-        let left = self.ticks_to_clock.get();
+        // `fetch_sub` may transiently wrap under concurrent tickers; any
+        // observation `≤ 1` resets the stride and samples the clock, which
+        // at worst polls the wall slightly more often than every stride.
+        let left = self.ticks_to_clock.fetch_sub(1, Ordering::Relaxed);
         if left > 1 {
-            self.ticks_to_clock.set(left - 1);
             return true;
         }
-        self.ticks_to_clock.set(CLOCK_STRIDE);
+        self.ticks_to_clock.store(CLOCK_STRIDE, Ordering::Relaxed);
         self.check_wall()
     }
 
     /// The dimension that tripped, if any.
     pub fn tripped(&self) -> Option<BudgetKind> {
-        self.tripped.get()
+        decode_kind(self.tripped.load(Ordering::Relaxed))
     }
 
     /// `true` while no dimension has tripped.
     pub fn within(&self) -> bool {
-        self.tripped.get().is_none()
+        self.tripped().is_none()
     }
 
     /// Paths ticked so far.
     pub fn paths_used(&self) -> u64 {
-        self.paths.get()
+        self.paths.load(Ordering::Relaxed)
     }
 
     /// Segments ticked so far.
     pub fn segments_used(&self) -> u64 {
-        self.segments.get()
+        self.segments.load(Ordering::Relaxed)
     }
 
     /// `true` when any cap is actually being enforced.
@@ -703,6 +748,52 @@ mod tests {
         for bad in ["", "trip", "trip@x", "meteor@3", "clockjump@5", "overflow@"] {
             assert!(FaultPlan::parse(bad).is_err(), "'{bad}' must be rejected");
         }
+    }
+
+    #[test]
+    fn meter_is_sync_and_shareable_by_reference() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<BudgetMeter>();
+        assert_sync::<&BudgetMeter>();
+    }
+
+    #[test]
+    fn concurrent_ticks_trip_exactly_at_the_cap() {
+        // 4 threads hammer a shared meter; the paths counter must be exact
+        // and the first trip must win (always BudgetKind::Paths here).
+        let m = BudgetMeter::new(&Budget::default().with_max_paths(1_000));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        m.tick_path();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.tripped(), Some(BudgetKind::Paths));
+        // Every successful tick incremented the counter exactly once; the
+        // counter may exceed the cap by at most the number of threads that
+        // raced past the check, and is at least cap + 1 (the tripping tick).
+        assert!(m.paths_used() > 1_000);
+        assert!(m.paths_used() <= 2_000);
+    }
+
+    #[test]
+    fn concurrent_fault_fires_exactly_once() {
+        let m = BudgetMeter::new(
+            &Budget::default().with_fault(FaultPlan::new(100, FaultKind::Overflow)),
+        );
+        let failures: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| (0..50).filter(|_| !m.tick_path()).count()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        // Op 100 fires the overflow; subsequent ticks all refuse.
+        assert!(failures >= 1);
+        assert!(m.injected_overflow().is_some());
+        assert_eq!(m.tripped(), Some(BudgetKind::WallClock));
     }
 
     #[test]

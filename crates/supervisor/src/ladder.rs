@@ -36,6 +36,10 @@ pub struct SupervisorConfig {
     pub budget_retries: u32,
     /// Deterministic fault injected into every attempt (testing only).
     pub fault: Option<FaultPlan>,
+    /// Worker threads for each attempt's path exploration (the job-level
+    /// split of the machine: batch jobs × per-job threads). `0`/`1` run
+    /// the sequential engine; any value is bit-identical.
+    pub threads: usize,
 }
 
 impl Default for SupervisorConfig {
@@ -46,6 +50,7 @@ impl Default for SupervisorConfig {
             budget_ms: 1_000,
             budget_retries: 2,
             fault: None,
+            threads: 1,
         }
     }
 }
@@ -168,10 +173,11 @@ fn run_attempt(spec: &Arc<JobSpec>, rung: Rung, cfg: &SupervisorConfig) -> RawAt
     let started = Instant::now();
     let (tx, rx) = mpsc::channel();
     let job = Arc::clone(spec);
+    let threads = cfg.threads;
     let spawned = thread::Builder::new()
         .name(format!("srtw-{}", job.name))
         .spawn(move || {
-            let result = catch_unwind(AssertUnwindSafe(|| analyse(&job, rung, budget)));
+            let result = catch_unwind(AssertUnwindSafe(|| analyse(&job, rung, budget, threads)));
             // The receiver may be gone if the watchdog abandoned us.
             let _ = tx.send(result);
         });
@@ -240,11 +246,17 @@ fn run_attempt(spec: &Arc<JobSpec>, rung: Rung, cfg: &SupervisorConfig) -> RawAt
 }
 
 /// The analysis an attempt at `rung` actually runs.
-fn analyse(spec: &JobSpec, rung: Rung, budget: Budget) -> Result<AnalysisOutput, AnalysisError> {
+fn analyse(
+    spec: &JobSpec,
+    rung: Rung,
+    budget: Budget,
+    threads: usize,
+) -> Result<AnalysisOutput, AnalysisError> {
     match rung {
         Rung::Exact | Rung::Budgeted { .. } => {
             let cfg = AnalysisConfig {
                 budget,
+                threads,
                 ..Default::default()
             };
             fifo_structural(&spec.tasks, &spec.beta, &cfg).map(AnalysisOutput::Structural)

@@ -11,8 +11,9 @@
 //! (see [`crate::paths`]) and returned as a right-continuous staircase.
 
 use crate::digraph::DrtTask;
-use crate::paths::{explore_metered, ExploreConfig};
+use crate::paths::{explore_metered_threads, ExploreConfig};
 use srtw_minplus::{BudgetKind, BudgetMeter, Curve, Piece, Q, Tail};
+use std::sync::OnceLock;
 
 /// The request-bound function of a task, materialized up to a horizon.
 ///
@@ -80,7 +81,21 @@ impl Rbf {
     /// edgeless task). Either way the truncated rbf **dominates** the true
     /// rbf everywhere, so any delay bound computed from it is sound.
     pub fn compute_metered(task: &DrtTask, horizon: Q, meter: &BudgetMeter) -> Rbf {
-        let ex = explore_metered(task, &ExploreConfig::new(horizon), meter);
+        Rbf::compute_metered_threads(task, horizon, meter, 1)
+    }
+
+    /// [`Rbf::compute_metered`] with the path exploration sharded across
+    /// `threads` workers (see
+    /// [`explore_metered_threads`](crate::explore_metered_threads)). The
+    /// result is bit-identical to the sequential computation for every
+    /// `threads` value; `threads <= 1` runs the sequential engine.
+    pub fn compute_metered_threads(
+        task: &DrtTask,
+        horizon: Q,
+        meter: &BudgetMeter,
+        threads: usize,
+    ) -> Rbf {
+        let ex = explore_metered_threads(task, &ExploreConfig::new(horizon), meter, threads);
         let exact_span = ex.complete_span;
         let truncated = ex.interrupted;
         let mut pts: Vec<(Q, Q)> = ex
@@ -277,6 +292,85 @@ impl Rbf {
     /// truncated rbfs).
     pub fn max_work(&self) -> Q {
         self.points.last().map(|p| p.1).unwrap_or(Q::ZERO)
+    }
+}
+
+/// How many `(horizon, rbf)` entries the memo keeps per task. The
+/// busy-window fixpoint revisits only a handful of horizons per task
+/// (initial probe, geometric growth levels, final bound), so a small
+/// fixed way-count covers the useful hits without unbounded growth.
+const MEMO_WAYS: usize = 8;
+
+/// A per-analysis memo for [`Rbf`] computations, keyed by
+/// `(task index, horizon)`.
+///
+/// The busy-window fixpoint and the per-stream delay analyses repeatedly
+/// materialize the *same* rbf at the *same* horizon (most prominently: the
+/// final fixpoint bound, recomputed once by the fixpoint itself and once
+/// per stream). The memo deduplicates that work.
+///
+/// Reads are lock-free: each slot is a [`OnceLock`], so lookups never
+/// block and the structure can be shared by reference across analysis
+/// shards. Writes race benignly — whichever thread initializes a slot
+/// first wins, and since **only exact results are cached** (a truncated
+/// rbf depends on the budget state at computation time, an exact one is a
+/// pure function of `(task, horizon)`), the cached value is independent
+/// of the winner. Cache hits skip the exploration's budget ticks, which
+/// can only make a budgeted analysis complete *more* exactly, never less.
+#[derive(Debug)]
+pub struct RbfMemo {
+    slots: Vec<[OnceLock<(Q, Rbf)>; MEMO_WAYS]>,
+}
+
+impl RbfMemo {
+    /// A memo with one slot group per task of the analysed system.
+    pub fn new(num_tasks: usize) -> RbfMemo {
+        RbfMemo {
+            slots: (0..num_tasks)
+                .map(|_| std::array::from_fn(|_| OnceLock::new()))
+                .collect(),
+        }
+    }
+
+    /// Returns the cached rbf for `(index, horizon)` or computes it with
+    /// [`Rbf::compute_metered_threads`], caching exact results.
+    ///
+    /// `index` must consistently identify `task` across calls; an index
+    /// beyond the memo's size disables caching for that call.
+    pub fn get_or_compute(
+        &self,
+        index: usize,
+        task: &DrtTask,
+        horizon: Q,
+        meter: &BudgetMeter,
+        threads: usize,
+    ) -> Rbf {
+        if let Some(ways) = self.slots.get(index) {
+            for slot in ways {
+                if let Some((h, rbf)) = slot.get() {
+                    if *h == horizon {
+                        return rbf.clone();
+                    }
+                }
+            }
+        }
+        let rbf = Rbf::compute_metered_threads(task, horizon, meter, threads);
+        if rbf.truncated().is_none() {
+            if let Some(ways) = self.slots.get(index) {
+                for slot in ways {
+                    if slot.set((horizon, rbf.clone())).is_ok() {
+                        break;
+                    }
+                    // Occupied: if it now holds our key (a racing writer
+                    // beat us to it), stop probing; otherwise try the next
+                    // way. A full group simply skips caching.
+                    if matches!(slot.get(), Some((h, _)) if *h == horizon) {
+                        break;
+                    }
+                }
+            }
+        }
+        rbf
     }
 }
 

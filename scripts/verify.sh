@@ -15,7 +15,10 @@
 #      the budgeted CLI run on systems/adversarial.srtw;
 #   6. supervised batch smoke test: the shipped systems under a 2 s
 #      watchdog must come back degraded-not-failed (exit 0), and a
-#      fault-injected batch must exhaust the ladder and exit 4.
+#      fault-injected batch must exhaust the ladder and exit 4;
+#   7. performance-regression gate: the newest committed BENCH_*.json
+#      must not regress the `convolution` and `rbf` suite medians by
+#      more than 1.5x against the best older committed document.
 #
 # Benchmarks run separately (they are slow by design):
 #   cargo run -p srtw-bench --release --bin experiments
@@ -23,7 +26,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/6 dependency audit (path-only policy) =="
+echo "== 1/7 dependency audit (path-only policy) =="
 # Inside [dependencies*] / [workspace.dependencies] sections, every
 # dependency line must carry `path =` or `workspace = true`; a version
 # requirement ("1.0", { version = ... }) means a registry dependency.
@@ -44,14 +47,14 @@ if [ -n "$violations" ]; then
 fi
 echo "ok: all dependencies are workspace path crates"
 
-echo "== 2/6 offline build + tests =="
+echo "== 2/7 offline build + tests =="
 cargo build --release --offline --workspace
 SRTW_BENCH_FAST=1 cargo test -q --offline --workspace
 
-echo "== 3/6 examples build =="
+echo "== 3/7 examples build =="
 cargo build --release --offline --examples
 
-echo "== 4/6 CLI smoke test =="
+echo "== 4/7 CLI smoke test =="
 out=$(cargo run --release --offline -q --bin srtw -- analyze systems/decoder.srtw)
 echo "$out" | grep -q "RTC baseline" || {
     echo "error: analyze output missing the RTC baseline line" >&2
@@ -63,7 +66,7 @@ case "$json" in
     *) echo "error: --json output is not a JSON object" >&2; exit 1 ;;
 esac
 
-echo "== 5/6 adversarial stress suite =="
+echo "== 5/7 adversarial stress suite =="
 # Elevated case count for the seeded property suite; the release profile
 # keeps the 150 ms wall budget per case meaningful.
 SRTW_PROP_CASES=256 cargo test -q --release --offline --test stress
@@ -86,7 +89,7 @@ grep -q "degraded" "$adv_err" || {
 }
 rm -f "$adv_err"
 
-echo "== 6/6 supervised batch smoke test =="
+echo "== 6/7 supervised batch smoke test =="
 # The shipped systems under a 2 s per-attempt watchdog: the adversarial
 # job must wind down to a *degraded* (still sound) result, never a
 # failure — batch exit 0, summary status "some_degraded".
@@ -125,5 +128,17 @@ case "$fault_json" in
     *'"some_failed"'*) : ;;
     *) echo 'error: fault-injected batch summary not "some_failed"' >&2; exit 1 ;;
 esac
+
+echo "== 7/7 performance-regression gate =="
+# Newest committed BENCH document vs every older one; the gate watches
+# the algorithmic suites whose medians are stable across machines.
+bench_docs=$(ls -1 BENCH_*.json 2>/dev/null | sort -t_ -k2 -n -r)
+if [ "$(echo "$bench_docs" | wc -l)" -ge 2 ]; then
+    # shellcheck disable=SC2086
+    cargo run -p srtw-bench --release --offline -q --bin experiments -- \
+        gate $bench_docs --factor 1.5 --groups convolution,rbf
+else
+    echo "skip: fewer than two BENCH_*.json documents committed"
+fi
 
 echo "verify: OK"

@@ -3,11 +3,13 @@
 //! ```text
 //! srtw analyze  <system.srtw> [--scheduler fifo|fp|edf] [--json]
 //!               [--budget-ms MS] [--max-paths N] [--max-segments N]
+//!               [--threads N]
 //! srtw rbf      <system.srtw> [--horizon H]
 //! srtw dot      <system.srtw>
 //! srtw simulate <system.srtw> [--seeds N] [--horizon H]
-//! srtw batch    <dir|manifest> [--jobs N] [--timeout-ms MS] [--grace-ms MS]
-//!               [--budget-ms MS] [--retries N] [--fail-fast|--keep-going]
+//! srtw batch    <dir|manifest> [--jobs N] [--threads N] [--timeout-ms MS]
+//!               [--grace-ms MS] [--budget-ms MS] [--retries N]
+//!               [--fail-fast|--keep-going]
 //!               [--fault trip@N|overflow@N|clockjump@N:MS] [--json]
 //! ```
 //!
@@ -22,6 +24,17 @@
 //! effort. When a cap trips, the analysis does not fail: it degrades
 //! gracefully to sound (possibly pessimistic) bounds, prints a warning on
 //! stderr and still exits 0.
+//!
+//! # Parallelism
+//!
+//! `analyze --threads N` shards the path-exploration frontier across `N`
+//! worker threads. The result is **bit-identical** for every `N` — the
+//! flag only changes wall-clock time. The default is the machine's
+//! available parallelism; `--threads 1` runs the classic sequential
+//! engine. In batch mode `--threads` sets the per-job worker count
+//! (default 1): the machine splits as `--jobs` × `--threads`, and if that
+//! product exceeds the available parallelism the per-job count is reduced
+//! with a stderr warning instead of silently oversubscribing.
 //!
 //! # Batch mode
 //!
@@ -240,7 +253,22 @@ fn batch(path: &str, opts: &[String]) -> Result<ExitCode, CliError> {
             Some(v) => v.parse().map_err(|e| input(format!("bad {key} '{v}': {e}"))),
         }
     };
-    let jobs = parse_u64("--jobs", 1)? as usize;
+    let jobs = (parse_u64("--jobs", 1)? as usize).max(1);
+    // The machine splits as jobs × per-job threads. When --threads asks
+    // for real per-job parallelism, cap the product at the available
+    // parallelism instead of silently oversubscribing (a pool of
+    // single-threaded jobs is the long-standing default and stays
+    // unwarned — its workers mostly block on the watchdog).
+    let mut threads = parse_threads(opts, 1)?;
+    let avail = available_parallelism();
+    if threads > 1 && jobs.saturating_mul(threads) > avail {
+        let capped = (avail / jobs).max(1);
+        eprintln!(
+            "warning: --jobs {jobs} × --threads {threads} exceeds the {avail} available \
+             core(s); capping per-job threads at {capped}"
+        );
+        threads = capped;
+    }
     let budget_ms = parse_u64("--budget-ms", 1_000)?;
     let retries = parse_u64("--retries", 2)? as u32;
     let grace = Duration::from_millis(parse_u64("--grace-ms", 2_000)?);
@@ -278,6 +306,7 @@ fn batch(path: &str, opts: &[String]) -> Result<ExitCode, CliError> {
             budget_ms,
             budget_retries: retries,
             fault,
+            threads,
         },
         fail_fast,
     };
@@ -348,6 +377,31 @@ fn opt_value(opts: &[String], key: &str) -> Option<String> {
         .cloned()
 }
 
+/// The machine's available hardware parallelism, with a safe fallback
+/// of 1 when the platform cannot report it.
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parses `--threads` (must be at least 1); `default` applies when the
+/// flag is absent.
+fn parse_threads(opts: &[String], default: usize) -> Result<usize, CliError> {
+    match opt_value(opts, "--threads") {
+        None => Ok(default),
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|e| input(format!("bad --threads '{v}': {e}")))?;
+            if n == 0 {
+                return Err(input("--threads must be at least 1"));
+            }
+            Ok(n)
+        }
+    }
+}
+
 fn parse_budget(opts: &[String]) -> Result<Budget, CliError> {
     let mut budget = Budget::default();
     if let Some(v) = opt_value(opts, "--budget-ms") {
@@ -407,8 +461,10 @@ fn analyze(sys: &SystemSpec, opts: &[String]) -> Result<(), CliError> {
     let scheduler = opt_value(opts, "--scheduler").unwrap_or_else(|| "fifo".into());
     let json = opts.iter().any(|a| a == "--json");
     let budget = parse_budget(opts)?;
+    let threads = parse_threads(opts, available_parallelism())?;
     let cfg = AnalysisConfig {
         budget: budget.clone(),
+        threads,
         ..Default::default()
     };
     match scheduler.as_str() {

@@ -1,0 +1,237 @@
+//! Determinism of the sharded path-exploration engine.
+//!
+//! The parallel engine's contract is **bit-identical output**: for every
+//! system, every budget, and every injected fault, `threads = N` must
+//! produce byte-for-byte the same analysis as `threads = 1` — bounds,
+//! witnesses, degradation provenance, path counters, everything except
+//! the measured wall time. These properties pin that contract over
+//! seeded random systems (64 per property by default, scaled by
+//! `SRTW_PROP_CASES`), plus a CLI spot check on the shipped systems and
+//! a cross-thread cancellation stress test.
+
+use srtw::gen::{adversarial_dense, rescale_utilization};
+use srtw::prop::forall;
+use srtw::{
+    fifo_structural, generate_task_set, q, rtc_delay_with, structural_delay,
+    structural_delay_with, AnalysisConfig, AnalysisError, Budget, CancelToken, Curve,
+    DelayAnalysis, DrtGenConfig, DrtTask, FaultKind, FaultPlan, Json, Q, Rng,
+};
+use std::time::Duration;
+
+/// A seeded multi-stream system on a rate-2 server: small enough that the
+/// exact analysis stays cheap, rich enough (2–3 streams, 3–10 vertices)
+/// that the exploration windows hold real work.
+fn seeded_system(rng: &mut Rng, size: u32) -> (Vec<DrtTask>, Curve, u64) {
+    let seed = rng.next_u64();
+    let cfg = DrtGenConfig {
+        vertices: 3 + size as usize % 8,
+        extra_edges: 2 + size as usize % 5,
+        separation_range: (5, 40),
+        wcet_range: (1, 9),
+        target_utilization: None,
+        deadline_factor: None,
+    };
+    let count = 2 + size as usize % 2;
+    let tasks = generate_task_set(&cfg, count, q(1, 2), seed);
+    let latency = Q::int((size % 5) as i128);
+    (tasks, Curve::rate_latency(Q::int(2), latency), rng.next_u64())
+}
+
+/// Renders a full per-stream report with the wall time zeroed — the one
+/// field allowed to differ between runs.
+fn render(mut per: Vec<DelayAnalysis>) -> String {
+    for a in &mut per {
+        a.runtime = Duration::ZERO;
+    }
+    Json::Array(per.iter().map(|a| a.to_json()).collect()).render()
+}
+
+#[test]
+fn parallel_analysis_is_byte_identical_across_thread_counts() {
+    forall("threads_byte_identical", seeded_system, |(tasks, beta, _)| {
+        let cfg_of = |threads: usize| AnalysisConfig {
+            threads,
+            ..Default::default()
+        };
+        let seq = fifo_structural(tasks, beta, &cfg_of(1)).expect("seeded system analyses");
+        let want = render(seq);
+        for n in [2usize, 4, 8] {
+            let par = fifo_structural(tasks, beta, &cfg_of(n)).expect("parallel run analyses");
+            assert_eq!(
+                want,
+                render(par),
+                "threads {n} diverged from the sequential engine"
+            );
+        }
+    });
+}
+
+/// Budget caps and injected faults trip at one exact metered operation;
+/// the sharded engine must hit the same operation, degrade the same way,
+/// and record the same provenance (`degradations`, `quality`, path
+/// counters) as the sequential engine.
+#[test]
+fn parallel_analysis_is_byte_identical_under_faults_and_caps() {
+    forall("threads_byte_identical_faulted", seeded_system, |(tasks, beta, fseed)| {
+        let plans = [
+            Some(FaultPlan::new(1 + fseed % 200, FaultKind::TripBudget)),
+            Some(FaultPlan::seeded(*fseed, 300)),
+            None,
+        ];
+        for (i, plan) in plans.iter().enumerate() {
+            let mut budget = Budget::default().with_max_paths(4 + fseed % 64);
+            if let Some(p) = plan {
+                budget = budget.with_fault(*p);
+            }
+            let cfg_of = |threads: usize| AnalysisConfig {
+                budget: budget.clone(),
+                threads,
+                ..Default::default()
+            };
+            let seq = fifo_structural(tasks, beta, &cfg_of(1));
+            for n in [2usize, 4, 8] {
+                match (&seq, fifo_structural(tasks, beta, &cfg_of(n))) {
+                    (Ok(a), Ok(b)) => assert_eq!(
+                        render(a.clone()),
+                        render(b),
+                        "plan #{i} ({plan:?}): threads {n} diverged"
+                    ),
+                    (Err(ea), Err(eb)) => assert_eq!(
+                        ea.to_string(),
+                        eb.to_string(),
+                        "plan #{i} ({plan:?}): threads {n} failed differently"
+                    ),
+                    (a, b) => panic!(
+                        "plan #{i} ({plan:?}): threads {n} changed the outcome: \
+                         sequential {a:?} vs parallel {b:?}"
+                    ),
+                }
+            }
+        }
+    });
+}
+
+/// Satellite of the parallel engine: cancellation raised from *another*
+/// thread mid-exploration must wind the sharded run down to a sound
+/// degraded result — sandwiched between the exact bound and the RTC
+/// baseline — or a typed refusal, never a panic and never an unsound
+/// merge of a partially-processed shard window.
+#[test]
+fn cross_thread_cancellation_keeps_shard_merges_sound() {
+    forall("cancel_mid_exploration", seeded_cancel_case, |(task, beta, delay_ops)| {
+        let exact = structural_delay(task, beta).expect("stable instance");
+        let rtc = rtc_delay_with(task, beta, &Budget::UNLIMITED).expect("stable instance");
+        let token = CancelToken::new();
+        let cfg = AnalysisConfig {
+            budget: Budget::default().with_cancel(token.clone()),
+            threads: 4,
+            ..Default::default()
+        };
+        // The canceller races the analysis: a seeded spin (from nothing
+        // to ~a millisecond) lands the cancel anywhere from before the
+        // first window to after the last shard merge.
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for _ in 0..*delay_ops {
+                    std::hint::spin_loop();
+                }
+                token.cancel();
+            });
+            match structural_delay_with(task, beta, &cfg) {
+                Ok(a) => {
+                    assert!(
+                        a.stream_bound >= exact.stream_bound,
+                        "cancelled run reported {} below the exact bound {}",
+                        a.stream_bound,
+                        exact.stream_bound
+                    );
+                    assert!(
+                        a.stream_bound <= rtc.bound,
+                        "cancelled run reported {} above the RTC baseline {}",
+                        a.stream_bound,
+                        rtc.bound
+                    );
+                    for (d, e) in a.per_vertex.iter().zip(exact.per_vertex.iter()) {
+                        assert!(
+                            d.bound >= e.bound,
+                            "vertex '{}': cancelled bound {} below exact {}",
+                            d.label,
+                            d.bound,
+                            e.bound
+                        );
+                    }
+                    assert_eq!(a.quality.is_exact(), a.degradations.is_empty());
+                }
+                // A very early cancel can leave no sound coarse finish.
+                Err(AnalysisError::BudgetExhausted { .. }) => {}
+                Err(e) => panic!("cancelled run failed unexpectedly: {e}"),
+            }
+        });
+    });
+}
+
+/// A small stable single task plus a seeded canceller delay.
+fn seeded_cancel_case(rng: &mut Rng, size: u32) -> (DrtTask, Curve, u64) {
+    let seed = rng.next_u64();
+    let task = rescale_utilization(&adversarial_dense(2 + size as usize % 4, seed), q(1, 2));
+    let latency = Q::int(rng.random_range(0i128..=3));
+    let delay_ops = rng.random_range(0u64..200_000);
+    (task, Curve::rate_latency(Q::int(2), latency), delay_ops)
+}
+
+/// Strips every `"runtime_secs":<number>` value from a JSON document (the
+/// CLI's one nondeterministic field).
+fn strip_runtime(doc: &str) -> String {
+    let mut out = String::with_capacity(doc.len());
+    let mut rest = doc;
+    while let Some(pos) = rest.find("\"runtime_secs\":") {
+        let after = pos + "\"runtime_secs\":".len();
+        out.push_str(&rest[..after]);
+        out.push('0');
+        let tail = &rest[after..];
+        let end = tail
+            .find(|c| c == ',' || c == '}')
+            .unwrap_or(tail.len());
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// End-to-end spot check through the real binary: `--threads N` must
+/// produce byte-identical `--json` documents on the shipped systems,
+/// including the degraded/provenance fields of a budgeted adversarial
+/// run.
+#[test]
+fn cli_threads_flag_is_byte_identical() {
+    let bin = env!("CARGO_BIN_EXE_srtw");
+    let run = |args: &[&str]| -> String {
+        let out = std::process::Command::new(bin)
+            .args(args)
+            .output()
+            .expect("srtw runs");
+        assert!(
+            out.status.success(),
+            "srtw {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        strip_runtime(&String::from_utf8(out.stdout).expect("utf-8 output"))
+    };
+    for (sys, extra) in [
+        ("systems/decoder.srtw", &[][..]),
+        ("systems/adversarial.srtw", &["--max-paths", "2000"][..]),
+    ] {
+        let mut base = vec!["analyze", sys, "--json", "--threads", "1"];
+        base.extend_from_slice(extra);
+        let want = run(&base);
+        for n in ["2", "4"] {
+            let mut args = vec!["analyze", sys, "--json", "--threads", n];
+            args.extend_from_slice(extra);
+            assert_eq!(
+                want,
+                run(&args),
+                "{sys}: --threads {n} diverged from --threads 1"
+            );
+        }
+    }
+}
