@@ -1,0 +1,8 @@
+//! `cargo bench -p srtw-bench --bench serve` — B7, service throughput.
+
+use srtw_bench::suites::server_throughput_suite;
+use srtw_bench::timing::{print_samples, Timer};
+
+fn main() {
+    print_samples(&server_throughput_suite(&Timer::from_env()));
+}

@@ -129,6 +129,14 @@ fn gate(args: &[String]) -> ExitCode {
     }
     let newest = medians.remove(0);
     let v = srtw_bench::gate::violations(&newest, &medians, &cfg);
+    // Announce gated suites that have no baseline anywhere: they are
+    // skipped, not silently "passed".
+    for group in srtw_bench::gate::fresh_groups(&newest, &medians, &cfg) {
+        println!(
+            "gate: notice: group '{group}' has no baseline in any older document — \
+             skipped (fresh suite, gated from the next document on)"
+        );
+    }
     if v.is_empty() {
         println!(
             "gate: {} vs {} baseline document(s) in groups [{}] — no regression beyond {:.2}x",

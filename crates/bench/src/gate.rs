@@ -281,6 +281,26 @@ pub fn violations(newest: &Medians, baselines: &[Medians], cfg: &GateConfig) -> 
     out
 }
 
+/// Gated groups with **no baseline coverage**: no older document carries
+/// a single benchmark of the group, so there is nothing to gate against.
+/// The gate must skip these (a freshly added suite cannot fail its first
+/// commit), but the skip has to be announced — silence reads as "checked
+/// and fine" when nothing was checked.
+pub fn fresh_groups(newest: &Medians, baselines: &[Medians], cfg: &GateConfig) -> Vec<String> {
+    cfg.groups
+        .iter()
+        .filter(|g| {
+            let prefix = format!("{g}/");
+            let in_newest = newest.keys().any(|k| k.starts_with(&prefix));
+            let in_baselines = baselines
+                .iter()
+                .any(|b| b.keys().any(|k| k.starts_with(&prefix)));
+            in_newest && !in_baselines
+        })
+        .cloned()
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,6 +368,29 @@ mod tests {
         // baseline is 100 → violation.
         let v = violations(&new, &[mk(120.0), mk(100.0)], &GateConfig::default());
         assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn fresh_suites_are_skipped_with_a_notice_not_an_error() {
+        let old = parse_medians(&to_json(&[sample("rbf", "x", 100.0)]).render()).unwrap();
+        let new = parse_medians(
+            &to_json(&[
+                sample("rbf", "x", 110.0),
+                // A brand-new gated suite, absurdly slow: no baseline →
+                // must not violate, must be reported as fresh.
+                sample("server_throughput", "analyze_roundtrip", 1e12),
+            ])
+            .render(),
+        )
+        .unwrap();
+        let cfg = GateConfig {
+            factor: 1.5,
+            groups: vec!["rbf".into(), "server_throughput".into()],
+        };
+        assert!(violations(&new, &[old.clone()], &cfg).is_empty());
+        assert_eq!(fresh_groups(&new, &[old.clone()], &cfg), ["server_throughput"]);
+        // Once any baseline carries the group, it is no longer fresh.
+        assert!(fresh_groups(&new, &[old, new.clone()], &cfg).is_empty());
     }
 
     #[test]

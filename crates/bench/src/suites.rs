@@ -291,8 +291,52 @@ pub fn parallel_suite(t: &Timer) -> Vec<Sample> {
     out
 }
 
-/// Runs all six suites in order (convolution, rbf, structural,
-/// simulation, budgeted, parallel).
+/// B7 — service-mode throughput: full TCP round-trips against an
+/// in-process `srtw serve` instance, measuring the service-layer overhead
+/// (request parse, admission, supervised worker, response) on top of the
+/// bare analysis B3 measures.
+pub fn server_throughput_suite(t: &Timer) -> Vec<Sample> {
+    use srtw_serve::http::client_roundtrip;
+    use srtw_serve::{ServeConfig, Server};
+
+    const SYSTEM: &str = "task dec\nvertex i wcet=4 deadline=30\nvertex p wcet=2\n\
+                          edge i p sep=9\nedge p i sep=9\n\
+                          task tel\nvertex t wcet=1\nedge t t sep=11\n\
+                          server rate-latency rate=1 latency=2\n";
+
+    let server = Server::spawn(ServeConfig {
+        workers: 2,
+        ..Default::default()
+    })
+    .expect("bind an ephemeral port for the throughput bench");
+    let addr = server.addr();
+    let (status, _, body) =
+        client_roundtrip(&addr, "POST", "/analyze", &[], SYSTEM.as_bytes()).unwrap();
+    assert_eq!(status, 200, "bench system must analyze cleanly: {body}");
+    assert!(body.starts_with("{\"scheduler\":\"fifo\""), "{body}");
+
+    let mut out = Vec::new();
+    out.push(t.bench("server_throughput", "healthz_roundtrip", || {
+        let (status, _, _) = client_roundtrip(&addr, "GET", "/healthz", &[], b"").unwrap();
+        assert_eq!(status, 200);
+    }));
+    out.push(t.bench("server_throughput", "analyze_roundtrip/two_streams", || {
+        let (status, _, body) =
+            client_roundtrip(&addr, "POST", "/analyze", &[], SYSTEM.as_bytes()).unwrap();
+        assert_eq!(status, 200);
+        black_box(body);
+    }));
+    out.push(t.bench("server_throughput", "analyze_rejected/parse_400", || {
+        let (status, _, _) = client_roundtrip(&addr, "POST", "/analyze", &[], b"task\n").unwrap();
+        assert_eq!(status, 400);
+    }));
+    let report = server.shutdown();
+    assert!(report.clean(), "bench server failed to drain: {report:?}");
+    out
+}
+
+/// Runs all seven suites in order (convolution, rbf, structural,
+/// simulation, budgeted, parallel, server throughput).
 pub fn all_suites(t: &Timer) -> Vec<Sample> {
     let mut out = convolution_suite(t);
     out.extend(rbf_suite(t));
@@ -300,6 +344,7 @@ pub fn all_suites(t: &Timer) -> Vec<Sample> {
     out.extend(simulation_suite(t));
     out.extend(budgeted_suite(t));
     out.extend(parallel_suite(t));
+    out.extend(server_throughput_suite(t));
     out
 }
 
@@ -316,6 +361,7 @@ mod tests {
         assert_eq!(simulation_suite(&t).len(), 6);
         assert_eq!(budgeted_suite(&t).len(), 6);
         assert_eq!(parallel_suite(&t).len(), 9);
+        assert_eq!(server_throughput_suite(&t).len(), 3);
     }
 
     #[test]

@@ -53,6 +53,7 @@ mod fp;
 pub mod json;
 mod report;
 mod tandem;
+pub mod textfmt;
 
 pub use analysis::{
     backlog_bound, fifo_rtc, fifo_rtc_with, fifo_structural, rtc_delay, rtc_delay_with,

@@ -250,11 +250,11 @@ fn words_with_spans(line: &str, lineno: usize) -> impl Iterator<Item = (Span, &s
 /// edge a a sep=5
 /// server fluid rate=1
 /// ";
-/// let sys = srtw::textfmt::parse_system(text).unwrap();
+/// let sys = srtw_core::textfmt::parse_system(text).unwrap();
 /// assert_eq!(sys.tasks.len(), 1);
 /// assert!(sys.server.is_some());
 ///
-/// let err = srtw::textfmt::parse_system("task t\nvertex a wcet=oops\n").unwrap_err();
+/// let err = srtw_core::textfmt::parse_system("task t\nvertex a wcet=oops\n").unwrap_err();
 /// // The span points at the bad value, just past "vertex a wcet=".
 /// assert_eq!((err.line, err.column), (2, 15));
 /// ```
@@ -587,12 +587,8 @@ server rate-latency rate=3/4 latency=2
     fn parsed_system_is_analysable() {
         let sys = parse_system(GOOD).unwrap();
         let beta = sys.server.unwrap().beta_lower().unwrap();
-        let a = srtw_core::fifo_structural(
-            &sys.tasks,
-            &beta,
-            &srtw_core::AnalysisConfig::default(),
-        )
-        .unwrap();
+        let a = crate::fifo_structural(&sys.tasks, &beta, &crate::AnalysisConfig::default())
+            .unwrap();
         assert_eq!(a.len(), 2);
     }
 

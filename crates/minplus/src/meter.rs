@@ -97,6 +97,12 @@ pub enum FaultKind {
     /// deadline then fires early (a meter without a deadline ignores the
     /// jump).
     ClockJump(u64),
+    /// Panic at the firing op, simulating a latent bug in the analysis
+    /// itself rather than resource exhaustion. This exercises the crash
+    /// *containment* paths (supervisor `catch_unwind`, the service's
+    /// per-request isolation) deterministically — the panic always lands
+    /// on the same metered operation.
+    Panic,
 }
 
 impl FaultKind {
@@ -106,6 +112,7 @@ impl FaultKind {
             FaultKind::TripBudget => "trip",
             FaultKind::Overflow => "overflow",
             FaultKind::ClockJump(_) => "clockjump",
+            FaultKind::Panic => "panic",
         }
     }
 }
@@ -151,7 +158,9 @@ impl FaultPlan {
 
     /// A pseudo-random plan derived from `seed` (SplitMix64 mixing): the
     /// firing op is spread over `[1, max_op]` and the kind cycles through
-    /// all three faults. Deterministic in `seed`.
+    /// the three *recoverable* faults (never [`FaultKind::Panic`], which
+    /// would abort a seeded soundness sweep instead of degrading it).
+    /// Deterministic in `seed`.
     pub fn seeded(seed: u64, max_op: u64) -> FaultPlan {
         let mix = |mut z: u64| {
             z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -170,10 +179,12 @@ impl FaultPlan {
         FaultPlan::new(at_op, kind)
     }
 
-    /// Parses a testing-only fault spec: `trip@N`, `overflow@N`, or
-    /// `clockjump@N:MS` (fire at the N-th metered operation).
+    /// Parses a testing-only fault spec: `trip@N`, `overflow@N`,
+    /// `clockjump@N:MS`, or `panic@N` (fire at the N-th metered
+    /// operation).
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
-        let bad = || format!("bad fault spec '{spec}' (trip@N | overflow@N | clockjump@N:MS)");
+        let bad =
+            || format!("bad fault spec '{spec}' (trip@N | overflow@N | clockjump@N:MS | panic@N)");
         let (kind, rest) = spec.split_once('@').ok_or_else(bad)?;
         match kind {
             "trip" => Ok(FaultPlan::new(
@@ -183,6 +194,10 @@ impl FaultPlan {
             "overflow" => Ok(FaultPlan::new(
                 rest.parse().map_err(|_| bad())?,
                 FaultKind::Overflow,
+            )),
+            "panic" => Ok(FaultPlan::new(
+                rest.parse().map_err(|_| bad())?,
+                FaultKind::Panic,
             )),
             "clockjump" => {
                 let (at, ms) = rest.split_once(':').ok_or_else(bad)?;
@@ -519,6 +534,9 @@ impl BudgetMeter {
                     FaultKind::ClockJump(ms) => {
                         self.skew_ms.fetch_add(ms, Ordering::Relaxed);
                     }
+                    FaultKind::Panic => {
+                        panic!("injected fault: panic at metered op {n}");
+                    }
                 }
             }
         }
@@ -715,6 +733,17 @@ mod tests {
     }
 
     #[test]
+    fn fault_panic_fires_at_exact_op_and_is_catchable() {
+        let m = BudgetMeter::new(&Budget::default().with_fault(FaultPlan::new(3, FaultKind::Panic)));
+        assert!(m.tick_path());
+        assert!(m.tick_segment());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.tick_path()));
+        let payload = caught.expect_err("third metered op must panic");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("injected fault: panic at metered op 3"), "{msg}");
+    }
+
+    #[test]
     fn seeded_fault_plans_are_deterministic_and_in_range() {
         for seed in 0..200u64 {
             let a = FaultPlan::seeded(seed, 50);
@@ -745,7 +774,13 @@ mod tests {
             FaultPlan::parse("clockjump@5:9000"),
             Ok(FaultPlan::new(5, FaultKind::ClockJump(9000)))
         );
-        for bad in ["", "trip", "trip@x", "meteor@3", "clockjump@5", "overflow@"] {
+        assert_eq!(
+            FaultPlan::parse("panic@9"),
+            Ok(FaultPlan::new(9, FaultKind::Panic))
+        );
+        for bad in [
+            "", "trip", "trip@x", "meteor@3", "clockjump@5", "overflow@", "panic@",
+        ] {
             assert!(FaultPlan::parse(bad).is_err(), "'{bad}' must be rejected");
         }
     }

@@ -1,0 +1,369 @@
+//! A minimal, hardened HTTP/1.1 subset: just enough to parse one request
+//! from an untrusted client and write one response, with explicit caps on
+//! the head and body so a hostile peer can never make the server buffer
+//! unbounded input.
+//!
+//! The parser is generic over [`BufRead`] so it unit-tests against
+//! in-memory buffers without sockets. Every connection carries exactly
+//! one request (`Connection: close` on every response); keep-alive is
+//! deliberately out of scope — the service optimizes for robustness, not
+//! connection reuse.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Maximum accepted size of the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The request method, verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, verbatim (`/analyze`, …).
+    pub target: String,
+    /// Header name/value pairs in arrival order (names lower-cased).
+    pub headers: Vec<(String, String)>,
+    /// The request body (`Content-Length` bytes, within the cap).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of header `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed. Each variant maps to one status
+/// code; see [`RequestError::status`].
+#[derive(Debug)]
+pub enum RequestError {
+    /// Malformed request line, header, or `Content-Length` → 400.
+    BadRequest(String),
+    /// The declared body exceeds the cap → 413 (nothing past the head is
+    /// read, so the oversized body is never buffered).
+    TooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The enforced cap.
+        cap: usize,
+    },
+    /// A request with a body but no `Content-Length` → 411.
+    LengthRequired,
+    /// The socket failed or timed out mid-request → 408 on timeout,
+    /// otherwise the connection is just dropped.
+    Io(io::Error),
+}
+
+impl RequestError {
+    /// The HTTP status this error answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            RequestError::BadRequest(_) => 400,
+            RequestError::TooLarge { .. } => 413,
+            RequestError::LengthRequired => 411,
+            RequestError::Io(_) => 408,
+        }
+    }
+}
+
+/// Reads one request from `reader`, enforcing [`MAX_HEAD_BYTES`] on the
+/// head and `body_cap` on the declared body length.
+pub fn read_request(reader: &mut impl BufRead, body_cap: usize) -> Result<Request, RequestError> {
+    let mut head_budget = MAX_HEAD_BYTES;
+    let request_line = read_line(reader, &mut head_budget)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::BadRequest("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| RequestError::BadRequest("request line lacks a target".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| RequestError::BadRequest("request line lacks a version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::BadRequest(format!(
+            "unsupported protocol '{version}'"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, &mut head_budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RequestError::BadRequest(format!("malformed header '{line}'")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers.iter().find(|(k, _)| k == "content-length");
+    let body = match content_length {
+        None if method == "POST" || method == "PUT" => return Err(RequestError::LengthRequired),
+        None => Vec::new(),
+        Some((_, v)) => {
+            let declared: usize = v.parse().map_err(|_| {
+                RequestError::BadRequest(format!("bad Content-Length '{v}'"))
+            })?;
+            if declared > body_cap {
+                return Err(RequestError::TooLarge {
+                    declared,
+                    cap: body_cap,
+                });
+            }
+            let mut body = vec![0u8; declared];
+            reader.read_exact(&mut body).map_err(RequestError::Io)?;
+            body
+        }
+    };
+    Ok(Request {
+        method,
+        target,
+        headers,
+        body,
+    })
+}
+
+/// Reads one CRLF- (or LF-) terminated line, charging it against the
+/// remaining head budget.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, RequestError> {
+    let mut raw = Vec::new();
+    // +1 so an exactly-exhausted budget is distinguishable from overflow.
+    let mut limited = reader.by_ref().take(*budget as u64 + 1);
+    limited
+        .read_until(b'\n', &mut raw)
+        .map_err(RequestError::Io)?;
+    if raw.len() > *budget {
+        return Err(RequestError::BadRequest(format!(
+            "request head exceeds {MAX_HEAD_BYTES} bytes"
+        )));
+    }
+    if !raw.ends_with(b"\n") {
+        return Err(RequestError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-line",
+        )));
+    }
+    *budget -= raw.len();
+    while raw.last() == Some(&b'\n') || raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw).map_err(|_| RequestError::BadRequest("non-UTF-8 header bytes".into()))
+}
+
+/// One response, always `Connection: close`.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the always-present set.
+    pub headers: Vec<(&'static str, String)>,
+    /// The response body (JSON on every endpoint).
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// Serializes the response to `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.body.len()
+        )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "\r\n{}", self.body)?;
+        w.flush()
+    }
+}
+
+/// A tiny blocking client for one request/response exchange, used by the
+/// test suites and the throughput bench (the workspace has no external
+/// HTTP client either). Sends `Content-Length` whenever a body is present
+/// or the method is `POST`, reads to EOF (the server always closes), and
+/// returns `(status, headers, body)`.
+pub fn client_roundtrip(
+    addr: &std::net::SocketAddr,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<(u16, Vec<(String, String)>, String)> {
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;
+    write!(stream, "{method} {target} HTTP/1.1\r\nHost: srtw\r\n")?;
+    for (name, value) in headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    if !body.is_empty() || method == "POST" || method == "PUT" {
+        write!(stream, "Content-Length: {}\r\n", body.len())?;
+    }
+    stream.write_all(b"\r\n")?;
+    // Best-effort body write: a server that rejects early (413) may close
+    // its read side before the body is through; the response is already
+    // on the wire and must still be read.
+    let _ = stream.write_all(body);
+    let _ = stream.flush();
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response"))?;
+    let (head, resp_body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "response lacks a head"))?;
+    let mut lines = head.lines();
+    let status_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty response"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let parsed_headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok((status, parsed_headers, resp_body.to_string()))
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> Result<Request, RequestError> {
+        read_request(&mut BufReader::new(text.as_bytes()), 1 << 20)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse("POST /analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/analyze");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_get_without_body_and_bare_lf() {
+        let req = parse("GET /healthz HTTP/1.1\nX-Deadline-Ms: 250\n\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.header("x-deadline-ms"), Some("250"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        let e = parse("POST /analyze HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(e.status(), 411);
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413_without_buffering() {
+        let e = read_request(
+            &mut BufReader::new(&b"POST /analyze HTTP/1.1\r\nContent-Length: 999999\r\n\r\n"[..]),
+            1_000,
+        )
+        .unwrap_err();
+        match e {
+            RequestError::TooLarge { declared, cap } => {
+                assert_eq!((declared, cap), (999_999, 1_000));
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_400() {
+        for bad in [
+            "\r\n",
+            "GET\r\n\r\n",
+            "GET /x\r\n\r\n",
+            "GET /x SPDY/9\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: minus\r\n\r\n",
+        ] {
+            let e = parse(bad).unwrap_err();
+            assert_eq!(e.status(), 400, "for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn head_cap_is_enforced() {
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX-Filler: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        let e = parse(&huge).unwrap_err();
+        assert_eq!(e.status(), 400);
+    }
+
+    #[test]
+    fn truncated_request_is_an_io_error() {
+        let e = parse("POST /analyze HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort").unwrap_err();
+        assert!(matches!(e, RequestError::Io(_)));
+    }
+
+    #[test]
+    fn response_serialization() {
+        let mut out = Vec::new();
+        Response::json(503, "{}".into())
+            .with_header("Retry-After", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

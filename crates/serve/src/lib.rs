@@ -1,0 +1,41 @@
+//! srtw-serve: the resilient analysis service behind `srtw serve`.
+//!
+//! A long-running, zero-dependency (std `TcpListener`) HTTP service that
+//! answers `POST /analyze` with the exact same JSON document as
+//! `srtw analyze --json`, wired for robustness at every layer:
+//!
+//! - **Bounded admission** ([`gate`]): a fixed-capacity queue; overflow is
+//!   shed with `503` + `Retry-After` instead of buffered, so a traffic
+//!   spike can never grow memory without bound.
+//! - **Deadline propagation** ([`server`]): `X-Deadline-Ms` becomes a
+//!   wall-clock [`srtw_minplus::Budget`] plus a [`srtw_minplus::CancelToken`],
+//!   so an over-deadline request *degrades soundly to the RTC bound* —
+//!   monotone truncation guarantees exact ≤ degraded ≤ RTC — rather than
+//!   timing out with nothing.
+//! - **Crash isolation** ([`pool`] + [`srtw_supervisor::contain`]): each
+//!   analysis runs on a supervised thread behind `catch_unwind`; a panic
+//!   becomes a typed `500` and the worker pool self-heals by respawn.
+//! - **Hardened parsing** ([`http`] + `srtw_core::textfmt`): explicit caps
+//!   on the request head and body, and the same 11-kind typed parse errors
+//!   as the CLI (`400`/`413` with `parse_kind` in the error body).
+//! - **Graceful drain** ([`server::Server::shutdown`]): stop accepting,
+//!   let in-flight work finish up to the drain window, then cancel
+//!   stragglers through their tokens — they still answer, degraded.
+//!
+//! Status codes mirror the CLI exit contract (`200`↔0, `400`/`413`↔2,
+//! `500`↔3, `503`↔shed/draining), so a batch driver can treat the service
+//! exactly like a pool of `srtw analyze` processes.
+
+#![deny(unsafe_code)] // `signal` opts back in for the one libc binding.
+#![warn(missing_docs)]
+
+pub mod gate;
+pub mod http;
+pub mod pool;
+pub mod report;
+pub mod server;
+pub mod signal;
+pub mod stats;
+
+pub use report::{fifo_report, FifoReport};
+pub use server::{DrainReport, ServeConfig, Server};

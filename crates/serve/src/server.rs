@@ -1,0 +1,620 @@
+//! The service itself: acceptor, admission, per-request supervision, and
+//! graceful drain.
+//!
+//! Request lifecycle: the acceptor admits the connection through the
+//! bounded [`Gate`] (full → 503 + `Retry-After`, never unbounded
+//! buffering); a pool worker parses the request under the hardened
+//! `textfmt` caps; `/analyze` runs behind [`srtw_supervisor::contain`]
+//! with a per-request [`CancelToken`] and an optional `X-Deadline-Ms`
+//! wall budget, so an adversarial system degrades soundly to the RTC
+//! bound instead of stalling the worker, and a panicking analysis
+//! becomes a typed 500 while the server keeps serving.
+
+use crate::gate::{Admission, Gate};
+use crate::http::{read_request, Request, RequestError, Response};
+use crate::pool::Pool;
+use crate::report::fifo_report;
+use crate::stats::Stats;
+use srtw_core::textfmt::{parse_system, ParseError, ParseErrorKind, MAX_INPUT_BYTES};
+use srtw_core::{AnalysisConfig, Json};
+use srtw_minplus::{Budget, CancelToken, FaultPlan};
+use srtw_supervisor::{contain, Contained};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Service configuration; [`ServeConfig::default`] matches the CLI
+/// defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port `0` picks an ephemeral port).
+    pub addr: String,
+    /// Fixed worker-pool size (clamped to at least 1).
+    pub workers: usize,
+    /// Admission-queue bound: pending connections beyond this are shed.
+    pub queue: usize,
+    /// How long a graceful drain waits for in-flight and queued work
+    /// before cancelling stragglers.
+    pub drain: Duration,
+    /// Wind-down window granted after a cancellation (watchdog or drain)
+    /// before a thread is abandoned.
+    pub grace: Duration,
+    /// Socket read/write timeout (a stalled client cannot hold a worker
+    /// forever).
+    pub read_timeout: Duration,
+    /// Deadline applied to `/analyze` requests that carry no
+    /// `X-Deadline-Ms` header (`None` = unbounded).
+    pub default_deadline_ms: Option<u64>,
+    /// Path-exploration threads per request (bit-identical at any value).
+    pub threads: usize,
+    /// Deterministic fault injected into every request's meter (testing
+    /// the shed/degrade/crash paths without timing races).
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue: 64,
+            drain: Duration::from_secs(5),
+            grace: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(5),
+            default_deadline_ms: None,
+            threads: 1,
+            fault: None,
+        }
+    }
+}
+
+/// What the graceful drain accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// `true` when every admitted request finished within the drain
+    /// window, with no cancellation needed.
+    pub drained: bool,
+    /// In-flight requests cancelled via their tokens after the window
+    /// (they still answer, with degraded-but-sound bounds).
+    pub cancelled: u64,
+    /// Workers respawned after handler panics over the server's lifetime.
+    pub respawned: u64,
+    /// Worker threads still stuck after cancellation + grace; detached.
+    pub abandoned: usize,
+}
+
+impl DrainReport {
+    /// `true` when shutdown left nothing behind: no cancelled stragglers
+    /// and no abandoned threads.
+    pub fn clean(&self) -> bool {
+        self.drained && self.cancelled == 0 && self.abandoned == 0
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    gate: Arc<Gate<TcpStream>>,
+    stats: Stats,
+    draining: AtomicBool,
+    shutdown_req: AtomicBool,
+    /// Set when the drain window has expired: new analyses start
+    /// pre-cancelled so queued stragglers answer immediately with the
+    /// RTC-degraded bound.
+    hard_cancel: AtomicBool,
+    inflight: Mutex<Vec<CancelToken>>,
+}
+
+impl Shared {
+    fn register(&self, token: CancelToken) {
+        self.inflight.lock().unwrap().push(token);
+    }
+
+    fn unregister(&self, token: &CancelToken) {
+        // Tokens compare by identity, so this removes exactly ours.
+        self.inflight.lock().unwrap().retain(|t| t != token);
+    }
+}
+
+/// A running analysis service. Dropping the handle does *not* stop the
+/// server; call [`Server::shutdown`] for a graceful drain.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    pool: Pool,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds and starts the service (acceptor + worker pool).
+    pub fn spawn(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let gate = Arc::new(Gate::new(cfg.queue));
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            cfg,
+            gate: Arc::clone(&gate),
+            stats: Stats::new(),
+            draining: AtomicBool::new(false),
+            shutdown_req: AtomicBool::new(false),
+            hard_cancel: AtomicBool::new(false),
+            inflight: Mutex::new(Vec::new()),
+        });
+        let pool = {
+            let shared = Arc::clone(&shared);
+            Pool::spawn(
+                workers,
+                gate,
+                Arc::new(move |stream: TcpStream| handle_conn(&shared, stream)),
+            )
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("srtw-serve-acceptor".into())
+                .spawn(move || accept_loop(&shared, listener))?
+        };
+        Ok(Server {
+            addr,
+            shared,
+            acceptor,
+            pool,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `true` once `POST /shutdown` was served or a handled process
+    /// signal arrived; the owner should then call [`Server::shutdown`].
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown_req.load(Ordering::Relaxed) || crate::signal::triggered()
+    }
+
+    /// Requests a shutdown programmatically (same effect as
+    /// `POST /shutdown`).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown_req.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until a shutdown is requested (polling; the signal handler
+    /// can only raise a flag).
+    pub fn wait_shutdown(&self) {
+        while !self.shutdown_requested() {
+            thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Gracefully drains and stops: stop accepting, let admitted work
+    /// finish for up to `cfg.drain`, then cancel stragglers via their
+    /// tokens and give them `cfg.grace` to wind down before abandoning.
+    pub fn shutdown(self) -> DrainReport {
+        self.shared.draining.store(true, Ordering::Relaxed);
+        let _ = self.acceptor.join();
+        self.shared.gate.close();
+        let drained = self.pool.wait_idle(self.shared.cfg.drain);
+        let mut cancelled = 0u64;
+        if !drained {
+            self.shared.hard_cancel.store(true, Ordering::Relaxed);
+            for token in self.shared.inflight.lock().unwrap().iter() {
+                token.cancel();
+                cancelled += 1;
+            }
+        }
+        let patience = if drained {
+            Duration::ZERO
+        } else {
+            // Cancelled analyses trip at their next metered op and still
+            // write their (degraded) responses within the grace window.
+            self.shared.cfg.grace + Duration::from_millis(200)
+        };
+        let report = self.pool.stop(patience);
+        DrainReport {
+            drained,
+            cancelled,
+            respawned: report.respawned,
+            abandoned: report.abandoned,
+        }
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    loop {
+        if shared.draining.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => admit(shared, stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            // Transient accept errors (EMFILE, resets): back off, keep
+            // serving.
+            Err(_) => thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn admit(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(shared.cfg.read_timeout));
+    match shared.gate.offer(stream) {
+        Ok(()) => {
+            shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(Admission::Shed(s)) => {
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            let body = error_body(4, "shed", "admission queue full; retry later", vec![]);
+            shed_response(s, body);
+        }
+        Err(Admission::Closed(s)) => {
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            let body = error_body(4, "draining", "server is draining; retry elsewhere", vec![]);
+            shed_response(s, body);
+        }
+    }
+}
+
+/// Writes a 503 from the acceptor thread without reading the request
+/// first, then lingers briefly: closing with the unread request still in
+/// the receive buffer would RST the connection and destroy the 503 before
+/// the client sees it. The short timeout and byte cap keep a hostile
+/// client from stalling admission.
+fn shed_response(mut s: TcpStream, body: String) {
+    use std::io::Read as _;
+    let _ = Response::json(503, body)
+        .with_header("Retry-After", "1")
+        .write_to(&mut s);
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let _ = s.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut scratch = [0u8; 8 * 1024];
+    for _ in 0..4 {
+        match s.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// The typed error body: the CLI's `{"error":{code,kind,message}}` object
+/// (`srtw --json` exit paths emit the same shape), with optional extra
+/// members such as the parse-error kind and span.
+fn error_body(code: i128, kind: &str, message: &str, extra: Vec<(&str, Json)>) -> String {
+    let mut members = vec![
+        ("code", Json::Int(code)),
+        ("kind", Json::str(kind)),
+        ("message", Json::str(message)),
+    ];
+    members.extend(extra);
+    format!("{}\n", Json::object(vec![("error", Json::object(members))]))
+}
+
+fn handle_conn(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.read_timeout));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let (response, unread_body) = match read_request(&mut reader, MAX_INPUT_BYTES) {
+        Ok(req) => (route(shared, &req), false),
+        Err(RequestError::Io(_)) => {
+            // Stalled or vanished client; there is nobody to answer.
+            return;
+        }
+        Err(e) => {
+            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+            (request_error_response(&e), true)
+        }
+    };
+    let _ = response.write_to(&mut writer);
+    if unread_body {
+        // Lingering close: the client may still be sending the (rejected)
+        // body; closing now would RST the connection and destroy the
+        // response before the client reads it. Drain a bounded amount —
+        // the socket timeout and the byte cap bound the worker's stay.
+        use std::io::Read as _;
+        let _ = writer.shutdown(std::net::Shutdown::Write);
+        let mut scratch = [0u8; 8 * 1024];
+        let mut budget = 4 * 1024 * 1024usize;
+        while budget > 0 {
+            match reader.read(&mut scratch) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => budget = budget.saturating_sub(n),
+            }
+        }
+    }
+}
+
+fn request_error_response(e: &RequestError) -> Response {
+    let (kind, message, extra) = match e {
+        RequestError::BadRequest(m) => ("input", m.clone(), vec![]),
+        RequestError::TooLarge { declared, cap } => (
+            "input",
+            format!("request body is {declared} bytes, the cap is {cap}"),
+            vec![(
+                "parse_kind",
+                Json::str(ParseErrorKind::InputTooLarge.as_str()),
+            )],
+        ),
+        RequestError::LengthRequired => ("input", "Content-Length is required".to_string(), vec![]),
+        RequestError::Io(_) => ("input", "request timed out".to_string(), vec![]),
+    };
+    Response::json(e.status(), error_body(2, kind, &message, extra))
+}
+
+fn route(shared: &Shared, req: &Request) -> Response {
+    match (req.method.as_str(), req.target.as_str()) {
+        ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}\n".into()),
+        ("GET", "/readyz") => {
+            if shared.draining.load(Ordering::Relaxed)
+                || shared.shutdown_req.load(Ordering::Relaxed)
+            {
+                Response::json(503, "{\"status\":\"draining\"}\n".into())
+            } else {
+                Response::json(200, "{\"status\":\"ready\"}\n".into())
+            }
+        }
+        ("GET", "/stats") => {
+            let doc = shared.stats.to_json(
+                shared.gate.depth(),
+                shared.inflight.lock().unwrap().len(),
+                shared.cfg.workers.max(1),
+                shared.draining.load(Ordering::Relaxed)
+                    || shared.shutdown_req.load(Ordering::Relaxed),
+            );
+            Response::json(200, format!("{doc}\n"))
+        }
+        ("POST", "/shutdown") => {
+            shared.shutdown_req.store(true, Ordering::Relaxed);
+            Response::json(200, "{\"status\":\"draining\"}\n".into())
+        }
+        ("POST", "/analyze") => {
+            let started = Instant::now();
+            let response = analyze(shared, req);
+            shared
+                .stats
+                .note_latency_us(started.elapsed().as_micros() as u64);
+            response
+        }
+        (_, "/healthz" | "/readyz" | "/stats" | "/shutdown" | "/analyze") => Response::json(
+            405,
+            error_body(2, "input", &format!("method {} not allowed here", req.method), vec![]),
+        ),
+        (_, target) => Response::json(
+            404,
+            error_body(2, "input", &format!("unknown endpoint '{target}'"), vec![]),
+        ),
+    }
+}
+
+fn parse_error_response(e: &ParseError) -> Response {
+    let status = if e.kind == ParseErrorKind::InputTooLarge {
+        413
+    } else {
+        400
+    };
+    Response::json(
+        status,
+        error_body(
+            2,
+            "input",
+            &e.to_string(),
+            vec![
+                ("parse_kind", Json::str(e.kind.as_str())),
+                ("line", Json::Int(e.line as i128)),
+                ("column", Json::Int(e.column as i128)),
+            ],
+        ),
+    )
+}
+
+fn analyze(shared: &Shared, req: &Request) -> Response {
+    let fail = |shared: &Shared, resp: Response| {
+        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+        resp
+    };
+
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return fail(
+            shared,
+            Response::json(
+                400,
+                error_body(2, "input", "request body is not UTF-8", vec![]),
+            ),
+        );
+    };
+    let deadline_ms = match req.header("x-deadline-ms") {
+        None => shared.cfg.default_deadline_ms,
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Some(ms),
+            Err(_) => {
+                return fail(
+                    shared,
+                    Response::json(
+                        400,
+                        error_body(
+                            2,
+                            "input",
+                            &format!("bad X-Deadline-Ms '{v}': expected milliseconds"),
+                            vec![],
+                        ),
+                    ),
+                )
+            }
+        },
+    };
+    let sys = match parse_system(text) {
+        Ok(sys) => sys,
+        Err(e) => return fail(shared, parse_error_response(&e)),
+    };
+    let beta = match &sys.server {
+        None => {
+            return fail(
+                shared,
+                Response::json(
+                    400,
+                    error_body(
+                        2,
+                        "input",
+                        "the system declares no server (add a 'server …' line)",
+                        vec![],
+                    ),
+                ),
+            )
+        }
+        Some(s) => match s.beta_lower() {
+            Ok(beta) => beta,
+            Err(e) => return fail(shared, parse_error_response(&e)),
+        },
+    };
+
+    let token = CancelToken::new();
+    if shared.hard_cancel.load(Ordering::Relaxed) {
+        // The drain window is over: run straight to the degraded (RTC)
+        // answer instead of starting fresh work.
+        token.cancel();
+    }
+    shared.register(token.clone());
+    let mut budget = Budget::default().with_cancel(token.clone());
+    if let Some(ms) = deadline_ms {
+        budget = budget.with_wall_ms(ms);
+    }
+    if let Some(f) = shared.cfg.fault {
+        budget = budget.with_fault(f);
+    }
+    let cfg = AnalysisConfig {
+        budget,
+        threads: shared.cfg.threads.max(1),
+        ..Default::default()
+    };
+    // The deadline is purely cooperative: the wall budget trips inside
+    // the meter and the analysis winds down through the sound degradation
+    // path, which does bounded (but nonzero) post-trip work to produce
+    // the RTC fallback. A hard watchdog here would race that wind-down
+    // and turn sound degradation into failure — so none is armed; truly
+    // stuck workers are bounded by the socket timeouts and the
+    // drain-time cancel/abandon path instead.
+    let tasks = sys.tasks;
+    let contained = contain(
+        "srtw-serve-analyze",
+        None,
+        shared.cfg.grace,
+        &token,
+        move || fifo_report(&tasks, &beta, &cfg),
+    );
+    shared.unregister(&token);
+
+    match contained {
+        Contained::Completed(Ok(report)) => {
+            if report.degraded() {
+                shared.stats.degraded.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Response::json(200, format!("{}\n", report.to_json()))
+        }
+        Contained::Completed(Err(e)) => fail(
+            shared,
+            Response::json(500, error_body(3, "internal", &e.to_string(), vec![])),
+        ),
+        Contained::Panicked { message } => fail(
+            shared,
+            Response::json(
+                500,
+                error_body(3, "panic", &format!("analysis panicked: {message}"), vec![]),
+            ),
+        ),
+        Contained::HardTimeout => fail(
+            shared,
+            Response::json(
+                500,
+                error_body(
+                    3,
+                    "internal",
+                    "hard timeout: request abandoned by the watchdog",
+                    vec![],
+                ),
+            ),
+        ),
+        Contained::SpawnFailed => fail(
+            shared,
+            Response::json(
+                500,
+                error_body(3, "internal", "could not spawn the analysis thread", vec![]),
+            ),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::client_roundtrip;
+
+    const SMALL: &str = "task t\nvertex a wcet=2 deadline=9\nedge a a sep=8\nserver fluid rate=1\n";
+
+    fn spawn_small(cfg: ServeConfig) -> Server {
+        Server::spawn(cfg).expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn health_analyze_stats_and_clean_drain() {
+        let server = spawn_small(ServeConfig::default());
+        let addr = server.addr();
+        let (status, _, body) = client_roundtrip(&addr, "GET", "/healthz", &[], b"").unwrap();
+        assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}\n"));
+
+        let (status, _, body) =
+            client_roundtrip(&addr, "POST", "/analyze", &[], SMALL.as_bytes()).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.starts_with("{\"scheduler\":\"fifo\",\"degraded\":false,"));
+
+        let (status, _, body) = client_roundtrip(&addr, "GET", "/stats", &[], b"").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"accepted\":"), "{body}");
+        assert!(body.contains("\"p50_ms\":"), "{body}");
+
+        let report = server.shutdown();
+        assert!(report.clean(), "{report:?}");
+    }
+
+    #[test]
+    fn unknown_endpoint_and_bad_method() {
+        let server = spawn_small(ServeConfig::default());
+        let addr = server.addr();
+        let (status, _, body) = client_roundtrip(&addr, "GET", "/nope", &[], b"").unwrap();
+        assert_eq!(status, 404);
+        assert!(body.contains("\"kind\":\"input\""));
+        let (status, _, _) = client_roundtrip(&addr, "GET", "/shutdown", &[], b"").unwrap();
+        assert_eq!(status, 405);
+        assert!(server.shutdown().clean());
+    }
+
+    #[test]
+    fn shutdown_endpoint_flips_readyz_and_requests_drain() {
+        let server = spawn_small(ServeConfig::default());
+        let addr = server.addr();
+        assert!(!server.shutdown_requested());
+        let (status, _, _) = client_roundtrip(&addr, "GET", "/readyz", &[], b"").unwrap();
+        assert_eq!(status, 200);
+        let (status, _, body) = client_roundtrip(&addr, "POST", "/shutdown", &[], b"").unwrap();
+        assert_eq!((status, body.as_str()), (200, "{\"status\":\"draining\"}\n"));
+        assert!(server.shutdown_requested());
+        let (status, _, _) = client_roundtrip(&addr, "GET", "/readyz", &[], b"").unwrap();
+        assert_eq!(status, 503);
+        assert!(server.shutdown().clean());
+    }
+}

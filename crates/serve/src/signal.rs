@@ -1,0 +1,59 @@
+//! Process-signal plumbing for graceful drain (`SIGINT`/`SIGTERM`).
+//!
+//! The only piece of the workspace that needs `unsafe`: std has no signal
+//! API, so a minimal `signal(2)` binding installs an async-signal-safe
+//! handler that merely raises a static atomic flag. The serve loop polls
+//! [`triggered`] and runs the exact same drain path as `POST /shutdown`.
+//! Handlers are installed only by the long-running CLI subcommand — never
+//! by in-process test servers, which drain via the API instead.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// `true` once `SIGINT` or `SIGTERM` was received (after
+/// [`install_handlers`]); latches until the process exits.
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::Relaxed)
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::TRIGGERED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    // `signal(2)` from libc, which every unix target already links.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // A relaxed store is async-signal-safe.
+        TRIGGERED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        // SAFETY: `on_signal` only performs an atomic store, which is
+        // async-signal-safe; `signal` itself is safe to call with a valid
+        // non-returning-into-Rust handler.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the `SIGINT`/`SIGTERM` handlers (no-op off unix). Call at
+/// most once, from the process' serve entry point.
+pub fn install_handlers() {
+    imp::install();
+}

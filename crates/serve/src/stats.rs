@@ -1,0 +1,164 @@
+//! Service counters and a fixed-size latency ring.
+//!
+//! Counters are lock-free atomics bumped by workers and the acceptor;
+//! latencies go into a bounded ring (old samples are overwritten), so
+//! observability costs O(1) memory regardless of uptime — the same
+//! "never unbounded" discipline as the admission queue.
+
+use srtw_core::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Capacity of the latency ring (recent `/analyze` requests).
+pub const LATENCY_RING: usize = 1024;
+
+#[derive(Debug)]
+struct Ring {
+    samples_us: Vec<u64>,
+    next: usize,
+    len: usize,
+}
+
+/// Shared service counters; all methods are callable from any thread.
+#[derive(Debug)]
+pub struct Stats {
+    /// Connections admitted past the gate.
+    pub accepted: AtomicU64,
+    /// Connections refused with 503 (queue full or draining).
+    pub shed: AtomicU64,
+    /// `/analyze` requests answered 200 with exact bounds.
+    pub completed: AtomicU64,
+    /// `/analyze` requests answered 200 with a degraded (still sound)
+    /// bound.
+    pub degraded: AtomicU64,
+    /// `/analyze` requests answered 4xx/5xx.
+    pub failed: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl Default for Stats {
+    fn default() -> Stats {
+        Stats {
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            ring: Mutex::new(Ring {
+                samples_us: vec![0; LATENCY_RING],
+                next: 0,
+                len: 0,
+            }),
+        }
+    }
+}
+
+impl Stats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Records one `/analyze` latency (microseconds).
+    pub fn note_latency_us(&self, us: u64) {
+        let mut r = self.ring.lock().unwrap();
+        let slot = r.next;
+        r.samples_us[slot] = us;
+        r.next = (slot + 1) % LATENCY_RING;
+        r.len = (r.len + 1).min(LATENCY_RING);
+    }
+
+    /// `(count, p50, p99)` in microseconds over the ring, if any samples
+    /// were recorded.
+    pub fn latency_quantiles_us(&self) -> Option<(usize, u64, u64)> {
+        let r = self.ring.lock().unwrap();
+        if r.len == 0 {
+            return None;
+        }
+        let mut window: Vec<u64> = r.samples_us[..r.len].to_vec();
+        drop(r);
+        window.sort_unstable();
+        let quantile = |q_num: usize, q_den: usize| {
+            // Nearest-rank on the sorted window.
+            let rank = (window.len() * q_num).div_ceil(q_den).max(1);
+            window[rank - 1]
+        };
+        Some((window.len(), quantile(50, 100), quantile(99, 100)))
+    }
+
+    /// The `/stats` document. Queue depth and worker/in-flight gauges are
+    /// sampled by the caller (they live on the server, not here).
+    pub fn to_json(&self, queue_depth: usize, inflight: usize, workers: usize, draining: bool) -> Json {
+        let latency = match self.latency_quantiles_us() {
+            None => Json::object(vec![("count", Json::Int(0))]),
+            Some((count, p50, p99)) => Json::object(vec![
+                ("count", Json::Int(count as i128)),
+                ("p50_ms", Json::Float(p50 as f64 / 1_000.0)),
+                ("p99_ms", Json::Float(p99 as f64 / 1_000.0)),
+            ]),
+        };
+        Json::object(vec![
+            ("accepted", Json::Int(self.accepted.load(Ordering::Relaxed) as i128)),
+            ("shed", Json::Int(self.shed.load(Ordering::Relaxed) as i128)),
+            ("completed", Json::Int(self.completed.load(Ordering::Relaxed) as i128)),
+            ("degraded", Json::Int(self.degraded.load(Ordering::Relaxed) as i128)),
+            ("failed", Json::Int(self.failed.load(Ordering::Relaxed) as i128)),
+            ("queue_depth", Json::Int(queue_depth as i128)),
+            ("inflight", Json::Int(inflight as i128)),
+            ("workers", Json::Int(workers as i128)),
+            ("draining", Json::Bool(draining)),
+            ("latency", latency),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_over_a_partial_ring() {
+        let s = Stats::new();
+        assert_eq!(s.latency_quantiles_us(), None);
+        for us in 1..=100 {
+            s.note_latency_us(us);
+        }
+        let (count, p50, p99) = s.latency_quantiles_us().unwrap();
+        assert_eq!(count, 100);
+        assert_eq!(p50, 50);
+        assert_eq!(p99, 99);
+    }
+
+    #[test]
+    fn ring_overwrites_old_samples() {
+        let s = Stats::new();
+        for _ in 0..LATENCY_RING {
+            s.note_latency_us(1);
+        }
+        for _ in 0..LATENCY_RING {
+            s.note_latency_us(1_000);
+        }
+        let (count, p50, _) = s.latency_quantiles_us().unwrap();
+        assert_eq!(count, LATENCY_RING);
+        assert_eq!(p50, 1_000, "old generation fully overwritten");
+    }
+
+    #[test]
+    fn stats_document_shape() {
+        let s = Stats::new();
+        s.accepted.fetch_add(3, Ordering::Relaxed);
+        s.shed.fetch_add(1, Ordering::Relaxed);
+        let doc = s.to_json(2, 1, 4, false).render();
+        for needle in [
+            "\"accepted\":3",
+            "\"shed\":1",
+            "\"queue_depth\":2",
+            "\"inflight\":1",
+            "\"workers\":4",
+            "\"draining\":false",
+            "\"latency\":{\"count\":0}",
+        ] {
+            assert!(doc.contains(needle), "{needle} missing from {doc}");
+        }
+    }
+}

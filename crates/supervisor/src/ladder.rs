@@ -11,12 +11,10 @@
 use crate::job::{
     AnalysisOutput, Attempt, AttemptStatus, JobOutcome, JobSpec, JobStatus, Rung,
 };
+use crate::supervise::{contain, Contained};
 use srtw_core::{fifo_rtc_with, fifo_structural, AnalysisConfig, AnalysisError};
 use srtw_minplus::{Budget, CancelToken, FaultPlan};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
 use std::sync::Arc;
-use std::thread;
 use std::time::{Duration, Instant};
 
 /// Configuration of the supervision around one job.
@@ -161,8 +159,8 @@ fn strip_output(a: RawAttempt) -> Attempt {
     }
 }
 
-/// Runs one attempt at one rung on a dedicated thread, acting as its
-/// watchdog.
+/// Runs one attempt at one rung behind the shared containment primitive
+/// ([`contain`]), acting as its watchdog.
 fn run_attempt(spec: &Arc<JobSpec>, rung: Rung, cfg: &SupervisorConfig) -> RawAttempt {
     let token = CancelToken::new();
     let mut budget = cfg.base_budget(rung).with_cancel(token.clone());
@@ -171,57 +169,34 @@ fn run_attempt(spec: &Arc<JobSpec>, rung: Rung, cfg: &SupervisorConfig) -> RawAt
     }
 
     let started = Instant::now();
-    let (tx, rx) = mpsc::channel();
     let job = Arc::clone(spec);
     let threads = cfg.threads;
-    let spawned = thread::Builder::new()
-        .name(format!("srtw-{}", job.name))
-        .spawn(move || {
-            let result = catch_unwind(AssertUnwindSafe(|| analyse(&job, rung, budget, threads)));
-            // The receiver may be gone if the watchdog abandoned us.
-            let _ = tx.send(result);
-        });
-    if spawned.is_err() {
-        return RawAttempt {
-            rung,
-            status: AttemptStatus::Failed {
-                error: "could not spawn worker thread".into(),
-            },
-            degraded: false,
-            wall: started.elapsed(),
-            degradations: Vec::new(),
-            output: None,
-        };
-    }
-
-    let received = match cfg.timeout {
-        None => rx.recv().ok(),
-        Some(deadline) => match rx.recv_timeout(deadline) {
-            Ok(r) => Some(r),
-            Err(mpsc::RecvTimeoutError::Disconnected) => None,
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                // Watchdog fires: the hard deadline passed. Cancellation
-                // trips the meter at the attempt's next metered operation;
-                // give it the grace period to wind down to a sound
-                // degraded result, then abandon it.
-                token.cancel();
-                rx.recv_timeout(cfg.grace).ok()
-            }
-        },
-    };
+    let contained = contain(
+        &format!("srtw-{}", spec.name),
+        cfg.timeout,
+        cfg.grace,
+        &token,
+        move || analyse(&job, rung, budget, threads),
+    );
     let wall = started.elapsed();
 
-    let (status, degraded, degradations, output) = match received {
-        None => (AttemptStatus::HardTimeout, false, Vec::new(), None),
-        Some(Err(payload)) => (
-            AttemptStatus::Panicked {
-                message: panic_message(payload.as_ref()),
+    let (status, degraded, degradations, output) = match contained {
+        Contained::HardTimeout => (AttemptStatus::HardTimeout, false, Vec::new(), None),
+        Contained::SpawnFailed => (
+            AttemptStatus::Failed {
+                error: "could not spawn worker thread".into(),
             },
             false,
             Vec::new(),
             None,
         ),
-        Some(Ok(Err(e))) => (
+        Contained::Panicked { message } => (
+            AttemptStatus::Panicked { message },
+            false,
+            Vec::new(),
+            None,
+        ),
+        Contained::Completed(Err(e)) => (
             AttemptStatus::Failed {
                 error: e.to_string(),
             },
@@ -229,7 +204,7 @@ fn run_attempt(spec: &Arc<JobSpec>, rung: Rung, cfg: &SupervisorConfig) -> RawAt
             Vec::new(),
             None,
         ),
-        Some(Ok(Ok(out))) => {
+        Contained::Completed(Ok(out)) => {
             let degraded = out.any_degraded() || rung == Rung::RtcBaseline;
             let records = out.degradations();
             (AttemptStatus::Completed, degraded, records, Some(out))
@@ -265,12 +240,4 @@ fn analyse(
             fifo_rtc_with(&spec.tasks, &spec.beta, &budget).map(AnalysisOutput::Rtc)
         }
     }
-}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    payload
-        .downcast_ref::<&str>()
-        .map(|s| s.to_string())
-        .or_else(|| payload.downcast_ref::<String>().cloned())
-        .unwrap_or_else(|| "unknown panic".into())
 }

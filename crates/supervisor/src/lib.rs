@@ -58,10 +58,12 @@ mod job;
 mod ladder;
 mod pool;
 mod report;
+mod supervise;
 
 pub use job::{AnalysisOutput, Attempt, AttemptStatus, JobOutcome, JobSpec, JobStatus, Rung};
 pub use ladder::{run_supervised, SupervisorConfig};
 pub use pool::{run_batch, BatchConfig};
 pub use report::{BatchCounts, BatchReport, BatchStatus};
+pub use supervise::{contain, panic_message, Contained};
 
 pub use srtw_minplus::{CancelToken, FaultKind, FaultPlan};

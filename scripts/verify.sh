@@ -17,8 +17,13 @@
 #      watchdog must come back degraded-not-failed (exit 0), and a
 #      fault-injected batch must exhaust the ladder and exit 4;
 #   7. performance-regression gate: the newest committed BENCH_*.json
-#      must not regress the `convolution` and `rbf` suite medians by
-#      more than 1.5x against the best older committed document.
+#      must not regress the `convolution`, `rbf`, and `server_throughput`
+#      suite medians by more than 1.5x against the best older committed
+#      document (a suite with no baseline yet is skipped with a notice);
+#   8. service smoke test: `srtw serve` on an ephemeral port must answer
+#      /healthz, produce an exact and a deadline-degraded /analyze,
+#      shed with 503 when flooded past the queue bound, and drain
+#      gracefully (exit 0, no leaked process).
 #
 # Benchmarks run separately (they are slow by design):
 #   cargo run -p srtw-bench --release --bin experiments
@@ -26,7 +31,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/7 dependency audit (path-only policy) =="
+echo "== 1/8 dependency audit (path-only policy) =="
 # Inside [dependencies*] / [workspace.dependencies] sections, every
 # dependency line must carry `path =` or `workspace = true`; a version
 # requirement ("1.0", { version = ... }) means a registry dependency.
@@ -47,14 +52,14 @@ if [ -n "$violations" ]; then
 fi
 echo "ok: all dependencies are workspace path crates"
 
-echo "== 2/7 offline build + tests =="
+echo "== 2/8 offline build + tests =="
 cargo build --release --offline --workspace
 SRTW_BENCH_FAST=1 cargo test -q --offline --workspace
 
-echo "== 3/7 examples build =="
+echo "== 3/8 examples build =="
 cargo build --release --offline --examples
 
-echo "== 4/7 CLI smoke test =="
+echo "== 4/8 CLI smoke test =="
 out=$(cargo run --release --offline -q --bin srtw -- analyze systems/decoder.srtw)
 echo "$out" | grep -q "RTC baseline" || {
     echo "error: analyze output missing the RTC baseline line" >&2
@@ -66,7 +71,7 @@ case "$json" in
     *) echo "error: --json output is not a JSON object" >&2; exit 1 ;;
 esac
 
-echo "== 5/7 adversarial stress suite =="
+echo "== 5/8 adversarial stress suite =="
 # Elevated case count for the seeded property suite; the release profile
 # keeps the 150 ms wall budget per case meaningful.
 SRTW_PROP_CASES=256 cargo test -q --release --offline --test stress
@@ -89,7 +94,7 @@ grep -q "degraded" "$adv_err" || {
 }
 rm -f "$adv_err"
 
-echo "== 6/7 supervised batch smoke test =="
+echo "== 6/8 supervised batch smoke test =="
 # The shipped systems under a 2 s per-attempt watchdog: the adversarial
 # job must wind down to a *degraded* (still sound) result, never a
 # failure — batch exit 0, summary status "some_degraded".
@@ -129,16 +134,119 @@ case "$fault_json" in
     *) echo 'error: fault-injected batch summary not "some_failed"' >&2; exit 1 ;;
 esac
 
-echo "== 7/7 performance-regression gate =="
+echo "== 7/8 performance-regression gate =="
 # Newest committed BENCH document vs every older one; the gate watches
 # the algorithmic suites whose medians are stable across machines.
 bench_docs=$(ls -1 BENCH_*.json 2>/dev/null | sort -t_ -k2 -n -r)
 if [ "$(echo "$bench_docs" | wc -l)" -ge 2 ]; then
     # shellcheck disable=SC2086
     cargo run -p srtw-bench --release --offline -q --bin experiments -- \
-        gate $bench_docs --factor 1.5 --groups convolution,rbf
+        gate $bench_docs --factor 1.5 --groups convolution,rbf,server_throughput
 else
     echo "skip: fewer than two BENCH_*.json documents committed"
 fi
+
+echo "== 8/8 service smoke test =="
+# One request over /dev/tcp (no curl in the offline environment): prints
+# the full response (head + body) on stdout.
+http_req() { # port method target [body-file] [extra-header]
+    local port=$1 method=$2 target=$3 body=${4:-} hdr=${5:-}
+    exec 9<>"/dev/tcp/127.0.0.1/$port"
+    {
+        printf '%s %s HTTP/1.1\r\nHost: srtw\r\n' "$method" "$target"
+        [ -n "$hdr" ] && printf '%s\r\n' "$hdr"
+        if [ -n "$body" ]; then
+            printf 'Content-Length: %s\r\n\r\n' "$(wc -c <"$body")"
+            cat "$body"
+        else
+            # The server requires Content-Length on bodied methods (411
+            # otherwise), and 0 is harmless on GET.
+            printf 'Content-Length: 0\r\n\r\n'
+        fi
+    } >&9
+    cat <&9
+    exec 9<&- 9>&-
+}
+serve_out=$(mktemp); serve_err=$(mktemp)
+# One worker and a queue of one so the flood below actually overflows.
+target/release/srtw serve --addr 127.0.0.1:0 --workers 1 --queue 1 \
+    >"$serve_out" 2>"$serve_err" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$serve_out" && break
+    sleep 0.1
+done
+port=$(sed -n 's/.*:\([0-9]*\)$/\1/p' "$serve_out")
+if [ -z "$port" ]; then
+    echo "error: srtw serve did not report a listening address" >&2
+    kill "$serve_pid" 2>/dev/null; exit 1
+fi
+# 8a: health.
+http_req "$port" GET /healthz | grep -q '"status":"ok"' || {
+    echo "error: /healthz did not answer ok" >&2; exit 1
+}
+# 8b: an exact /analyze must be byte-identical to `analyze --json`
+# (runtime_secs, the one measured field, normalized on both sides).
+norm_runtime() { sed 's/"runtime_secs":[0-9.e+-]*/"runtime_secs":0/g'; }
+srv_doc=$(http_req "$port" POST /analyze systems/decoder.srtw | tail -1 | norm_runtime)
+cli_doc=$(target/release/srtw analyze systems/decoder.srtw --json 2>/dev/null | norm_runtime)
+if [ "$srv_doc" != "$cli_doc" ]; then
+    echo "error: POST /analyze diverged from srtw analyze --json" >&2
+    exit 1
+fi
+# 8c: a deadline-bounded adversarial /analyze degrades soundly (200 with
+# "degraded":true), instead of hanging or failing.
+http_req "$port" POST /analyze systems/adversarial.srtw "X-Deadline-Ms: 1500" \
+    | grep -q '"degraded":true' || {
+    echo "error: deadline-bounded /analyze did not report degraded:true" >&2
+    exit 1
+}
+# 8d: flood past the queue bound while the single worker is pinned on a
+# slow request: the overflow must shed with 503, never hang or crash.
+flood_dir=$(mktemp -d)
+http_req "$port" POST /analyze systems/adversarial.srtw "X-Deadline-Ms: 3000" \
+    >"$flood_dir/blocker" &
+blocker_pid=$!
+sleep 0.5
+probe_pids=()
+for i in $(seq 1 6); do
+    http_req "$port" GET /healthz >"$flood_dir/probe$i" 2>/dev/null &
+    probe_pids+=("$!")
+done
+# Wait on the flood jobs by pid — a bare `wait` would also wait on the
+# server itself, which has no reason to exit yet.
+wait "$blocker_pid" "${probe_pids[@]}"
+grep -lq "503 Service Unavailable" "$flood_dir"/probe* || {
+    echo "error: flooding past the queue bound produced no 503" >&2
+    exit 1
+}
+grep -q '"degraded":true' "$flood_dir/blocker" || {
+    echo "error: the pinned request did not come back degraded" >&2
+    exit 1
+}
+# 8e: graceful drain with in-flight work — POST /shutdown must stop the
+# process with exit 0 and leave no leaked process behind.
+http_req "$port" POST /analyze systems/decoder.srtw >/dev/null &
+sleep 0.2
+http_req "$port" POST /shutdown | grep -q '"status":"draining"' || {
+    echo "error: POST /shutdown did not answer draining" >&2
+    exit 1
+}
+set +e
+wait "$serve_pid"
+serve_rc=$?
+set -e
+if [ "$serve_rc" -ne 0 ]; then
+    echo "error: srtw serve exited $serve_rc after graceful drain" >&2
+    cat "$serve_err" >&2
+    exit 1
+fi
+if kill -0 "$serve_pid" 2>/dev/null; then
+    echo "error: srtw serve process leaked past its drain" >&2
+    exit 1
+fi
+wait
+rm -rf "$flood_dir" "$serve_out" "$serve_err"
+echo "ok: serve answered, degraded under deadline, shed under flood, drained cleanly"
 
 echo "verify: OK"

@@ -10,7 +10,10 @@
 //! srtw batch    <dir|manifest> [--jobs N] [--threads N] [--timeout-ms MS]
 //!               [--grace-ms MS] [--budget-ms MS] [--retries N]
 //!               [--fail-fast|--keep-going]
-//!               [--fault trip@N|overflow@N|clockjump@N:MS] [--json]
+//!               [--fault trip@N|overflow@N|clockjump@N:MS|panic@N] [--json]
+//! srtw serve    [--addr HOST:PORT] [--workers N] [--queue N]
+//!               [--drain-ms MS] [--grace-ms MS] [--read-timeout-ms MS]
+//!               [--deadline-ms MS] [--threads N] [--fault SPEC]
 //! ```
 //!
 //! System files use the text format documented in [`srtw::textfmt`].
@@ -48,6 +51,16 @@
 //! records, wall time) lands in the batch report. `--fault` injects a
 //! deterministic fault into every attempt (testing the failure paths).
 //!
+//! # Service mode
+//!
+//! `srtw serve` runs the resilient analysis service ([`srtw::serve`]):
+//! `POST /analyze` answers with the same JSON document as
+//! `analyze --json`, behind bounded admission (503 + `Retry-After` when
+//! the queue is full), per-request deadlines (`X-Deadline-Ms` → sound
+//! degradation to the RTC bound), crash isolation, and a graceful drain
+//! on `SIGINT`/`SIGTERM` or `POST /shutdown` (exit 0; a stderr warning if
+//! stragglers had to be cancelled).
+//!
 //! # Exit codes
 //!
 //! | code | meaning |
@@ -64,8 +77,9 @@
 
 use srtw::supervisor::{run_batch, BatchConfig, BatchReport, BatchStatus, JobOutcome, JobSpec};
 use srtw::textfmt::{parse_system, SystemSpec};
+use srtw::serve::{signal, ServeConfig, Server};
 use srtw::{
-    earliest_random_walk, edf_schedulable, fifo_rtc_with, fifo_structural,
+    earliest_random_walk, edf_schedulable, fifo_report, fifo_structural,
     fixed_priority_structural_with, simulate_fifo, AnalysisConfig, Budget, Curve, DelayAnalysis,
     FaultPlan, Json, Q, Rbf, ServiceProcess, SupervisorConfig,
 };
@@ -138,8 +152,11 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<ExitCode, CliError> {
-    let usage = "usage: srtw <analyze|rbf|dot|simulate|batch> <file|dir> [options]";
+    let usage = "usage: srtw <analyze|rbf|dot|simulate|batch|serve> [<file|dir>] [options]";
     let cmd = args.first().ok_or_else(|| input(usage))?;
+    if cmd == "serve" {
+        return serve(&args[1..]);
+    }
     let path = args.get(1).ok_or_else(|| input(usage))?;
     let opts = &args[2..];
 
@@ -328,13 +345,19 @@ fn batch(path: &str, opts: &[String]) -> Result<ExitCode, CliError> {
         .into_iter()
         .enumerate()
         .map(|(i, e)| match e {
-            QueueEntry::PreFailed(out) => out,
-            QueueEntry::Job(spec) if i >= cut => JobOutcome::skipped(spec.name),
-            QueueEntry::Job(_) => supervised
-                .next()
-                .expect("one supervised outcome per queued job"),
+            QueueEntry::PreFailed(out) => Ok(out),
+            QueueEntry::Job(spec) if i >= cut => Ok(JobOutcome::skipped(spec.name)),
+            QueueEntry::Job(spec) => supervised.next().ok_or_else(|| {
+                // A supervisor bug, not a user error: surface it through
+                // the typed exit-3 path (and the --json error document),
+                // never as a process abort.
+                CliError::Internal(format!(
+                    "batch supervisor returned no outcome for queued job '{}'",
+                    spec.name
+                ))
+            }),
         })
-        .collect();
+        .collect::<Result<_, CliError>>()?;
     let report = BatchReport {
         jobs: merged,
         wall: started.elapsed(),
@@ -469,28 +492,18 @@ fn analyze(sys: &SystemSpec, opts: &[String]) -> Result<(), CliError> {
     };
     match scheduler.as_str() {
         "fifo" => {
-            let per = fifo_structural(&sys.tasks, &beta, &cfg)
+            // The service's POST /analyze emits the same document through
+            // the same code path, keeping the two entry points
+            // byte-identical by construction.
+            let report = fifo_report(&sys.tasks, &beta, &cfg)
                 .map_err(|e| CliError::Internal(e.to_string()))?;
-            let rtc = fifo_rtc_with(&sys.tasks, &beta, &budget)
-                .map_err(|e| CliError::Internal(e.to_string()))?;
-            let degraded = warn_if_degraded(&per, !rtc.quality.is_exact());
+            warn_if_degraded(&report.per, !report.rtc.quality.is_exact());
             if json {
-                println!(
-                    "{}",
-                    Json::object(vec![
-                        ("scheduler", Json::str("fifo")),
-                        ("degraded", Json::Bool(degraded)),
-                        ("rtc", rtc.to_json()),
-                        (
-                            "streams",
-                            Json::Array(per.iter().map(|a| a.to_json()).collect()),
-                        ),
-                    ])
-                );
+                println!("{}", report.to_json());
             } else {
                 println!("scheduler: FIFO");
-                println!("RTC baseline (stream-agnostic): {rtc}");
-                for a in &per {
+                println!("RTC baseline (stream-agnostic): {}", report.rtc);
+                for a in &report.per {
                     println!("\n{a}");
                 }
             }
@@ -544,6 +557,57 @@ fn analyze(sys: &SystemSpec, opts: &[String]) -> Result<(), CliError> {
         other => return Err(input(format!("unknown scheduler '{other}' (fifo|fp|edf)"))),
     }
     Ok(())
+}
+
+/// `srtw serve`: run the resilient analysis service until a shutdown is
+/// requested (signal or `POST /shutdown`), then drain gracefully.
+fn serve(opts: &[String]) -> Result<ExitCode, CliError> {
+    let parse_ms = |key: &str, default: u64| -> Result<u64, CliError> {
+        match opt_value(opts, key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| input(format!("bad {key} '{v}': {e}"))),
+        }
+    };
+    let addr = opt_value(opts, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+    let cfg = ServeConfig {
+        addr: addr.clone(),
+        workers: (parse_ms("--workers", available_parallelism() as u64)? as usize).max(1),
+        queue: (parse_ms("--queue", 64)? as usize).max(1),
+        drain: Duration::from_millis(parse_ms("--drain-ms", 5_000)?),
+        grace: Duration::from_millis(parse_ms("--grace-ms", 2_000)?),
+        read_timeout: Duration::from_millis(parse_ms("--read-timeout-ms", 5_000)?),
+        default_deadline_ms: opt_value(opts, "--deadline-ms")
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|e| input(format!("bad --deadline-ms '{v}': {e}")))
+            })
+            .transpose()?,
+        threads: parse_threads(opts, 1)?,
+        fault: opt_value(opts, "--fault")
+            .map(|v| FaultPlan::parse(&v).map_err(CliError::Input))
+            .transpose()?,
+    };
+    let server = Server::spawn(cfg).map_err(|e| input(format!("cannot bind {addr}: {e}")))?;
+    signal::install_handlers();
+    // Flushed immediately so a harness reading our stdout learns the
+    // resolved (possibly ephemeral) port before the first request.
+    println!("srtw-serve listening on {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait_shutdown();
+    eprintln!("shutdown requested; draining in-flight work");
+    let report = server.shutdown();
+    if report.clean() {
+        eprintln!("drained cleanly");
+    } else {
+        // Mirrors batch degradation: still exit 0, with a stderr warning
+        // — the cancelled requests were answered with sound bounds.
+        eprintln!(
+            "warning: drain incomplete: {} request(s) cancelled, {} worker thread(s) abandoned",
+            report.cancelled, report.abandoned
+        );
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn rbf(sys: &SystemSpec, opts: &[String]) -> Result<(), CliError> {

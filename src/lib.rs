@@ -19,6 +19,8 @@
 //! | [`gen`] | `srtw-gen` | seeded random workload generation |
 //! | [`detrand`] | `srtw-detrand` | deterministic PRNG + property-test harness |
 //! | [`supervisor`] | `srtw-supervisor` | crash-contained batch runs, watchdog, retry/degrade ladder |
+//! | [`serve`] | `srtw-serve` | resilient analysis service: admission control, deadlines, drain |
+//! | [`textfmt`] | `srtw-core` | the `.srtw` text format (hardened parser, caps, typed errors) |
 //!
 //! The most common items are additionally re-exported at the top level.
 //!
@@ -50,9 +52,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod textfmt;
+pub use srtw_core::textfmt;
 
 pub use srtw_core as core;
+pub use srtw_serve as serve;
 pub use srtw_detrand as detrand;
 pub use srtw_detrand::prop;
 pub use srtw_detrand::Rng;
@@ -73,9 +76,12 @@ pub use srtw_core::{
 };
 pub use srtw_gen::{generate_drt, generate_task_set, DrtGenConfig};
 pub use srtw_minplus::{q, CancelToken, Curve, CurveError, Ext, FaultKind, FaultPlan, Piece, Q, Tail};
+// `Server` stays behind `serve::` — the flat namespace already has the
+// resource-model `Server` trait.
+pub use srtw_serve::{fifo_report, DrainReport, FifoReport, ServeConfig};
 pub use srtw_supervisor::{
-    run_batch, run_supervised, BatchConfig, BatchReport, BatchStatus, JobOutcome, JobSpec,
-    JobStatus, Rung, SupervisorConfig,
+    contain, run_batch, run_supervised, BatchConfig, BatchReport, BatchStatus, Contained,
+    JobOutcome, JobSpec, JobStatus, Rung, SupervisorConfig,
 };
 pub use srtw_resource::{
     concatenate_upto, leftover_blind, leftover_chain, ExplicitServer, PeriodicResource,

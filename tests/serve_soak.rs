@@ -1,0 +1,152 @@
+//! Multi-client soak: concurrent clients hammer the service with a mix of
+//! generated systems, and every 200 body must be **byte-identical** to
+//! `srtw analyze --json` on the same input (modulo the measured
+//! `runtime_secs`). Shed responses may only ever be 503, and the final
+//! drain must leave no leaked worker threads.
+
+use srtw::serve::http::client_roundtrip;
+use srtw::serve::{ServeConfig, Server};
+use std::process::Command;
+use std::sync::Arc;
+
+/// Six small exact-in-milliseconds systems with enough variety (rates,
+/// server kinds, multi-stream) to shake out cross-request state leaks.
+fn systems() -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, (wcet, sep, rate)) in [(2, 9, 1), (3, 11, 1), (1, 7, 2), (4, 17, 1), (2, 13, 2)]
+        .iter()
+        .enumerate()
+    {
+        out.push(format!(
+            "task t{i}\nvertex a wcet={wcet} deadline=40\nvertex b wcet=1\n\
+             edge a b sep={sep}\nedge b a sep={sep}\n\
+             server rate-latency rate={rate} latency=2\n"
+        ));
+    }
+    out.push(
+        "task hi\nvertex x wcet=3\nedge x x sep=12\n\
+         task lo\nvertex y wcet=1\nedge y y sep=9\n\
+         server fluid rate=1\n"
+            .to_string(),
+    );
+    out
+}
+
+/// Strips every `"runtime_secs":<number>` value (the document's one
+/// nondeterministic field).
+fn strip_runtime(doc: &str) -> String {
+    let mut out = String::with_capacity(doc.len());
+    let mut rest = doc;
+    while let Some(pos) = rest.find("\"runtime_secs\":") {
+        let after = pos + "\"runtime_secs\":".len();
+        out.push_str(&rest[..after]);
+        out.push('0');
+        let tail = &rest[after..];
+        let end = tail.find(|c| c == ',' || c == '}').unwrap_or(tail.len());
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The CLI's stdout for `analyze <system> --json`, via a temp file.
+fn cli_expected(index: usize, text: &str) -> String {
+    let path = std::env::temp_dir().join(format!(
+        "srtw-soak-{}-{index}.srtw",
+        std::process::id()
+    ));
+    std::fs::write(&path, text).expect("write temp system");
+    let out = Command::new(env!("CARGO_BIN_EXE_srtw"))
+        .args(["analyze", path.to_str().unwrap(), "--json"])
+        .output()
+        .expect("srtw runs");
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        out.status.success(),
+        "CLI failed on soak system {index}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 CLI output")
+}
+
+#[test]
+fn soak_byte_identity_under_concurrent_clients() {
+    const CLIENTS: usize = 4;
+    const REQUESTS: usize = 12;
+
+    let systems = Arc::new(systems());
+    let expected: Arc<Vec<String>> = Arc::new(
+        systems
+            .iter()
+            .enumerate()
+            .map(|(i, text)| strip_runtime(&cli_expected(i, text)))
+            .collect(),
+    );
+
+    let server = Server::spawn(ServeConfig {
+        workers: 4,
+        queue: 8,
+        ..Default::default()
+    })
+    .expect("bind an ephemeral port");
+    let addr = server.addr();
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let systems = Arc::clone(&systems);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut ok = 0usize;
+                let mut shed = 0usize;
+                for r in 0..REQUESTS {
+                    let i = (c + r) % systems.len();
+                    let (status, _, body) = client_roundtrip(
+                        &addr,
+                        "POST",
+                        "/analyze",
+                        &[],
+                        systems[i].as_bytes(),
+                    )
+                    .expect("round trip");
+                    match status {
+                        200 => {
+                            assert_eq!(
+                                strip_runtime(&body),
+                                expected[i],
+                                "client {c} request {r}: response for system {i} \
+                                 diverged from `srtw analyze --json`"
+                            );
+                            ok += 1;
+                        }
+                        // Shedding is the only permissible refusal.
+                        503 => shed += 1,
+                        other => panic!("client {c} request {r}: unexpected status {other}: {body}"),
+                    }
+                }
+                (ok, shed)
+            })
+        })
+        .collect();
+
+    let mut total_ok = 0;
+    let mut total_shed = 0;
+    for client in clients {
+        let (ok, shed) = client.join().expect("client thread");
+        total_ok += ok;
+        total_shed += shed;
+    }
+    assert!(total_ok > 0, "every request was shed");
+    assert_eq!(total_ok + total_shed, CLIENTS * REQUESTS);
+
+    // The stats document reflects the soak.
+    let (status, _, stats) = client_roundtrip(&addr, "GET", "/stats", &[], b"").unwrap();
+    assert_eq!(status, 200);
+    assert!(stats.contains("\"completed\":"), "{stats}");
+    assert!(stats.contains("\"draining\":false"), "{stats}");
+
+    // Graceful drain leaks nothing: no abandoned workers, and no worker
+    // ever had to be respawned (no handler panicked during the soak).
+    let report = server.shutdown();
+    assert!(report.clean(), "drain left debris: {report:?}");
+    assert_eq!(report.respawned, 0, "a worker died during the soak");
+}
