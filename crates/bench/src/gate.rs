@@ -315,6 +315,7 @@ mod tests {
             max_ns: median * 1.1,
             samples: 3,
             iters: 10,
+            allocs_per_iter: None,
         }
     }
 
@@ -387,8 +388,8 @@ mod tests {
             factor: 1.5,
             groups: vec!["rbf".into(), "server_throughput".into()],
         };
-        assert!(violations(&new, &[old.clone()], &cfg).is_empty());
-        assert_eq!(fresh_groups(&new, &[old.clone()], &cfg), ["server_throughput"]);
+        assert!(violations(&new, std::slice::from_ref(&old), &cfg).is_empty());
+        assert_eq!(fresh_groups(&new, std::slice::from_ref(&old), &cfg), ["server_throughput"]);
         // Once any baseline carries the group, it is no longer fresh.
         assert!(fresh_groups(&new, &[old, new.clone()], &cfg).is_empty());
     }

@@ -8,7 +8,10 @@
 //! [`timing`]) to produce `BENCH_1.json`.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// The `count-allocs` feature implements `GlobalAlloc`, which is inherently
+// an `unsafe impl`; everything else in the crate stays free of unsafe code.
+#![cfg_attr(not(feature = "count-allocs"), forbid(unsafe_code))]
+#![cfg_attr(feature = "count-allocs", deny(unsafe_op_in_unsafe_fn))]
 
 pub mod gate;
 pub mod suites;

@@ -8,7 +8,7 @@
 use crate::timing::{Sample, Timer};
 use srtw_core::{rtc_delay, structural_delay, structural_delay_with, AnalysisConfig, Budget};
 use srtw_gen::{adversarial_dense, generate_drt, rescale_utilization, DrtGenConfig};
-use srtw_minplus::{q, BudgetMeter, Curve, Q};
+use srtw_minplus::{q, BudgetMeter, Curve, Pipe, Q};
 use srtw_sim::{earliest_random_walk, simulate_fifo, ServiceProcess};
 use srtw_workload::{explore_metered_threads, ExploreConfig, Rbf};
 use std::hint::black_box;
@@ -67,13 +67,20 @@ pub fn convolution_suite(t: &Timer) -> Vec<Sample> {
 /// horizons (the dominance-pruned path exploration).
 pub fn rbf_suite(t: &Timer) -> Vec<Sample> {
     let mut out = Vec::new();
-    // BENCH_2 recorded rbf_by_graph_size/5 *slower* than /10 (≈324µs vs
-    // ≈239µs): the first measured size also paid the process's cold start
-    // (lazy page faults, allocator arena growth, branch predictor). One
-    // untimed warm-up pass before the sweep removes the artefact so the
-    // sizes compare like for like.
-    let warm = generate_drt(&gen_cfg(5), 42);
-    black_box(Rbf::compute(&warm, Q::int(200)));
+    // BENCH_2..BENCH_4 recorded rbf_by_graph_size/5 *slower* than /10
+    // (≈324µs vs ≈239µs in BENCH_2, still ≈279µs vs ≈219µs in BENCH_4).
+    // B6-style, run *every* measured configuration once untimed before
+    // the sweep so no size pays the process cold start (lazy page
+    // faults, allocator arena growth, branch predictor). BENCH_5 shows
+    // the warmed gap that remains (≈270µs vs ≈215µs) is instance
+    // hardness, not measurement: with the same separation range, the
+    // seed-42 5-vertex graph's short cycles wrap horizon 200 many more
+    // times than the 10-vertex graph's, so its path enumeration is
+    // genuinely deeper.
+    for &n in &[5usize, 10, 20, 40] {
+        let task = generate_drt(&gen_cfg(n), 42);
+        black_box(Rbf::compute(&task, Q::int(200)));
+    }
     for &n in &[5usize, 10, 20, 40] {
         let task = generate_drt(&gen_cfg(n), 42);
         out.push(t.bench("rbf", format!("rbf_by_graph_size/{n}"), || {
@@ -81,6 +88,9 @@ pub fn rbf_suite(t: &Timer) -> Vec<Sample> {
         }));
     }
     let task = generate_drt(&gen_cfg(10), 7);
+    for &h in &[100i128, 300, 1000] {
+        black_box(Rbf::compute(&task, Q::int(h)));
+    }
     for &h in &[100i128, 300, 1000] {
         out.push(t.bench("rbf", format!("rbf_by_horizon/{h}"), || {
             black_box(Rbf::compute(&task, Q::int(h)));
@@ -94,6 +104,12 @@ pub fn rbf_suite(t: &Timer) -> Vec<Sample> {
 pub fn structural_suite(t: &Timer) -> Vec<Sample> {
     let mut out = Vec::new();
     let beta = Curve::rate_latency(q(4, 5), Q::int(4));
+    // Same cold-start treatment as the rbf suite: warm every measured
+    // configuration once before the timed sweep.
+    for &n in &[5usize, 10, 20, 40] {
+        let task = generate_drt(&gen_cfg(n), 11);
+        black_box(structural_delay(&task, &beta).unwrap());
+    }
     for &n in &[5usize, 10, 20, 40] {
         let task = generate_drt(&gen_cfg(n), 11);
         out.push(t.bench("structural", format!("structural_scaling/{n}"), || {
@@ -335,8 +351,93 @@ pub fn server_throughput_suite(t: &Timer) -> Vec<Sample> {
     out
 }
 
-/// Runs all seven suites in order (convolution, rbf, structural,
-/// simulation, budgeted, parallel, server throughput).
+/// B8 — the streaming pipeline: fused conv → conv → min → hdev through
+/// [`srtw_minplus::Pipe`] against the equivalent materializing
+/// composition, and a four-hop tandem concatenation both ways.
+///
+/// Mirroring B6, the suite first **asserts** that the fused pipeline is
+/// bit-identical to the materializing composition — fusion only skips
+/// intermediate validation scans and reuses one scratch arena, it must
+/// never change a breakpoint.
+pub fn fused_pipeline_suite(t: &Timer) -> Vec<Sample> {
+    let mut out = Vec::new();
+    let h = Q::int(200);
+    // Same leading pair as B1's conv_upto/200 so the fused numbers tie
+    // back to the gated convolution suite.
+    let a = Curve::staircase(Q::int(4), Q::int(3));
+    let b = Curve::rate_latency(q(3, 4), Q::int(5));
+    let b2 = Curve::rate_latency(Q::int(3), Q::int(2));
+    let c = Curve::staircase(Q::int(5), Q::int(4)).shift_up(Q::int(2));
+    let demand = Curve::staircase(Q::int(6), Q::int(2));
+    let meter = BudgetMeter::unlimited();
+
+    let fused = |a: &Curve| {
+        Pipe::new(a.clone(), &meter)
+            .conv_upto(&b, h)
+            .unwrap()
+            .conv_upto(&b2, h)
+            .unwrap()
+            .min(&c)
+            .unwrap()
+            .hdev_of(&demand)
+            .unwrap()
+    };
+    let materializing = |a: &Curve| {
+        let c1 = a.try_conv_upto(&b, h, &meter).unwrap();
+        let c2 = c1.try_conv_upto(&b2, h, &meter).unwrap();
+        let min = c2.try_pointwise_min(&c, &meter).unwrap();
+        demand.try_hdev(&min, &meter).unwrap()
+    };
+    assert_eq!(
+        fused(&a),
+        materializing(&a),
+        "fused pipeline diverged from the materializing composition"
+    );
+    out.push(t.bench("fused_pipeline", "conv_min_hdev/fused/200", || {
+        black_box(fused(&a));
+    }));
+    out.push(t.bench("fused_pipeline", "conv_min_hdev/materializing/200", || {
+        black_box(materializing(&a));
+    }));
+
+    // Four-hop tandem concatenation: fold the hops through one pipe vs
+    // materializing every intermediate concatenation.
+    let hops = [
+        Curve::rate_latency(Q::int(2), Q::int(3)),
+        Curve::rate_latency(q(5, 2), Q::int(2)),
+        Curve::rate_latency(Q::int(3), Q::int(4)),
+        Curve::rate_latency(Q::int(4), Q::ONE),
+    ];
+    let fused_chain = || {
+        let mut p = Pipe::new(hops[0].clone(), &meter);
+        for hop in &hops[1..] {
+            p = p.conv_upto(hop, h).unwrap();
+        }
+        p.finish()
+    };
+    let materializing_chain = || {
+        let mut cur = hops[0].clone();
+        for hop in &hops[1..] {
+            cur = cur.try_conv_upto(hop, h, &meter).unwrap();
+        }
+        cur
+    };
+    assert_eq!(
+        fused_chain(),
+        materializing_chain(),
+        "fused tandem concatenation diverged"
+    );
+    out.push(t.bench("fused_pipeline", "concatenate_4hops/fused/200", || {
+        black_box(fused_chain());
+    }));
+    out.push(t.bench("fused_pipeline", "concatenate_4hops/materializing/200", || {
+        black_box(materializing_chain());
+    }));
+    out
+}
+
+/// Runs all eight suites in order (convolution, rbf, structural,
+/// simulation, budgeted, parallel, server throughput, fused pipeline).
 pub fn all_suites(t: &Timer) -> Vec<Sample> {
     let mut out = convolution_suite(t);
     out.extend(rbf_suite(t));
@@ -345,6 +446,7 @@ pub fn all_suites(t: &Timer) -> Vec<Sample> {
     out.extend(budgeted_suite(t));
     out.extend(parallel_suite(t));
     out.extend(server_throughput_suite(t));
+    out.extend(fused_pipeline_suite(t));
     out
 }
 
@@ -362,6 +464,7 @@ mod tests {
         assert_eq!(budgeted_suite(&t).len(), 6);
         assert_eq!(parallel_suite(&t).len(), 9);
         assert_eq!(server_throughput_suite(&t).len(), 3);
+        assert_eq!(fused_pipeline_suite(&t).len(), 4);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Allocation-count assertions for the fused pipeline (requires the
+//! `count-allocs` feature; without it the tests vacuously pass).
+//!
+//! The point of [`srtw_minplus::Pipe`] is that chaining convolutions,
+//! pointwise minima, and a deviation exit reuses one scratch arena and
+//! skips intermediate validation: the pipeline holds O(1) intermediate
+//! buffers regardless of how many stages flow through it, where the
+//! materializing composition pays a fresh scratch set per convolution.
+
+use srtw_bench::timing::alloc_count;
+use srtw_minplus::{BudgetMeter, Curve, Ext, Pipe, Q};
+
+/// Allocations performed by `f` on this thread, `None` without the feature.
+fn allocs_of(f: impl FnOnce()) -> Option<u64> {
+    let before = alloc_count()?;
+    f();
+    Some(alloc_count().expect("counting allocator vanished") - before)
+}
+
+fn inputs() -> (Curve, Curve, Curve, Curve, Curve, Q) {
+    let a = Curve::staircase(Q::int(4), Q::int(3));
+    let b = Curve::rate_latency(Q::int(2), Q::int(3));
+    let b2 = Curve::rate_latency(Q::int(3), Q::int(2));
+    let c = Curve::staircase(Q::int(5), Q::int(4)).shift_up(Q::int(2));
+    let demand = Curve::staircase(Q::int(6), Q::int(2));
+    (a, b, b2, c, demand, Q::int(200))
+}
+
+fn fused() -> Ext {
+    let (a, b, b2, c, demand, h) = inputs();
+    let meter = BudgetMeter::unlimited();
+    Pipe::new(a, &meter)
+        .conv_upto(&b, h)
+        .unwrap()
+        .conv_upto(&b2, h)
+        .unwrap()
+        .min(&c)
+        .unwrap()
+        .hdev_of(&demand)
+        .unwrap()
+}
+
+fn materialized() -> Ext {
+    let (a, b, b2, c, demand, h) = inputs();
+    let meter = BudgetMeter::unlimited();
+    let c1 = a.try_conv_upto(&b, h, &meter).unwrap();
+    let c2 = c1.try_conv_upto(&b2, h, &meter).unwrap();
+    let min = c2.try_pointwise_min(&c, &meter).unwrap();
+    demand.try_hdev(&min, &meter).unwrap()
+}
+
+#[test]
+fn fused_pipeline_allocates_less_than_materializing() {
+    assert_eq!(fused(), materialized(), "strategies must agree first");
+    // Warm both paths once so lazily initialized runtime structures don't
+    // skew the counts.
+    let _ = allocs_of(|| {
+        fused();
+        materialized();
+    });
+    let (Some(f), Some(m)) = (
+        allocs_of(|| {
+            fused();
+        }),
+        allocs_of(|| {
+            materialized();
+        }),
+    ) else {
+        eprintln!("count-allocs feature off; skipping");
+        return;
+    };
+    assert!(
+        f < m,
+        "fused conv → conv → min → hdev should allocate less than the \
+         materializing composition: fused = {f}, materializing = {m}"
+    );
+}
+
+#[test]
+fn fused_conv_stages_reuse_the_scratch_arena() {
+    // Marginal allocations of one more convolution stage: the fused
+    // pipeline reuses its (already warm) arena, the materializing path
+    // pays a fresh scratch set per operator.
+    let (a, b, b2, _, _, h) = inputs();
+    let run_fused = |convs: usize| {
+        let meter = BudgetMeter::unlimited();
+        let mut p = Pipe::new(a.clone(), &meter).conv_upto(&b, h).unwrap();
+        for _ in 0..convs {
+            p = p.conv_upto(&b2, h).unwrap();
+        }
+        std::hint::black_box(p.finish());
+    };
+    let run_mat = |convs: usize| {
+        let meter = BudgetMeter::unlimited();
+        let mut cur = a.try_conv_upto(&b, h, &meter).unwrap();
+        for _ in 0..convs {
+            cur = cur.try_conv_upto(&b2, h, &meter).unwrap();
+        }
+        std::hint::black_box(cur);
+    };
+    run_fused(4);
+    run_mat(4);
+    let counts = |run: &dyn Fn(usize)| {
+        Some((allocs_of(|| run(1))?, allocs_of(|| run(4))?))
+    };
+    let (Some((f1, f4)), Some((m1, m4))) = (counts(&run_fused), counts(&run_mat)) else {
+        eprintln!("count-allocs feature off; skipping");
+        return;
+    };
+    let fused_marginal = (f4 - f1) / 3;
+    let mat_marginal = (m4 - m1) / 3;
+    assert!(
+        fused_marginal < mat_marginal,
+        "an extra fused conv stage should cost fewer allocations than an \
+         extra materializing conv: fused {fused_marginal}/stage \
+         (total {f1} → {f4}), materializing {mat_marginal}/stage \
+         (total {m1} → {m4})"
+    );
+    // O(1) intermediate buffers: the per-stage overhead is a small
+    // constant (output rewrites into the warm arena), not a buffer set.
+    assert!(
+        fused_marginal <= 16,
+        "fused conv stage marginal allocations grew past a small constant: \
+         {fused_marginal}/stage"
+    );
+}

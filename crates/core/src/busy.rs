@@ -304,11 +304,11 @@ mod tests {
         use srtw_minplus::Budget;
         let t = looped(2, 5);
         let beta = Curve::rate_latency(Q::ONE, Q::int(4));
-        let exact = busy_window(&[t.clone()], &beta).unwrap();
+        let exact = busy_window(std::slice::from_ref(&t), &beta).unwrap();
         assert!(exact.degraded.is_none());
         for cap in [0u64, 1, 2, 5] {
             let meter = BudgetMeter::new(&Budget::default().with_max_paths(cap));
-            let bw = busy_window_metered(&[t.clone()], &beta, &meter).unwrap();
+            let bw = busy_window_metered(std::slice::from_ref(&t), &beta, &meter).unwrap();
             assert!(
                 bw.bound >= exact.bound,
                 "cap {cap}: degraded busy window {} below exact {}",
@@ -334,7 +334,7 @@ mod tests {
         // but the packing line's rate 2/5 … let the result speak: either a
         // sound degraded bound or BudgetExhausted — never a panic and
         // never an unsoundly small bound.
-        match busy_window_metered(&[t.clone()], &beta, &meter) {
+        match busy_window_metered(std::slice::from_ref(&t), &beta, &meter) {
             Ok(bw) => {
                 let exact = busy_window(&[t], &beta).unwrap();
                 assert!(bw.bound >= exact.bound);

@@ -11,7 +11,7 @@ use crate::analysis::{structural_delay_with, AnalysisConfig};
 use crate::busy::busy_window;
 use crate::error::AnalysisError;
 use crate::report::DelayAnalysis;
-use srtw_minplus::{Curve, Q};
+use srtw_minplus::{BudgetMeter, Curve, Pipe, Q};
 use srtw_workload::{DrtTask, Rbf};
 
 /// Structural per-job-type bounds for each task under preemptive
@@ -67,7 +67,11 @@ pub fn fixed_priority_structural_with(
         .collect();
 
     let mut out = Vec::with_capacity(tasks.len());
-    let mut current = beta.clone();
+    // The leftover-service chain β → [β − rbf₀]⁺↑ → [… − rbf₁]⁺↑ → … runs
+    // as one fused pipeline: each level's analysis taps the current curve,
+    // each subtraction is a stage without an intermediate validation scan.
+    let meter = BudgetMeter::unlimited();
+    let mut current = Pipe::new(beta.clone(), &meter);
     for (task, alpha) in tasks.iter().zip(alphas.iter()) {
         // Pin the horizon: the level's own busy-window estimate against
         // the (truncation-optimistic beyond the joint horizon) leftover
@@ -77,8 +81,10 @@ pub fn fixed_priority_structural_with(
             horizon_override: Some(horizon),
             ..cfg.clone()
         };
-        out.push(structural_delay_with(task, &current, &level_cfg)?);
-        current = current.sub_clamped_monotone(alpha);
+        out.push(structural_delay_with(task, current.current(), &level_cfg)?);
+        current = current
+            .sub_clamped(alpha)
+            .expect("unmetered leftover-service subtraction cannot trip");
     }
     Ok(out)
 }

@@ -14,7 +14,7 @@
 use crate::analysis::structural_delay;
 use crate::busy::busy_window;
 use crate::error::AnalysisError;
-use srtw_minplus::{Curve, Ext, Q};
+use srtw_minplus::{BudgetMeter, Curve, Ext, Pipe, Q};
 use srtw_workload::{DrtTask, Rbf};
 
 /// Result of a tandem analysis.
@@ -103,18 +103,24 @@ pub fn tandem_delay(task: &DrtTask, betas: &[Curve]) -> Result<TandemReport, Ana
     let hops = betas.len() as i128;
     let mut valid = horizon * Q::int(hops + 1) + Q::ONE;
     let rbf = Rbf::compute(task, valid);
-    let mut alpha = rbf.curve();
+    let meter = BudgetMeter::unlimited();
+    // One fused pipeline carries the propagated arrival curve across hops:
+    // the per-hop delay is a tap, the deconvolution a stage, with no
+    // intermediate validation scans and one shared scratch arena.
+    let mut alpha = Pipe::new(rbf.curve(), &meter);
     let mut hop_delays = Vec::with_capacity(betas.len());
     let mut per_hop_sum = Q::ZERO;
     for beta in betas {
-        let d = match alpha.hdev(beta) {
-            Ext::Finite(d) => d,
-            Ext::Infinite => return Err(AnalysisError::ServiceSaturated),
+        let d = match alpha.hdev_against(beta) {
+            Ok(Ext::Finite(d)) => d,
+            _ => return Err(AnalysisError::ServiceSaturated),
         };
         hop_delays.push(d);
         per_hop_sum += d;
         valid -= horizon;
-        alpha = alpha.deconv_upto(beta, valid, horizon);
+        alpha = alpha
+            .deconv_upto(beta, valid, horizon)
+            .map_err(|_| AnalysisError::ServiceSaturated)?;
     }
 
     Ok(TandemReport {
@@ -151,14 +157,17 @@ pub fn tandem_backlog_at(
     let hops = betas.len() as i128;
     let mut valid = horizon * Q::int(hops + 1) + Q::ONE;
     let rbf = Rbf::compute(task, valid);
-    let mut alpha = rbf.curve();
+    let meter = BudgetMeter::unlimited();
+    let mut alpha = Pipe::new(rbf.curve(), &meter);
     for beta in betas.iter().take(hop) {
         valid -= horizon;
-        alpha = alpha.deconv_upto(beta, valid, horizon);
+        alpha = alpha
+            .deconv_upto(beta, valid, horizon)
+            .map_err(|_| AnalysisError::ServiceSaturated)?;
     }
-    match alpha.vdev(&betas[hop]) {
-        Ext::Finite(v) => Ok(v),
-        Ext::Infinite => Err(AnalysisError::ServiceSaturated),
+    match alpha.vdev_against(&betas[hop]) {
+        Ok(Ext::Finite(v)) => Ok(v),
+        _ => Err(AnalysisError::ServiceSaturated),
     }
 }
 

@@ -20,11 +20,54 @@ use crate::curve::{try_common_check_horizon, Curve, Piece, Shape, Tail};
 use crate::error::CurveError;
 use crate::meter::{BudgetKind, BudgetMeter};
 use crate::ops::{ck_add, TailInfo};
-use crate::ratio::Q;
+use crate::ratio::{Q, Q64};
+use crate::stream::{CurveStream, Unroll};
+use std::cell::Cell;
 
 /// The budget error carrying whichever dimension actually tripped `meter`.
 fn budget_err(meter: &BudgetMeter) -> CurveError {
     CurveError::Budget(meter.tripped().unwrap_or(BudgetKind::Segments))
+}
+
+/// A budget-meter adapter that swallows its first `skip` ticks.
+///
+/// The i64 scalar kernels tick the real meter as they go; when one
+/// overflows after `k` successful ticks, the exact `Q` kernel re-runs the
+/// same computation from scratch. Replaying it against a `Ticker` with
+/// `skip = k` keeps the meter's observed operation sequence identical to a
+/// pure-`Q` run: the replayed prefix (already paid for, and already known
+/// not to trip) is silent, and ticks `k+1, k+2, …` land on the meter at
+/// exactly the indices the `Q` kernel alone would have produced — so
+/// budget caps, cancellation polls, and fault injection by operation index
+/// are oblivious to which kernel did the arithmetic.
+pub(crate) struct Ticker<'a> {
+    meter: &'a BudgetMeter,
+    skip: Cell<u64>,
+}
+
+impl<'a> Ticker<'a> {
+    fn new(meter: &'a BudgetMeter) -> Ticker<'a> {
+        Ticker::skipping(meter, 0)
+    }
+
+    fn skipping(meter: &'a BudgetMeter, skip: u64) -> Ticker<'a> {
+        Ticker {
+            meter,
+            skip: Cell::new(skip),
+        }
+    }
+
+    fn tick(&self) -> Result<(), CurveError> {
+        let skip = self.skip.get();
+        if skip > 0 {
+            self.skip.set(skip - 1);
+            Ok(())
+        } else if self.meter.tick_segment() {
+            Ok(())
+        } else {
+            Err(budget_err(self.meter))
+        }
+    }
 }
 
 /// An affine fragment defined on the half-open interval `[start, end)`,
@@ -44,45 +87,144 @@ impl Part {
     }
 }
 
-/// Explicit pieces of `c` truncated to `[0, h]`, as [`Part`]s carrying their
-/// extents.
-fn parts_of(c: &Curve, h: Q, meter: &BudgetMeter) -> Result<Vec<Part>, CurveError> {
-    let pieces = c.try_pieces_upto(h, meter)?;
-    let mut out = Vec::with_capacity(pieces.len());
-    for (i, p) in pieces.iter().enumerate() {
-        if p.start > h {
-            break;
+/// The i64 mirror of [`Part`]: same fragment, scalar components.
+#[derive(Debug, Clone, Copy)]
+struct Part64 {
+    start: Q64,
+    end: Q64,
+    v: Q64,
+    r: Q64,
+}
+
+impl Part64 {
+    fn eval(&self, t: Q64) -> Option<Q64> {
+        self.v.add(self.r.mul(t.sub(self.start)?)?)
+    }
+
+    fn from_part(p: &Part) -> Option<Part64> {
+        Some(Part64 {
+            start: Q64::from_q(p.start)?,
+            end: Q64::from_q(p.end)?,
+            v: Q64::from_q(p.v)?,
+            r: Q64::from_q(p.r)?,
+        })
+    }
+}
+
+/// Reusable buffers for the convolution/deconvolution kernels. A fused
+/// [`crate::stream::Pipe`] owns one and threads it through every stage, so
+/// a chained conv → min → hdev composition recycles the same candidate,
+/// event-grid, and envelope-line arenas instead of allocating fresh ones
+/// per operator; the one-shot entry points create a transient instance.
+#[derive(Debug, Default)]
+pub(crate) struct ConvScratch {
+    pa: Vec<Part>,
+    pb: Vec<Part>,
+    cand: Vec<Part>,
+    events: Vec<Q>,
+    lines: Vec<(Q, Q)>,
+    pa64: Vec<Part64>,
+    pb64: Vec<Part64>,
+    cand64: Vec<Part64>,
+    events64: Vec<Q64>,
+    lines64: Vec<(Q64, Q64)>,
+    out64: Vec<(Q64, Q64, Q64)>,
+}
+
+impl ConvScratch {
+    pub(crate) fn new() -> ConvScratch {
+        ConvScratch::default()
+    }
+}
+
+/// Explicit pieces of `c` truncated to `[0, h]`, as [`Part`]s carrying
+/// their extents, written into `out` (cleared first).
+///
+/// Streams the unrolled pieces through [`Unroll`] instead of materializing
+/// them: the meter sees the identical tick sequence (the stream is drained
+/// to exhaustion even past `h`, exactly as `try_pieces_upto` lifts every
+/// piece of every qualifying period), but the unrolled `Vec<Piece>` is
+/// never built — each event is converted to a [`Part`] on the fly using
+/// one event of lookahead for the extent's right end.
+fn parts_of_into(
+    c: &Curve,
+    h: Q,
+    meter: &BudgetMeter,
+    out: &mut Vec<Part>,
+) -> Result<(), CurveError> {
+    out.clear();
+    let hp1 = h + Q::ONE;
+    let mut stream = Unroll::new(c, h, meter);
+    let mut pending: Option<Piece> = None;
+    while let Some(ev) = stream.next_event() {
+        let p = ev?;
+        if let Some(prev) = pending.take() {
+            out.push(Part {
+                start: prev.start,
+                end: p.start.min(hp1),
+                v: prev.value,
+                r: prev.slope,
+            });
         }
-        let end = pieces
-            .get(i + 1)
-            .map(|n| n.start)
-            .unwrap_or_else(|| h + Q::ONE)
-            .min(h + Q::ONE);
+        if p.start > h {
+            // Past the horizon: nothing further is emitted, but the stream
+            // is drained so the metered tick demand matches the
+            // materializing unroll exactly.
+            while let Some(ev) = stream.next_event() {
+                ev?;
+            }
+            return Ok(());
+        }
+        pending = Some(p);
+    }
+    if let Some(prev) = pending {
         out.push(Part {
-            start: p.start,
-            end,
-            v: p.value,
-            r: p.slope,
+            start: prev.start,
+            end: hp1,
+            v: prev.value,
+            r: prev.slope,
         });
     }
-    Ok(out)
+    Ok(())
+}
+
+/// Selects the better of two `(value, slope)` lines for an envelope in the
+/// given direction, with ties broken by slope so the envelope stays extreme
+/// after the tie.
+#[inline]
+fn better<T: Copy + Ord>(a: (T, T), b: (T, T), upper: bool) -> (T, T) {
+    let a_better = if upper {
+        a.0 > b.0 || (a.0 == b.0 && a.1 > b.1)
+    } else {
+        a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
+    };
+    if a_better {
+        a
+    } else {
+        b
+    }
 }
 
 /// Lower or upper envelope of a set of partial affine fragments over
 /// `[0, h]`. Every point of `[0, h]` must be covered by at least one part.
 /// The envelope is computed per elementary interval (between consecutive
-/// part endpoints), where the active parts are full lines.
+/// part endpoints), where the active parts are full lines. `events` and
+/// `lines` are caller-provided scratch buffers (cleared here).
 fn envelope(
     parts: &[Part],
     h: Q,
     upper: bool,
-    meter: &BudgetMeter,
+    tk: &Ticker,
+    events: &mut Vec<Q>,
+    lines: &mut Vec<(Q, Q)>,
 ) -> Result<Vec<Piece>, CurveError> {
-    let mut events: Vec<Q> = parts
-        .iter()
-        .flat_map(|p| [p.start, p.end])
-        .filter(|&t| !t.is_negative() && t <= h)
-        .collect();
+    events.clear();
+    events.extend(
+        parts
+            .iter()
+            .flat_map(|p| [p.start, p.end])
+            .filter(|&t| !t.is_negative() && t <= h),
+    );
     events.push(Q::ZERO);
     events.push(h);
     events.sort();
@@ -102,7 +244,6 @@ fn envelope(
     // rebuilt in place instead of allocating a fresh Vec per elementary
     // interval (the inner-loop allocation dominated profiles on large
     // horizons).
-    let mut lines: Vec<(Q, Q)> = Vec::new();
     for w in events.windows(2) {
         let (x1, x2) = (w[0], w[1]);
         // Active parts cover the whole elementary interval; within it each
@@ -124,30 +265,17 @@ fn envelope(
         // stays extreme after the tie).
         let mut x = x1;
         loop {
-            if !meter.tick_segment() {
-                return Err(budget_err(meter));
-            }
+            tk.tick()?;
             let cur = lines
                 .iter()
                 .copied()
                 .map(|l| (value_at(l, x), l.1))
-                .reduce(|a, b| {
-                    let a_better = if upper {
-                        a.0 > b.0 || (a.0 == b.0 && a.1 > b.1)
-                    } else {
-                        a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
-                    };
-                    if a_better {
-                        a
-                    } else {
-                        b
-                    }
-                })
+                .reduce(|a, b| better(a, b, upper))
                 .expect("non-empty");
             push(Piece::new(x, cur.0, cur.1), &mut out);
             // Earliest strict crossing by a line that overtakes `cur`.
             let mut next_x: Option<Q> = None;
-            for &l in &lines {
+            for &l in lines.iter() {
                 let overtakes = if upper { l.1 > cur.1 } else { l.1 < cur.1 };
                 if !overtakes {
                     continue;
@@ -180,22 +308,288 @@ fn envelope(
         .iter()
         .filter(|p| p.start <= h && p.end > h)
         .map(|p| (p.eval(h), p.r))
-        .reduce(|a, b| {
-            let a_better = if upper {
-                a.0 > b.0 || (a.0 == b.0 && a.1 > b.1)
-            } else {
-                a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
-            };
-            if a_better {
-                a
-            } else {
-                b
-            }
-        });
+        .reduce(|a, b| better(a, b, upper));
     if let Some((v, r)) = at_h {
         push(Piece::new(h, v, r), &mut out);
     }
     Ok(out)
+}
+
+/// Outcome of an i64 scalar kernel attempt.
+enum ScalarRun {
+    /// The whole computation fit in `i64` numerators/denominators; the
+    /// result is exactly the pieces the `Q` kernel would produce.
+    Done(Vec<Piece>),
+    /// Some intermediate fell out of `i64` range after the carried number
+    /// of successful meter ticks were issued; the caller re-runs the exact
+    /// `Q` kernel with that many leading ticks swallowed (see [`Ticker`]).
+    Spill(u64),
+}
+
+/// The general-convolution pair loop and lower envelope, entirely in
+/// [`Q64`] scalar arithmetic — the fixed-denominator fast path.
+///
+/// Mirrors the `Q` kernel operation-for-operation: the same candidate
+/// fragments in the same order, the same event grid, the same envelope
+/// walk with identical tie-breaking (all `Q64` comparisons are exact
+/// cross-multiplications, so every branch decides exactly as `Q` would).
+/// Every meter tick is issued at the same index. Any intermediate that
+/// does not fit an `i64` rational aborts with [`ScalarRun::Spill`]
+/// carrying the number of ticks already issued.
+fn conv_general_scalar(
+    h: Q,
+    meter: &BudgetMeter,
+    scratch: &mut ConvScratch,
+) -> Result<ScalarRun, CurveError> {
+    let ConvScratch {
+        pa,
+        pb,
+        pa64,
+        pb64,
+        cand64,
+        events64,
+        lines64,
+        out64,
+        ..
+    } = scratch;
+    let mut ticks: u64 = 0;
+    macro_rules! sp {
+        ($e:expr) => {
+            match $e {
+                Some(v) => v,
+                None => return Ok(ScalarRun::Spill(ticks)),
+            }
+        };
+    }
+    macro_rules! tick {
+        () => {
+            if meter.tick_segment() {
+                ticks += 1;
+            } else {
+                return Err(budget_err(meter));
+            }
+        };
+    }
+
+    let h64 = sp!(Q64::from_q(h));
+    pa64.clear();
+    for p in pa.iter() {
+        pa64.push(sp!(Part64::from_part(p)));
+    }
+    pb64.clear();
+    for p in pb.iter() {
+        pb64.push(sp!(Part64::from_part(p)));
+    }
+
+    // --- pair loop: mirror of the Q candidate construction -------------
+    cand64.clear();
+    for a in pa64.iter() {
+        for b in pb64.iter() {
+            tick!();
+            let t0 = sp!(a.start.add(b.start));
+            if t0 > h64 {
+                continue;
+            }
+            let t1 = sp!(a.end.add(b.end)); // exclusive
+            let v0 = sp!(a.v.add(b.v));
+            let (rmin, rmax, len_min) = if a.r <= b.r {
+                (a.r, b.r, sp!(a.end.sub(a.start)))
+            } else {
+                (b.r, a.r, sp!(b.end.sub(b.start)))
+            };
+            let mid = sp!(t0.add(len_min));
+            if mid >= t1 {
+                cand64.push(Part64 {
+                    start: t0,
+                    end: t1,
+                    v: v0,
+                    r: rmin,
+                });
+            } else {
+                cand64.push(Part64 {
+                    start: t0,
+                    end: mid,
+                    v: v0,
+                    r: rmin,
+                });
+                cand64.push(Part64 {
+                    start: mid,
+                    end: t1,
+                    v: sp!(v0.add(sp!(rmin.mul(len_min)))),
+                    r: rmax,
+                });
+            }
+        }
+    }
+
+    // --- lower envelope: mirror of `envelope(…, upper = false)` --------
+    events64.clear();
+    events64.extend(
+        cand64
+            .iter()
+            .flat_map(|p| [p.start, p.end])
+            .filter(|&t| !t.is_negative() && t <= h64),
+    );
+    events64.push(Q64::ZERO);
+    events64.push(h64);
+    events64.sort();
+    events64.dedup();
+
+    out64.clear();
+    // The merge criterion is the same colinear-continuation test the Q
+    // push closure applies; its evaluation can itself overflow, which
+    // spills like any other op.
+    macro_rules! push64 {
+        ($start:expr, $v:expr, $r:expr) => {{
+            let (start, v, r) = ($start, $v, $r);
+            let merged = match out64.last() {
+                Some(&(ls, lv, lr)) => {
+                    lr == r && sp!(lv.add(sp!(lr.mul(sp!(start.sub(ls)))))) == v
+                }
+                None => false,
+            };
+            if !merged {
+                out64.push((start, v, r));
+            }
+        }};
+    }
+
+    let mut i = 0;
+    while i + 1 < events64.len() {
+        let (x1, x2) = (events64[i], events64[i + 1]);
+        i += 1;
+        lines64.clear();
+        for p in cand64.iter() {
+            if p.start <= x1 && p.end >= x2 {
+                lines64.push((sp!(p.eval(x1)), p.r));
+            }
+        }
+        assert!(!lines64.is_empty(), "envelope64: no candidate covers an interval");
+        let mut x = x1;
+        loop {
+            tick!();
+            let mut cur: Option<(Q64, Q64)> = None;
+            for &l in lines64.iter() {
+                let lx = (sp!(l.0.add(sp!(l.1.mul(sp!(x.sub(x1)))))), l.1);
+                cur = Some(match cur {
+                    None => lx,
+                    Some(c) => better(c, lx, false),
+                });
+            }
+            let cur = cur.expect("non-empty");
+            push64!(x, cur.0, cur.1);
+            let mut next_x: Option<Q64> = None;
+            for &l in lines64.iter() {
+                if l.1 >= cur.1 {
+                    continue; // not overtaking (lower envelope)
+                }
+                let vx = sp!(l.0.add(sp!(l.1.mul(sp!(x.sub(x1))))));
+                let gap = sp!(vx.sub(cur.0));
+                if gap.is_negative() || gap.is_zero() {
+                    continue;
+                }
+                let cross = sp!(x.add(sp!(gap.div(sp!(sp!(cur.1.sub(l.1)).abs())))));
+                if cross > x && cross < x2 {
+                    next_x = Some(match next_x {
+                        None => cross,
+                        Some(b) => b.min(cross),
+                    });
+                }
+            }
+            match next_x {
+                None => break,
+                Some(nx) => x = nx,
+            }
+        }
+    }
+    let mut at_h: Option<(Q64, Q64)> = None;
+    for p in cand64.iter() {
+        if p.start <= h64 && p.end > h64 {
+            let lx = (sp!(p.eval(h64)), p.r);
+            at_h = Some(match at_h {
+                None => lx,
+                Some(c) => better(c, lx, false),
+            });
+        }
+    }
+    if let Some((v, r)) = at_h {
+        push64!(h64, v, r);
+    }
+
+    let pieces = out64
+        .iter()
+        .map(|&(s, v, r)| Piece::new(s.to_q(), v.to_q(), r.to_q()))
+        .collect();
+    Ok(ScalarRun::Done(pieces))
+}
+
+/// The general candidate-envelope convolution over pre-computed parts:
+/// scalar fast path first, exact `Q` kernel on spill (with the already
+/// issued ticks swallowed so the meter sequence is identical to a pure-`Q`
+/// run). Returns the final (already colinear-merged) piece list.
+fn conv_general_pieces(
+    f: &Curve,
+    g: &Curve,
+    h: Q,
+    meter: &BudgetMeter,
+    scratch: &mut ConvScratch,
+) -> Result<Vec<Piece>, CurveError> {
+    parts_of_into(f, h, meter, &mut scratch.pa)?;
+    parts_of_into(g, h, meter, &mut scratch.pb)?;
+    let skipped = match conv_general_scalar(h, meter, scratch)? {
+        ScalarRun::Done(pieces) => return Ok(pieces),
+        ScalarRun::Spill(k) => k,
+    };
+    let tk = Ticker::skipping(meter, skipped);
+    let ConvScratch {
+        pa,
+        pb,
+        cand,
+        events,
+        lines,
+        ..
+    } = scratch;
+    cand.clear();
+    cand.reserve(pa.len() * pb.len() * 2);
+    for a in pa.iter() {
+        for b in pb.iter() {
+            tk.tick()?;
+            let t0 = a.start + b.start;
+            if t0 > h {
+                continue;
+            }
+            let t1 = a.end + b.end; // exclusive
+            let v0 = a.v + b.v;
+            let (rmin, rmax, len_min) = if a.r <= b.r {
+                (a.r, b.r, a.end - a.start)
+            } else {
+                (b.r, a.r, b.end - b.start)
+            };
+            let mid = t0 + len_min;
+            if mid >= t1 {
+                cand.push(Part {
+                    start: t0,
+                    end: t1,
+                    v: v0,
+                    r: rmin,
+                });
+            } else {
+                cand.push(Part {
+                    start: t0,
+                    end: mid,
+                    v: v0,
+                    r: rmin,
+                });
+                cand.push(Part {
+                    start: mid,
+                    end: t1,
+                    v: v0 + rmin * len_min,
+                    r: rmax,
+                });
+            }
+        }
+    }
+    envelope(cand, h, false, &tk, events, lines)
 }
 
 impl Curve {
@@ -240,6 +634,31 @@ impl Curve {
         h: Q,
         meter: &BudgetMeter,
     ) -> Result<Curve, CurveError> {
+        self.try_conv_upto_scratch(other, h, meter, &mut ConvScratch::new(), true)
+    }
+
+    /// [`Curve::try_conv_upto`] for fused pipelines: reuses the caller's
+    /// scratch arena and skips the exit validation/normalization pass (the
+    /// kernels construct valid pieces; a [`crate::stream::Pipe`]
+    /// canonicalizes once at its exit instead of once per stage).
+    pub(crate) fn try_conv_upto_raw(
+        &self,
+        other: &Curve,
+        h: Q,
+        meter: &BudgetMeter,
+        scratch: &mut ConvScratch,
+    ) -> Result<Curve, CurveError> {
+        self.try_conv_upto_scratch(other, h, meter, scratch, false)
+    }
+
+    fn try_conv_upto_scratch(
+        &self,
+        other: &Curve,
+        h: Q,
+        meter: &BudgetMeter,
+        scratch: &mut ConvScratch,
+        validate: bool,
+    ) -> Result<Curve, CurveError> {
         assert!(!h.is_negative(), "conv_upto with negative horizon");
         match (self.shape(), other.shape()) {
             (Shape::Concave | Shape::Both, Shape::Concave | Shape::Both) => {
@@ -249,9 +668,23 @@ impl Curve {
                 if matches!(self.tail(), Tail::Affine)
                     && matches!(other.tail(), Tail::Affine) =>
             {
-                self.conv_convex(other, h, meter)
+                let pieces = self.conv_convex_pieces(other, h, meter, scratch)?;
+                Ok(if validate {
+                    Curve::new(pieces, Tail::Affine)
+                        .expect("convex conv produced an invalid curve")
+                } else {
+                    Curve::raw(pieces, Tail::Affine).into_normalized()
+                })
             }
-            _ => self.try_conv_upto_general(other, h, meter),
+            _ => {
+                let pieces = conv_general_pieces(self, other, h, meter, scratch)?;
+                Ok(if validate {
+                    Curve::new(pieces, Tail::Affine)
+                        .expect("conv_upto produced an invalid curve")
+                } else {
+                    Curve::raw(pieces, Tail::Affine).into_normalized()
+                })
+            }
         }
     }
 
@@ -289,19 +722,29 @@ impl Curve {
     /// only ever get worse). Both operands are continuous (convexity
     /// forbids upward jumps, validation forbids downward ones) with affine
     /// tails, so segment lists cover `[0, h]` and the merge is exact there.
-    fn conv_convex(&self, other: &Curve, h: Q, meter: &BudgetMeter) -> Result<Curve, CurveError> {
-        let pa = parts_of(self, h, meter)?;
-        let pb = parts_of(other, h, meter)?;
-        // (slope, length) segments; parts_of caps the last extent at h+1,
-        // so the combined lengths cover [0, h] with room to spare.
-        let mut segs: Vec<(Q, Q)> = Vec::with_capacity(pa.len() + pb.len());
+    fn conv_convex_pieces(
+        &self,
+        other: &Curve,
+        h: Q,
+        meter: &BudgetMeter,
+        scratch: &mut ConvScratch,
+    ) -> Result<Vec<Piece>, CurveError> {
+        parts_of_into(self, h, meter, &mut scratch.pa)?;
+        parts_of_into(other, h, meter, &mut scratch.pb)?;
+        let (pa, pb) = (&scratch.pa, &scratch.pb);
+        // (slope, length) segments; parts_of_into caps the last extent at
+        // h+1, so the combined lengths cover [0, h] with room to spare.
+        // The segment list reuses the scratch line buffer.
+        let segs = &mut scratch.lines;
+        segs.clear();
+        segs.reserve(pa.len() + pb.len());
         segs.extend(pa.iter().map(|p| (p.r, p.end - p.start)));
         segs.extend(pb.iter().map(|p| (p.r, p.end - p.start)));
-        segs.sort_by(|a, b| a.0.cmp(&b.0));
+        segs.sort_by_key(|s| s.0);
         let mut pieces: Vec<Piece> = Vec::with_capacity(segs.len());
         let mut t = Q::ZERO;
         let mut v = self.eval(Q::ZERO) + other.eval(Q::ZERO);
-        for &(r, len) in &segs {
+        for &(r, len) in segs.iter() {
             if t > h {
                 break;
             }
@@ -309,10 +752,10 @@ impl Curve {
                 return Err(budget_err(meter));
             }
             pieces.push(Piece::new(t, v, r));
-            t = t + len;
-            v = v + r * len;
+            t += len;
+            v += r * len;
         }
-        Ok(Curve::new(pieces, Tail::Affine).expect("convex conv produced an invalid curve"))
+        Ok(pieces)
     }
 
     /// The shape-oblivious quadratic candidate-envelope convolution.
@@ -331,50 +774,7 @@ impl Curve {
         h: Q,
         meter: &BudgetMeter,
     ) -> Result<Curve, CurveError> {
-        let pa = parts_of(self, h, meter)?;
-        let pb = parts_of(other, h, meter)?;
-        let mut cand: Vec<Part> = Vec::with_capacity(pa.len() * pb.len() * 2);
-        for a in &pa {
-            for b in &pb {
-                if !meter.tick_segment() {
-                    return Err(budget_err(meter));
-                }
-                let t0 = a.start + b.start;
-                if t0 > h {
-                    continue;
-                }
-                let t1 = a.end + b.end; // exclusive
-                let v0 = a.v + b.v;
-                let (rmin, rmax, len_min) = if a.r <= b.r {
-                    (a.r, b.r, a.end - a.start)
-                } else {
-                    (b.r, a.r, b.end - b.start)
-                };
-                let mid = t0 + len_min;
-                if mid >= t1 {
-                    cand.push(Part {
-                        start: t0,
-                        end: t1,
-                        v: v0,
-                        r: rmin,
-                    });
-                } else {
-                    cand.push(Part {
-                        start: t0,
-                        end: mid,
-                        v: v0,
-                        r: rmin,
-                    });
-                    cand.push(Part {
-                        start: mid,
-                        end: t1,
-                        v: v0 + rmin * len_min,
-                        r: rmax,
-                    });
-                }
-            }
-        }
-        let pieces = envelope(&cand, h, false, meter)?;
+        let pieces = conv_general_pieces(self, other, h, meter, &mut ConvScratch::new())?;
         Ok(Curve::new(pieces, Tail::Affine).expect("conv_upto produced an invalid curve"))
     }
 
@@ -451,13 +851,38 @@ impl Curve {
         u_cap: Q,
         meter: &BudgetMeter,
     ) -> Result<Curve, CurveError> {
+        self.try_deconv_upto_with(other, h, u_cap, meter, &mut ConvScratch::new(), true)
+    }
+
+    /// [`Curve::try_deconv_upto`] over a caller-owned scratch arena. With
+    /// `validate` off the result skips the `Curve::new` validation scan
+    /// (trusted pipeline interior) but is still normalized, so it is
+    /// byte-identical to the validated result.
+    pub(crate) fn try_deconv_upto_with(
+        &self,
+        other: &Curve,
+        h: Q,
+        u_cap: Q,
+        meter: &BudgetMeter,
+        scratch: &mut ConvScratch,
+        validate: bool,
+    ) -> Result<Curve, CurveError> {
         assert!(!h.is_negative() && !u_cap.is_negative());
-        let pa = parts_of(self, ck_add(h, u_cap)?, meter)?;
-        let pb = parts_of(other, u_cap, meter)?;
+        parts_of_into(self, ck_add(h, u_cap)?, meter, &mut scratch.pa)?;
+        parts_of_into(other, u_cap, meter, &mut scratch.pb)?;
+        let ConvScratch {
+            pa,
+            pb,
+            cand,
+            events,
+            lines,
+            ..
+        } = scratch;
 
         // Up to four candidates per region pair (see below); reserving once
         // keeps the inner loop allocation-free.
-        let mut cand: Vec<Part> = Vec::with_capacity(pa.len() * pb.len() * 4);
+        cand.clear();
+        cand.reserve(pa.len() * pb.len() * 4);
         let mut add = |start: Q, end: Q, v_at_start: Q, r: Q| {
             let s = start.max(Q::ZERO);
             let e = end.min(h + Q::ONE);
@@ -471,9 +896,9 @@ impl Curve {
             }
         };
 
-        for a in &pa {
+        for a in pa.iter() {
             let (xk, xk1) = (a.start, a.end);
-            for b in &pb {
+            for b in pb.iter() {
                 if !meter.tick_segment() {
                     return Err(budget_err(meter));
                 }
@@ -507,8 +932,12 @@ impl Curve {
         if cand.is_empty() {
             return Ok(Curve::constant(self.eval(Q::ZERO) - other.eval(Q::ZERO)));
         }
-        let pieces = envelope(&cand, h, true, meter)?;
-        Ok(Curve::new(pieces, Tail::Affine).expect("deconv_upto produced an invalid curve"))
+        let pieces = envelope(cand, h, true, &Ticker::new(meter), events, lines)?;
+        Ok(if validate {
+            Curve::new(pieces, Tail::Affine).expect("deconv_upto produced an invalid curve")
+        } else {
+            Curve::raw(pieces, Tail::Affine).into_normalized()
+        })
     }
 
     /// (min,+) deconvolution with an automatically derived inner-supremum

@@ -12,6 +12,7 @@
 use crate::error::{ArithmeticError, CurveError};
 use crate::meter::BudgetMeter;
 use crate::ratio::Q;
+use crate::stream::PieceBuf;
 use std::sync::OnceLock;
 
 /// The overflow error value for `ok_or_else` sites in this module.
@@ -88,7 +89,7 @@ pub enum Tail {
 /// ```
 #[derive(Clone)]
 pub struct Curve {
-    pieces: Vec<Piece>,
+    pieces: PieceBuf,
     tail: Tail,
     /// Lazily computed shape class, shared by clones at clone time. The
     /// cache is *not* part of the curve's identity: equality and hashing
@@ -147,10 +148,20 @@ impl Curve {
     #[inline]
     pub(crate) fn raw(pieces: Vec<Piece>, tail: Tail) -> Curve {
         Curve {
-            pieces,
+            pieces: pieces.into(),
             tail,
             shape: OnceLock::new(),
         }
+    }
+
+    /// Normalizes in place and returns the curve: the canonicalizing exit
+    /// of a fused [`crate::stream::Pipe`]. The pipeline stages build pieces
+    /// with trusted kernels (invariants hold by construction), so only the
+    /// colinear-merge pass of [`Curve::new`] is needed — not its
+    /// validation scan.
+    pub(crate) fn into_normalized(mut self) -> Curve {
+        self.normalize();
+        self
     }
     /// Creates a curve from pieces and a tail descriptor, validating all
     /// representation invariants (non-empty, starts at 0, strictly
@@ -254,7 +265,7 @@ impl Curve {
             {
                 *pattern_start -= removed;
             }
-            self.pieces = merged;
+            self.pieces = merged.into();
         }
     }
 
@@ -401,13 +412,13 @@ impl Curve {
         assert!(!h.is_negative(), "pieces_upto with negative horizon");
         
         match self.tail {
-            Tail::Affine => Ok(self.pieces.clone()),
+            Tail::Affine => Ok(self.pieces.to_vec()),
             Tail::Periodic {
                 pattern_start,
                 period,
                 increment,
             } => {
-                let mut out = self.pieces.clone();
+                let mut out = self.pieces.to_vec();
                 let s = self.pieces[pattern_start].start;
                 let pattern: Vec<Piece> = self.pieces[pattern_start..].to_vec();
                 let mut k: i128 = 1;
@@ -500,7 +511,7 @@ impl Curve {
                 // Number of extra whole periods to unroll so the remaining
                 // pattern starts at or after `h`.
                 let k = ((h - s) / period).ceil().max(0);
-                let mut pieces = self.pieces.clone();
+                let mut pieces = self.pieces.to_vec();
                 let pattern: Vec<Piece> = self.pieces[pattern_start..].to_vec();
                 for kk in 1..=k {
                     let shift = period * Q::int(kk);
@@ -721,7 +732,7 @@ impl Curve {
         }
         let mut pieces = Vec::with_capacity(self.pieces.len() + 1);
         pieces.push(Piece::new(Q::ZERO, self.pieces[0].value, Q::ZERO));
-        for p in &self.pieces {
+        for p in self.pieces.iter() {
             pieces.push(Piece::new(p.start + dt, p.value, p.slope));
         }
         let tail = match self.tail {

@@ -18,6 +18,7 @@ use crate::extended::Ext;
 use crate::meter::{BudgetKind, BudgetMeter};
 use crate::ops::{ck_add, running_max_diff, try_common_period, TailInfo};
 use crate::ratio::Q;
+use crate::stream::{CurveStream, Unroll};
 
 impl Curve {
     /// Lower pseudo-inverse: `f⁻¹(w) = inf { t ≥ 0 : f(t) ≥ w }`.
@@ -211,35 +212,44 @@ impl Curve {
 
         // Candidate times: demand breakpoints, plus times where the demand
         // crosses a service breakpoint's value (there the service
-        // pseudo-inverse kinks).
-        let mut cands: Vec<Q> = self
-            .try_pieces_upto(h, meter)?
-            .iter()
-            .map(|p| p.start)
-            .filter(|&t| t <= h)
-            .collect();
+        // pseudo-inverse kinks). Both scans stream the unrolled pieces
+        // instead of materializing them (same tick sequence).
+        let mut cands: Vec<Q> = Vec::new();
+        let mut demand_stream = Unroll::new(self, h, meter);
+        while let Some(ev) = demand_stream.next_event() {
+            let p = ev?;
+            if p.start <= h {
+                cands.push(p.start);
+            }
+        }
         let demand_max = self.eval(h);
-        // Materialize service breakpoints up to the service time that
-        // covers the maximal demand.
+        // Stream service breakpoints up to the service time that covers the
+        // maximal demand, with one event of lookahead for the left limits.
         let bh = match other.pseudo_inverse(demand_max) {
             Ext::Finite(t) => t + Q::ONE,
             Ext::Infinite => return Ok(Ext::Infinite),
         };
-        let service_pieces = other.try_pieces_upto(bh, meter)?;
-        for (i, p) in service_pieces.iter().enumerate() {
+        let mut service_stream = Unroll::new(other, bh, meter);
+        let mut pending = match service_stream.next_event() {
+            Some(ev) => Some(ev?),
+            None => None,
+        };
+        while let Some(p) = pending {
+            let next = match service_stream.next_event() {
+                Some(ev) => Some(ev?),
+                None => None,
+            };
             // Both the piece's start value and its left limit at the next
             // breakpoint are levels where other's pseudo-inverse kinks.
-            let mut levels = vec![p.value];
-            if let Some(n) = service_pieces.get(i + 1) {
-                levels.push(p.eval(n.start));
-            }
-            for v in levels {
+            let levels = [Some(p.value), next.map(|n| p.eval(n.start))];
+            for v in levels.into_iter().flatten() {
                 if let Ext::Finite(t) = self.pseudo_inverse(v) {
                     if t <= h {
                         cands.push(t);
                     }
                 }
             }
+            pending = next;
         }
         cands.push(Q::ZERO);
         cands.push(h);

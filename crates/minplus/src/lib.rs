@@ -45,6 +45,7 @@ mod extended;
 mod meter;
 mod ops;
 mod ratio;
+mod stream;
 
 pub use curve::{Curve, Piece, Tail};
 pub use error::{ArithmeticError, CurveError};
@@ -53,3 +54,4 @@ pub use meter::{
     Budget, BudgetKind, BudgetMeter, CancelToken, FaultKind, FaultPlan, CLOCK_STRIDE,
 };
 pub use ratio::{q, ParseQError, Q};
+pub use stream::{CurveStream, PieceBuf, Pipe, Unroll, INLINE_PIECES};

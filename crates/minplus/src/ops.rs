@@ -213,12 +213,16 @@ pub(crate) fn try_common_period(a: &TailInfo, b: &TailInfo) -> Result<Option<Q>,
     }
 }
 
-fn try_pointwise(
+/// The kernel behind the pointwise entry points: returns the combined
+/// pieces and tail descriptor *before* curve construction, so the
+/// validating entry points and the raw (fused-pipeline) variants share one
+/// implementation.
+fn try_pointwise_parts(
     a: &Curve,
     b: &Curve,
     op: PointOp,
     meter: &BudgetMeter,
-) -> Result<Curve, CurveError> {
+) -> Result<(Vec<Piece>, Tail), CurveError> {
     let ta = TailInfo::of(a);
     let tb = TailInfo::of(b);
     let h0 = ta.s.max(tb.s);
@@ -234,7 +238,7 @@ fn try_pointwise(
                 // past both tail starts works.
                 let h = ck_add(h0, Q::ONE)?;
                 let pieces = combine_pieces(a, b, h, &[], op, meter)?;
-                Ok(Curve::new(pieces, Tail::Affine).expect("pointwise affine result invalid"))
+                Ok((pieces, Tail::Affine))
             }
             Some(p) => {
                 let rate = match op {
@@ -247,15 +251,12 @@ fn try_pointwise(
                     .iter()
                     .position(|q| q.start >= h0)
                     .expect("anchor piece present");
-                Ok(Curve::new(
-                    pieces,
-                    Tail::Periodic {
-                        pattern_start,
-                        period: p,
-                        increment: ck_mul(rate, p)?,
-                    },
-                )
-                .expect("pointwise periodic result invalid"))
+                let tail = Tail::Periodic {
+                    pattern_start,
+                    period: p,
+                    increment: ck_mul(rate, p)?,
+                };
+                Ok((pieces, tail))
             }
         }
     } else {
@@ -281,8 +282,7 @@ fn try_pointwise(
             None => {
                 let h = ck_add(t0, Q::ONE)?;
                 let pieces = combine_pieces(a, b, h, &[], op, meter)?;
-                Ok(Curve::new(pieces, Tail::Affine)
-                    .expect("pointwise winner-affine result invalid"))
+                Ok((pieces, Tail::Affine))
             }
             Some(pw) => {
                 // Align the future pattern start to the winner's grid.
@@ -298,18 +298,39 @@ fn try_pointwise(
                     Tail::Periodic { increment, .. } => increment,
                     Tail::Affine => unreachable!("winner has periodic tail"),
                 };
-                Ok(Curve::new(
-                    pieces,
-                    Tail::Periodic {
-                        pattern_start,
-                        period: pw,
-                        increment,
-                    },
-                )
-                .expect("pointwise winner-periodic result invalid"))
+                let tail = Tail::Periodic {
+                    pattern_start,
+                    period: pw,
+                    increment,
+                };
+                Ok((pieces, tail))
             }
         }
     }
+}
+
+fn try_pointwise(
+    a: &Curve,
+    b: &Curve,
+    op: PointOp,
+    meter: &BudgetMeter,
+) -> Result<Curve, CurveError> {
+    let (pieces, tail) = try_pointwise_parts(a, b, op, meter)?;
+    Ok(Curve::new(pieces, tail).expect("pointwise result invalid"))
+}
+
+/// [`Curve::try_pointwise_min`] for fused pipelines: identical pieces, but
+/// the result skips the validating constructor (the kernel's output is
+/// valid by construction) and only runs the colinear-merge normalization —
+/// so the intermediate a [`crate::stream::Pipe`] carries is byte-identical
+/// to the materializing operator's output.
+pub(crate) fn try_pointwise_min_raw(
+    a: &Curve,
+    b: &Curve,
+    meter: &BudgetMeter,
+) -> Result<Curve, CurveError> {
+    let (pieces, tail) = try_pointwise_parts(a, b, PointOp::Min, meter)?;
+    Ok(Curve::raw(pieces, tail).into_normalized())
 }
 
 fn pointwise(a: &Curve, b: &Curve, op: PointOp) -> Curve {
@@ -398,65 +419,8 @@ impl Curve {
         other: &Curve,
         meter: &BudgetMeter,
     ) -> Result<Curve, CurveError> {
-        let ta = TailInfo::of(self);
-        let tb = TailInfo::of(other);
-        let h0 = ta.s.max(tb.s);
-        let p = try_common_period(&ta, &tb)?.unwrap_or(Q::ONE);
-        let dr = ta.rate - tb.rate;
-
-        // First pass: running max on a generous base horizon.
-        let h1 = ck_add(ck_add(h0, p)?, p)?;
-        let (_, m1) = running_max_diff(self, other, h1, &[], meter)?;
-
-        if dr.is_positive() {
-            // The difference eventually grows. The running max becomes
-            // periodic once the window is long enough that the drift over
-            // one analysis period exceeds the total oscillation of the
-            // difference — enlarge the period accordingly.
-            let osc = (ta.dev_max - ta.dev_min) + (tb.dev_max - tb.dev_min);
-            let enlarge = (osc / (dr * p)).ceil().max(0) + 1;
-            let pp = ck_mul(p, Q::int(enlarge))?;
-            let (alo, ar) = ta.lower_line();
-            let (bup, br) = tb.upper_line();
-            // diff(t) ≥ (alo − bup) + dr·t ≥ m1  ⇒  t ≥ (m1 − alo + bup)/dr
-            let t0 = ((m1 - alo + bup) / (ar - br)).max(ck_add(h0, pp)?);
-            let k = ((t0 - h0) / pp).ceil().max(0) + 1;
-            let hstar = ck_add(h0, ck_mul(pp, Q::int(k))?)?;
-            let (pieces, _) =
-                running_max_diff(self, other, ck_add(hstar, pp)?, &[hstar], meter)?;
-            let pattern_start = pieces
-                .iter()
-                .position(|q| q.start >= hstar)
-                .expect("pattern anchor");
-            Ok(Curve::new(
-                pieces,
-                Tail::Periodic {
-                    pattern_start,
-                    period: pp,
-                    increment: ck_mul(dr, pp)?,
-                },
-            )
-            .expect("sub_clamped_monotone periodic result invalid"))
-        } else if dr.is_zero() {
-            // The difference is eventually periodic with zero net growth:
-            // the maximum over one aligned period beyond h0 is global.
-            let h = ck_add(h0, p)?;
-            let (mut pieces, m) = running_max_diff(self, other, h, &[], meter)?;
-            pieces.push(Piece::new(h, m, Q::ZERO));
-            Ok(Curve::new(pieces, Tail::Affine)
-                .expect("sub_clamped_monotone flat result invalid"))
-        } else {
-            // Negative drift: the difference's upper bounding line decays;
-            // once it is below the historical max, the running max is final.
-            let (aup, ar) = ta.upper_line();
-            let (blo, br) = tb.lower_line();
-            // diff(t) ≤ (aup − blo) + dr·t ≤ m1  ⇐  t ≥ (aup − blo − m1)/(−dr)
-            let t0 = ((aup - blo - m1) / (br - ar)).max(h0) + Q::ONE;
-            let (mut pieces, m) = running_max_diff(self, other, t0, &[], meter)?;
-            pieces.push(Piece::new(t0, m, Q::ZERO));
-            Ok(Curve::new(pieces, Tail::Affine)
-                .expect("sub_clamped_monotone decay result invalid"))
-        }
+        let (pieces, tail) = try_sub_clamped_parts(self, other, meter)?;
+        Ok(Curve::new(pieces, tail).expect("sub_clamped_monotone result invalid"))
     }
 
     /// Pointwise minimum over a non-empty set of curves.
@@ -474,6 +438,70 @@ impl Curve {
         curves
             .iter()
             .fold(Curve::zero(), |acc, c| acc.pointwise_add(c))
+    }
+}
+
+/// The kernel behind [`Curve::try_sub_clamped_monotone`]: returns the
+/// result's pieces and tail descriptor before curve construction, shared
+/// by the validating entry point and the fused-pipeline stage (which skips
+/// the validation scan and only normalizes).
+pub(crate) fn try_sub_clamped_parts(
+    f: &Curve,
+    g: &Curve,
+    meter: &BudgetMeter,
+) -> Result<(Vec<Piece>, Tail), CurveError> {
+    let ta = TailInfo::of(f);
+    let tb = TailInfo::of(g);
+    let h0 = ta.s.max(tb.s);
+    let p = try_common_period(&ta, &tb)?.unwrap_or(Q::ONE);
+    let dr = ta.rate - tb.rate;
+
+    // First pass: running max on a generous base horizon.
+    let h1 = ck_add(ck_add(h0, p)?, p)?;
+    let (_, m1) = running_max_diff(f, g, h1, &[], meter)?;
+
+    if dr.is_positive() {
+        // The difference eventually grows. The running max becomes
+        // periodic once the window is long enough that the drift over
+        // one analysis period exceeds the total oscillation of the
+        // difference — enlarge the period accordingly.
+        let osc = (ta.dev_max - ta.dev_min) + (tb.dev_max - tb.dev_min);
+        let enlarge = (osc / (dr * p)).ceil().max(0) + 1;
+        let pp = ck_mul(p, Q::int(enlarge))?;
+        let (alo, ar) = ta.lower_line();
+        let (bup, br) = tb.upper_line();
+        // diff(t) ≥ (alo − bup) + dr·t ≥ m1  ⇒  t ≥ (m1 − alo + bup)/dr
+        let t0 = ((m1 - alo + bup) / (ar - br)).max(ck_add(h0, pp)?);
+        let k = ((t0 - h0) / pp).ceil().max(0) + 1;
+        let hstar = ck_add(h0, ck_mul(pp, Q::int(k))?)?;
+        let (pieces, _) = running_max_diff(f, g, ck_add(hstar, pp)?, &[hstar], meter)?;
+        let pattern_start = pieces
+            .iter()
+            .position(|q| q.start >= hstar)
+            .expect("pattern anchor");
+        let tail = Tail::Periodic {
+            pattern_start,
+            period: pp,
+            increment: ck_mul(dr, pp)?,
+        };
+        Ok((pieces, tail))
+    } else if dr.is_zero() {
+        // The difference is eventually periodic with zero net growth:
+        // the maximum over one aligned period beyond h0 is global.
+        let h = ck_add(h0, p)?;
+        let (mut pieces, m) = running_max_diff(f, g, h, &[], meter)?;
+        pieces.push(Piece::new(h, m, Q::ZERO));
+        Ok((pieces, Tail::Affine))
+    } else {
+        // Negative drift: the difference's upper bounding line decays;
+        // once it is below the historical max, the running max is final.
+        let (aup, ar) = ta.upper_line();
+        let (blo, br) = tb.lower_line();
+        // diff(t) ≤ (aup − blo) + dr·t ≤ m1  ⇐  t ≥ (aup − blo − m1)/(−dr)
+        let t0 = ((aup - blo - m1) / (br - ar)).max(h0) + Q::ONE;
+        let (mut pieces, m) = running_max_diff(f, g, t0, &[], meter)?;
+        pieces.push(Piece::new(t0, m, Q::ZERO));
+        Ok((pieces, Tail::Affine))
     }
 }
 

@@ -100,12 +100,16 @@ impl Q {
         if den == 0 {
             return None;
         }
+        // gcd(num, den) >= |den| > 0 is impossible only for num == 0, where
+        // gcd(0, den) == |den| >= 1 — either way the divisor is nonzero.
         let g = gcd(num, den);
-        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        let (mut num, mut den) = (num / g, den / g);
         if den < 0 {
             num = -num;
             den = -den;
         }
+        debug_assert!(den > 0, "Q normalization: den must end positive");
+        debug_assert_eq!(gcd(num, den), 1, "Q normalization: gcd must end 1");
         Some(Q { num, den })
     }
 
@@ -544,6 +548,165 @@ impl FromStr for Q {
     }
 }
 
+/// A small rational on `i64` components, the scalar of the fixed-denominator
+/// convolution fast path.
+///
+/// Unlike [`Q`], a `Q64` is **not** kept reduced: `den > 0` always holds, but
+/// `gcd(num, den)` may exceed 1. Reduction is lazy — [`Q64::pack`] first tries
+/// to store an arithmetic result as-is and only pays a gcd when the `i128`
+/// intermediates do not fit `i64`. Every operation computes through `i128`
+/// intermediates (two `i64` factors can never overflow an `i128` product, and
+/// one addition of two such products stays below `2^127`), so results are
+/// always *exact*; `None` only means "no longer representable in `i64`", at
+/// which point the caller falls back to full [`Q`] arithmetic.
+///
+/// Comparisons cross-multiply in `i128` and are therefore exact without any
+/// normalization, which is where the fast path earns its keep: the envelope
+/// walk is comparison-heavy, and `Q`'s comparisons pay one gcd each.
+#[derive(Clone, Copy)]
+pub(crate) struct Q64 {
+    num: i64,
+    /// Always strictly positive; not necessarily coprime with `num`.
+    den: i64,
+}
+
+// Value equality, not structural: 2/4 and 1/2 are the same `Q64`.
+impl PartialEq for Q64 {
+    #[inline]
+    fn eq(&self, other: &Q64) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Q64 {}
+
+impl Q64 {
+    /// The zero value.
+    pub(crate) const ZERO: Q64 = Q64 { num: 0, den: 1 };
+
+    /// Converts an exact rational, `None` if either component exceeds `i64`.
+    #[inline]
+    pub(crate) fn from_q(v: Q) -> Option<Q64> {
+        let num = i64::try_from(v.numer()).ok()?;
+        let den = i64::try_from(v.denom()).ok()?;
+        Some(Q64 { num, den })
+    }
+
+    /// Converts back to the canonical [`Q`] representation. Exact: `Q::new`
+    /// reduces the (possibly unreduced) pair to the unique normal form.
+    #[inline]
+    pub(crate) fn to_q(self) -> Q {
+        Q::new(self.num as i128, self.den as i128)
+    }
+
+    /// `true` when the value is strictly negative (`den` is always positive).
+    #[inline]
+    pub(crate) fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Stores an exact `i128` value pair as a `Q64`, reducing by the gcd only
+    /// when the raw pair does not fit. `den` must be strictly positive.
+    #[inline]
+    fn pack(num: i128, den: i128) -> Option<Q64> {
+        debug_assert!(den > 0, "Q64::pack needs a positive denominator");
+        if let (Ok(n), Ok(d)) = (i64::try_from(num), i64::try_from(den)) {
+            return Some(Q64 { num: n, den: d });
+        }
+        let g = gcd(num, den);
+        let (num, den) = (num / g, den / g);
+        match (i64::try_from(num), i64::try_from(den)) {
+            (Ok(n), Ok(d)) => Some(Q64 { num: n, den: d }),
+            _ => None,
+        }
+    }
+
+    /// Exact addition; `None` when the reduced result leaves `i64`.
+    #[inline]
+    pub(crate) fn add(self, rhs: Q64) -> Option<Q64> {
+        let num =
+            self.num as i128 * rhs.den as i128 + rhs.num as i128 * self.den as i128;
+        let den = self.den as i128 * rhs.den as i128;
+        Q64::pack(num, den)
+    }
+
+    /// Exact subtraction; `None` when the reduced result leaves `i64`.
+    #[inline]
+    pub(crate) fn sub(self, rhs: Q64) -> Option<Q64> {
+        let num =
+            self.num as i128 * rhs.den as i128 - rhs.num as i128 * self.den as i128;
+        let den = self.den as i128 * rhs.den as i128;
+        Q64::pack(num, den)
+    }
+
+    /// Exact multiplication; `None` when the reduced result leaves `i64`.
+    #[inline]
+    pub(crate) fn mul(self, rhs: Q64) -> Option<Q64> {
+        Q64::pack(
+            self.num as i128 * rhs.num as i128,
+            self.den as i128 * rhs.den as i128,
+        )
+    }
+
+    /// Exact division; `None` on division by zero or when the reduced result
+    /// leaves `i64`.
+    #[inline]
+    pub(crate) fn div(self, rhs: Q64) -> Option<Q64> {
+        if rhs.num == 0 {
+            return None;
+        }
+        let mut num = self.num as i128 * rhs.den as i128;
+        let mut den = self.den as i128 * rhs.num as i128;
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Q64::pack(num, den)
+    }
+
+    /// Absolute value (no overflow: `den > 0`, and `num == i64::MIN` would
+    /// imply an unreduced pack of a value whose negation still fits `i128`
+    /// at the call sites, which all compare rather than negate first — keep
+    /// the checked form anyway).
+    #[inline]
+    pub(crate) fn abs(self) -> Option<Q64> {
+        Some(Q64 {
+            num: self.num.checked_abs()?,
+            den: self.den,
+        })
+    }
+
+    /// Is the value exactly zero?
+    #[inline]
+    pub(crate) fn is_zero(self) -> bool {
+        self.num == 0
+    }
+}
+
+impl PartialOrd for Q64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Q64) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Q64 {
+    /// Exact comparison by `i128` cross-multiplication — both denominators
+    /// are positive, so the product order is the value order.
+    #[inline]
+    fn cmp(&self, other: &Q64) -> Ordering {
+        let lhs = self.num as i128 * other.den as i128;
+        let rhs = other.num as i128 * self.den as i128;
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for Q64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q64({}/{})", self.num, self.den)
+    }
+}
+
 /// Convenience constructor: `q(3, 4)` is `Q::new(3, 4)`.
 ///
 /// # Examples
@@ -716,6 +879,54 @@ mod tests {
     fn unchecked_mul_panics_on_overflow() {
         let huge = Q::int(i128::MAX / 2);
         let _ = huge * Q::int(4);
+    }
+
+    #[test]
+    fn q64_roundtrips_and_matches_q() {
+        let cases = [
+            (q(3, 4), q(5, 6)),
+            (q(-7, 2), q(7, 3)),
+            (Q::ZERO, q(1, 1_000_000)),
+            (Q::int(1 << 40), q(-3, 1 << 20)),
+        ];
+        for (a, b) in cases {
+            let (sa, sb) = (Q64::from_q(a).unwrap(), Q64::from_q(b).unwrap());
+            assert_eq!(sa.to_q(), a);
+            assert_eq!(sa.add(sb).unwrap().to_q(), a + b);
+            assert_eq!(sa.sub(sb).unwrap().to_q(), a - b);
+            assert_eq!(sa.mul(sb).unwrap().to_q(), a * b);
+            assert_eq!(sa.div(sb).unwrap().to_q(), a / b);
+            assert_eq!(sa.cmp(&sb), a.cmp(&b));
+            assert_eq!(sa == sb, a == b);
+        }
+    }
+
+    #[test]
+    fn q64_equality_is_by_value() {
+        // Unreduced pairs produced by lazy packing compare by value.
+        let a = Q64::from_q(q(1, 2)).unwrap();
+        let b = Q64::from_q(q(2, 4000000)).unwrap().mul(
+            Q64::from_q(Q::int(1_000_000)).unwrap(),
+        ).unwrap();
+        assert_eq!(a, b);
+        assert!(Q64::ZERO.is_zero());
+        assert_eq!(Q64::from_q(q(-3, 4)).unwrap().abs().unwrap().to_q(), q(3, 4));
+    }
+
+    #[test]
+    fn q64_falls_out_of_range_gracefully() {
+        // Components beyond i64 are rejected at conversion …
+        assert!(Q64::from_q(Q::int(i128::from(i64::MAX) + 1)).is_none());
+        assert!(Q64::from_q(Q::new(1, i128::from(i64::MAX) + 2)).is_none());
+        // … and arithmetic that cannot reduce back into i64 returns None
+        // instead of wrapping: (2^62/1) * (2^62/1) has no i64 form.
+        let big = Q64::from_q(Q::int(1 << 62)).unwrap();
+        assert!(big.mul(big).is_none());
+        // While a product that *can* reduce survives: (2^62/3) * (3/2^62) = 1.
+        let a = Q64::from_q(q(1 << 62, 3)).unwrap();
+        let b = Q64::from_q(q(3, 1 << 62)).unwrap();
+        assert_eq!(a.mul(b).unwrap().to_q(), Q::ONE);
+        assert!(big.div(Q64::ZERO).is_none());
     }
 
     #[test]

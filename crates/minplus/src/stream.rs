@@ -1,0 +1,570 @@
+//! Streaming breakpoint pipelines and small-segment storage.
+//!
+//! Three pieces live here:
+//!
+//! * [`PieceBuf`] — the segment store backing [`Curve`]: up to
+//!   [`INLINE_PIECES`] pieces inline (no heap traffic for the small curves
+//!   that dominate real workloads), spilling to a `Vec` beyond that.
+//! * [`CurveStream`] / [`Unroll`] — a lazy breakpoint event source: yields
+//!   `(start, value, slope)` events of a curve unrolled to a horizon one at
+//!   a time, metering periodic lifts exactly like
+//!   [`Curve::try_pieces_upto`] without ever materializing the unrolled
+//!   list. The convolution kernels consume their operands through this.
+//! * [`Pipe`] — a fused operator pipeline over raw (trusted, unvalidated)
+//!   intermediate curves: convolution, pointwise min, and clamped
+//!   subtraction stages chain without intermediate validation scans or
+//!   shape-cache churn, sharing one scratch arena across stages; a
+//!   canonical [`Curve`] is collected only at the pipeline exits
+//!   ([`Pipe::finish`], [`Pipe::hdev_of`], [`Pipe::vdev_of`]).
+//!
+//! Every stage runs the *same* metered kernel cores as the materializing
+//! entry points, so budget trips, cancellation, and fault injection land on
+//! identical operation indices, and exit results are byte-identical to the
+//! materializing composition (the final normalization merges any colinear
+//! breakpoints an unnormalized intermediate may have introduced).
+
+use crate::conv::ConvScratch;
+use crate::curve::{Curve, Piece, Tail};
+use crate::error::CurveError;
+use crate::extended::Ext;
+use crate::meter::BudgetMeter;
+use crate::ops::{try_pointwise_min_raw, try_sub_clamped_parts};
+use crate::ratio::Q;
+
+/// Number of pieces a [`PieceBuf`] stores without touching the heap.
+pub const INLINE_PIECES: usize = 8;
+
+/// The inline filler value (never observed: `len` guards it).
+const FILL: Piece = Piece {
+    start: Q::ZERO,
+    value: Q::ZERO,
+    slope: Q::ZERO,
+};
+
+/// Small-vector storage for curve pieces: inline up to [`INLINE_PIECES`]
+/// entries, heap beyond. Equality, ordering and hashing are by the stored
+/// slice, so an inline buffer and a spilled buffer holding the same pieces
+/// are indistinguishable.
+#[derive(Clone)]
+pub struct PieceBuf {
+    repr: Repr,
+}
+
+// The size gap between the variants is the design: the inline variant IS
+// the small-buffer optimization, and boxing it would reintroduce the heap
+// round-trip the type exists to avoid.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        buf: [Piece; INLINE_PIECES],
+    },
+    Heap(Vec<Piece>),
+}
+
+impl PieceBuf {
+    /// An empty buffer (inline).
+    #[inline]
+    pub fn new() -> PieceBuf {
+        PieceBuf {
+            repr: Repr::Inline {
+                len: 0,
+                buf: [FILL; INLINE_PIECES],
+            },
+        }
+    }
+
+    /// Appends a piece, spilling to the heap when the inline capacity is
+    /// exhausted.
+    pub fn push(&mut self, p: Piece) {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => {
+                let n = *len as usize;
+                if n < INLINE_PIECES {
+                    buf[n] = p;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(2 * INLINE_PIECES);
+                    v.extend_from_slice(&buf[..n]);
+                    v.push(p);
+                    self.repr = Repr::Heap(v);
+                }
+            }
+            Repr::Heap(v) => v.push(p),
+        }
+    }
+
+    /// The stored pieces as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Piece] {
+        match &self.repr {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Is the buffer currently stored inline (no heap allocation)?
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
+    }
+}
+
+impl Default for PieceBuf {
+    fn default() -> Self {
+        PieceBuf::new()
+    }
+}
+
+impl std::ops::Deref for PieceBuf {
+    type Target = [Piece];
+    #[inline]
+    fn deref(&self) -> &[Piece] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<Piece>> for PieceBuf {
+    /// Moves a piece list in; short lists are copied inline (releasing the
+    /// heap allocation), longer ones are kept as-is.
+    fn from(v: Vec<Piece>) -> PieceBuf {
+        if v.len() <= INLINE_PIECES {
+            let mut buf = [FILL; INLINE_PIECES];
+            buf[..v.len()].copy_from_slice(&v);
+            PieceBuf {
+                repr: Repr::Inline {
+                    len: v.len() as u8,
+                    buf,
+                },
+            }
+        } else {
+            PieceBuf {
+                repr: Repr::Heap(v),
+            }
+        }
+    }
+}
+
+impl FromIterator<Piece> for PieceBuf {
+    fn from_iter<I: IntoIterator<Item = Piece>>(iter: I) -> PieceBuf {
+        let mut out = PieceBuf::new();
+        for p in iter {
+            out.push(p);
+        }
+        out
+    }
+}
+
+impl PartialEq for PieceBuf {
+    #[inline]
+    fn eq(&self, other: &PieceBuf) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PieceBuf {}
+
+impl std::hash::Hash for PieceBuf {
+    /// Hashes like `Vec<Piece>` (length prefix plus elements), so switching
+    /// the `Curve` field from `Vec` to `PieceBuf` left hashes unchanged.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for PieceBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+/// A lazy source of curve breakpoint events.
+///
+/// Implementors yield [`Piece`]s in strictly increasing `start` order;
+/// metered sources surface budget trips and arithmetic overflow as an
+/// `Err` event, after which the stream is exhausted.
+pub trait CurveStream {
+    /// The next breakpoint event, or `None` when the stream is exhausted.
+    fn next_event(&mut self) -> Option<Result<Piece, CurveError>>;
+}
+
+/// Lazy unroll of a curve's pieces so that explicit events cover `[0, h]`:
+/// the streaming counterpart of [`Curve::try_pieces_upto`], ticking the
+/// segment budget once per periodically lifted piece in the identical order
+/// — but yielding events one at a time instead of materializing the list.
+#[derive(Debug)]
+pub struct Unroll<'a> {
+    curve: &'a Curve,
+    h: Q,
+    meter: &'a BudgetMeter,
+    /// Next explicit piece to yield.
+    idx: usize,
+    /// Next period instance (periodic tails only).
+    k: i128,
+    /// Index into `pieces` within the current instance.
+    pat_i: usize,
+    shift: Q,
+    lift: Q,
+    instance_ready: bool,
+    done: bool,
+}
+
+impl<'a> Unroll<'a> {
+    /// Streams `curve` unrolled so explicit events cover `[0, h]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h < 0`.
+    pub fn new(curve: &'a Curve, h: Q, meter: &'a BudgetMeter) -> Unroll<'a> {
+        assert!(!h.is_negative(), "Unroll with negative horizon");
+        Unroll {
+            curve,
+            h,
+            meter,
+            idx: 0,
+            k: 1,
+            pat_i: 0,
+            shift: Q::ZERO,
+            lift: Q::ZERO,
+            instance_ready: false,
+            done: false,
+        }
+    }
+
+    fn fail(&mut self, e: CurveError) -> Option<Result<Piece, CurveError>> {
+        self.done = true;
+        Some(Err(e))
+    }
+}
+
+impl CurveStream for Unroll<'_> {
+    fn next_event(&mut self) -> Option<Result<Piece, CurveError>> {
+        const OVF: CurveError = CurveError::Arithmetic(crate::error::ArithmeticError::Overflow);
+        if self.done {
+            return None;
+        }
+        let pieces = self.curve.pieces();
+        if self.idx < pieces.len() {
+            let p = pieces[self.idx];
+            self.idx += 1;
+            return Some(Ok(p));
+        }
+        let (pattern_start, period, increment) = match self.curve.tail() {
+            Tail::Affine => {
+                self.done = true;
+                return None;
+            }
+            Tail::Periodic {
+                pattern_start,
+                period,
+                increment,
+            } => (pattern_start, period, increment),
+        };
+        let s = pieces[pattern_start].start;
+        loop {
+            if !self.instance_ready {
+                let kq = Q::int(self.k);
+                let shift = match period.checked_mul(kq) {
+                    Some(v) => v,
+                    None => return self.fail(OVF),
+                };
+                let lift = match increment.checked_mul(kq) {
+                    Some(v) => v,
+                    None => return self.fail(OVF),
+                };
+                match s.checked_add(shift) {
+                    Some(v) if v > self.h => {
+                        self.done = true;
+                        return None;
+                    }
+                    Some(_) => {}
+                    None => return self.fail(OVF),
+                }
+                self.shift = shift;
+                self.lift = lift;
+                self.pat_i = pattern_start;
+                self.instance_ready = true;
+            }
+            if self.pat_i < pieces.len() {
+                if !self.meter.tick_segment() {
+                    let kind = self
+                        .meter
+                        .tripped()
+                        .expect("tick_segment returned false without tripping");
+                    return self.fail(CurveError::Budget(kind));
+                }
+                let p = pieces[self.pat_i];
+                self.pat_i += 1;
+                let start = match p.start.checked_add(self.shift) {
+                    Some(v) => v,
+                    None => return self.fail(OVF),
+                };
+                let value = match p.value.checked_add(self.lift) {
+                    Some(v) => v,
+                    None => return self.fail(OVF),
+                };
+                return Some(Ok(Piece::new(start, value, p.slope)));
+            }
+            self.instance_ready = false;
+            self.k += 1;
+        }
+    }
+}
+
+/// A fused (min,+) operator pipeline.
+///
+/// Stages transform an intermediate curve built by trusted kernels — the
+/// per-stage validation scan of [`Curve::new`] is skipped entirely, and a
+/// single scratch arena (candidate fragments, event grids, envelope lines)
+/// is reused across all convolution stages, so a chain like
+/// conv → min → hdev allocates O(1) intermediate buffers instead of a
+/// fresh set per operator. Each stage's pieces are byte-identical to the
+/// corresponding materializing operator's output, so [`Pipe::finish`] and
+/// the deviation exits ([`Pipe::hdev_of`] / [`Pipe::vdev_of`]) return
+/// exactly what the materializing composition returns — including the
+/// meter tick sequence, hence budget trips, cancellation, and injected
+/// faults land on identical operation indices.
+///
+/// # Examples
+///
+/// ```
+/// use srtw_minplus::{BudgetMeter, Curve, Ext, Pipe, Q};
+///
+/// let b1 = Curve::rate_latency(Q::int(2), Q::int(1));
+/// let b2 = Curve::rate_latency(Q::ONE, Q::int(2));
+/// let alpha = Curve::staircase(Q::int(4), Q::int(2));
+/// let meter = BudgetMeter::unlimited();
+///
+/// // Fused end-to-end service and delay bound …
+/// let delay = Pipe::new(b1.clone(), &meter)
+///     .conv_upto(&b2, Q::int(60))
+///     .unwrap()
+///     .hdev_of(&alpha)
+///     .unwrap();
+/// // … identical to the materializing composition.
+/// assert_eq!(delay, alpha.hdev(&b1.conv_upto(&b2, Q::int(60))));
+/// assert_eq!(delay, Ext::Finite(Q::int(5)));
+/// ```
+pub struct Pipe<'a> {
+    cur: Curve,
+    meter: &'a BudgetMeter,
+    scratch: ConvScratch,
+}
+
+impl std::fmt::Debug for Pipe<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipe").field("cur", &self.cur).finish()
+    }
+}
+
+impl<'a> Pipe<'a> {
+    /// Starts a pipeline from an initial curve.
+    pub fn new(start: Curve, meter: &'a BudgetMeter) -> Pipe<'a> {
+        Pipe {
+            cur: start,
+            meter,
+            scratch: ConvScratch::new(),
+        }
+    }
+
+    /// (min,+) convolution stage, exact on `[0, h]` — the fused counterpart
+    /// of [`Curve::try_conv_upto`], reusing the pipeline's scratch arena.
+    pub fn conv_upto(mut self, other: &Curve, h: Q) -> Result<Pipe<'a>, CurveError> {
+        self.cur = self
+            .cur
+            .try_conv_upto_raw(other, h, self.meter, &mut self.scratch)?;
+        Ok(self)
+    }
+
+    /// Pointwise-minimum stage — the fused counterpart of
+    /// [`Curve::try_pointwise_min`].
+    pub fn min(mut self, other: &Curve) -> Result<Pipe<'a>, CurveError> {
+        self.cur = try_pointwise_min_raw(&self.cur, other, self.meter)?;
+        Ok(self)
+    }
+
+    /// Clamped monotone subtraction stage `[self − other]⁺↑` — the fused
+    /// counterpart of [`Curve::try_sub_clamped_monotone`] (leftover
+    /// service).
+    pub fn sub_clamped(mut self, other: &Curve) -> Result<Pipe<'a>, CurveError> {
+        let (pieces, tail) = try_sub_clamped_parts(&self.cur, other, self.meter)?;
+        self.cur = Curve::raw(pieces, tail).into_normalized();
+        Ok(self)
+    }
+
+    /// (min,+) deconvolution stage `self ⊘ other`, exact on `[0, h]`, with
+    /// the inner supremum searched over `u ∈ [0, u_cap]` — the fused
+    /// counterpart of [`Curve::try_deconv_upto`] (output arrival-curve
+    /// propagation).
+    pub fn deconv_upto(mut self, other: &Curve, h: Q, u_cap: Q) -> Result<Pipe<'a>, CurveError> {
+        self.cur =
+            self.cur
+                .try_deconv_upto_with(other, h, u_cap, self.meter, &mut self.scratch, false)?;
+        Ok(self)
+    }
+
+    /// Delay-bound exit: `hdev(demand, current)` — the worst-case delay of
+    /// `demand` served by the pipeline's current curve.
+    pub fn hdev_of(self, demand: &Curve) -> Result<Ext, CurveError> {
+        demand.try_hdev(&self.cur, self.meter)
+    }
+
+    /// Delay-bound tap: `hdev(current, beta)` — the worst-case delay of the
+    /// pipeline's current curve (as demand) served by `beta`. A tap, not an
+    /// exit: the pipeline can keep flowing (e.g. per-hop tandem bounds
+    /// interleaved with [`Pipe::deconv_upto`] propagation).
+    pub fn hdev_against(&self, beta: &Curve) -> Result<Ext, CurveError> {
+        self.cur.try_hdev(beta, self.meter)
+    }
+
+    /// Backlog-bound tap: `vdev(current, beta)`.
+    pub fn vdev_against(&self, beta: &Curve) -> Result<Ext, CurveError> {
+        self.cur.try_vdev(beta, self.meter)
+    }
+
+    /// Backlog-bound exit: `vdev(demand, current)`.
+    pub fn vdev_of(self, demand: &Curve) -> Result<Ext, CurveError> {
+        demand.try_vdev(&self.cur, self.meter)
+    }
+
+    /// A view of the current (raw) intermediate curve. Values are final;
+    /// the representation may still contain unmerged colinear breakpoints
+    /// until [`Pipe::finish`] canonicalizes it.
+    pub fn current(&self) -> &Curve {
+        &self.cur
+    }
+
+    /// Collects the pipeline result into a canonical [`Curve`]:
+    /// normalization merges any colinear breakpoints left by the raw
+    /// stages, yielding exactly the curve the materializing composition
+    /// produces.
+    pub fn finish(self) -> Curve {
+        self.cur.into_normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio::q;
+
+    #[test]
+    fn piecebuf_inline_and_spill() {
+        let mut b = PieceBuf::new();
+        assert!(b.is_inline() && b.is_empty());
+        for i in 0..INLINE_PIECES {
+            b.push(Piece::new(Q::int(i as i128), Q::int(i as i128), Q::ONE));
+        }
+        assert!(b.is_inline());
+        assert_eq!(b.len(), INLINE_PIECES);
+        b.push(Piece::new(Q::int(99), Q::int(99), Q::ONE));
+        assert!(!b.is_inline());
+        assert_eq!(b.len(), INLINE_PIECES + 1);
+        assert_eq!(b[INLINE_PIECES].start, Q::int(99));
+        // From<Vec> keeps short lists inline, long lists on the heap.
+        let short: PieceBuf = vec![FILL; 3].into();
+        assert!(short.is_inline());
+        let long: PieceBuf = vec![FILL; 9].into();
+        assert!(!long.is_inline());
+        // Equality and hashing are representation-independent.
+        let a: PieceBuf = b.as_slice().to_vec().into();
+        assert_eq!(a, b);
+        use std::hash::{Hash, Hasher};
+        let mut h1 = std::collections::hash_map::DefaultHasher::new();
+        let mut h2 = std::collections::hash_map::DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn unroll_matches_pieces_upto() {
+        let meter = BudgetMeter::unlimited();
+        let curves = [
+            Curve::staircase(Q::int(5), Q::int(2)),
+            Curve::rate_latency(Q::int(2), Q::int(3)),
+            Curve::staircase_lower(q(3, 2), Q::ONE),
+        ];
+        for c in &curves {
+            for h in [Q::ZERO, Q::int(7), Q::int(40)] {
+                let mut got = Vec::new();
+                let mut s = Unroll::new(c, h, &meter);
+                while let Some(ev) = s.next_event() {
+                    got.push(ev.unwrap());
+                }
+                assert_eq!(got, c.pieces_upto(h), "curve {c} at h = {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn unroll_ticks_like_pieces_upto() {
+        use crate::meter::Budget;
+        let c = Curve::staircase(Q::ONE, Q::ONE);
+        let h = Q::int(50);
+        // Same tick demand: a cap that trips the materializing unroll trips
+        // the stream at the same segment count.
+        let m1 = BudgetMeter::new(&Budget::default().with_max_segments(10));
+        let materialized = c.try_pieces_upto(h, &m1);
+        assert!(materialized.is_err());
+        let m2 = BudgetMeter::new(&Budget::default().with_max_segments(10));
+        let mut s = Unroll::new(&c, h, &m2);
+        let mut streamed_err = None;
+        let mut yielded = 0usize;
+        while let Some(ev) = s.next_event() {
+            match ev {
+                Ok(_) => yielded += 1,
+                Err(e) => {
+                    streamed_err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(streamed_err, materialized.err());
+        // Explicit prefix (1 piece) plus the 10 budgeted lifts that passed.
+        assert_eq!(yielded, 11);
+        assert!(s.next_event().is_none(), "stream is exhausted after error");
+    }
+
+    #[test]
+    fn pipe_matches_materializing_composition() {
+        let meter = BudgetMeter::unlimited();
+        let b1 = Curve::rate_latency(Q::int(2), Q::int(1));
+        let b2 = Curve::staircase(Q::int(3), Q::int(2));
+        let alpha = Curve::staircase(Q::int(4), Q::int(3));
+        let h = Q::int(40);
+
+        let fused = Pipe::new(b1.clone(), &meter)
+            .conv_upto(&b2, h)
+            .unwrap()
+            .min(&b2)
+            .unwrap()
+            .finish();
+        let materialized = b1.conv_upto(&b2, h).pointwise_min(&b2);
+        assert_eq!(fused, materialized);
+
+        let fused_delay = Pipe::new(b1.clone(), &meter)
+            .conv_upto(&b2, h)
+            .unwrap()
+            .hdev_of(&alpha)
+            .unwrap();
+        assert_eq!(fused_delay, alpha.hdev(&b1.conv_upto(&b2, h)));
+
+        let fused_left = Pipe::new(b1.clone(), &meter)
+            .sub_clamped(&alpha)
+            .unwrap()
+            .finish();
+        assert_eq!(fused_left, b1.sub_clamped_monotone(&alpha));
+    }
+
+    #[test]
+    fn pipe_respects_budget() {
+        use crate::meter::Budget;
+        let b1 = Curve::staircase(Q::ONE, Q::ONE);
+        let b2 = Curve::staircase(Q::int(2), Q::ONE);
+        let meter = BudgetMeter::new(&Budget::default().with_max_segments(5));
+        let got = Pipe::new(b1, &meter).conv_upto(&b2, Q::int(1000));
+        assert!(matches!(got, Err(CurveError::Budget(_))));
+    }
+}

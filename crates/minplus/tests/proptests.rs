@@ -158,7 +158,7 @@ fn check_monotone(c: &Curve) {
 
 #[test]
 fn curves_are_monotone() {
-    forall("curves_are_monotone", curve, |c| check_monotone(c));
+    forall("curves_are_monotone", curve, check_monotone);
 }
 
 fn check_pointwise_ops_match_eval(a: &Curve, b: &Curve) {

@@ -9,7 +9,7 @@
 //! * [`leftover_chain`] — fixed-priority: each stream's leftover after all
 //!   higher-priority arrival curves are subtracted.
 
-use srtw_minplus::{Curve, Q};
+use srtw_minplus::{BudgetMeter, Curve, Pipe, Q};
 
 /// End-to-end service curve of a tandem of servers, exact on `[0, h]`.
 ///
@@ -31,7 +31,14 @@ pub fn concatenate_upto(betas: &[Curve], h: Q) -> Curve {
         .next()
         .expect("concatenate_upto needs at least one server")
         .clone();
-    iter.fold(first, |acc, b| acc.conv_upto(b, h))
+    // Fused convolution chain: one scratch arena across all hops, no
+    // intermediate validation scans, canonicalized once at the exit.
+    let meter = BudgetMeter::unlimited();
+    iter.fold(Pipe::new(first, &meter), |acc, b| {
+        acc.conv_upto(b, h)
+            .expect("unmetered tandem concatenation failed")
+    })
+    .finish()
 }
 
 /// Leftover (remaining) lower service curve under blind multiplexing:
@@ -48,10 +55,15 @@ pub fn leftover_blind(beta: &Curve, alpha: &Curve) -> Curve {
 /// streams.
 pub fn leftover_chain(beta: &Curve, alphas: &[Curve]) -> Vec<Curve> {
     let mut out = Vec::with_capacity(alphas.len());
-    let mut current = beta.clone();
+    // One fused subtraction chain; each level's published curve is a
+    // canonical snapshot of the pipeline interior.
+    let meter = BudgetMeter::unlimited();
+    let mut current = Pipe::new(beta.clone(), &meter);
     for alpha in alphas {
-        out.push(current.clone());
-        current = leftover_blind(&current, alpha);
+        out.push(current.current().clone());
+        current = current
+            .sub_clamped(alpha)
+            .expect("unmetered leftover subtraction failed");
     }
     out
 }

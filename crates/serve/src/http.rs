@@ -205,6 +205,9 @@ impl Response {
     }
 }
 
+/// What [`client_roundtrip`] hands back: `(status, headers, body)`.
+pub type ClientResponse = (u16, Vec<(String, String)>, String);
+
 /// A tiny blocking client for one request/response exchange, used by the
 /// test suites and the throughput bench (the workspace has no external
 /// HTTP client either). Sends `Content-Length` whenever a body is present
@@ -216,7 +219,7 @@ pub fn client_roundtrip(
     target: &str,
     headers: &[(&str, &str)],
     body: &[u8],
-) -> io::Result<(u16, Vec<(String, String)>, String)> {
+) -> io::Result<ClientResponse> {
     let mut stream = std::net::TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
     stream.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;

@@ -7,7 +7,8 @@
 #   1. zero-dependency audit: no Cargo.toml may pull anything from a
 #      registry — every dependency must be a workspace path crate;
 #   2. `cargo build --release` and `cargo test -q` with --offline
-#      (the workspace must build with no network and no vendored deps);
+#      (the workspace must build with no network and no vendored deps),
+#      plus `cargo clippy --workspace -- -D warnings` (lint-clean);
 #   3. build all five examples;
 #   4. CLI smoke test on the shipped sample system;
 #   5. adversarial stress suite at elevated case counts (no-panic,
@@ -17,9 +18,10 @@
 #      watchdog must come back degraded-not-failed (exit 0), and a
 #      fault-injected batch must exhaust the ladder and exit 4;
 #   7. performance-regression gate: the newest committed BENCH_*.json
-#      must not regress the `convolution`, `rbf`, and `server_throughput`
-#      suite medians by more than 1.5x against the best older committed
-#      document (a suite with no baseline yet is skipped with a notice);
+#      must not regress the `convolution`, `rbf`, `server_throughput`,
+#      and `fused_pipeline` suite medians by more than 1.5x against the
+#      best older committed document (a suite with no baseline yet is
+#      skipped with a notice);
 #   8. service smoke test: `srtw serve` on an ephemeral port must answer
 #      /healthz, produce an exact and a deadline-degraded /analyze,
 #      shed with 503 when flooded past the queue bound, and drain
@@ -54,6 +56,7 @@ echo "ok: all dependencies are workspace path crates"
 
 echo "== 2/8 offline build + tests =="
 cargo build --release --offline --workspace
+cargo clippy --offline --workspace -- -D warnings
 SRTW_BENCH_FAST=1 cargo test -q --offline --workspace
 
 echo "== 3/8 examples build =="
@@ -141,7 +144,7 @@ bench_docs=$(ls -1 BENCH_*.json 2>/dev/null | sort -t_ -k2 -n -r)
 if [ "$(echo "$bench_docs" | wc -l)" -ge 2 ]; then
     # shellcheck disable=SC2086
     cargo run -p srtw-bench --release --offline -q --bin experiments -- \
-        gate $bench_docs --factor 1.5 --groups convolution,rbf,server_throughput
+        gate $bench_docs --factor 1.5 --groups convolution,rbf,server_throughput,fused_pipeline
 else
     echo "skip: fewer than two BENCH_*.json documents committed"
 fi

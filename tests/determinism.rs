@@ -190,7 +190,7 @@ fn strip_runtime(doc: &str) -> String {
         out.push('0');
         let tail = &rest[after..];
         let end = tail
-            .find(|c| c == ',' || c == '}')
+            .find([',', '}'])
             .unwrap_or(tail.len());
         rest = &tail[end..];
     }

@@ -42,7 +42,7 @@ fn strip_runtime(doc: &str) -> String {
         out.push_str(&rest[..after]);
         out.push('0');
         let tail = &rest[after..];
-        let end = tail.find(|c| c == ',' || c == '}').unwrap_or(tail.len());
+        let end = tail.find([',', '}']).unwrap_or(tail.len());
         rest = &tail[end..];
     }
     out.push_str(rest);
