@@ -60,7 +60,7 @@ fn main() -> ExitCode {
     for id in &ids {
         if id == "bench" {
             let timer = srtw_bench::timing::Timer::from_env();
-            println!("BENCH: timing suites (convolution through fused_pipeline)");
+            println!("BENCH: timing suites (convolution through server_connections)");
             let samples = srtw_bench::suites::all_suites(&timer);
             srtw_bench::timing::print_samples(&samples);
             if let Err(e) = srtw_bench::timing::write_json(&samples, &bench_out) {

@@ -351,6 +351,110 @@ pub fn server_throughput_suite(t: &Timer) -> Vec<Sample> {
     out
 }
 
+/// B9 — connection scaling: what one request costs as the connection
+/// strategy and the acceptor's standing load change. `fresh_conn` pays
+/// the full connect + TLS-free handshake + lingering close per request;
+/// `keep_alive` cycles one connection through the mux between requests;
+/// `with_64_idle_conns` measures the readiness scan's overhead when the
+/// acceptor is also babysitting 64 parked keep-alive connections.
+pub fn server_connections_suite(t: &Timer) -> Vec<Sample> {
+    use srtw_serve::http::client_roundtrip;
+    use srtw_serve::{ServeConfig, Server};
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+
+    /// A keep-alive HTTP client that transparently reconnects when the
+    /// server retires the connection (requests-per-connection cap).
+    struct KeepAlive {
+        addr: SocketAddr,
+        conn: Option<(TcpStream, BufReader<TcpStream>)>,
+    }
+
+    impl KeepAlive {
+        fn roundtrip(&mut self) -> u16 {
+            for _ in 0..2 {
+                if self.conn.is_none() {
+                    let stream = TcpStream::connect(self.addr).expect("connect");
+                    let reader = BufReader::new(stream.try_clone().expect("clone"));
+                    self.conn = Some((stream, reader));
+                }
+                match self.try_once() {
+                    Some(status) => return status,
+                    None => self.conn = None, // retired by the server: reconnect
+                }
+            }
+            panic!("keep-alive roundtrip failed twice in a row");
+        }
+
+        fn try_once(&mut self) -> Option<u16> {
+            let (writer, reader) = self.conn.as_mut()?;
+            writer
+                .write_all(b"GET /healthz HTTP/1.1\r\nHost: bench\r\n\r\n")
+                .ok()?;
+            let mut line = String::new();
+            reader.read_line(&mut line).ok()?;
+            let status: u16 = line.strip_prefix("HTTP/1.1 ")?.split(' ').next()?.parse().ok()?;
+            let mut len = 0usize;
+            loop {
+                let mut header = String::new();
+                reader.read_line(&mut header).ok()?;
+                if header == "\r\n" {
+                    break;
+                }
+                if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+                    len = v.trim().parse().ok()?;
+                }
+            }
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body).ok()?;
+            Some(status)
+        }
+    }
+
+    let server = Server::spawn(ServeConfig {
+        workers: 2,
+        // Long idle windows so the parked connections below survive the
+        // whole measurement instead of being reaped mid-sample.
+        header_timeout: std::time::Duration::from_secs(120),
+        read_timeout: std::time::Duration::from_secs(120),
+        ..Default::default()
+    })
+    .expect("bind an ephemeral port for the connection bench");
+    let addr = server.addr();
+
+    let mut out = Vec::new();
+    out.push(t.bench("server_connections", "healthz/fresh_conn", || {
+        let (status, _, _) = client_roundtrip(&addr, "GET", "/healthz", &[], b"").unwrap();
+        assert_eq!(status, 200);
+    }));
+
+    let mut client = KeepAlive { addr, conn: None };
+    out.push(t.bench("server_connections", "healthz/keep_alive", || {
+        assert_eq!(client.roundtrip(), 200);
+    }));
+    drop(client);
+
+    // Park 64 keep-alive connections on the mux (one served request each
+    // so they sit in the idle state), then measure a busy client again.
+    let parked: Vec<KeepAlive> = (0..64)
+        .map(|_| {
+            let mut c = KeepAlive { addr, conn: None };
+            assert_eq!(c.roundtrip(), 200);
+            c
+        })
+        .collect();
+    let mut client = KeepAlive { addr, conn: None };
+    out.push(t.bench("server_connections", "healthz/with_64_idle_conns", || {
+        assert_eq!(client.roundtrip(), 200);
+    }));
+    drop(client);
+    drop(parked);
+
+    let report = server.shutdown();
+    assert!(report.clean(), "bench server failed to drain: {report:?}");
+    out
+}
+
 /// B8 — the streaming pipeline: fused conv → conv → min → hdev through
 /// [`srtw_minplus::Pipe`] against the equivalent materializing
 /// composition, and a four-hop tandem concatenation both ways.
@@ -436,8 +540,9 @@ pub fn fused_pipeline_suite(t: &Timer) -> Vec<Sample> {
     out
 }
 
-/// Runs all eight suites in order (convolution, rbf, structural,
-/// simulation, budgeted, parallel, server throughput, fused pipeline).
+/// Runs all nine suites in order (convolution, rbf, structural,
+/// simulation, budgeted, parallel, server throughput, fused pipeline,
+/// server connections).
 pub fn all_suites(t: &Timer) -> Vec<Sample> {
     let mut out = convolution_suite(t);
     out.extend(rbf_suite(t));
@@ -447,6 +552,7 @@ pub fn all_suites(t: &Timer) -> Vec<Sample> {
     out.extend(parallel_suite(t));
     out.extend(server_throughput_suite(t));
     out.extend(fused_pipeline_suite(t));
+    out.extend(server_connections_suite(t));
     out
 }
 
@@ -465,6 +571,7 @@ mod tests {
         assert_eq!(parallel_suite(&t).len(), 9);
         assert_eq!(server_throughput_suite(&t).len(), 3);
         assert_eq!(fused_pipeline_suite(&t).len(), 4);
+        assert_eq!(server_connections_suite(&t).len(), 3);
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Process-level fault injection for the replicated service.
+//!
+//! [`srtw_minplus::FaultPlan`] injects faults *inside* one metered
+//! analysis (trip/overflow/clockjump/panic — everything the budget
+//! machinery can contain). The supervision tree needs one level up:
+//! faults that kill, stall, or mutilate a whole replica *process*, so the
+//! restart/backoff/quorum paths can be driven deterministically. A
+//! [`ProcessFault`] fires on the N-th routed request of the process
+//! (every endpoint counts, so a health-check flood can trigger it), and
+//! the replica supervisor threads a spec through to exactly one replica —
+//! a process fault that fired on every replica at once would kill the
+//! fleet, which is precisely what the tree exists to prevent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What a [`ProcessFault`] does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessFaultKind {
+    /// `std::process::abort()` — the replica dies instantly, mid-request,
+    /// like an OOM kill or an escaped double panic. The supervisor must
+    /// restart it; the in-flight requests of that replica are lost.
+    Abort,
+    /// Sleep this many milliseconds before handling the request — a
+    /// stuck worker / GC pause / scheduling stall. Deadlines and the
+    /// health-checker must ride it out.
+    Stall(u64),
+    /// Drop the connection without a response (simulates a closed fd /
+    /// mid-request crash visible to the client as a reset).
+    CloseFd,
+}
+
+impl ProcessFaultKind {
+    /// Stable machine-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProcessFaultKind::Abort => "abort",
+            ProcessFaultKind::Stall(_) => "stall",
+            ProcessFaultKind::CloseFd => "closefd",
+        }
+    }
+}
+
+/// A deterministic process-level fault: fires once, on the `at_request`-th
+/// routed request (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessFault {
+    /// 1-based index of the routed request the fault fires at.
+    pub at_request: u64,
+    /// What happens when it fires.
+    pub kind: ProcessFaultKind,
+}
+
+impl ProcessFault {
+    /// A fault of `kind` firing at the `at_request`-th routed request
+    /// (0 is clamped to 1).
+    pub fn new(at_request: u64, kind: ProcessFaultKind) -> ProcessFault {
+        ProcessFault {
+            at_request: at_request.max(1),
+            kind,
+        }
+    }
+
+    /// Parses a process-fault spec: `abort@N`, `stall@N:MS`, or
+    /// `closefd@N`. Returns `None` for specs that belong to the metered
+    /// [`srtw_minplus::FaultPlan`] grammar instead (`trip@…` etc.), so
+    /// one `--fault` flag can serve both layers.
+    pub fn parse(spec: &str) -> Option<Result<ProcessFault, String>> {
+        let bad = || format!("bad process fault spec '{spec}' (abort@N | stall@N:MS | closefd@N)");
+        let (kind, rest) = spec.split_once('@')?;
+        match kind {
+            "abort" => Some(
+                rest.parse()
+                    .map(|n| ProcessFault::new(n, ProcessFaultKind::Abort))
+                    .map_err(|_| bad()),
+            ),
+            "closefd" => Some(
+                rest.parse()
+                    .map(|n| ProcessFault::new(n, ProcessFaultKind::CloseFd))
+                    .map_err(|_| bad()),
+            ),
+            "stall" => {
+                let parsed = rest.split_once(':').ok_or_else(bad).and_then(|(at, ms)| {
+                    Ok(ProcessFault::new(
+                        at.parse().map_err(|_| bad())?,
+                        ProcessFaultKind::Stall(ms.parse().map_err(|_| bad())?),
+                    ))
+                });
+                Some(parsed)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Arms a [`ProcessFault`] against a monotone request counter; the serve
+/// path calls [`ProcessFaultArm::fire`] once per routed request.
+#[derive(Debug, Default)]
+pub struct ProcessFaultArm {
+    plan: Option<ProcessFault>,
+    seen: AtomicU64,
+}
+
+impl ProcessFaultArm {
+    /// An armed (or inert, when `plan` is `None`) trigger.
+    pub fn new(plan: Option<ProcessFault>) -> ProcessFaultArm {
+        ProcessFaultArm {
+            plan,
+            seen: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts one routed request; returns the fault to execute if this is
+    /// the firing request. [`ProcessFaultKind::Abort`] is *executed here*
+    /// (the process dies); the other kinds are returned for the caller to
+    /// act on in context.
+    pub fn fire(&self) -> Option<ProcessFaultKind> {
+        let plan = self.plan?;
+        let n = self.seen.fetch_add(1, Ordering::Relaxed) + 1;
+        if n != plan.at_request {
+            return None;
+        }
+        if plan.kind == ProcessFaultKind::Abort {
+            eprintln!(
+                "srtw-serve: injected process fault abort@{} firing; aborting",
+                plan.at_request
+            );
+            std::process::abort();
+        }
+        Some(plan.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_process_faults() {
+        assert_eq!(
+            ProcessFault::parse("abort@3").unwrap().unwrap(),
+            ProcessFault::new(3, ProcessFaultKind::Abort)
+        );
+        assert_eq!(
+            ProcessFault::parse("stall@2:500").unwrap().unwrap(),
+            ProcessFault::new(2, ProcessFaultKind::Stall(500))
+        );
+        assert_eq!(
+            ProcessFault::parse("closefd@1").unwrap().unwrap(),
+            ProcessFault::new(1, ProcessFaultKind::CloseFd)
+        );
+        // Meter-level specs are not ours.
+        assert!(ProcessFault::parse("trip@4").is_none());
+        assert!(ProcessFault::parse("nonsense").is_none());
+        // Ours but malformed: a typed error, not a silent pass-through.
+        assert!(ProcessFault::parse("stall@2").unwrap().is_err());
+        assert!(ProcessFault::parse("abort@x").unwrap().is_err());
+    }
+
+    #[test]
+    fn arm_fires_exactly_once_at_the_right_request() {
+        let arm = ProcessFaultArm::new(Some(ProcessFault::new(3, ProcessFaultKind::CloseFd)));
+        assert_eq!(arm.fire(), None);
+        assert_eq!(arm.fire(), None);
+        assert_eq!(arm.fire(), Some(ProcessFaultKind::CloseFd));
+        assert_eq!(arm.fire(), None);
+        let inert = ProcessFaultArm::new(None);
+        assert_eq!(inert.fire(), None);
+    }
+}

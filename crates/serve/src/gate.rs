@@ -103,6 +103,13 @@ impl<J> Gate<J> {
         self.state.lock().unwrap().queue.len()
     }
 
+    /// `true` while the queue is at capacity (racy by nature; the
+    /// acceptor uses it to shed *before* buffering a request body —
+    /// [`Gate::offer`] remains the authoritative admission decision).
+    pub fn is_full(&self) -> bool {
+        self.state.lock().unwrap().queue.len() >= self.cap
+    }
+
     /// `true` once [`Gate::close`] has been called.
     pub fn is_closed(&self) -> bool {
         !self.state.lock().unwrap().open

@@ -1,13 +1,19 @@
-//! A minimal, hardened HTTP/1.1 subset: just enough to parse one request
-//! from an untrusted client and write one response, with explicit caps on
+//! A minimal, hardened HTTP/1.1 subset: just enough to parse requests
+//! from an untrusted client and write responses, with explicit caps on
 //! the head and body so a hostile peer can never make the server buffer
 //! unbounded input.
 //!
-//! The parser is generic over [`BufRead`] so it unit-tests against
-//! in-memory buffers without sockets. Every connection carries exactly
-//! one request (`Connection: close` on every response); keep-alive is
-//! deliberately out of scope — the service optimizes for robustness, not
-//! connection reuse.
+//! The parser comes in two shapes sharing one grammar:
+//!
+//! * [`read_request`] — the classic blocking form over any [`BufRead`],
+//!   used by the trusted admin plane and the unit tests;
+//! * [`scan_head`] + [`parse_head`] + [`body_need`] — the incremental
+//!   form the multiplexed acceptor ([`crate::mux`]) drives over a byte
+//!   buffer it fills with non-blocking reads, so a slow-loris client
+//!   never ties up anything but its own small buffer.
+//!
+//! Keep-alive is supported: a response carries an explicit `close` flag,
+//! and the acceptor recycles connections whose requests allow reuse.
 
 use std::io::{self, BufRead, Read, Write};
 
@@ -36,6 +42,14 @@ impl Request {
             .find(|(k, _)| *k == lower)
             .map(|(_, v)| v.as_str())
     }
+
+    /// `true` when this request permits connection reuse: HTTP/1.1
+    /// default-keep-alive unless the client sent `Connection: close`.
+    pub fn wants_keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
 }
 
 /// Why a request could not be parsed. Each variant maps to one status
@@ -44,6 +58,9 @@ impl Request {
 pub enum RequestError {
     /// Malformed request line, header, or `Content-Length` → 400.
     BadRequest(String),
+    /// The request head (request line + headers) exceeds
+    /// [`MAX_HEAD_BYTES`] → 431.
+    HeadTooLarge,
     /// The declared body exceeds the cap → 413 (nothing past the head is
     /// read, so the oversized body is never buffered).
     TooLarge {
@@ -54,6 +71,8 @@ pub enum RequestError {
     },
     /// A request with a body but no `Content-Length` → 411.
     LengthRequired,
+    /// The client stalled past its read deadline mid-request → 408.
+    Timeout,
     /// The socket failed or timed out mid-request → 408 on timeout,
     /// otherwise the connection is just dropped.
     Io(io::Error),
@@ -64,18 +83,104 @@ impl RequestError {
     pub fn status(&self) -> u16 {
         match self {
             RequestError::BadRequest(_) => 400,
+            RequestError::HeadTooLarge => 431,
             RequestError::TooLarge { .. } => 413,
             RequestError::LengthRequired => 411,
-            RequestError::Io(_) => 408,
+            RequestError::Timeout | RequestError::Io(_) => 408,
         }
     }
 }
 
-/// Reads one request from `reader`, enforcing [`MAX_HEAD_BYTES`] on the
-/// head and `body_cap` on the declared body length.
-pub fn read_request(reader: &mut impl BufRead, body_cap: usize) -> Result<Request, RequestError> {
-    let mut head_budget = MAX_HEAD_BYTES;
-    let request_line = read_line(reader, &mut head_budget)?;
+/// The parsed head of a request: everything except the body.
+#[derive(Debug, Clone)]
+pub struct Head {
+    /// The request method, verbatim.
+    pub method: String,
+    /// The request target, verbatim.
+    pub target: String,
+    /// Headers in arrival order (names lower-cased, values trimmed).
+    pub headers: Vec<(String, String)>,
+}
+
+impl Head {
+    /// The first value of header `name` (lower-case lookup).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Attaches a body, producing the full [`Request`].
+    pub fn into_request(self, body: Vec<u8>) -> Request {
+        Request {
+            method: self.method,
+            target: self.target,
+            headers: self.headers,
+            body,
+        }
+    }
+}
+
+/// What an incremental [`scan_head`] pass over a growing buffer found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadScan {
+    /// No head terminator yet — keep reading (the buffer is still within
+    /// [`MAX_HEAD_BYTES`]).
+    Partial,
+    /// The buffer exceeded [`MAX_HEAD_BYTES`] without completing a head
+    /// → answer 431 and close.
+    TooLarge,
+    /// A complete head occupies `buf[..head_len]` (terminator included).
+    Complete {
+        /// Bytes of the head, including the blank-line terminator.
+        head_len: usize,
+    },
+}
+
+/// Scans a byte buffer for a complete request head: the first blank line
+/// (`\r\n\r\n` or `\n\n`), within [`MAX_HEAD_BYTES`]. O(buf) per call —
+/// callers growing the buffer incrementally should rescan from a little
+/// before the previous end, but heads are small enough that a full
+/// rescan is fine.
+pub fn scan_head(buf: &[u8]) -> HeadScan {
+    let window = &buf[..buf.len().min(MAX_HEAD_BYTES + 4)];
+    // A head ends at the first empty line; accept bare-LF line endings.
+    let mut i = 0;
+    while let Some(off) = window[i..].iter().position(|&b| b == b'\n') {
+        let line_end = i + off;
+        let line = &window[i..line_end];
+        let line = if line.ends_with(b"\r") {
+            &line[..line.len() - 1]
+        } else {
+            line
+        };
+        if line.is_empty() && line_end > 0 {
+            let head_len = line_end + 1;
+            if head_len > MAX_HEAD_BYTES {
+                return HeadScan::TooLarge;
+            }
+            return HeadScan::Complete { head_len };
+        }
+        i = line_end + 1;
+    }
+    if buf.len() > MAX_HEAD_BYTES {
+        HeadScan::TooLarge
+    } else {
+        HeadScan::Partial
+    }
+}
+
+/// Parses a complete head (`buf[..head_len]` from a
+/// [`HeadScan::Complete`]) into its parts.
+pub fn parse_head(head: &[u8]) -> Result<Head, RequestError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| RequestError::BadRequest("non-UTF-8 header bytes".into()))?;
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines
+        .next()
+        .filter(|l| !l.is_empty())
+        .ok_or_else(|| RequestError::BadRequest("empty request line".into()))?;
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
@@ -93,10 +198,8 @@ pub fn read_request(reader: &mut impl BufRead, body_cap: usize) -> Result<Reques
             "unsupported protocol '{version}'"
         )));
     }
-
     let mut headers = Vec::new();
-    loop {
-        let line = read_line(reader, &mut head_budget)?;
+    for line in lines {
         if line.is_empty() {
             break;
         }
@@ -105,62 +208,79 @@ pub fn read_request(reader: &mut impl BufRead, body_cap: usize) -> Result<Reques
             .ok_or_else(|| RequestError::BadRequest(format!("malformed header '{line}'")))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
+    Ok(Head {
+        method,
+        target,
+        headers,
+    })
+}
 
-    let content_length = headers.iter().find(|(k, _)| k == "content-length");
-    let body = match content_length {
-        None if method == "POST" || method == "PUT" => return Err(RequestError::LengthRequired),
-        None => Vec::new(),
-        Some((_, v)) => {
-            let declared: usize = v.parse().map_err(|_| {
-                RequestError::BadRequest(format!("bad Content-Length '{v}'"))
-            })?;
+/// How many body bytes a parsed head declares, enforcing `body_cap` and
+/// the `Content-Length`-required rule for bodied methods.
+pub fn body_need(head: &Head, body_cap: usize) -> Result<usize, RequestError> {
+    match head.header("content-length") {
+        None if head.method == "POST" || head.method == "PUT" => Err(RequestError::LengthRequired),
+        None => Ok(0),
+        Some(v) => {
+            let declared: usize = v
+                .parse()
+                .map_err(|_| RequestError::BadRequest(format!("bad Content-Length '{v}'")))?;
             if declared > body_cap {
                 return Err(RequestError::TooLarge {
                     declared,
                     cap: body_cap,
                 });
             }
-            let mut body = vec![0u8; declared];
-            reader.read_exact(&mut body).map_err(RequestError::Io)?;
-            body
+            Ok(declared)
         }
-    };
-    Ok(Request {
-        method,
-        target,
-        headers,
-        body,
-    })
+    }
 }
 
-/// Reads one CRLF- (or LF-) terminated line, charging it against the
-/// remaining head budget.
-fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, RequestError> {
-    let mut raw = Vec::new();
-    // +1 so an exactly-exhausted budget is distinguishable from overflow.
-    let mut limited = reader.by_ref().take(*budget as u64 + 1);
-    limited
-        .read_until(b'\n', &mut raw)
-        .map_err(RequestError::Io)?;
-    if raw.len() > *budget {
-        return Err(RequestError::BadRequest(format!(
-            "request head exceeds {MAX_HEAD_BYTES} bytes"
-        )));
+/// Reads one request from `reader`, enforcing [`MAX_HEAD_BYTES`] on the
+/// head and `body_cap` on the declared body length. Blocking; used by the
+/// trusted admin plane and the tests — untrusted data-plane sockets go
+/// through the incremental scan instead.
+pub fn read_request(reader: &mut impl BufRead, body_cap: usize) -> Result<Request, RequestError> {
+    let mut buf = Vec::new();
+    loop {
+        match scan_head(&buf) {
+            HeadScan::TooLarge => return Err(RequestError::HeadTooLarge),
+            HeadScan::Complete { head_len } => {
+                let head = parse_head(&buf[..head_len])?;
+                let need = body_need(&head, body_cap)?;
+                let mut body = buf[head_len..].to_vec();
+                if body.len() < need {
+                    let missing = need - body.len();
+                    let start = body.len();
+                    body.resize(need, 0);
+                    reader
+                        .read_exact(&mut body[start..start + missing])
+                        .map_err(RequestError::Io)?;
+                }
+                body.truncate(need);
+                return Ok(head.into_request(body));
+            }
+            HeadScan::Partial => {
+                // Pull whatever is buffered (at least one byte, blocking).
+                let chunk = reader.fill_buf().map_err(RequestError::Io)?;
+                if chunk.is_empty() {
+                    return Err(RequestError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-head",
+                    )));
+                }
+                // In the Partial state `buf` is within the cap; allow one
+                // byte past it so the next scan reports TooLarge.
+                let take = chunk.len().min(MAX_HEAD_BYTES + 1 - buf.len());
+                buf.extend_from_slice(&chunk[..take]);
+                reader.consume(take);
+            }
+        }
     }
-    if !raw.ends_with(b"\n") {
-        return Err(RequestError::Io(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "connection closed mid-line",
-        )));
-    }
-    *budget -= raw.len();
-    while raw.last() == Some(&b'\n') || raw.last() == Some(&b'\r') {
-        raw.pop();
-    }
-    String::from_utf8(raw).map_err(|_| RequestError::BadRequest("non-UTF-8 header bytes".into()))
 }
 
-/// One response, always `Connection: close`.
+/// One response. `close` controls the `Connection:` header — the
+/// multiplexed acceptor recycles connections whose responses keep alive.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
@@ -169,15 +289,20 @@ pub struct Response {
     pub headers: Vec<(&'static str, String)>,
     /// The response body (JSON on every endpoint).
     pub body: String,
+    /// `true` → `Connection: close`; `false` → `Connection: keep-alive`.
+    pub close: bool,
 }
 
 impl Response {
-    /// A JSON response with the given status.
+    /// A JSON response with the given status (defaults to
+    /// `Connection: close`; the serving path flips it for reusable
+    /// connections).
     pub fn json(status: u16, body: String) -> Response {
         Response {
             status,
             headers: Vec::new(),
             body,
+            close: true,
         }
     }
 
@@ -188,19 +313,35 @@ impl Response {
         self
     }
 
-    /// Serializes the response to `w`.
-    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        write!(
-            w,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+    /// Marks the response keep-alive (connection will be reused).
+    #[must_use]
+    pub fn keep_alive(mut self) -> Response {
+        self.close = false;
+        self
+    }
+
+    /// Serializes the response head + body into a byte buffer (what the
+    /// non-blocking writer needs: one buffer it can flush in pieces).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        let _ = write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason(self.status),
-            self.body.len()
-        )?;
+            self.body.len(),
+            if self.close { "close" } else { "keep-alive" },
+        );
         for (name, value) in &self.headers {
-            write!(w, "{name}: {value}\r\n")?;
+            let _ = write!(out, "{name}: {value}\r\n");
         }
-        write!(w, "\r\n{}", self.body)?;
+        let _ = write!(out, "\r\n{}", self.body);
+        out
+    }
+
+    /// Serializes the response to `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&self.to_bytes())?;
         w.flush()
     }
 }
@@ -210,9 +351,10 @@ pub type ClientResponse = (u16, Vec<(String, String)>, String);
 
 /// A tiny blocking client for one request/response exchange, used by the
 /// test suites and the throughput bench (the workspace has no external
-/// HTTP client either). Sends `Content-Length` whenever a body is present
-/// or the method is `POST`, reads to EOF (the server always closes), and
-/// returns `(status, headers, body)`.
+/// HTTP client either). Sends `Connection: close` (so the read-to-EOF
+/// framing below stays valid against a keep-alive server) and
+/// `Content-Length` whenever a body is present or the method is `POST`,
+/// and returns `(status, headers, body)`.
 pub fn client_roundtrip(
     addr: &std::net::SocketAddr,
     method: &str,
@@ -220,10 +362,25 @@ pub fn client_roundtrip(
     headers: &[(&str, &str)],
     body: &[u8],
 ) -> io::Result<ClientResponse> {
-    let mut stream = std::net::TcpStream::connect(addr)?;
+    let stream = std::net::TcpStream::connect(addr)?;
+    client_roundtrip_on(stream, method, target, headers, body)
+}
+
+/// [`client_roundtrip`] over an already-connected stream (lets callers
+/// use `connect_timeout`).
+pub fn client_roundtrip_on(
+    mut stream: std::net::TcpStream,
+    method: &str,
+    target: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<ClientResponse> {
     stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
     stream.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;
-    write!(stream, "{method} {target} HTTP/1.1\r\nHost: srtw\r\n")?;
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: srtw\r\nConnection: close\r\n"
+    )?;
     for (name, value) in headers {
         write!(stream, "{name}: {value}\r\n")?;
     }
@@ -270,7 +427,9 @@ pub fn reason(status: u16) -> &'static str {
         408 => "Request Timeout",
         411 => "Length Required",
         413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
@@ -293,6 +452,14 @@ mod tests {
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.header("HOST"), Some("x"));
         assert_eq!(req.body, b"hello");
+        assert!(req.wants_keep_alive());
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let req =
+            parse("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap();
+        assert!(!req.wants_keep_alive());
     }
 
     #[test]
@@ -340,19 +507,65 @@ mod tests {
     }
 
     #[test]
-    fn head_cap_is_enforced() {
+    fn head_cap_is_enforced_as_431() {
         let huge = format!(
             "GET / HTTP/1.1\r\nX-Filler: {}\r\n\r\n",
             "a".repeat(MAX_HEAD_BYTES)
         );
         let e = parse(&huge).unwrap_err();
-        assert_eq!(e.status(), 400);
+        assert_eq!(e.status(), 431);
+        assert!(matches!(e, RequestError::HeadTooLarge));
     }
 
     #[test]
     fn truncated_request_is_an_io_error() {
         let e = parse("POST /analyze HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort").unwrap_err();
         assert!(matches!(e, RequestError::Io(_)));
+    }
+
+    #[test]
+    fn incremental_scan_finds_the_head_across_chunks() {
+        let text = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\nEXTRA";
+        for cut in 0..text.len() {
+            let scan = scan_head(&text[..cut]);
+            if cut < text.len() - 5 {
+                assert_eq!(scan, HeadScan::Partial, "cut={cut}");
+            }
+        }
+        match scan_head(text) {
+            HeadScan::Complete { head_len } => {
+                assert_eq!(&text[head_len..], b"EXTRA");
+                let head = parse_head(&text[..head_len]).unwrap();
+                assert_eq!(head.method, "GET");
+                assert_eq!(head.header("host"), Some("x"));
+                assert_eq!(body_need(&head, 10).unwrap(), 0);
+            }
+            other => panic!("expected complete head, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_scan_rejects_oversized_heads() {
+        let huge = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert_eq!(scan_head(&huge), HeadScan::TooLarge);
+        // Exactly at the cap and unterminated: still waiting.
+        let edge = vec![b'a'; MAX_HEAD_BYTES];
+        assert_eq!(scan_head(&edge), HeadScan::Partial);
+    }
+
+    #[test]
+    fn body_need_enforces_length_rules() {
+        let head = parse_head(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\n").unwrap();
+        assert_eq!(body_need(&head, 10).unwrap(), 5);
+        assert!(matches!(
+            body_need(&head, 4),
+            Err(RequestError::TooLarge { declared: 5, cap: 4 })
+        ));
+        let head = parse_head(b"POST /x HTTP/1.1\r\n\r\n").unwrap();
+        assert!(matches!(
+            body_need(&head, 10),
+            Err(RequestError::LengthRequired)
+        ));
     }
 
     #[test]
@@ -368,5 +581,12 @@ mod tests {
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn keep_alive_response_serialization() {
+        let text = String::from_utf8(Response::json(200, "{}".into()).keep_alive().to_bytes())
+            .unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
     }
 }

@@ -5,8 +5,15 @@
 //! `srtw analyze --json`, wired for robustness at every layer:
 //!
 //! - **Bounded admission** ([`gate`]): a fixed-capacity queue; overflow is
-//!   shed with `503` + `Retry-After` instead of buffered, so a traffic
-//!   spike can never grow memory without bound.
+//!   shed with `503` + an adaptive `Retry-After` instead of buffered, so a
+//!   traffic spike can never grow memory without bound.
+//! - **Multiplexed I/O** ([`mux`] over [`sys`]'s `poll(2)` shim): one
+//!   acceptor thread owns every connection until a complete request is
+//!   buffered, with per-connection deadlines (`408`), a head cap (`431`),
+//!   a connection cap, and a global body-buffer budget — a slow-loris
+//!   flood costs pollfds, not workers, and memory stays O(queue+conns).
+//! - **Keep-alive** : connections cycle back to the acceptor between
+//!   requests instead of pinning a worker; pipelined bytes carry over.
 //! - **Deadline propagation** ([`server`]): `X-Deadline-Ms` becomes a
 //!   wall-clock [`srtw_minplus::Budget`] plus a [`srtw_minplus::CancelToken`],
 //!   so an over-deadline request *degrades soundly to the RTC bound* —
@@ -26,16 +33,22 @@
 //! `500`↔3, `503`↔shed/draining), so a batch driver can treat the service
 //! exactly like a pool of `srtw analyze` processes.
 
-#![deny(unsafe_code)] // `signal` opts back in for the one libc binding.
+#![deny(unsafe_code)] // `signal` and `sys` opt back in for the C bindings.
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod gate;
 pub mod http;
+pub mod mux;
 pub mod pool;
+pub mod replica;
 pub mod report;
 pub mod server;
 pub mod signal;
 pub mod stats;
+pub mod sys;
 
+pub use fault::{ProcessFault, ProcessFaultKind};
+pub use replica::{ReplicaConfig, Supervisor};
 pub use report::{fifo_report, FifoReport};
 pub use server::{DrainReport, ServeConfig, Server};

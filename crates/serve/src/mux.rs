@@ -1,0 +1,884 @@
+//! The readiness-based multiplexed acceptor.
+//!
+//! One mux thread owns the listener and every connection that is not
+//! currently being *served*: it accepts, reads request bytes
+//! non-blockingly as they arrive, and only hands a connection to the
+//! worker pool once a **complete** request is buffered. A slow-loris
+//! client — drip-feeding header bytes, or opening thousands of idle
+//! sockets — therefore never occupies a worker; it costs one `pollfd`
+//! and a small buffer until its per-connection deadline expires (typed
+//! `408`) or the connection cap sheds it (`503`).
+//!
+//! Memory stays bounded by construction: at most [`MuxConfig::max_conns`]
+//! tracked connections, at most [`crate::http::MAX_HEAD_BYTES`] of head
+//! per connection, and a global [`MuxConfig::max_buffered`] budget on
+//! declared body bytes — admission (the bounded gate) is checked *before*
+//! a body is buffered, so a flood of oversized POSTs sheds at the head.
+//!
+//! Keep-alive: after a worker writes a keep-alive response it hands the
+//! connection back via [`MuxHandle::return_conn`]; the mux re-registers
+//! it (with any pipelined bytes already buffered) and a self-pipe wake
+//! makes the turnaround immediate rather than poll-timeout-bounded.
+
+use crate::gate::{Admission, Gate};
+use crate::http::{
+    body_need, parse_head, scan_head, Head, HeadScan, Request, RequestError, Response,
+};
+use crate::stats::Stats;
+use crate::sys::{self, PollFd, POLLIN, POLLOUT};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How long a finished error/shed response may linger draining the
+/// client's unread bytes before the socket is closed.
+const LINGER: Duration = Duration::from_millis(500);
+/// Most bytes a lingering close will discard before giving up.
+const LINGER_BUDGET: usize = 64 * 1024;
+/// Most connections accepted per wakeup (fairness against floods).
+const ACCEPT_BURST: usize = 64;
+
+/// Tuning for the mux; the server derives it from
+/// [`crate::ServeConfig`].
+#[derive(Debug, Clone)]
+pub struct MuxConfig {
+    /// Most connections tracked at once; beyond it new connections shed.
+    pub max_conns: usize,
+    /// Deadline for a fresh connection to complete its request head.
+    pub header_timeout: Duration,
+    /// Deadline for the declared body to arrive, for response writes,
+    /// and for keep-alive idleness.
+    pub read_timeout: Duration,
+    /// Global budget of declared-but-unread body bytes across all
+    /// connections.
+    pub max_buffered: usize,
+    /// Largest accepted request body (the textfmt input cap).
+    pub body_cap: usize,
+    /// Worker count (for the adaptive `Retry-After`).
+    pub workers: usize,
+}
+
+/// A complete request ready for a worker, with the socket that carried
+/// it. The worker writes the response and either closes the stream or
+/// returns it through [`MuxHandle::return_conn`].
+#[derive(Debug)]
+pub struct ConnJob {
+    /// The connection, switched to blocking mode for the worker.
+    pub stream: TcpStream,
+    /// The fully-buffered request.
+    pub request: Request,
+    /// Requests already served on this connection (0 for the first).
+    pub served: u32,
+    /// Pipelined bytes read past this request's body, if any.
+    pub leftover: Vec<u8>,
+}
+
+/// A connection a worker hands back for keep-alive reuse.
+#[derive(Debug)]
+pub struct ReturnedConn {
+    /// The connection (still blocking; the mux flips it back).
+    pub stream: TcpStream,
+    /// Requests served on it so far.
+    pub served: u32,
+    /// Pipelined bytes already read.
+    pub leftover: Vec<u8>,
+}
+
+/// State shared between the mux thread and the rest of the server.
+#[derive(Debug)]
+pub struct MuxShared {
+    returns: Mutex<Vec<ReturnedConn>>,
+    open_conns: AtomicUsize,
+    stop: AtomicBool,
+    wake_tx: Mutex<TcpStream>,
+}
+
+impl MuxShared {
+    fn wake(&self) {
+        // Non-blocking: a full wake pipe already guarantees a wakeup.
+        let _ = self.wake_tx.lock().unwrap().write(&[1]);
+    }
+}
+
+/// A lightweight, cloneable way back into the mux: pool workers hold one
+/// to return keep-alive connections and the stats path reads its gauge.
+#[derive(Debug, Clone)]
+pub struct Returner {
+    shared: Arc<MuxShared>,
+}
+
+impl Returner {
+    /// Hands a keep-alive connection back for its next request.
+    pub fn return_conn(&self, conn: ReturnedConn) {
+        self.shared.returns.lock().unwrap().push(conn);
+        self.shared.wake();
+    }
+
+    /// Connections currently tracked by the mux (gauge).
+    pub fn open_conns(&self) -> usize {
+        self.shared.open_conns.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a running mux thread.
+#[derive(Debug)]
+pub struct MuxHandle {
+    shared: Arc<MuxShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MuxHandle {
+    /// A cloneable return-path handle for pool workers.
+    pub fn returner(&self) -> Returner {
+        Returner {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Hands a keep-alive connection back for its next request.
+    pub fn return_conn(&self, conn: ReturnedConn) {
+        self.shared.returns.lock().unwrap().push(conn);
+        self.shared.wake();
+    }
+
+    /// Connections currently tracked by the mux (gauge).
+    pub fn open_conns(&self) -> usize {
+        self.shared.open_conns.load(Ordering::Relaxed)
+    }
+
+    /// Stops the mux: the listener closes, tracked connections are
+    /// dropped (in-flight *worker* requests are unaffected — their
+    /// sockets moved out of the mux at dispatch), and the thread joins.
+    pub fn stop(mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.wake();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+enum State {
+    /// Accumulating head bytes (for an idle keep-alive connection the
+    /// buffer starts with the previous request's pipelined leftover).
+    ReadHead { buf: Vec<u8>, fresh: bool },
+    /// Head parsed; accumulating the declared body. `buf` holds body
+    /// bytes only (head already stripped); `reserved` is this
+    /// connection's charge against the global buffer budget.
+    ReadBody {
+        head: Box<Head>,
+        buf: Vec<u8>,
+        need: usize,
+        reserved: usize,
+    },
+    /// Flushing an error/shed response the mux itself produced.
+    Write {
+        buf: Vec<u8>,
+        off: usize,
+        then: After,
+    },
+    /// Write done; draining the client's unread bytes so closing cannot
+    /// RST the response away.
+    Linger { budget: usize },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum After {
+    Close,
+    Linger,
+}
+
+struct Conn {
+    stream: TcpStream,
+    state: State,
+    deadline: Instant,
+    served: u32,
+}
+
+enum Verdict {
+    /// Keep tracking (possibly in a new state).
+    Keep,
+    /// Forget the connection (dispatched or closed).
+    Gone,
+}
+
+struct Mux {
+    listener: TcpListener,
+    cfg: MuxConfig,
+    gate: Arc<Gate<ConnJob>>,
+    stats: Arc<Stats>,
+    shared: Arc<MuxShared>,
+    wake_rx: TcpStream,
+    conns: Vec<Conn>,
+    buffered: usize,
+}
+
+/// Builds the self-pipe the mux sleeps on: a loopback socket pair (std
+/// has no `pipe(2)`), both ends non-blocking.
+fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
+    let l = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(l.local_addr()?)?;
+    let (rx, _) = l.accept()?;
+    rx.set_nonblocking(true)?;
+    tx.set_nonblocking(true)?;
+    Ok((tx, rx))
+}
+
+/// Spawns the mux thread over an already-bound listener.
+pub fn spawn(
+    listener: TcpListener,
+    cfg: MuxConfig,
+    gate: Arc<Gate<ConnJob>>,
+    stats: Arc<Stats>,
+) -> io::Result<MuxHandle> {
+    listener.set_nonblocking(true)?;
+    let (wake_tx, wake_rx) = wake_pair()?;
+    let shared = Arc::new(MuxShared {
+        returns: Mutex::new(Vec::new()),
+        open_conns: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        wake_tx: Mutex::new(wake_tx),
+    });
+    let mux_shared = Arc::clone(&shared);
+    let handle = thread::Builder::new()
+        .name("srtw-serve-mux".into())
+        .spawn(move || {
+            Mux {
+                listener,
+                cfg,
+                gate,
+                stats,
+                shared: mux_shared,
+                wake_rx,
+                conns: Vec::new(),
+                buffered: 0,
+            }
+            .run()
+        })?;
+    Ok(MuxHandle {
+        shared,
+        handle: Some(handle),
+    })
+}
+
+impl Mux {
+    fn run(mut self) {
+        while !self.shared.stop.load(Ordering::Relaxed) {
+            self.adopt_returns();
+            self.poll_once();
+            self.sweep_deadlines();
+            self.shared
+                .open_conns
+                .store(self.conns.len(), Ordering::Relaxed);
+        }
+        // Drain: drop the listener and every tracked connection. Requests
+        // already dispatched to workers are unaffected; connections still
+        // mid-read have no complete request to answer.
+        self.conns.clear();
+        self.shared.open_conns.store(0, Ordering::Relaxed);
+    }
+
+    /// One poll + event-handling round.
+    fn poll_once(&mut self) {
+        let now = Instant::now();
+        let next_deadline = self
+            .conns
+            .iter()
+            .map(|c| c.deadline)
+            .min()
+            .map(|d| d.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(500));
+        let timeout_ms = next_deadline.min(Duration::from_millis(500)).as_millis() as i32 + 1;
+
+        // Connections accepted/adopted during event handling are appended
+        // past `polled` and have no pollfd this round; the walk below must
+        // not index fds for them.
+        let polled = self.conns.len();
+        let mut fds = Vec::with_capacity(polled + 2);
+        fds.push(PollFd::new(raw_fd(&self.wake_rx), POLLIN));
+        fds.push(PollFd::new(raw_fd(&self.listener), POLLIN));
+        for c in &self.conns {
+            let interest = match c.state {
+                State::ReadHead { .. } | State::ReadBody { .. } | State::Linger { .. } => POLLIN,
+                State::Write { .. } => POLLOUT,
+            };
+            fds.push(PollFd::new(raw_fd(&c.stream), interest));
+        }
+        let n = sys::poll_fds(&mut fds, timeout_ms);
+        if n <= 0 {
+            return; // timeout, EINTR, or nothing ready: sweep and re-poll
+        }
+        if fds[0].readable() {
+            let mut sink = [0u8; 64];
+            while matches!(self.wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+            // Returns are adopted at the top of the loop.
+        }
+        if fds[1].readable() {
+            self.accept_burst();
+        }
+        // Walk the polled connections back-to-front so swap_remove keeps
+        // unvisited (smaller) indices aligned with their pollfds; tail
+        // elements moved into visited slots are the freshly accepted
+        // connections, which had no pollfd anyway.
+        for i in (0..polled).rev() {
+            let ready = fds[i + 2];
+            if ready.revents == 0 {
+                continue;
+            }
+            let mut conn = self.conns.swap_remove(i);
+            match self.advance(&mut conn) {
+                Verdict::Keep => self.conns.push(conn),
+                Verdict::Gone => {}
+            }
+        }
+    }
+
+    fn adopt_returns(&mut self) {
+        let returned: Vec<ReturnedConn> = std::mem::take(&mut *self.shared.returns.lock().unwrap());
+        for r in returned {
+            if r.stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let mut conn = Conn {
+                stream: r.stream,
+                state: State::ReadHead {
+                    buf: r.leftover,
+                    fresh: false,
+                },
+                // Idle keep-alive window; tightens to the header deadline
+                // once the next request starts arriving.
+                deadline: Instant::now() + self.cfg.read_timeout,
+                served: r.served,
+            };
+            // A pipelined request may already be fully buffered.
+            if let Verdict::Keep = self.try_advance_buffer(&mut conn) {
+                self.conns.push(conn);
+            }
+        }
+    }
+
+    fn accept_burst(&mut self) {
+        for _ in 0..ACCEPT_BURST {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_write_timeout(Some(self.cfg.read_timeout));
+                    let tracked = self.conns.len();
+                    if tracked >= self.cfg.max_conns + self.cfg.max_conns / 4 + 16 {
+                        // Hard cap (sheds already queued for their write):
+                        // drop without a response; accounting only.
+                        self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if tracked >= self.cfg.max_conns {
+                        self.shed(stream, "shed", "connection limit reached; retry later");
+                        continue;
+                    }
+                    let mut conn = Conn {
+                        stream,
+                        state: State::ReadHead {
+                            buf: Vec::new(),
+                            fresh: true,
+                        },
+                        deadline: Instant::now() + self.cfg.header_timeout,
+                        served: 0,
+                    };
+                    // Fast path: the request is often already readable.
+                    if let Verdict::Keep = self.advance(&mut conn) {
+                        self.conns.push(conn);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return, // transient (EMFILE, resets): retry next round
+            }
+        }
+    }
+
+    /// Sheds a brand-new connection with the adaptive 503.
+    fn shed(&mut self, stream: TcpStream, kind: &str, message: &str) {
+        self.stats.shed.fetch_add(1, Ordering::Relaxed);
+        let retry = self
+            .stats
+            .retry_after_secs(self.gate.depth(), self.cfg.workers);
+        let resp = Response::json(503, crate::server::error_body(4, kind, message, vec![]))
+            .with_header("Retry-After", retry.to_string());
+        let mut conn = Conn {
+            stream,
+            state: State::Write {
+                buf: resp.to_bytes(),
+                off: 0,
+                then: After::Linger,
+            },
+            deadline: Instant::now() + self.cfg.read_timeout,
+            served: 0,
+        };
+        if let Verdict::Keep = self.advance(&mut conn) {
+            self.conns.push(conn);
+        }
+    }
+
+    /// Converts a connection to flushing `resp`, counting it `failed`
+    /// when `resp` is a client-error answer produced here.
+    fn respond(&mut self, conn: &mut Conn, resp: Response, then: After) {
+        conn.state = State::Write {
+            buf: resp.to_bytes(),
+            off: 0,
+            then,
+        };
+        conn.deadline = Instant::now() + self.cfg.read_timeout;
+    }
+
+    /// Drives a connection as far as its buffered bytes and socket allow.
+    fn advance(&mut self, conn: &mut Conn) -> Verdict {
+        loop {
+            match &mut conn.state {
+                State::ReadHead { buf, .. } => {
+                    // Read whatever is available, capped just past the
+                    // head limit so an oversized head is detectable.
+                    match read_some(&mut conn.stream, buf, crate::http::MAX_HEAD_BYTES + 1) {
+                        ReadSome::Closed => {
+                            // EOF: silent close — either an idle client
+                            // hanging up (fine) or an incomplete request
+                            // (nobody left to answer).
+                            return Verdict::Gone;
+                        }
+                        ReadSome::Blocked | ReadSome::Progress => {}
+                    }
+                    return self.try_advance_buffer(conn);
+                }
+                State::ReadBody { buf, need, .. } => {
+                    let want = *need;
+                    match read_some(&mut conn.stream, buf, want) {
+                        ReadSome::Closed => {
+                            if let State::ReadBody { reserved, .. } = conn.state {
+                                self.buffered -= reserved;
+                            }
+                            return Verdict::Gone;
+                        }
+                        ReadSome::Blocked | ReadSome::Progress => {}
+                    }
+                    if buf.len() < want {
+                        return Verdict::Keep;
+                    }
+                    return self.dispatch(conn);
+                }
+                State::Write { buf, off, then } => {
+                    while *off < buf.len() {
+                        match conn.stream.write(&buf[*off..]) {
+                            Ok(0) => return Verdict::Gone,
+                            Ok(n) => *off += n,
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                return Verdict::Keep
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                            Err(_) => return Verdict::Gone,
+                        }
+                    }
+                    let after = *then;
+                    let _ = conn.stream.shutdown(Shutdown::Write);
+                    if after == After::Close {
+                        return Verdict::Gone;
+                    }
+                    conn.state = State::Linger {
+                        budget: LINGER_BUDGET,
+                    };
+                    conn.deadline = Instant::now() + LINGER;
+                }
+                State::Linger { budget } => {
+                    let mut sink = [0u8; 8 * 1024];
+                    loop {
+                        match conn.stream.read(&mut sink) {
+                            Ok(0) => return Verdict::Gone,
+                            Ok(n) => {
+                                *budget = budget.saturating_sub(n);
+                                if *budget == 0 {
+                                    return Verdict::Gone;
+                                }
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                return Verdict::Keep
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                            Err(_) => return Verdict::Gone,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances a `ReadHead` connection purely from its buffer (no
+    /// socket reads): scans/parses the head, checks admission, and moves
+    /// to body accumulation or dispatch.
+    fn try_advance_buffer(&mut self, conn: &mut Conn) -> Verdict {
+        let State::ReadHead { buf, fresh } = &mut conn.state else {
+            return Verdict::Keep;
+        };
+        if !*fresh && !buf.is_empty() {
+            // The next keep-alive request has started: tighten the idle
+            // window to the header deadline. (Idempotent enough — the
+            // deadline only ever tightens while a head is pending.)
+            conn.deadline = conn
+                .deadline
+                .min(Instant::now() + self.cfg.header_timeout);
+        }
+        match scan_head(buf) {
+            HeadScan::Partial => Verdict::Keep,
+            HeadScan::TooLarge => {
+                self.stats.oversized_heads.fetch_add(1, Ordering::Relaxed);
+                self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                let resp = crate::server::request_error_response(&RequestError::HeadTooLarge);
+                self.respond(conn, resp, After::Linger);
+                self.advance_tail(conn)
+            }
+            HeadScan::Complete { head_len } => {
+                let head = match parse_head(&buf[..head_len]) {
+                    Ok(h) => h,
+                    Err(e) => {
+                        self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        let resp = crate::server::request_error_response(&e);
+                        self.respond(conn, resp, After::Linger);
+                        return self.advance_tail(conn);
+                    }
+                };
+                let need = match body_need(&head, self.cfg.body_cap) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        let resp = crate::server::request_error_response(&e);
+                        self.respond(conn, resp, After::Linger);
+                        return self.advance_tail(conn);
+                    }
+                };
+                // Shed *before* buffering the body: a full queue or an
+                // exhausted body budget answers 503 at the head.
+                if self.gate.is_full() {
+                    self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    let retry = self
+                        .stats
+                        .retry_after_secs(self.gate.depth(), self.cfg.workers);
+                    let resp = Response::json(
+                        503,
+                        crate::server::error_body(
+                            4,
+                            "shed",
+                            "admission queue full; retry later",
+                            vec![],
+                        ),
+                    )
+                    .with_header("Retry-After", retry.to_string());
+                    self.respond(conn, resp, After::Linger);
+                    return self.advance_tail(conn);
+                }
+                if need > 0 && self.buffered + need > self.cfg.max_buffered {
+                    self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    let retry = self
+                        .stats
+                        .retry_after_secs(self.gate.depth(), self.cfg.workers);
+                    let resp = Response::json(
+                        503,
+                        crate::server::error_body(
+                            4,
+                            "shed",
+                            "request-buffer budget exhausted; retry later",
+                            vec![],
+                        ),
+                    )
+                    .with_header("Retry-After", retry.to_string());
+                    self.respond(conn, resp, After::Linger);
+                    return self.advance_tail(conn);
+                }
+                self.buffered += need;
+                let body = buf[head_len..].to_vec();
+                conn.state = State::ReadBody {
+                    head: Box::new(head),
+                    buf: body,
+                    need,
+                    reserved: need,
+                };
+                conn.deadline = Instant::now() + self.cfg.read_timeout;
+                if let State::ReadBody { buf, .. } = &conn.state {
+                    if buf.len() >= need {
+                        return self.dispatch(conn);
+                    }
+                }
+                Verdict::Keep
+            }
+        }
+    }
+
+    /// Runs the Write/Linger tail of a response the buffer path queued.
+    fn advance_tail(&mut self, conn: &mut Conn) -> Verdict {
+        self.advance(conn)
+    }
+
+    /// Hands a complete request to the pool (or sheds if the gate filled
+    /// up while the body streamed in).
+    fn dispatch(&mut self, conn: &mut Conn) -> Verdict {
+        let state = std::mem::replace(
+            &mut conn.state,
+            State::Linger { budget: 0 },
+        );
+        let State::ReadBody {
+            head,
+            mut buf,
+            need,
+            reserved,
+        } = state
+        else {
+            return Verdict::Gone;
+        };
+        self.buffered -= reserved;
+        let leftover = buf.split_off(need);
+        let request = head.into_request(buf);
+        let Ok(stream) = conn.stream.try_clone() else {
+            return Verdict::Gone;
+        };
+        let _ = stream.set_nonblocking(false);
+        if conn.served > 0 {
+            self.stats.reused.fetch_add(1, Ordering::Relaxed);
+        }
+        let job = ConnJob {
+            stream,
+            request,
+            served: conn.served,
+            leftover,
+        };
+        match self.gate.offer(job) {
+            Ok(()) => {
+                self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                Verdict::Gone
+            }
+            Err(Admission::Shed(job)) => {
+                let _ = job.stream.set_nonblocking(true);
+                conn.stream = job.stream;
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                let retry = self
+                    .stats
+                    .retry_after_secs(self.gate.depth(), self.cfg.workers);
+                let resp = Response::json(
+                    503,
+                    crate::server::error_body(4, "shed", "admission queue full; retry later", vec![]),
+                )
+                .with_header("Retry-After", retry.to_string());
+                self.respond(conn, resp, After::Close);
+                self.advance_tail(conn)
+            }
+            Err(Admission::Closed(job)) => {
+                let _ = job.stream.set_nonblocking(true);
+                conn.stream = job.stream;
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::json(
+                    503,
+                    crate::server::error_body(4, "draining", "server is draining; retry elsewhere", vec![]),
+                );
+                self.respond(conn, resp, After::Close);
+                self.advance_tail(conn)
+            }
+        }
+    }
+
+    /// Expires connections past their deadlines: stalled requests get a
+    /// typed 408, idle keep-alive connections and stuck writes close.
+    fn sweep_deadlines(&mut self) {
+        let now = Instant::now();
+        for i in (0..self.conns.len()).rev() {
+            if self.conns[i].deadline > now {
+                continue;
+            }
+            let mut conn = self.conns.swap_remove(i);
+            let verdict = match &conn.state {
+                State::ReadHead { buf, fresh } => {
+                    if buf.is_empty() && !fresh {
+                        Verdict::Gone // idle keep-alive: close silently
+                    } else {
+                        self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                        self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        let resp = crate::server::request_error_response(&RequestError::Timeout);
+                        self.respond(&mut conn, resp, After::Close);
+                        self.advance(&mut conn)
+                    }
+                }
+                State::ReadBody { reserved, .. } => {
+                    self.buffered -= *reserved;
+                    self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    let resp = crate::server::request_error_response(&RequestError::Timeout);
+                    conn.state = State::Write {
+                        buf: resp.to_bytes(),
+                        off: 0,
+                        then: After::Close,
+                    };
+                    conn.deadline = Instant::now() + self.cfg.read_timeout;
+                    self.advance(&mut conn)
+                }
+                State::Write { .. } | State::Linger { .. } => Verdict::Gone,
+            };
+            if let Verdict::Keep = verdict {
+                self.conns.push(conn);
+            }
+        }
+    }
+}
+
+/// The raw descriptor the poll set watches; off unix the fallback poller
+/// ignores it, so any value does.
+#[cfg(unix)]
+fn raw_fd<T: std::os::unix::io::AsRawFd>(t: &T) -> i32 {
+    t.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd<T>(_t: &T) -> i32 {
+    -1
+}
+
+enum ReadSome {
+    Progress,
+    Blocked,
+    Closed,
+}
+
+/// Reads available bytes into `buf` up to `cap` total, without blocking.
+fn read_some(stream: &mut TcpStream, buf: &mut Vec<u8>, cap: usize) -> ReadSome {
+    let mut progressed = false;
+    let mut chunk = [0u8; 8 * 1024];
+    while buf.len() < cap {
+        let want = chunk.len().min(cap - buf.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => return ReadSome::Closed,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                progressed = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                return if progressed {
+                    ReadSome::Progress
+                } else {
+                    ReadSome::Blocked
+                };
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadSome::Closed,
+        }
+    }
+    ReadSome::Progress
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::SocketAddr;
+
+    fn mux_fixture(cfg: MuxConfig) -> (SocketAddr, Arc<Gate<ConnJob>>, MuxHandle) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let gate = Arc::new(Gate::new(8));
+        let handle = spawn(listener, cfg, Arc::clone(&gate), Arc::new(Stats::new())).unwrap();
+        (addr, gate, handle)
+    }
+
+    fn small_cfg() -> MuxConfig {
+        MuxConfig {
+            max_conns: 32,
+            header_timeout: Duration::from_millis(200),
+            read_timeout: Duration::from_millis(400),
+            max_buffered: 1 << 20,
+            body_cap: 1 << 20,
+            workers: 1,
+        }
+    }
+
+    fn read_all(mut s: TcpStream) -> String {
+        let mut out = Vec::new();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let _ = s.read_to_end(&mut out);
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    #[test]
+    fn complete_request_is_dispatched_with_its_body() {
+        let (addr, gate, handle) = mux_fixture(small_cfg());
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"POST /analyze HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap();
+        let job = gate.take().expect("job dispatched");
+        assert_eq!(job.request.method, "POST");
+        assert_eq!(job.request.body, b"hello");
+        assert_eq!(job.served, 0);
+        assert!(job.leftover.is_empty());
+        handle.stop();
+    }
+
+    #[test]
+    fn slow_loris_head_gets_a_typed_408_not_a_worker() {
+        let (addr, gate, handle) = mux_fixture(small_cfg());
+        let mut c = TcpStream::connect(addr).unwrap();
+        // Drip a partial head and stall past the header deadline.
+        c.write_all(b"GET /healthz HT").unwrap();
+        let body = read_all(c);
+        assert!(body.starts_with("HTTP/1.1 408 "), "{body}");
+        assert!(body.contains("\"kind\":\"input\""), "{body}");
+        assert_eq!(gate.depth(), 0, "the stalled head must never dispatch");
+        handle.stop();
+    }
+
+    #[test]
+    fn oversized_head_gets_431() {
+        let (addr, _gate, handle) = mux_fixture(small_cfg());
+        let mut c = TcpStream::connect(addr).unwrap();
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX-Filler: {}\r\n\r\n",
+            "a".repeat(crate::http::MAX_HEAD_BYTES)
+        );
+        c.write_all(huge.as_bytes()).unwrap();
+        let body = read_all(c);
+        assert!(body.starts_with("HTTP/1.1 431 "), "{body}");
+        handle.stop();
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_503() {
+        let mut cfg = small_cfg();
+        cfg.max_conns = 2;
+        cfg.header_timeout = Duration::from_secs(5);
+        let (addr, _gate, handle) = mux_fixture(cfg);
+        // Two idle connections occupy the cap (no bytes sent).
+        let _a = TcpStream::connect(addr).unwrap();
+        let _b = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let c = TcpStream::connect(addr).unwrap();
+        let body = read_all(c);
+        assert!(body.starts_with("HTTP/1.1 503 "), "{body}");
+        assert!(body.contains("retry later"), "{body}");
+        assert!(body.contains("Retry-After:"), "{body}");
+        handle.stop();
+    }
+
+    #[test]
+    fn returned_connection_serves_a_pipelined_request() {
+        let (addr, gate, handle) = mux_fixture(small_cfg());
+        let mut c = TcpStream::connect(addr).unwrap();
+        // Two pipelined requests in one write.
+        c.write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let first = gate.take().expect("first request");
+        assert_eq!(first.request.target, "/a");
+        assert!(!first.leftover.is_empty());
+        // Worker-style return: hand the connection back with the
+        // leftover; the mux must dispatch the second request from the
+        // buffer alone.
+        handle.return_conn(ReturnedConn {
+            stream: first.stream,
+            served: 1,
+            leftover: first.leftover,
+        });
+        let second = gate.take().expect("pipelined request");
+        assert_eq!(second.request.target, "/b");
+        assert_eq!(second.served, 1);
+        handle.stop();
+    }
+}

@@ -1,30 +1,44 @@
-//! The service itself: acceptor, admission, per-request supervision, and
-//! graceful drain.
+//! The service itself: multiplexed admission, per-request supervision,
+//! and graceful drain.
 //!
-//! Request lifecycle: the acceptor admits the connection through the
-//! bounded [`Gate`] (full → 503 + `Retry-After`, never unbounded
-//! buffering); a pool worker parses the request under the hardened
-//! `textfmt` caps; `/analyze` runs behind [`srtw_supervisor::contain`]
-//! with a per-request [`CancelToken`] and an optional `X-Deadline-Ms`
-//! wall budget, so an adversarial system degrades soundly to the RTC
-//! bound instead of stalling the worker, and a panicking analysis
-//! becomes a typed 500 while the server keeps serving.
+//! Request lifecycle: the multiplexed acceptor ([`crate::mux`]) owns
+//! every connection until a *complete* request is buffered — slow or
+//! hostile clients are bounded by per-connection deadlines (`408`), head
+//! caps (`431`), the connection cap and the bounded [`Gate`] (`503` with
+//! an adaptive `Retry-After`), never by worker starvation. A pool worker
+//! then routes the request; `/analyze` runs behind
+//! [`srtw_supervisor::contain`] with a per-request [`CancelToken`] and an
+//! optional `X-Deadline-Ms` wall budget, so an adversarial system
+//! degrades soundly to the RTC bound instead of stalling the worker, and
+//! a panicking analysis becomes a typed 500 while the server keeps
+//! serving. Keep-alive connections cycle back to the acceptor after each
+//! response instead of occupying a worker between requests.
 
-use crate::gate::{Admission, Gate};
-use crate::http::{read_request, Request, RequestError, Response};
+use crate::fault::{ProcessFault, ProcessFaultArm, ProcessFaultKind};
+use crate::gate::Gate;
+use crate::http::{Request, RequestError, Response, MAX_HEAD_BYTES};
+use crate::mux::{self, ConnJob, MuxConfig, MuxHandle, ReturnedConn, Returner};
 use crate::pool::Pool;
 use crate::report::fifo_report;
-use crate::stats::Stats;
+use crate::stats::{Gauges, Stats};
+use crate::sys;
 use srtw_core::textfmt::{parse_system, ParseError, ParseErrorKind, MAX_INPUT_BYTES};
 use srtw_core::{AnalysisConfig, Json};
 use srtw_minplus::{Budget, CancelToken, FaultPlan};
 use srtw_supervisor::{contain, Contained};
-use std::io::{self, BufReader};
+use std::io::{self, Read as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::thread::{self, JoinHandle};
+use std::thread;
 use std::time::{Duration, Instant};
+
+/// Global budget of declared-but-unread body bytes buffered by the
+/// acceptor (beyond it, new bodied requests shed with 503).
+const MAX_BUFFERED_BODIES: usize = 16 * 1024 * 1024;
+/// Requests served on one connection before it is closed anyway (bounds
+/// per-connection state against an immortal client).
+const MAX_REQUESTS_PER_CONN: u32 = 1024;
 
 /// Service configuration; [`ServeConfig::default`] matches the CLI
 /// defaults.
@@ -34,16 +48,22 @@ pub struct ServeConfig {
     pub addr: String,
     /// Fixed worker-pool size (clamped to at least 1).
     pub workers: usize,
-    /// Admission-queue bound: pending connections beyond this are shed.
+    /// Admission-queue bound: pending requests beyond this are shed.
     pub queue: usize,
+    /// Most connections the acceptor tracks at once; beyond it new
+    /// connections shed with 503 (and, further out, silently).
+    pub max_conns: usize,
     /// How long a graceful drain waits for in-flight and queued work
     /// before cancelling stragglers.
     pub drain: Duration,
     /// Wind-down window granted after a cancellation (watchdog or drain)
     /// before a thread is abandoned.
     pub grace: Duration,
-    /// Socket read/write timeout (a stalled client cannot hold a worker
-    /// forever).
+    /// Deadline for a fresh connection to complete its request head
+    /// (stalling past it is a typed 408).
+    pub header_timeout: Duration,
+    /// Deadline for the declared body to arrive / for response writes /
+    /// for keep-alive idleness.
     pub read_timeout: Duration,
     /// Deadline applied to `/analyze` requests that carry no
     /// `X-Deadline-Ms` header (`None` = unbounded).
@@ -53,6 +73,12 @@ pub struct ServeConfig {
     /// Deterministic fault injected into every request's meter (testing
     /// the shed/degrade/crash paths without timing races).
     pub fault: Option<FaultPlan>,
+    /// Deterministic process-level fault (abort/stall/closefd at the Nth
+    /// routed request) for driving the supervision tree.
+    pub process_fault: Option<ProcessFault>,
+    /// Replica index when running as a supervised replica (surfaces in
+    /// `/stats`).
+    pub replica: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -61,12 +87,16 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".into(),
             workers: 2,
             queue: 64,
+            max_conns: 1024,
             drain: Duration::from_secs(5),
             grace: Duration::from_secs(2),
+            header_timeout: Duration::from_secs(2),
             read_timeout: Duration::from_secs(5),
             default_deadline_ms: None,
             threads: 1,
             fault: None,
+            process_fault: None,
+            replica: None,
         }
     }
 }
@@ -96,8 +126,10 @@ impl DrainReport {
 
 struct Shared {
     cfg: ServeConfig,
-    gate: Arc<Gate<TcpStream>>,
-    stats: Stats,
+    gate: Arc<Gate<ConnJob>>,
+    stats: Arc<Stats>,
+    returner: Returner,
+    fault_arm: ProcessFaultArm,
     draining: AtomicBool,
     shutdown_req: AtomicBool,
     /// Set when the drain window has expired: new analyses start
@@ -116,6 +148,10 @@ impl Shared {
         // Tokens compare by identity, so this removes exactly ours.
         self.inflight.lock().unwrap().retain(|t| t != token);
     }
+
+    fn draining_or_requested(&self) -> bool {
+        self.draining.load(Ordering::Relaxed) || self.shutdown_req.load(Ordering::Relaxed)
+    }
 }
 
 /// A running analysis service. Dropping the handle does *not* stop the
@@ -123,7 +159,7 @@ impl Shared {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: JoinHandle<()>,
+    mux: MuxHandle,
     pool: Pool,
 }
 
@@ -134,17 +170,35 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Binds and starts the service (acceptor + worker pool).
+    /// Binds and starts the service (mux acceptor + worker pool).
     pub fn spawn(cfg: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
-        listener.set_nonblocking(true)?;
+        Server::from_listener(listener, cfg)
+    }
+
+    /// Starts the service over an already-bound listener — the shape a
+    /// supervised replica uses after inheriting the shared listening
+    /// socket from its parent.
+    pub fn from_listener(listener: TcpListener, cfg: ServeConfig) -> io::Result<Server> {
         let addr = listener.local_addr()?;
         let gate = Arc::new(Gate::new(cfg.queue));
+        let stats = Arc::new(Stats::new());
         let workers = cfg.workers.max(1);
+        let mux_cfg = MuxConfig {
+            max_conns: cfg.max_conns.max(workers + 1),
+            header_timeout: cfg.header_timeout,
+            read_timeout: cfg.read_timeout,
+            max_buffered: MAX_BUFFERED_BODIES,
+            body_cap: MAX_INPUT_BYTES,
+            workers,
+        };
+        let mux = mux::spawn(listener, mux_cfg, Arc::clone(&gate), Arc::clone(&stats))?;
         let shared = Arc::new(Shared {
+            fault_arm: ProcessFaultArm::new(cfg.process_fault),
             cfg,
             gate: Arc::clone(&gate),
-            stats: Stats::new(),
+            stats,
+            returner: mux.returner(),
             draining: AtomicBool::new(false),
             shutdown_req: AtomicBool::new(false),
             hard_cancel: AtomicBool::new(false),
@@ -155,19 +209,13 @@ impl Server {
             Pool::spawn(
                 workers,
                 gate,
-                Arc::new(move |stream: TcpStream| handle_conn(&shared, stream)),
+                Arc::new(move |job: ConnJob| handle_conn(&shared, job)),
             )
-        };
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name("srtw-serve-acceptor".into())
-                .spawn(move || accept_loop(&shared, listener))?
         };
         Ok(Server {
             addr,
             shared,
-            acceptor,
+            mux,
             pool,
         })
     }
@@ -175,6 +223,34 @@ impl Server {
     /// The bound address (resolves ephemeral ports).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Binds a second, *trusted* listener serving the same routes
+    /// blockingly (no mux, no caps beyond the parser's): the private
+    /// admin plane a supervised replica announces to its parent for
+    /// health checks, stats scraping, and shutdown, kept off the shared
+    /// public socket so the parent always reaches *this* replica rather
+    /// than whichever one the kernel picks. Returns the bound address;
+    /// the thread exits when the server starts draining.
+    pub fn spawn_admin(&self, addr: &str) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        thread::Builder::new()
+            .name("srtw-serve-admin".into())
+            .spawn(move || {
+                while !shared.draining.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => serve_admin_conn(&shared, stream),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(20)),
+                    }
+                }
+            })?;
+        Ok(bound)
     }
 
     /// `true` once `POST /shutdown` was served or a handled process
@@ -202,7 +278,10 @@ impl Server {
     /// tokens and give them `cfg.grace` to wind down before abandoning.
     pub fn shutdown(self) -> DrainReport {
         self.shared.draining.store(true, Ordering::Relaxed);
-        let _ = self.acceptor.join();
+        // Stop the acceptor: the listener closes and connections without a
+        // complete request drop (there is nothing admitted to answer on
+        // them); admitted work continues below.
+        self.mux.stop();
         self.shared.gate.close();
         let drained = self.pool.wait_idle(self.shared.cfg.drain);
         let mut cancelled = 0u64;
@@ -230,67 +309,10 @@ impl Server {
     }
 }
 
-fn accept_loop(shared: &Shared, listener: TcpListener) {
-    loop {
-        if shared.draining.load(Ordering::Relaxed) {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _peer)) => admit(shared, stream),
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(5));
-            }
-            // Transient accept errors (EMFILE, resets): back off, keep
-            // serving.
-            Err(_) => thread::sleep(Duration::from_millis(20)),
-        }
-    }
-}
-
-fn admit(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_write_timeout(Some(shared.cfg.read_timeout));
-    match shared.gate.offer(stream) {
-        Ok(()) => {
-            shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
-        }
-        Err(Admission::Shed(s)) => {
-            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
-            let body = error_body(4, "shed", "admission queue full; retry later", vec![]);
-            shed_response(s, body);
-        }
-        Err(Admission::Closed(s)) => {
-            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
-            let body = error_body(4, "draining", "server is draining; retry elsewhere", vec![]);
-            shed_response(s, body);
-        }
-    }
-}
-
-/// Writes a 503 from the acceptor thread without reading the request
-/// first, then lingers briefly: closing with the unread request still in
-/// the receive buffer would RST the connection and destroy the 503 before
-/// the client sees it. The short timeout and byte cap keep a hostile
-/// client from stalling admission.
-fn shed_response(mut s: TcpStream, body: String) {
-    use std::io::Read as _;
-    let _ = Response::json(503, body)
-        .with_header("Retry-After", "1")
-        .write_to(&mut s);
-    let _ = s.shutdown(std::net::Shutdown::Write);
-    let _ = s.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut scratch = [0u8; 8 * 1024];
-    for _ in 0..4 {
-        match s.read(&mut scratch) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
-        }
-    }
-}
-
 /// The typed error body: the CLI's `{"error":{code,kind,message}}` object
 /// (`srtw --json` exit paths emit the same shape), with optional extra
 /// members such as the parse-error kind and span.
-fn error_body(code: i128, kind: &str, message: &str, extra: Vec<(&str, Json)>) -> String {
+pub(crate) fn error_body(code: i128, kind: &str, message: &str, extra: Vec<(&str, Json)>) -> String {
     let mut members = vec![
         ("code", Json::Int(code)),
         ("kind", Json::str(kind)),
@@ -300,47 +322,88 @@ fn error_body(code: i128, kind: &str, message: &str, extra: Vec<(&str, Json)>) -
     format!("{}\n", Json::object(vec![("error", Json::object(members))]))
 }
 
-fn handle_conn(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
-    let _ = stream.set_write_timeout(Some(shared.cfg.read_timeout));
+/// One blocking request/response exchange on the trusted admin plane.
+fn serve_admin_conn(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let (response, unread_body) = match read_request(&mut reader, MAX_INPUT_BYTES) {
-        Ok(req) => (route(shared, &req), false),
-        Err(RequestError::Io(_)) => {
-            // Stalled or vanished client; there is nobody to answer.
-            return;
+    let mut reader = io::BufReader::new(read_half);
+    match crate::http::read_request(&mut reader, MAX_INPUT_BYTES) {
+        Ok(req) => {
+            let _ = route(shared, &req).write_to(&mut stream);
         }
+        Err(RequestError::Io(_)) => {}
         Err(e) => {
-            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-            (request_error_response(&e), true)
+            let _ = request_error_response(&e).write_to(&mut stream);
         }
-    };
-    let _ = response.write_to(&mut writer);
-    if unread_body {
-        // Lingering close: the client may still be sending the (rejected)
-        // body; closing now would RST the connection and destroy the
-        // response before the client reads it. Drain a bounded amount —
-        // the socket timeout and the byte cap bound the worker's stay.
-        use std::io::Read as _;
-        let _ = writer.shutdown(std::net::Shutdown::Write);
+    }
+}
+
+fn handle_conn(shared: &Shared, job: ConnJob) {
+    let ConnJob {
+        mut stream,
+        request,
+        served,
+        leftover,
+    } = job;
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.read_timeout));
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    if let Some(kind) = shared.fault_arm.fire() {
+        match kind {
+            // Abort never returns from fire(); these two are ours to act
+            // on in context.
+            ProcessFaultKind::Abort => unreachable!("abort executes inside fire()"),
+            ProcessFaultKind::Stall(ms) => thread::sleep(Duration::from_millis(ms)),
+            ProcessFaultKind::CloseFd => {
+                // Vanish mid-request: the client sees a reset, the
+                // supervisor sees a still-healthy replica.
+                return;
+            }
+        }
+    }
+    let mut response = route(shared, &request);
+    let reuse = request.wants_keep_alive()
+        && !shared.draining_or_requested()
+        && served + 1 < MAX_REQUESTS_PER_CONN;
+    if reuse {
+        response = response.keep_alive();
+    }
+    if response.write_to(&mut stream).is_err() {
+        return;
+    }
+    if reuse {
+        shared.returner.return_conn(ReturnedConn {
+            stream,
+            served: served + 1,
+            leftover,
+        });
+    } else {
+        // Lingering close: give the client a beat to read the response
+        // before the socket drops (closing with unread pipelined bytes in
+        // the receive buffer would RST the response away).
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
         let mut scratch = [0u8; 8 * 1024];
-        let mut budget = 4 * 1024 * 1024usize;
-        while budget > 0 {
-            match reader.read(&mut scratch) {
+        for _ in 0..4 {
+            match stream.read(&mut scratch) {
                 Ok(0) | Err(_) => break,
-                Ok(n) => budget = budget.saturating_sub(n),
+                Ok(_) => {}
             }
         }
     }
 }
 
-fn request_error_response(e: &RequestError) -> Response {
+pub(crate) fn request_error_response(e: &RequestError) -> Response {
     let (kind, message, extra) = match e {
         RequestError::BadRequest(m) => ("input", m.clone(), vec![]),
+        RequestError::HeadTooLarge => (
+            "input",
+            format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+            vec![],
+        ),
         RequestError::TooLarge { declared, cap } => (
             "input",
             format!("request body is {declared} bytes, the cap is {cap}"),
@@ -350,7 +413,9 @@ fn request_error_response(e: &RequestError) -> Response {
             )],
         ),
         RequestError::LengthRequired => ("input", "Content-Length is required".to_string(), vec![]),
-        RequestError::Io(_) => ("input", "request timed out".to_string(), vec![]),
+        RequestError::Timeout | RequestError::Io(_) => {
+            ("input", "request timed out".to_string(), vec![])
+        }
     };
     Response::json(e.status(), error_body(2, kind, &message, extra))
 }
@@ -359,22 +424,23 @@ fn route(shared: &Shared, req: &Request) -> Response {
     match (req.method.as_str(), req.target.as_str()) {
         ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}\n".into()),
         ("GET", "/readyz") => {
-            if shared.draining.load(Ordering::Relaxed)
-                || shared.shutdown_req.load(Ordering::Relaxed)
-            {
+            if shared.draining_or_requested() {
                 Response::json(503, "{\"status\":\"draining\"}\n".into())
             } else {
                 Response::json(200, "{\"status\":\"ready\"}\n".into())
             }
         }
         ("GET", "/stats") => {
-            let doc = shared.stats.to_json(
-                shared.gate.depth(),
-                shared.inflight.lock().unwrap().len(),
-                shared.cfg.workers.max(1),
-                shared.draining.load(Ordering::Relaxed)
-                    || shared.shutdown_req.load(Ordering::Relaxed),
-            );
+            let gauges = Gauges {
+                queue_depth: shared.gate.depth(),
+                inflight: shared.inflight.lock().unwrap().len(),
+                workers: shared.cfg.workers.max(1),
+                open_conns: shared.returner.open_conns(),
+                fds: sys::open_fd_count(),
+                draining: shared.draining_or_requested(),
+                replica: shared.cfg.replica,
+            };
+            let doc = shared.stats.to_json(&gauges);
             Response::json(200, format!("{doc}\n"))
         }
         ("POST", "/shutdown") => {
@@ -391,7 +457,12 @@ fn route(shared: &Shared, req: &Request) -> Response {
         }
         (_, "/healthz" | "/readyz" | "/stats" | "/shutdown" | "/analyze") => Response::json(
             405,
-            error_body(2, "input", &format!("method {} not allowed here", req.method), vec![]),
+            error_body(
+                2,
+                "input",
+                &format!("method {} not allowed here", req.method),
+                vec![],
+            ),
         ),
         (_, target) => Response::json(
             404,
@@ -585,6 +656,7 @@ mod tests {
         let (status, _, body) = client_roundtrip(&addr, "GET", "/stats", &[], b"").unwrap();
         assert_eq!(status, 200);
         assert!(body.contains("\"accepted\":"), "{body}");
+        assert!(body.contains("\"open_conns\":"), "{body}");
         assert!(body.contains("\"p50_ms\":"), "{body}");
 
         let report = server.shutdown();
@@ -615,6 +687,66 @@ mod tests {
         assert!(server.shutdown_requested());
         let (status, _, _) = client_roundtrip(&addr, "GET", "/readyz", &[], b"").unwrap();
         assert_eq!(status, 503);
+        assert!(server.shutdown().clean());
+    }
+
+    #[test]
+    fn keep_alive_connection_serves_sequential_requests() {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        let server = spawn_small(ServeConfig::default());
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for round in 0..3 {
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            // Read one framed response off the shared connection.
+            let mut status = String::new();
+            reader.read_line(&mut status).unwrap();
+            assert!(status.starts_with("HTTP/1.1 200 "), "round {round}: {status}");
+            let mut content_length = 0usize;
+            loop {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                let line = line.trim_end();
+                if line.is_empty() {
+                    break;
+                }
+                if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                    content_length = v.trim().parse().unwrap();
+                }
+            }
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body).unwrap();
+            assert_eq!(body, b"{\"status\":\"ok\"}\n");
+        }
+        drop(reader);
+        drop(stream);
+        let (status, _, body) =
+            client_roundtrip(&server.addr(), "GET", "/stats", &[], b"").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"reused\":2"), "{body}");
+        assert!(server.shutdown().clean());
+    }
+
+    #[test]
+    fn process_fault_closefd_drops_exactly_the_nth_request() {
+        let server = spawn_small(ServeConfig {
+            process_fault: Some(ProcessFault::new(2, ProcessFaultKind::CloseFd)),
+            ..ServeConfig::default()
+        });
+        let addr = server.addr();
+        let (status, _, _) = client_roundtrip(&addr, "GET", "/healthz", &[], b"").unwrap();
+        assert_eq!(status, 200);
+        // Request 2: connection dies with no response bytes at all.
+        let err = client_roundtrip(&addr, "GET", "/healthz", &[], b"");
+        assert!(err.is_err(), "closefd must yield an unreadable response");
+        // Request 3: service is healthy again.
+        let (status, _, _) = client_roundtrip(&addr, "GET", "/healthz", &[], b"").unwrap();
+        assert_eq!(status, 200);
         assert!(server.shutdown().clean());
     }
 }

@@ -19,13 +19,44 @@ struct Ring {
     len: usize,
 }
 
+/// Point-in-time gauges the server samples when rendering `/stats` (they
+/// live on the server/mux, not in the counter block).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauges {
+    /// Admission-queue depth.
+    pub queue_depth: usize,
+    /// Analyses currently in flight.
+    pub inflight: usize,
+    /// Configured worker count.
+    pub workers: usize,
+    /// Connections currently tracked by the multiplexed acceptor.
+    pub open_conns: usize,
+    /// Open file descriptors of this process (`None` off procfs).
+    pub fds: Option<usize>,
+    /// `true` while draining.
+    pub draining: bool,
+    /// Replica index when running as a supervised replica.
+    pub replica: Option<usize>,
+}
+
 /// Shared service counters; all methods are callable from any thread.
 #[derive(Debug)]
 pub struct Stats {
     /// Connections admitted past the gate.
     pub accepted: AtomicU64,
-    /// Connections refused with 503 (queue full or draining).
+    /// Connections refused with 503 (queue full, connection cap, memory
+    /// cap, or draining).
     pub shed: AtomicU64,
+    /// Requests routed (all endpoints — the process-fault trigger counts
+    /// these).
+    pub requests: AtomicU64,
+    /// Keep-alive connection reuses (requests beyond the first on one
+    /// connection).
+    pub reused: AtomicU64,
+    /// Connections answered 408 after stalling past a read deadline.
+    pub timeouts: AtomicU64,
+    /// Connections answered 431 for an oversized request head.
+    pub oversized_heads: AtomicU64,
     /// `/analyze` requests answered 200 with exact bounds.
     pub completed: AtomicU64,
     /// `/analyze` requests answered 200 with a degraded (still sound)
@@ -41,6 +72,10 @@ impl Default for Stats {
         Stats {
             accepted: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            oversized_heads: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
             failed: AtomicU64::new(0),
@@ -86,9 +121,22 @@ impl Stats {
         Some((window.len(), quantile(50, 100), quantile(99, 100)))
     }
 
-    /// The `/stats` document. Queue depth and worker/in-flight gauges are
-    /// sampled by the caller (they live on the server, not here).
-    pub fn to_json(&self, queue_depth: usize, inflight: usize, workers: usize, draining: bool) -> Json {
+    /// The `Retry-After` seconds for a 503 shed, adaptive to load: the
+    /// time the backlog plausibly needs to clear — queue depth (plus the
+    /// shed request itself) times the p99 service time, spread over the
+    /// workers — clamped to `[1, 30]`. With no latency samples yet the
+    /// floor of 1 second applies, matching the old constant.
+    pub fn retry_after_secs(&self, queue_depth: usize, workers: usize) -> u64 {
+        let p99_us = self
+            .latency_quantiles_us()
+            .map(|(_, _, p99)| p99)
+            .unwrap_or(0);
+        let backlog_us = (queue_depth as u64 + 1).saturating_mul(p99_us) / workers.max(1) as u64;
+        backlog_us.div_ceil(1_000_000).clamp(1, 30)
+    }
+
+    /// The `/stats` document.
+    pub fn to_json(&self, g: &Gauges) -> Json {
         let latency = match self.latency_quantiles_us() {
             None => Json::object(vec![("count", Json::Int(0))]),
             Some((count, p50, p99)) => Json::object(vec![
@@ -97,18 +145,33 @@ impl Stats {
                 ("p99_ms", Json::Float(p99 as f64 / 1_000.0)),
             ]),
         };
-        Json::object(vec![
-            ("accepted", Json::Int(self.accepted.load(Ordering::Relaxed) as i128)),
-            ("shed", Json::Int(self.shed.load(Ordering::Relaxed) as i128)),
-            ("completed", Json::Int(self.completed.load(Ordering::Relaxed) as i128)),
-            ("degraded", Json::Int(self.degraded.load(Ordering::Relaxed) as i128)),
-            ("failed", Json::Int(self.failed.load(Ordering::Relaxed) as i128)),
-            ("queue_depth", Json::Int(queue_depth as i128)),
-            ("inflight", Json::Int(inflight as i128)),
-            ("workers", Json::Int(workers as i128)),
-            ("draining", Json::Bool(draining)),
+        let mut members = Vec::new();
+        if let Some(replica) = g.replica {
+            members.push(("replica", Json::Int(replica as i128)));
+        }
+        let count = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed) as i128);
+        members.extend([
+            ("accepted", count(&self.accepted)),
+            ("shed", count(&self.shed)),
+            ("requests", count(&self.requests)),
+            ("reused", count(&self.reused)),
+            ("timeouts_408", count(&self.timeouts)),
+            ("oversized_heads_431", count(&self.oversized_heads)),
+            ("completed", count(&self.completed)),
+            ("degraded", count(&self.degraded)),
+            ("failed", count(&self.failed)),
+            ("queue_depth", Json::Int(g.queue_depth as i128)),
+            ("inflight", Json::Int(g.inflight as i128)),
+            ("open_conns", Json::Int(g.open_conns as i128)),
+            (
+                "fds",
+                g.fds.map(|n| Json::Int(n as i128)).unwrap_or(Json::Null),
+            ),
+            ("workers", Json::Int(g.workers as i128)),
+            ("draining", Json::Bool(g.draining)),
             ("latency", latency),
-        ])
+        ]);
+        Json::object(members)
     }
 }
 
@@ -144,16 +207,52 @@ mod tests {
     }
 
     #[test]
+    fn retry_after_adapts_to_queue_depth_and_p99() {
+        let s = Stats::new();
+        // No samples: the 1-second floor.
+        assert_eq!(s.retry_after_secs(100, 2), 1);
+        // p99 = 2 s: depth 5 (+1 for the shed request) over 2 workers
+        // → 6 s of backlog.
+        for _ in 0..100 {
+            s.note_latency_us(2_000_000);
+        }
+        assert_eq!(s.retry_after_secs(5, 2), 6);
+        // Clamped above…
+        assert_eq!(s.retry_after_secs(10_000, 1), 30);
+        // …and below (tiny p99 rounds up to the floor).
+        let fast = Stats::new();
+        fast.note_latency_us(10);
+        assert_eq!(fast.retry_after_secs(0, 4), 1);
+    }
+
+    #[test]
     fn stats_document_shape() {
         let s = Stats::new();
         s.accepted.fetch_add(3, Ordering::Relaxed);
         s.shed.fetch_add(1, Ordering::Relaxed);
-        let doc = s.to_json(2, 1, 4, false).render();
+        let doc = s
+            .to_json(&Gauges {
+                queue_depth: 2,
+                inflight: 1,
+                workers: 4,
+                open_conns: 7,
+                fds: Some(12),
+                draining: false,
+                replica: Some(1),
+            })
+            .render();
         for needle in [
+            "\"replica\":1",
             "\"accepted\":3",
             "\"shed\":1",
+            "\"requests\":0",
+            "\"reused\":0",
+            "\"timeouts_408\":0",
+            "\"oversized_heads_431\":0",
             "\"queue_depth\":2",
             "\"inflight\":1",
+            "\"open_conns\":7",
+            "\"fds\":12",
             "\"workers\":4",
             "\"draining\":false",
             "\"latency\":{\"count\":0}",

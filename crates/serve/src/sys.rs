@@ -1,0 +1,217 @@
+//! A thin, crate-free syscall shim for the few OS facilities std lacks:
+//! `poll(2)` readiness for the multiplexed acceptor, `dup(2)` to make an
+//! inheritable (close-on-exec-clear) copy of the shared listener fd for
+//! replica processes, and `kill(2)` so the replica supervisor can signal
+//! its children. Like [`crate::signal`], these bind symbols every unix
+//! target already links — no `libc` crate, per the workspace's
+//! zero-dependency policy. Off unix the module degrades to a std-only
+//! sleep-poll loop (readiness is simply assumed each tick) and the
+//! process-management calls report unsupported.
+
+/// Readiness interest/result flags (POSIX values).
+pub const POLLIN: i16 = 0x001;
+/// Writable-readiness flag.
+pub const POLLOUT: i16 = 0x004;
+/// Error/hangup result flags (output only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (output only).
+pub const POLLHUP: i16 = 0x010;
+
+/// One entry of a [`poll_fds`] set, mirroring `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch.
+    pub fd: i32,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: i16,
+    /// Returned events (filled by the kernel).
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// Interest in `events` on `fd`, with `revents` cleared.
+    pub fn new(fd: i32, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// `true` when the descriptor came back readable (or in an
+    /// error/hangup state, which a read will surface).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP) != 0
+    }
+
+    /// `true` when the descriptor came back writable (or errored).
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLHUP) != 0
+    }
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::PollFd;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout: i32) -> i32;
+        fn dup(fd: i32) -> i32;
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> i32 {
+        // SAFETY: `fds` is a valid, exclusively-borrowed slice of
+        // `#[repr(C)]` pollfd-layout structs; the kernel writes only the
+        // `revents` fields within it.
+        unsafe { poll(fds.as_mut_ptr(), fds.len() as core::ffi::c_ulong, timeout_ms) }
+    }
+
+    pub fn dup_inheritable(fd: i32) -> Option<i32> {
+        // SAFETY: plain fd duplication; `dup` clears close-on-exec on the
+        // new descriptor, which is exactly the point (replica processes
+        // must inherit it across exec).
+        let new = unsafe { dup(fd) };
+        (new >= 0).then_some(new)
+    }
+
+    pub fn send_signal(pid: u32, sig: i32) -> bool {
+        // SAFETY: kill(2) with a specific positive pid; no memory is
+        // involved.
+        unsafe { kill(pid as i32, sig) == 0 }
+    }
+
+    pub fn listener_from_fd(fd: i32) -> Option<std::net::TcpListener> {
+        use std::os::unix::io::FromRawFd;
+        // SAFETY: the caller owns `fd` (it was inherited across exec for
+        // exactly this purpose) and transfers ownership to the listener.
+        Some(unsafe { std::net::TcpListener::from_raw_fd(fd) })
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::{PollFd, POLLIN, POLLOUT};
+
+    /// Fallback readiness: sleep a tick and report every descriptor as
+    /// ready for whatever it asked; the non-blocking reads/writes then
+    /// sort out real readiness via `WouldBlock`.
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> i32 {
+        std::thread::sleep(std::time::Duration::from_millis(
+            timeout_ms.clamp(1, 10) as u64
+        ));
+        for f in fds.iter_mut() {
+            f.revents = f.events & (POLLIN | POLLOUT);
+        }
+        fds.len() as i32
+    }
+
+    pub fn dup_inheritable(_fd: i32) -> Option<i32> {
+        None
+    }
+
+    pub fn send_signal(_pid: u32, _sig: i32) -> bool {
+        false
+    }
+
+    pub fn listener_from_fd(_fd: i32) -> Option<std::net::TcpListener> {
+        None
+    }
+}
+
+/// `SIGTERM` (graceful-drain request).
+pub const SIGTERM: i32 = 15;
+/// `SIGKILL` (unconditional termination).
+pub const SIGKILL: i32 = 9;
+
+/// Blocks until a descriptor in `fds` is ready or `timeout_ms` passes,
+/// filling `revents`. Returns the number of ready descriptors, 0 on
+/// timeout, or a negative value on error (EINTR included — callers just
+/// loop).
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> i32 {
+    imp::poll_fds(fds, timeout_ms)
+}
+
+/// Duplicates `fd` into a descriptor with close-on-exec *clear*, so
+/// spawned replica processes inherit it. `None` when the platform cannot
+/// (non-unix) or the kernel refuses (fd limit).
+pub fn dup_inheritable(fd: i32) -> Option<i32> {
+    imp::dup_inheritable(fd)
+}
+
+/// Sends `sig` to `pid`; `true` on success. Only ever used on child
+/// processes this process spawned.
+pub fn send_signal(pid: u32, sig: i32) -> bool {
+    imp::send_signal(pid, sig)
+}
+
+/// Rebuilds a `TcpListener` from an inherited raw descriptor — the
+/// replica side of the fd-passing handshake ([`dup_inheritable`] in the
+/// parent, exec, this in the child). `None` off unix or for a negative
+/// descriptor; passing a descriptor that is not a listening socket yields
+/// a listener whose `accept` fails, which the server treats as fatal at
+/// startup.
+pub fn listener_from_fd(fd: i32) -> Option<std::net::TcpListener> {
+    if fd < 0 {
+        return None;
+    }
+    imp::listener_from_fd(fd)
+}
+
+/// Number of open file descriptors of this process (via `/proc/self/fd`);
+/// `None` where procfs is unavailable. Surfaced as a leak-detection gauge
+/// in `/stats`.
+pub fn open_fd_count() -> Option<usize> {
+    std::fs::read_dir("/proc/self/fd")
+        .ok()
+        .map(|d| d.filter_map(|e| e.ok()).count().saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    #[cfg(unix)]
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    #[cfg(unix)]
+    fn poll_reports_a_readable_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        // Nothing to read yet: poll times out.
+        let mut fds = [PollFd::new(server_side.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 10), 0);
+        assert!(!fds[0].readable());
+        // After a write the socket polls readable well within the timeout.
+        client.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(server_side.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 1_000), 1);
+        assert!(fds[0].readable());
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn dup_yields_a_distinct_working_fd() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let fd = listener.as_raw_fd();
+        let copy = dup_inheritable(fd).expect("dup succeeds");
+        assert_ne!(copy, fd);
+        // Close the copy through the same raw interface std would use.
+        #[allow(unsafe_code)]
+        unsafe {
+            use std::os::unix::io::FromRawFd;
+            drop(std::net::TcpListener::from_raw_fd(copy));
+        }
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn fd_count_is_positive() {
+        assert!(open_fd_count().unwrap() > 0);
+    }
+}

@@ -23,6 +23,11 @@
 //!   infeasible. Every rung inherits PR 2's monotone-truncation
 //!   degradation, so whatever rung completes, the reported bound is sound
 //!   and sandwiched `exact ≤ degraded ≤ RTC`.
+//! * **Process restart policy** — for supervising long-running *children*
+//!   (service replicas) rather than attempts: [`RestartTracker`] applies
+//!   exponential backoff with a restart-intensity cap, the supervision-
+//!   tree rule that a crash-looping child eventually signals a systemic
+//!   fault instead of being restarted forever.
 //! * **Provenance** — a [`JobOutcome`] records every attempt (rung,
 //!   status, wall time, degradation records), and a [`BatchReport`]
 //!   aggregates them with a machine-readable JSON rendering for the
@@ -58,12 +63,14 @@ mod job;
 mod ladder;
 mod pool;
 mod report;
+mod restart;
 mod supervise;
 
 pub use job::{AnalysisOutput, Attempt, AttemptStatus, JobOutcome, JobSpec, JobStatus, Rung};
 pub use ladder::{run_supervised, SupervisorConfig};
 pub use pool::{run_batch, BatchConfig};
 pub use report::{BatchCounts, BatchReport, BatchStatus};
+pub use restart::{RestartDecision, RestartPolicy, RestartTracker};
 pub use supervise::{contain, panic_message, Contained};
 
 pub use srtw_minplus::{CancelToken, FaultKind, FaultPlan};

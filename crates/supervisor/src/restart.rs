@@ -1,0 +1,186 @@
+//! Restart policy for supervised *processes* (service replicas).
+//!
+//! The retry/degrade ladder in [`crate::ladder`] governs attempts of one
+//! analysis; this module governs the lifetime of long-running children:
+//! when a replica dies, restart it — but with exponential backoff so a
+//! crash-looping replica cannot burn the host, and with a restart-
+//! intensity cap (the classic supervision-tree rule: more than
+//! `intensity` deaths inside `window` means the fault is systemic, and
+//! restarting is noise, not repair) after which the supervisor gives the
+//! replica up.
+//!
+//! The tracker is deliberately pure state-machine: callers feed it death
+//! timestamps and it answers "restart after this delay" or "give up",
+//! which makes every policy edge deterministic under test — no sleeping,
+//! no clocks inside.
+
+use std::time::{Duration, Instant};
+
+/// Policy knobs for restarting a supervised process.
+#[derive(Debug, Clone, Copy)]
+pub struct RestartPolicy {
+    /// Backoff before the first restart; doubles per consecutive death.
+    pub backoff_base: Duration,
+    /// Ceiling on the (exponentially growing) backoff.
+    pub backoff_cap: Duration,
+    /// Most deaths tolerated inside [`RestartPolicy::window`] before the
+    /// supervisor gives the child up.
+    pub intensity: usize,
+    /// The sliding window the intensity cap counts deaths in.
+    pub window: Duration,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> RestartPolicy {
+        RestartPolicy {
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(5),
+            intensity: 5,
+            window: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What to do about a death the tracker was told of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartDecision {
+    /// Restart the child once `delay` has elapsed (measured from the
+    /// death the decision answered).
+    After(Duration),
+    /// The child exceeded the restart intensity; stop restarting it.
+    GiveUp,
+}
+
+/// Sliding-window death tracker implementing [`RestartPolicy`].
+#[derive(Debug)]
+pub struct RestartTracker {
+    policy: RestartPolicy,
+    deaths: Vec<Instant>,
+    /// Consecutive deaths since the last [`RestartTracker::on_healthy`];
+    /// exponent of the backoff.
+    streak: u32,
+    total: u64,
+}
+
+impl RestartTracker {
+    /// A tracker with no deaths recorded.
+    pub fn new(policy: RestartPolicy) -> RestartTracker {
+        RestartTracker {
+            policy,
+            deaths: Vec::new(),
+            streak: 0,
+            total: 0,
+        }
+    }
+
+    /// Records a death at `now` and decides what to do about it.
+    pub fn on_exit(&mut self, now: Instant) -> RestartDecision {
+        self.total += 1;
+        self.deaths.push(now);
+        let horizon = now.checked_sub(self.policy.window);
+        self.deaths
+            .retain(|&d| horizon.map(|h| d >= h).unwrap_or(true));
+        if self.deaths.len() > self.policy.intensity {
+            return RestartDecision::GiveUp;
+        }
+        let exp = self.streak.min(16); // past 2^16 the cap decides anyway
+        self.streak += 1;
+        let delay = self
+            .policy
+            .backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(self.policy.backoff_cap);
+        RestartDecision::After(delay)
+    }
+
+    /// Notes that the child came back healthy: the backoff streak resets
+    /// (the next death starts at the base backoff again). The intensity
+    /// window keeps its history — rapid flapping through "healthy" still
+    /// exhausts it.
+    pub fn on_healthy(&mut self) {
+        self.streak = 0;
+    }
+
+    /// Deaths recorded over the tracker's lifetime.
+    pub fn total_exits(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RestartPolicy {
+        RestartPolicy {
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_millis(1_000),
+            intensity: 3,
+            window: Duration::from_secs(10),
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_per_consecutive_death_up_to_the_cap() {
+        let mut t = RestartTracker::new(RestartPolicy {
+            intensity: 100,
+            ..policy()
+        });
+        let now = Instant::now();
+        let mut delays = Vec::new();
+        for _ in 0..5 {
+            match t.on_exit(now) {
+                RestartDecision::After(d) => delays.push(d.as_millis()),
+                RestartDecision::GiveUp => panic!("intensity 100 cannot give up here"),
+            }
+        }
+        assert_eq!(delays, vec![100, 200, 400, 800, 1_000]);
+    }
+
+    #[test]
+    fn health_resets_the_backoff_but_not_the_window() {
+        let mut t = RestartTracker::new(RestartPolicy {
+            intensity: 100,
+            ..policy()
+        });
+        let now = Instant::now();
+        assert_eq!(
+            t.on_exit(now),
+            RestartDecision::After(Duration::from_millis(100))
+        );
+        assert_eq!(
+            t.on_exit(now),
+            RestartDecision::After(Duration::from_millis(200))
+        );
+        t.on_healthy();
+        assert_eq!(
+            t.on_exit(now),
+            RestartDecision::After(Duration::from_millis(100)),
+            "streak resets on health"
+        );
+        assert_eq!(t.total_exits(), 3, "the death history is not forgotten");
+    }
+
+    #[test]
+    fn exceeding_the_intensity_inside_the_window_gives_up() {
+        let mut t = RestartTracker::new(policy());
+        let now = Instant::now();
+        for _ in 0..3 {
+            assert!(matches!(t.on_exit(now), RestartDecision::After(_)));
+        }
+        assert_eq!(t.on_exit(now), RestartDecision::GiveUp);
+    }
+
+    #[test]
+    fn deaths_outside_the_window_age_out() {
+        let mut t = RestartTracker::new(policy());
+        let start = Instant::now();
+        for _ in 0..3 {
+            assert!(matches!(t.on_exit(start), RestartDecision::After(_)));
+        }
+        // The same three deaths viewed 11 s later no longer count, so a
+        // fourth death restarts instead of giving up.
+        let later = start + Duration::from_secs(11);
+        assert!(matches!(t.on_exit(later), RestartDecision::After(_)));
+    }
+}

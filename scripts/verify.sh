@@ -19,13 +19,19 @@
 #      fault-injected batch must exhaust the ladder and exit 4;
 #   7. performance-regression gate: the newest committed BENCH_*.json
 #      must not regress the `convolution`, `rbf`, `server_throughput`,
-#      and `fused_pipeline` suite medians by more than 1.5x against the
-#      best older committed document (a suite with no baseline yet is
-#      skipped with a notice);
+#      `fused_pipeline`, and `server_connections` suite medians by more
+#      than 1.5x against the best older committed document (a suite
+#      with no baseline yet is skipped with a notice);
 #   8. service smoke test: `srtw serve` on an ephemeral port must answer
 #      /healthz, produce an exact and a deadline-degraded /analyze,
 #      shed with 503 when flooded past the queue bound, and drain
-#      gracefully (exit 0, no leaked process).
+#      gracefully (exit 0, no leaked process);
+#   9. replicated soak: `srtw serve --replicas 2` with an injected
+#      `abort@N` takes 10k flood connections; the supervisor must
+#      restart the aborted replica (exactly once), the surviving
+#      replica's RSS must stay flat (±10%) and leak no fds between
+#      flood waves, /analyze must stay byte-identical to the CLI, and
+#      SIGTERM must drain the whole tree with exit 0 and no orphans.
 #
 # Benchmarks run separately (they are slow by design):
 #   cargo run -p srtw-bench --release --bin experiments
@@ -33,7 +39,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/8 dependency audit (path-only policy) =="
+echo "== 1/9 dependency audit (path-only policy) =="
 # Inside [dependencies*] / [workspace.dependencies] sections, every
 # dependency line must carry `path =` or `workspace = true`; a version
 # requirement ("1.0", { version = ... }) means a registry dependency.
@@ -54,15 +60,15 @@ if [ -n "$violations" ]; then
 fi
 echo "ok: all dependencies are workspace path crates"
 
-echo "== 2/8 offline build + tests =="
+echo "== 2/9 offline build + tests =="
 cargo build --release --offline --workspace
 cargo clippy --offline --workspace -- -D warnings
 SRTW_BENCH_FAST=1 cargo test -q --offline --workspace
 
-echo "== 3/8 examples build =="
+echo "== 3/9 examples build =="
 cargo build --release --offline --examples
 
-echo "== 4/8 CLI smoke test =="
+echo "== 4/9 CLI smoke test =="
 out=$(cargo run --release --offline -q --bin srtw -- analyze systems/decoder.srtw)
 echo "$out" | grep -q "RTC baseline" || {
     echo "error: analyze output missing the RTC baseline line" >&2
@@ -74,7 +80,7 @@ case "$json" in
     *) echo "error: --json output is not a JSON object" >&2; exit 1 ;;
 esac
 
-echo "== 5/8 adversarial stress suite =="
+echo "== 5/9 adversarial stress suite =="
 # Elevated case count for the seeded property suite; the release profile
 # keeps the 150 ms wall budget per case meaningful.
 SRTW_PROP_CASES=256 cargo test -q --release --offline --test stress
@@ -97,7 +103,7 @@ grep -q "degraded" "$adv_err" || {
 }
 rm -f "$adv_err"
 
-echo "== 6/8 supervised batch smoke test =="
+echo "== 6/9 supervised batch smoke test =="
 # The shipped systems under a 2 s per-attempt watchdog: the adversarial
 # job must wind down to a *degraded* (still sound) result, never a
 # failure — batch exit 0, summary status "some_degraded".
@@ -137,26 +143,29 @@ case "$fault_json" in
     *) echo 'error: fault-injected batch summary not "some_failed"' >&2; exit 1 ;;
 esac
 
-echo "== 7/8 performance-regression gate =="
+echo "== 7/9 performance-regression gate =="
 # Newest committed BENCH document vs every older one; the gate watches
 # the algorithmic suites whose medians are stable across machines.
 bench_docs=$(ls -1 BENCH_*.json 2>/dev/null | sort -t_ -k2 -n -r)
 if [ "$(echo "$bench_docs" | wc -l)" -ge 2 ]; then
     # shellcheck disable=SC2086
     cargo run -p srtw-bench --release --offline -q --bin experiments -- \
-        gate $bench_docs --factor 1.5 --groups convolution,rbf,server_throughput,fused_pipeline
+        gate $bench_docs --factor 1.5 \
+        --groups convolution,rbf,server_throughput,fused_pipeline,server_connections
 else
     echo "skip: fewer than two BENCH_*.json documents committed"
 fi
 
-echo "== 8/8 service smoke test =="
+echo "== 8/9 service smoke test =="
 # One request over /dev/tcp (no curl in the offline environment): prints
 # the full response (head + body) on stdout.
 http_req() { # port method target [body-file] [extra-header]
     local port=$1 method=$2 target=$3 body=${4:-} hdr=${5:-}
     exec 9<>"/dev/tcp/127.0.0.1/$port"
     {
-        printf '%s %s HTTP/1.1\r\nHost: srtw\r\n' "$method" "$target"
+        # Connection: close — the server keep-alives by default, and the
+        # `cat` below must see EOF after one exchange.
+        printf '%s %s HTTP/1.1\r\nHost: srtw\r\nConnection: close\r\n' "$method" "$target"
         [ -n "$hdr" ] && printf '%s\r\n' "$hdr"
         if [ -n "$body" ]; then
             printf 'Content-Length: %s\r\n\r\n' "$(wc -c <"$body")"
@@ -251,5 +260,113 @@ fi
 wait
 rm -rf "$flood_dir" "$serve_out" "$serve_err"
 echo "ok: serve answered, degraded under deadline, shed under flood, drained cleanly"
+
+echo "== 9/9 replicated soak =="
+rep_out=$(mktemp); rep_err=$(mktemp)
+# Two shared-nothing replicas; replica 0 is armed to abort after its
+# 120th request, well inside the first flood wave.
+target/release/srtw serve --addr 127.0.0.1:0 --replicas 2 --workers 2 \
+    --fault abort@120 >"$rep_out" 2>"$rep_err" &
+rep_pid=$!
+# The stdout protocol announces the public port, the supervisor admin
+# port, and one admin line per replica.
+for _ in $(seq 1 100); do
+    [ "$(grep -c "admin on" "$rep_out")" -ge 3 ] && break
+    sleep 0.1
+done
+port=$(sed -n 's/^srtw-serve listening on .*:\([0-9]*\)$/\1/p' "$rep_out" | head -1)
+admin=$(sed -n 's/^srtw-serve supervisor admin on .*:\([0-9]*\)$/\1/p' "$rep_out" | head -1)
+if [ -z "$port" ] || [ -z "$admin" ]; then
+    echo "error: replicated serve did not announce its ports" >&2
+    cat "$rep_out" "$rep_err" >&2
+    kill "$rep_pid" 2>/dev/null; exit 1
+fi
+# Quorum: both replicas must come up healthy.
+for _ in $(seq 1 100); do
+    http_req "$admin" GET /readyz 2>/dev/null | grep -q '"status":"ready"' && break
+    sleep 0.1
+done
+http_req "$admin" GET /readyz | grep -q '"status":"ready"' || {
+    echo "error: parent /readyz never reached quorum" >&2; exit 1
+}
+# 9a: byte-identity must hold through the shared listener at replicas=2.
+rep_doc=$(http_req "$port" POST /analyze systems/decoder.srtw | tail -1 | norm_runtime)
+if [ "$rep_doc" != "$cli_doc" ]; then
+    echo "error: replicated POST /analyze diverged from srtw analyze --json" >&2
+    exit 1
+fi
+# 9b: first flood wave (5k connections) — replica 0 aborts mid-wave and
+# the supervisor must restart it exactly once.
+target/release/srtw flood "127.0.0.1:$port" --count 5000 --concurrency 8 \
+    | tee "$rep_out.flood1" | grep -q "flood complete:" || {
+    echo "error: first flood wave did not complete" >&2; exit 1
+}
+for _ in $(seq 1 100); do
+    grep -q "; restart in " "$rep_out" && break
+    sleep 0.1
+done
+restarts=$(grep -c "; restart in " "$rep_out" || true)
+if [ "$restarts" -ne 1 ]; then
+    echo "error: expected exactly 1 replica restart after abort@120, saw $restarts" >&2
+    cat "$rep_out" >&2
+    exit 1
+fi
+# Wait for the respawned replica to rejoin the quorum.
+for _ in $(seq 1 100); do
+    http_req "$admin" GET /readyz 2>/dev/null | grep -q '"status":"ready"' && break
+    sleep 0.1
+done
+# The surviving (unfaulted) replica's pid: the announce of replica 1.
+surv_pid=$(sed -n 's/^srtw-serve replica 1 pid \([0-9]*\) .*/\1/p' "$rep_out" | head -1)
+settle_fds() { # pid -> prints a settled fd count (waits out transient conns)
+    local pid=$1 prev=-1 cur
+    for _ in $(seq 1 50); do
+        cur=$(ls "/proc/$pid/fd" 2>/dev/null | wc -l)
+        [ "$cur" = "$prev" ] && break
+        prev=$cur
+        sleep 0.1
+    done
+    echo "$cur"
+}
+rss_of() { awk '/^VmRSS:/ {print $2}' "/proc/$1/status"; }
+fds_before=$(settle_fds "$surv_pid")
+rss_before=$(rss_of "$surv_pid")
+# 9c: second flood wave (5k more — 10k total): RSS flat, no fd creep.
+target/release/srtw flood "127.0.0.1:$port" --count 5000 --concurrency 8 \
+    | grep -q "flood complete:" || {
+    echo "error: second flood wave did not complete" >&2; exit 1
+}
+fds_after=$(settle_fds "$surv_pid")
+rss_after=$(rss_of "$surv_pid")
+if [ "$fds_before" != "$fds_after" ]; then
+    echo "error: surviving replica leaked fds across the flood ($fds_before -> $fds_after)" >&2
+    exit 1
+fi
+awk -v a="$rss_before" -v b="$rss_after" 'BEGIN {
+    if (b > a * 1.10 || b < a * 0.90) {
+        printf "error: replica RSS not flat across the flood (%s kB -> %s kB)\n", a, b
+        exit 1
+    }
+}' || exit 1
+# 9d: SIGTERM to the parent drains the whole tree: exit 0, no orphans.
+replica_pids=$(sed -n 's/^srtw-serve replica [0-9]* pid \([0-9]*\) .*/\1/p' "$rep_out" | sort -u)
+kill -TERM "$rep_pid"
+set +e
+wait "$rep_pid"
+rep_rc=$?
+set -e
+if [ "$rep_rc" -ne 0 ]; then
+    echo "error: replicated serve exited $rep_rc after SIGTERM drain" >&2
+    cat "$rep_err" >&2
+    exit 1
+fi
+for pid in $replica_pids; do
+    if kill -0 "$pid" 2>/dev/null; then
+        echo "error: replica $pid orphaned past the supervisor's drain" >&2
+        exit 1
+    fi
+done
+rm -f "$rep_out" "$rep_out.flood1" "$rep_err"
+echo "ok: 10k-connection soak over 2 replicas — one abort recovered, flat RSS, no fd leak, clean drain"
 
 echo "verify: OK"

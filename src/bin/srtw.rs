@@ -11,9 +11,12 @@
 //!               [--grace-ms MS] [--budget-ms MS] [--retries N]
 //!               [--fail-fast|--keep-going]
 //!               [--fault trip@N|overflow@N|clockjump@N:MS|panic@N] [--json]
-//! srtw serve    [--addr HOST:PORT] [--workers N] [--queue N]
+//! srtw serve    [--addr HOST:PORT] [--replicas N] [--admin-addr HOST:PORT]
+//!               [--workers N] [--queue N] [--max-conns N]
 //!               [--drain-ms MS] [--grace-ms MS] [--read-timeout-ms MS]
-//!               [--deadline-ms MS] [--threads N] [--fault SPEC]
+//!               [--header-timeout-ms MS] [--deadline-ms MS] [--threads N]
+//!               [--fault SPEC|abort@N|stall@N:MS|closefd@N]
+//! srtw flood    <addr> [--count N] [--concurrency N] [--analyze FILE]
 //! ```
 //!
 //! System files use the text format documented in [`srtw::textfmt`].
@@ -75,9 +78,11 @@
 //! "message": …}}`. A batch failure (exit 4) is not an error document —
 //! the batch report itself, listing the failed jobs, is the document.
 
-use srtw::supervisor::{run_batch, BatchConfig, BatchReport, BatchStatus, JobOutcome, JobSpec};
+use srtw::supervisor::{
+    run_batch, BatchConfig, BatchReport, BatchStatus, JobOutcome, JobSpec, RestartPolicy,
+};
 use srtw::textfmt::{parse_system, SystemSpec};
-use srtw::serve::{signal, ServeConfig, Server};
+use srtw::serve::{signal, ProcessFault, ReplicaConfig, ServeConfig, Server, Supervisor};
 use srtw::{
     earliest_random_walk, edf_schedulable, fifo_report, fifo_structural,
     fixed_priority_structural_with, simulate_fifo, AnalysisConfig, Budget, Curve, DelayAnalysis,
@@ -152,10 +157,13 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<ExitCode, CliError> {
-    let usage = "usage: srtw <analyze|rbf|dot|simulate|batch|serve> [<file|dir>] [options]";
+    let usage = "usage: srtw <analyze|rbf|dot|simulate|batch|serve|flood> [<file|dir>] [options]";
     let cmd = args.first().ok_or_else(|| input(usage))?;
     if cmd == "serve" {
         return serve(&args[1..]);
+    }
+    if cmd == "flood" {
+        return flood(&args[1..]);
     }
     let path = args.get(1).ok_or_else(|| input(usage))?;
     let opts = &args[2..];
@@ -562,7 +570,10 @@ fn analyze(sys: &SystemSpec, opts: &[String]) -> Result<(), CliError> {
 }
 
 /// `srtw serve`: run the resilient analysis service until a shutdown is
-/// requested (signal or `POST /shutdown`), then drain gracefully.
+/// requested (signal or `POST /shutdown`), then drain gracefully. With
+/// `--replicas N` (N ≥ 2) the process becomes a supervision-tree parent
+/// over N shared-nothing replica processes; `--internal-replica` is the
+/// (internal) replica entry point reached only by self-exec.
 fn serve(opts: &[String]) -> Result<ExitCode, CliError> {
     let parse_ms = |key: &str, default: u64| -> Result<u64, CliError> {
         match opt_value(opts, key) {
@@ -571,12 +582,29 @@ fn serve(opts: &[String]) -> Result<ExitCode, CliError> {
         }
     };
     let addr = opt_value(opts, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+
+    // One --fault flag serves both layers: process-level specs
+    // (abort@N | stall@N:MS | closefd@N) drive the supervision tree,
+    // anything else is the metered FaultPlan grammar.
+    let fault_spec = opt_value(opts, "--fault");
+    let mut process_fault = None;
+    let mut meter_fault = None;
+    if let Some(spec) = &fault_spec {
+        match ProcessFault::parse(spec) {
+            Some(Ok(f)) => process_fault = Some(f),
+            Some(Err(e)) => return Err(input(e)),
+            None => meter_fault = Some(FaultPlan::parse(spec).map_err(CliError::Input)?),
+        }
+    }
+
     let cfg = ServeConfig {
         addr: addr.clone(),
         workers: (parse_ms("--workers", available_parallelism() as u64)? as usize).max(1),
         queue: (parse_ms("--queue", 64)? as usize).max(1),
+        max_conns: (parse_ms("--max-conns", 1_024)? as usize).max(1),
         drain: Duration::from_millis(parse_ms("--drain-ms", 5_000)?),
         grace: Duration::from_millis(parse_ms("--grace-ms", 2_000)?),
+        header_timeout: Duration::from_millis(parse_ms("--header-timeout-ms", 2_000)?),
         read_timeout: Duration::from_millis(parse_ms("--read-timeout-ms", 5_000)?),
         default_deadline_ms: opt_value(opts, "--deadline-ms")
             .map(|v| {
@@ -585,10 +613,20 @@ fn serve(opts: &[String]) -> Result<ExitCode, CliError> {
             })
             .transpose()?,
         threads: parse_threads(opts, 1)?,
-        fault: opt_value(opts, "--fault")
-            .map(|v| FaultPlan::parse(&v).map_err(CliError::Input))
-            .transpose()?,
+        fault: meter_fault,
+        process_fault,
+        replica: None,
     };
+
+    if opts.iter().any(|a| a == "--internal-replica") {
+        return serve_replica(opts, cfg);
+    }
+
+    let replicas = parse_ms("--replicas", 1)? as usize;
+    if replicas >= 2 {
+        return serve_supervisor(opts, replicas, &addr, cfg.drain, fault_spec, process_fault);
+    }
+
     let server = Server::spawn(cfg).map_err(|e| input(format!("cannot bind {addr}: {e}")))?;
     signal::install_handlers();
     // Flushed immediately so a harness reading our stdout learns the
@@ -609,6 +647,163 @@ fn serve(opts: &[String]) -> Result<ExitCode, CliError> {
             report.cancelled, report.abandoned
         );
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The replica entry point: rebuild the inherited shared listener, serve
+/// on it, and announce the private admin address for the parent.
+fn serve_replica(opts: &[String], mut cfg: ServeConfig) -> Result<ExitCode, CliError> {
+    let fd: i32 = opt_value(opts, "--listener-fd")
+        .ok_or_else(|| input("--internal-replica requires --listener-fd"))?
+        .parse()
+        .map_err(|e| input(format!("bad --listener-fd: {e}")))?;
+    let index: usize = opt_value(opts, "--replica-index")
+        .ok_or_else(|| input("--internal-replica requires --replica-index"))?
+        .parse()
+        .map_err(|e| input(format!("bad --replica-index: {e}")))?;
+    let listener = srtw::serve::sys::listener_from_fd(fd)
+        .ok_or_else(|| input(format!("cannot adopt inherited listener fd {fd}")))?;
+    cfg.replica = Some(index);
+    let server = Server::from_listener(listener, cfg)
+        .map_err(|e| input(format!("replica {index}: cannot start: {e}")))?;
+    signal::install_handlers();
+    let admin = server
+        .spawn_admin("127.0.0.1:0")
+        .map_err(|e| input(format!("replica {index}: cannot bind admin plane: {e}")))?;
+    println!(
+        "srtw-serve replica {index} pid {} admin on {admin}",
+        std::process::id()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait_shutdown();
+    eprintln!("replica {index}: shutdown requested; draining");
+    let report = server.shutdown();
+    if !report.clean() {
+        eprintln!(
+            "replica {index}: warning: drain incomplete: {} cancelled, {} abandoned",
+            report.cancelled, report.abandoned
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The supervision-tree parent: bind once, replicate, restart, drain.
+fn serve_supervisor(
+    opts: &[String],
+    replicas: usize,
+    addr: &str,
+    drain: Duration,
+    fault_spec: Option<String>,
+    process_fault: Option<ProcessFault>,
+) -> Result<ExitCode, CliError> {
+    // Flags forwarded verbatim to every replica. --addr, --replicas,
+    // --admin-addr and --fault stay with the parent (the fault is routed
+    // below: meter faults to every replica, process faults to replica 0).
+    let mut child_args = Vec::new();
+    for key in [
+        "--workers",
+        "--queue",
+        "--max-conns",
+        "--drain-ms",
+        "--grace-ms",
+        "--header-timeout-ms",
+        "--read-timeout-ms",
+        "--deadline-ms",
+        "--threads",
+    ] {
+        if let Some(v) = opt_value(opts, key) {
+            child_args.push(key.to_string());
+            child_args.push(v);
+        }
+    }
+    if process_fault.is_none() {
+        if let Some(spec) = &fault_spec {
+            child_args.push("--fault".into());
+            child_args.push(spec.clone());
+        }
+    }
+    let rcfg = ReplicaConfig {
+        addr: addr.to_string(),
+        admin_addr: opt_value(opts, "--admin-addr").unwrap_or_else(|| "127.0.0.1:0".into()),
+        replicas,
+        restart: RestartPolicy::default(),
+        drain,
+        child_args,
+        process_fault: process_fault.and(fault_spec),
+    };
+    signal::install_handlers();
+    let sup =
+        Supervisor::bind(rcfg).map_err(|e| input(format!("cannot start supervisor: {e}")))?;
+    Ok(ExitCode::from(sup.run() as u8))
+}
+
+/// `srtw flood`: the load generator behind the replicated soak — many
+/// short-lived (or keep-alive-reusing) connections against a running
+/// service, with a machine-readable outcome line. Transport errors do not
+/// fail the command: under injected process faults they are expected, and
+/// the caller asserts on the printed counts instead.
+fn flood(opts: &[String]) -> Result<ExitCode, CliError> {
+    use srtw::serve::http::client_roundtrip;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let addr: std::net::SocketAddr = opts
+        .first()
+        .ok_or_else(|| input("usage: srtw flood <addr> [--count N] [--concurrency N] [--analyze FILE]"))?
+        .parse()
+        .map_err(|e| input(format!("bad flood address: {e}")))?;
+    let count: u64 = opt_value(opts, "--count")
+        .unwrap_or_else(|| "1000".into())
+        .parse()
+        .map_err(|e| input(format!("bad --count: {e}")))?;
+    let concurrency: u64 = opt_value(opts, "--concurrency")
+        .unwrap_or_else(|| "4".into())
+        .parse::<u64>()
+        .map_err(|e| input(format!("bad --concurrency: {e}")))?
+        .max(1);
+    let body = match opt_value(opts, "--analyze") {
+        None => None,
+        Some(path) => Some(
+            std::fs::read(&path).map_err(|e| input(format!("cannot read {path}: {e}")))?,
+        ),
+    };
+    let ok = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let client_err = AtomicU64::new(0);
+    let server_err = AtomicU64::new(0);
+    let transport = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for worker in 0..concurrency {
+            let mine = count / concurrency + u64::from(worker < count % concurrency);
+            let (ok, shed, client_err, server_err, transport) =
+                (&ok, &shed, &client_err, &server_err, &transport);
+            let body = body.as_deref();
+            s.spawn(move || {
+                for _ in 0..mine {
+                    let result = match body {
+                        None => client_roundtrip(&addr, "GET", "/healthz", &[], b""),
+                        Some(b) => client_roundtrip(&addr, "POST", "/analyze", &[], b),
+                    };
+                    match result {
+                        Ok((status, _, _)) => match status {
+                            200..=299 => ok.fetch_add(1, Ordering::Relaxed),
+                            503 => shed.fetch_add(1, Ordering::Relaxed),
+                            400..=499 => client_err.fetch_add(1, Ordering::Relaxed),
+                            _ => server_err.fetch_add(1, Ordering::Relaxed),
+                        },
+                        Err(_) => transport.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+            });
+        }
+    });
+    println!(
+        "flood complete: total={count} ok={} shed_503={} client_4xx={} server_5xx={} transport_errors={}",
+        ok.into_inner(),
+        shed.into_inner(),
+        client_err.into_inner(),
+        server_err.into_inner(),
+        transport.into_inner(),
+    );
     Ok(ExitCode::SUCCESS)
 }
 

@@ -1,0 +1,289 @@
+//! Process-level supervision-tree coverage of `srtw serve --replicas N`,
+//! driven through the real binary over real signals:
+//!
+//! - `SIGKILL` of one replica produces *exactly one* restart, the
+//!   parent's `/readyz` flaps at most once, and the fleet recovers;
+//! - `SIGTERM` to the parent drains every replica and exits 0 with no
+//!   orphan processes left behind;
+//! - `POST /analyze` through the shared listener stays byte-identical to
+//!   `srtw analyze --json` (modulo `runtime_secs`) under replication.
+#![cfg(unix)]
+
+use srtw::serve::http::client_roundtrip;
+use srtw::serve::sys;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const SMALL_SYSTEM: &str =
+    "task t\nvertex a wcet=2 deadline=9\nedge a a sep=8\nserver fluid rate=1\n";
+
+/// A running `srtw serve --replicas 2` tree with its stdout captured.
+struct Tree {
+    child: Child,
+    public: SocketAddr,
+    admin: SocketAddr,
+    /// `(index, pid, admin)` per replica announce, in announce order.
+    replicas: Vec<(usize, u32, SocketAddr)>,
+    log: Arc<Mutex<Vec<String>>>,
+}
+
+impl Tree {
+    // The child is waited on via `wait_exit` in every test; the panic
+    // path below kills and reaps it explicitly.
+    #[allow(clippy::zombie_processes)]
+    fn spawn() -> Tree {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_srtw"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--replicas",
+                "2",
+                "--workers",
+                "2",
+                "--drain-ms",
+                "2000",
+            ])
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn the serve tree");
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let log = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink = Arc::clone(&log);
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                match line {
+                    Ok(line) => sink.lock().unwrap().push(line),
+                    Err(_) => return,
+                }
+            }
+        });
+
+        // Discover every address from the stdout protocol.
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let (mut public, mut admin) = (None, None);
+        let mut replicas = Vec::new();
+        while Instant::now() < deadline {
+            for line in log.lock().unwrap().iter() {
+                if let Some(rest) = line.strip_prefix("srtw-serve listening on ") {
+                    public = rest.trim().parse().ok();
+                } else if let Some(rest) = line.strip_prefix("srtw-serve supervisor admin on ") {
+                    admin = rest.trim().parse().ok();
+                } else if let Some((index, pid, addr)) = parse_replica_announce(line) {
+                    if !replicas.iter().any(|&(_, p, _)| p == pid) {
+                        replicas.push((index, pid, addr));
+                    }
+                }
+            }
+            if let (Some(public), Some(admin)) = (public, admin) {
+                if replicas.len() >= 2 {
+                    return Tree {
+                        child,
+                        public,
+                        admin,
+                        replicas,
+                        log,
+                    };
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let _ = child.kill();
+        let _ = child.wait();
+        panic!(
+            "tree never announced itself; stdout so far: {:?}",
+            log.lock().unwrap()
+        );
+    }
+
+    /// Polls the parent `/readyz` until it answers 200 (quorum reached).
+    fn wait_ready(&self) {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while Instant::now() < deadline {
+            if let Ok((200, _, _)) = client_roundtrip(&self.admin, "GET", "/readyz", &[], b"") {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        panic!("parent /readyz never reached quorum");
+    }
+
+    /// Lines captured so far that contain `needle`.
+    fn log_matches(&self, needle: &str) -> Vec<String> {
+        self.log
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|l| l.contains(needle))
+            .cloned()
+            .collect()
+    }
+
+    fn wait_exit(&mut self, patience: Duration) -> ExitStatus {
+        let deadline = Instant::now() + patience;
+        loop {
+            if let Ok(Some(status)) = self.child.try_wait() {
+                return status;
+            }
+            if Instant::now() >= deadline {
+                let _ = self.child.kill();
+                panic!("serve tree did not exit within {patience:?}");
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+/// `srtw-serve replica <i> pid <pid> admin on <addr>`.
+fn parse_replica_announce(line: &str) -> Option<(usize, u32, SocketAddr)> {
+    let rest = line.trim().strip_prefix("srtw-serve replica ")?;
+    let mut words = rest.split(' ');
+    let index = words.next()?.parse().ok()?;
+    if words.next()? != "pid" {
+        return None;
+    }
+    let pid = words.next()?.parse().ok()?;
+    if (words.next()?, words.next()?) != ("admin", "on") {
+        return None;
+    }
+    let addr = words.next()?.parse().ok()?;
+    Some((index, pid, addr))
+}
+
+fn pid_alive(pid: u32) -> bool {
+    std::path::Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// Strips every `"runtime_secs":<number>` value (the document's one
+/// nondeterministic field).
+fn strip_runtime(doc: &str) -> String {
+    let mut out = String::with_capacity(doc.len());
+    let mut rest = doc;
+    while let Some(pos) = rest.find("\"runtime_secs\":") {
+        let after = pos + "\"runtime_secs\":".len();
+        out.push_str(&rest[..after]);
+        out.push('0');
+        let tail = &rest[after..];
+        let end = tail.find([',', '}']).unwrap_or(tail.len());
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The CLI's stdout for `analyze <system> --json`, via a temp file.
+fn cli_expected(text: &str) -> String {
+    let path = std::env::temp_dir().join(format!("srtw-replicas-{}.srtw", std::process::id()));
+    std::fs::write(&path, text).expect("write temp system");
+    let out = Command::new(env!("CARGO_BIN_EXE_srtw"))
+        .args(["analyze", path.to_str().unwrap(), "--json"])
+        .output()
+        .expect("srtw runs");
+    let _ = std::fs::remove_file(&path);
+    assert!(out.status.success());
+    String::from_utf8(out.stdout).expect("utf-8 CLI output")
+}
+
+#[test]
+fn sigkill_one_replica_restarts_it_once_and_quorum_recovers() {
+    let mut tree = Tree::spawn();
+    tree.wait_ready();
+
+    // Replicated answers must be byte-identical to the CLI before the
+    // fault...
+    let expected = strip_runtime(&cli_expected(SMALL_SYSTEM));
+    for _ in 0..3 {
+        let (status, _, body) =
+            client_roundtrip(&tree.public, "POST", "/analyze", &[], SMALL_SYSTEM.as_bytes())
+                .expect("analyze round trip");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(strip_runtime(&body), expected);
+    }
+
+    // Kill one replica outright and watch the tree repair itself.
+    let (victim_index, victim_pid, _) = tree.replicas[0];
+    assert!(sys::send_signal(victim_pid, sys::SIGKILL));
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut statuses: Vec<u16> = Vec::new();
+    let recovered = loop {
+        if Instant::now() >= deadline {
+            break false;
+        }
+        if let Ok((status, _, _)) = client_roundtrip(&tree.admin, "GET", "/readyz", &[], b"") {
+            statuses.push(status);
+        }
+        let respawned = tree.log.lock().unwrap().iter().any(|l| {
+            parse_replica_announce(l)
+                .is_some_and(|(i, pid, _)| i == victim_index && pid != victim_pid)
+        });
+        if respawned && statuses.last() == Some(&200) {
+            break true;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(recovered, "replica never respawned; readyz history {statuses:?}");
+
+    // At most one flap: the readyz series dips into 503 at most once.
+    let dips = statuses.windows(2).filter(|w| w[0] == 200 && w[1] != 200).count()
+        + usize::from(statuses.first().is_some_and(|&s| s != 200));
+    assert!(dips <= 1, "readyz flapped {dips} times: {statuses:?}");
+
+    // Exactly one restart, visible both in the log and in /stats.
+    std::thread::sleep(Duration::from_millis(300));
+    let restarts = tree.log_matches("; restart in ");
+    assert_eq!(restarts.len(), 1, "restart lines: {restarts:?}");
+    let (status, _, stats) =
+        client_roundtrip(&tree.admin, "GET", "/stats", &[], b"").expect("stats scrape");
+    assert_eq!(status, 200);
+    assert!(stats.contains("\"role\":\"supervisor\""), "{stats}");
+    assert!(stats.contains("\"restarts\":1"), "{stats}");
+
+    // ...and identical again after recovery.
+    let (status, _, body) =
+        client_roundtrip(&tree.public, "POST", "/analyze", &[], SMALL_SYSTEM.as_bytes())
+            .expect("analyze after recovery");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(strip_runtime(&body), expected);
+
+    // Clean shutdown through the admin plane.
+    let (status, _, _) =
+        client_roundtrip(&tree.admin, "POST", "/shutdown", &[], b"").expect("shutdown");
+    assert_eq!(status, 200);
+    let exit = tree.wait_exit(Duration::from_secs(15));
+    assert!(exit.success(), "tree exited dirty: {exit:?}");
+}
+
+#[test]
+fn sigterm_to_the_parent_drains_every_replica_with_no_orphans() {
+    let mut tree = Tree::spawn();
+    tree.wait_ready();
+    let pids: Vec<u32> = tree.replicas.iter().map(|&(_, pid, _)| pid).collect();
+    for &pid in &pids {
+        assert!(pid_alive(pid), "replica {pid} not running before drain");
+    }
+
+    assert!(sys::send_signal(tree.child.id(), sys::SIGTERM));
+    let exit = tree.wait_exit(Duration::from_secs(15));
+    assert!(exit.success(), "drain exited dirty: {exit:?}");
+
+    // The parent reaps its children before exiting, so no replica may
+    // outlive it (nor linger as a zombie).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if pids.iter().all(|&pid| !pid_alive(pid)) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "orphaned replicas after parent exit: {:?}",
+            pids.iter().filter(|&&p| pid_alive(p)).collect::<Vec<_>>()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
