@@ -540,9 +540,98 @@ pub fn fused_pipeline_suite(t: &Timer) -> Vec<Sample> {
     out
 }
 
-/// Runs all nine suites in order (convolution, rbf, structural,
+/// B10 — journal durability overhead: what crash-recoverability costs.
+///
+/// `append_fsync` is the per-record price a journaled batch pays on the
+/// worker thread that finished the job (frame + one `write` + one
+/// `sync_data`); the `run_batch` pair puts that price in context against
+/// real supervised analyses; `recover` is the resume-time cost of
+/// scanning and CRC-checking a populated journal.
+pub fn journal_overhead_suite(t: &Timer) -> Vec<Sample> {
+    use srtw_supervisor::journal::{recover, JournalRecord, JournalWriter};
+    use srtw_supervisor::{
+        run_batch, run_batch_observed, BatchConfig, JobSpec, JobStatus, OutcomeObserver,
+    };
+    use std::sync::{Arc, Mutex};
+
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let path_for = |tag: &str| dir.join(format!("srtw-bench-journal-{tag}-{pid}.wal"));
+    let record = JournalRecord {
+        name: "bench-job".into(),
+        status: JobStatus::Exact,
+        rung: Some("exact".into()),
+        attempts: 1,
+        wall_bits: 0.0123f64.to_bits(),
+        error: None,
+        json: "{\"system\":\"bench-job\",\"status\":\"exact\",\"delay_bound\":\"41\",\
+               \"per_task\":[{\"task\":\"t0\",\"delay\":\"41\"},{\"task\":\"t1\",\"delay\":\"17\"}]}"
+            .into(),
+    };
+
+    let mut out = Vec::new();
+
+    let append_path = path_for("append");
+    let mut writer = JournalWriter::create(&append_path, 0xB10).expect("create bench journal");
+    out.push(t.bench("journal_overhead", "append_fsync/record", || {
+        writer.append(&record).expect("bench append");
+    }));
+    drop(writer);
+    let _ = std::fs::remove_file(&append_path);
+
+    let recover_path = path_for("recover");
+    let mut writer = JournalWriter::create(&recover_path, 0xB10).expect("create bench journal");
+    for i in 0..200 {
+        let mut r = record.clone();
+        r.name = format!("bench-job-{i}");
+        writer.append(&r).expect("prefill bench journal");
+    }
+    drop(writer);
+    out.push(t.bench("journal_overhead", "recover/200_records", || {
+        let rec = recover(&recover_path).expect("recover bench journal");
+        assert_eq!(rec.records.len(), 200);
+        black_box(rec);
+    }));
+    let _ = std::fs::remove_file(&recover_path);
+
+    // The same 8 small systems through the supervised batch pool, bare vs
+    // journaled: the delta is the whole durability tax in context.
+    let beta = Curve::rate_latency(q(4, 5), Q::int(4));
+    let specs: Vec<JobSpec> = (0..8)
+        .map(|i| {
+            JobSpec::new(
+                format!("job-{i}"),
+                vec![generate_drt(&gen_cfg(8), 100 + i)],
+                beta.clone(),
+            )
+        })
+        .collect();
+    let cfg = BatchConfig::default();
+    out.push(t.bench("journal_overhead", "run_batch/unjournaled/8_jobs", || {
+        let report = run_batch(specs.clone(), &cfg);
+        assert_eq!(report.jobs.len(), 8);
+        black_box(report);
+    }));
+    let batch_path = path_for("batch");
+    out.push(t.bench("journal_overhead", "run_batch/journaled/8_jobs", || {
+        let writer = JournalWriter::create(&batch_path, 0xB10).expect("create bench journal");
+        let shared = Arc::new(Mutex::new(writer));
+        let sink = Arc::clone(&shared);
+        let observer: OutcomeObserver = Arc::new(move |_, outcome| {
+            let rec = JournalRecord::from_outcome(outcome);
+            sink.lock().unwrap().append(&rec).expect("bench append");
+        });
+        let report = run_batch_observed(specs.clone(), &cfg, Some(observer));
+        assert_eq!(report.jobs.len(), 8);
+        black_box(report);
+    }));
+    let _ = std::fs::remove_file(&batch_path);
+    out
+}
+
+/// Runs all ten suites in order (convolution, rbf, structural,
 /// simulation, budgeted, parallel, server throughput, fused pipeline,
-/// server connections).
+/// server connections, journal overhead).
 pub fn all_suites(t: &Timer) -> Vec<Sample> {
     let mut out = convolution_suite(t);
     out.extend(rbf_suite(t));
@@ -553,6 +642,7 @@ pub fn all_suites(t: &Timer) -> Vec<Sample> {
     out.extend(server_throughput_suite(t));
     out.extend(fused_pipeline_suite(t));
     out.extend(server_connections_suite(t));
+    out.extend(journal_overhead_suite(t));
     out
 }
 
@@ -572,6 +662,7 @@ mod tests {
         assert_eq!(server_throughput_suite(&t).len(), 3);
         assert_eq!(fused_pipeline_suite(&t).len(), 4);
         assert_eq!(server_connections_suite(&t).len(), 3);
+        assert_eq!(journal_overhead_suite(&t).len(), 4);
     }
 
     #[test]

@@ -346,6 +346,79 @@ impl Response {
     }
 }
 
+/// The terminal frame of a chunked stream: the zero-length chunk.
+pub const CHUNK_TERMINATOR: &[u8] = b"0\r\n\r\n";
+
+/// The head of a streaming response using HTTP/1.1 chunked transfer
+/// encoding. No `Content-Length` is (or can be) declared; the body
+/// follows as [`chunk`]-framed pieces ended by [`CHUNK_TERMINATOR`].
+/// Streaming responses always close: the producing side cannot know the
+/// framing stayed intact after a mid-stream failure.
+pub fn chunked_head(status: u16, content_type: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+    )
+    .into_bytes()
+}
+
+/// Frames one payload as a chunk: hex length, CRLF, payload, CRLF.
+/// Zero-length payloads are skipped (an empty chunk would terminate the
+/// stream).
+pub fn chunk(payload: &[u8]) -> Vec<u8> {
+    if payload.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    let _ = write!(out, "{:x}\r\n", payload.len());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// Decodes a chunked transfer body. Lenient by design: returns the
+/// concatenated payload of every *complete* chunk plus whether the
+/// terminal chunk arrived — a stream cut mid-chunk (server killed, client
+/// hung up) still yields everything that made it through intact.
+pub fn decode_chunked(raw: &[u8]) -> (Vec<u8>, bool) {
+    let mut out = Vec::with_capacity(raw.len());
+    let mut pos = 0;
+    loop {
+        // Chunk size line: hex digits up to CRLF (extensions ignored).
+        let Some(nl) = raw[pos..].iter().position(|&b| b == b'\n') else {
+            return (out, false);
+        };
+        let line = &raw[pos..pos + nl];
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        let hex = line
+            .split(|&b| b == b';')
+            .next()
+            .unwrap_or_default();
+        let Ok(size) = usize::from_str_radix(&String::from_utf8_lossy(hex), 16) else {
+            return (out, false);
+        };
+        pos += nl + 1;
+        if size == 0 {
+            return (out, true);
+        }
+        if pos + size > raw.len() {
+            return (out, false); // torn mid-chunk
+        }
+        out.extend_from_slice(&raw[pos..pos + size]);
+        pos += size;
+        // The CRLF after the payload.
+        if raw.get(pos) == Some(&b'\r') {
+            pos += 1;
+        }
+        if raw.get(pos) == Some(&b'\n') {
+            pos += 1;
+        } else if pos >= raw.len() {
+            return (out, false);
+        }
+    }
+}
+
 /// What [`client_roundtrip`] hands back: `(status, headers, body)`.
 pub type ClientResponse = (u16, Vec<(String, String)>, String);
 
@@ -410,11 +483,21 @@ pub fn client_roundtrip_on(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
-    let parsed_headers = lines
+    let parsed_headers: Vec<(String, String)> = lines
         .filter_map(|line| line.split_once(':'))
         .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
         .collect();
-    Ok((status, parsed_headers, resp_body.to_string()))
+    let chunked = parsed_headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let resp_body = if chunked {
+        let (decoded, _complete) = decode_chunked(resp_body.as_bytes());
+        String::from_utf8(decoded)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 chunked body"))?
+    } else {
+        resp_body.to_string()
+    };
+    Ok((status, parsed_headers, resp_body))
 }
 
 /// The reason phrase for the status codes this server emits.
@@ -588,5 +671,33 @@ mod tests {
         let text = String::from_utf8(Response::json(200, "{}".into()).keep_alive().to_bytes())
             .unwrap();
         assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+    }
+
+    #[test]
+    fn chunked_round_trip() {
+        let mut wire = chunked_head(200, "application/x-ndjson");
+        assert!(String::from_utf8_lossy(&wire).contains("Transfer-Encoding: chunked\r\n"));
+        wire.clear();
+        wire.extend_from_slice(&chunk(b"{\"a\":1}\n"));
+        wire.extend_from_slice(&chunk(b""));
+        wire.extend_from_slice(&chunk(b"{\"b\":2}\n"));
+        wire.extend_from_slice(CHUNK_TERMINATOR);
+        let (decoded, complete) = decode_chunked(&wire);
+        assert!(complete);
+        assert_eq!(decoded, b"{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    #[test]
+    fn chunked_decode_tolerates_torn_streams() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&chunk(b"first\n"));
+        wire.extend_from_slice(&chunk(b"second-never-finishes"));
+        wire.truncate(wire.len() - 10); // cut mid-chunk
+        let (decoded, complete) = decode_chunked(&wire);
+        assert!(!complete);
+        assert_eq!(decoded, b"first\n");
+        let (decoded, complete) = decode_chunked(b"not hex\r\ngarbage");
+        assert!(!complete);
+        assert!(decoded.is_empty());
     }
 }

@@ -28,6 +28,12 @@
 //! - **Graceful drain** ([`server::Server::shutdown`]): stop accepting,
 //!   let in-flight work finish up to the drain window, then cancel
 //!   stragglers through their tokens — they still answer, degraded.
+//! - **Durable streaming batch** (`POST /batch`): a manifest body runs
+//!   under the full supervision ladder, streaming one ndjson line per
+//!   job (HTTP/1.1 chunked) as it finishes; a client hangup cancels the
+//!   remaining jobs, and with a journal configured every outcome is
+//!   fsync'd before it is streamed, so a replica killed mid-batch
+//!   replays completed jobs instead of recomputing them.
 //!
 //! Status codes mirror the CLI exit contract (`200`↔0, `400`/`413`↔2,
 //! `500`↔3, `503`↔shed/draining), so a batch driver can treat the service
@@ -36,6 +42,7 @@
 #![deny(unsafe_code)] // `signal` and `sys` opt back in for the C bindings.
 #![warn(missing_docs)]
 
+mod batch;
 pub mod fault;
 pub mod gate;
 pub mod http;

@@ -736,6 +736,27 @@ fn raw_fd<T>(_t: &T) -> i32 {
     -1
 }
 
+/// `true` once `stream`'s peer is gone. The probe is a zero-timeout
+/// `poll(2)` for readability on the raw descriptor: a client that has
+/// already delivered its complete request sends nothing more, so the
+/// socket turning readable means FIN, RST, or hangup. A nonblocking
+/// `peek` would work too, but flipping `O_NONBLOCK` acts on the *shared*
+/// file description and would race response writes on a clone of the
+/// stream — so the flag is never touched.
+#[cfg(unix)]
+pub(crate) fn peer_closed(stream: &TcpStream) -> bool {
+    let mut fds = [PollFd::new(raw_fd(stream), POLLIN)];
+    sys::poll_fds(&mut fds, 0) > 0 && fds[0].readable()
+}
+
+/// Off unix the fallback poller reports every descriptor ready, which
+/// would read as a permanent disconnect; the probe degrades to "never
+/// disconnected" instead (cancellation then rests on write failures).
+#[cfg(not(unix))]
+pub(crate) fn peer_closed(_stream: &TcpStream) -> bool {
+    false
+}
+
 enum ReadSome {
     Progress,
     Blocked,

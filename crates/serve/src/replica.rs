@@ -57,11 +57,13 @@ pub struct ReplicaConfig {
     /// queue, timeouts, …) — everything except the replication and fault
     /// flags the supervisor owns.
     pub child_args: Vec<String>,
-    /// Raw process-fault spec (`abort@N` | `stall@N:MS` | `closefd@N`)
-    /// forwarded to the *first spawn of replica 0 only*: a fault handed
-    /// to every replica (or to every respawn) would kill the fleet
-    /// faster than the tree can repair it, which is the opposite of what
-    /// an injected fault is for.
+    /// Raw targeted-fault spec (`abort@N` | `stall@N:MS` | `closefd@N`,
+    /// or a journal fault `torn@N` | `jcorrupt@N`) forwarded to the
+    /// *first spawn of replica 0 only*: a fault handed to every replica
+    /// (or to every respawn) would kill the fleet faster than the tree
+    /// can repair it, which is the opposite of what an injected fault is
+    /// for — and a restarted replica must come back clean so it can
+    /// *resume* the journaled batch the fault interrupted.
     pub process_fault: Option<String>,
 }
 

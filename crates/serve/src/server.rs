@@ -25,7 +25,7 @@ use crate::sys;
 use srtw_core::textfmt::{parse_system, ParseError, ParseErrorKind, MAX_INPUT_BYTES};
 use srtw_core::{AnalysisConfig, Json};
 use srtw_minplus::{Budget, CancelToken, FaultPlan};
-use srtw_supervisor::{contain, Contained};
+use srtw_supervisor::{contain, Contained, JournalFault};
 use std::io::{self, Read as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -79,6 +79,18 @@ pub struct ServeConfig {
     /// Replica index when running as a supervised replica (surfaces in
     /// `/stats`).
     pub replica: Option<usize>,
+    /// Journal path prefix for `POST /batch` durability: each batch
+    /// appends per-job outcomes to `<prefix>.<digest>` (keyed by the
+    /// manifest digest) as they finish, and a batch re-POSTed after a
+    /// crash replays journaled jobs instead of recomputing them.
+    /// `None` disables journaling.
+    pub journal: Option<String>,
+    /// Deterministic journal-write fault (`torn@N` | `jcorrupt@N`)
+    /// injected into batch journal appends. A fired fault aborts the
+    /// process — durability is load-bearing, so its failure is treated
+    /// exactly like a crash, which under `--replicas` drives the
+    /// supervision tree's restart + resume path.
+    pub journal_fault: Option<JournalFault>,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +109,8 @@ impl Default for ServeConfig {
             fault: None,
             process_fault: None,
             replica: None,
+            journal: None,
+            journal_fault: None,
         }
     }
 }
@@ -124,32 +138,32 @@ impl DrainReport {
     }
 }
 
-struct Shared {
-    cfg: ServeConfig,
-    gate: Arc<Gate<ConnJob>>,
-    stats: Arc<Stats>,
-    returner: Returner,
-    fault_arm: ProcessFaultArm,
-    draining: AtomicBool,
-    shutdown_req: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServeConfig,
+    pub(crate) gate: Arc<Gate<ConnJob>>,
+    pub(crate) stats: Arc<Stats>,
+    pub(crate) returner: Returner,
+    pub(crate) fault_arm: ProcessFaultArm,
+    pub(crate) draining: AtomicBool,
+    pub(crate) shutdown_req: AtomicBool,
     /// Set when the drain window has expired: new analyses start
     /// pre-cancelled so queued stragglers answer immediately with the
     /// RTC-degraded bound.
-    hard_cancel: AtomicBool,
-    inflight: Mutex<Vec<CancelToken>>,
+    pub(crate) hard_cancel: AtomicBool,
+    pub(crate) inflight: Mutex<Vec<CancelToken>>,
 }
 
 impl Shared {
-    fn register(&self, token: CancelToken) {
+    pub(crate) fn register(&self, token: CancelToken) {
         self.inflight.lock().unwrap().push(token);
     }
 
-    fn unregister(&self, token: &CancelToken) {
+    pub(crate) fn unregister(&self, token: &CancelToken) {
         // Tokens compare by identity, so this removes exactly ours.
         self.inflight.lock().unwrap().retain(|t| t != token);
     }
 
-    fn draining_or_requested(&self) -> bool {
+    pub(crate) fn draining_or_requested(&self) -> bool {
         self.draining.load(Ordering::Relaxed) || self.shutdown_req.load(Ordering::Relaxed)
     }
 }
@@ -364,6 +378,19 @@ fn handle_conn(shared: &Shared, job: ConnJob) {
             }
         }
     }
+    if request.method == "POST" && request.target == "/batch" {
+        // The batch endpoint streams its own (chunked) response and
+        // always closes: a long-lived stream must not pin a keep-alive
+        // slot, and `Connection: close` is what lets the client detect a
+        // mid-stream crash as truncation.
+        let started = Instant::now();
+        crate::batch::stream_batch(shared, &request, &mut stream);
+        shared
+            .stats
+            .note_latency_us(started.elapsed().as_micros() as u64);
+        linger_close(&mut stream);
+        return;
+    }
     let mut response = route(shared, &request);
     let reuse = request.wants_keep_alive()
         && !shared.draining_or_requested()
@@ -381,17 +408,21 @@ fn handle_conn(shared: &Shared, job: ConnJob) {
             leftover,
         });
     } else {
-        // Lingering close: give the client a beat to read the response
-        // before the socket drops (closing with unread pipelined bytes in
-        // the receive buffer would RST the response away).
-        let _ = stream.shutdown(std::net::Shutdown::Write);
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-        let mut scratch = [0u8; 8 * 1024];
-        for _ in 0..4 {
-            match stream.read(&mut scratch) {
-                Ok(0) | Err(_) => break,
-                Ok(_) => {}
-            }
+        linger_close(&mut stream);
+    }
+}
+
+/// Lingering close: give the client a beat to read the response before
+/// the socket drops (closing with unread pipelined bytes in the receive
+/// buffer would RST the response away).
+fn linger_close(stream: &mut TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut scratch = [0u8; 8 * 1024];
+    for _ in 0..4 {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
         }
     }
 }
@@ -455,15 +486,17 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 .note_latency_us(started.elapsed().as_micros() as u64);
             response
         }
-        (_, "/healthz" | "/readyz" | "/stats" | "/shutdown" | "/analyze") => Response::json(
-            405,
-            error_body(
-                2,
-                "input",
-                &format!("method {} not allowed here", req.method),
-                vec![],
-            ),
-        ),
+        (_, "/healthz" | "/readyz" | "/stats" | "/shutdown" | "/analyze" | "/batch") => {
+            Response::json(
+                405,
+                error_body(
+                    2,
+                    "input",
+                    &format!("method {} not allowed here", req.method),
+                    vec![],
+                ),
+            )
+        }
         (_, target) => Response::json(
             404,
             error_body(2, "input", &format!("unknown endpoint '{target}'"), vec![]),
@@ -729,6 +762,109 @@ mod tests {
             client_roundtrip(&server.addr(), "GET", "/stats", &[], b"").unwrap();
         assert_eq!(status, 200);
         assert!(body.contains("\"reused\":2"), "{body}");
+        assert!(server.shutdown().clean());
+    }
+
+    /// A temp dir holding `n` copies of the small system plus a manifest
+    /// of absolute paths; returns `(dir, manifest_body)`.
+    fn batch_fixture(tag: &str, n: usize) -> (std::path::PathBuf, String) {
+        let dir = std::env::temp_dir().join(format!(
+            "srtw-serve-batch-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut manifest = String::from("# served batch\n");
+        for i in 0..n {
+            let path = dir.join(format!("sys-{i}.srtw"));
+            std::fs::write(&path, SMALL).unwrap();
+            manifest.push_str(&format!("{}\n", path.display()));
+        }
+        (dir, manifest)
+    }
+
+    #[test]
+    fn batch_streams_one_line_per_job_plus_summary() {
+        let (dir, manifest) = batch_fixture("stream", 3);
+        let server = spawn_small(ServeConfig::default());
+        let addr = server.addr();
+        let (status, headers, body) =
+            client_roundtrip(&addr, "POST", "/batch", &[], manifest.as_bytes()).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(
+            headers.iter().any(|(k, v)| k == "transfer-encoding" && v == "chunked"),
+            "{headers:?}"
+        );
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 4, "3 job lines + summary: {body}");
+        for (i, line) in lines[..3].iter().enumerate() {
+            assert!(line.contains(&format!("\"name\":\"sys-{i}\"")), "{line}");
+            assert!(line.contains("\"status\":\"exact\""), "{line}");
+        }
+        assert!(
+            lines[3].starts_with("{\"summary\":{\"total\":3,\"exact\":3,"),
+            "{}",
+            lines[3]
+        );
+        let (_, _, stats) = client_roundtrip(&addr, "GET", "/stats", &[], b"").unwrap();
+        assert!(stats.contains("\"batches\":1"), "{stats}");
+        assert!(stats.contains("\"batch_jobs\":3"), "{stats}");
+        assert!(stats.contains("\"batch_replayed\":0"), "{stats}");
+        assert!(server.shutdown().clean());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn batch_journal_replays_completed_jobs_byte_identically() {
+        let (dir, manifest) = batch_fixture("journal", 2);
+        let prefix = dir.join("batch.journal");
+        let server = spawn_small(ServeConfig {
+            journal: Some(prefix.display().to_string()),
+            ..ServeConfig::default()
+        });
+        let addr = server.addr();
+        let (status, _, first) =
+            client_roundtrip(&addr, "POST", "/batch", &[], manifest.as_bytes()).unwrap();
+        assert_eq!(status, 200, "{first}");
+        // The same manifest again: every job replays from the journal —
+        // the job lines (wall times included) come back byte-identical,
+        // which is the provenance a client uses to tell a replay from a
+        // recompute.
+        let (status, _, second) =
+            client_roundtrip(&addr, "POST", "/batch", &[], manifest.as_bytes()).unwrap();
+        assert_eq!(status, 200, "{second}");
+        let job_lines = |body: &str| -> Vec<String> {
+            body.lines()
+                .filter(|l| !l.starts_with("{\"summary\""))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(job_lines(&first), job_lines(&second));
+        assert!(
+            second.lines().last().unwrap().contains("\"replayed\":2"),
+            "{second}"
+        );
+        let (_, _, stats) = client_roundtrip(&addr, "GET", "/stats", &[], b"").unwrap();
+        assert!(stats.contains("\"batch_jobs\":2"), "{stats}");
+        assert!(stats.contains("\"batch_replayed\":2"), "{stats}");
+        assert!(server.shutdown().clean());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn batch_rejects_bad_manifests_and_bad_methods() {
+        let server = spawn_small(ServeConfig::default());
+        let addr = server.addr();
+        let (status, _, body) = client_roundtrip(&addr, "POST", "/batch", &[], b"# only\n").unwrap();
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("manifest lists no systems"), "{body}");
+        let (status, _, _) = client_roundtrip(&addr, "GET", "/batch", &[], b"").unwrap();
+        assert_eq!(status, 405);
+        // An unreadable path degrades that one job, not the exchange.
+        let (status, _, body) =
+            client_roundtrip(&addr, "POST", "/batch", &[], b"/nonexistent/x.srtw\n").unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"status\":\"failed\""), "{body}");
+        assert!(body.contains("\"failed\":1"), "{body}");
         assert!(server.shutdown().clean());
     }
 

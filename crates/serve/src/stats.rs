@@ -64,6 +64,12 @@ pub struct Stats {
     pub degraded: AtomicU64,
     /// `/analyze` requests answered 4xx/5xx.
     pub failed: AtomicU64,
+    /// `POST /batch` requests accepted for streaming.
+    pub batches: AtomicU64,
+    /// Batch jobs executed fresh (supervised runs, not replays).
+    pub batch_jobs: AtomicU64,
+    /// Batch jobs answered from the journal instead of recomputed.
+    pub batch_replayed: AtomicU64,
     ring: Mutex<Ring>,
 }
 
@@ -79,6 +85,9 @@ impl Default for Stats {
             completed: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_jobs: AtomicU64::new(0),
+            batch_replayed: AtomicU64::new(0),
             ring: Mutex::new(Ring {
                 samples_us: vec![0; LATENCY_RING],
                 next: 0,
@@ -160,6 +169,9 @@ impl Stats {
             ("completed", count(&self.completed)),
             ("degraded", count(&self.degraded)),
             ("failed", count(&self.failed)),
+            ("batches", count(&self.batches)),
+            ("batch_jobs", count(&self.batch_jobs)),
+            ("batch_replayed", count(&self.batch_replayed)),
             ("queue_depth", Json::Int(g.queue_depth as i128)),
             ("inflight", Json::Int(g.inflight as i128)),
             ("open_conns", Json::Int(g.open_conns as i128)),
@@ -249,6 +261,9 @@ mod tests {
             "\"reused\":0",
             "\"timeouts_408\":0",
             "\"oversized_heads_431\":0",
+            "\"batches\":0",
+            "\"batch_jobs\":0",
+            "\"batch_replayed\":0",
             "\"queue_depth\":2",
             "\"inflight\":1",
             "\"open_conns\":7",

@@ -1,0 +1,932 @@
+//! Append-only write-ahead journal of per-job batch outcomes.
+//!
+//! The journal makes a batch run crash-recoverable: every finished job is
+//! appended as one self-contained record and fsync'd before the batch
+//! moves on, so a `kill -9` (or an injected fault) loses at most the job
+//! that was in flight. A later `--resume` replays the journal, skips the
+//! already-completed jobs, and produces a final report byte-identical to
+//! an uninterrupted run — each record carries the job's rendered JSON
+//! subtree verbatim, and `srtw_core::Json` rendering is context-free, so
+//! splicing replayed text next to freshly rendered text is exact.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! header: b"SRTWJRNL" | u32 LE version | u64 LE manifest digest
+//! record: u32 LE payload length | u32 LE CRC-32 of payload | payload
+//! ```
+//!
+//! The payload is a length-prefixed binary encoding of the outcome's
+//! replay-relevant fields (name, status, rung display, attempt count,
+//! wall-clock bits, error, rendered JSON). Records are written with a
+//! single `write` call in append mode so concurrent appenders (replicas
+//! sharing one journal) interleave whole frames, then `sync_data`'d.
+//!
+//! ## Recovery policy
+//!
+//! Recovery never panics and never invents a completion:
+//!
+//! - missing or malformed header → empty recovery plus a warning;
+//! - a frame whose declared length overruns the file → torn tail: stop,
+//!   warn, keep everything before it;
+//! - a CRC mismatch with intact framing → skip that record, warn, keep
+//!   scanning (a flipped bit loses one job, not the journal);
+//! - an undecodable payload with a valid CRC → skip and warn;
+//! - duplicate job names → keep the first (records are immutable facts;
+//!   a re-run of an already-journaled job changes nothing).
+
+use crate::job::{JobOutcome, JobStatus};
+use crate::report::{BatchCounts, BatchStatus};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::time::Duration;
+
+/// Magic bytes opening every journal file.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"SRTWJRNL";
+/// Current on-disk format version.
+pub const JOURNAL_VERSION: u32 = 1;
+/// Header size: magic + version + manifest digest.
+const HEADER_BYTES: usize = 8 + 4 + 8;
+/// Upper bound on a single record payload; larger declared lengths are
+/// treated as corruption (a random 4-byte length would otherwise make
+/// recovery "wait" for gigabytes that never existed).
+const MAX_RECORD_BYTES: usize = 1 << 26;
+
+/// CRC-32 (IEEE, reflected, polynomial `0xEDB88320`) lookup table,
+/// computed at compile time so the crate stays dependency-free.
+static CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 checksum of `bytes` (IEEE polynomial, as used by gzip/zip).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// 64-bit FNV-1a digest, used to key a journal to its manifest: resuming
+/// against a journal written for a different job list is refused.
+pub fn digest64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn status_code(status: JobStatus) -> u8 {
+    match status {
+        JobStatus::Exact => 0,
+        JobStatus::Degraded => 1,
+        JobStatus::Failed => 2,
+        JobStatus::Skipped => 3,
+    }
+}
+
+fn status_from_code(code: u8) -> Option<JobStatus> {
+    match code {
+        0 => Some(JobStatus::Exact),
+        1 => Some(JobStatus::Degraded),
+        2 => Some(JobStatus::Failed),
+        3 => Some(JobStatus::Skipped),
+        _ => None,
+    }
+}
+
+/// One journaled job outcome: the fields the final report needs, plus the
+/// outcome's rendered JSON subtree stored verbatim for byte-exact replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRecord {
+    /// The job's name (the replay key).
+    pub name: String,
+    /// Final classification.
+    pub status: JobStatus,
+    /// `Rung` display text (e.g. `exact`, `budgeted(500 ms)`), if any.
+    pub rung: Option<String>,
+    /// Number of attempts the ladder made.
+    pub attempts: u32,
+    /// Wall-clock bits (`f64::to_bits` of seconds) — stored as bits so the
+    /// replayed `{:.1}` rendering reproduces the original exactly.
+    pub wall_bits: u64,
+    /// The job's error text, if any.
+    pub error: Option<String>,
+    /// The outcome's `to_json()` rendering, verbatim.
+    pub json: String,
+}
+
+impl JournalRecord {
+    /// Captures a finished outcome as a journal record.
+    pub fn from_outcome(outcome: &JobOutcome) -> JournalRecord {
+        JournalRecord {
+            name: outcome.name.clone(),
+            status: outcome.status,
+            rung: outcome.rung.map(|r| format!("{r}")),
+            attempts: outcome.attempts.len() as u32,
+            wall_bits: outcome.wall.as_secs_f64().to_bits(),
+            error: outcome.error.clone(),
+            json: format!("{}", outcome.to_json()),
+        }
+    }
+
+    /// Wall-clock seconds of the job.
+    pub fn wall_secs(&self) -> f64 {
+        f64::from_bits(self.wall_bits)
+    }
+
+    /// The job's line in the human-readable batch report, identical to
+    /// [`crate::BatchReport`]'s `Display` rendering of the same outcome.
+    pub fn display_line(&self) -> String {
+        let rung = match &self.rung {
+            Some(r) => format!(" [{r}]"),
+            None => String::new(),
+        };
+        let detail = match &self.error {
+            Some(e) => format!(": {e}"),
+            None => String::new(),
+        };
+        format!(
+            "{:<9} {}{} ({} attempt{}, {:.1} ms){}",
+            self.status.as_str(),
+            self.name,
+            rung,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.wall_secs() * 1e3,
+            detail
+        )
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.json.len());
+        put_str(&mut out, &self.name);
+        out.push(status_code(self.status));
+        put_opt_str(&mut out, self.rung.as_deref());
+        out.extend_from_slice(&self.attempts.to_le_bytes());
+        out.extend_from_slice(&self.wall_bits.to_le_bytes());
+        put_opt_str(&mut out, self.error.as_deref());
+        put_str(&mut out, &self.json);
+        out
+    }
+
+    fn decode(payload: &[u8]) -> Option<JournalRecord> {
+        let mut cur = Cursor {
+            buf: payload,
+            pos: 0,
+        };
+        let name = cur.take_str()?;
+        let status = status_from_code(cur.take_u8()?)?;
+        let rung = cur.take_opt_str()?;
+        let attempts = cur.take_u32()?;
+        let wall_bits = cur.take_u64()?;
+        let error = cur.take_opt_str()?;
+        let json = cur.take_str()?;
+        if cur.pos != payload.len() {
+            return None;
+        }
+        Some(JournalRecord {
+            name,
+            status,
+            rung,
+            attempts,
+            wall_bits,
+            error,
+            json,
+        })
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+        None => out.push(0),
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn take_u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn take_u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn take_u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn take_str(&mut self) -> Option<String> {
+        let len = self.take_u32()? as usize;
+        if len > MAX_RECORD_BYTES {
+            return None;
+        }
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+
+    fn take_opt_str(&mut self) -> Option<Option<String>> {
+        match self.take_u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.take_str()?)),
+            _ => None,
+        }
+    }
+}
+
+/// Which way an injected journal fault breaks the write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalFaultKind {
+    /// Truncate the record mid-frame (a crash between `write` and the
+    /// record's final byte): the tail of the journal is torn.
+    Torn,
+    /// Flip one payload byte before writing the full frame: framing is
+    /// intact but the CRC no longer matches.
+    Corrupt,
+}
+
+/// Deterministic journal-write fault: breaks the `at_record`-th append
+/// (1-based) and then reports the write as failed, simulating a crash at
+/// exactly that point. Parsed from `torn@N` / `jcorrupt@N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalFault {
+    /// Which append (1-based) to break.
+    pub at_record: u64,
+    /// How to break it.
+    pub kind: JournalFaultKind,
+}
+
+impl JournalFault {
+    /// Parses `torn@N` / `jcorrupt@N`. Returns `None` when the spec is not
+    /// journal-fault grammar at all (so other fault layers can claim it),
+    /// `Some(Err)` when it is but the count is malformed.
+    pub fn parse(spec: &str) -> Option<Result<JournalFault, String>> {
+        let (kind_str, n) = spec.split_once('@')?;
+        let kind = match kind_str {
+            "torn" => JournalFaultKind::Torn,
+            "jcorrupt" => JournalFaultKind::Corrupt,
+            _ => return None,
+        };
+        Some(match n.parse::<u64>() {
+            Ok(at) if at >= 1 => Ok(JournalFault { at_record: at, kind }),
+            _ => Err(format!(
+                "bad journal fault '{spec}': expected {kind_str}@N with N >= 1"
+            )),
+        })
+    }
+}
+
+impl fmt::Display for JournalFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            JournalFaultKind::Torn => "torn",
+            JournalFaultKind::Corrupt => "jcorrupt",
+        };
+        write!(f, "{kind}@{}", self.at_record)
+    }
+}
+
+/// Appends records to a journal, fsync'ing each one before reporting it
+/// written. The file is opened in append mode and every record goes out
+/// as a single `write`, so multiple processes (replicas sharing a
+/// journal) interleave whole frames rather than bytes.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    appended: u64,
+    fault: Option<JournalFault>,
+}
+
+impl JournalWriter {
+    /// Creates (or truncates) a journal for the given manifest digest and
+    /// writes the header durably.
+    pub fn create(path: &Path, digest: u64) -> io::Result<JournalWriter> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut w = JournalWriter {
+            file,
+            appended: 0,
+            fault: None,
+        };
+        let mut header = Vec::with_capacity(HEADER_BYTES);
+        header.extend_from_slice(JOURNAL_MAGIC);
+        header.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+        header.extend_from_slice(&digest.to_le_bytes());
+        w.file.write_all(&header)?;
+        w.file.sync_data()?;
+        Ok(w)
+    }
+
+    /// Opens an existing journal for appending (the header is assumed to
+    /// have been validated by [`recover`]).
+    ///
+    /// A torn tail — a partial frame left by a crash mid-write — is cut
+    /// off first. Recovery stops scanning at a torn frame, so anything
+    /// appended after one would be durable on disk yet invisible to every
+    /// future resume. Structurally whole frames with bad CRCs are kept:
+    /// recovery skips past those individually.
+    pub fn open_append(path: &Path) -> io::Result<JournalWriter> {
+        let bytes = fs::read(path)?;
+        let keep = valid_prefix_len(&bytes) as u64;
+        if keep < bytes.len() as u64 {
+            let trunc = OpenOptions::new().write(true).open(path)?;
+            trunc.set_len(keep)?;
+            trunc.sync_data()?;
+        }
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(JournalWriter {
+            file,
+            appended: 0,
+            fault: None,
+        })
+    }
+
+    /// Arms a deterministic write fault. The counter is per-writer: a
+    /// resumed run starts counting from its own first append, so
+    /// `torn@1` on a resume breaks the first *new* record.
+    pub fn set_fault(&mut self, fault: Option<JournalFault>) {
+        self.fault = fault;
+    }
+
+    /// Appends one record durably. On success the record is framed,
+    /// written in one call, and `sync_data`'d. An armed fault breaks this
+    /// append as specified and returns an error — callers treat any
+    /// append error as a crash (the journal's contents up to the failure
+    /// are exactly what a real crash would leave behind).
+    pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
+        let payload = record.encode();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.appended += 1;
+        if let Some(fault) = self.fault {
+            if fault.at_record == self.appended {
+                match fault.kind {
+                    JournalFaultKind::Torn => {
+                        // Stop mid-frame: keep the length word and roughly
+                        // half the payload, exactly like a crash between
+                        // write() and the final byte reaching the disk.
+                        let cut = (8 + payload.len() / 2).min(frame.len() - 1);
+                        frame.truncate(cut);
+                    }
+                    JournalFaultKind::Corrupt => {
+                        let idx = 8 + payload.len() / 2;
+                        frame[idx] ^= 0x20;
+                    }
+                }
+                self.file.write_all(&frame)?;
+                self.file.sync_data()?;
+                return Err(io::Error::other(format!(
+                    "injected journal fault {fault} fired on record {}",
+                    self.appended
+                )));
+            }
+        }
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// What [`recover`] salvaged from a journal.
+#[derive(Debug, Clone, Default)]
+pub struct Recovery {
+    /// The manifest digest from the header (0 when the header was bad).
+    pub digest: u64,
+    /// Every intact record, de-duplicated keep-first by job name, in
+    /// journal order.
+    pub records: Vec<JournalRecord>,
+    /// Human-readable notes about anything skipped or truncated.
+    pub warnings: Vec<String>,
+}
+
+impl Recovery {
+    /// Looks up the journaled outcome of a job by name.
+    pub fn find(&self, name: &str) -> Option<&JournalRecord> {
+        self.records.iter().find(|r| r.name == name)
+    }
+}
+
+/// Reads a journal back, salvaging every intact record. Tolerates torn
+/// tails, truncated records, and bit corruption per the module policy;
+/// never panics. I/O errors reading the file itself are returned.
+pub fn recover(path: &Path) -> io::Result<Recovery> {
+    let bytes = std::fs::read(path)?;
+    Ok(recover_bytes(&bytes))
+}
+
+/// [`recover`], but over an in-memory image (the fuzz suite's entry
+/// point).
+pub fn recover_bytes(bytes: &[u8]) -> Recovery {
+    let mut rec = Recovery::default();
+    if bytes.len() < HEADER_BYTES
+        || &bytes[..8] != JOURNAL_MAGIC
+        || u32::from_le_bytes(bytes[8..12].try_into().unwrap()) != JOURNAL_VERSION
+    {
+        rec.warnings
+            .push("journal header missing or malformed; treating journal as empty".into());
+        return rec;
+    }
+    rec.digest = u64::from_le_bytes(bytes[12..HEADER_BYTES].try_into().unwrap());
+    let mut pos = HEADER_BYTES;
+    let mut index = 0u64;
+    while pos < bytes.len() {
+        index += 1;
+        let rest = bytes.len() - pos;
+        if rest < 8 {
+            rec.warnings.push(format!(
+                "torn tail: {rest} trailing byte(s) after record {} — dropped",
+                index - 1
+            ));
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD_BYTES || len > rest - 8 {
+            // The declared length overruns the file (or is absurd): either
+            // the tail record was torn mid-write or the length word itself
+            // is corrupt. Frame boundaries are unrecoverable from here.
+            rec.warnings.push(format!(
+                "torn or corrupt frame at record {index} (declared {len} bytes, \
+                 {} available) — journal truncated here",
+                rest.saturating_sub(8)
+            ));
+            break;
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        pos += 8 + len;
+        if crc32(payload) != crc {
+            rec.warnings.push(format!(
+                "CRC mismatch on record {index} — record skipped"
+            ));
+            continue;
+        }
+        match JournalRecord::decode(payload) {
+            Some(r) => {
+                if rec.records.iter().any(|have| have.name == r.name) {
+                    rec.warnings.push(format!(
+                        "duplicate record for job '{}' at record {index} — first kept",
+                        r.name
+                    ));
+                } else {
+                    rec.records.push(r);
+                }
+            }
+            None => rec.warnings.push(format!(
+                "record {index} has a valid CRC but does not decode — record skipped"
+            )),
+        }
+    }
+    rec
+}
+
+/// Byte length of the journal's structurally valid prefix: the header
+/// plus every whole frame, stopping where [`recover_bytes`] would stop
+/// scanning (a torn or length-corrupt tail). CRC-mismatched frames are
+/// structurally whole and count toward the prefix — recovery skips them
+/// record-by-record without losing its place. A missing or malformed
+/// header keeps the whole file: the callers that hit that case rebuild
+/// the journal from scratch, and truncating here would destroy evidence.
+fn valid_prefix_len(bytes: &[u8]) -> usize {
+    if bytes.len() < HEADER_BYTES
+        || &bytes[..8] != JOURNAL_MAGIC
+        || u32::from_le_bytes(bytes[8..12].try_into().unwrap()) != JOURNAL_VERSION
+    {
+        return bytes.len();
+    }
+    let mut pos = HEADER_BYTES;
+    while pos < bytes.len() {
+        let rest = bytes.len() - pos;
+        if rest < 8 {
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        if len > MAX_RECORD_BYTES || len > rest - 8 {
+            break;
+        }
+        pos += 8 + len;
+    }
+    pos
+}
+
+/// A batch report assembled from journal records (replayed and fresh
+/// alike). Renders byte-identically to [`crate::BatchReport`] over the
+/// same outcomes — the unit tests pin this equivalence — so a resumed
+/// run's output matches an uninterrupted run's.
+#[derive(Debug, Clone)]
+pub struct JournaledReport {
+    /// One record per input job, in input order.
+    pub jobs: Vec<JournalRecord>,
+    /// Wall-clock time of the (resumed) batch run.
+    pub wall: Duration,
+}
+
+impl JournaledReport {
+    /// Tallies the job outcomes.
+    pub fn counts(&self) -> BatchCounts {
+        let mut c = BatchCounts::default();
+        for job in &self.jobs {
+            match job.status {
+                JobStatus::Exact => c.exact += 1,
+                JobStatus::Degraded => c.degraded += 1,
+                JobStatus::Failed => c.failed += 1,
+                JobStatus::Skipped => c.skipped += 1,
+            }
+        }
+        c
+    }
+
+    /// Overall classification (drives the CLI exit code).
+    pub fn status(&self) -> BatchStatus {
+        let c = self.counts();
+        if c.failed > 0 || c.skipped > 0 {
+            BatchStatus::SomeFailed
+        } else if c.degraded > 0 {
+            BatchStatus::SomeDegraded
+        } else {
+            BatchStatus::AllExact
+        }
+    }
+
+    /// The report as JSON text, splicing each record's stored rendering
+    /// verbatim into the `jobs` array.
+    pub fn to_json_text(&self) -> String {
+        let c = self.counts();
+        let mut out = String::from("{\"jobs\":[");
+        for (i, job) in self.jobs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&job.json);
+        }
+        out.push_str("],\"summary\":");
+        let summary = srtw_core::Json::object(vec![
+            ("status", srtw_core::Json::str(self.status().as_str())),
+            ("total", srtw_core::Json::Int(self.jobs.len() as i128)),
+            ("exact", srtw_core::Json::Int(c.exact as i128)),
+            ("degraded", srtw_core::Json::Int(c.degraded as i128)),
+            ("failed", srtw_core::Json::Int(c.failed as i128)),
+            ("skipped", srtw_core::Json::Int(c.skipped as i128)),
+            (
+                "wall_ms",
+                srtw_core::Json::Float(self.wall.as_secs_f64() * 1e3),
+            ),
+        ]);
+        out.push_str(&format!("{summary}"));
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for JournaledReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for job in &self.jobs {
+            writeln!(f, "{}", job.display_line())?;
+        }
+        let c = self.counts();
+        write!(
+            f,
+            "batch: {} job(s) — {} exact, {} degraded, {} failed, {} skipped in {:.1} ms",
+            self.jobs.len(),
+            c.exact,
+            c.degraded,
+            c.failed,
+            c.skipped,
+            self.wall.as_secs_f64() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Attempt, AttemptStatus, Rung};
+    use crate::report::BatchReport;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("srtw-journal-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn outcome(name: &str, status: JobStatus) -> JobOutcome {
+        let (rung, attempts, error) = match status {
+            JobStatus::Exact => (
+                Some(Rung::Exact),
+                vec![Attempt {
+                    rung: Rung::Exact,
+                    status: AttemptStatus::Completed,
+                    degraded: false,
+                    wall: Duration::from_micros(1234),
+                    degradations: Vec::new(),
+                }],
+                None,
+            ),
+            JobStatus::Degraded => (
+                Some(Rung::Budgeted { wall_ms: 500 }),
+                vec![
+                    Attempt {
+                        rung: Rung::Exact,
+                        status: AttemptStatus::HardTimeout,
+                        degraded: false,
+                        wall: Duration::from_millis(7),
+                        degradations: Vec::new(),
+                    },
+                    Attempt {
+                        rung: Rung::Budgeted { wall_ms: 500 },
+                        status: AttemptStatus::Completed,
+                        degraded: true,
+                        wall: Duration::from_millis(3),
+                        degradations: Vec::new(),
+                    },
+                ],
+                None,
+            ),
+            JobStatus::Failed => (None, Vec::new(), Some("boom: no such rung".to_string())),
+            JobStatus::Skipped => {
+                return JobOutcome::skipped(name);
+            }
+        };
+        JobOutcome {
+            name: name.to_string(),
+            status,
+            rung,
+            attempts,
+            wall: Duration::from_micros(4567),
+            output: None,
+            error,
+        }
+    }
+
+    fn sample_outcomes() -> Vec<JobOutcome> {
+        vec![
+            outcome("alpha", JobStatus::Exact),
+            outcome("beta", JobStatus::Degraded),
+            outcome("gamma", JobStatus::Failed),
+            outcome("delta", JobStatus::Skipped),
+        ]
+    }
+
+    fn write_journal(path: &Path, outcomes: &[JobOutcome]) {
+        let mut w = JournalWriter::create(path, 42).unwrap();
+        for o in outcomes {
+            w.append(&JournalRecord::from_outcome(o)).unwrap();
+        }
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let path = tmp("roundtrip");
+        let outcomes = sample_outcomes();
+        write_journal(&path, &outcomes);
+        let rec = recover(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(rec.digest, 42);
+        assert!(rec.warnings.is_empty(), "{:?}", rec.warnings);
+        assert_eq!(rec.records.len(), outcomes.len());
+        for (r, o) in rec.records.iter().zip(&outcomes) {
+            assert_eq!(r.name, o.name);
+            assert_eq!(r.status, o.status);
+            assert_eq!(r.attempts as usize, o.attempts.len());
+            assert_eq!(r.json, format!("{}", o.to_json()));
+        }
+    }
+
+    #[test]
+    fn report_matches_batch_report_byte_for_byte() {
+        let outcomes = sample_outcomes();
+        let wall = Duration::from_micros(987_654);
+        let batch = BatchReport {
+            jobs: outcomes.clone(),
+            wall,
+        };
+        let journaled = JournaledReport {
+            jobs: outcomes.iter().map(JournalRecord::from_outcome).collect(),
+            wall,
+        };
+        assert_eq!(journaled.to_json_text(), format!("{}", batch.to_json()));
+        assert_eq!(format!("{journaled}"), format!("{batch}"));
+        assert_eq!(journaled.counts(), batch.counts());
+        assert_eq!(journaled.status(), batch.status());
+    }
+
+    #[test]
+    fn tolerates_torn_tail() {
+        let path = tmp("torn-tail");
+        let outcomes = sample_outcomes();
+        write_journal(&path, &outcomes);
+        let full = std::fs::read(&path).unwrap();
+        // Chop the file mid-way through the last record.
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let rec = recover(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(rec.records.len(), outcomes.len() - 1);
+        assert!(!rec.warnings.is_empty());
+        assert!(rec.find("delta").is_none());
+        assert!(rec.find("gamma").is_some());
+    }
+
+    #[test]
+    fn skips_corrupt_record_and_continues() {
+        let path = tmp("corrupt");
+        let outcomes = sample_outcomes();
+        write_journal(&path, &outcomes);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one byte inside the first record's payload.
+        bytes[HEADER_BYTES + 8 + 2] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let rec = recover(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(rec.find("alpha").is_none(), "corrupt record must be dropped");
+        assert!(rec.find("beta").is_some(), "later records must survive");
+        assert!(rec.warnings.iter().any(|w| w.contains("CRC")));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let rec = recover_bytes(b"NOTAJRNL rest of garbage");
+        assert!(rec.records.is_empty());
+        assert!(!rec.warnings.is_empty());
+    }
+
+    #[test]
+    fn dedups_keep_first() {
+        let path = tmp("dedup");
+        let mut w = JournalWriter::create(&path, 1).unwrap();
+        let first = JournalRecord::from_outcome(&outcome("same", JobStatus::Exact));
+        w.append(&first).unwrap();
+        let dup = JournalRecord::from_outcome(&outcome("same", JobStatus::Failed));
+        w.append(&dup).unwrap();
+        let rec = recover(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0].status, JobStatus::Exact);
+        assert!(rec.warnings.iter().any(|w| w.contains("duplicate")));
+    }
+
+    #[test]
+    fn torn_fault_leaves_partial_frame_and_errors() {
+        let path = tmp("fault-torn");
+        let outcomes = sample_outcomes();
+        let mut w = JournalWriter::create(&path, 7).unwrap();
+        w.set_fault(Some(JournalFault {
+            at_record: 2,
+            kind: JournalFaultKind::Torn,
+        }));
+        w.append(&JournalRecord::from_outcome(&outcomes[0])).unwrap();
+        let err = w
+            .append(&JournalRecord::from_outcome(&outcomes[1]))
+            .unwrap_err();
+        assert!(err.to_string().contains("torn@2"));
+        drop(w);
+        let rec = recover(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0].name, "alpha");
+        assert!(!rec.warnings.is_empty());
+    }
+
+    #[test]
+    fn corrupt_fault_writes_bad_crc_and_errors() {
+        let path = tmp("fault-corrupt");
+        let outcomes = sample_outcomes();
+        let mut w = JournalWriter::create(&path, 7).unwrap();
+        w.set_fault(Some(JournalFault {
+            at_record: 1,
+            kind: JournalFaultKind::Corrupt,
+        }));
+        let err = w
+            .append(&JournalRecord::from_outcome(&outcomes[0]))
+            .unwrap_err();
+        assert!(err.to_string().contains("jcorrupt@1"));
+        drop(w);
+        let rec = recover(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(rec.records.is_empty());
+        assert!(rec.warnings.iter().any(|w| w.contains("CRC")));
+    }
+
+    #[test]
+    fn fault_parse_grammar() {
+        assert!(matches!(
+            JournalFault::parse("torn@3"),
+            Some(Ok(JournalFault {
+                at_record: 3,
+                kind: JournalFaultKind::Torn
+            }))
+        ));
+        assert!(matches!(
+            JournalFault::parse("jcorrupt@1"),
+            Some(Ok(JournalFault {
+                at_record: 1,
+                kind: JournalFaultKind::Corrupt
+            }))
+        ));
+        assert!(JournalFault::parse("torn@0").unwrap().is_err());
+        assert!(JournalFault::parse("torn@x").unwrap().is_err());
+        assert!(JournalFault::parse("overflow@1").is_none());
+        assert!(JournalFault::parse("abort").is_none());
+    }
+
+    #[test]
+    fn resume_after_fault_counts_from_own_appends() {
+        // A writer opened for append with torn@1 breaks its own first
+        // append, not the file's first record.
+        let path = tmp("fault-resume");
+        let outcomes = sample_outcomes();
+        write_journal(&path, &outcomes[..2]);
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.set_fault(Some(JournalFault {
+            at_record: 1,
+            kind: JournalFaultKind::Torn,
+        }));
+        assert!(w.append(&JournalRecord::from_outcome(&outcomes[2])).is_err());
+        drop(w);
+        let rec = recover(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(rec.records.len(), 2);
+    }
+
+    #[test]
+    fn open_append_truncates_a_torn_tail_before_appending() {
+        // Records appended after a torn partial frame sit beyond the
+        // point where recovery stops scanning, so a resume that appends
+        // without truncating writes records no future resume can see.
+        let path = tmp("torn-tail-reopen");
+        let outcomes = sample_outcomes();
+        write_journal(&path, &outcomes[..1]);
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.set_fault(Some(JournalFault {
+            at_record: 1,
+            kind: JournalFaultKind::Torn,
+        }));
+        assert!(w.append(&JournalRecord::from_outcome(&outcomes[1])).is_err());
+        drop(w);
+        let mut w = JournalWriter::open_append(&path).unwrap();
+        w.append(&JournalRecord::from_outcome(&outcomes[2])).unwrap();
+        drop(w);
+        let rec = recover(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let names: Vec<&str> = rec.records.iter().map(|r| r.name.as_str()).collect();
+        let want = [
+            JournalRecord::from_outcome(&outcomes[0]).name,
+            JournalRecord::from_outcome(&outcomes[2]).name,
+        ];
+        assert_eq!(names, want);
+        assert!(
+            rec.warnings.is_empty(),
+            "torn tail should be gone after reopen: {:?}",
+            rec.warnings
+        );
+    }
+}

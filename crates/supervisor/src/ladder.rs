@@ -38,6 +38,11 @@ pub struct SupervisorConfig {
     /// split of the machine: batch jobs × per-job threads). `0`/`1` run
     /// the sequential engine; any value is bit-identical.
     pub threads: usize,
+    /// External cancellation: when this token is raised (e.g. the batch's
+    /// client disconnected), every in-flight attempt's own watchdog token
+    /// is raised too, so the job winds down cooperatively with a sound,
+    /// degraded result rather than running to completion.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for SupervisorConfig {
@@ -49,6 +54,7 @@ impl Default for SupervisorConfig {
             budget_retries: 2,
             fault: None,
             threads: 1,
+            cancel: None,
         }
     }
 }
@@ -168,6 +174,24 @@ fn run_attempt(spec: &Arc<JobSpec>, rung: Rung, cfg: &SupervisorConfig) -> RawAt
         budget = budget.with_fault(f);
     }
 
+    // Bridge an external batch-level cancel into this attempt's own
+    // watchdog token. The budget has a single cancel slot (owned by the
+    // watchdog), so a relay thread polls the external token instead.
+    let relay_done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let relay = cfg.cancel.clone().map(|external| {
+        let attempt_token = token.clone();
+        let done = Arc::clone(&relay_done);
+        std::thread::spawn(move || {
+            while !done.load(std::sync::atomic::Ordering::Acquire) {
+                if external.is_cancelled() {
+                    attempt_token.cancel();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    });
+
     let started = Instant::now();
     let job = Arc::clone(spec);
     let threads = cfg.threads;
@@ -179,6 +203,10 @@ fn run_attempt(spec: &Arc<JobSpec>, rung: Rung, cfg: &SupervisorConfig) -> RawAt
         move || analyse(&job, rung, budget, threads),
     );
     let wall = started.elapsed();
+    relay_done.store(true, std::sync::atomic::Ordering::Release);
+    if let Some(handle) = relay {
+        let _ = handle.join();
+    }
 
     let (status, degraded, degradations, output) = match contained {
         Contained::HardTimeout => (AttemptStatus::HardTimeout, false, Vec::new(), None),

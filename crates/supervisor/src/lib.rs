@@ -28,6 +28,12 @@
 //!   exponential backoff with a restart-intensity cap, the supervision-
 //!   tree rule that a crash-looping child eventually signals a systemic
 //!   fault instead of being restarted forever.
+//! * **Durability** — an append-only write-ahead [`journal`] of per-job
+//!   outcomes (length+CRC framing, fsync'd record-at-a-time) makes a
+//!   batch crash-recoverable: recovery tolerates torn tails and bit
+//!   corruption, and replay is idempotent (keep-first by job name), so
+//!   `srtw batch --journal PATH --resume` skips completed jobs and still
+//!   renders a report byte-identical to an uninterrupted run.
 //! * **Provenance** — a [`JobOutcome`] records every attempt (rung,
 //!   status, wall time, degradation records), and a [`BatchReport`]
 //!   aggregates them with a machine-readable JSON rendering for the
@@ -60,6 +66,7 @@
 #![forbid(unsafe_code)]
 
 mod job;
+pub mod journal;
 mod ladder;
 mod pool;
 mod report;
@@ -67,8 +74,11 @@ mod restart;
 mod supervise;
 
 pub use job::{AnalysisOutput, Attempt, AttemptStatus, JobOutcome, JobSpec, JobStatus, Rung};
+pub use journal::{
+    JournalFault, JournalFaultKind, JournalRecord, JournalWriter, JournaledReport, Recovery,
+};
 pub use ladder::{run_supervised, SupervisorConfig};
-pub use pool::{run_batch, BatchConfig};
+pub use pool::{run_batch, run_batch_observed, BatchConfig, OutcomeObserver};
 pub use report::{BatchCounts, BatchReport, BatchStatus};
 pub use restart::{RestartDecision, RestartPolicy, RestartTracker};
 pub use supervise::{contain, panic_message, Contained};

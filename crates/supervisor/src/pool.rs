@@ -35,11 +35,27 @@ impl Default for BatchConfig {
     }
 }
 
+/// An outcome observer: called once per finished job, with the job's
+/// input index, before the outcome is stored. This is the journalling
+/// hook — the observer runs on the worker thread that finished the job,
+/// so a durable append happens *before* the batch moves on.
+pub type OutcomeObserver = Arc<dyn Fn(usize, &JobOutcome) + Send + Sync>;
+
 /// Runs every job through the supervised ladder on a pool of
 /// `cfg.jobs` workers and aggregates the outcomes (in input order) into
 /// a [`BatchReport`]. Individual job failures never propagate as panics
 /// or errors — they are data in the report.
 pub fn run_batch(specs: Vec<JobSpec>, cfg: &BatchConfig) -> BatchReport {
+    run_batch_observed(specs, cfg, None)
+}
+
+/// [`run_batch`] with an optional per-outcome observer (see
+/// [`OutcomeObserver`]).
+pub fn run_batch_observed(
+    specs: Vec<JobSpec>,
+    cfg: &BatchConfig,
+    observer: Option<OutcomeObserver>,
+) -> BatchReport {
     let started = Instant::now();
     let total = specs.len();
     let specs = Arc::new(specs);
@@ -57,6 +73,7 @@ pub fn run_batch(specs: Vec<JobSpec>, cfg: &BatchConfig) -> BatchReport {
         let results = Arc::clone(&results);
         let sup = cfg.supervisor.clone();
         let fail_fast = cfg.fail_fast;
+        let observer = observer.clone();
         handles.push(thread::spawn(move || loop {
             if stop.load(Ordering::Acquire) {
                 return;
@@ -66,6 +83,9 @@ pub fn run_batch(specs: Vec<JobSpec>, cfg: &BatchConfig) -> BatchReport {
                 return;
             }
             let outcome = run_supervised(&specs[i], &sup);
+            if let Some(obs) = &observer {
+                obs(i, &outcome);
+            }
             if fail_fast && outcome.status == JobStatus::Failed {
                 stop.store(true, Ordering::Release);
             }

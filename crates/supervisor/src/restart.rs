@@ -172,6 +172,69 @@ mod tests {
     }
 
     #[test]
+    fn default_policy_gives_up_past_five_deaths_in_thirty_seconds() {
+        // The production default: intensity 5 in a 30 s window. Five
+        // deaths restart (with growing backoff); the sixth inside the
+        // window is systemic and the supervisor gives the replica up.
+        let mut t = RestartTracker::new(RestartPolicy::default());
+        let start = Instant::now();
+        for i in 0..5 {
+            let now = start + Duration::from_secs(i * 5); // all within 30 s
+            assert!(
+                matches!(t.on_exit(now), RestartDecision::After(_)),
+                "death {} must still restart",
+                i + 1
+            );
+        }
+        assert_eq!(
+            t.on_exit(start + Duration::from_secs(29)),
+            RestartDecision::GiveUp,
+            "sixth death inside the 30 s window exceeds intensity 5"
+        );
+        assert_eq!(t.total_exits(), 6);
+    }
+
+    #[test]
+    fn default_policy_streak_reset_keeps_window_history() {
+        // on_healthy resets the backoff exponent only: flapping through
+        // "healthy" still exhausts the default intensity window.
+        let mut t = RestartTracker::new(RestartPolicy::default());
+        let start = Instant::now();
+        for i in 0..5 {
+            let now = start + Duration::from_secs(i);
+            assert_eq!(
+                t.on_exit(now),
+                RestartDecision::After(Duration::from_millis(100)),
+                "with health between deaths every backoff restarts at base"
+            );
+            t.on_healthy();
+        }
+        assert_eq!(
+            t.on_exit(start + Duration::from_secs(5)),
+            RestartDecision::GiveUp,
+            "the intensity window survives on_healthy"
+        );
+    }
+
+    #[test]
+    fn default_policy_backoff_caps_at_five_seconds() {
+        let mut t = RestartTracker::new(RestartPolicy {
+            intensity: 100,
+            window: Duration::from_secs(1), // keep the window empty
+            ..RestartPolicy::default()
+        });
+        let start = Instant::now();
+        let mut last = Duration::ZERO;
+        for i in 0..10u64 {
+            match t.on_exit(start + Duration::from_secs(i * 2)) {
+                RestartDecision::After(d) => last = d,
+                RestartDecision::GiveUp => panic!("window is kept empty"),
+            }
+        }
+        assert_eq!(last, Duration::from_secs(5), "100 ms · 2^9 clamps to 5 s");
+    }
+
+    #[test]
     fn deaths_outside_the_window_age_out() {
         let mut t = RestartTracker::new(policy());
         let start = Instant::now();

@@ -19,8 +19,8 @@
 #      fault-injected batch must exhaust the ladder and exit 4;
 #   7. performance-regression gate: the newest committed BENCH_*.json
 #      must not regress the `convolution`, `rbf`, `server_throughput`,
-#      `fused_pipeline`, and `server_connections` suite medians by more
-#      than 1.5x against the best older committed document (a suite
+#      `fused_pipeline`, `server_connections`, and `journal_overhead`
+#      suite medians by more than 1.5x against the best older committed document (a suite
 #      with no baseline yet is skipped with a notice);
 #   8. service smoke test: `srtw serve` on an ephemeral port must answer
 #      /healthz, produce an exact and a deadline-degraded /analyze,
@@ -31,7 +31,11 @@
 #      restart the aborted replica (exactly once), the surviving
 #      replica's RSS must stay flat (±10%) and leak no fds between
 #      flood waves, /analyze must stay byte-identical to the CLI, and
-#      SIGTERM must drain the whole tree with exit 0 and no orphans.
+#      SIGTERM must drain the whole tree with exit 0 and no orphans;
+#  10. durable batch: a journaled 100-job batch SIGKILL'd mid-run must
+#      resume from its journal (>=1 job replayed, not recomputed) with a
+#      final report byte-identical to an uninterrupted run, and a
+#      deterministic torn-write fault must recover the same way.
 #
 # Benchmarks run separately (they are slow by design):
 #   cargo run -p srtw-bench --release --bin experiments
@@ -39,7 +43,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/9 dependency audit (path-only policy) =="
+echo "== 1/10 dependency audit (path-only policy) =="
 # Inside [dependencies*] / [workspace.dependencies] sections, every
 # dependency line must carry `path =` or `workspace = true`; a version
 # requirement ("1.0", { version = ... }) means a registry dependency.
@@ -60,15 +64,15 @@ if [ -n "$violations" ]; then
 fi
 echo "ok: all dependencies are workspace path crates"
 
-echo "== 2/9 offline build + tests =="
+echo "== 2/10 offline build + tests =="
 cargo build --release --offline --workspace
 cargo clippy --offline --workspace -- -D warnings
 SRTW_BENCH_FAST=1 cargo test -q --offline --workspace
 
-echo "== 3/9 examples build =="
+echo "== 3/10 examples build =="
 cargo build --release --offline --examples
 
-echo "== 4/9 CLI smoke test =="
+echo "== 4/10 CLI smoke test =="
 out=$(cargo run --release --offline -q --bin srtw -- analyze systems/decoder.srtw)
 echo "$out" | grep -q "RTC baseline" || {
     echo "error: analyze output missing the RTC baseline line" >&2
@@ -80,7 +84,7 @@ case "$json" in
     *) echo "error: --json output is not a JSON object" >&2; exit 1 ;;
 esac
 
-echo "== 5/9 adversarial stress suite =="
+echo "== 5/10 adversarial stress suite =="
 # Elevated case count for the seeded property suite; the release profile
 # keeps the 150 ms wall budget per case meaningful.
 SRTW_PROP_CASES=256 cargo test -q --release --offline --test stress
@@ -103,7 +107,7 @@ grep -q "degraded" "$adv_err" || {
 }
 rm -f "$adv_err"
 
-echo "== 6/9 supervised batch smoke test =="
+echo "== 6/10 supervised batch smoke test =="
 # The shipped systems under a 2 s per-attempt watchdog: the adversarial
 # job must wind down to a *degraded* (still sound) result, never a
 # failure — batch exit 0, summary status "some_degraded".
@@ -143,7 +147,7 @@ case "$fault_json" in
     *) echo 'error: fault-injected batch summary not "some_failed"' >&2; exit 1 ;;
 esac
 
-echo "== 7/9 performance-regression gate =="
+echo "== 7/10 performance-regression gate =="
 # Newest committed BENCH document vs every older one; the gate watches
 # the algorithmic suites whose medians are stable across machines.
 bench_docs=$(ls -1 BENCH_*.json 2>/dev/null | sort -t_ -k2 -n -r)
@@ -151,12 +155,12 @@ if [ "$(echo "$bench_docs" | wc -l)" -ge 2 ]; then
     # shellcheck disable=SC2086
     cargo run -p srtw-bench --release --offline -q --bin experiments -- \
         gate $bench_docs --factor 1.5 \
-        --groups convolution,rbf,server_throughput,fused_pipeline,server_connections
+        --groups convolution,rbf,server_throughput,fused_pipeline,server_connections,journal_overhead
 else
     echo "skip: fewer than two BENCH_*.json documents committed"
 fi
 
-echo "== 8/9 service smoke test =="
+echo "== 8/10 service smoke test =="
 # One request over /dev/tcp (no curl in the offline environment): prints
 # the full response (head + body) on stdout.
 http_req() { # port method target [body-file] [extra-header]
@@ -261,7 +265,7 @@ wait
 rm -rf "$flood_dir" "$serve_out" "$serve_err"
 echo "ok: serve answered, degraded under deadline, shed under flood, drained cleanly"
 
-echo "== 9/9 replicated soak =="
+echo "== 9/10 replicated soak =="
 rep_out=$(mktemp); rep_err=$(mktemp)
 # Two shared-nothing replicas; replica 0 is armed to abort after its
 # 120th request, well inside the first flood wave.
@@ -368,5 +372,77 @@ for pid in $replica_pids; do
 done
 rm -f "$rep_out" "$rep_out.flood1" "$rep_err"
 echo "ok: 10k-connection soak over 2 replicas — one abort recovered, flat RSS, no fd leak, clean drain"
+
+echo "== 10/10 durable batch crash recovery =="
+# 100 copies of the fast decoder system: enough fsync'd records that a
+# mid-run SIGKILL reliably lands between the first and the last.
+jr_dir=$(mktemp -d)
+for i in $(seq -w 1 100); do cp systems/decoder.srtw "$jr_dir/job-$i.srtw"; done
+norm_batch() {
+    sed -e 's/"runtime_secs":[0-9.e+-]*/"runtime_secs":0/g' \
+        -e 's/"wall_ms":[0-9.e+-]*/"wall_ms":0/g'
+}
+# Reference: the same batch, uninterrupted.
+target/release/srtw batch "$jr_dir" --jobs 1 --json \
+    | norm_batch >"$jr_dir/clean.json"
+# 10a: SIGKILL mid-run, then --resume. Poll the journal until it holds at
+# least one record past its 20-byte header before pulling the trigger.
+target/release/srtw batch "$jr_dir" --jobs 1 --json \
+    --journal "$jr_dir/journal.wal" >/dev/null 2>&1 &
+batch_pid=$!
+for _ in $(seq 1 500); do
+    jsize=$(stat -c %s "$jr_dir/journal.wal" 2>/dev/null || echo 0)
+    [ "$jsize" -gt 20 ] && break
+    sleep 0.01
+done
+kill -9 "$batch_pid" 2>/dev/null || true
+set +e
+wait "$batch_pid" 2>/dev/null
+set -e
+resume_err=$(mktemp)
+target/release/srtw batch "$jr_dir" --jobs 1 --json \
+    --journal "$jr_dir/journal.wal" --resume 2>"$resume_err" \
+    | norm_batch >"$jr_dir/resumed.json" || {
+    echo "error: resumed batch failed" >&2; cat "$resume_err" >&2; exit 1
+}
+replayed=$(sed -n 's/^journal: replayed \([0-9]*\) completed job(s).*/\1/p' "$resume_err")
+if [ -z "$replayed" ] || [ "$replayed" -lt 1 ]; then
+    echo "error: resume replayed no journaled jobs (journal was $jsize bytes)" >&2
+    cat "$resume_err" >&2
+    exit 1
+fi
+if ! diff -q "$jr_dir/clean.json" "$jr_dir/resumed.json" >/dev/null; then
+    echo "error: resumed report is not byte-identical to the uninterrupted run" >&2
+    diff "$jr_dir/clean.json" "$jr_dir/resumed.json" >&2 | head -5
+    exit 1
+fi
+# 10b: deterministic torn-write crash — the armed fault tears the 3rd
+# append mid-frame (exit 3); the resume must replay exactly 2 jobs and
+# still reproduce the reference bytes.
+set +e
+target/release/srtw batch "$jr_dir" --jobs 1 --json \
+    --journal "$jr_dir/torn.wal" --fault torn@3 >/dev/null 2>&1
+torn_rc=$?
+set -e
+if [ "$torn_rc" -ne 3 ]; then
+    echo "error: torn@3 batch exited $torn_rc, expected 3" >&2
+    exit 1
+fi
+target/release/srtw batch "$jr_dir" --jobs 1 --json \
+    --journal "$jr_dir/torn.wal" --resume 2>"$resume_err" \
+    | norm_batch >"$jr_dir/torn-resumed.json" || {
+    echo "error: torn-journal resume failed" >&2; cat "$resume_err" >&2; exit 1
+}
+grep -q "replayed 2 completed job(s)" "$resume_err" || {
+    echo "error: torn@3 resume did not replay exactly 2 jobs" >&2
+    cat "$resume_err" >&2
+    exit 1
+}
+if ! diff -q "$jr_dir/clean.json" "$jr_dir/torn-resumed.json" >/dev/null; then
+    echo "error: torn-journal resume diverged from the uninterrupted run" >&2
+    exit 1
+fi
+rm -rf "$jr_dir" "$resume_err"
+echo "ok: journaled batch survived SIGKILL and a torn write — resume replayed, bytes identical"
 
 echo "verify: OK"

@@ -9,14 +9,17 @@
 //! srtw simulate <system.srtw> [--seeds N] [--horizon H]
 //! srtw batch    <dir|manifest> [--jobs N] [--threads N] [--timeout-ms MS]
 //!               [--grace-ms MS] [--budget-ms MS] [--retries N]
-//!               [--fail-fast|--keep-going]
-//!               [--fault trip@N|overflow@N|clockjump@N:MS|panic@N] [--json]
+//!               [--fail-fast|--keep-going] [--journal PATH [--resume]]
+//!               [--fault trip@N|overflow@N|clockjump@N:MS|panic@N
+//!                        |torn@N|jcorrupt@N] [--json]
 //! srtw serve    [--addr HOST:PORT] [--replicas N] [--admin-addr HOST:PORT]
 //!               [--workers N] [--queue N] [--max-conns N]
 //!               [--drain-ms MS] [--grace-ms MS] [--read-timeout-ms MS]
 //!               [--header-timeout-ms MS] [--deadline-ms MS] [--threads N]
-//!               [--fault SPEC|abort@N|stall@N:MS|closefd@N]
+//!               [--journal PREFIX]
+//!               [--fault SPEC|abort@N|stall@N:MS|closefd@N|torn@N|jcorrupt@N]
 //! srtw flood    <addr> [--count N] [--concurrency N] [--analyze FILE]
+//!               [--batch MANIFEST]
 //! ```
 //!
 //! System files use the text format documented in [`srtw::textfmt`].
@@ -54,6 +57,14 @@
 //! records, wall time) lands in the batch report. `--fault` injects a
 //! deterministic fault into every attempt (testing the failure paths).
 //!
+//! `--journal PATH` makes the batch crash-recoverable: every finished job
+//! is appended to an fsync'd write-ahead journal before the batch moves
+//! on, and `--resume` replays the journal, skipping already-completed
+//! jobs while producing a report byte-identical to an uninterrupted run.
+//! The journal fault specs `torn@N` (truncate the Nth record mid-write)
+//! and `jcorrupt@N` (flip a byte in it) exercise the recovery path
+//! deterministically.
+//!
 //! # Service mode
 //!
 //! `srtw serve` runs the resilient analysis service ([`srtw::serve`]):
@@ -78,8 +89,10 @@
 //! "message": …}}`. A batch failure (exit 4) is not an error document —
 //! the batch report itself, listing the failed jobs, is the document.
 
+use srtw::supervisor::journal::{self, JournalRecord, JournalWriter, JournaledReport};
 use srtw::supervisor::{
-    run_batch, BatchConfig, BatchReport, BatchStatus, JobOutcome, JobSpec, RestartPolicy,
+    run_batch_observed, BatchConfig, BatchStatus, JobOutcome, JobSpec, JournalFault,
+    OutcomeObserver, RestartPolicy,
 };
 use srtw::textfmt::{parse_system, SystemSpec};
 use srtw::serve::{signal, ProcessFault, ReplicaConfig, ServeConfig, Server, Supervisor};
@@ -274,6 +287,11 @@ fn batch(path: &str, opts: &[String]) -> Result<ExitCode, CliError> {
         (true, true) => return Err(input("--fail-fast and --keep-going are mutually exclusive")),
         (ff, _) => ff,
     };
+    let journal_path = opt_value(opts, "--journal");
+    let resume = opts.iter().any(|a| a == "--resume");
+    if resume && journal_path.is_none() {
+        return Err(input("--resume requires --journal PATH"));
+    }
     let parse_u64 = |key: &str, default: u64| -> Result<u64, CliError> {
         match opt_value(opts, key) {
             None => Ok(default),
@@ -306,9 +324,26 @@ fn batch(path: &str, opts: &[String]) -> Result<ExitCode, CliError> {
                 .map_err(|e| input(format!("bad --timeout-ms '{v}': {e}")))
         })
         .transpose()?;
-    let fault = opt_value(opts, "--fault")
-        .map(|v| FaultPlan::parse(&v).map_err(CliError::Input))
-        .transpose()?;
+    // One --fault flag serves both layers: journal-write faults
+    // (torn@N | jcorrupt@N) break the durability path, anything else is
+    // the metered FaultPlan grammar injected into every attempt.
+    let mut journal_fault = None;
+    let fault = match opt_value(opts, "--fault") {
+        None => None,
+        Some(v) => match JournalFault::parse(&v) {
+            Some(Ok(f)) => {
+                if journal_path.is_none() {
+                    return Err(input(
+                        "journal faults (torn@N | jcorrupt@N) require --journal PATH",
+                    ));
+                }
+                journal_fault = Some(f);
+                None
+            }
+            Some(Err(e)) => return Err(input(e)),
+            None => Some(FaultPlan::parse(&v).map_err(CliError::Input)?),
+        },
+    };
 
     let queue = collect_queue(path)?;
     let entries: Vec<QueueEntry> = queue.iter().map(|f| load_job(f)).collect();
@@ -325,6 +360,63 @@ fn batch(path: &str, opts: &[String]) -> Result<ExitCode, CliError> {
         entries.len()
     };
 
+    // The journal is keyed to the queue's identity: resuming against a
+    // journal written for a different job list must start fresh, not
+    // splice unrelated results.
+    let names: Vec<&str> = entries
+        .iter()
+        .map(|e| match e {
+            QueueEntry::Job(spec) => spec.name.as_str(),
+            QueueEntry::PreFailed(out) => out.name.as_str(),
+        })
+        .collect();
+    let digest = journal::digest64(names.join("\n").as_bytes());
+
+    // Recover the journal (on --resume) and open it for appending. Only
+    // supervised runs are journaled: pre-run failures and --fail-fast
+    // skips are recomputed deterministically from the queue itself.
+    let mut replay: std::collections::HashMap<String, JournalRecord> = Default::default();
+    let writer = match &journal_path {
+        None => None,
+        Some(jp) => {
+            let jpath = std::path::Path::new(jp);
+            let mut fresh = true;
+            if resume {
+                match journal::recover(jpath) {
+                    Ok(rec) => {
+                        for w in &rec.warnings {
+                            eprintln!("warning: journal {jp}: {w}");
+                        }
+                        if rec.digest != digest {
+                            eprintln!(
+                                "warning: journal {jp} was written for a different job list \
+                                 (digest mismatch); starting fresh"
+                            );
+                        } else {
+                            for r in rec.records {
+                                replay.insert(r.name.clone(), r);
+                            }
+                            fresh = false;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                        eprintln!("warning: journal {jp} does not exist; starting fresh");
+                    }
+                    Err(e) => return Err(input(format!("cannot read journal {jp}: {e}"))),
+                }
+            }
+            let mut w = if fresh {
+                JournalWriter::create(jpath, digest)
+                    .map_err(|e| input(format!("cannot create journal {jp}: {e}")))?
+            } else {
+                JournalWriter::open_append(jpath)
+                    .map_err(|e| input(format!("cannot open journal {jp}: {e}")))?
+            };
+            w.set_fault(journal_fault);
+            Some(std::sync::Arc::new(std::sync::Mutex::new(w)))
+        }
+    };
+
     let cfg = BatchConfig {
         jobs,
         supervisor: SupervisorConfig {
@@ -334,6 +426,7 @@ fn batch(path: &str, opts: &[String]) -> Result<ExitCode, CliError> {
             budget_retries: retries,
             fault,
             threads,
+            cancel: None,
         },
         fail_fast,
     };
@@ -341,40 +434,78 @@ fn batch(path: &str, opts: &[String]) -> Result<ExitCode, CliError> {
         .iter()
         .take(cut)
         .filter_map(|e| match e {
-            QueueEntry::Job(spec) => Some(spec.clone()),
-            QueueEntry::PreFailed(_) => None,
+            QueueEntry::Job(spec) if !replay.contains_key(&spec.name) => Some(spec.clone()),
+            _ => None,
         })
         .collect();
-    let ran = run_batch(specs, &cfg);
+    if resume {
+        let replayed = entries
+            .iter()
+            .take(cut)
+            .filter(|e| matches!(e, QueueEntry::Job(s) if replay.contains_key(&s.name)))
+            .count();
+        eprintln!(
+            "journal: replayed {replayed} completed job(s); running {} fresh",
+            specs.len()
+        );
+    }
+    // Each outcome is appended and fsync'd on the worker thread that
+    // produced it, *before* the batch moves on. A failed append means the
+    // journal can no longer honour its durability promise, so the run
+    // dies like a crash (exit 3) — which is exactly what the injected
+    // torn@N/jcorrupt@N faults simulate.
+    let observer: Option<OutcomeObserver> = writer.as_ref().map(|w| {
+        let w = std::sync::Arc::clone(w);
+        let jp = journal_path.clone().unwrap_or_default();
+        std::sync::Arc::new(move |_i: usize, outcome: &JobOutcome| {
+            let mut guard = w.lock().unwrap();
+            if let Err(e) = guard.append(&JournalRecord::from_outcome(outcome)) {
+                eprintln!("internal error: journal write failed ({jp}): {e}");
+                std::process::exit(3);
+            }
+        }) as OutcomeObserver
+    });
+    let ran = run_batch_observed(specs, &cfg, observer);
 
-    // Re-assemble in input order: supervised outcomes fill the job slots,
-    // pre-failures keep theirs, and everything past the --fail-fast cut is
-    // skipped.
+    // Re-assemble in input order: replayed journal records splice in
+    // verbatim, supervised outcomes fill the remaining job slots,
+    // pre-failures keep theirs, and everything past the --fail-fast cut
+    // is skipped. Rendering a JournalRecord is byte-identical to
+    // rendering the outcome it was captured from, so a resumed run's
+    // report matches an uninterrupted run's.
     let mut supervised = ran.jobs.into_iter();
-    let merged: Vec<JobOutcome> = entries
+    let merged: Vec<JournalRecord> = entries
         .into_iter()
         .enumerate()
         .map(|(i, e)| match e {
-            QueueEntry::PreFailed(out) => Ok(out),
-            QueueEntry::Job(spec) if i >= cut => Ok(JobOutcome::skipped(spec.name)),
-            QueueEntry::Job(spec) => supervised.next().ok_or_else(|| {
-                // A supervisor bug, not a user error: surface it through
-                // the typed exit-3 path (and the --json error document),
-                // never as a process abort.
-                CliError::Internal(format!(
-                    "batch supervisor returned no outcome for queued job '{}'",
-                    spec.name
-                ))
-            }),
+            QueueEntry::PreFailed(out) => Ok(JournalRecord::from_outcome(&out)),
+            QueueEntry::Job(spec) if i >= cut => {
+                Ok(JournalRecord::from_outcome(&JobOutcome::skipped(spec.name)))
+            }
+            QueueEntry::Job(spec) => match replay.remove(&spec.name) {
+                Some(rec) => Ok(rec),
+                None => supervised
+                    .next()
+                    .map(|o| JournalRecord::from_outcome(&o))
+                    .ok_or_else(|| {
+                        // A supervisor bug, not a user error: surface it
+                        // through the typed exit-3 path (and the --json
+                        // error document), never as a process abort.
+                        CliError::Internal(format!(
+                            "batch supervisor returned no outcome for queued job '{}'",
+                            spec.name
+                        ))
+                    }),
+            },
         })
         .collect::<Result<_, CliError>>()?;
-    let report = BatchReport {
+    let report = JournaledReport {
         jobs: merged,
         wall: started.elapsed(),
     };
 
     if json {
-        println!("{}", report.to_json());
+        println!("{}", report.to_json_text());
     } else {
         println!("{report}");
     }
@@ -583,18 +714,31 @@ fn serve(opts: &[String]) -> Result<ExitCode, CliError> {
     };
     let addr = opt_value(opts, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
 
-    // One --fault flag serves both layers: process-level specs
+    // One --fault flag serves three layers: process-level specs
     // (abort@N | stall@N:MS | closefd@N) drive the supervision tree,
+    // journal specs (torn@N | jcorrupt@N) break batch durability, and
     // anything else is the metered FaultPlan grammar.
     let fault_spec = opt_value(opts, "--fault");
+    let journal = opt_value(opts, "--journal");
     let mut process_fault = None;
+    let mut journal_fault = None;
     let mut meter_fault = None;
     if let Some(spec) = &fault_spec {
         match ProcessFault::parse(spec) {
             Some(Ok(f)) => process_fault = Some(f),
             Some(Err(e)) => return Err(input(e)),
-            None => meter_fault = Some(FaultPlan::parse(spec).map_err(CliError::Input)?),
+            None => match JournalFault::parse(spec) {
+                Some(Ok(f)) => journal_fault = Some(f),
+                Some(Err(e)) => return Err(input(e)),
+                None => meter_fault = Some(FaultPlan::parse(spec).map_err(CliError::Input)?),
+            },
         }
+    }
+    if journal_fault.is_some() && journal.is_none() {
+        return Err(input(format!(
+            "--fault {} requires --journal PREFIX (there is no journal to break)",
+            fault_spec.as_deref().unwrap_or("")
+        )));
     }
 
     let cfg = ServeConfig {
@@ -616,6 +760,8 @@ fn serve(opts: &[String]) -> Result<ExitCode, CliError> {
         fault: meter_fault,
         process_fault,
         replica: None,
+        journal,
+        journal_fault,
     };
 
     if opts.iter().any(|a| a == "--internal-replica") {
@@ -624,7 +770,11 @@ fn serve(opts: &[String]) -> Result<ExitCode, CliError> {
 
     let replicas = parse_ms("--replicas", 1)? as usize;
     if replicas >= 2 {
-        return serve_supervisor(opts, replicas, &addr, cfg.drain, fault_spec, process_fault);
+        // Process and journal faults are "targeted": the supervisor hands
+        // them to replica 0's first spawn only, so the tree repairs one
+        // induced crash instead of a fleet-wide one.
+        let targeted = process_fault.is_some() || journal_fault.is_some();
+        return serve_supervisor(opts, replicas, &addr, cfg.drain, fault_spec, targeted);
     }
 
     let server = Server::spawn(cfg).map_err(|e| input(format!("cannot bind {addr}: {e}")))?;
@@ -695,11 +845,12 @@ fn serve_supervisor(
     addr: &str,
     drain: Duration,
     fault_spec: Option<String>,
-    process_fault: Option<ProcessFault>,
+    targeted_fault: bool,
 ) -> Result<ExitCode, CliError> {
     // Flags forwarded verbatim to every replica. --addr, --replicas,
     // --admin-addr and --fault stay with the parent (the fault is routed
-    // below: meter faults to every replica, process faults to replica 0).
+    // below: meter faults to every replica, process and journal faults to
+    // replica 0's first spawn only).
     let mut child_args = Vec::new();
     for key in [
         "--workers",
@@ -711,13 +862,14 @@ fn serve_supervisor(
         "--read-timeout-ms",
         "--deadline-ms",
         "--threads",
+        "--journal",
     ] {
         if let Some(v) = opt_value(opts, key) {
             child_args.push(key.to_string());
             child_args.push(v);
         }
     }
-    if process_fault.is_none() {
+    if !targeted_fault {
         if let Some(spec) = &fault_spec {
             child_args.push("--fault".into());
             child_args.push(spec.clone());
@@ -730,7 +882,7 @@ fn serve_supervisor(
         restart: RestartPolicy::default(),
         drain,
         child_args,
-        process_fault: process_fault.and(fault_spec),
+        process_fault: targeted_fault.then_some(fault_spec).flatten(),
     };
     signal::install_handlers();
     let sup =
@@ -748,7 +900,11 @@ fn flood(opts: &[String]) -> Result<ExitCode, CliError> {
     use std::sync::atomic::{AtomicU64, Ordering};
     let addr: std::net::SocketAddr = opts
         .first()
-        .ok_or_else(|| input("usage: srtw flood <addr> [--count N] [--concurrency N] [--analyze FILE]"))?
+        .ok_or_else(|| {
+            input(
+                "usage: srtw flood <addr> [--count N] [--concurrency N] [--analyze FILE | --batch MANIFEST]",
+            )
+        })?
         .parse()
         .map_err(|e| input(format!("bad flood address: {e}")))?;
     let count: u64 = opt_value(opts, "--count")
@@ -760,7 +916,21 @@ fn flood(opts: &[String]) -> Result<ExitCode, CliError> {
         .parse::<u64>()
         .map_err(|e| input(format!("bad --concurrency: {e}")))?
         .max(1);
+    if opt_value(opts, "--analyze").is_some() && opt_value(opts, "--batch").is_some() {
+        return Err(input("--analyze and --batch are mutually exclusive"));
+    }
     let body = match opt_value(opts, "--analyze") {
+        None => None,
+        Some(path) => Some(
+            std::fs::read(&path).map_err(|e| input(format!("cannot read {path}: {e}")))?,
+        ),
+    };
+    // --batch floods the streaming endpoint: each request POSTs the
+    // manifest body and parses the chunked ndjson response
+    // (client_roundtrip decodes the chunked framing), counting the job
+    // lines it received so a soak can assert that every stream was
+    // complete, not merely 200.
+    let batch = match opt_value(opts, "--batch") {
         None => None,
         Some(path) => Some(
             std::fs::read(&path).map_err(|e| input(format!("cannot read {path}: {e}")))?,
@@ -771,33 +941,50 @@ fn flood(opts: &[String]) -> Result<ExitCode, CliError> {
     let client_err = AtomicU64::new(0);
     let server_err = AtomicU64::new(0);
     let transport = AtomicU64::new(0);
+    let batch_lines = AtomicU64::new(0);
     std::thread::scope(|s| {
         for worker in 0..concurrency {
             let mine = count / concurrency + u64::from(worker < count % concurrency);
-            let (ok, shed, client_err, server_err, transport) =
-                (&ok, &shed, &client_err, &server_err, &transport);
+            let (ok, shed, client_err, server_err, transport, batch_lines) =
+                (&ok, &shed, &client_err, &server_err, &transport, &batch_lines);
             let body = body.as_deref();
+            let batch = batch.as_deref();
             s.spawn(move || {
                 for _ in 0..mine {
-                    let result = match body {
-                        None => client_roundtrip(&addr, "GET", "/healthz", &[], b""),
-                        Some(b) => client_roundtrip(&addr, "POST", "/analyze", &[], b),
+                    let result = match (body, batch) {
+                        (None, None) => client_roundtrip(&addr, "GET", "/healthz", &[], b""),
+                        (Some(b), _) => client_roundtrip(&addr, "POST", "/analyze", &[], b),
+                        (None, Some(m)) => client_roundtrip(&addr, "POST", "/batch", &[], m),
                     };
                     match result {
-                        Ok((status, _, _)) => match status {
-                            200..=299 => ok.fetch_add(1, Ordering::Relaxed),
-                            503 => shed.fetch_add(1, Ordering::Relaxed),
-                            400..=499 => client_err.fetch_add(1, Ordering::Relaxed),
-                            _ => server_err.fetch_add(1, Ordering::Relaxed),
-                        },
+                        Ok((status, _, resp_body)) => {
+                            if batch.is_some() && status == 200 {
+                                let jobs = resp_body
+                                    .lines()
+                                    .filter(|l| !l.starts_with("{\"summary\""))
+                                    .count();
+                                batch_lines.fetch_add(jobs as u64, Ordering::Relaxed);
+                            }
+                            match status {
+                                200..=299 => ok.fetch_add(1, Ordering::Relaxed),
+                                503 => shed.fetch_add(1, Ordering::Relaxed),
+                                400..=499 => client_err.fetch_add(1, Ordering::Relaxed),
+                                _ => server_err.fetch_add(1, Ordering::Relaxed),
+                            }
+                        }
                         Err(_) => transport.fetch_add(1, Ordering::Relaxed),
                     };
                 }
             });
         }
     });
+    let batch_suffix = if batch.is_some() {
+        format!(" batch_lines={}", batch_lines.into_inner())
+    } else {
+        String::new()
+    };
     println!(
-        "flood complete: total={count} ok={} shed_503={} client_4xx={} server_5xx={} transport_errors={}",
+        "flood complete: total={count} ok={} shed_503={} client_4xx={} server_5xx={} transport_errors={}{batch_suffix}",
         ok.into_inner(),
         shed.into_inner(),
         client_err.into_inner(),
