@@ -629,9 +629,145 @@ pub fn journal_overhead_suite(t: &Timer) -> Vec<Sample> {
     out
 }
 
-/// Runs all ten suites in order (convolution, rbf, structural,
+/// B11 — cache saturation: the content-addressed result cache under
+/// concurrency past the worker count, at one and two shared-nothing
+/// replicas. `cold` measurements mutate one WCET numerator per request so
+/// every request misses and pays the full busy-window exploration; `warm`
+/// measurements repeat one body verbatim so every request replays cached
+/// bytes. The suite also asserts the headline acceptance number: a warm
+/// repeat of an adversarial-class system answers ≥ 100× faster than the
+/// cold path.
+pub fn cache_saturation_suite(t: &Timer) -> Vec<Sample> {
+    use srtw_serve::http::client_roundtrip;
+    use srtw_serve::{ServeConfig, Server};
+    use std::net::SocketAddr;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A scaled-down `systems/adversarial.srtw`: heavy and light job
+    /// types near demand density 1, fully connected, with pairwise
+    /// distinct fractional separations so dominance pruning retains
+    /// nearly every abstract path — but over a busy window shallow
+    /// enough that exact exploration terminates in tens of milliseconds
+    /// instead of never. `bump` perturbs one WCET numerator, giving each
+    /// cold request a distinct canonical form.
+    fn adversarial_class(bump: u64) -> String {
+        const DEN: u64 = 10_007;
+        let names = ["h0", "h1", "h2", "l3", "l4"];
+        let base = |n: &str| if n.starts_with('h') { 8 } else { 5 };
+        let mut text = String::from("task dense\n");
+        for (i, n) in names.iter().enumerate() {
+            let mut num = base(n) * DEN + 56 + 7 * i as u64;
+            if i == 0 {
+                num += bump;
+            }
+            text.push_str(&format!("vertex {n} wcet={num}/{DEN}\n"));
+        }
+        let mut k = 0u64;
+        for from in names {
+            for to in names {
+                if from == to {
+                    continue;
+                }
+                let num = base(from) * DEN + 69 + 13 * k;
+                k += 1;
+                text.push_str(&format!("edge {from} {to} sep={num}/{DEN}\n"));
+            }
+        }
+        text.push_str("server rate-latency rate=2 latency=40\n");
+        text
+    }
+
+    fn post(addr: &SocketAddr, body: &str) {
+        let (status, _, resp) =
+            client_roundtrip(addr, "POST", "/analyze", &[], body.as_bytes()).expect("round trip");
+        assert_eq!(status, 200, "{resp}");
+        black_box(resp);
+    }
+
+    let spawn = || {
+        Server::spawn(ServeConfig {
+            workers: 2,
+            ..Default::default()
+        })
+        .expect("bind an ephemeral port for the cache bench")
+    };
+    let one = spawn();
+    let two = [spawn(), spawn()];
+    let warm_body = adversarial_class(0);
+    // Prewarm every replica so warm measurements are pure hits.
+    post(&one.addr(), &warm_body);
+    for r in &two {
+        post(&r.addr(), &warm_body);
+    }
+
+    // Monotone counter: every cold request across every measurement (and
+    // its warmup/calibration passes) gets a fresh canonical form.
+    let seq = AtomicU64::new(1);
+
+    let mut out = Vec::new();
+    let cold = t.bench("cache_saturation", "analyze_cold/always_miss", || {
+        post(
+            &one.addr(),
+            &adversarial_class(seq.fetch_add(1, Ordering::Relaxed)),
+        );
+    });
+    let warm = t.bench("cache_saturation", "analyze_warm/hit", || {
+        post(&one.addr(), &warm_body);
+    });
+    assert!(
+        warm.median_ns * 100.0 <= cold.median_ns,
+        "cache hit must answer >= 100x faster than the cold path: warm {} vs cold {}",
+        crate::timing::human_ns(warm.median_ns),
+        crate::timing::human_ns(cold.median_ns),
+    );
+    out.push(cold);
+    out.push(warm);
+
+    // Concurrency sweep past the worker count (2 workers per replica):
+    // one iteration issues `c` simultaneous requests round-robined over
+    // the replica set and waits for all of them, so the per-iteration
+    // time is the saturated batch latency (requests/s = c / time).
+    let saturate = |name: String, addrs: &[SocketAddr], c: usize, hit: bool| {
+        t.bench("cache_saturation", name, || {
+            let base = if hit {
+                0
+            } else {
+                seq.fetch_add(c as u64, Ordering::Relaxed)
+            };
+            std::thread::scope(|s| {
+                for i in 0..c {
+                    let addr = addrs[i % addrs.len()];
+                    let body = if hit {
+                        warm_body.clone()
+                    } else {
+                        adversarial_class(base + i as u64)
+                    };
+                    s.spawn(move || post(&addr, &body));
+                }
+            });
+        })
+    };
+    let solo = [one.addr()];
+    let pair = [two[0].addr(), two[1].addr()];
+    for &c in &[4usize, 8] {
+        out.push(saturate(format!("saturate_warm/c{c}/replicas1"), &solo, c, true));
+    }
+    out.push(saturate("saturate_warm/c8/replicas2".into(), &pair, 8, true));
+    out.push(saturate("saturate_cold/c8/replicas1".into(), &solo, 8, false));
+    out.push(saturate("saturate_cold/c8/replicas2".into(), &pair, 8, false));
+
+    let report = one.shutdown();
+    assert!(report.clean(), "bench server failed to drain: {report:?}");
+    for r in two {
+        let report = r.shutdown();
+        assert!(report.clean(), "bench replica failed to drain: {report:?}");
+    }
+    out
+}
+
+/// Runs all eleven suites in order (convolution, rbf, structural,
 /// simulation, budgeted, parallel, server throughput, fused pipeline,
-/// server connections, journal overhead).
+/// server connections, journal overhead, cache saturation).
 pub fn all_suites(t: &Timer) -> Vec<Sample> {
     let mut out = convolution_suite(t);
     out.extend(rbf_suite(t));
@@ -643,6 +779,7 @@ pub fn all_suites(t: &Timer) -> Vec<Sample> {
     out.extend(fused_pipeline_suite(t));
     out.extend(server_connections_suite(t));
     out.extend(journal_overhead_suite(t));
+    out.extend(cache_saturation_suite(t));
     out
 }
 
@@ -663,6 +800,7 @@ mod tests {
         assert_eq!(fused_pipeline_suite(&t).len(), 4);
         assert_eq!(server_connections_suite(&t).len(), 3);
         assert_eq!(journal_overhead_suite(&t).len(), 4);
+        assert_eq!(cache_saturation_suite(&t).len(), 7);
     }
 
     #[test]

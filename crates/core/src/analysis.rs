@@ -167,9 +167,31 @@ pub fn fifo_structural(
     beta: &Curve,
     cfg: &AnalysisConfig,
 ) -> Result<Vec<DelayAnalysis>, AnalysisError> {
+    fifo_structural_with_memo(tasks, beta, cfg, &RbfMemo::new(tasks.len()))
+}
+
+/// [`fifo_structural`] reusing a caller-provided (possibly warm)
+/// [`RbfMemo`] instead of a fresh per-call one.
+///
+/// The memo caches only **exact** rbfs — pure functions of
+/// `(task, horizon)` — so a warm memo can only change *how fast* the
+/// result is computed, never *what* it is: on an unmetered budget the
+/// output is byte-identical to a cold run. (Under an active budget a warm
+/// memo skips exploration ticks, which can only let the analysis complete
+/// *more* exactly; callers needing tick-exact reproducibility of degraded
+/// runs should pass a fresh memo.) The caller can read per-component
+/// reuse provenance from the memo afterwards
+/// ([`RbfMemo::hits`] / [`RbfMemo::computes`] /
+/// [`RbfMemo::snapshot`]). `memo` must have one slot group per task,
+/// indexed consistently with `tasks`.
+pub fn fifo_structural_with_memo(
+    tasks: &[DrtTask],
+    beta: &Curve,
+    cfg: &AnalysisConfig,
+    memo: &RbfMemo,
+) -> Result<Vec<DelayAnalysis>, AnalysisError> {
     let meter = BudgetMeter::new(&cfg.budget);
-    let memo = RbfMemo::new(tasks.len());
-    let result = busy_window_metered_ext(tasks, beta, &meter, cfg.threads, &memo).and_then(|bw| {
+    let result = busy_window_metered_ext(tasks, beta, &meter, cfg.threads, memo).and_then(|bw| {
         let horizon = cfg.horizon_override.unwrap_or(bw.bound);
         let mut out = Vec::with_capacity(tasks.len());
         for (i, task) in tasks.iter().enumerate() {
@@ -182,7 +204,49 @@ pub fn fifo_structural(
                 .map(|(_, r)| r)
                 .collect();
             out.push(analyse_stream(
-                task, i, beta, &bw, horizon, &others, cfg, &meter, &memo, start,
+                task, i, beta, &bw, horizon, &others, cfg, &meter, memo, start,
+            )?);
+        }
+        Ok(out)
+    });
+    surface_injected_fault(result, &meter)
+}
+
+/// Structural FIFO analysis of a *subset* of the streams in a multiplex,
+/// reusing a caller-provided warm [`RbfMemo`].
+///
+/// `indices` selects which streams to analyse (results are returned in
+/// the order given); the remaining tasks still contribute interference
+/// through their request-bound curves, exactly as in
+/// [`fifo_structural`]. On an unmetered budget each returned
+/// [`DelayAnalysis`] is byte-identical (modulo runtime) to the
+/// corresponding entry of a full [`fifo_structural`] run — the engine is
+/// deterministic and a stream's analysis depends only on its own task,
+/// the busy window, and the other streams' rbfs. This is the incremental
+/// re-analysis primitive behind the service's `POST /analyze/delta`.
+pub fn fifo_structural_subset(
+    tasks: &[DrtTask],
+    beta: &Curve,
+    cfg: &AnalysisConfig,
+    memo: &RbfMemo,
+    indices: &[usize],
+) -> Result<Vec<DelayAnalysis>, AnalysisError> {
+    let meter = BudgetMeter::new(&cfg.budget);
+    let result = busy_window_metered_ext(tasks, beta, &meter, cfg.threads, memo).and_then(|bw| {
+        let horizon = cfg.horizon_override.unwrap_or(bw.bound);
+        let mut out = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let task = &tasks[i];
+            let start = Instant::now();
+            let others: Vec<&Rbf> = bw
+                .rbfs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, r)| r)
+                .collect();
+            out.push(analyse_stream(
+                task, i, beta, &bw, horizon, &others, cfg, &meter, memo, start,
             )?);
         }
         Ok(out)

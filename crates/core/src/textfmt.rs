@@ -38,7 +38,10 @@
 
 use srtw_minplus::{Curve, Q};
 use srtw_resource::{PeriodicResource, RateLatencyServer, Server, TdmaServer};
-use srtw_workload::{DrtTask, DrtTaskBuilder, VertexId};
+use srtw_workload::{
+    canonical_task_form, combine_forms, CanonicalForm, DrtTask, DrtTaskBuilder, StructHasher,
+    VertexId,
+};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -125,6 +128,106 @@ impl ServerSpec {
                     .beta_lower()
             }
         })
+    }
+
+    /// The server declaration as canonical-hash lanes (variant tag plus
+    /// every parameter, reduced) — the resource-binding component of a
+    /// system's canonical form.
+    pub fn canon_lanes(&self) -> Vec<u64> {
+        fn q_lanes(out: &mut Vec<u64>, q: Q) {
+            out.push(q.numer() as u64);
+            out.push((q.numer() >> 64) as u64);
+            out.push(q.denom() as u64);
+            out.push((q.denom() >> 64) as u64);
+        }
+        let mut out = Vec::with_capacity(13);
+        match *self {
+            ServerSpec::RateLatency { rate, latency } => {
+                out.push(1);
+                q_lanes(&mut out, rate);
+                q_lanes(&mut out, latency);
+            }
+            ServerSpec::Fluid { rate } => {
+                out.push(2);
+                q_lanes(&mut out, rate);
+            }
+            ServerSpec::Tdma {
+                slot,
+                cycle,
+                capacity,
+            } => {
+                out.push(3);
+                q_lanes(&mut out, slot);
+                q_lanes(&mut out, cycle);
+                q_lanes(&mut out, capacity);
+            }
+            ServerSpec::PeriodicResource { period, budget } => {
+                out.push(4);
+                q_lanes(&mut out, period);
+                q_lanes(&mut out, budget);
+            }
+        }
+        out
+    }
+}
+
+impl SystemSpec {
+    /// The canonical form of the whole system: the multiset of per-task
+    /// canonical forms (vertex-order-, label-, name- and
+    /// task-order-insensitive) combined with the server declaration.
+    ///
+    /// Form equality implies the two systems are isomorphic — see
+    /// [`srtw_workload::CanonicalForm`] for the soundness argument that
+    /// makes this usable as a content-addressed cache key.
+    pub fn canonical_form(&self) -> CanonicalForm {
+        let forms = self.tasks.iter().map(canonical_task_form).collect();
+        let extra = match &self.server {
+            Some(s) => s.canon_lanes(),
+            None => Vec::new(),
+        };
+        combine_forms(forms, &extra)
+    }
+
+    /// A stable digest of the system's *presentation*: task order and
+    /// names, vertex order and labels, and all semantic content.
+    ///
+    /// Two parses with equal digests produce byte-identical analysis
+    /// documents (modulo `runtime_secs`) — the rendered report carries
+    /// names, labels and indices, so a canonical-form match alone is not
+    /// enough to replay a cached body verbatim.
+    pub fn presentation_digest(&self) -> u64 {
+        let mut h = StructHasher::new(0x9e5e);
+        h.absorb(self.tasks.len() as u64);
+        for task in &self.tasks {
+            h.absorb_bytes(task.name().as_bytes());
+            h.absorb(task.num_vertices() as u64);
+            for v in task.vertex_ids() {
+                h.absorb_bytes(task.vertex(v).label.as_bytes());
+                h.absorb_q(task.wcet(v));
+                match task.deadline(v) {
+                    Some(d) => {
+                        h.absorb(1);
+                        h.absorb_q(d);
+                    }
+                    None => h.absorb(0),
+                }
+                h.absorb(task.out_edges(v).len() as u64);
+                for e in task.out_edges(v) {
+                    h.absorb(e.to.index() as u64);
+                    h.absorb_q(e.separation);
+                }
+            }
+        }
+        match &self.server {
+            Some(s) => {
+                h.absorb(1);
+                for lane in s.canon_lanes() {
+                    h.absorb(lane);
+                }
+            }
+            None => h.absorb(0),
+        }
+        h.finish64()
     }
 }
 

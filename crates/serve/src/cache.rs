@@ -1,0 +1,408 @@
+//! Content-addressed result caching and cross-request rbf promotion.
+//!
+//! Two stores back the service's incremental paths:
+//!
+//! * [`ResultCache`] — a sharded, byte-budgeted, LRU-evicting map from
+//!   `(canonical system hash, deadline class, threads)` to the rendered
+//!   `POST /analyze` response body plus the structured [`FifoReport`]
+//!   behind it. Every hit **verifies** the stored canonical form and the
+//!   presentation digest before replaying — hash collisions and
+//!   canonicalization incompleteness degrade to misses, never to wrong
+//!   bodies (see `srtw_workload::canon` for the soundness argument).
+//!   Only exact (non-degraded), fault-free results are stored: an exact
+//!   report is a pure function of the parsed system, so a replayed body
+//!   is byte-identical to what a cold run would produce — modulo
+//!   `runtime_secs`, the document's only nondeterministic field.
+//! * [`MemoStore`] — promoted exact rbfs keyed by *per-task* canonical
+//!   hash and horizon, used to pre-seed a request's
+//!   [`RbfMemo`]. Because only exact rbfs are promoted (pure functions
+//!   of `(task, horizon)`), a warm memo changes how fast an unmetered
+//!   analysis runs, never what it returns — and it keeps paying off
+//!   across *renamed or re-ordered* variants of a system, where the
+//!   rendered-body cache must recompute.
+//!
+//! Replicas under `--replicas N` are shared-nothing: each has its own
+//! independent stores (documented in the README); the parent aggregates
+//! the per-replica counters in `/stats`.
+
+use crate::report::FifoReport;
+use srtw_minplus::Q;
+use srtw_workload::{CanonicalForm, Rbf, RbfMemo};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Shard count for the response cache (fixed power of two).
+const SHARDS: usize = 8;
+
+/// Most promoted `(horizon, rbf)` entries kept per canonical task hash —
+/// mirrors the per-request memo's way count.
+const MEMO_WAYS: usize = 8;
+
+/// Most task groups the [`MemoStore`] retains before evicting the least
+/// recently used.
+const MEMO_TASK_CAP: usize = 1024;
+
+/// The lookup key of one cached analysis: canonical content hash plus
+/// the budget class the result was computed under.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    /// 128-bit canonical hash of the parsed system.
+    pub canon: u128,
+    /// The request's deadline class (`X-Deadline-Ms` or the configured
+    /// default) — a budget is part of what the answer *means*.
+    pub deadline_ms: Option<u64>,
+    /// Exploration threads (bit-identical either way, but part of the
+    /// configured analysis class).
+    pub threads: usize,
+}
+
+struct Entry {
+    /// Full canonical form, compared on every hit (collision safety).
+    form: CanonicalForm,
+    /// Presentation digest: task/vertex names and order. The rendered
+    /// body carries names, so replaying it verbatim additionally
+    /// requires the presentation to match.
+    presentation: u64,
+    /// The rendered 200 body, exactly as first sent.
+    body: String,
+    /// The structured report behind the body (delta re-uses per-stream
+    /// analyses from it).
+    report: FifoReport,
+    /// Approximate retained bytes.
+    bytes: usize,
+    /// LRU clock value of the last touch.
+    last_used: u64,
+}
+
+/// What a [`ResultCache::lookup`] found.
+pub(crate) struct CacheHit {
+    /// The stored body (byte-identical to the original response).
+    pub body: String,
+    /// The structured report (for delta stream reuse).
+    pub report: FifoReport,
+}
+
+/// Sharded, byte-budgeted response cache (see module docs).
+#[derive(Default)]
+pub(crate) struct ResultCache {
+    shards: Vec<Mutex<HashMap<CacheKey, Entry>>>,
+    /// Byte budget per shard (total budget / shard count).
+    shard_budget: usize,
+    clock: AtomicU64,
+    bytes: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("bytes", &self.bytes.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Estimates the retained size of one entry. The body and form dominate;
+/// the structured report is approximated from its vertex counts.
+fn entry_bytes(form: &CanonicalForm, body: &str, report: &FifoReport) -> usize {
+    let report_bytes: usize = report
+        .per
+        .iter()
+        .map(|a| 256 + a.per_vertex.len() * 160 + a.degradations.len() * 96)
+        .sum();
+    body.len() + form.approx_bytes() + report_bytes + 128
+}
+
+impl ResultCache {
+    /// A cache spreading `byte_budget` bytes over its shards.
+    /// `byte_budget == 0` disables caching entirely.
+    pub fn new(byte_budget: usize) -> ResultCache {
+        ResultCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_budget: byte_budget / SHARDS,
+            clock: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Entry>> {
+        &self.shards[(key.canon as usize) & (SHARDS - 1)]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// `true` when the cache can never store anything.
+    pub fn disabled(&self) -> bool {
+        self.shard_budget == 0
+    }
+
+    /// Looks up a stored result, verifying both the canonical form and
+    /// the presentation digest. A verified hit refreshes LRU recency.
+    pub fn lookup(
+        &self,
+        key: &CacheKey,
+        form: &CanonicalForm,
+        presentation: u64,
+    ) -> Option<CacheHit> {
+        if self.disabled() {
+            return None;
+        }
+        let mut shard = self.shard(key).lock().unwrap();
+        let entry = shard.get_mut(key)?;
+        if entry.form != *form || entry.presentation != presentation {
+            return None;
+        }
+        entry.last_used = self.tick();
+        Some(CacheHit {
+            body: entry.body.clone(),
+            report: entry.report.clone(),
+        })
+    }
+
+    /// Stores a result, evicting least-recently-used entries from the
+    /// key's shard until the entry fits its byte budget. An entry larger
+    /// than the whole shard budget is not stored at all.
+    pub fn insert(
+        &self,
+        key: CacheKey,
+        form: CanonicalForm,
+        presentation: u64,
+        body: String,
+        report: FifoReport,
+    ) {
+        if self.disabled() {
+            return;
+        }
+        let bytes = entry_bytes(&form, &body, &report);
+        if bytes > self.shard_budget {
+            return;
+        }
+        let mut shard = self.shard(&key).lock().unwrap();
+        if let Some(old) = shard.remove(&key) {
+            self.bytes.fetch_sub(old.bytes as u64, Ordering::Relaxed);
+        }
+        let mut used: usize = shard.values().map(|e| e.bytes).sum();
+        while used + bytes > self.shard_budget {
+            let victim = shard
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("over budget implies non-empty shard");
+            let evicted = shard.remove(&victim).expect("victim exists");
+            used -= evicted.bytes;
+            self.bytes
+                .fetch_sub(evicted.bytes as u64, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        shard.insert(
+            key,
+            Entry {
+                form,
+                presentation,
+                body,
+                report,
+                bytes,
+                last_used: self.tick(),
+            },
+        );
+    }
+
+    /// Approximate retained bytes across all shards (a `/stats` gauge).
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted under the byte budget since startup.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+struct MemoGroup {
+    entries: Vec<(Q, Rbf)>,
+    last_used: u64,
+}
+
+/// Promoted cross-request store of exact rbfs (see module docs).
+#[derive(Default)]
+pub(crate) struct MemoStore {
+    map: Mutex<HashMap<u128, MemoGroup>>,
+    clock: AtomicU64,
+}
+
+impl std::fmt::Debug for MemoStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoStore").finish()
+    }
+}
+
+impl MemoStore {
+    /// An empty store.
+    pub fn new() -> MemoStore {
+        MemoStore::default()
+    }
+
+    /// A fresh per-request memo for `task_hashes[i] = canonical hash of
+    /// task i`, pre-seeded with every promoted rbf known for those tasks.
+    pub fn warm(&self, task_hashes: &[u128]) -> RbfMemo {
+        let memo = RbfMemo::new(task_hashes.len());
+        let mut map = self.map.lock().unwrap();
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        for (i, h) in task_hashes.iter().enumerate() {
+            if let Some(group) = map.get_mut(h) {
+                group.last_used = now;
+                for (horizon, rbf) in &group.entries {
+                    memo.seed(i, *horizon, rbf.clone());
+                }
+            }
+        }
+        memo
+    }
+
+    /// Promotes the exact rbfs a finished request left in its memo back
+    /// into the store, bounded per task and across tasks (LRU on task
+    /// groups).
+    pub fn promote(&self, task_hashes: &[u128], memo: &RbfMemo) {
+        let snapshot = memo.snapshot();
+        if snapshot.is_empty() {
+            return;
+        }
+        let mut map = self.map.lock().unwrap();
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        for (index, horizon, rbf) in snapshot {
+            let Some(&hash) = task_hashes.get(index) else {
+                continue;
+            };
+            let group = map.entry(hash).or_insert_with(|| MemoGroup {
+                entries: Vec::new(),
+                last_used: now,
+            });
+            group.last_used = now;
+            if group.entries.len() < MEMO_WAYS
+                && !group.entries.iter().any(|(h, _)| *h == horizon)
+            {
+                group.entries.push((horizon, rbf));
+            }
+        }
+        while map.len() > MEMO_TASK_CAP {
+            let victim = map
+                .iter()
+                .min_by_key(|(_, g)| g.last_used)
+                .map(|(k, _)| *k)
+                .expect("over cap implies non-empty");
+            map.remove(&victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srtw_core::{fifo_rtc, fifo_structural, AnalysisConfig};
+    use srtw_minplus::{Curve, Q};
+    use srtw_workload::{canonical_task_form, combine_forms, DrtTaskBuilder};
+
+    fn tiny_report() -> (CanonicalForm, FifoReport) {
+        let mut b = DrtTaskBuilder::new("t");
+        let v = b.vertex("a", Q::int(2));
+        b.edge(v, v, Q::int(8));
+        let task = b.build().unwrap();
+        let beta = Curve::affine(Q::ZERO, Q::ONE);
+        let per = fifo_structural(
+            std::slice::from_ref(&task),
+            &beta,
+            &AnalysisConfig::default(),
+        )
+        .unwrap();
+        let rtc = fifo_rtc(std::slice::from_ref(&task), &beta).unwrap();
+        let form = combine_forms(vec![canonical_task_form(&task)], &[]);
+        (form, FifoReport { per, rtc })
+    }
+
+    fn key(canon: u128) -> CacheKey {
+        CacheKey {
+            canon,
+            deadline_ms: None,
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn hit_requires_form_and_presentation_match() {
+        let (form, report) = tiny_report();
+        let cache = ResultCache::new(1 << 20);
+        let k = key(form.hash());
+        cache.insert(k.clone(), form.clone(), 7, "body\n".into(), report);
+        assert!(cache.lookup(&k, &form, 7).is_some());
+        // Same key, different presentation: a miss, not a wrong body.
+        assert!(cache.lookup(&k, &form, 8).is_none());
+        // Different form under the same key (a collision): a miss.
+        let other = combine_forms(vec![], &[1]);
+        assert!(cache.lookup(&k, &other, 7).is_none());
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru() {
+        let (form, report) = tiny_report();
+        // Budget sized so a shard holds roughly one entry.
+        let one = entry_bytes(&form, "b", &report);
+        let cache = ResultCache::new(one * SHARDS + SHARDS);
+        let mut keys = Vec::new();
+        for i in 0..64u128 {
+            let k = key(i);
+            cache.insert(k.clone(), form.clone(), 1, "b".into(), report.clone());
+            keys.push(k);
+        }
+        assert!(cache.evictions() > 0);
+        assert!(cache.bytes() <= (one as u64 + 1) * SHARDS as u64 + SHARDS as u64);
+        // The most recent insert in its shard must have survived.
+        let last = keys.last().unwrap();
+        assert!(cache.lookup(last, &form, 1).is_some());
+    }
+
+    #[test]
+    fn zero_budget_disables_the_cache() {
+        let (form, report) = tiny_report();
+        let cache = ResultCache::new(0);
+        let k = key(form.hash());
+        cache.insert(k.clone(), form.clone(), 1, "b".into(), report);
+        assert!(cache.lookup(&k, &form, 1).is_none());
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn memo_store_round_trips_exact_rbfs() {
+        let mut b = DrtTaskBuilder::new("t");
+        let v = b.vertex("a", Q::int(2));
+        b.edge(v, v, Q::int(8));
+        let task = b.build().unwrap();
+        let hash = canonical_task_form(&task).hash();
+
+        let store = MemoStore::new();
+        let memo = RbfMemo::new(1);
+        let _ = memo.get_or_compute(
+            0,
+            &task,
+            Q::int(40),
+            &srtw_minplus::BudgetMeter::unlimited(),
+            1,
+        );
+        assert_eq!(memo.computes(), 1);
+        store.promote(&[hash], &memo);
+
+        let warm = store.warm(&[hash]);
+        let _ = warm.get_or_compute(
+            0,
+            &task,
+            Q::int(40),
+            &srtw_minplus::BudgetMeter::unlimited(),
+            1,
+        );
+        assert_eq!(warm.hits(), 1, "promoted rbf must be a warm hit");
+        assert_eq!(warm.computes(), 0);
+    }
+}

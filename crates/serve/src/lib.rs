@@ -34,6 +34,13 @@
 //!   remaining jobs, and with a journal configured every outcome is
 //!   fsync'd before it is streamed, so a replica killed mid-batch
 //!   replays completed jobs instead of recomputing them.
+//! - **Content-addressed caching** (`cache` + `delta`): `POST /analyze`
+//!   results are cached under a vertex-order- and name-insensitive
+//!   canonical hash of the parsed system (verified byte-for-byte on
+//!   every hit), exact rbfs are promoted across requests, and
+//!   `POST /analyze/delta` re-analyses only the streams an edit can
+//!   provably reach — all three answering byte-identically to a cold
+//!   run, only faster.
 //!
 //! Status codes mirror the CLI exit contract (`200`↔0, `400`/`413`↔2,
 //! `500`↔3, `503`↔shed/draining), so a batch driver can treat the service
@@ -43,6 +50,8 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod cache;
+mod delta;
 pub mod fault;
 pub mod gate;
 pub mod http;
@@ -57,5 +66,5 @@ pub mod sys;
 
 pub use fault::{ProcessFault, ProcessFaultKind};
 pub use replica::{ReplicaConfig, Supervisor};
-pub use report::{fifo_report, FifoReport};
+pub use report::{fifo_report, fifo_report_with_memo, FifoReport};
 pub use server::{DrainReport, ServeConfig, Server};

@@ -103,6 +103,11 @@ struct Scraped {
     requests: u64,
     open_conns: u64,
     fds: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    cache_bytes: u64,
+    delta_full_fallbacks: u64,
 }
 
 /// The running supervision tree. Construct with [`Supervisor::bind`],
@@ -449,6 +454,11 @@ impl Supervisor {
                 total.requests += s.requests;
                 total.open_conns += s.open_conns;
                 total.fds += s.fds;
+                total.cache_hits += s.cache_hits;
+                total.cache_misses += s.cache_misses;
+                total.cache_evictions += s.cache_evictions;
+                total.cache_bytes += s.cache_bytes;
+                total.delta_full_fallbacks += s.delta_full_fallbacks;
             }
             let s = scraped.unwrap_or_default();
             per.push(Json::object(vec![
@@ -463,6 +473,14 @@ impl Supervisor {
                 ("requests", Json::Int(s.requests as i128)),
                 ("open_conns", Json::Int(s.open_conns as i128)),
                 ("fds", Json::Int(s.fds as i128)),
+                ("cache_hits", Json::Int(s.cache_hits as i128)),
+                ("cache_misses", Json::Int(s.cache_misses as i128)),
+                ("cache_evictions", Json::Int(s.cache_evictions as i128)),
+                ("cache_bytes", Json::Int(s.cache_bytes as i128)),
+                (
+                    "delta_full_fallbacks",
+                    Json::Int(s.delta_full_fallbacks as i128),
+                ),
             ]));
         }
         let (healthy, need) = self.quorum();
@@ -489,6 +507,14 @@ impl Supervisor {
                     ("requests", Json::Int(total.requests as i128)),
                     ("open_conns", Json::Int(total.open_conns as i128)),
                     ("fds", Json::Int(total.fds as i128)),
+                    ("cache_hits", Json::Int(total.cache_hits as i128)),
+                    ("cache_misses", Json::Int(total.cache_misses as i128)),
+                    ("cache_evictions", Json::Int(total.cache_evictions as i128)),
+                    ("cache_bytes", Json::Int(total.cache_bytes as i128)),
+                    (
+                        "delta_full_fallbacks",
+                        Json::Int(total.delta_full_fallbacks as i128),
+                    ),
                 ]),
             ),
             ("per_replica", Json::Array(per)),
@@ -598,6 +624,11 @@ fn scrape_stats(addr: &SocketAddr) -> Option<Scraped> {
         requests: scrape_u64(&body, "requests").unwrap_or(0),
         open_conns: scrape_u64(&body, "open_conns").unwrap_or(0),
         fds: scrape_u64(&body, "fds").unwrap_or(0),
+        cache_hits: scrape_u64(&body, "cache_hits").unwrap_or(0),
+        cache_misses: scrape_u64(&body, "cache_misses").unwrap_or(0),
+        cache_evictions: scrape_u64(&body, "cache_evictions").unwrap_or(0),
+        cache_bytes: scrape_u64(&body, "cache_bytes").unwrap_or(0),
+        delta_full_fallbacks: scrape_u64(&body, "delta_full_fallbacks").unwrap_or(0),
     })
 }
 

@@ -7,10 +7,11 @@
 //! and so does the service worker.
 
 use srtw_core::{
-    fifo_rtc_with, fifo_structural, AnalysisConfig, AnalysisError, DelayAnalysis, Json, RtcReport,
+    fifo_rtc_with, fifo_structural, fifo_structural_with_memo, AnalysisConfig, AnalysisError,
+    DelayAnalysis, Json, RtcReport,
 };
 use srtw_minplus::Curve;
-use srtw_workload::DrtTask;
+use srtw_workload::{DrtTask, RbfMemo};
 
 /// The FIFO analysis of one system: per-stream structural bounds plus the
 /// stream-agnostic RTC baseline.
@@ -32,6 +33,25 @@ pub fn fifo_report(
     cfg: &AnalysisConfig,
 ) -> Result<FifoReport, AnalysisError> {
     let per = fifo_structural(tasks, beta, cfg)?;
+    let rtc = fifo_rtc_with(tasks, beta, &cfg.budget)?;
+    Ok(FifoReport { per, rtc })
+}
+
+/// [`fifo_report`] reusing a caller-provided warm [`RbfMemo`].
+///
+/// On an unmetered budget the document is byte-identical to
+/// [`fifo_report`] — the memo holds only exact rbfs, pure functions of
+/// `(task, horizon)` — it is merely computed faster. Callers that meter
+/// the run (wall deadlines, injected faults) should use [`fifo_report`]
+/// instead: a warm memo skips exploration ticks, so degraded outputs
+/// would not replay tick-for-tick.
+pub fn fifo_report_with_memo(
+    tasks: &[DrtTask],
+    beta: &Curve,
+    cfg: &AnalysisConfig,
+    memo: &RbfMemo,
+) -> Result<FifoReport, AnalysisError> {
+    let per = fifo_structural_with_memo(tasks, beta, cfg, memo)?;
     let rtc = fifo_rtc_with(tasks, beta, &cfg.budget)?;
     Ok(FifoReport { per, rtc })
 }

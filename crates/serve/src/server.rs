@@ -14,18 +14,20 @@
 //! serving. Keep-alive connections cycle back to the acceptor after each
 //! response instead of occupying a worker between requests.
 
+use crate::cache::{CacheKey, MemoStore, ResultCache};
 use crate::fault::{ProcessFault, ProcessFaultArm, ProcessFaultKind};
 use crate::gate::Gate;
 use crate::http::{Request, RequestError, Response, MAX_HEAD_BYTES};
 use crate::mux::{self, ConnJob, MuxConfig, MuxHandle, ReturnedConn, Returner};
 use crate::pool::Pool;
-use crate::report::fifo_report;
+use crate::report::{fifo_report, fifo_report_with_memo};
 use crate::stats::{Gauges, Stats};
 use crate::sys;
 use srtw_core::textfmt::{parse_system, ParseError, ParseErrorKind, MAX_INPUT_BYTES};
 use srtw_core::{AnalysisConfig, Json};
 use srtw_minplus::{Budget, CancelToken, FaultPlan};
 use srtw_supervisor::{contain, Contained, JournalFault};
+use srtw_workload::RbfMemo;
 use std::io::{self, Read as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -91,6 +93,9 @@ pub struct ServeConfig {
     /// exactly like a crash, which under `--replicas` drives the
     /// supervision tree's restart + resume path.
     pub journal_fault: Option<JournalFault>,
+    /// Byte budget of the content-addressed result cache (`0` disables
+    /// caching). Each replica owns an independent cache of this size.
+    pub cache_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +116,7 @@ impl Default for ServeConfig {
             replica: None,
             journal: None,
             journal_fault: None,
+            cache_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -151,6 +157,12 @@ pub(crate) struct Shared {
     /// RTC-degraded bound.
     pub(crate) hard_cancel: AtomicBool,
     pub(crate) inflight: Mutex<Vec<CancelToken>>,
+    /// Content-addressed `/analyze` result cache (per process — replicas
+    /// are shared-nothing and each own an independent cache).
+    pub(crate) cache: ResultCache,
+    /// Promoted exact rbfs reused across requests (and across renamed /
+    /// re-ordered variants the result cache cannot serve).
+    pub(crate) memo_store: MemoStore,
 }
 
 impl Shared {
@@ -209,6 +221,8 @@ impl Server {
         let mux = mux::spawn(listener, mux_cfg, Arc::clone(&gate), Arc::clone(&stats))?;
         let shared = Arc::new(Shared {
             fault_arm: ProcessFaultArm::new(cfg.process_fault),
+            cache: ResultCache::new(cfg.cache_bytes),
+            memo_store: MemoStore::new(),
             cfg,
             gate: Arc::clone(&gate),
             stats,
@@ -470,6 +484,8 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 fds: sys::open_fd_count(),
                 draining: shared.draining_or_requested(),
                 replica: shared.cfg.replica,
+                cache_bytes: shared.cache.bytes(),
+                cache_evictions: shared.cache.evictions(),
             };
             let doc = shared.stats.to_json(&gauges);
             Response::json(200, format!("{doc}\n"))
@@ -486,7 +502,19 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 .note_latency_us(started.elapsed().as_micros() as u64);
             response
         }
-        (_, "/healthz" | "/readyz" | "/stats" | "/shutdown" | "/analyze" | "/batch") => {
+        ("POST", "/analyze/delta") => {
+            let started = Instant::now();
+            let response = crate::delta::analyze_delta(shared, req);
+            shared
+                .stats
+                .note_latency_us(started.elapsed().as_micros() as u64);
+            response
+        }
+        (
+            _,
+            "/healthz" | "/readyz" | "/stats" | "/shutdown" | "/analyze" | "/analyze/delta"
+            | "/batch",
+        ) => {
             Response::json(
                 405,
                 error_body(
@@ -504,7 +532,7 @@ fn route(shared: &Shared, req: &Request) -> Response {
     }
 }
 
-fn parse_error_response(e: &ParseError) -> Response {
+pub(crate) fn parse_error_response(e: &ParseError) -> Response {
     let status = if e.kind == ParseErrorKind::InputTooLarge {
         413
     } else {
@@ -585,8 +613,33 @@ fn analyze(shared: &Shared, req: &Request) -> Response {
         },
     };
 
+    // Content-addressed cache: a fault-free request whose canonical form,
+    // presentation, and budget class all match a stored result replays
+    // its body byte-for-byte (modulo `runtime_secs`, which the stored
+    // body simply carries from the original run). With a configured
+    // fault plan every request must execute the metered path, so the
+    // cache is bypassed entirely.
+    let threads = shared.cfg.threads.max(1);
+    let cacheable = shared.cfg.fault.is_none();
+    let hard_cancel = shared.hard_cancel.load(Ordering::Relaxed);
+    let form = sys.canonical_form();
+    let presentation = sys.presentation_digest();
+    let key = CacheKey {
+        canon: form.hash(),
+        deadline_ms,
+        threads,
+    };
+    if cacheable {
+        if let Some(hit) = shared.cache.lookup(&key, &form, presentation) {
+            shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            return Response::json(200, hit.body);
+        }
+        shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     let token = CancelToken::new();
-    if shared.hard_cancel.load(Ordering::Relaxed) {
+    if hard_cancel {
         // The drain window is over: run straight to the degraded (RTC)
         // answer instead of starting fresh work.
         token.cancel();
@@ -601,9 +654,21 @@ fn analyze(shared: &Shared, req: &Request) -> Response {
     }
     let cfg = AnalysisConfig {
         budget,
-        threads: shared.cfg.threads.max(1),
+        threads,
         ..Default::default()
     };
+    // Warm rbf memo only on unmetered requests: a memo hit skips the
+    // exploration's budget ticks, so a metered run (wall deadline, fault,
+    // drain cancel) must start cold to keep degraded outputs replaying
+    // tick-for-tick against the CLI.
+    let warm = cacheable && deadline_ms.is_none() && !hard_cancel;
+    let memo = Arc::new(if warm {
+        shared
+            .memo_store
+            .warm(&crate::delta::task_hashes(&sys.tasks))
+    } else {
+        RbfMemo::new(0)
+    });
     // The deadline is purely cooperative: the wall budget trips inside
     // the meter and the analysis winds down through the sound degradation
     // path, which does bounded (but nonzero) post-trip work to produce
@@ -612,23 +677,43 @@ fn analyze(shared: &Shared, req: &Request) -> Response {
     // stuck workers are bounded by the socket timeouts and the
     // drain-time cancel/abandon path instead.
     let tasks = sys.tasks;
-    let contained = contain(
-        "srtw-serve-analyze",
-        None,
-        shared.cfg.grace,
-        &token,
-        move || fifo_report(&tasks, &beta, &cfg),
-    );
+    let contained = {
+        let memo = Arc::clone(&memo);
+        contain(
+            "srtw-serve-analyze",
+            None,
+            shared.cfg.grace,
+            &token,
+            move || {
+                if warm {
+                    fifo_report_with_memo(&tasks, &beta, &cfg, &memo).map(|r| (r, tasks))
+                } else {
+                    fifo_report(&tasks, &beta, &cfg).map(|r| (r, tasks))
+                }
+            },
+        )
+    };
     shared.unregister(&token);
 
     match contained {
-        Contained::Completed(Ok(report)) => {
+        Contained::Completed(Ok((report, tasks))) => {
             if report.degraded() {
                 shared.stats.degraded.fetch_add(1, Ordering::Relaxed);
             } else {
                 shared.stats.completed.fetch_add(1, Ordering::Relaxed);
             }
-            Response::json(200, format!("{}\n", report.to_json()))
+            if warm {
+                shared
+                    .memo_store
+                    .promote(&crate::delta::task_hashes(&tasks), &memo);
+            }
+            let body = format!("{}\n", report.to_json());
+            if cacheable && !report.degraded() {
+                shared
+                    .cache
+                    .insert(key, form, presentation, body.clone(), report);
+            }
+            Response::json(200, body)
         }
         Contained::Completed(Err(e)) => fail(
             shared,

@@ -37,6 +37,10 @@ pub struct Gauges {
     pub draining: bool,
     /// Replica index when running as a supervised replica.
     pub replica: Option<usize>,
+    /// Approximate bytes retained by the result cache.
+    pub cache_bytes: u64,
+    /// Result-cache entries evicted under the byte budget.
+    pub cache_evictions: u64,
 }
 
 /// Shared service counters; all methods are callable from any thread.
@@ -70,6 +74,14 @@ pub struct Stats {
     pub batch_jobs: AtomicU64,
     /// Batch jobs answered from the journal instead of recomputed.
     pub batch_replayed: AtomicU64,
+    /// `/analyze` (and `/analyze/delta`) answers replayed from the
+    /// content-addressed result cache.
+    pub cache_hits: AtomicU64,
+    /// Cache-eligible requests that had to run the analysis.
+    pub cache_misses: AtomicU64,
+    /// `/analyze/delta` requests where the conservative cut could not
+    /// prove reuse safe and every stream was re-analysed.
+    pub delta_full_fallbacks: AtomicU64,
     ring: Mutex<Ring>,
 }
 
@@ -88,6 +100,9 @@ impl Default for Stats {
             batches: AtomicU64::new(0),
             batch_jobs: AtomicU64::new(0),
             batch_replayed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            delta_full_fallbacks: AtomicU64::new(0),
             ring: Mutex::new(Ring {
                 samples_us: vec![0; LATENCY_RING],
                 next: 0,
@@ -172,6 +187,11 @@ impl Stats {
             ("batches", count(&self.batches)),
             ("batch_jobs", count(&self.batch_jobs)),
             ("batch_replayed", count(&self.batch_replayed)),
+            ("cache_hits", count(&self.cache_hits)),
+            ("cache_misses", count(&self.cache_misses)),
+            ("cache_evictions", Json::Int(g.cache_evictions as i128)),
+            ("cache_bytes", Json::Int(g.cache_bytes as i128)),
+            ("delta_full_fallbacks", count(&self.delta_full_fallbacks)),
             ("queue_depth", Json::Int(g.queue_depth as i128)),
             ("inflight", Json::Int(g.inflight as i128)),
             ("open_conns", Json::Int(g.open_conns as i128)),
@@ -251,6 +271,8 @@ mod tests {
                 fds: Some(12),
                 draining: false,
                 replica: Some(1),
+                cache_bytes: 9,
+                cache_evictions: 0,
             })
             .render();
         for needle in [
@@ -264,6 +286,11 @@ mod tests {
             "\"batches\":0",
             "\"batch_jobs\":0",
             "\"batch_replayed\":0",
+            "\"cache_hits\":0",
+            "\"cache_misses\":0",
+            "\"cache_evictions\":0",
+            "\"cache_bytes\":9",
+            "\"delta_full_fallbacks\":0",
             "\"queue_depth\":2",
             "\"inflight\":1",
             "\"open_conns\":7",

@@ -1,0 +1,486 @@
+//! Canonical forms and structural hashes of DRT tasks.
+//!
+//! Two parsed systems that differ only in *presentation* — vertex
+//! insertion order, vertex labels, task names, task order — describe the
+//! same workload and admit the same delay bounds. This module computes a
+//! **canonical form**: a relabelling-insensitive serialization of a
+//! [`DrtTask`] (and, via [`combine_forms`], of a whole system) such that
+//!
+//! * isomorphic presentations produce byte-equal forms (and therefore
+//!   equal [`CanonicalForm::hash`] values), and
+//! * **form equality always implies isomorphism** — the form is a full
+//!   serialization of a concretely relabelled graph, so two equal forms
+//!   describe literally the same graph. A content-addressed cache that
+//!   verifies form equality on every hit can never serve a wrong result;
+//!   hash collisions and canonicalization incompleteness both degrade to
+//!   cache *misses*, never to wrong answers.
+//!
+//! The canonical labelling uses Weisfeiler–Leman colour refinement over
+//! `(WCET, deadline, sorted in/out edge (separation, colour) multisets)`
+//! followed by individualization of ambiguous colour classes with a
+//! bounded branch search (take the lexicographically smallest code over
+//! all branches). On automorphism-rich graphs the branch bound can trip;
+//! the completion then falls back to presentation order, which weakens
+//! *completeness* (an isomorphic copy may canonicalize differently — a
+//! cache miss) but never *soundness*.
+
+use crate::digraph::{DrtTask, VertexId};
+use srtw_minplus::Q;
+
+/// SplitMix64 finalizer — the workspace's stable mixing primitive
+/// (`std::hash` is explicitly not stable across releases, so cache keys
+/// must not depend on it).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Incremental two-lane structural hasher over `u64` lanes.
+///
+/// Deterministic across platforms and releases (unlike
+/// `std::collections::hash_map::DefaultHasher`), producing a 128-bit
+/// digest. Used for canonical hashes and for the service's presentation
+/// digests.
+#[derive(Debug, Clone)]
+pub struct StructHasher {
+    lo: u64,
+    hi: u64,
+    count: u64,
+}
+
+impl StructHasher {
+    /// A hasher seeded with a domain-separation tag.
+    pub fn new(tag: u64) -> StructHasher {
+        StructHasher {
+            lo: mix64(tag ^ 0x5274_775f_6c6f_0001),
+            hi: mix64(tag ^ 0x5274_775f_6869_0002),
+            count: 0,
+        }
+    }
+
+    /// Absorbs one lane.
+    pub fn absorb(&mut self, v: u64) {
+        self.count = self.count.wrapping_add(1);
+        self.lo = mix64(self.lo ^ v);
+        self.hi = mix64(self.hi.rotate_left(17) ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    }
+
+    /// Absorbs an `i128` as two lanes.
+    pub fn absorb_i128(&mut self, v: i128) {
+        self.absorb(v as u64);
+        self.absorb((v >> 64) as u64);
+    }
+
+    /// Absorbs an exact rational as its reduced numerator and denominator.
+    pub fn absorb_q(&mut self, q: Q) {
+        self.absorb_i128(q.numer());
+        self.absorb_i128(q.denom());
+    }
+
+    /// Absorbs raw bytes (length-prefixed, 8 bytes per lane).
+    pub fn absorb_bytes(&mut self, bytes: &[u8]) {
+        self.absorb(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut lane = [0u8; 8];
+            lane[..chunk.len()].copy_from_slice(chunk);
+            self.absorb(u64::from_le_bytes(lane));
+        }
+    }
+
+    /// The 128-bit digest.
+    pub fn finish(&self) -> u128 {
+        let a = mix64(self.lo ^ self.count);
+        let b = mix64(self.hi ^ self.count.rotate_left(32));
+        ((a as u128) << 64) | b as u128
+    }
+
+    /// The digest truncated to 64 bits (colour values, presentation keys).
+    pub fn finish64(&self) -> u64 {
+        mix64(self.lo ^ self.hi ^ self.count)
+    }
+}
+
+/// Encodes a `Q` into code lanes (reduced numerator then denominator,
+/// each as two `u64` halves).
+fn push_q(code: &mut Vec<u64>, q: Q) {
+    let n = q.numer();
+    let d = q.denom();
+    code.push(n as u64);
+    code.push((n >> 64) as u64);
+    code.push(d as u64);
+    code.push((d >> 64) as u64);
+}
+
+/// A canonical, presentation-insensitive serialization of a task or
+/// system.
+///
+/// Equality of forms is equality of the underlying relabelled graphs —
+/// the decisive property for content-addressed caching (see the module
+/// docs). Forms are cheap to compare (`Vec<u64>` equality) and hash to a
+/// stable 128-bit digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalForm {
+    code: Vec<u64>,
+}
+
+impl CanonicalForm {
+    /// The code lanes (exposed for tests and size accounting).
+    pub fn code(&self) -> &[u64] {
+        &self.code
+    }
+
+    /// Approximate heap size of this form in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.code.len() * 8 + std::mem::size_of::<CanonicalForm>()
+    }
+
+    /// The stable 128-bit structural hash of the form.
+    pub fn hash(&self) -> u128 {
+        let mut h = StructHasher::new(0xca40_4f4e);
+        for &lane in &self.code {
+            h.absorb(lane);
+        }
+        h.finish()
+    }
+}
+
+/// Maximum number of completed canonical labellings the individualization
+/// search will explore before falling back to presentation order. The
+/// search only branches inside colour classes WL refinement could not
+/// split — on weighted task graphs those are almost always automorphism
+/// orbits, where every branch yields the same code anyway.
+const LEAF_CAP: usize = 64;
+
+struct Canonicalizer<'a> {
+    task: &'a DrtTask,
+    /// Out-edges as `(separation, target)` per vertex.
+    out: Vec<Vec<(Q, usize)>>,
+    /// In-edges as `(separation, source)` per vertex.
+    inn: Vec<Vec<(Q, usize)>>,
+    leaves: usize,
+    best: Option<Vec<u64>>,
+}
+
+impl<'a> Canonicalizer<'a> {
+    fn new(task: &'a DrtTask) -> Canonicalizer<'a> {
+        let n = task.num_vertices();
+        let mut out = vec![Vec::new(); n];
+        let mut inn = vec![Vec::new(); n];
+        for v in task.vertex_ids() {
+            for e in task.out_edges(v) {
+                out[v.index()].push((e.separation, e.to.index()));
+                inn[e.to.index()].push((e.separation, v.index()));
+            }
+        }
+        Canonicalizer {
+            task,
+            out,
+            inn,
+            leaves: 0,
+            best: None,
+        }
+    }
+
+    /// Initial colours from vertex-local data only.
+    fn initial_colors(&self) -> Vec<u64> {
+        self.task
+            .vertex_ids()
+            .map(|v| {
+                let mut h = StructHasher::new(0x1e17);
+                h.absorb_q(self.task.wcet(v));
+                match self.task.deadline(v) {
+                    Some(d) => {
+                        h.absorb(1);
+                        h.absorb_q(d);
+                    }
+                    None => h.absorb(0),
+                }
+                h.finish64()
+            })
+            .collect()
+    }
+
+    /// One WL round: recolour every vertex from its colour and the sorted
+    /// `(separation, neighbour colour)` multisets of its out- and
+    /// in-edges. Colour values are themselves hashes of values, so the
+    /// result is independent of vertex order.
+    fn wl_round(&self, colors: &[u64]) -> Vec<u64> {
+        (0..colors.len())
+            .map(|v| {
+                let mut h = StructHasher::new(0x3177);
+                h.absorb(colors[v]);
+                let mut sig: Vec<(Q, u64)> = self.out[v]
+                    .iter()
+                    .map(|&(sep, to)| (sep, colors[to]))
+                    .collect();
+                sig.sort();
+                h.absorb(sig.len() as u64);
+                for (sep, c) in sig {
+                    h.absorb_q(sep);
+                    h.absorb(c);
+                }
+                let mut sig: Vec<(Q, u64)> = self.inn[v]
+                    .iter()
+                    .map(|&(sep, from)| (sep, colors[from]))
+                    .collect();
+                sig.sort();
+                h.absorb(sig.len() as u64);
+                for (sep, c) in sig {
+                    h.absorb_q(sep);
+                    h.absorb(c);
+                }
+                h.finish64()
+            })
+            .collect()
+    }
+
+    /// Refines until the partition (number of distinct colours) is stable.
+    fn refine(&self, colors: &mut Vec<u64>) {
+        let mut classes = distinct(colors);
+        for _ in 0..colors.len().max(1) {
+            let next = self.wl_round(colors);
+            let next_classes = distinct(&next);
+            *colors = next;
+            if next_classes == classes {
+                return;
+            }
+            classes = next_classes;
+        }
+    }
+
+    /// Serializes the task under the canonical order `perm`
+    /// (`perm[canonical index] = original index`).
+    fn code_for(&self, perm: &[usize]) -> Vec<u64> {
+        let n = perm.len();
+        let mut canon_of = vec![0usize; n];
+        for (ci, &v) in perm.iter().enumerate() {
+            canon_of[v] = ci;
+        }
+        let mut code = Vec::with_capacity(n * 8);
+        code.push(n as u64);
+        for &v in perm {
+            let vid = VertexId(v);
+            push_q(&mut code, self.task.wcet(vid));
+            match self.task.deadline(vid) {
+                Some(d) => {
+                    code.push(1);
+                    push_q(&mut code, d);
+                }
+                None => code.push(0),
+            }
+            let mut edges: Vec<(usize, Q)> = self.out[v]
+                .iter()
+                .map(|&(sep, to)| (canon_of[to], sep))
+                .collect();
+            edges.sort();
+            code.push(edges.len() as u64);
+            for (to, sep) in edges {
+                code.push(to as u64);
+                push_q(&mut code, sep);
+            }
+        }
+        code
+    }
+
+    /// Is the colouring discrete (all colours distinct)? If so, returns
+    /// the canonical order (vertices sorted by colour).
+    fn discrete_order(colors: &[u64]) -> Option<Vec<usize>> {
+        let mut order: Vec<usize> = (0..colors.len()).collect();
+        order.sort_by_key(|&v| colors[v]);
+        for w in order.windows(2) {
+            if colors[w[0]] == colors[w[1]] {
+                return None;
+            }
+        }
+        Some(order)
+    }
+
+    /// Individualization-refinement search for the lexicographically
+    /// smallest code, bounded by [`LEAF_CAP`] leaves.
+    fn search(&mut self, colors: Vec<u64>) {
+        if self.leaves >= LEAF_CAP {
+            return;
+        }
+        if let Some(order) = Self::discrete_order(&colors) {
+            self.leaves += 1;
+            let code = self.code_for(&order);
+            if self.best.as_ref().is_none_or(|b| code < *b) {
+                self.best = Some(code);
+            }
+            return;
+        }
+        // Target the ambiguous class with the smallest colour value —
+        // a choice depending only on colour values, not vertex order.
+        let mut target: Option<u64> = None;
+        for (i, &c) in colors.iter().enumerate() {
+            if colors.iter().enumerate().any(|(j, &d)| j != i && d == c) {
+                target = Some(target.map_or(c, |t: u64| t.min(c)));
+            }
+        }
+        let target = target.expect("non-discrete colouring has a tied class");
+        let members: Vec<usize> = (0..colors.len())
+            .filter(|&v| colors[v] == target)
+            .collect();
+        for v in members {
+            if self.leaves >= LEAF_CAP {
+                return;
+            }
+            let mut branch = colors.clone();
+            branch[v] = mix64(branch[v] ^ 0x1d1d_1d1d_1d1d_1d1d);
+            self.refine(&mut branch);
+            self.search(branch);
+        }
+    }
+
+    fn run(mut self) -> CanonicalForm {
+        let n = self.task.num_vertices();
+        if n == 0 {
+            return CanonicalForm { code: vec![0] };
+        }
+        let mut colors = self.initial_colors();
+        self.refine(&mut colors);
+        self.search(colors.clone());
+        let code = match self.best.take() {
+            Some(code) => code,
+            None => {
+                // Branch budget exhausted before any labelling completed
+                // (only possible on pathologically symmetric graphs):
+                // complete by (colour, presentation order). Sound — the
+                // code still fully serializes the graph — merely not
+                // canonical across presentations.
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by_key(|&v| (colors[v], v));
+                self.code_for(&order)
+            }
+        };
+        CanonicalForm { code }
+    }
+}
+
+fn distinct(colors: &[u64]) -> usize {
+    let mut sorted = colors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// The canonical form of a single task. Vertex order, vertex labels and
+/// the task name do not influence the result; WCETs, deadlines, edges and
+/// separations all do.
+pub fn canonical_task_form(task: &DrtTask) -> CanonicalForm {
+    Canonicalizer::new(task).run()
+}
+
+/// Combines per-task canonical forms and an extra lane sequence (the
+/// resource/server component) into a system-level canonical form.
+///
+/// The task multiset is order-insensitive: forms are sorted
+/// lexicographically before concatenation (duplicates are kept — two
+/// identical streams load the resource twice).
+pub fn combine_forms(mut task_forms: Vec<CanonicalForm>, extra: &[u64]) -> CanonicalForm {
+    task_forms.sort_by(|a, b| a.code.cmp(&b.code));
+    let mut code = Vec::new();
+    code.push(task_forms.len() as u64);
+    for f in task_forms {
+        code.push(f.code.len() as u64);
+        code.extend_from_slice(&f.code);
+    }
+    code.push(0x5e7a_11ed);
+    code.push(extra.len() as u64);
+    code.extend_from_slice(extra);
+    CanonicalForm { code }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DrtTaskBuilder;
+    use srtw_minplus::q;
+
+    fn decoder_like(name: &str, swap: bool) -> DrtTask {
+        // Same graph built in two different vertex insertion orders with
+        // different labels.
+        let mut b = DrtTaskBuilder::new(name);
+        if swap {
+            let p = b.vertex("beta", Q::int(6));
+            let i = b.vertex_with_deadline("alpha", Q::int(12), Q::int(60));
+            b.edge(i, p, Q::int(10));
+            b.edge(p, p, Q::int(10));
+            b.edge(p, i, Q::int(12));
+        } else {
+            let i = b.vertex_with_deadline("I", Q::int(12), Q::int(60));
+            let p = b.vertex("P", Q::int(6));
+            b.edge(i, p, Q::int(10));
+            b.edge(p, p, Q::int(10));
+            b.edge(p, i, Q::int(12));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn presentation_insensitive() {
+        let a = canonical_task_form(&decoder_like("one", false));
+        let b = canonical_task_form(&decoder_like("two", true));
+        assert_eq!(a, b);
+        assert_eq!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn wcet_mutation_changes_form() {
+        let a = canonical_task_form(&decoder_like("t", false));
+        let mut b = DrtTaskBuilder::new("t");
+        let i = b.vertex_with_deadline("I", Q::int(12), Q::int(60));
+        let p = b.vertex("P", Q::int(7)); // 6 → 7
+        b.edge(i, p, Q::int(10));
+        b.edge(p, p, Q::int(10));
+        b.edge(p, i, Q::int(12));
+        let b = canonical_task_form(&b.build().unwrap());
+        assert_ne!(a, b);
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn symmetric_ring_is_rotation_invariant() {
+        // A 5-ring of identical vertices: WL cannot split the single
+        // colour class, so the individualization search does the work.
+        // Any rotation must canonicalize identically.
+        let ring = |rot: usize| {
+            let mut b = DrtTaskBuilder::new("ring");
+            let vs: Vec<_> = (0..5)
+                .map(|i| b.vertex(format!("v{i}"), Q::int(2)))
+                .collect();
+            for i in 0..5 {
+                b.edge(vs[(i + rot) % 5], vs[(i + rot + 1) % 5], Q::int(7));
+            }
+            b.build().unwrap()
+        };
+        let forms: Vec<_> = (0..5).map(|r| canonical_task_form(&ring(r))).collect();
+        for f in &forms[1..] {
+            assert_eq!(forms[0], *f);
+        }
+    }
+
+    #[test]
+    fn system_combination_is_task_order_insensitive() {
+        let t1 = canonical_task_form(&decoder_like("a", false));
+        let mut b = DrtTaskBuilder::new("b");
+        let v = b.vertex("x", Q::ONE);
+        b.edge(v, v, q(25, 1));
+        let t2 = canonical_task_form(&b.build().unwrap());
+        let s1 = combine_forms(vec![t1.clone(), t2.clone()], &[1, 2]);
+        let s2 = combine_forms(vec![t2.clone(), t1.clone()], &[1, 2]);
+        assert_eq!(s1, s2);
+        let s3 = combine_forms(vec![t1, t2], &[1, 3]);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn duplicate_tasks_are_a_multiset() {
+        let t = canonical_task_form(&decoder_like("a", false));
+        let one = combine_forms(vec![t.clone()], &[]);
+        let two = combine_forms(vec![t.clone(), t], &[]);
+        assert_ne!(one, two);
+    }
+}

@@ -45,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod canon;
 mod dbf;
 mod digraph;
 mod error;
@@ -54,6 +55,7 @@ mod rbf;
 mod trace;
 mod utilization;
 
+pub use canon::{canonical_task_form, combine_forms, CanonicalForm, StructHasher};
 pub use dbf::{Dbf, MissingDeadline};
 pub use digraph::{DrtTask, DrtTaskBuilder, Edge, Vertex, VertexId};
 pub use error::WorkloadError;

@@ -13,6 +13,7 @@
 use crate::digraph::DrtTask;
 use crate::paths::{explore_metered_threads, ExploreConfig};
 use srtw_minplus::{BudgetKind, BudgetMeter, Curve, Piece, Q, Tail};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// The request-bound function of a task, materialized up to a horizon.
@@ -320,6 +321,10 @@ const MEMO_WAYS: usize = 8;
 #[derive(Debug)]
 pub struct RbfMemo {
     slots: Vec<[OnceLock<(Q, Rbf)>; MEMO_WAYS]>,
+    /// Lookups answered from a cached slot (including seeded ones).
+    hits: AtomicU64,
+    /// Lookups that had to run the exploration.
+    computes: AtomicU64,
 }
 
 impl RbfMemo {
@@ -329,7 +334,57 @@ impl RbfMemo {
             slots: (0..num_tasks)
                 .map(|_| std::array::from_fn(|_| OnceLock::new()))
                 .collect(),
+            hits: AtomicU64::new(0),
+            computes: AtomicU64::new(0),
         }
+    }
+
+    /// Pre-populates a slot with an rbf computed elsewhere (e.g. by a
+    /// previous request, promoted across requests by the service layer).
+    ///
+    /// Only **exact** rbfs are accepted — a truncated rbf depends on the
+    /// budget state of the run that produced it, an exact one is a pure
+    /// function of `(task, horizon)`, which is what makes cross-request
+    /// promotion sound. Returns `true` when the entry was stored.
+    pub fn seed(&self, index: usize, horizon: Q, rbf: Rbf) -> bool {
+        if rbf.truncated().is_some() {
+            return false;
+        }
+        if let Some(ways) = self.slots.get(index) {
+            for slot in ways {
+                if matches!(slot.get(), Some((h, _)) if *h == horizon) {
+                    return true;
+                }
+                if slot.set((horizon, rbf.clone())).is_ok() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Every cached `(index, horizon, rbf)` entry — used by the service
+    /// layer to promote exact rbfs into its cross-request store.
+    pub fn snapshot(&self) -> Vec<(usize, Q, Rbf)> {
+        let mut out = Vec::new();
+        for (index, ways) in self.slots.iter().enumerate() {
+            for slot in ways {
+                if let Some((h, rbf)) = slot.get() {
+                    out.push((index, *h, rbf.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Lookups answered from a cached slot.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran the exploration.
+    pub fn computes(&self) -> u64 {
+        self.computes.load(Ordering::Relaxed)
     }
 
     /// Returns the cached rbf for `(index, horizon)` or computes it with
@@ -349,11 +404,13 @@ impl RbfMemo {
             for slot in ways {
                 if let Some((h, rbf)) = slot.get() {
                     if *h == horizon {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
                         return rbf.clone();
                     }
                 }
             }
         }
+        self.computes.fetch_add(1, Ordering::Relaxed);
         let rbf = Rbf::compute_metered_threads(task, horizon, meter, threads);
         if rbf.truncated().is_none() {
             if let Some(ways) = self.slots.get(index) {

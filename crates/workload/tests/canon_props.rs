@@ -1,0 +1,255 @@
+//! Property-based tests for the canonicalization pass ([`srtw_workload::canon`]).
+//!
+//! The two directions the content-addressed cache depends on:
+//!
+//! * **Invariance** — permuting vertex insertion order or renaming
+//!   labels never changes the canonical form (a cache keyed on it hits
+//!   across presentations);
+//! * **Sensitivity** — any single *semantic* mutation (WCET, separation,
+//!   deadline, edge set) produces a different canonical form. Each
+//!   mutation here provably changes a label multiset (WCETs, separations,
+//!   deadlines, or the edge count), so the mutant is never isomorphic to
+//!   the base and equal forms would be a soundness bug, not a collision.
+//!
+//! Runs on the in-house seeded harness ([`srtw_detrand::prop`]); set
+//! `SRTW_PROP_CASES` / `SRTW_PROP_SEED` / `SRTW_PROP_REPLAY` to control it.
+
+use srtw_detrand::prop::forall;
+use srtw_detrand::Rng;
+use srtw_minplus::Q;
+use srtw_workload::{canonical_task_form, combine_forms, DrtTask, DrtTaskBuilder};
+
+/// A task described as plain data so the harness can print and shrink it.
+#[derive(Debug, Clone)]
+struct Spec {
+    /// Per-vertex `(wcet, deadline)`; wide value ranges keep WL color
+    /// classes mostly distinct, so the branching search stays shallow.
+    vertices: Vec<(i128, Option<i128>)>,
+    /// `(from, to, separation)`; the first `n` edges are the ring that
+    /// keeps the task well-formed, the rest are chords.
+    edges: Vec<(usize, usize, i128)>,
+}
+
+impl Spec {
+    fn n(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Builds the task with vertex insertion order `order` (old index
+    /// `order[k]` becomes new vertex `k`) and the given label prefix.
+    fn build(&self, order: &[usize], prefix: &str) -> DrtTask {
+        let mut pos = vec![0usize; self.n()];
+        for (k, &old) in order.iter().enumerate() {
+            pos[old] = k;
+        }
+        let mut b = DrtTaskBuilder::new("spec");
+        let mut ids = Vec::with_capacity(self.n());
+        for (k, &old) in order.iter().enumerate() {
+            let (w, d) = self.vertices[old];
+            ids.push(match d {
+                Some(d) => b.vertex_with_deadline(format!("{prefix}{k}"), Q::int(w), Q::int(d)),
+                None => b.vertex(format!("{prefix}{k}"), Q::int(w)),
+            });
+        }
+        // Edge insertion order permuted along with the vertices, so the
+        // two presentations share nothing but structure.
+        let mut edges: Vec<_> = self
+            .edges
+            .iter()
+            .map(|&(f, t, s)| (pos[f], pos[t], s))
+            .collect();
+        edges.sort_unstable();
+        for (f, t, s) in edges {
+            b.edge(ids[f], ids[t], Q::int(s));
+        }
+        b.build().expect("spec builds a valid task")
+    }
+
+    fn identity(&self) -> Vec<usize> {
+        (0..self.n()).collect()
+    }
+}
+
+fn spec(rng: &mut Rng, size: u32) -> Spec {
+    let n = rng.random_range(2usize..(3 + (size as usize % 5)));
+    let vertices: Vec<(i128, Option<i128>)> = (0..n)
+        .map(|_| {
+            let w = rng.random_range(1i128..10_000);
+            let d = rng
+                .random_bool()
+                .then(|| w + rng.random_range(1i128..10_000));
+            (w, d)
+        })
+        .collect();
+    let mut edges: Vec<(usize, usize, i128)> = (0..n)
+        .map(|i| (i, (i + 1) % n, rng.random_range(2i128..10_000)))
+        .collect();
+    let mut present: std::collections::HashSet<(usize, usize)> =
+        edges.iter().map(|&(f, t, _)| (f, t)).collect();
+    for _ in 0..rng.random_range(0usize..2 * n) {
+        let f = rng.random_range(0usize..n);
+        let t = rng.random_range(0usize..n);
+        if present.insert((f, t)) {
+            edges.push((f, t, rng.random_range(2i128..10_000)));
+        }
+    }
+    Spec { vertices, edges }
+}
+
+#[test]
+fn canonical_form_is_invariant_under_permutation_and_renaming() {
+    forall(
+        "canon_permutation_invariance",
+        |rng, size| {
+            let s = spec(rng, size);
+            let mut perm = s.identity();
+            rng.shuffle(&mut perm);
+            (s, perm)
+        },
+        |(s, perm)| {
+            let base = canonical_task_form(&s.build(&s.identity(), "v"));
+            let permuted = canonical_task_form(&s.build(perm, "renamed_"));
+            assert_eq!(
+                base, permuted,
+                "permuted/renamed presentation changed the canonical form"
+            );
+            assert_eq!(base.hash(), permuted.hash());
+        },
+    );
+}
+
+/// One semantic mutation, chosen and parameterized by the seed.
+#[derive(Debug, Clone)]
+enum Mutation {
+    Wcet { v: usize, delta: i128 },
+    Sep { e: usize, delta: i128 },
+    DeadlineToggle { v: usize },
+    AddEdge { f: usize, t: usize, sep: i128 },
+    DropChord { e: usize },
+}
+
+fn mutate(s: &Spec, m: &Mutation) -> Spec {
+    let mut out = s.clone();
+    match *m {
+        Mutation::Wcet { v, delta } => out.vertices[v].0 += delta,
+        Mutation::Sep { e, delta } => out.edges[e].2 += delta,
+        Mutation::DeadlineToggle { v } => {
+            let (w, d) = out.vertices[v];
+            out.vertices[v].1 = match d {
+                Some(_) => None,
+                None => Some(w + 7),
+            };
+        }
+        Mutation::AddEdge { f, t, sep } => out.edges.push((f, t, sep)),
+        Mutation::DropChord { e } => {
+            out.edges.remove(e);
+        }
+    }
+    out
+}
+
+#[test]
+fn any_single_semantic_mutation_changes_the_canonical_form() {
+    forall(
+        "canon_mutation_sensitivity",
+        |rng, size| {
+            let s = spec(rng, size);
+            let n = s.n();
+            let mutation = match rng.random_range(0u32..5) {
+                0 => Mutation::Wcet {
+                    v: rng.random_range(0usize..n),
+                    delta: rng.random_range(1i128..1_000),
+                },
+                1 => Mutation::Sep {
+                    e: rng.random_range(0usize..s.edges.len()),
+                    delta: rng.random_range(1i128..1_000),
+                },
+                2 => Mutation::DeadlineToggle {
+                    v: rng.random_range(0usize..n),
+                },
+                3 => {
+                    // A (from, to) pair not in the edge set, if any —
+                    // else fall back to a WCET bump.
+                    let present: std::collections::HashSet<_> =
+                        s.edges.iter().map(|&(f, t, _)| (f, t)).collect();
+                    let absent = (0..n)
+                        .flat_map(|f| (0..n).map(move |t| (f, t)))
+                        .find(|p| !present.contains(p));
+                    match absent {
+                        Some((f, t)) => Mutation::AddEdge {
+                            f,
+                            t,
+                            sep: rng.random_range(2i128..1_000),
+                        },
+                        None => Mutation::Wcet {
+                            v: 0,
+                            delta: rng.random_range(1i128..1_000),
+                        },
+                    }
+                }
+                _ => {
+                    // Only chords (edges past the ring) are droppable
+                    // without disconnecting the graph; with none, fall
+                    // back to a separation bump.
+                    if s.edges.len() > n {
+                        Mutation::DropChord {
+                            e: rng.random_range(n..s.edges.len()),
+                        }
+                    } else {
+                        Mutation::Sep {
+                            e: rng.random_range(0usize..s.edges.len()),
+                            delta: rng.random_range(1i128..1_000),
+                        }
+                    }
+                }
+            };
+            (s, mutation)
+        },
+        |(s, mutation)| {
+            let base = canonical_task_form(&s.build(&s.identity(), "v"));
+            let mutant_spec = mutate(s, mutation);
+            // Present the mutant under a random-ish permutation too: the
+            // forms must differ for *every* presentation of the mutant.
+            let mut order = mutant_spec.identity();
+            let shift = 1 % order.len().max(1);
+            order.rotate_left(shift);
+            let mutant = canonical_task_form(&mutant_spec.build(&order, "v"));
+            assert_ne!(
+                base, mutant,
+                "semantic mutation {mutation:?} left the canonical form unchanged"
+            );
+            assert_ne!(base.hash(), mutant.hash());
+        },
+    );
+}
+
+#[test]
+fn system_form_is_invariant_under_task_order() {
+    forall(
+        "canon_task_order_invariance",
+        |rng, size| (spec(rng, size), spec(rng, size)),
+        |(a, b)| {
+            let fa = canonical_task_form(&a.build(&a.identity(), "a"));
+            let fb = canonical_task_form(&b.build(&b.identity(), "b"));
+            let extra = [3, 1, 4];
+            let ab = combine_forms(vec![fa.clone(), fb.clone()], &extra);
+            let ba = combine_forms(vec![fb, fa], &extra);
+            assert_eq!(ab, ba, "task declaration order leaked into the system form");
+            assert_eq!(ab.hash(), ba.hash());
+        },
+    );
+}
+
+#[test]
+fn system_form_distinguishes_server_parameters() {
+    let s = Spec {
+        vertices: vec![(3, None), (5, Some(20))],
+        edges: vec![(0, 1, 7), (1, 0, 9)],
+    };
+    let form = canonical_task_form(&s.build(&s.identity(), "v"));
+    let with_a = combine_forms(vec![form.clone()], &[1, 2, 3]);
+    let with_b = combine_forms(vec![form.clone()], &[1, 2, 4]);
+    let without = combine_forms(vec![form], &[]);
+    assert_ne!(with_a, with_b);
+    assert_ne!(with_a, without);
+}

@@ -19,9 +19,10 @@
 #      fault-injected batch must exhaust the ladder and exit 4;
 #   7. performance-regression gate: the newest committed BENCH_*.json
 #      must not regress the `convolution`, `rbf`, `server_throughput`,
-#      `fused_pipeline`, `server_connections`, and `journal_overhead`
-#      suite medians by more than 1.5x against the best older committed document (a suite
-#      with no baseline yet is skipped with a notice);
+#      `fused_pipeline`, `server_connections`, `journal_overhead`, and
+#      `cache_saturation` suite medians by more than 1.5x against the
+#      best older committed document (a suite with no baseline yet is
+#      skipped with a notice);
 #   8. service smoke test: `srtw serve` on an ephemeral port must answer
 #      /healthz, produce an exact and a deadline-degraded /analyze,
 #      shed with 503 when flooded past the queue bound, and drain
@@ -35,7 +36,12 @@
 #  10. durable batch: a journaled 100-job batch SIGKILL'd mid-run must
 #      resume from its journal (>=1 job replayed, not recomputed) with a
 #      final report byte-identical to an uninterrupted run, and a
-#      deterministic torn-write fault must recover the same way.
+#      deterministic torn-write fault must recover the same way;
+#  11. cache + delta smoke test: the same system POSTed twice must
+#      replay the first body verbatim (a /stats-confirmed cache hit),
+#      a POST /analyze/delta edit must match a cold CLI run of the
+#      edited system byte-for-byte (modulo runtime_secs), and the
+#      server must still drain with exit 0.
 #
 # Benchmarks run separately (they are slow by design):
 #   cargo run -p srtw-bench --release --bin experiments
@@ -43,7 +49,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/10 dependency audit (path-only policy) =="
+echo "== 1/11 dependency audit (path-only policy) =="
 # Inside [dependencies*] / [workspace.dependencies] sections, every
 # dependency line must carry `path =` or `workspace = true`; a version
 # requirement ("1.0", { version = ... }) means a registry dependency.
@@ -64,15 +70,15 @@ if [ -n "$violations" ]; then
 fi
 echo "ok: all dependencies are workspace path crates"
 
-echo "== 2/10 offline build + tests =="
+echo "== 2/11 offline build + tests =="
 cargo build --release --offline --workspace
 cargo clippy --offline --workspace -- -D warnings
 SRTW_BENCH_FAST=1 cargo test -q --offline --workspace
 
-echo "== 3/10 examples build =="
+echo "== 3/11 examples build =="
 cargo build --release --offline --examples
 
-echo "== 4/10 CLI smoke test =="
+echo "== 4/11 CLI smoke test =="
 out=$(cargo run --release --offline -q --bin srtw -- analyze systems/decoder.srtw)
 echo "$out" | grep -q "RTC baseline" || {
     echo "error: analyze output missing the RTC baseline line" >&2
@@ -84,7 +90,7 @@ case "$json" in
     *) echo "error: --json output is not a JSON object" >&2; exit 1 ;;
 esac
 
-echo "== 5/10 adversarial stress suite =="
+echo "== 5/11 adversarial stress suite =="
 # Elevated case count for the seeded property suite; the release profile
 # keeps the 150 ms wall budget per case meaningful.
 SRTW_PROP_CASES=256 cargo test -q --release --offline --test stress
@@ -107,7 +113,7 @@ grep -q "degraded" "$adv_err" || {
 }
 rm -f "$adv_err"
 
-echo "== 6/10 supervised batch smoke test =="
+echo "== 6/11 supervised batch smoke test =="
 # The shipped systems under a 2 s per-attempt watchdog: the adversarial
 # job must wind down to a *degraded* (still sound) result, never a
 # failure — batch exit 0, summary status "some_degraded".
@@ -147,7 +153,7 @@ case "$fault_json" in
     *) echo 'error: fault-injected batch summary not "some_failed"' >&2; exit 1 ;;
 esac
 
-echo "== 7/10 performance-regression gate =="
+echo "== 7/11 performance-regression gate =="
 # Newest committed BENCH document vs every older one; the gate watches
 # the algorithmic suites whose medians are stable across machines.
 bench_docs=$(ls -1 BENCH_*.json 2>/dev/null | sort -t_ -k2 -n -r)
@@ -155,12 +161,12 @@ if [ "$(echo "$bench_docs" | wc -l)" -ge 2 ]; then
     # shellcheck disable=SC2086
     cargo run -p srtw-bench --release --offline -q --bin experiments -- \
         gate $bench_docs --factor 1.5 \
-        --groups convolution,rbf,server_throughput,fused_pipeline,server_connections,journal_overhead
+        --groups convolution,rbf,server_throughput,fused_pipeline,server_connections,journal_overhead,cache_saturation
 else
     echo "skip: fewer than two BENCH_*.json documents committed"
 fi
 
-echo "== 8/10 service smoke test =="
+echo "== 8/11 service smoke test =="
 # One request over /dev/tcp (no curl in the offline environment): prints
 # the full response (head + body) on stdout.
 http_req() { # port method target [body-file] [extra-header]
@@ -265,7 +271,7 @@ wait
 rm -rf "$flood_dir" "$serve_out" "$serve_err"
 echo "ok: serve answered, degraded under deadline, shed under flood, drained cleanly"
 
-echo "== 9/10 replicated soak =="
+echo "== 9/11 replicated soak =="
 rep_out=$(mktemp); rep_err=$(mktemp)
 # Two shared-nothing replicas; replica 0 is armed to abort after its
 # 120th request, well inside the first flood wave.
@@ -373,7 +379,7 @@ done
 rm -f "$rep_out" "$rep_out.flood1" "$rep_err"
 echo "ok: 10k-connection soak over 2 replicas — one abort recovered, flat RSS, no fd leak, clean drain"
 
-echo "== 10/10 durable batch crash recovery =="
+echo "== 10/11 durable batch crash recovery =="
 # 100 copies of the fast decoder system: enough fsync'd records that a
 # mid-run SIGKILL reliably lands between the first and the last.
 jr_dir=$(mktemp -d)
@@ -444,5 +450,65 @@ if ! diff -q "$jr_dir/clean.json" "$jr_dir/torn-resumed.json" >/dev/null; then
 fi
 rm -rf "$jr_dir" "$resume_err"
 echo "ok: journaled batch survived SIGKILL and a torn write — resume replayed, bytes identical"
+
+echo "== 11/11 cache + delta smoke test =="
+cache_out=$(mktemp); cache_err=$(mktemp)
+target/release/srtw serve --addr 127.0.0.1:0 --workers 2 \
+    >"$cache_out" 2>"$cache_err" &
+cache_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$cache_out" && break
+    sleep 0.1
+done
+port=$(sed -n 's/.*:\([0-9]*\)$/\1/p' "$cache_out")
+if [ -z "$port" ]; then
+    echo "error: srtw serve did not report a listening address" >&2
+    kill "$cache_pid" 2>/dev/null; exit 1
+fi
+# 11a: the same system twice — the second answer must replay the first's
+# bytes *verbatim* (not merely modulo runtime) and /stats must record
+# exactly one hit against one miss.
+first=$(http_req "$port" POST /analyze systems/decoder.srtw | tail -1)
+second=$(http_req "$port" POST /analyze systems/decoder.srtw | tail -1)
+if [ "$first" != "$second" ]; then
+    echo "error: repeated POST /analyze bodies differ (cache did not replay)" >&2
+    exit 1
+fi
+stats=$(http_req "$port" GET /stats | tail -1)
+case "$stats" in
+    *'"cache_hits":1'*) : ;;
+    *) echo "error: /stats did not record the cache hit: $stats" >&2; exit 1 ;;
+esac
+case "$stats" in
+    *'"cache_misses":1'*) : ;;
+    *) echo "error: /stats miss counter wrong after two identical POSTs: $stats" >&2; exit 1 ;;
+esac
+# 11b: a delta edit over the warm base must answer byte-identically
+# (modulo runtime_secs) to a cold CLI run of the edited system.
+delta_dir=$(mktemp -d)
+{ cat systems/decoder.srtw; printf '@delta\ndeadline decoder B 24\n'; } >"$delta_dir/delta.body"
+sed 's/deadline=25/deadline=24/' systems/decoder.srtw >"$delta_dir/edited.srtw"
+delta_doc=$(http_req "$port" POST /analyze/delta "$delta_dir/delta.body" | tail -1 | norm_runtime)
+cold_doc=$(target/release/srtw analyze "$delta_dir/edited.srtw" --json 2>/dev/null | norm_runtime)
+if [ "$delta_doc" != "$cold_doc" ]; then
+    echo "error: POST /analyze/delta diverged from a cold CLI run of the edited system" >&2
+    exit 1
+fi
+# 11c: graceful drain, exit 0.
+http_req "$port" POST /shutdown | grep -q '"status":"draining"' || {
+    echo "error: POST /shutdown did not answer draining" >&2
+    exit 1
+}
+set +e
+wait "$cache_pid"
+cache_rc=$?
+set -e
+if [ "$cache_rc" -ne 0 ]; then
+    echo "error: srtw serve exited $cache_rc after the cache smoke test" >&2
+    cat "$cache_err" >&2
+    exit 1
+fi
+rm -rf "$delta_dir" "$cache_out" "$cache_err"
+echo "ok: cache hit replayed verbatim, delta matched a cold run, drained cleanly"
 
 echo "verify: OK"

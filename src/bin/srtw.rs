@@ -16,10 +16,10 @@
 //!               [--workers N] [--queue N] [--max-conns N]
 //!               [--drain-ms MS] [--grace-ms MS] [--read-timeout-ms MS]
 //!               [--header-timeout-ms MS] [--deadline-ms MS] [--threads N]
-//!               [--journal PREFIX]
+//!               [--journal PREFIX] [--cache-bytes N]
 //!               [--fault SPEC|abort@N|stall@N:MS|closefd@N|torn@N|jcorrupt@N]
 //! srtw flood    <addr> [--count N] [--concurrency N] [--analyze FILE]
-//!               [--batch MANIFEST]
+//!               [--batch MANIFEST] [--prewarm N]
 //! ```
 //!
 //! System files use the text format documented in [`srtw::textfmt`].
@@ -73,7 +73,11 @@
 //! the queue is full), per-request deadlines (`X-Deadline-Ms` → sound
 //! degradation to the RTC bound), crash isolation, and a graceful drain
 //! on `SIGINT`/`SIGTERM` or `POST /shutdown` (exit 0; a stderr warning if
-//! stragglers had to be cancelled).
+//! stragglers had to be cancelled). Repeats answer from a bounded
+//! content-addressed result cache (`--cache-bytes`, canonical-form
+//! keyed, byte-identical replay), and `POST /analyze/delta` (base
+//! system + `@delta` edit script) re-analyses only the streams an edit
+//! can reach, splicing the rest from the cached base run.
 //!
 //! # Exit codes
 //!
@@ -762,6 +766,7 @@ fn serve(opts: &[String]) -> Result<ExitCode, CliError> {
         replica: None,
         journal,
         journal_fault,
+        cache_bytes: parse_ms("--cache-bytes", 64 * 1024 * 1024)? as usize,
     };
 
     if opts.iter().any(|a| a == "--internal-replica") {
@@ -863,6 +868,7 @@ fn serve_supervisor(
         "--deadline-ms",
         "--threads",
         "--journal",
+        "--cache-bytes",
     ] {
         if let Some(v) = opt_value(opts, key) {
             child_args.push(key.to_string());
@@ -936,6 +942,22 @@ fn flood(opts: &[String]) -> Result<ExitCode, CliError> {
             std::fs::read(&path).map_err(|e| input(format!("cannot read {path}: {e}")))?,
         ),
     };
+    // --prewarm N posts the --analyze body N times before the timed run,
+    // so the measured flood hits the service's warm result cache; with 0
+    // (the default) the flood measures the cold path.
+    let prewarm: u64 = opt_value(opts, "--prewarm")
+        .unwrap_or_else(|| "0".into())
+        .parse()
+        .map_err(|e| input(format!("bad --prewarm: {e}")))?;
+    if prewarm > 0 {
+        let Some(b) = body.as_deref() else {
+            return Err(input("--prewarm requires --analyze FILE"));
+        };
+        for _ in 0..prewarm {
+            let _ = client_roundtrip(&addr, "POST", "/analyze", &[], b);
+        }
+    }
+    let started = std::time::Instant::now();
     let ok = AtomicU64::new(0);
     let shed = AtomicU64::new(0);
     let client_err = AtomicU64::new(0);
@@ -983,13 +1005,15 @@ fn flood(opts: &[String]) -> Result<ExitCode, CliError> {
     } else {
         String::new()
     };
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
     println!(
-        "flood complete: total={count} ok={} shed_503={} client_4xx={} server_5xx={} transport_errors={}{batch_suffix}",
+        "flood complete: total={count} ok={} shed_503={} client_4xx={} server_5xx={} transport_errors={} req_per_s={:.1}{batch_suffix}",
         ok.into_inner(),
         shed.into_inner(),
         client_err.into_inner(),
         server_err.into_inner(),
         transport.into_inner(),
+        count as f64 / elapsed,
     );
     Ok(ExitCode::SUCCESS)
 }
