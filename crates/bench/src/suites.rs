@@ -629,6 +629,40 @@ pub fn journal_overhead_suite(t: &Timer) -> Vec<Sample> {
     out
 }
 
+/// A scaled-down `systems/adversarial.srtw`: heavy and light job
+/// types near demand density 1, fully connected, with pairwise
+/// distinct fractional separations so dominance pruning retains
+/// nearly every abstract path — but over a busy window shallow
+/// enough that exact exploration terminates in tens of milliseconds
+/// instead of never. `bump` perturbs one WCET numerator, giving each
+/// cold request a distinct canonical form.
+fn adversarial_class(bump: u64) -> String {
+    const DEN: u64 = 10_007;
+    let names = ["h0", "h1", "h2", "l3", "l4"];
+    let base = |n: &str| if n.starts_with('h') { 8 } else { 5 };
+    let mut text = String::from("task dense\n");
+    for (i, n) in names.iter().enumerate() {
+        let mut num = base(n) * DEN + 56 + 7 * i as u64;
+        if i == 0 {
+            num += bump;
+        }
+        text.push_str(&format!("vertex {n} wcet={num}/{DEN}\n"));
+    }
+    let mut k = 0u64;
+    for from in names {
+        for to in names {
+            if from == to {
+                continue;
+            }
+            let num = base(from) * DEN + 69 + 13 * k;
+            k += 1;
+            text.push_str(&format!("edge {from} {to} sep={num}/{DEN}\n"));
+        }
+    }
+    text.push_str("server rate-latency rate=2 latency=40\n");
+    text
+}
+
 /// B11 — cache saturation: the content-addressed result cache under
 /// concurrency past the worker count, at one and two shared-nothing
 /// replicas. `cold` measurements mutate one WCET numerator per request so
@@ -642,40 +676,6 @@ pub fn cache_saturation_suite(t: &Timer) -> Vec<Sample> {
     use srtw_serve::{ServeConfig, Server};
     use std::net::SocketAddr;
     use std::sync::atomic::{AtomicU64, Ordering};
-
-    /// A scaled-down `systems/adversarial.srtw`: heavy and light job
-    /// types near demand density 1, fully connected, with pairwise
-    /// distinct fractional separations so dominance pruning retains
-    /// nearly every abstract path — but over a busy window shallow
-    /// enough that exact exploration terminates in tens of milliseconds
-    /// instead of never. `bump` perturbs one WCET numerator, giving each
-    /// cold request a distinct canonical form.
-    fn adversarial_class(bump: u64) -> String {
-        const DEN: u64 = 10_007;
-        let names = ["h0", "h1", "h2", "l3", "l4"];
-        let base = |n: &str| if n.starts_with('h') { 8 } else { 5 };
-        let mut text = String::from("task dense\n");
-        for (i, n) in names.iter().enumerate() {
-            let mut num = base(n) * DEN + 56 + 7 * i as u64;
-            if i == 0 {
-                num += bump;
-            }
-            text.push_str(&format!("vertex {n} wcet={num}/{DEN}\n"));
-        }
-        let mut k = 0u64;
-        for from in names {
-            for to in names {
-                if from == to {
-                    continue;
-                }
-                let num = base(from) * DEN + 69 + 13 * k;
-                k += 1;
-                text.push_str(&format!("edge {from} {to} sep={num}/{DEN}\n"));
-            }
-        }
-        text.push_str("server rate-latency rate=2 latency=40\n");
-        text
-    }
 
     fn post(addr: &SocketAddr, body: &str) {
         let (status, _, resp) =
@@ -765,9 +765,92 @@ pub fn cache_saturation_suite(t: &Timer) -> Vec<Sample> {
     out
 }
 
-/// Runs all eleven suites in order (convolution, rbf, structural,
+/// B12 — warm restart: what the crash-safe spill store buys. A server
+/// with persistence on is seeded with an adversarial-class analysis,
+/// shut down, and a brand-new server is spawned over the same spill
+/// directory; the suite measures the cold seed (which also pays the
+/// spill append), a warm hit in the same process, a warm hit after the
+/// full restart, and the raw startup spill load. It also asserts the
+/// headline acceptance number: a warm hit *after a restart* answers
+/// ≥ 100× faster than the cold path.
+pub fn warm_restart_suite(t: &Timer) -> Vec<Sample> {
+    use srtw_serve::http::client_roundtrip;
+    use srtw_serve::{ServeConfig, Server};
+    use std::net::SocketAddr;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn post(addr: &SocketAddr, body: &str) {
+        let (status, _, resp) =
+            client_roundtrip(addr, "POST", "/analyze", &[], body.as_bytes()).expect("round trip");
+        assert_eq!(status, 200, "{resp}");
+        black_box(resp);
+    }
+
+    let dir = std::env::temp_dir().join(format!("srtw-bench-warm-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spawn = || {
+        Server::spawn(ServeConfig {
+            workers: 2,
+            persist: Some(dir.to_str().unwrap().to_string()),
+            ..Default::default()
+        })
+        .expect("bind an ephemeral port for the warm-restart bench")
+    };
+
+    let mut out = Vec::new();
+    let warm_body = adversarial_class(0);
+    let seq = AtomicU64::new(1);
+
+    // Phase 1: the seeding server. Every cold request both computes and
+    // spills, so `analyze_cold/seed_and_spill` prices the write side of
+    // persistence bundled with the analysis it protects.
+    let first = spawn();
+    post(&first.addr(), &warm_body);
+    let cold = t.bench("warm_restart", "analyze_cold/seed_and_spill", || {
+        post(
+            &first.addr(),
+            &adversarial_class(seq.fetch_add(1, Ordering::Relaxed)),
+        );
+    });
+    out.push(t.bench("warm_restart", "analyze_warm/same_process", || {
+        post(&first.addr(), &warm_body);
+    }));
+    let report = first.shutdown();
+    assert!(report.clean(), "bench server failed to drain: {report:?}");
+
+    // Phase 2: the raw spill load the restart will pay, measured on the
+    // directory phase 1 left behind.
+    out.push(t.bench("warm_restart", "startup/load_dir", || {
+        let load = srtw_persist::load_dir(&dir);
+        assert!(!load.records.is_empty(), "the seeded spill must load");
+        black_box(load.records.len());
+    }));
+
+    // Phase 3: a brand-new server over the same directory answers the
+    // seeded request warm — the acceptance ratio is against the cold
+    // path from phase 1.
+    let second = spawn();
+    let warm = t.bench("warm_restart", "analyze_warm/after_restart", || {
+        post(&second.addr(), &warm_body);
+    });
+    assert!(
+        warm.median_ns * 100.0 <= cold.median_ns,
+        "a restart-warm hit must answer >= 100x faster than the cold path: warm {} vs cold {}",
+        crate::timing::human_ns(warm.median_ns),
+        crate::timing::human_ns(cold.median_ns),
+    );
+    out.insert(0, cold);
+    out.push(warm);
+    let report = second.shutdown();
+    assert!(report.clean(), "bench server failed to drain: {report:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+/// Runs all twelve suites in order (convolution, rbf, structural,
 /// simulation, budgeted, parallel, server throughput, fused pipeline,
-/// server connections, journal overhead, cache saturation).
+/// server connections, journal overhead, cache saturation, warm
+/// restart).
 pub fn all_suites(t: &Timer) -> Vec<Sample> {
     let mut out = convolution_suite(t);
     out.extend(rbf_suite(t));
@@ -780,6 +863,7 @@ pub fn all_suites(t: &Timer) -> Vec<Sample> {
     out.extend(server_connections_suite(t));
     out.extend(journal_overhead_suite(t));
     out.extend(cache_saturation_suite(t));
+    out.extend(warm_restart_suite(t));
     out
 }
 
@@ -801,6 +885,7 @@ mod tests {
         assert_eq!(server_connections_suite(&t).len(), 3);
         assert_eq!(journal_overhead_suite(&t).len(), 4);
         assert_eq!(cache_saturation_suite(&t).len(), 7);
+        assert_eq!(warm_restart_suite(&t).len(), 4);
     }
 
     #[test]

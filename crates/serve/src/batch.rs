@@ -23,10 +23,16 @@
 //!   the manifest digest *before* the line is streamed. A replica that
 //!   dies mid-batch answers the re-POSTed manifest by replaying the
 //!   journaled outcomes verbatim — byte-identical lines, original wall
-//!   times — and recomputes only the unfinished tail. A journal append
-//!   failure aborts the process: durability was requested, so losing it
-//!   is a crash, and under `--replicas` the supervision tree turns that
-//!   crash into exactly the restart + resume path it exists for.
+//!   times — and recomputes only the unfinished tail. When the journal
+//!   already covers *every* manifest entry, the whole report streams on
+//!   a fast path with no supervisor, cancel token, or disconnect
+//!   watcher at all. A journal append failure aborts the process:
+//!   durability was requested, so losing it is a crash, and under
+//!   `--replicas` the supervision tree turns that crash into exactly
+//!   the restart + resume path it exists for. A journal *open* failure,
+//!   by contrast, degrades: nothing durable has been promised yet, so
+//!   the batch runs unjournaled with a typed `srtw-persist:` warning —
+//!   persistence failure never changes an HTTP status or a result byte.
 
 use crate::http::{chunk, chunked_head, Request, Response, CHUNK_TERMINATOR};
 use crate::mux;
@@ -34,6 +40,7 @@ use crate::server::{error_body, Shared};
 use srtw_core::textfmt::parse_system;
 use srtw_core::Json;
 use srtw_minplus::CancelToken;
+use srtw_persist::PersistError;
 use srtw_supervisor::journal::{self, JournalRecord, JournalWriter};
 use srtw_supervisor::{
     run_batch_observed, BatchConfig, JobOutcome, JobSpec, OutcomeObserver, SupervisorConfig,
@@ -81,11 +88,15 @@ pub(crate) fn stream_batch(shared: &Shared, req: &Request, stream: &mut TcpStrea
 }
 
 /// Everything decided before the first response byte: the parsed
-/// entries, the journal (opened or created), and the replayable records.
+/// entries, the journal (opened or created), the replayable records, and
+/// whether the journal already covers the whole manifest.
 struct Prepared {
     entries: Vec<Entry>,
     writer: Option<Arc<Mutex<JournalWriter>>>,
     replay: HashMap<String, JournalRecord>,
+    /// `true` when every manifest entry has a journaled outcome: the
+    /// response is a pure replay and skips the supervisor entirely.
+    complete: bool,
 }
 
 fn prepare(shared: &Shared, req: &Request) -> Result<Prepared, Box<Response>> {
@@ -119,6 +130,7 @@ fn prepare(shared: &Shared, req: &Request) -> Result<Prepared, Box<Response>> {
     // different manifest can never replay foreign outcomes.
     let digest = journal::digest64(&req.body);
     let mut replay = HashMap::new();
+    let mut complete = false;
     let writer = match &shared.cfg.journal {
         None => None,
         Some(prefix) => {
@@ -126,8 +138,9 @@ fn prepare(shared: &Shared, req: &Request) -> Result<Prepared, Box<Response>> {
             let writer = match journal::recover(&jpath) {
                 Ok(rec) if rec.digest == digest => {
                     for w in &rec.warnings {
-                        eprintln!("srtw-serve: journal {}: {w}", jpath.display());
+                        eprintln!("srtw-persist: {}: {w}", jpath.display());
                     }
+                    complete = rec.covers(entries.iter().map(|e| e.name()));
                     for r in rec.records {
                         replay.insert(r.name.clone(), r);
                     }
@@ -135,7 +148,8 @@ fn prepare(shared: &Shared, req: &Request) -> Result<Prepared, Box<Response>> {
                 }
                 Ok(_) => {
                     eprintln!(
-                        "srtw-serve: journal {} belongs to a different manifest; starting fresh",
+                        "srtw-persist: {}: byte 0: journal belongs to a different manifest; \
+                         starting fresh",
                         jpath.display()
                     );
                     JournalWriter::create(&jpath, digest)
@@ -145,7 +159,7 @@ fn prepare(shared: &Shared, req: &Request) -> Result<Prepared, Box<Response>> {
                 }
                 Err(e) => {
                     eprintln!(
-                        "srtw-serve: journal {} is unreadable ({e}); starting fresh",
+                        "srtw-persist: {}: byte 0: journal is unreadable ({e}); starting fresh",
                         jpath.display()
                     );
                     JournalWriter::create(&jpath, digest)
@@ -157,15 +171,14 @@ fn prepare(shared: &Shared, req: &Request) -> Result<Prepared, Box<Response>> {
                     Some(Arc::new(Mutex::new(w)))
                 }
                 Err(e) => {
-                    return Err(Box::new(Response::json(
-                        500,
-                        error_body(
-                            3,
-                            "internal",
-                            &format!("cannot open journal {}: {e}", jpath.display()),
-                            vec![],
-                        ),
-                    )))
+                    // Nothing durable has been promised yet, so an open
+                    // failure degrades: the batch runs unjournaled with a
+                    // typed warning. Only *append* failures (after the
+                    // durability promise) are treated as crashes.
+                    let typed = PersistError::classify(&jpath, &e);
+                    shared.stats.persist_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("srtw-persist: {typed}; batch continues without a journal");
+                    None
                 }
             }
         }
@@ -174,6 +187,7 @@ fn prepare(shared: &Shared, req: &Request) -> Result<Prepared, Box<Response>> {
         entries,
         writer,
         replay,
+        complete,
     })
 }
 
@@ -213,6 +227,7 @@ fn run_and_stream(shared: &Shared, prepared: Prepared, stream: &mut TcpStream) {
         entries,
         writer,
         mut replay,
+        complete,
     } = prepared;
 
     // Everything past this point streams: head first, then one line per
@@ -243,6 +258,25 @@ fn run_and_stream(shared: &Shared, prepared: Prepared, stream: &mut TcpStream) {
         }
     };
     write_frame(&chunked_head(200, "application/x-ndjson"));
+
+    // Warm-journal fast path: the journal fully covers the manifest, so
+    // the entire report streams as a verbatim replay — no supervisor, no
+    // cancel token, no disconnect watcher, nothing new to journal.
+    if complete {
+        let done: Vec<JournalRecord> = entries
+            .iter()
+            .map(|e| replay.get(e.name()).expect("complete covers every entry").clone())
+            .collect();
+        for rec in &done {
+            write_frame(&chunk(format!("{}\n", rec.json).as_bytes()));
+        }
+        shared
+            .stats
+            .batch_replayed
+            .fetch_add(done.len() as u64, Ordering::Relaxed);
+        stream_summary(&write_frame, &done, done.len() as u64);
+        return;
+    }
 
     // The batch-wide cancel token: raised by drain (via inflight), by
     // hard-cancel, and by the disconnect watcher below.
@@ -341,11 +375,16 @@ fn run_and_stream(shared: &Shared, prepared: Prepared, stream: &mut TcpStream) {
     // The summary line and terminator only go out on a live stream; a
     // vanished client gets truncation, which is the honest answer.
     let done: Vec<JournalRecord> = lines.into_iter().flatten().collect();
+    stream_summary(&write_frame, &done, replayed);
+}
+
+/// Streams the `{"summary":…}` line plus the chunked terminator.
+fn stream_summary(write_frame: &impl Fn(&[u8]), done: &[JournalRecord], replayed: u64) {
     let mut exact = 0i128;
     let mut degraded = 0i128;
     let mut failed = 0i128;
     let mut skipped = 0i128;
-    for rec in &done {
+    for rec in done {
         match rec.status {
             srtw_supervisor::JobStatus::Exact => exact += 1,
             srtw_supervisor::JobStatus::Degraded => degraded += 1,

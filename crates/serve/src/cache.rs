@@ -32,8 +32,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Shard count for the response cache (fixed power of two).
-const SHARDS: usize = 8;
+/// Shard count for the response cache (fixed power of two). The persist
+/// layer mirrors this: one spill file per shard, addressed by the same
+/// `canon & (SHARDS - 1)` index, so a shard's spill file replays into the
+/// same shard it was written from.
+pub(crate) const SHARDS: usize = 8;
 
 /// Most promoted `(horizon, rbf)` entries kept per canonical task hash —
 /// mirrors the per-request memo's way count.
@@ -67,8 +70,10 @@ struct Entry {
     /// The rendered 200 body, exactly as first sent.
     body: String,
     /// The structured report behind the body (delta re-uses per-stream
-    /// analyses from it).
-    report: FifoReport,
+    /// analyses from it). `None` for entries warm-loaded from a spill
+    /// file: the body replays verbatim, but delta splicing falls back to
+    /// a full recompute until a fresh analysis refills the report.
+    report: Option<FifoReport>,
     /// Approximate retained bytes.
     bytes: usize,
     /// LRU clock value of the last touch.
@@ -79,8 +84,9 @@ struct Entry {
 pub(crate) struct CacheHit {
     /// The stored body (byte-identical to the original response).
     pub body: String,
-    /// The structured report (for delta stream reuse).
-    pub report: FifoReport,
+    /// The structured report (for delta stream reuse); `None` on entries
+    /// warm-loaded from disk.
+    pub report: Option<FifoReport>,
 }
 
 /// Sharded, byte-budgeted response cache (see module docs).
@@ -103,13 +109,17 @@ impl std::fmt::Debug for ResultCache {
 }
 
 /// Estimates the retained size of one entry. The body and form dominate;
-/// the structured report is approximated from its vertex counts.
-fn entry_bytes(form: &CanonicalForm, body: &str, report: &FifoReport) -> usize {
+/// the structured report (absent on warm-loaded entries) is approximated
+/// from its vertex counts.
+fn entry_bytes(form: &CanonicalForm, body: &str, report: Option<&FifoReport>) -> usize {
     let report_bytes: usize = report
-        .per
-        .iter()
-        .map(|a| 256 + a.per_vertex.len() * 160 + a.degradations.len() * 96)
-        .sum();
+        .map(|r| {
+            r.per
+                .iter()
+                .map(|a| 256 + a.per_vertex.len() * 160 + a.degradations.len() * 96)
+                .sum()
+        })
+        .unwrap_or(0);
     body.len() + form.approx_bytes() + report_bytes + 128
 }
 
@@ -126,8 +136,14 @@ impl ResultCache {
         }
     }
 
+    /// Which shard a key lives in — also the spill-file index the persist
+    /// layer uses for this key.
+    pub fn shard_index(key: &CacheKey) -> usize {
+        (key.canon as usize) & (SHARDS - 1)
+    }
+
     fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Entry>> {
-        &self.shards[(key.canon as usize) & (SHARDS - 1)]
+        &self.shards[ResultCache::shard_index(key)]
     }
 
     fn tick(&self) -> u64 {
@@ -164,21 +180,24 @@ impl ResultCache {
 
     /// Stores a result, evicting least-recently-used entries from the
     /// key's shard until the entry fits its byte budget. An entry larger
-    /// than the whole shard budget is not stored at all.
+    /// than the whole shard budget is not stored at all. Returns `true`
+    /// when the entry was actually stored — the persist layer only spills
+    /// entries the in-memory cache accepted. `report` is `None` for
+    /// entries warm-loaded from disk.
     pub fn insert(
         &self,
         key: CacheKey,
         form: CanonicalForm,
         presentation: u64,
         body: String,
-        report: FifoReport,
-    ) {
+        report: Option<FifoReport>,
+    ) -> bool {
         if self.disabled() {
-            return;
+            return false;
         }
-        let bytes = entry_bytes(&form, &body, &report);
+        let bytes = entry_bytes(&form, &body, report.as_ref());
         if bytes > self.shard_budget {
-            return;
+            return false;
         }
         let mut shard = self.shard(&key).lock().unwrap();
         if let Some(old) = shard.remove(&key) {
@@ -209,6 +228,7 @@ impl ResultCache {
                 last_used: self.tick(),
             },
         );
+        true
     }
 
     /// Approximate retained bytes across all shards (a `/stats` gauge).
@@ -336,7 +356,7 @@ mod tests {
         let (form, report) = tiny_report();
         let cache = ResultCache::new(1 << 20);
         let k = key(form.hash());
-        cache.insert(k.clone(), form.clone(), 7, "body\n".into(), report);
+        assert!(cache.insert(k.clone(), form.clone(), 7, "body\n".into(), Some(report)));
         assert!(cache.lookup(&k, &form, 7).is_some());
         // Same key, different presentation: a miss, not a wrong body.
         assert!(cache.lookup(&k, &form, 8).is_none());
@@ -349,12 +369,12 @@ mod tests {
     fn byte_budget_evicts_lru() {
         let (form, report) = tiny_report();
         // Budget sized so a shard holds roughly one entry.
-        let one = entry_bytes(&form, "b", &report);
+        let one = entry_bytes(&form, "b", Some(&report));
         let cache = ResultCache::new(one * SHARDS + SHARDS);
         let mut keys = Vec::new();
         for i in 0..64u128 {
             let k = key(i);
-            cache.insert(k.clone(), form.clone(), 1, "b".into(), report.clone());
+            cache.insert(k.clone(), form.clone(), 1, "b".into(), Some(report.clone()));
             keys.push(k);
         }
         assert!(cache.evictions() > 0);
@@ -369,7 +389,7 @@ mod tests {
         let (form, report) = tiny_report();
         let cache = ResultCache::new(0);
         let k = key(form.hash());
-        cache.insert(k.clone(), form.clone(), 1, "b".into(), report);
+        assert!(!cache.insert(k.clone(), form.clone(), 1, "b".into(), Some(report)));
         assert!(cache.lookup(&k, &form, 1).is_none());
         assert_eq!(cache.bytes(), 0);
     }

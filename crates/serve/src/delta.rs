@@ -614,7 +614,10 @@ pub(crate) fn analyze_delta(shared: &Shared, req: &Request) -> Response {
         let cfg = cfg.clone();
         let edited = applied.edited_tasks.clone();
         let server_changed = applied.server_changed;
-        let base_report = base_hit.as_ref().map(|h| h.report.clone());
+        // A warm-loaded base entry has a verbatim body but no structured
+        // report; splicing then falls back to a full recompute, which is
+        // byte-identical by construction.
+        let base_report = base_hit.as_ref().and_then(|h| h.report.clone());
         contain(
             "srtw-serve-delta",
             None,
@@ -663,13 +666,7 @@ pub(crate) fn analyze_delta(shared: &Shared, req: &Request) -> Response {
                     .memo_store
                     .promote(&task_hashes(&system.tasks), &memo);
                 if cacheable && !outcome.report.degraded() {
-                    shared.cache.insert(
-                        key,
-                        form,
-                        presentation,
-                        body.clone(),
-                        outcome.report.clone(),
-                    );
+                    shared.cache_insert(key, form, presentation, &body, outcome.report.clone());
                 }
             }
             let mut resp = Response::json(200, body);

@@ -41,6 +41,16 @@
 //!   `POST /analyze/delta` re-analyses only the streams an edit can
 //!   provably reach — all three answering byte-identically to a cold
 //!   run, only faster.
+//! - **Crash-safe persistence** ([`srtw_persist`] wired through
+//!   [`server`] and [`batch`]): `--persist DIR` spills every cached
+//!   result to an append-only, CRC-framed shard file and warm-loads the
+//!   cache on startup (LRU order preserved, every record re-verified
+//!   against its canonical hash before it can answer); replicas share
+//!   the directory — each writes only its own shard files but
+//!   warm-loads from all, so a respawned replica inherits the fleet's
+//!   cache. Any persistence failure (`ENOSPC`, `EACCES`, torn or
+//!   corrupt spill bytes) degrades to a cold in-memory cache with a
+//!   typed `srtw-persist:` warning — never to a changed response.
 //!
 //! Status codes mirror the CLI exit contract (`200`↔0, `400`/`413`↔2,
 //! `500`↔3, `503`↔shed/draining), so a batch driver can treat the service
@@ -65,6 +75,7 @@ pub mod stats;
 pub mod sys;
 
 pub use fault::{ProcessFault, ProcessFaultKind};
+pub use srtw_persist::{PersistError, PersistErrorKind, PersistFault, PersistFaultKind};
 pub use replica::{ReplicaConfig, Supervisor};
 pub use report::{fifo_report, fifo_report_with_memo, FifoReport};
 pub use server::{DrainReport, ServeConfig, Server};

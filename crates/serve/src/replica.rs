@@ -108,6 +108,9 @@ struct Scraped {
     cache_evictions: u64,
     cache_bytes: u64,
     delta_full_fallbacks: u64,
+    persist_loaded: u64,
+    persist_stored: u64,
+    persist_errors: u64,
 }
 
 /// The running supervision tree. Construct with [`Supervisor::bind`],
@@ -459,6 +462,9 @@ impl Supervisor {
                 total.cache_evictions += s.cache_evictions;
                 total.cache_bytes += s.cache_bytes;
                 total.delta_full_fallbacks += s.delta_full_fallbacks;
+                total.persist_loaded += s.persist_loaded;
+                total.persist_stored += s.persist_stored;
+                total.persist_errors += s.persist_errors;
             }
             let s = scraped.unwrap_or_default();
             per.push(Json::object(vec![
@@ -481,6 +487,9 @@ impl Supervisor {
                     "delta_full_fallbacks",
                     Json::Int(s.delta_full_fallbacks as i128),
                 ),
+                ("persist_loaded", Json::Int(s.persist_loaded as i128)),
+                ("persist_stored", Json::Int(s.persist_stored as i128)),
+                ("persist_errors", Json::Int(s.persist_errors as i128)),
             ]));
         }
         let (healthy, need) = self.quorum();
@@ -515,6 +524,9 @@ impl Supervisor {
                         "delta_full_fallbacks",
                         Json::Int(total.delta_full_fallbacks as i128),
                     ),
+                    ("persist_loaded", Json::Int(total.persist_loaded as i128)),
+                    ("persist_stored", Json::Int(total.persist_stored as i128)),
+                    ("persist_errors", Json::Int(total.persist_errors as i128)),
                 ]),
             ),
             ("per_replica", Json::Array(per)),
@@ -629,6 +641,9 @@ fn scrape_stats(addr: &SocketAddr) -> Option<Scraped> {
         cache_evictions: scrape_u64(&body, "cache_evictions").unwrap_or(0),
         cache_bytes: scrape_u64(&body, "cache_bytes").unwrap_or(0),
         delta_full_fallbacks: scrape_u64(&body, "delta_full_fallbacks").unwrap_or(0),
+        persist_loaded: scrape_u64(&body, "persist_loaded").unwrap_or(0),
+        persist_stored: scrape_u64(&body, "persist_stored").unwrap_or(0),
+        persist_errors: scrape_u64(&body, "persist_errors").unwrap_or(0),
     })
 }
 

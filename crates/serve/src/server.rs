@@ -20,14 +20,15 @@ use crate::gate::Gate;
 use crate::http::{Request, RequestError, Response, MAX_HEAD_BYTES};
 use crate::mux::{self, ConnJob, MuxConfig, MuxHandle, ReturnedConn, Returner};
 use crate::pool::Pool;
-use crate::report::{fifo_report, fifo_report_with_memo};
+use crate::report::{fifo_report, fifo_report_with_memo, FifoReport};
 use crate::stats::{Gauges, Stats};
 use crate::sys;
 use srtw_core::textfmt::{parse_system, ParseError, ParseErrorKind, MAX_INPUT_BYTES};
 use srtw_core::{AnalysisConfig, Json};
 use srtw_minplus::{Budget, CancelToken, FaultPlan};
+use srtw_persist::{load_dir, PersistFault, Store};
 use srtw_supervisor::{contain, Contained, JournalFault};
-use srtw_workload::RbfMemo;
+use srtw_workload::{CanonicalForm, RbfMemo};
 use std::io::{self, Read as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -96,6 +97,21 @@ pub struct ServeConfig {
     /// Byte budget of the content-addressed result cache (`0` disables
     /// caching). Each replica owns an independent cache of this size.
     pub cache_bytes: usize,
+    /// Spill directory for the crash-safe persistent result store:
+    /// cached `/analyze` results are appended durably to per-shard spill
+    /// files and warm-loaded at startup, so a restarted process (or a
+    /// respawned replica, which reads every replica's files) answers
+    /// repeat requests byte-identically without recomputing. `None`
+    /// disables persistence. Any persistence failure degrades to a cold
+    /// in-memory cache with a typed `srtw-persist:` warning — it never
+    /// changes an HTTP status or a result byte.
+    pub persist: Option<String>,
+    /// Deterministic spill-write fault (`pers-torn@N` | `pers-corrupt@N`
+    /// | `pers-enospc@N`) injected into persist appends. Unlike journal
+    /// faults, a fired persist fault does *not* crash anything: the store
+    /// disables itself and the service continues cold, which is the
+    /// degradation contract under test.
+    pub persist_fault: Option<PersistFault>,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +133,8 @@ impl Default for ServeConfig {
             journal: None,
             journal_fault: None,
             cache_bytes: 64 * 1024 * 1024,
+            persist: None,
+            persist_fault: None,
         }
     }
 }
@@ -163,11 +181,65 @@ pub(crate) struct Shared {
     /// Promoted exact rbfs reused across requests (and across renamed /
     /// re-ordered variants the result cache cannot serve).
     pub(crate) memo_store: MemoStore,
+    /// Crash-safe spill store behind the result cache (`--persist DIR`).
+    /// `None` when persistence is off or degraded cold after a failure.
+    pub(crate) persist: Option<Store>,
 }
 
 impl Shared {
     pub(crate) fn register(&self, token: CancelToken) {
         self.inflight.lock().unwrap().push(token);
+    }
+
+    /// Stores a freshly computed exact result in the in-memory cache and,
+    /// when the entry was accepted and persistence is on, spills it
+    /// durably to this replica's shard file. A spill failure warns once
+    /// (typed, `srtw-persist:`-prefixed), bumps `persist_errors`, and the
+    /// service continues with the in-memory entry — persistence never
+    /// changes a response.
+    pub(crate) fn cache_insert(
+        &self,
+        key: CacheKey,
+        form: CanonicalForm,
+        presentation: u64,
+        body: &str,
+        report: FifoReport,
+    ) {
+        let shard = ResultCache::shard_index(&key);
+        let canon = key.canon;
+        let deadline_ms = key.deadline_ms;
+        let threads = key.threads;
+        let stored = self.cache.insert(
+            key,
+            form.clone(),
+            presentation,
+            body.to_string(),
+            Some(report),
+        );
+        if !stored {
+            return;
+        }
+        if let Some(store) = &self.persist {
+            match store.append(
+                shard,
+                canon,
+                deadline_ms,
+                threads as u32,
+                presentation,
+                form.code(),
+                body,
+            ) {
+                Ok(()) => {
+                    if !store.disabled() {
+                        self.stats.persist_stored.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(e) => {
+                    self.stats.persist_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("srtw-persist: {e}; continuing with a cold in-memory cache");
+                }
+            }
+        }
     }
 
     pub(crate) fn unregister(&self, token: &CancelToken) {
@@ -219,10 +291,63 @@ impl Server {
             workers,
         };
         let mux = mux::spawn(listener, mux_cfg, Arc::clone(&gate), Arc::clone(&stats))?;
+        let cache = ResultCache::new(cfg.cache_bytes);
+        let persist = match &cfg.persist {
+            None => None,
+            Some(dir) => {
+                let dir_path = std::path::Path::new(dir);
+                let load = load_dir(dir_path);
+                for w in &load.warnings {
+                    eprintln!("{w}");
+                }
+                let max_gen = load.records.iter().map(|r| r.generation).max().unwrap_or(0);
+                for rec in load.records {
+                    // Re-verify the content hash from the stored lanes: a
+                    // record that survived CRC checks but carries the
+                    // wrong form can only miss, never lie.
+                    let form = CanonicalForm::from_code(rec.form);
+                    if form.hash() != rec.canon {
+                        stats.persist_errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "srtw-persist: {}: byte 0: canonical-hash mismatch on a decoded \
+                             record — skipped",
+                            dir_path.display()
+                        );
+                        continue;
+                    }
+                    let key = CacheKey {
+                        canon: rec.canon,
+                        deadline_ms: rec.deadline_ms,
+                        threads: rec.threads as usize,
+                    };
+                    // Warm entries replay their body verbatim but carry no
+                    // structured report; ascending generation order
+                    // reconstructs LRU recency under `cache_bytes`.
+                    if cache.insert(key, form, rec.presentation, rec.body, None) {
+                        stats.persist_loaded.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                match Store::open(
+                    dir_path,
+                    cfg.replica.unwrap_or(0),
+                    crate::cache::SHARDS,
+                    max_gen + 1,
+                    cfg.persist_fault,
+                ) {
+                    Ok(store) => Some(store),
+                    Err(e) => {
+                        stats.persist_errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("srtw-persist: {e}; continuing with a cold in-memory cache");
+                        None
+                    }
+                }
+            }
+        };
         let shared = Arc::new(Shared {
             fault_arm: ProcessFaultArm::new(cfg.process_fault),
-            cache: ResultCache::new(cfg.cache_bytes),
+            cache,
             memo_store: MemoStore::new(),
+            persist,
             cfg,
             gate: Arc::clone(&gate),
             stats,
@@ -709,9 +834,7 @@ fn analyze(shared: &Shared, req: &Request) -> Response {
             }
             let body = format!("{}\n", report.to_json());
             if cacheable && !report.degraded() {
-                shared
-                    .cache
-                    .insert(key, form, presentation, body.clone(), report);
+                shared.cache_insert(key, form, presentation, &body, report);
             }
             Response::json(200, body)
         }

@@ -82,6 +82,13 @@ pub struct Stats {
     /// `/analyze/delta` requests where the conservative cut could not
     /// prove reuse safe and every stream was re-analysed.
     pub delta_full_fallbacks: AtomicU64,
+    /// Cache entries warm-loaded from the spill store at startup.
+    pub persist_loaded: AtomicU64,
+    /// Cache entries spilled durably to disk.
+    pub persist_stored: AtomicU64,
+    /// Persistence failures (open/append/verify) — each degrades to a
+    /// cold in-memory cache, never to a changed response.
+    pub persist_errors: AtomicU64,
     ring: Mutex<Ring>,
 }
 
@@ -103,6 +110,9 @@ impl Default for Stats {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             delta_full_fallbacks: AtomicU64::new(0),
+            persist_loaded: AtomicU64::new(0),
+            persist_stored: AtomicU64::new(0),
+            persist_errors: AtomicU64::new(0),
             ring: Mutex::new(Ring {
                 samples_us: vec![0; LATENCY_RING],
                 next: 0,
@@ -192,6 +202,9 @@ impl Stats {
             ("cache_evictions", Json::Int(g.cache_evictions as i128)),
             ("cache_bytes", Json::Int(g.cache_bytes as i128)),
             ("delta_full_fallbacks", count(&self.delta_full_fallbacks)),
+            ("persist_loaded", count(&self.persist_loaded)),
+            ("persist_stored", count(&self.persist_stored)),
+            ("persist_errors", count(&self.persist_errors)),
             ("queue_depth", Json::Int(g.queue_depth as i128)),
             ("inflight", Json::Int(g.inflight as i128)),
             ("open_conns", Json::Int(g.open_conns as i128)),
@@ -291,6 +304,9 @@ mod tests {
             "\"cache_evictions\":0",
             "\"cache_bytes\":9",
             "\"delta_full_fallbacks\":0",
+            "\"persist_loaded\":0",
+            "\"persist_stored\":0",
+            "\"persist_errors\":0",
             "\"queue_depth\":2",
             "\"inflight\":1",
             "\"open_conns\":7",

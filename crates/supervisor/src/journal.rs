@@ -98,6 +98,131 @@ pub fn digest64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Frames a payload for append: `u32 LE len | u32 LE CRC-32 | payload`.
+/// This is the journal's (and the persist store's) shared wire discipline
+/// — one frame per `write` call, `sync_data`'d before the append is
+/// reported durable.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// One scanned frame from a `len | crc | payload` byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScannedFrame<'a> {
+    /// A structurally whole frame whose CRC matches.
+    Payload {
+        /// Byte offset of the frame's length word in the scanned image.
+        offset: usize,
+        /// The frame's payload bytes.
+        payload: &'a [u8],
+    },
+    /// A structurally whole frame whose CRC does not match: skip one
+    /// record, keep scanning — framing is still trustworthy.
+    BadCrc {
+        /// Byte offset of the frame's length word.
+        offset: usize,
+    },
+    /// A frame whose declared length overruns the image (or is absurd):
+    /// either a torn tail or a corrupt length word. Frame boundaries are
+    /// unrecoverable from here; scanning stops after this item.
+    Torn {
+        /// Byte offset where the broken frame starts.
+        offset: usize,
+        /// The length the frame claimed.
+        declared: usize,
+        /// Payload bytes actually available past the frame header.
+        available: usize,
+    },
+    /// Fewer than 8 trailing bytes — not even a frame header. Scanning
+    /// stops after this item.
+    Trailing {
+        /// Byte offset of the trailing fragment.
+        offset: usize,
+        /// How many bytes were left over.
+        bytes: usize,
+    },
+}
+
+/// Iterator over the `len | crc | payload` frames of an on-disk image,
+/// starting after a caller-validated header. Shared by journal recovery
+/// and the `srtw-persist` spill store so both speak one framing dialect.
+#[derive(Debug)]
+pub struct FrameScanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    stopped: bool,
+}
+
+impl<'a> FrameScanner<'a> {
+    /// Scans `bytes` starting at `start` (typically the header length).
+    pub fn new(bytes: &'a [u8], start: usize) -> FrameScanner<'a> {
+        FrameScanner {
+            bytes,
+            pos: start,
+            stopped: false,
+        }
+    }
+
+    /// Byte length of the structurally valid prefix from `start`: every
+    /// whole frame, stopping where scanning would stop (torn or trailing
+    /// tail). CRC-mismatched frames are structurally whole and count.
+    pub fn valid_end(bytes: &[u8], start: usize) -> usize {
+        let mut end = start;
+        for item in FrameScanner::new(bytes, start) {
+            match item {
+                ScannedFrame::Payload { offset, payload } => end = offset + 8 + payload.len(),
+                ScannedFrame::BadCrc { offset } => {
+                    // Length is re-read to advance past the skipped frame.
+                    let len =
+                        u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+                    end = offset + 8 + len;
+                }
+                ScannedFrame::Torn { .. } | ScannedFrame::Trailing { .. } => break,
+            }
+        }
+        end
+    }
+}
+
+impl<'a> Iterator for FrameScanner<'a> {
+    type Item = ScannedFrame<'a>;
+
+    fn next(&mut self) -> Option<ScannedFrame<'a>> {
+        if self.stopped || self.pos >= self.bytes.len() {
+            return None;
+        }
+        let offset = self.pos;
+        let rest = self.bytes.len() - offset;
+        if rest < 8 {
+            self.stopped = true;
+            return Some(ScannedFrame::Trailing {
+                offset,
+                bytes: rest,
+            });
+        }
+        let len = u32::from_le_bytes(self.bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(self.bytes[offset + 4..offset + 8].try_into().unwrap());
+        if len > MAX_RECORD_BYTES || len > rest - 8 {
+            self.stopped = true;
+            return Some(ScannedFrame::Torn {
+                offset,
+                declared: len,
+                available: rest - 8,
+            });
+        }
+        let payload = &self.bytes[offset + 8..offset + 8 + len];
+        self.pos = offset + 8 + len;
+        if crc32(payload) != crc {
+            return Some(ScannedFrame::BadCrc { offset });
+        }
+        Some(ScannedFrame::Payload { offset, payload })
+    }
+}
+
 fn status_code(status: JobStatus) -> u8 {
     match status {
         JobStatus::Exact => 0,
@@ -403,10 +528,7 @@ impl JournalWriter {
     /// are exactly what a real crash would leave behind).
     pub fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
         let payload = record.encode();
-        let mut frame = Vec::with_capacity(8 + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
+        let mut frame = frame(&payload);
         self.appended += 1;
         if let Some(fault) = self.fault {
             if fault.at_record == self.appended {
@@ -437,6 +559,24 @@ impl JournalWriter {
     }
 }
 
+/// One recovery warning, pinned to the byte offset where the damage was
+/// found so replica logs are machine-greppable. Displays as
+/// `byte OFFSET: MESSAGE`; callers prepend the uniform `srtw-persist:`
+/// prefix and the file path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryWarning {
+    /// Byte offset in the file where the problem starts.
+    pub offset: usize,
+    /// What was skipped or truncated.
+    pub message: String,
+}
+
+impl fmt::Display for RecoveryWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byte {}: {}", self.offset, self.message)
+    }
+}
+
 /// What [`recover`] salvaged from a journal.
 #[derive(Debug, Clone, Default)]
 pub struct Recovery {
@@ -445,14 +585,22 @@ pub struct Recovery {
     /// Every intact record, de-duplicated keep-first by job name, in
     /// journal order.
     pub records: Vec<JournalRecord>,
-    /// Human-readable notes about anything skipped or truncated.
-    pub warnings: Vec<String>,
+    /// Notes about anything skipped or truncated, each pinned to the byte
+    /// offset where the damage was found.
+    pub warnings: Vec<RecoveryWarning>,
 }
 
 impl Recovery {
     /// Looks up the journaled outcome of a job by name.
     pub fn find(&self, name: &str) -> Option<&JournalRecord> {
         self.records.iter().find(|r| r.name == name)
+    }
+
+    /// True when every name in `names` has a journaled record — the
+    /// journal fully covers the manifest, so a replay can skip the
+    /// supervisor entirely.
+    pub fn covers<'n>(&self, names: impl IntoIterator<Item = &'n str>) -> bool {
+        names.into_iter().all(|n| self.find(n).is_some())
     }
 }
 
@@ -472,58 +620,66 @@ pub fn recover_bytes(bytes: &[u8]) -> Recovery {
         || &bytes[..8] != JOURNAL_MAGIC
         || u32::from_le_bytes(bytes[8..12].try_into().unwrap()) != JOURNAL_VERSION
     {
-        rec.warnings
-            .push("journal header missing or malformed; treating journal as empty".into());
+        rec.warnings.push(RecoveryWarning {
+            offset: 0,
+            message: "journal header missing or malformed; treating journal as empty".into(),
+        });
         return rec;
     }
     rec.digest = u64::from_le_bytes(bytes[12..HEADER_BYTES].try_into().unwrap());
-    let mut pos = HEADER_BYTES;
     let mut index = 0u64;
-    while pos < bytes.len() {
+    for item in FrameScanner::new(bytes, HEADER_BYTES) {
         index += 1;
-        let rest = bytes.len() - pos;
-        if rest < 8 {
-            rec.warnings.push(format!(
-                "torn tail: {rest} trailing byte(s) after record {} — dropped",
-                index - 1
-            ));
-            break;
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
-        if len > MAX_RECORD_BYTES || len > rest - 8 {
-            // The declared length overruns the file (or is absurd): either
-            // the tail record was torn mid-write or the length word itself
-            // is corrupt. Frame boundaries are unrecoverable from here.
-            rec.warnings.push(format!(
-                "torn or corrupt frame at record {index} (declared {len} bytes, \
-                 {} available) — journal truncated here",
-                rest.saturating_sub(8)
-            ));
-            break;
-        }
-        let payload = &bytes[pos + 8..pos + 8 + len];
-        pos += 8 + len;
-        if crc32(payload) != crc {
-            rec.warnings.push(format!(
-                "CRC mismatch on record {index} — record skipped"
-            ));
-            continue;
-        }
-        match JournalRecord::decode(payload) {
-            Some(r) => {
-                if rec.records.iter().any(|have| have.name == r.name) {
-                    rec.warnings.push(format!(
-                        "duplicate record for job '{}' at record {index} — first kept",
-                        r.name
-                    ));
-                } else {
-                    rec.records.push(r);
-                }
+        match item {
+            ScannedFrame::Trailing { offset, bytes } => {
+                rec.warnings.push(RecoveryWarning {
+                    offset,
+                    message: format!(
+                        "torn tail: {bytes} trailing byte(s) after record {} — dropped",
+                        index - 1
+                    ),
+                });
             }
-            None => rec.warnings.push(format!(
-                "record {index} has a valid CRC but does not decode — record skipped"
-            )),
+            ScannedFrame::Torn {
+                offset,
+                declared,
+                available,
+            } => {
+                rec.warnings.push(RecoveryWarning {
+                    offset,
+                    message: format!(
+                        "torn or corrupt frame at record {index} (declared {declared} bytes, \
+                         {available} available) — journal truncated here"
+                    ),
+                });
+            }
+            ScannedFrame::BadCrc { offset } => {
+                rec.warnings.push(RecoveryWarning {
+                    offset,
+                    message: format!("CRC mismatch on record {index} — record skipped"),
+                });
+            }
+            ScannedFrame::Payload { offset, payload } => match JournalRecord::decode(payload) {
+                Some(r) => {
+                    if rec.records.iter().any(|have| have.name == r.name) {
+                        rec.warnings.push(RecoveryWarning {
+                            offset,
+                            message: format!(
+                                "duplicate record for job '{}' at record {index} — first kept",
+                                r.name
+                            ),
+                        });
+                    } else {
+                        rec.records.push(r);
+                    }
+                }
+                None => rec.warnings.push(RecoveryWarning {
+                    offset,
+                    message: format!(
+                        "record {index} has a valid CRC but does not decode — record skipped"
+                    ),
+                }),
+            },
         }
     }
     rec
@@ -543,19 +699,7 @@ fn valid_prefix_len(bytes: &[u8]) -> usize {
     {
         return bytes.len();
     }
-    let mut pos = HEADER_BYTES;
-    while pos < bytes.len() {
-        let rest = bytes.len() - pos;
-        if rest < 8 {
-            break;
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        if len > MAX_RECORD_BYTES || len > rest - 8 {
-            break;
-        }
-        pos += 8 + len;
-    }
-    pos
+    FrameScanner::valid_end(bytes, HEADER_BYTES)
 }
 
 /// A batch report assembled from journal records (replayed and fresh
@@ -789,7 +933,7 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
         assert!(rec.find("alpha").is_none(), "corrupt record must be dropped");
         assert!(rec.find("beta").is_some(), "later records must survive");
-        assert!(rec.warnings.iter().any(|w| w.contains("CRC")));
+        assert!(rec.warnings.iter().any(|w| w.message.contains("CRC")));
     }
 
     #[test]
@@ -811,7 +955,7 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
         assert_eq!(rec.records.len(), 1);
         assert_eq!(rec.records[0].status, JobStatus::Exact);
-        assert!(rec.warnings.iter().any(|w| w.contains("duplicate")));
+        assert!(rec.warnings.iter().any(|w| w.message.contains("duplicate")));
     }
 
     #[test]
@@ -853,7 +997,7 @@ mod tests {
         let rec = recover(&path).unwrap();
         std::fs::remove_file(&path).unwrap();
         assert!(rec.records.is_empty());
-        assert!(rec.warnings.iter().any(|w| w.contains("CRC")));
+        assert!(rec.warnings.iter().any(|w| w.message.contains("CRC")));
     }
 
     #[test]

@@ -126,6 +126,16 @@ pub struct CanonicalForm {
 }
 
 impl CanonicalForm {
+    /// Reconstructs a form from its code lanes, e.g. when loading a
+    /// spilled cache entry from disk. The caller should verify the
+    /// round-trip (`from_code(lanes).hash() == stored_hash`) before
+    /// trusting a deserialized form — `hash()` is recomputed from the
+    /// lanes, so a corrupt record can only fail verification, never
+    /// impersonate a different system.
+    pub fn from_code(code: Vec<u64>) -> CanonicalForm {
+        CanonicalForm { code }
+    }
+
     /// The code lanes (exposed for tests and size accounting).
     pub fn code(&self) -> &[u64] {
         &self.code

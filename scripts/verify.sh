@@ -19,10 +19,10 @@
 #      fault-injected batch must exhaust the ladder and exit 4;
 #   7. performance-regression gate: the newest committed BENCH_*.json
 #      must not regress the `convolution`, `rbf`, `server_throughput`,
-#      `fused_pipeline`, `server_connections`, `journal_overhead`, and
-#      `cache_saturation` suite medians by more than 1.5x against the
-#      best older committed document (a suite with no baseline yet is
-#      skipped with a notice);
+#      `fused_pipeline`, `server_connections`, `journal_overhead`,
+#      `cache_saturation`, and `warm_restart` suite medians by more than
+#      1.5x against the best older committed document (a suite with no
+#      baseline yet is skipped with a notice);
 #   8. service smoke test: `srtw serve` on an ephemeral port must answer
 #      /healthz, produce an exact and a deadline-degraded /analyze,
 #      shed with 503 when flooded past the queue bound, and drain
@@ -41,7 +41,15 @@
 #      replay the first body verbatim (a /stats-confirmed cache hit),
 #      a POST /analyze/delta edit must match a cold CLI run of the
 #      edited system byte-for-byte (modulo runtime_secs), and the
-#      server must still drain with exit 0.
+#      server must still drain with exit 0;
+#  12. persistent cache smoke + crash sweep: a result cached under
+#      --persist must replay *verbatim* from a brand-new process as a
+#      hit with zero cold misses, and for every injected persistence
+#      fault (pers-torn@2, pers-corrupt@2, pers-enospc@2) the faulted
+#      server must keep answering correct bytes with a typed
+#      `srtw-persist:` warning, and a restart must land in exactly two
+#      states — the durable record warm-and-byte-identical, the faulted
+#      one cold-recomputed-but-correct.
 #
 # Benchmarks run separately (they are slow by design):
 #   cargo run -p srtw-bench --release --bin experiments
@@ -49,7 +57,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/11 dependency audit (path-only policy) =="
+echo "== 1/12 dependency audit (path-only policy) =="
 # Inside [dependencies*] / [workspace.dependencies] sections, every
 # dependency line must carry `path =` or `workspace = true`; a version
 # requirement ("1.0", { version = ... }) means a registry dependency.
@@ -70,15 +78,15 @@ if [ -n "$violations" ]; then
 fi
 echo "ok: all dependencies are workspace path crates"
 
-echo "== 2/11 offline build + tests =="
+echo "== 2/12 offline build + tests =="
 cargo build --release --offline --workspace
 cargo clippy --offline --workspace -- -D warnings
 SRTW_BENCH_FAST=1 cargo test -q --offline --workspace
 
-echo "== 3/11 examples build =="
+echo "== 3/12 examples build =="
 cargo build --release --offline --examples
 
-echo "== 4/11 CLI smoke test =="
+echo "== 4/12 CLI smoke test =="
 out=$(cargo run --release --offline -q --bin srtw -- analyze systems/decoder.srtw)
 echo "$out" | grep -q "RTC baseline" || {
     echo "error: analyze output missing the RTC baseline line" >&2
@@ -90,7 +98,7 @@ case "$json" in
     *) echo "error: --json output is not a JSON object" >&2; exit 1 ;;
 esac
 
-echo "== 5/11 adversarial stress suite =="
+echo "== 5/12 adversarial stress suite =="
 # Elevated case count for the seeded property suite; the release profile
 # keeps the 150 ms wall budget per case meaningful.
 SRTW_PROP_CASES=256 cargo test -q --release --offline --test stress
@@ -113,7 +121,7 @@ grep -q "degraded" "$adv_err" || {
 }
 rm -f "$adv_err"
 
-echo "== 6/11 supervised batch smoke test =="
+echo "== 6/12 supervised batch smoke test =="
 # The shipped systems under a 2 s per-attempt watchdog: the adversarial
 # job must wind down to a *degraded* (still sound) result, never a
 # failure — batch exit 0, summary status "some_degraded".
@@ -153,7 +161,7 @@ case "$fault_json" in
     *) echo 'error: fault-injected batch summary not "some_failed"' >&2; exit 1 ;;
 esac
 
-echo "== 7/11 performance-regression gate =="
+echo "== 7/12 performance-regression gate =="
 # Newest committed BENCH document vs every older one; the gate watches
 # the algorithmic suites whose medians are stable across machines.
 bench_docs=$(ls -1 BENCH_*.json 2>/dev/null | sort -t_ -k2 -n -r)
@@ -161,12 +169,12 @@ if [ "$(echo "$bench_docs" | wc -l)" -ge 2 ]; then
     # shellcheck disable=SC2086
     cargo run -p srtw-bench --release --offline -q --bin experiments -- \
         gate $bench_docs --factor 1.5 \
-        --groups convolution,rbf,server_throughput,fused_pipeline,server_connections,journal_overhead,cache_saturation
+        --groups convolution,rbf,server_throughput,fused_pipeline,server_connections,journal_overhead,cache_saturation,warm_restart
 else
     echo "skip: fewer than two BENCH_*.json documents committed"
 fi
 
-echo "== 8/11 service smoke test =="
+echo "== 8/12 service smoke test =="
 # One request over /dev/tcp (no curl in the offline environment): prints
 # the full response (head + body) on stdout.
 http_req() { # port method target [body-file] [extra-header]
@@ -271,7 +279,7 @@ wait
 rm -rf "$flood_dir" "$serve_out" "$serve_err"
 echo "ok: serve answered, degraded under deadline, shed under flood, drained cleanly"
 
-echo "== 9/11 replicated soak =="
+echo "== 9/12 replicated soak =="
 rep_out=$(mktemp); rep_err=$(mktemp)
 # Two shared-nothing replicas; replica 0 is armed to abort after its
 # 120th request, well inside the first flood wave.
@@ -379,7 +387,7 @@ done
 rm -f "$rep_out" "$rep_out.flood1" "$rep_err"
 echo "ok: 10k-connection soak over 2 replicas — one abort recovered, flat RSS, no fd leak, clean drain"
 
-echo "== 10/11 durable batch crash recovery =="
+echo "== 10/12 durable batch crash recovery =="
 # 100 copies of the fast decoder system: enough fsync'd records that a
 # mid-run SIGKILL reliably lands between the first and the last.
 jr_dir=$(mktemp -d)
@@ -451,7 +459,7 @@ fi
 rm -rf "$jr_dir" "$resume_err"
 echo "ok: journaled batch survived SIGKILL and a torn write — resume replayed, bytes identical"
 
-echo "== 11/11 cache + delta smoke test =="
+echo "== 11/12 cache + delta smoke test =="
 cache_out=$(mktemp); cache_err=$(mktemp)
 target/release/srtw serve --addr 127.0.0.1:0 --workers 2 \
     >"$cache_out" 2>"$cache_err" &
@@ -510,5 +518,106 @@ if [ "$cache_rc" -ne 0 ]; then
 fi
 rm -rf "$delta_dir" "$cache_out" "$cache_err"
 echo "ok: cache hit replayed verbatim, delta matched a cold run, drained cleanly"
+
+echo "== 12/12 persistent cache smoke + crash sweep =="
+# Helper: start `srtw serve` with the given extra args, wait for the
+# port, and leave $p_pid/$p_port/$p_out/$p_err set for the caller.
+p_start() {
+    p_out=$(mktemp); p_err=$(mktemp)
+    target/release/srtw serve --addr 127.0.0.1:0 --workers 2 "$@" \
+        >"$p_out" 2>"$p_err" &
+    p_pid=$!
+    for _ in $(seq 1 100); do
+        grep -q "listening on" "$p_out" && break
+        sleep 0.1
+    done
+    p_port=$(sed -n 's/.*:\([0-9]*\)$/\1/p' "$p_out")
+    if [ -z "$p_port" ]; then
+        echo "error: srtw serve (persist) did not report a listening address" >&2
+        cat "$p_err" >&2
+        kill "$p_pid" 2>/dev/null; exit 1
+    fi
+}
+p_stop() {
+    http_req "$p_port" POST /shutdown >/dev/null
+    set +e
+    wait "$p_pid"
+    p_rc=$?
+    set -e
+    if [ "$p_rc" -ne 0 ]; then
+        echo "error: srtw serve (persist) exited $p_rc after drain" >&2
+        cat "$p_err" >&2
+        exit 1
+    fi
+}
+pers_dir=$(mktemp -d)
+# 12a: warm restart. Cache a result, drain, restart a brand-new process
+# over the same spill directory: the very first POST must replay the
+# stored bytes *verbatim* as a hit, with zero cold misses.
+p_start --persist "$pers_dir/spill"
+seeded=$(http_req "$p_port" POST /analyze systems/decoder.srtw | tail -1)
+p_stop
+first_out=$p_out; first_err=$p_err
+p_start --persist "$pers_dir/spill"
+revived=$(http_req "$p_port" POST /analyze systems/decoder.srtw | tail -1)
+if [ "$seeded" != "$revived" ]; then
+    echo "error: restart-warm POST /analyze did not replay the stored bytes verbatim" >&2
+    exit 1
+fi
+stats=$(http_req "$p_port" GET /stats | tail -1)
+case "$stats" in
+    *'"persist_loaded":1'*'"cache_hits":1'*|*'"cache_hits":1'*'"persist_loaded":1'*) : ;;
+    *) echo "error: restart did not warm-load the spill: $stats" >&2; exit 1 ;;
+esac
+case "$stats" in
+    *'"cache_misses":0'*) : ;;
+    *) echo "error: a warm restart recomputed: $stats" >&2; exit 1 ;;
+esac
+p_stop
+rm -f "$first_out" "$first_err" "$p_out" "$p_err"
+# 12b: crash-point sweep. Two systems; the second spill append is broken
+# by each fault kind in turn. The faulted server must keep answering
+# correct bytes (degrading cold with a typed warning), and a restart
+# must land in exactly two states: the durable record warm-and-byte-
+# identical, the faulted one cold-recomputed-but-correct.
+sed 's/deadline=25/deadline=24/' systems/decoder.srtw >"$pers_dir/edited.srtw"
+edited_cli=$(target/release/srtw analyze "$pers_dir/edited.srtw" --json 2>/dev/null | norm_runtime)
+for kind in pers-torn pers-corrupt pers-enospc; do
+    sweep_dir="$pers_dir/$kind"
+    p_start --persist "$sweep_dir" --fault "$kind@2"
+    sys1=$(http_req "$p_port" POST /analyze systems/decoder.srtw | tail -1)
+    sys2=$(http_req "$p_port" POST /analyze "$pers_dir/edited.srtw" | tail -1)
+    if [ "$(echo "$sys2" | norm_runtime)" != "$edited_cli" ]; then
+        echo "error: $kind@2 changed the faulted response's bytes" >&2
+        exit 1
+    fi
+    grep -q "srtw-persist:" "$p_err" || {
+        echo "error: $kind@2 fired without a typed srtw-persist warning" >&2
+        cat "$p_err" >&2
+        exit 1
+    }
+    p_stop
+    rm -f "$p_out" "$p_err"
+    p_start --persist "$sweep_dir"
+    warm1=$(http_req "$p_port" POST /analyze systems/decoder.srtw | tail -1)
+    cold2=$(http_req "$p_port" POST /analyze "$pers_dir/edited.srtw" | tail -1)
+    if [ "$warm1" != "$sys1" ]; then
+        echo "error: $kind sweep: the durable record did not replay verbatim after restart" >&2
+        exit 1
+    fi
+    if [ "$(echo "$cold2" | norm_runtime)" != "$edited_cli" ]; then
+        echo "error: $kind sweep: the cold recompute diverged after restart" >&2
+        exit 1
+    fi
+    stats=$(http_req "$p_port" GET /stats | tail -1)
+    case "$stats" in
+        *'"cache_hits":1'*'"cache_misses":1'*|*'"cache_misses":1'*'"cache_hits":1'*) : ;;
+        *) echo "error: $kind sweep: not exactly warm+cold after restart: $stats" >&2; exit 1 ;;
+    esac
+    p_stop
+    rm -f "$p_out" "$p_err"
+done
+rm -rf "$pers_dir"
+echo "ok: warm restart replayed verbatim; every persistence fault degraded cold with a warning, never a wrong byte"
 
 echo "verify: OK"

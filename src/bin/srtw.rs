@@ -16,8 +16,9 @@
 //!               [--workers N] [--queue N] [--max-conns N]
 //!               [--drain-ms MS] [--grace-ms MS] [--read-timeout-ms MS]
 //!               [--header-timeout-ms MS] [--deadline-ms MS] [--threads N]
-//!               [--journal PREFIX] [--cache-bytes N]
-//!               [--fault SPEC|abort@N|stall@N:MS|closefd@N|torn@N|jcorrupt@N]
+//!               [--journal PREFIX] [--cache-bytes N] [--persist DIR]
+//!               [--fault SPEC|abort@N|stall@N:MS|closefd@N|torn@N|jcorrupt@N
+//!                        |pers-torn@N|pers-corrupt@N|pers-enospc@N]
 //! srtw flood    <addr> [--count N] [--concurrency N] [--analyze FILE]
 //!               [--batch MANIFEST] [--prewarm N]
 //! ```
@@ -79,6 +80,19 @@
 //! system + `@delta` edit script) re-analyses only the streams an edit
 //! can reach, splicing the rest from the cached base run.
 //!
+//! `--persist DIR` makes the result cache crash-safe: every stored
+//! result is also spilled to an append-only, CRC-framed shard file
+//! under `DIR`, and a (re)started server warm-loads the shards before
+//! accepting traffic, so warm hits survive restarts byte-identically.
+//! Replicas share `DIR` (each writes only its own shard files, reads
+//! all), so a respawned replica inherits the fleet's cache. Any
+//! persistence failure — `ENOSPC`, `EACCES`, a torn or corrupt spill —
+//! degrades to a cold in-memory cache with a typed `srtw-persist:`
+//! stderr warning; it never changes an HTTP status or a result byte.
+//! The `pers-torn@N` / `pers-corrupt@N` / `pers-enospc@N` fault specs
+//! break the Nth spill append deterministically to exercise that
+//! degradation.
+//!
 //! # Exit codes
 //!
 //! | code | meaning |
@@ -99,7 +113,7 @@ use srtw::supervisor::{
     OutcomeObserver, RestartPolicy,
 };
 use srtw::textfmt::{parse_system, SystemSpec};
-use srtw::serve::{signal, ProcessFault, ReplicaConfig, ServeConfig, Server, Supervisor};
+use srtw::serve::{signal, PersistFault, ProcessFault, ReplicaConfig, ServeConfig, Server, Supervisor};
 use srtw::{
     earliest_random_walk, edf_schedulable, fifo_report, fifo_structural,
     fixed_priority_structural_with, simulate_fifo, AnalysisConfig, Budget, Curve, DelayAnalysis,
@@ -389,7 +403,7 @@ fn batch(path: &str, opts: &[String]) -> Result<ExitCode, CliError> {
                 match journal::recover(jpath) {
                     Ok(rec) => {
                         for w in &rec.warnings {
-                            eprintln!("warning: journal {jp}: {w}");
+                            eprintln!("srtw-persist: {jp}: {w}");
                         }
                         if rec.digest != digest {
                             eprintln!(
@@ -718,14 +732,18 @@ fn serve(opts: &[String]) -> Result<ExitCode, CliError> {
     };
     let addr = opt_value(opts, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
 
-    // One --fault flag serves three layers: process-level specs
+    // One --fault flag serves four layers: process-level specs
     // (abort@N | stall@N:MS | closefd@N) drive the supervision tree,
-    // journal specs (torn@N | jcorrupt@N) break batch durability, and
-    // anything else is the metered FaultPlan grammar.
+    // journal specs (torn@N | jcorrupt@N) break batch durability,
+    // persistence specs (pers-torn@N | pers-corrupt@N | pers-enospc@N)
+    // break the spill store, and anything else is the metered FaultPlan
+    // grammar.
     let fault_spec = opt_value(opts, "--fault");
     let journal = opt_value(opts, "--journal");
+    let persist = opt_value(opts, "--persist");
     let mut process_fault = None;
     let mut journal_fault = None;
+    let mut persist_fault = None;
     let mut meter_fault = None;
     if let Some(spec) = &fault_spec {
         match ProcessFault::parse(spec) {
@@ -734,13 +752,25 @@ fn serve(opts: &[String]) -> Result<ExitCode, CliError> {
             None => match JournalFault::parse(spec) {
                 Some(Ok(f)) => journal_fault = Some(f),
                 Some(Err(e)) => return Err(input(e)),
-                None => meter_fault = Some(FaultPlan::parse(spec).map_err(CliError::Input)?),
+                None => match PersistFault::parse(spec) {
+                    Some(Ok(f)) => persist_fault = Some(f),
+                    Some(Err(e)) => return Err(input(e)),
+                    None => {
+                        meter_fault = Some(FaultPlan::parse(spec).map_err(CliError::Input)?)
+                    }
+                },
             },
         }
     }
     if journal_fault.is_some() && journal.is_none() {
         return Err(input(format!(
             "--fault {} requires --journal PREFIX (there is no journal to break)",
+            fault_spec.as_deref().unwrap_or("")
+        )));
+    }
+    if persist_fault.is_some() && persist.is_none() {
+        return Err(input(format!(
+            "--fault {} requires --persist DIR (there is no spill store to break)",
             fault_spec.as_deref().unwrap_or("")
         )));
     }
@@ -767,6 +797,8 @@ fn serve(opts: &[String]) -> Result<ExitCode, CliError> {
         journal,
         journal_fault,
         cache_bytes: parse_ms("--cache-bytes", 64 * 1024 * 1024)? as usize,
+        persist,
+        persist_fault,
     };
 
     if opts.iter().any(|a| a == "--internal-replica") {
@@ -775,10 +807,11 @@ fn serve(opts: &[String]) -> Result<ExitCode, CliError> {
 
     let replicas = parse_ms("--replicas", 1)? as usize;
     if replicas >= 2 {
-        // Process and journal faults are "targeted": the supervisor hands
-        // them to replica 0's first spawn only, so the tree repairs one
-        // induced crash instead of a fleet-wide one.
-        let targeted = process_fault.is_some() || journal_fault.is_some();
+        // Process, journal and persistence faults are "targeted": the
+        // supervisor hands them to replica 0's first spawn only, so the
+        // tree repairs one induced crash instead of a fleet-wide one.
+        let targeted =
+            process_fault.is_some() || journal_fault.is_some() || persist_fault.is_some();
         return serve_supervisor(opts, replicas, &addr, cfg.drain, fault_spec, targeted);
     }
 
@@ -869,6 +902,7 @@ fn serve_supervisor(
         "--threads",
         "--journal",
         "--cache-bytes",
+        "--persist",
     ] {
         if let Some(v) = opt_value(opts, key) {
             child_args.push(key.to_string());
